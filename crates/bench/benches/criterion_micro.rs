@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks of the simulator's hot kernels.
+//!
+//! These do not correspond to a paper figure; they keep the substrate honest (event
+//! queue, Synchronization Table, L1 cache, DRAM timing, crossbar, MESI directory) so
+//! that regressions in the simulator itself are caught by `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use syncron_core::request::PrimitiveKind;
+use syncron_core::table::SynchronizationTable;
+use syncron_mem::cache::{CacheConfig, L1Cache};
+use syncron_mem::dram::{DramModel, DramSpec};
+use syncron_mem::mesi::{CoherentAccess, MesiDirectory, MesiParams};
+use syncron_net::crossbar::{Crossbar, CrossbarConfig};
+use syncron_sim::event::EventQueue;
+use syncron_sim::{Addr, GlobalCoreId, Time, UnitId};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1024);
+            for i in 0..1024u64 {
+                q.push(Time::from_ps((i * 7919) % 4096), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_synchronization_table(c: &mut Criterion) {
+    c.bench_function("st_allocate_lookup_release", |b| {
+        b.iter(|| {
+            let mut st = SynchronizationTable::new(64);
+            for i in 0..64u64 {
+                st.allocate(Time::from_ns(i), Addr(i * 64), PrimitiveKind::Lock);
+            }
+            for i in 0..64u64 {
+                black_box(st.lookup(Addr(i * 64)));
+            }
+            for i in 0..64u64 {
+                st.release(Time::from_ns(100 + i), Addr(i * 64));
+            }
+            black_box(st.occupied())
+        })
+    });
+}
+
+fn bench_l1_cache(c: &mut Criterion) {
+    c.bench_function("l1_cache_access_stream", |b| {
+        let mut l1 = L1Cache::new(CacheConfig::ndp_l1());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(l1.access(Addr((i * 64) % (64 * 1024)), i % 3 == 0))
+        })
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram_hbm_access", |b| {
+        let mut dram = DramModel::new(DramSpec::hbm());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(dram.access(Time::from_ns(i), Addr(i * 64 * 33), i % 4 == 0))
+        })
+    });
+}
+
+fn bench_crossbar(c: &mut Criterion) {
+    c.bench_function("crossbar_transfer", |b| {
+        let mut xbar = Crossbar::new(CrossbarConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(xbar.transfer(Time::from_ns(i), 64))
+        })
+    });
+}
+
+fn bench_mesi(c: &mut Criterion) {
+    c.bench_function("mesi_directory_rmw_pingpong", |b| {
+        let mut dir = MesiDirectory::new(4, 16, MesiParams::ndp_default());
+        let cores: Vec<GlobalCoreId> = (0..8)
+            .map(|i| GlobalCoreId::from_flat(i * 7 % 64, 16))
+            .collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let core = cores[i % cores.len()];
+            black_box(dir.access(
+                Time::from_ns(i as u64),
+                core,
+                Addr(0x1000),
+                CoherentAccess::Rmw,
+                UnitId(0),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_event_queue,
+    bench_synchronization_table,
+    bench_l1_cache,
+    bench_dram,
+    bench_crossbar,
+    bench_mesi
+);
+criterion_main!(kernels);

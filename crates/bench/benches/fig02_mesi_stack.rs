@@ -1,0 +1,4 @@
+//! Regenerates Figure 2 of the paper.
+fn main() {
+    syncron_bench::experiments::motivation::fig02().print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 10 of the paper (all four synchronization primitives).
+fn main() {
+    for table in syncron_bench::experiments::primitives::fig10_all() {
+        table.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 11 of the paper (nine pointer-chasing data structures).
+fn main() {
+    for table in syncron_bench::experiments::datastructures::fig11() {
+        table.print();
+    }
+}

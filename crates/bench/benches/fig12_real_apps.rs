@@ -1,0 +1,4 @@
+//! Regenerates Figure 12 of the paper (real-application speedups).
+fn main() {
+    syncron_bench::experiments::realapps::fig12().print();
+}

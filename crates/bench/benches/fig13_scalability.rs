@@ -1,0 +1,4 @@
+//! Regenerates Figure 13 of the paper (SynCron scalability, 1-4 NDP units).
+fn main() {
+    syncron_bench::experiments::realapps::fig13().print();
+}

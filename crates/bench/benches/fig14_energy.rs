@@ -1,0 +1,4 @@
+//! Regenerates Figure 14 of the paper (energy breakdown).
+fn main() {
+    syncron_bench::experiments::realapps::fig14().print();
+}

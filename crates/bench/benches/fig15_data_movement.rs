@@ -1,0 +1,4 @@
+//! Regenerates Figure 15 of the paper (data movement inside/across NDP units).
+fn main() {
+    syncron_bench::experiments::realapps::fig15().print();
+}

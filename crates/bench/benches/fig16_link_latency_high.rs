@@ -1,0 +1,6 @@
+//! Regenerates Figure 16 of the paper (high-contention link-latency sensitivity).
+fn main() {
+    for table in syncron_bench::experiments::datastructures::fig16() {
+        table.print();
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 17 of the paper (low-contention link-latency sensitivity).
+fn main() {
+    syncron_bench::experiments::sensitivity::fig17().print();
+}

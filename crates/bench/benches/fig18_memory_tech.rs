@@ -1,0 +1,4 @@
+//! Regenerates Figure 18 of the paper (HBM / HMC / DDR4 memory technologies).
+fn main() {
+    syncron_bench::experiments::sensitivity::fig18().print();
+}

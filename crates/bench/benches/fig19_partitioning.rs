@@ -1,0 +1,4 @@
+//! Regenerates Figure 19 of the paper (effect of better data placement).
+fn main() {
+    syncron_bench::experiments::sensitivity::fig19().print();
+}

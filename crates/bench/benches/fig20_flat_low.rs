@@ -1,0 +1,4 @@
+//! Regenerates Figure 20 of the paper (SynCron vs flat, low contention).
+fn main() {
+    syncron_bench::experiments::sensitivity::fig20().print();
+}

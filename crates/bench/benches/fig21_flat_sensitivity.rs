@@ -1,0 +1,4 @@
+//! Regenerates Figure 21 of the paper (SynCron vs flat, sync-intensive and high contention).
+fn main() {
+    syncron_bench::experiments::sensitivity::fig21().print();
+}

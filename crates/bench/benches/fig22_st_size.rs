@@ -1,0 +1,4 @@
+//! Regenerates Figure 22 of the paper (ST size sensitivity).
+fn main() {
+    syncron_bench::experiments::sensitivity::fig22().print();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 23 of the paper (overflow-management schemes).
+fn main() {
+    syncron_bench::experiments::datastructures::fig23().print();
+}

@@ -1,0 +1,4 @@
+//! Fairness extension (Section 4.4.2 of the paper): local-grant threshold sweep.
+fn main() {
+    syncron_bench::experiments::sensitivity::fig24_fairness().print();
+}

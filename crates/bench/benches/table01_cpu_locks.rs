@@ -1,0 +1,4 @@
+//! Regenerates Table 1 of the paper. Run with `cargo bench --bench table01_cpu_locks`.
+fn main() {
+    syncron_bench::experiments::motivation::table01().print();
+}

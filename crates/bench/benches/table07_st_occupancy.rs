@@ -1,0 +1,4 @@
+//! Regenerates Table 7 of the paper (ST occupancy in real applications).
+fn main() {
+    syncron_bench::experiments::realapps::table07().print();
+}

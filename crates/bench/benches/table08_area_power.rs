@@ -1,0 +1,5 @@
+//! Regenerates Table 8 of the paper (SE area and power vs ARM Cortex-A7).
+fn main() {
+    syncron_bench::experiments::hwcost::table08().print();
+    syncron_bench::experiments::hwcost::st_size_area_sweep().print();
+}

@@ -1,0 +1,172 @@
+//! Figures 11, 16 and 23: pointer-chasing data structures.
+
+use crate::{f2, run_many, scaled, Table};
+use syncron_core::mechanism::MechanismParams;
+use syncron_core::protocol::OverflowMode;
+use syncron_core::MechanismKind;
+use syncron_sim::Time;
+use syncron_system::config::NdpConfig;
+use syncron_system::workload::Workload;
+use syncron_workloads::datastructures::{self, DsConfig};
+
+fn config_with_units(kind: MechanismKind, units: usize) -> NdpConfig {
+    NdpConfig::builder().units(units).cores_per_unit(16).mechanism(kind).build()
+}
+
+/// Figure 11: throughput (operations/ms) of the nine data structures as the number of
+/// NDP cores grows from 15 to 60 (one NDP unit added per step), for each scheme.
+pub fn fig11() -> Vec<Table> {
+    let ops = scaled(40, 8);
+    let schemes = MechanismKind::COMPARED;
+    let unit_steps = [1usize, 2, 3, 4];
+    datastructures::ALL_NAMES
+        .iter()
+        .map(|&name| {
+            let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
+            for &units in &unit_steps {
+                for kind in schemes {
+                    jobs.push((
+                        config_with_units(kind, units),
+                        datastructures::by_name(name, ops).expect("known structure"),
+                    ));
+                }
+            }
+            let reports = run_many(jobs);
+            let mut table = Table::new(
+                format!("Figure 11 ({name}): throughput in operations/ms vs NDP cores"),
+                &["cores", "Central", "Hier", "SynCron", "Ideal"],
+            );
+            for (i, &units) in unit_steps.iter().enumerate() {
+                let base = i * schemes.len();
+                let mut cells = vec![(units * 15).to_string()];
+                for j in 0..schemes.len() {
+                    cells.push(f2(reports[base + j].ops_per_ms()));
+                }
+                table.push_row(cells);
+            }
+            table
+        })
+        .collect()
+}
+
+/// Figure 16: throughput of the stack and the priority queue (operations/µs) as the
+/// inter-unit link transfer latency grows from 40 ns to 9 µs (high contention).
+pub fn fig16() -> Vec<Table> {
+    let ops = scaled(40, 8);
+    let latencies_ns: [u64; 8] = [40, 100, 200, 500, 1_000, 2_000, 4_500, 9_000];
+    let schemes = MechanismKind::COMPARED;
+    ["stack", "priority-queue"]
+        .iter()
+        .map(|&name| {
+            let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
+            for &lat in &latencies_ns {
+                for kind in schemes {
+                    let config = NdpConfig::builder()
+                        .mechanism(kind)
+                        .link_latency(Time::from_ns(lat))
+                        .build();
+                    jobs.push((config, datastructures::by_name(name, ops).expect("known")));
+                }
+            }
+            let reports = run_many(jobs);
+            let mut table = Table::new(
+                format!("Figure 16 ({name}): operations/us vs inter-unit link transfer latency"),
+                &["latency_ns", "Central", "Hier", "SynCron", "Ideal"],
+            );
+            for (i, &lat) in latencies_ns.iter().enumerate() {
+                let base = i * schemes.len();
+                let mut cells = vec![lat.to_string()];
+                for j in 0..schemes.len() {
+                    cells.push(format!("{:.3}", reports[base + j].ops_per_us()));
+                }
+                table.push_row(cells);
+            }
+            table
+        })
+        .collect()
+}
+
+/// Figure 23: throughput of BST_FG under the three overflow-management schemes as the
+/// ST size varies, plus the fraction of overflowed requests.
+pub fn fig23() -> Table {
+    let ops = scaled(30, 6);
+    let st_sizes = [16usize, 32, 48, 64, 128, 256];
+    let modes = [
+        ("SynCron", OverflowMode::Integrated),
+        ("SynCron_CentralOvrfl", OverflowMode::MiSarCentral),
+        ("SynCron_DistribOvrfl", OverflowMode::MiSarDistributed),
+    ];
+    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
+    for &st in &st_sizes {
+        for (_, mode) in &modes {
+            let params = MechanismParams::new(MechanismKind::SynCron)
+                .with_st_entries(st)
+                .with_overflow_mode(*mode);
+            let config = NdpConfig::builder().mechanism_params(params).build();
+            jobs.push((
+                config,
+                datastructures::by_name("bst-fg", ops).expect("bst-fg"),
+            ));
+        }
+    }
+    let reports = run_many(jobs);
+    let mut table = Table::new(
+        "Figure 23: BST_FG throughput (operations/ms) under different overflow schemes",
+        &[
+            "ST entries",
+            "SynCron",
+            "SynCron_CentralOvrfl",
+            "SynCron_DistribOvrfl",
+            "overflowed %",
+        ],
+    );
+    for (i, &st) in st_sizes.iter().enumerate() {
+        let base = i * modes.len();
+        let mut cells = vec![st.to_string()];
+        for j in 0..modes.len() {
+            cells.push(f2(reports[base + j].ops_per_ms()));
+        }
+        cells.push(f2(reports[base].sync.overflow_fraction() * 100.0));
+        table.push_row(cells);
+    }
+    table
+}
+
+/// Building block shared by tests and quick examples: runs one structure under one
+/// scheme at the paper's default system size.
+pub fn run_structure(name: &str, kind: MechanismKind, ops: u32) -> syncron_system::RunReport {
+    let wl = datastructures::by_name(name, ops).expect("known structure");
+    syncron_system::run_workload(&config_with_units(kind, 4), wl.as_ref())
+}
+
+/// Default data-structure sizing used by examples.
+pub fn example_config(initial: usize, ops: u32) -> DsConfig {
+    DsConfig::new(initial, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_throughput_ranks_schemes_like_the_paper() {
+        let central = run_structure("stack", MechanismKind::Central, 20);
+        let syncron = run_structure("stack", MechanismKind::SynCron, 20);
+        let ideal = run_structure("stack", MechanismKind::Ideal, 20);
+        assert!(syncron.ops_per_ms() > central.ops_per_ms());
+        assert!(ideal.ops_per_ms() >= syncron.ops_per_ms());
+    }
+
+    #[test]
+    fn bst_fg_overflows_small_sts() {
+        let params = MechanismParams::new(MechanismKind::SynCron).with_st_entries(16);
+        let config = NdpConfig::builder().mechanism_params(params).build();
+        let wl = datastructures::by_name("bst-fg", 10).unwrap();
+        let report = syncron_system::run_workload(&config, wl.as_ref());
+        assert!(report.completed);
+        assert!(
+            report.sync.overflow_fraction() > 0.0,
+            "a 16-entry ST should overflow under BST_FG"
+        );
+    }
+}

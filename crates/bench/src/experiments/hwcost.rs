@@ -1,0 +1,81 @@
+//! Table 8: area and power of the Synchronization Engine vs an ARM Cortex-A7.
+
+use crate::{Table};
+use syncron_core::hw_cost::{CortexA7, SeCost};
+
+/// Table 8: SE component areas, total area and power, compared to an ARM Cortex-A7.
+pub fn table08() -> Table {
+    let se = SeCost::paper_default();
+    let a7 = CortexA7::REFERENCE;
+    let mut table = Table::new(
+        "Table 8: Synchronization Engine area/power vs ARM Cortex-A7",
+        &["component", "SE (40nm)", "ARM Cortex-A7 (28nm)"],
+    );
+    table.push_row(vec![
+        "SPU area (mm^2)".into(),
+        format!("{:.4}", se.spu_mm2),
+        "-".into(),
+    ]);
+    table.push_row(vec![
+        "ST area (mm^2)".into(),
+        format!("{:.4}", se.st_mm2),
+        "-".into(),
+    ]);
+    table.push_row(vec![
+        "Indexing counters area (mm^2)".into(),
+        format!("{:.4}", se.counters_mm2),
+        "-".into(),
+    ]);
+    table.push_row(vec![
+        "Total area (mm^2)".into(),
+        format!("{:.4}", se.total_mm2()),
+        format!("{:.2} (with 32KB L1)", a7.area_mm2),
+    ]);
+    table.push_row(vec![
+        "Power (mW)".into(),
+        format!("{:.1}", se.power_mw),
+        format!("{:.0}", a7.power_mw),
+    ]);
+    table.push_row(vec![
+        "Relative area".into(),
+        format!("{:.1}%", se.area_vs_cortex_a7() * 100.0),
+        "100%".into(),
+    ]);
+    table.push_row(vec![
+        "Relative power".into(),
+        format!("{:.1}%", se.power_vs_cortex_a7() * 100.0),
+        "100%".into(),
+    ]);
+    table
+}
+
+/// Sensitivity of the SE area to the ST size (companion to the Figure 22/23 sweeps).
+pub fn st_size_area_sweep() -> Table {
+    let mut table = Table::new(
+        "SE area vs ST size (sensitivity companion to Figures 22/23)",
+        &["ST entries", "ST area (mm^2)", "total SE area (mm^2)", "power (mW)"],
+    );
+    for st in [8usize, 16, 32, 48, 64, 128, 256] {
+        let se = SeCost::for_config(st, 256, 4, 16);
+        table.push_row(vec![
+            st.to_string(),
+            format!("{:.4}", se.st_mm2),
+            format!("{:.4}", se.total_mm2()),
+            format!("{:.2}", se.power_mw),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table08_reports_paper_values() {
+        let t = table08();
+        assert!(t.render().contains("0.0461"));
+        assert!(t.render().contains("2.7"));
+        assert_eq!(st_size_area_sweep().rows.len(), 7);
+    }
+}

@@ -1,0 +1,17 @@
+//! One module per group of paper experiments.
+//!
+//! | Module | Paper artifacts |
+//! |--------|-----------------|
+//! | [`motivation`] | Table 1, Figure 2 |
+//! | [`primitives`] | Figure 10 |
+//! | [`datastructures`] | Figures 11, 16, 23 |
+//! | [`realapps`] | Figures 12–15, Table 7 |
+//! | [`sensitivity`] | Figures 17–22, 24 (fairness extension) |
+//! | [`hwcost`] | Table 8 |
+
+pub mod datastructures;
+pub mod hwcost;
+pub mod motivation;
+pub mod primitives;
+pub mod realapps;
+pub mod sensitivity;

@@ -1,0 +1,166 @@
+//! Motivational experiments: Table 1 and Figure 2.
+
+use crate::{f2, run_many, scaled, Table};
+use syncron_core::MechanismKind;
+use syncron_mem::mesi::MesiParams;
+use syncron_system::config::{CoherenceMode, NdpConfig};
+use syncron_system::workload::Workload;
+use syncron_workloads::spinlock::{LockedStack, Placement, SpinKind, SpinLockBench, StackLock};
+
+fn cpu_config(units: usize, cores: usize) -> NdpConfig {
+    NdpConfig::builder()
+        .units(units)
+        .cores_per_unit(cores)
+        .coherence(CoherenceMode::MesiDirectory)
+        .mesi_params(MesiParams::cpu_two_socket())
+        .mechanism(MechanismKind::Ideal)
+        .reserve_server_core(false)
+        .build()
+}
+
+/// Table 1: throughput (operations per second, reported in millions) of two
+/// coherence-based lock algorithms on a simulated two-socket CPU.
+pub fn table01() -> Table {
+    let iters = scaled(200, 20);
+    let scenarios: Vec<(&str, usize, Placement)> = vec![
+        ("1 thread single-socket", 1, Placement::Packed),
+        ("14 threads single-socket", 14, Placement::Packed),
+        ("2 threads same-socket", 2, Placement::Packed),
+        ("2 threads different-socket", 2, Placement::Spread),
+    ];
+    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
+    for kind in [SpinKind::Ttas, SpinKind::HierarchicalTicket] {
+        for (_, threads, placement) in &scenarios {
+            jobs.push((
+                cpu_config(2, 14),
+                Box::new(SpinLockBench::new(kind, *threads, *placement, iters)),
+            ));
+        }
+    }
+    let reports = run_many(jobs);
+
+    let mut table = Table::new(
+        "Table 1: coherence-based lock throughput (Mops/s) on a simulated 2-socket CPU",
+        &[
+            "lock",
+            "1thr 1-socket",
+            "14thr 1-socket",
+            "2thr same-socket",
+            "2thr diff-socket",
+        ],
+    );
+    for (row, kind) in [SpinKind::Ttas, SpinKind::HierarchicalTicket].iter().enumerate() {
+        let mut cells = vec![kind.name().to_string()];
+        for col in 0..scenarios.len() {
+            let report = &reports[row * scenarios.len() + col];
+            let mops = report.total_ops as f64 / report.sim_time.as_secs_f64() / 1e6;
+            cells.push(f2(mops));
+        }
+        table.push_row(cells);
+    }
+    table
+}
+
+/// Figure 2: slowdown of a coarse-lock stack with a MESI lock over an ideal zero-cost
+/// lock, (a) varying cores within one NDP unit and (b) varying NDP units at 60 cores.
+pub fn fig02() -> Table {
+    let pushes = scaled(60, 10);
+    let mut table = Table::new(
+        "Figure 2: slowdown of a lock-based stack, mesi-lock vs ideal-lock",
+        &["configuration", "cores", "units", "mesi-lock slowdown"],
+    );
+
+    // (a) 15..60 cores within a single NDP unit.
+    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
+    let core_counts = [15usize, 30, 45, 60];
+    for &cores in &core_counts {
+        let mesi_cfg = NdpConfig::builder()
+            .units(1)
+            .cores_per_unit(cores)
+            .coherence(CoherenceMode::MesiDirectory)
+            .mechanism(MechanismKind::Ideal)
+            .reserve_server_core(false)
+            .build();
+        let ideal_cfg = NdpConfig::builder()
+            .units(1)
+            .cores_per_unit(cores)
+            .mechanism(MechanismKind::Ideal)
+            .reserve_server_core(false)
+            .build();
+        jobs.push((mesi_cfg, Box::new(LockedStack::new(StackLock::MesiSpin, pushes))));
+        jobs.push((
+            ideal_cfg,
+            Box::new(LockedStack::new(StackLock::SyncPrimitive, pushes)),
+        ));
+    }
+    // (b) 60 cores split over 1..4 NDP units.
+    let unit_counts = [1usize, 2, 3, 4];
+    for &units in &unit_counts {
+        let cores = 60 / units;
+        let mesi_cfg = NdpConfig::builder()
+            .units(units)
+            .cores_per_unit(cores)
+            .coherence(CoherenceMode::MesiDirectory)
+            .mechanism(MechanismKind::Ideal)
+            .reserve_server_core(false)
+            .build();
+        let ideal_cfg = NdpConfig::builder()
+            .units(units)
+            .cores_per_unit(cores)
+            .mechanism(MechanismKind::Ideal)
+            .reserve_server_core(false)
+            .build();
+        jobs.push((mesi_cfg, Box::new(LockedStack::new(StackLock::MesiSpin, pushes))));
+        jobs.push((
+            ideal_cfg,
+            Box::new(LockedStack::new(StackLock::SyncPrimitive, pushes)),
+        ));
+    }
+    let reports = run_many(jobs);
+
+    for (i, &cores) in core_counts.iter().enumerate() {
+        let mesi = &reports[i * 2];
+        let ideal = &reports[i * 2 + 1];
+        table.push_row(vec![
+            "(a) single unit".into(),
+            cores.to_string(),
+            "1".into(),
+            f2(mesi.slowdown_over(ideal)),
+        ]);
+    }
+    let base = core_counts.len() * 2;
+    for (i, &units) in unit_counts.iter().enumerate() {
+        let mesi = &reports[base + i * 2];
+        let ideal = &reports[base + i * 2 + 1];
+        table.push_row(vec![
+            "(b) 60 cores total".into(),
+            "60".into(),
+            units.to_string(),
+            f2(mesi.slowdown_over(ideal)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table01_shape_matches_paper_trends() {
+        std::env::set_var("SYNCRON_SCALE", "0.2");
+        let t = table01();
+        assert_eq!(t.rows.len(), 2);
+        let parse = |s: &String| s.parse::<f64>().unwrap();
+        for row in &t.rows {
+            let one = parse(&row[1]);
+            let fourteen = parse(&row[2]);
+            let same = parse(&row[3]);
+            let diff = parse(&row[4]);
+            // Adding threads to one socket collapses per-lock throughput, and crossing
+            // sockets is slower than staying within one (Table 1's two observations).
+            assert!(fourteen < one, "{row:?}");
+            assert!(diff < same, "{row:?}");
+        }
+    }
+}

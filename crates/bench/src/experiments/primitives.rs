@@ -1,0 +1,78 @@
+//! Figure 10: speedup of the four synchronization primitives over Central, as a
+//! function of the number of instructions between synchronization points.
+
+use crate::{f2, run_many, scaled, Table};
+use syncron_core::MechanismKind;
+use syncron_system::config::NdpConfig;
+use syncron_system::workload::Workload;
+use syncron_workloads::micro::{microbench, SyncPrimitive};
+
+fn paper_config(kind: MechanismKind) -> NdpConfig {
+    NdpConfig::builder().mechanism(kind).build()
+}
+
+/// The instruction intervals swept for each primitive (the x-axes of Figure 10).
+pub fn intervals_for(primitive: SyncPrimitive) -> &'static [u64] {
+    match primitive {
+        SyncPrimitive::Lock => &[50, 100, 200, 400, 1_000, 2_000, 5_000],
+        SyncPrimitive::Barrier => &[20, 50, 100, 200, 500, 1_000, 2_000],
+        SyncPrimitive::Semaphore => &[100, 200, 400, 1_000, 2_000, 5_000, 10_000],
+        SyncPrimitive::CondVar => &[200, 400, 1_000, 2_000, 5_000, 10_000, 50_000],
+    }
+}
+
+/// Runs the Figure 10 sweep for one primitive and returns one row per interval with the
+/// speedup of every scheme over Central.
+pub fn fig10_primitive(primitive: SyncPrimitive) -> Table {
+    let iterations = scaled(24, 4);
+    let schemes = MechanismKind::COMPARED;
+    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
+    for &interval in intervals_for(primitive) {
+        for kind in schemes {
+            jobs.push((paper_config(kind), microbench(primitive, interval, iterations)));
+        }
+    }
+    let reports = run_many(jobs);
+
+    let mut table = Table::new(
+        format!(
+            "Figure 10 ({}): speedup over Central vs instructions between sync points",
+            primitive.name()
+        ),
+        &["interval", "Central", "Hier", "SynCron", "Ideal"],
+    );
+    for (i, &interval) in intervals_for(primitive).iter().enumerate() {
+        let base = i * schemes.len();
+        let central = &reports[base];
+        let mut cells = vec![interval.to_string()];
+        for j in 0..schemes.len() {
+            cells.push(f2(reports[base + j].speedup_over(central)));
+        }
+        table.push_row(cells);
+    }
+    table
+}
+
+/// Runs Figure 10 for all four primitives.
+pub fn fig10_all() -> Vec<Table> {
+    SyncPrimitive::ALL.iter().map(|&p| fig10_primitive(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_sweep_has_expected_shape() {
+        std::env::set_var("SYNCRON_SCALE", "0.25");
+        let t = fig10_primitive(SyncPrimitive::Lock);
+        assert_eq!(t.rows.len(), intervals_for(SyncPrimitive::Lock).len());
+        // At the shortest interval SynCron must beat Central, and Ideal must be the
+        // fastest scheme.
+        let first = &t.rows[0];
+        let syncron: f64 = first[3].parse().unwrap();
+        let ideal: f64 = first[4].parse().unwrap();
+        assert!(syncron > 1.0, "SynCron speedup {syncron}");
+        assert!(ideal >= syncron);
+    }
+}

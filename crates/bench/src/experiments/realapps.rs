@@ -1,0 +1,260 @@
+//! Figures 12–15 and Table 7: the real applications (graph analytics and time series).
+
+use crate::{f2, run_many, scaled, Table};
+use syncron_core::MechanismKind;
+use syncron_system::config::NdpConfig;
+use syncron_system::report::RunReport;
+use syncron_system::workload::Workload;
+use syncron_workloads::graph::{GraphAlgo, GraphApp, GraphInput};
+use syncron_workloads::timeseries::TimeSeries;
+
+/// One application–input combination of the paper's real-application set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppCombo {
+    /// Application name ("bfs" … "tc", or "ts").
+    pub app: &'static str,
+    /// Input name ("wk", "sl", "sx", "co", "air", "pow").
+    pub input: &'static str,
+}
+
+impl AppCombo {
+    /// Label in the paper's `app.input` format.
+    pub fn label(&self) -> String {
+        format!("{}.{}", self.app, self.input)
+    }
+}
+
+/// All 26 application–input combinations of Figure 12 (6 graph apps × 4 graphs + time
+/// series × 2 datasets).
+pub fn all_combos() -> Vec<AppCombo> {
+    let mut combos = Vec::new();
+    for algo in GraphAlgo::ALL {
+        for input in GraphInput::ALL {
+            combos.push(AppCombo {
+                app: algo.name(),
+                input: input.name,
+            });
+        }
+    }
+    combos.push(AppCombo { app: "ts", input: "air" });
+    combos.push(AppCombo { app: "ts", input: "pow" });
+    combos
+}
+
+/// The eight representative combinations used by Figures 13, 14 and 15.
+pub fn highlighted_combos() -> Vec<AppCombo> {
+    [
+        ("bfs", "sl"),
+        ("cc", "sx"),
+        ("sssp", "co"),
+        ("pr", "wk"),
+        ("tf", "sl"),
+        ("tc", "sx"),
+        ("ts", "air"),
+        ("ts", "pow"),
+    ]
+    .iter()
+    .map(|&(app, input)| AppCombo { app, input })
+    .collect()
+}
+
+/// Builds the workload for one combination (time series work is scaled with
+/// `SYNCRON_SCALE` like everything else).
+pub fn build_workload(combo: &AppCombo) -> Box<dyn Workload + Send + Sync> {
+    if combo.app == "ts" {
+        let ts = TimeSeries::by_name(combo.input).expect("known time series");
+        Box::new(ts.with_diagonals_per_core(scaled(6, 2)))
+    } else {
+        let algo = GraphAlgo::by_name(combo.app).expect("known graph algorithm");
+        let input = GraphInput::by_name(combo.input).expect("known graph input");
+        Box::new(GraphApp::new(algo, input))
+    }
+}
+
+/// Paper-default system configuration with the requested scheme and unit count.
+pub fn app_config(kind: MechanismKind, units: usize) -> NdpConfig {
+    NdpConfig::builder().units(units).cores_per_unit(16).mechanism(kind).build()
+}
+
+/// Runs a set of combinations under every compared scheme and returns
+/// `reports[combo][scheme]` in the order of [`MechanismKind::COMPARED`].
+pub fn run_combos(combos: &[AppCombo]) -> Vec<Vec<RunReport>> {
+    let schemes = MechanismKind::COMPARED;
+    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
+    for combo in combos {
+        for kind in schemes {
+            jobs.push((app_config(kind, 4), build_workload(combo)));
+        }
+    }
+    let reports = run_many(jobs);
+    reports
+        .chunks(schemes.len())
+        .map(|chunk| chunk.to_vec())
+        .collect()
+}
+
+/// Figure 12: speedup of every scheme over Central for all 26 combinations.
+pub fn fig12() -> Table {
+    let combos = all_combos();
+    let results = run_combos(&combos);
+    let mut table = Table::new(
+        "Figure 12: real-application speedup over Central",
+        &["app.input", "Central", "Hier", "SynCron", "Ideal"],
+    );
+    let mut geo = [1.0f64; 4];
+    for (combo, reports) in combos.iter().zip(&results) {
+        let central = &reports[0];
+        let mut cells = vec![combo.label()];
+        for (j, report) in reports.iter().enumerate() {
+            let speedup = report.speedup_over(central);
+            geo[j] *= speedup;
+            cells.push(f2(speedup));
+        }
+        table.push_row(cells);
+    }
+    let n = combos.len() as f64;
+    table.push_row(vec![
+        "GEOMEAN".into(),
+        f2(geo[0].powf(1.0 / n)),
+        f2(geo[1].powf(1.0 / n)),
+        f2(geo[2].powf(1.0 / n)),
+        f2(geo[3].powf(1.0 / n)),
+    ]);
+    table
+}
+
+/// Figure 13: scalability of SynCron from 1 to 4 NDP units for the highlighted
+/// combinations (speedup over the 1-unit run).
+pub fn fig13() -> Table {
+    let combos = highlighted_combos();
+    let unit_steps = [1usize, 2, 3, 4];
+    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
+    for combo in &combos {
+        for &units in &unit_steps {
+            jobs.push((app_config(MechanismKind::SynCron, units), build_workload(combo)));
+        }
+    }
+    let reports = run_many(jobs);
+    let mut table = Table::new(
+        "Figure 13: SynCron scalability (speedup over 1 NDP unit)",
+        &["app.input", "1 unit", "2 units", "3 units", "4 units"],
+    );
+    let mut avg = [0.0f64; 4];
+    for (i, combo) in combos.iter().enumerate() {
+        let base = i * unit_steps.len();
+        let one_unit = &reports[base];
+        let mut cells = vec![combo.label()];
+        for j in 0..unit_steps.len() {
+            let speedup = reports[base + j].speedup_over(one_unit);
+            avg[j] += speedup;
+            cells.push(f2(speedup));
+        }
+        table.push_row(cells);
+    }
+    table.push_row(vec![
+        "AVG".into(),
+        f2(avg[0] / combos.len() as f64),
+        f2(avg[1] / combos.len() as f64),
+        f2(avg[2] / combos.len() as f64),
+        f2(avg[3] / combos.len() as f64),
+    ]);
+    table
+}
+
+/// Figure 14: energy breakdown (cache / network / memory) normalized to Central.
+pub fn fig14() -> Table {
+    let combos = highlighted_combos();
+    let results = run_combos(&combos);
+    let mut table = Table::new(
+        "Figure 14: energy normalized to Central (cache/network/memory fractions)",
+        &["app.input", "scheme", "total vs Central", "cache", "network", "memory"],
+    );
+    for (combo, reports) in combos.iter().zip(&results) {
+        let central_energy = reports[0].energy.total_pj();
+        for (j, kind) in MechanismKind::COMPARED.iter().enumerate() {
+            let report = &reports[j];
+            let (c, n, m) = report.energy.breakdown();
+            table.push_row(vec![
+                combo.label(),
+                kind.name().into(),
+                f2(report.energy.total_pj() / central_energy),
+                f2(c),
+                f2(n),
+                f2(m),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure 15: data movement (inside / across NDP units) normalized to Central.
+pub fn fig15() -> Table {
+    let combos = highlighted_combos();
+    let results = run_combos(&combos);
+    let mut table = Table::new(
+        "Figure 15: data movement normalized to Central",
+        &[
+            "app.input",
+            "scheme",
+            "total vs Central",
+            "inside-unit bytes",
+            "across-unit bytes",
+        ],
+    );
+    for (combo, reports) in combos.iter().zip(&results) {
+        let central_bytes = reports[0].traffic.total_bytes() as f64;
+        for (j, kind) in MechanismKind::COMPARED.iter().enumerate() {
+            let report = &reports[j];
+            table.push_row(vec![
+                combo.label(),
+                kind.name().into(),
+                f2(report.traffic.total_bytes() as f64 / central_bytes),
+                report.traffic.intra_unit_bytes.to_string(),
+                report.traffic.inter_unit_bytes.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// Table 7: maximum and average ST occupancy of SynCron for every combination.
+pub fn table07() -> Table {
+    let combos = all_combos();
+    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
+    for combo in &combos {
+        jobs.push((app_config(MechanismKind::SynCron, 4), build_workload(combo)));
+    }
+    let reports = run_many(jobs);
+    let mut table = Table::new(
+        "Table 7: ST occupancy in real applications (percent of 64 entries)",
+        &["app.input", "max %", "avg %"],
+    );
+    for (combo, report) in combos.iter().zip(&reports) {
+        table.push_row(vec![
+            combo.label(),
+            f2(report.sync.st_max_occupancy * 100.0),
+            f2(report.sync.st_avg_occupancy * 100.0),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combo_sets_match_paper_counts() {
+        assert_eq!(all_combos().len(), 26);
+        assert_eq!(highlighted_combos().len(), 8);
+        assert_eq!(all_combos()[0].label(), "bfs.wk");
+    }
+
+    #[test]
+    fn workloads_build_for_every_combo() {
+        for combo in all_combos() {
+            let wl = build_workload(&combo);
+            assert!(!wl.name().is_empty());
+        }
+    }
+}

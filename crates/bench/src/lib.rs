@@ -1,0 +1,188 @@
+//! # syncron-bench
+//!
+//! The evaluation harness of the SynCron (HPCA 2021) reproduction.
+//!
+//! Every table and figure of the paper's evaluation has a corresponding function in
+//! [`experiments`] and a bench target under `benches/` (run with
+//! `cargo bench -p syncron-bench --bench <name>`); the bench target simply runs the
+//! experiment and prints the regenerated table. `EXPERIMENTS.md` at the repository root
+//! records the paper-reported numbers next to the values measured with this harness.
+//!
+//! All experiments respect the `SYNCRON_SCALE` environment variable (default `1.0`):
+//! values below 1 shrink the workloads for quick smoke runs, values above 1 grow them
+//! towards the paper's full sizes at the cost of simulation time.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+use syncron_system::config::NdpConfig;
+use syncron_system::report::RunReport;
+use syncron_system::workload::Workload;
+
+/// A simple text table: the output format of every experiment.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Table title (the paper's table/figure number and caption).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of formatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n=== {} ===\n", self.title));
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8) + 2))
+                .collect::<String>()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().max(8)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Returns the global workload scale factor from `SYNCRON_SCALE` (default 1.0, clamped
+/// to a sane range).
+pub fn scale() -> f64 {
+    std::env::var("SYNCRON_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        .clamp(0.05, 100.0)
+}
+
+/// Scales an integer quantity by [`scale`], keeping at least `min`.
+pub fn scaled(base: u32, min: u32) -> u32 {
+    ((base as f64 * scale()).round() as u32).max(min)
+}
+
+/// Runs one (configuration, workload) pair.
+pub fn run_one(config: &NdpConfig, workload: &(dyn Workload + Sync)) -> RunReport {
+    syncron_system::run_workload(config, workload)
+}
+
+/// Runs many independent simulations in parallel across the host's cores and returns
+/// the reports in input order.
+pub fn run_many(jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)>) -> Vec<RunReport> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    let jobs: Vec<(usize, NdpConfig, Box<dyn Workload + Send + Sync>)> = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (c, w))| (i, c, w))
+        .collect();
+    let queue = std::sync::Mutex::new(jobs);
+    let results = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").pop();
+                let Some((index, config, workload)) = job else {
+                    break;
+                };
+                let report = syncron_system::run_workload(&config, workload.as_ref());
+                results.lock().expect("results lock").push((index, report));
+            });
+        }
+    });
+    let mut collected = results.into_inner().expect("results");
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Formats a floating-point cell with two decimals.
+pub fn f2(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncron_core::MechanismKind;
+    use syncron_workloads::micro::LockMicrobench;
+
+    #[test]
+    fn table_renders_alignment() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.push_row(vec!["a".into(), "1.00".into()]);
+        t.push_row(vec!["longer-name".into(), "2.00".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("longer-name"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn scale_is_sane() {
+        let s = scale();
+        assert!((0.05..=100.0).contains(&s));
+        assert!(scaled(100, 5) >= 5);
+    }
+
+    #[test]
+    fn run_many_preserves_order() {
+        let cfg_a = NdpConfig::builder()
+            .units(1)
+            .cores_per_unit(3)
+            .mechanism(MechanismKind::Ideal)
+            .build();
+        let cfg_b = NdpConfig::builder()
+            .units(2)
+            .cores_per_unit(3)
+            .mechanism(MechanismKind::Ideal)
+            .build();
+        let jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = vec![
+            (cfg_a, Box::new(LockMicrobench::new(100, 3))),
+            (cfg_b, Box::new(LockMicrobench::new(100, 3))),
+        ];
+        let reports = run_many(jobs);
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].total_ops < reports[1].total_ops);
+    }
+}

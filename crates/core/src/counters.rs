@@ -1,0 +1,185 @@
+//! Indexing counters for ST overflow tracking.
+//!
+//! Section 4.2.3 of the paper: when the ST is full, the SE keeps track of which
+//! synchronization variables are currently serviced via main memory using a small set
+//! of counters (256 in the paper's implementation), indexed by the least-significant
+//! bits of the variable's address. Acquire-type messages for an overflowed variable
+//! increment the counter; release-type messages decrement it. A variable is serviced
+//! via memory while its counter is non-zero. Different variables may alias onto the
+//! same counter; aliasing never affects correctness, only performance (an aliased
+//! variable may be serviced via memory even though the ST has room).
+
+use syncron_sim::Addr;
+
+/// The per-SE indexing counter file.
+///
+/// # Example
+///
+/// ```
+/// use syncron_core::counters::IndexingCounters;
+/// use syncron_sim::Addr;
+///
+/// let mut ctrs = IndexingCounters::new(256);
+/// assert!(!ctrs.is_overflowed(Addr(0x1240)));
+/// ctrs.increment(Addr(0x1240));
+/// assert!(ctrs.is_overflowed(Addr(0x1240)));
+/// ctrs.decrement(Addr(0x1240));
+/// assert!(!ctrs.is_overflowed(Addr(0x1240)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct IndexingCounters {
+    counters: Vec<u32>,
+    index_bits: u32,
+    increments: u64,
+    saturations: u64,
+}
+
+impl IndexingCounters {
+    /// Creates a counter file with `entries` counters. `entries` is rounded up to the
+    /// next power of two (the paper uses 256, indexed by the 8 LSBs of the address).
+    pub fn new(entries: usize) -> Self {
+        let entries = entries.max(1).next_power_of_two();
+        IndexingCounters {
+            counters: vec![0; entries],
+            index_bits: entries.trailing_zeros(),
+            increments: 0,
+            saturations: 0,
+        }
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Returns `true` if the counter file is empty (it never is after construction).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    fn index(&self, addr: Addr) -> usize {
+        // Index by the LSBs of the *line* address so variables in different cache
+        // lines spread across counters (the paper indexes by the address LSBs).
+        (addr.line_index() & ((1 << self.index_bits) - 1) as u64) as usize
+    }
+
+    /// Increments the counter for `addr` (acquire-type message for an overflowed
+    /// variable).
+    pub fn increment(&mut self, addr: Addr) {
+        let idx = self.index(addr);
+        if self.counters[idx] == u32::MAX {
+            self.saturations += 1;
+        } else {
+            self.counters[idx] += 1;
+        }
+        self.increments += 1;
+    }
+
+    /// Decrements the counter for `addr` (release-type message for an overflowed
+    /// variable). Saturates at zero.
+    pub fn decrement(&mut self, addr: Addr) {
+        let idx = self.index(addr);
+        if self.counters[idx] > 0 {
+            self.counters[idx] -= 1;
+        }
+    }
+
+    /// Returns `true` if the variable at `addr` is currently serviced via main memory
+    /// (its counter — possibly shared with aliasing variables — is non-zero).
+    pub fn is_overflowed(&self, addr: Addr) -> bool {
+        self.counters[self.index(addr)] > 0
+    }
+
+    /// Current value of the counter for `addr`.
+    pub fn value(&self, addr: Addr) -> u32 {
+        self.counters[self.index(addr)]
+    }
+
+    /// Total number of increments performed (≈ overflowed acquire-type messages).
+    pub fn increments(&self) -> u64 {
+        self.increments
+    }
+
+    /// Number of counters that are currently non-zero.
+    pub fn active(&self) -> usize {
+        self.counters.iter().filter(|&&c| c > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_is_256_entries() {
+        let ctrs = IndexingCounters::new(256);
+        assert_eq!(ctrs.len(), 256);
+        assert!(!ctrs.is_empty());
+    }
+
+    #[test]
+    fn rounds_up_to_power_of_two() {
+        assert_eq!(IndexingCounters::new(200).len(), 256);
+        assert_eq!(IndexingCounters::new(1).len(), 1);
+    }
+
+    #[test]
+    fn increment_decrement_cycle() {
+        let mut ctrs = IndexingCounters::new(256);
+        let a = Addr(0x4040);
+        ctrs.increment(a);
+        ctrs.increment(a);
+        assert_eq!(ctrs.value(a), 2);
+        assert!(ctrs.is_overflowed(a));
+        ctrs.decrement(a);
+        assert!(ctrs.is_overflowed(a));
+        ctrs.decrement(a);
+        assert!(!ctrs.is_overflowed(a));
+        // Extra decrements saturate at zero.
+        ctrs.decrement(a);
+        assert_eq!(ctrs.value(a), 0);
+        assert_eq!(ctrs.increments(), 2);
+    }
+
+    #[test]
+    fn aliasing_shares_a_counter() {
+        let mut ctrs = IndexingCounters::new(256);
+        // Two variables whose line indices differ by exactly 256 alias.
+        let a = Addr(0);
+        let b = Addr(256 * 64);
+        ctrs.increment(a);
+        assert!(ctrs.is_overflowed(b), "aliased variable shares the counter");
+        assert_eq!(ctrs.active(), 1);
+    }
+
+    #[test]
+    fn distinct_lines_use_distinct_counters() {
+        let mut ctrs = IndexingCounters::new(256);
+        ctrs.increment(Addr(0));
+        ctrs.increment(Addr(64));
+        assert_eq!(ctrs.active(), 2);
+        assert!(!ctrs.is_overflowed(Addr(128)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// A counter's value equals max(0, increments - decrements) applied in order,
+        /// for any interleaving on a single address.
+        #[test]
+        fn counter_tracks_balance(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+            let mut ctrs = IndexingCounters::new(64);
+            let addr = Addr(0x80);
+            let mut model: i64 = 0;
+            for inc in ops {
+                if inc { ctrs.increment(addr); model += 1; } else { ctrs.decrement(addr); model = (model - 1).max(0); }
+                prop_assert_eq!(ctrs.value(addr) as i64, model);
+                prop_assert_eq!(ctrs.is_overflowed(addr), model > 0);
+            }
+        }
+    }
+}

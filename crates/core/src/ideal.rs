@@ -1,0 +1,373 @@
+//! The *Ideal* baseline: synchronization with zero performance overhead.
+//!
+//! Section 5 of the paper compares every scheme against "an ideal scheme with zero
+//! performance overhead for synchronization". Semantics are still enforced — a lock
+//! still admits only one holder and a barrier still waits for every participant — but
+//! requests travel instantaneously, consume no energy and generate no traffic. The gap
+//! between a real scheme and Ideal is exactly the synchronization overhead.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::mechanism::{SyncContext, SyncMechanism, SyncMechanismStats};
+use crate::request::SyncRequest;
+use syncron_sim::time::Time;
+use syncron_sim::{Addr, GlobalCoreId};
+
+#[derive(Debug, Default)]
+struct LockState {
+    held: bool,
+    waiters: VecDeque<GlobalCoreId>,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    arrived: u32,
+    waiters: Vec<GlobalCoreId>,
+}
+
+#[derive(Debug, Default)]
+struct SemState {
+    initialized: bool,
+    count: i64,
+    waiters: VecDeque<GlobalCoreId>,
+}
+
+#[derive(Debug, Default)]
+struct CondState {
+    waiters: VecDeque<(GlobalCoreId, Addr)>,
+}
+
+/// Zero-overhead synchronization mechanism.
+#[derive(Debug, Default)]
+pub struct IdealMechanism {
+    locks: HashMap<Addr, LockState>,
+    barriers: HashMap<Addr, BarrierState>,
+    semaphores: HashMap<Addr, SemState>,
+    condvars: HashMap<Addr, CondState>,
+    stats: SyncMechanismStats,
+}
+
+impl IdealMechanism {
+    /// Creates an idle mechanism.
+    pub fn new() -> Self {
+        IdealMechanism::default()
+    }
+
+    fn grant_lock(&mut self, ctx: &mut dyn SyncContext, var: Addr, core: GlobalCoreId) {
+        let lock = self.locks.entry(var).or_default();
+        debug_assert!(!lock.held);
+        lock.held = true;
+        self.stats.completions += 1;
+        ctx.complete(core, ctx.now());
+    }
+
+    fn acquire_lock(&mut self, ctx: &mut dyn SyncContext, var: Addr, core: GlobalCoreId) {
+        let held = {
+            let lock = self.locks.entry(var).or_default();
+            if lock.held {
+                lock.waiters.push_back(core);
+            }
+            lock.held
+        };
+        if !held {
+            self.grant_lock(ctx, var, core);
+        }
+    }
+
+    fn release_lock(&mut self, ctx: &mut dyn SyncContext, var: Addr) {
+        let lock = self.locks.entry(var).or_default();
+        lock.held = false;
+        if let Some(next) = lock.waiters.pop_front() {
+            self.grant_lock(ctx, var, next);
+        }
+    }
+}
+
+impl SyncMechanism for IdealMechanism {
+    fn name(&self) -> &'static str {
+        "Ideal"
+    }
+
+    fn request(&mut self, ctx: &mut dyn SyncContext, core: GlobalCoreId, req: SyncRequest) {
+        self.stats.requests += 1;
+        if req.is_acquire_type() {
+            self.stats.acquire_requests += 1;
+        }
+        match req {
+            SyncRequest::LockAcquire { var } => self.acquire_lock(ctx, var, core),
+            SyncRequest::LockRelease { var } => self.release_lock(ctx, var),
+            SyncRequest::BarrierWait {
+                var, participants, ..
+            } => {
+                let bar = self.barriers.entry(var).or_default();
+                bar.arrived += 1;
+                bar.waiters.push(core);
+                if bar.arrived >= participants {
+                    let waiters = std::mem::take(&mut bar.waiters);
+                    bar.arrived = 0;
+                    for w in waiters {
+                        self.stats.completions += 1;
+                        ctx.complete(w, ctx.now());
+                    }
+                }
+            }
+            SyncRequest::SemWait { var, initial } => {
+                let sem = self.semaphores.entry(var).or_default();
+                if !sem.initialized {
+                    sem.initialized = true;
+                    sem.count = i64::from(initial);
+                }
+                if sem.count > 0 {
+                    sem.count -= 1;
+                    self.stats.completions += 1;
+                    ctx.complete(core, ctx.now());
+                } else {
+                    sem.waiters.push_back(core);
+                }
+            }
+            SyncRequest::SemPost { var } => {
+                let sem = self.semaphores.entry(var).or_default();
+                if let Some(next) = sem.waiters.pop_front() {
+                    self.stats.completions += 1;
+                    ctx.complete(next, ctx.now());
+                } else {
+                    sem.count += 1;
+                }
+            }
+            SyncRequest::CondWait { var, lock } => {
+                self.condvars
+                    .entry(var)
+                    .or_default()
+                    .waiters
+                    .push_back((core, lock));
+                self.release_lock(ctx, lock);
+            }
+            SyncRequest::CondSignal { var } => {
+                let waiter = self.condvars.entry(var).or_default().waiters.pop_front();
+                if let Some((w, lock)) = waiter {
+                    // The woken core re-acquires the associated lock; its cond_wait
+                    // completes when the lock is granted.
+                    self.acquire_lock(ctx, lock, w);
+                }
+            }
+            SyncRequest::CondBroadcast { var } => {
+                let waiters = std::mem::take(&mut self.condvars.entry(var).or_default().waiters);
+                for (w, lock) in waiters {
+                    self.acquire_lock(ctx, lock, w);
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, _ctx: &mut dyn SyncContext, _token: u64) {
+        // The ideal mechanism never schedules events.
+    }
+
+    fn stats(&self, _end: Time) -> SyncMechanismStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::BarrierScope;
+    use syncron_sim::{CoreId, UnitId};
+
+    /// A minimal context for unit-testing mechanisms in isolation.
+    #[derive(Debug, Default)]
+    pub(crate) struct TestCtx {
+        pub now: Time,
+        pub completed: Vec<(GlobalCoreId, Time)>,
+        pub scheduled: Vec<(Time, u64)>,
+    }
+
+    impl SyncContext for TestCtx {
+        fn now(&self) -> Time {
+            self.now
+        }
+        fn schedule(&mut self, at: Time, token: u64) {
+            self.scheduled.push((at, token));
+        }
+        fn local_hop(&mut self, _unit: UnitId, _bytes: u64) -> Time {
+            Time::from_ns(2)
+        }
+        fn remote_hop(&mut self, _from: UnitId, _to: UnitId, _bytes: u64) -> Time {
+            Time::from_ns(40)
+        }
+        fn sync_mem_access(&mut self, _unit: UnitId, _addr: Addr, _write: bool, _cached: bool) -> Time {
+            Time::from_ns(20)
+        }
+        fn home_unit(&self, addr: Addr) -> UnitId {
+            UnitId(((addr.value() >> 20) % 4) as u8)
+        }
+        fn complete(&mut self, core: GlobalCoreId, at: Time) {
+            self.completed.push((core, at));
+        }
+        fn units(&self) -> usize {
+            4
+        }
+        fn cores_per_unit(&self) -> usize {
+            16
+        }
+    }
+
+    fn core(u: u8, c: u8) -> GlobalCoreId {
+        GlobalCoreId::new(UnitId(u), CoreId(c))
+    }
+
+    #[test]
+    fn lock_is_mutually_exclusive_and_fifo() {
+        let mut m = IdealMechanism::new();
+        let mut ctx = TestCtx::default();
+        let var = Addr(0x40);
+        m.request(&mut ctx, core(0, 0), SyncRequest::LockAcquire { var });
+        m.request(&mut ctx, core(0, 1), SyncRequest::LockAcquire { var });
+        m.request(&mut ctx, core(1, 0), SyncRequest::LockAcquire { var });
+        assert_eq!(ctx.completed.len(), 1);
+        assert_eq!(ctx.completed[0].0, core(0, 0));
+        m.request(&mut ctx, core(0, 0), SyncRequest::LockRelease { var });
+        assert_eq!(ctx.completed.len(), 2);
+        assert_eq!(ctx.completed[1].0, core(0, 1));
+        m.request(&mut ctx, core(0, 1), SyncRequest::LockRelease { var });
+        m.request(&mut ctx, core(1, 0), SyncRequest::LockRelease { var });
+        assert_eq!(ctx.completed.len(), 3);
+        assert_eq!(ctx.completed[2].0, core(1, 0));
+    }
+
+    #[test]
+    fn lock_completion_has_zero_latency() {
+        let mut m = IdealMechanism::new();
+        let mut ctx = TestCtx {
+            now: Time::from_us(3),
+            ..Default::default()
+        };
+        m.request(&mut ctx, core(0, 0), SyncRequest::LockAcquire { var: Addr(0x80) });
+        assert_eq!(ctx.completed[0].1, Time::from_us(3));
+    }
+
+    #[test]
+    fn barrier_releases_all_at_once() {
+        let mut m = IdealMechanism::new();
+        let mut ctx = TestCtx::default();
+        let var = Addr(0x100);
+        for i in 0..7 {
+            m.request(
+                &mut ctx,
+                core(i / 4, i % 4),
+                SyncRequest::BarrierWait {
+                    var,
+                    participants: 8,
+                    scope: BarrierScope::AcrossUnits,
+                },
+            );
+            assert!(ctx.completed.is_empty());
+        }
+        m.request(
+            &mut ctx,
+            core(1, 3),
+            SyncRequest::BarrierWait {
+                var,
+                participants: 8,
+                scope: BarrierScope::AcrossUnits,
+            },
+        );
+        assert_eq!(ctx.completed.len(), 8);
+    }
+
+    #[test]
+    fn barrier_is_reusable_after_release() {
+        let mut m = IdealMechanism::new();
+        let mut ctx = TestCtx::default();
+        let var = Addr(0x100);
+        for round in 0..3 {
+            for i in 0..4 {
+                m.request(
+                    &mut ctx,
+                    core(0, i),
+                    SyncRequest::BarrierWait {
+                        var,
+                        participants: 4,
+                        scope: BarrierScope::WithinUnit,
+                    },
+                );
+            }
+            assert_eq!(ctx.completed.len(), 4 * (round + 1));
+        }
+    }
+
+    #[test]
+    fn semaphore_counts_resources() {
+        let mut m = IdealMechanism::new();
+        let mut ctx = TestCtx::default();
+        let var = Addr(0x200);
+        // Two resources: first two waits succeed, third blocks until a post.
+        m.request(&mut ctx, core(0, 0), SyncRequest::SemWait { var, initial: 2 });
+        m.request(&mut ctx, core(0, 1), SyncRequest::SemWait { var, initial: 2 });
+        m.request(&mut ctx, core(0, 2), SyncRequest::SemWait { var, initial: 2 });
+        assert_eq!(ctx.completed.len(), 2);
+        m.request(&mut ctx, core(0, 0), SyncRequest::SemPost { var });
+        assert_eq!(ctx.completed.len(), 3);
+        assert_eq!(ctx.completed[2].0, core(0, 2));
+    }
+
+    #[test]
+    fn condvar_signal_wakes_one_and_reacquires_lock() {
+        let mut m = IdealMechanism::new();
+        let mut ctx = TestCtx::default();
+        let cond = Addr(0x300);
+        let lock = Addr(0x340);
+        // Core 0 takes the lock then waits on the condition variable.
+        m.request(&mut ctx, core(0, 0), SyncRequest::LockAcquire { var: lock });
+        assert_eq!(ctx.completed.len(), 1);
+        m.request(&mut ctx, core(0, 0), SyncRequest::CondWait { var: cond, lock });
+        // cond_wait released the lock, so another core can take it.
+        m.request(&mut ctx, core(0, 1), SyncRequest::LockAcquire { var: lock });
+        assert_eq!(ctx.completed.len(), 2);
+        // Signal: core 0 must wait for the lock (held by core 1).
+        m.request(&mut ctx, core(0, 1), SyncRequest::CondSignal { var: cond });
+        assert_eq!(ctx.completed.len(), 2);
+        m.request(&mut ctx, core(0, 1), SyncRequest::LockRelease { var: lock });
+        // Now core 0's cond_wait completes (it re-acquired the lock).
+        assert_eq!(ctx.completed.len(), 3);
+        assert_eq!(ctx.completed[2].0, core(0, 0));
+    }
+
+    #[test]
+    fn condvar_broadcast_wakes_all() {
+        let mut m = IdealMechanism::new();
+        let mut ctx = TestCtx::default();
+        let cond = Addr(0x400);
+        let lock = Addr(0x440);
+        for i in 0..3 {
+            m.request(&mut ctx, core(0, i), SyncRequest::LockAcquire { var: lock });
+            m.request(&mut ctx, core(0, i), SyncRequest::CondWait { var: cond, lock });
+        }
+        assert_eq!(ctx.completed.len(), 3); // the three lock acquisitions
+        m.request(&mut ctx, core(1, 0), SyncRequest::CondBroadcast { var: cond });
+        // All three waiters re-acquire the lock one after another as it is released.
+        assert_eq!(ctx.completed.len(), 4);
+        let fourth = ctx.completed[3].0;
+        m.request(&mut ctx, fourth, SyncRequest::LockRelease { var: lock });
+        assert_eq!(ctx.completed.len(), 5);
+        let fifth = ctx.completed[4].0;
+        m.request(&mut ctx, fifth, SyncRequest::LockRelease { var: lock });
+        assert_eq!(ctx.completed.len(), 6);
+    }
+
+    #[test]
+    fn stats_count_requests_and_completions() {
+        let mut m = IdealMechanism::new();
+        let mut ctx = TestCtx::default();
+        let var = Addr(0x40);
+        m.request(&mut ctx, core(0, 0), SyncRequest::LockAcquire { var });
+        m.request(&mut ctx, core(0, 0), SyncRequest::LockRelease { var });
+        let s = m.stats(Time::from_ns(10));
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.completions, 1);
+        assert_eq!(s.acquire_requests, 1);
+        assert_eq!(s.local_messages, 0);
+        assert_eq!(s.global_messages, 0);
+        assert_eq!(s.mem_accesses, 0);
+    }
+}

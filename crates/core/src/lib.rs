@@ -1,0 +1,53 @@
+//! # syncron-core
+//!
+//! The SynCron synchronization mechanism (HPCA 2021) and the baseline mechanisms it is
+//! evaluated against.
+//!
+//! SynCron adds one **Synchronization Engine (SE)** to the compute die of each NDP
+//! unit. NDP cores issue synchronization requests (locks, barriers, semaphores,
+//! condition variables — Table 2 of the paper) to their *local* SE with hardware
+//! messages; SEs coordinate among themselves hierarchically, with the **Master SE**
+//! (the SE of the unit that owns the variable's address) arbitrating globally.
+//! Synchronization variables are buffered directly in a 64-entry **Synchronization
+//! Table (ST)** inside each SE, so no memory accesses are needed on the fast path;
+//! when the ST overflows, a hardware-only scheme falls back to an in-memory
+//! `syncronVar` structure tracked by per-SE indexing counters.
+//!
+//! This crate implements:
+//!
+//! * [`message`] — the message encoding and the full opcode set of Table 3;
+//! * [`request`] — the core-facing request API (the semantics of Table 2's
+//!   programming interface) and its `req_sync` / `req_async` classification;
+//! * [`table`] — the Synchronization Table and its waiting-list bit queues;
+//! * [`counters`] — the indexing counters used during ST overflow;
+//! * [`syncvar`] — the in-memory `syncronVar` structure of Section 4.3.1;
+//! * [`mechanism`] — the [`SyncMechanism`](mechanism::SyncMechanism) /
+//!   [`SyncContext`](mechanism::SyncContext) interface the NDP system drives, and the
+//!   [`MechanismKind`] selector;
+//! * [`ideal`] — the zero-overhead *Ideal* baseline;
+//! * [`protocol`] — the message-passing protocol engine that implements **SynCron**
+//!   (hierarchical or flat, with integrated or MiSAR-style overflow management) as
+//!   well as the *Central* and *Hier* server-core baselines of Section 5;
+//! * [`hw_cost`] — the area/power model behind Table 8.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod counters;
+pub mod hw_cost;
+pub mod ideal;
+pub mod mechanism;
+pub mod message;
+pub mod protocol;
+pub mod request;
+pub mod syncvar;
+pub mod table;
+
+pub use mechanism::{
+    build_mechanism, MechanismKind, SyncContext, SyncMechanism, SyncMechanismStats,
+};
+pub use message::{MessageScope, SyncMessage, SyncOpcode};
+pub use protocol::{OverflowMode, ProtocolConfig, ProtocolMechanism};
+pub use request::{BarrierScope, PrimitiveKind, SyncRequest};
+pub use table::{StEntry, SynchronizationTable};

@@ -1,0 +1,304 @@
+//! The interface between synchronization mechanisms and the simulated NDP system.
+//!
+//! A [`SyncMechanism`] models "everything that happens after an NDP core issues a
+//! `req_sync`/`req_async` instruction": message travel, Synchronization Engine (or
+//! server core) processing, global coordination, and finally the response that unblocks
+//! the core. The mechanism does not own the clock, the network, or the memory — it
+//! asks for those through the [`SyncContext`] the system provides, which also lets the
+//! system account traffic and energy uniformly across mechanisms.
+//!
+//! The paper's comparison points (Section 5) map onto [`MechanismKind`]:
+//! `Central` (one server core for the whole system, as in Tesseract), `Hier` (one
+//! server core per NDP unit, as in Gao et al.), `SynCron` (this paper), `SynCronFlat`
+//! (the flat variant ablated in Section 6.7.1) and `Ideal` (zero-overhead
+//! synchronization).
+
+use crate::protocol::{OverflowMode, ProtocolConfig, ProtocolMechanism};
+use crate::request::SyncRequest;
+use syncron_sim::time::Time;
+use syncron_sim::{Addr, GlobalCoreId, UnitId};
+
+/// Which synchronization mechanism to instantiate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum MechanismKind {
+    /// Zero-overhead synchronization (upper bound used throughout the evaluation).
+    Ideal,
+    /// One NDP core of the whole system acts as synchronization server
+    /// (message-passing scheme extending the Tesseract barrier).
+    Central,
+    /// One NDP core per NDP unit acts as synchronization server (hierarchical
+    /// message-passing similar to Gao et al.).
+    Hier,
+    /// SynCron: one Synchronization Engine per NDP unit, hierarchical protocol,
+    /// direct ST buffering, integrated overflow management.
+    #[default]
+    SynCron,
+    /// SynCron's flat variant: cores send every request directly to the Master SE
+    /// (Section 6.7.1 ablation).
+    SynCronFlat,
+}
+
+impl MechanismKind {
+    /// All mechanisms, in the order the paper's figures present them.
+    pub const ALL: [MechanismKind; 5] = [
+        MechanismKind::Central,
+        MechanismKind::Hier,
+        MechanismKind::SynCron,
+        MechanismKind::SynCronFlat,
+        MechanismKind::Ideal,
+    ];
+
+    /// The four schemes compared in the paper's main figures (Central, Hier, SynCron,
+    /// Ideal).
+    pub const COMPARED: [MechanismKind; 4] = [
+        MechanismKind::Central,
+        MechanismKind::Hier,
+        MechanismKind::SynCron,
+        MechanismKind::Ideal,
+    ];
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MechanismKind::Ideal => "Ideal",
+            MechanismKind::Central => "Central",
+            MechanismKind::Hier => "Hier",
+            MechanismKind::SynCron => "SynCron",
+            MechanismKind::SynCronFlat => "SynCron-flat",
+        }
+    }
+}
+
+impl std::fmt::Display for MechanismKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Services the simulated system offers to a synchronization mechanism.
+///
+/// All latency-producing activities (network hops, memory accesses) are requested
+/// through this trait so that traffic, energy and data-movement accounting stays in
+/// one place (the system crate) and is identical across mechanisms.
+pub trait SyncContext {
+    /// Current simulation time.
+    fn now(&self) -> Time;
+
+    /// Schedules `token` to be delivered back to the mechanism (via
+    /// [`SyncMechanism::deliver`]) at absolute time `at`.
+    fn schedule(&mut self, at: Time, token: u64);
+
+    /// Models one message hop inside `unit` (core ↔ SE / server). Returns its latency
+    /// and accounts traffic/energy.
+    fn local_hop(&mut self, unit: UnitId, bytes: u64) -> Time;
+
+    /// Models one message between the engines/servers of two different units.
+    /// Returns its latency and accounts traffic/energy.
+    fn remote_hop(&mut self, from: UnitId, to: UnitId, bytes: u64) -> Time;
+
+    /// Models a memory access performed on behalf of synchronization by the
+    /// engine/server of `unit` to the synchronization variable at `addr` (which is
+    /// homed in that unit). `cached` selects whether the access may be served from the
+    /// server core's private cache (Central/Hier servers) or must reach DRAM
+    /// (SynCron's ST-overflow path). Returns its latency.
+    fn sync_mem_access(&mut self, unit: UnitId, addr: Addr, write: bool, cached: bool) -> Time;
+
+    /// The NDP unit that owns (is the home of) address `addr`; its engine is the
+    /// Master SE for variables at that address.
+    fn home_unit(&self, addr: Addr) -> UnitId;
+
+    /// Completes a blocking request previously issued by `core`; the core resumes
+    /// execution at time `at`.
+    fn complete(&mut self, core: GlobalCoreId, at: Time);
+
+    /// Number of NDP units in the system.
+    fn units(&self) -> usize;
+
+    /// Number of NDP cores per unit.
+    fn cores_per_unit(&self) -> usize;
+}
+
+/// Aggregate statistics a mechanism exposes for the evaluation reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SyncMechanismStats {
+    /// Synchronization requests issued by cores.
+    pub requests: u64,
+    /// Blocking requests completed.
+    pub completions: u64,
+    /// Messages exchanged between cores and their local engine/server.
+    pub local_messages: u64,
+    /// Messages exchanged between engines/servers of different units.
+    pub global_messages: u64,
+    /// Messages belonging to the overflow protocol.
+    pub overflow_messages: u64,
+    /// Memory accesses performed on behalf of synchronization.
+    pub mem_accesses: u64,
+    /// Acquire-type requests that were serviced via main memory because of ST overflow.
+    pub overflowed_requests: u64,
+    /// Acquire-type requests in total (denominator for the overflow fraction).
+    pub acquire_requests: u64,
+    /// Time-weighted average ST occupancy across engines, as a fraction of capacity.
+    pub st_avg_occupancy: f64,
+    /// Maximum ST occupancy observed on any engine, as a fraction of capacity.
+    pub st_max_occupancy: f64,
+}
+
+impl SyncMechanismStats {
+    /// Fraction of acquire-type requests that overflowed, in `[0, 1]`.
+    pub fn overflow_fraction(&self) -> f64 {
+        if self.acquire_requests == 0 {
+            0.0
+        } else {
+            self.overflowed_requests as f64 / self.acquire_requests as f64
+        }
+    }
+}
+
+/// A synchronization mechanism driven by the simulated NDP system.
+pub trait SyncMechanism {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// An NDP core issues a synchronization request at `ctx.now()`.
+    ///
+    /// For blocking requests (see [`SyncRequest::is_blocking`]) the mechanism must
+    /// eventually call [`SyncContext::complete`] for `core`. Non-blocking requests
+    /// return immediately on the core side; the mechanism still models their effect.
+    fn request(&mut self, ctx: &mut dyn SyncContext, core: GlobalCoreId, req: SyncRequest);
+
+    /// Delivers a token previously scheduled through [`SyncContext::schedule`].
+    fn deliver(&mut self, ctx: &mut dyn SyncContext, token: u64);
+
+    /// Statistics accumulated up to `end` (the end of the simulation).
+    fn stats(&self, end: Time) -> SyncMechanismStats;
+}
+
+/// Tunable parameters for [`build_mechanism`].
+#[derive(Clone, Copy, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MechanismParams {
+    /// Which mechanism to build.
+    pub kind: MechanismKind,
+    /// Synchronization Table entries per SE (paper default: 64).
+    pub st_entries: usize,
+    /// Indexing counters per SE (paper default: 256).
+    pub indexing_counters: usize,
+    /// Overflow-management scheme (paper default: the integrated hardware scheme).
+    pub overflow_mode: OverflowMode,
+    /// Optional lock-fairness threshold: maximum consecutive local grants before the
+    /// lock is handed to another NDP unit (Section 4.4.2 extension).
+    pub fairness_threshold: Option<u32>,
+}
+
+impl MechanismParams {
+    /// Default parameters for a given mechanism kind.
+    pub fn new(kind: MechanismKind) -> Self {
+        MechanismParams {
+            kind,
+            st_entries: 64,
+            indexing_counters: 256,
+            overflow_mode: OverflowMode::Integrated,
+            fairness_threshold: None,
+        }
+    }
+
+    /// Sets the number of ST entries (Figure 22 / 23 sweeps).
+    pub fn with_st_entries(mut self, entries: usize) -> Self {
+        self.st_entries = entries;
+        self
+    }
+
+    /// Sets the overflow-management scheme (Figure 23 comparison).
+    pub fn with_overflow_mode(mut self, mode: OverflowMode) -> Self {
+        self.overflow_mode = mode;
+        self
+    }
+
+    /// Sets the lock-fairness threshold (Section 4.4.2 extension).
+    pub fn with_fairness_threshold(mut self, threshold: u32) -> Self {
+        self.fairness_threshold = Some(threshold);
+        self
+    }
+}
+
+impl Default for MechanismParams {
+    fn default() -> Self {
+        MechanismParams::new(MechanismKind::SynCron)
+    }
+}
+
+/// Builds a synchronization mechanism for a system of `units × cores_per_unit` cores.
+pub fn build_mechanism(
+    params: &MechanismParams,
+    units: usize,
+    cores_per_unit: usize,
+) -> Box<dyn SyncMechanism> {
+    match params.kind {
+        MechanismKind::Ideal => Box::new(crate::ideal::IdealMechanism::new()),
+        kind => {
+            let config = ProtocolConfig::for_kind(kind, units, cores_per_unit)
+                .with_st_entries(params.st_entries)
+                .with_indexing_counters(params.indexing_counters)
+                .with_overflow_mode(params.overflow_mode)
+                .with_fairness_threshold(params.fairness_threshold);
+            Box::new(ProtocolMechanism::new(config))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_unique() {
+        let mut names: Vec<&str> = MechanismKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), MechanismKind::ALL.len());
+        assert_eq!(MechanismKind::SynCron.to_string(), "SynCron");
+    }
+
+    #[test]
+    fn compared_set_matches_paper_figures() {
+        assert_eq!(MechanismKind::COMPARED.len(), 4);
+        assert!(MechanismKind::COMPARED.contains(&MechanismKind::Ideal));
+        assert!(!MechanismKind::COMPARED.contains(&MechanismKind::SynCronFlat));
+    }
+
+    #[test]
+    fn params_builder() {
+        let p = MechanismParams::new(MechanismKind::SynCron)
+            .with_st_entries(16)
+            .with_overflow_mode(OverflowMode::MiSarCentral)
+            .with_fairness_threshold(8);
+        assert_eq!(p.st_entries, 16);
+        assert_eq!(p.overflow_mode, OverflowMode::MiSarCentral);
+        assert_eq!(p.fairness_threshold, Some(8));
+        assert_eq!(MechanismParams::default().kind, MechanismKind::SynCron);
+        assert_eq!(MechanismParams::default().st_entries, 64);
+        assert_eq!(MechanismParams::default().indexing_counters, 256);
+    }
+
+    #[test]
+    fn overflow_fraction_handles_zero() {
+        let s = SyncMechanismStats::default();
+        assert_eq!(s.overflow_fraction(), 0.0);
+        let s = SyncMechanismStats {
+            acquire_requests: 10,
+            overflowed_requests: 3,
+            ..Default::default()
+        };
+        assert!((s.overflow_fraction() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn build_every_kind() {
+        for kind in MechanismKind::ALL {
+            let m = build_mechanism(&MechanismParams::new(kind), 4, 16);
+            assert!(!m.name().is_empty());
+        }
+    }
+}

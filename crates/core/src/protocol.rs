@@ -1,0 +1,1594 @@
+//! The message-passing synchronization protocol engine.
+//!
+//! This module implements the mechanism the paper proposes — **SynCron** — and the two
+//! message-passing baselines it is compared against (Section 5):
+//!
+//! * **SynCron** ([`MechanismKind::SynCron`]): one Synchronization Engine (SE) per NDP
+//!   unit. Cores send requests to their *local* SE; SEs coordinate globally with the
+//!   **Master SE** of each variable (the SE of the variable's home unit). Variables are
+//!   buffered directly in the SE's Synchronization Table; when an ST overflows, the
+//!   integrated hardware scheme falls back to the in-memory `syncronVar` structure,
+//!   tracked by indexing counters (Section 4.3).
+//! * **SynCron-flat** ([`MechanismKind::SynCronFlat`]): the ablation of Section 6.7.1 —
+//!   every core sends its requests directly to the Master SE of the variable.
+//! * **Hier** ([`MechanismKind::Hier`]): same hierarchical organization, but each unit's
+//!   server is an NDP core that keeps synchronization state in memory, accessed through
+//!   its cache hierarchy (similar to the tree-barrier of Gao et al.).
+//! * **Central** ([`MechanismKind::Central`]): a single NDP core of the whole system
+//!   serves every synchronization request (similar to the Tesseract barrier).
+//!
+//! The protocol engine is one struct with three orthogonal knobs — topology
+//! (hierarchical / flat), backend (SE with ST / server core with memory) and overflow
+//! mode (integrated / MiSAR-style) — which is exactly the design space the paper's
+//! ablations explore (Sections 6.7.1 and 6.7.3).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::counters::IndexingCounters;
+use crate::mechanism::{MechanismKind, SyncContext, SyncMechanism, SyncMechanismStats};
+use crate::message::{MessageScope, SyncMessage};
+use crate::request::{BarrierScope, PrimitiveKind, SyncRequest};
+use crate::table::SynchronizationTable;
+use syncron_sim::queueing::Serializer;
+use syncron_sim::time::{Freq, Time};
+use syncron_sim::{Addr, GlobalCoreId, UnitId};
+
+/// How ST overflow is handled (Section 6.7.3 comparison).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum OverflowMode {
+    /// SynCron's integrated hardware-only scheme: the Master SE falls back to the
+    /// in-memory `syncronVar`, local SEs redirect requests with overflow opcodes.
+    #[default]
+    Integrated,
+    /// MiSAR-style overflow where the cores are aborted and synchronization falls back
+    /// to one dedicated NDP core for the entire system (`SynCron_CentralOvrfl`).
+    MiSarCentral,
+    /// MiSAR-style overflow where one NDP core per unit handles the variables homed in
+    /// that unit (`SynCron_DistribOvrfl`).
+    MiSarDistributed,
+}
+
+impl OverflowMode {
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OverflowMode::Integrated => "integrated",
+            OverflowMode::MiSarCentral => "central-overflow",
+            OverflowMode::MiSarDistributed => "distributed-overflow",
+        }
+    }
+}
+
+/// Whether cores talk to their local engine first, or directly to the master engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Topology {
+    /// SynCron / Hier: cores talk to the engine of their own NDP unit.
+    Hierarchical,
+    /// Central / SynCron-flat: cores talk directly to the serving engine of the
+    /// variable (a fixed unit for Central, the variable's home unit otherwise).
+    Flat,
+}
+
+/// What kind of hardware processes messages at each unit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum EngineBackend {
+    /// A Synchronization Engine with a Synchronization Table (SynCron).
+    SyncronSe,
+    /// An NDP core acting as a server, keeping state in memory behind its cache
+    /// (Central / Hier).
+    ServerCore,
+}
+
+/// Configuration of a [`ProtocolMechanism`].
+#[derive(Clone, Copy, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProtocolConfig {
+    /// Which named mechanism this configuration realizes (for reports).
+    pub kind: MechanismKind,
+    /// Number of NDP units.
+    pub units: usize,
+    /// Number of NDP cores per unit.
+    pub cores_per_unit: usize,
+    /// Topology (hierarchical or flat).
+    pub topology: Topology,
+    /// Backend (SE or server core).
+    pub backend: EngineBackend,
+    /// For Central: the unit whose server handles every variable.
+    pub fixed_server: Option<UnitId>,
+    /// ST entries per SE (paper default 64).
+    pub st_entries: usize,
+    /// Indexing counters per SE (paper default 256).
+    pub indexing_counters: usize,
+    /// Overflow-management scheme.
+    pub overflow_mode: OverflowMode,
+    /// Lock-fairness threshold (Section 4.4.2), if enabled.
+    pub fairness_threshold: Option<u32>,
+    /// SE message service time (Table 5: 12 cycles at 1 GHz).
+    pub se_service: Time,
+    /// Instruction overhead of a server core handling one message (Central / Hier).
+    pub server_service: Time,
+}
+
+impl ProtocolConfig {
+    /// Default configuration for a named mechanism on a `units × cores_per_unit` system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is [`MechanismKind::Ideal`], which is not a message-passing
+    /// protocol (use [`crate::ideal::IdealMechanism`]).
+    pub fn for_kind(kind: MechanismKind, units: usize, cores_per_unit: usize) -> Self {
+        let (topology, backend, fixed_server) = match kind {
+            MechanismKind::Central => (Topology::Flat, EngineBackend::ServerCore, Some(UnitId(0))),
+            MechanismKind::Hier => (Topology::Hierarchical, EngineBackend::ServerCore, None),
+            MechanismKind::SynCron => (Topology::Hierarchical, EngineBackend::SyncronSe, None),
+            MechanismKind::SynCronFlat => (Topology::Flat, EngineBackend::SyncronSe, None),
+            MechanismKind::Ideal => panic!("Ideal is not a protocol mechanism"),
+        };
+        ProtocolConfig {
+            kind,
+            units,
+            cores_per_unit,
+            topology,
+            backend,
+            fixed_server,
+            st_entries: 64,
+            indexing_counters: 256,
+            overflow_mode: OverflowMode::Integrated,
+            fairness_threshold: None,
+            // Table 5 / Section 5: each message is served in 12 SE cycles at 1 GHz.
+            se_service: Freq::ghz(1.0).cycles_to_ps(12),
+            // A server core spends ~30 instructions of control code per message at
+            // 2.5 GHz, before its memory accesses to the synchronization variable.
+            server_service: Freq::ghz(2.5).cycles_to_ps(30),
+        }
+    }
+
+    /// Sets the ST size.
+    pub fn with_st_entries(mut self, entries: usize) -> Self {
+        self.st_entries = entries.max(1);
+        self
+    }
+
+    /// Sets the number of indexing counters.
+    pub fn with_indexing_counters(mut self, counters: usize) -> Self {
+        self.indexing_counters = counters.max(1);
+        self
+    }
+
+    /// Sets the overflow mode.
+    pub fn with_overflow_mode(mut self, mode: OverflowMode) -> Self {
+        self.overflow_mode = mode;
+        self
+    }
+
+    /// Sets (or clears) the lock fairness threshold.
+    pub fn with_fairness_threshold(mut self, threshold: Option<u32>) -> Self {
+        self.fairness_threshold = threshold;
+        self
+    }
+}
+
+/// Who currently holds (or waits for) a lock at the master level: either a whole NDP
+/// unit (hierarchical aggregation) or an individual core (flat topology, ST-overflow
+/// redirection, MiSAR fallback).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Grantee {
+    Unit(UnitId),
+    Core(GlobalCoreId),
+}
+
+#[derive(Debug, Default)]
+struct LocalLock {
+    waiters: VecDeque<GlobalCoreId>,
+    holder: Option<GlobalCoreId>,
+    has_ownership: bool,
+    pending_global: bool,
+    local_grants: u32,
+}
+
+#[derive(Debug, Default)]
+struct MasterLock {
+    owner: Option<Grantee>,
+    waiting: VecDeque<Grantee>,
+}
+
+#[derive(Debug, Default)]
+struct LocalBarrier {
+    waiters: Vec<GlobalCoreId>,
+    announced: bool,
+}
+
+#[derive(Debug, Default)]
+struct MasterBarrier {
+    arrived: u32,
+    participants: u32,
+    arrived_units: Vec<UnitId>,
+    direct_waiters: Vec<GlobalCoreId>,
+}
+
+#[derive(Debug, Default)]
+struct MasterSem {
+    initialized: bool,
+    count: i64,
+    waiters: VecDeque<GlobalCoreId>,
+}
+
+#[derive(Debug, Default)]
+struct MasterCond {
+    waiters: VecDeque<(GlobalCoreId, Addr)>,
+}
+
+/// Per-unit engine state (one SE or one server core).
+#[derive(Debug)]
+struct Engine {
+    busy: Serializer,
+    st: SynchronizationTable,
+    counters: IndexingCounters,
+    local_locks: HashMap<Addr, LocalLock>,
+    local_barriers: HashMap<Addr, LocalBarrier>,
+    master_locks: HashMap<Addr, MasterLock>,
+    master_barriers: HashMap<Addr, MasterBarrier>,
+    master_sems: HashMap<Addr, MasterSem>,
+    master_conds: HashMap<Addr, MasterCond>,
+    misar_abort_sent: HashMap<Addr, bool>,
+}
+
+impl Engine {
+    fn new(st_entries: usize, counters: usize) -> Self {
+        Engine {
+            busy: Serializer::new(),
+            st: SynchronizationTable::new(st_entries),
+            counters: IndexingCounters::new(counters),
+            local_locks: HashMap::new(),
+            local_barriers: HashMap::new(),
+            master_locks: HashMap::new(),
+            master_barriers: HashMap::new(),
+            master_sems: HashMap::new(),
+            master_conds: HashMap::new(),
+            misar_abort_sent: HashMap::new(),
+        }
+    }
+}
+
+/// A message processed by an engine.
+#[derive(Clone, Copy, Debug)]
+enum EngineMsg {
+    /// A request originating from a core. `direct` marks requests that the serving
+    /// engine must handle at the master level (flat topology, overflow redirection or
+    /// MiSAR fallback); `fallback` marks MiSAR fallback processing (server-core cost
+    /// model even under the SE backend).
+    CoreReq {
+        core: GlobalCoreId,
+        req: SyncRequest,
+        direct: bool,
+        fallback: bool,
+    },
+    LockAcquireGlobal { from: UnitId, var: Addr },
+    LockReleaseGlobal { from: UnitId, var: Addr },
+    LockGrantGlobal { var: Addr },
+    BarrierArriveGlobal {
+        from: UnitId,
+        var: Addr,
+        count: u32,
+        participants: u32,
+    },
+    BarrierDepartGlobal { var: Addr },
+}
+
+impl EngineMsg {
+    fn var(&self) -> Addr {
+        match *self {
+            EngineMsg::CoreReq { req, .. } => req.var(),
+            EngineMsg::LockAcquireGlobal { var, .. }
+            | EngineMsg::LockReleaseGlobal { var, .. }
+            | EngineMsg::LockGrantGlobal { var }
+            | EngineMsg::BarrierArriveGlobal { var, .. }
+            | EngineMsg::BarrierDepartGlobal { var } => var,
+        }
+    }
+
+    fn primitive(&self) -> PrimitiveKind {
+        match self {
+            EngineMsg::CoreReq { req, .. } => req.primitive(),
+            EngineMsg::LockAcquireGlobal { .. }
+            | EngineMsg::LockReleaseGlobal { .. }
+            | EngineMsg::LockGrantGlobal { .. } => PrimitiveKind::Lock,
+            EngineMsg::BarrierArriveGlobal { .. } | EngineMsg::BarrierDepartGlobal { .. } => {
+                PrimitiveKind::Barrier
+            }
+        }
+    }
+}
+
+/// Deferred effect of processing a message, applied after the engine borrow ends.
+#[derive(Clone, Copy, Debug)]
+enum Outcome {
+    /// Complete a blocking request for `core`, responding from the processing engine.
+    Complete { core: GlobalCoreId },
+    /// Send a message to another engine (global scope).
+    Send { to: UnitId, msg: EngineMsg, overflow: bool },
+    /// Route a brand-new core request (used by condition variables to release or
+    /// re-acquire the associated lock on behalf of a waiting core).
+    Inject { core: GlobalCoreId, req: SyncRequest },
+    /// Charge a MiSAR abort broadcast to every core of the processing engine's unit.
+    MisarAbortBroadcast,
+    /// Charge the MiSAR "switch back to hardware" notification message.
+    MisarSwitchBack { core: GlobalCoreId },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PendingEvent {
+    unit: UnitId,
+    msg: EngineMsg,
+}
+
+/// The message-passing protocol mechanism (SynCron, SynCron-flat, Hier, Central).
+#[derive(Debug)]
+pub struct ProtocolMechanism {
+    config: ProtocolConfig,
+    engines: Vec<Engine>,
+    pending: HashMap<u64, PendingEvent>,
+    next_token: u64,
+    stats: SyncMechanismStats,
+    /// Variables that have been handed to the MiSAR-style software fallback. Once a
+    /// variable overflows anywhere, every SE redirects it to the fallback server so
+    /// that acquire/release pairs stay consistent (the cores were "aborted" to the
+    /// alternative solution, Section 6.7.3).
+    misar_fallback: std::collections::HashSet<Addr>,
+}
+
+impl ProtocolMechanism {
+    /// Creates a mechanism from a configuration.
+    pub fn new(config: ProtocolConfig) -> Self {
+        let engines = (0..config.units)
+            .map(|_| Engine::new(config.st_entries, config.indexing_counters))
+            .collect();
+        ProtocolMechanism {
+            config,
+            engines,
+            pending: HashMap::new(),
+            next_token: 0,
+            stats: SyncMechanismStats::default(),
+            misar_fallback: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The configuration this mechanism was built from.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    fn master_of(&self, ctx: &dyn SyncContext, var: Addr) -> UnitId {
+        self.config.fixed_server.unwrap_or_else(|| ctx.home_unit(var))
+    }
+
+    fn local_bytes() -> u64 {
+        SyncMessage::wire_bytes(MessageScope::Local)
+    }
+
+    fn global_bytes() -> u64 {
+        SyncMessage::wire_bytes(MessageScope::Global)
+    }
+
+    fn schedule_msg(
+        &mut self,
+        ctx: &mut dyn SyncContext,
+        at: Time,
+        unit: UnitId,
+        msg: EngineMsg,
+    ) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(token, PendingEvent { unit, msg });
+        ctx.schedule(at, token);
+    }
+
+    /// Charges the message cost from `from` to engine `to` and schedules delivery.
+    fn send_engine_msg(
+        &mut self,
+        ctx: &mut dyn SyncContext,
+        at: Time,
+        from: UnitId,
+        to: UnitId,
+        msg: EngineMsg,
+        overflow: bool,
+    ) {
+        let mut delivery = at;
+        if from != to {
+            delivery += ctx.remote_hop(from, to, Self::global_bytes());
+            if overflow {
+                self.stats.overflow_messages += 1;
+            } else {
+                self.stats.global_messages += 1;
+            }
+        }
+        self.schedule_msg(ctx, delivery, to, msg);
+    }
+
+    /// Sends the response that completes a blocking request, from engine `from` back to
+    /// `core`, starting at time `at`.
+    fn complete_core(
+        &mut self,
+        ctx: &mut dyn SyncContext,
+        at: Time,
+        from: UnitId,
+        core: GlobalCoreId,
+    ) {
+        let mut t = at;
+        if from != core.unit {
+            t += ctx.remote_hop(from, core.unit, Self::global_bytes());
+            self.stats.global_messages += 1;
+        }
+        t += ctx.local_hop(core.unit, Self::local_bytes());
+        self.stats.local_messages += 1;
+        self.stats.completions += 1;
+        ctx.complete(core, t);
+    }
+
+    /// Service time of one message at engine `unit`, including any memory accesses.
+    /// `use_memory` forces uncached `syncronVar` accesses (SynCron overflow path);
+    /// `fallback` forces server-core processing (MiSAR fallback).
+    fn service_time(
+        &mut self,
+        ctx: &mut dyn SyncContext,
+        unit: UnitId,
+        var: Addr,
+        use_memory: bool,
+        fallback: bool,
+    ) -> Time {
+        match self.config.backend {
+            EngineBackend::ServerCore => {
+                // The server core reads and updates the synchronization variable through
+                // its cache hierarchy.
+                let read = ctx.sync_mem_access(unit, var, false, true);
+                let write = ctx.sync_mem_access(unit, var, true, true);
+                self.stats.mem_accesses += 2;
+                self.config.server_service + read + write
+            }
+            EngineBackend::SyncronSe => {
+                if fallback {
+                    // The MiSAR-style software fallback synchronizes through main
+                    // memory: without shared caches or hardware coherence there is no
+                    // faster place for the alternative solution to live (Section 4.5).
+                    let read = ctx.sync_mem_access(unit, var, false, false);
+                    let write = ctx.sync_mem_access(unit, var, true, false);
+                    self.stats.mem_accesses += 2;
+                    self.config.server_service + read + write
+                } else if use_memory {
+                    // Overflow: the SE reads and writes the in-memory syncronVar.
+                    let read = ctx.sync_mem_access(unit, var, false, false);
+                    let write = ctx.sync_mem_access(unit, var, true, false);
+                    self.stats.mem_accesses += 2;
+                    self.config.se_service + read + write
+                } else {
+                    self.config.se_service
+                }
+            }
+        }
+    }
+
+    /// Resolves the ST state for a message about `var` at engine `unit`.
+    /// Returns `(needs_memory, must_redirect)`.
+    ///
+    /// `counter_action` is +1 for acquire-type core requests, -1 for release-type core
+    /// requests and 0 for SE-to-SE messages; `count_stat` controls whether an overflow
+    /// is counted towards the overflowed-request statistic (redirected requests are
+    /// only counted once, at the SE that first observed the overflow).
+    fn st_resolve(
+        &mut self,
+        ctx: &dyn SyncContext,
+        now: Time,
+        unit: UnitId,
+        var: Addr,
+        kind: PrimitiveKind,
+        counter_action: i8,
+        count_stat: bool,
+    ) -> (bool, bool) {
+        if self.config.backend != EngineBackend::SyncronSe {
+            return (false, false);
+        }
+        let is_master = self.master_of(ctx, var) == unit;
+        // A variable already handed to the MiSAR software fallback stays there for
+        // every SE, so acquire/release pairs are always served by the same place.
+        if self.config.overflow_mode != OverflowMode::Integrated
+            && self.misar_fallback.contains(&var)
+        {
+            if count_stat {
+                self.stats.overflowed_requests += 1;
+            }
+            return (false, true);
+        }
+        let engine = &mut self.engines[unit.index()];
+        if engine.st.lookup(var).is_some() {
+            return (false, false);
+        }
+        if !engine.counters.is_overflowed(var) && !engine.st.is_full() {
+            engine.st.allocate(now, var, kind);
+            return (false, false);
+        }
+        // Overflow.
+        if count_stat {
+            self.stats.overflowed_requests += 1;
+        }
+        if self.config.overflow_mode != OverflowMode::Integrated {
+            self.misar_fallback.insert(var);
+        }
+        match self.config.overflow_mode {
+            OverflowMode::Integrated => {
+                match counter_action {
+                    1 => engine.counters.increment(var),
+                    -1 => engine.counters.decrement(var),
+                    _ => {}
+                }
+                if is_master {
+                    // The Master SE services the variable via the in-memory syncronVar.
+                    (true, false)
+                } else {
+                    // A local SE overflowed: redirect to the Master SE with overflow
+                    // opcodes and track the variable in the indexing counters.
+                    (false, true)
+                }
+            }
+            OverflowMode::MiSarCentral | OverflowMode::MiSarDistributed => (false, true),
+        }
+    }
+
+    fn process_core_request(
+        &mut self,
+        unit: UnitId,
+        ctx: &mut dyn SyncContext,
+        core: GlobalCoreId,
+        req: SyncRequest,
+        direct: bool,
+    ) -> Vec<Outcome> {
+        let cores_per_unit = self.config.cores_per_unit;
+        let total_cores = (self.config.units * cores_per_unit) as u32;
+        let master = self.master_of(ctx, req.var());
+        let fairness = self.config.fairness_threshold;
+        let engine = &mut self.engines[unit.index()];
+        let mut out = Vec::new();
+
+        match req {
+            SyncRequest::LockAcquire { var } => {
+                if direct {
+                    master_lock_acquire(engine, var, Grantee::Core(core), &mut out);
+                } else {
+                    let ll = engine.local_locks.entry(var).or_default();
+                    ll.waiters.push_back(core);
+                    if let Some(e) = engine.st.lookup_mut(var) {
+                        e.local_waitlist.set(core.core.index());
+                    }
+                    let ll = engine.local_locks.get_mut(&var).expect("just inserted");
+                    if ll.has_ownership {
+                        if ll.holder.is_none() {
+                            grant_local_lock(engine, var, &mut out);
+                        }
+                    } else if !ll.pending_global {
+                        ll.pending_global = true;
+                        out.push(Outcome::Send {
+                            to: master,
+                            msg: EngineMsg::LockAcquireGlobal { from: unit, var },
+                            overflow: false,
+                        });
+                    }
+                }
+            }
+            SyncRequest::LockRelease { var } => {
+                if direct {
+                    master_lock_release(engine, var, Grantee::Core(core), &mut out);
+                } else {
+                    let ll = engine.local_locks.entry(var).or_default();
+                    ll.holder = None;
+                    let over_threshold =
+                        fairness.is_some_and(|t| ll.local_grants >= t) && !ll.waiters.is_empty();
+                    if !ll.waiters.is_empty() && !over_threshold {
+                        grant_local_lock(engine, var, &mut out);
+                    } else {
+                        // No more local requests (or fairness hand-off): return the lock
+                        // to the Master SE with one aggregated release message.
+                        ll.has_ownership = false;
+                        ll.local_grants = 0;
+                        out.push(Outcome::Send {
+                            to: master,
+                            msg: EngineMsg::LockReleaseGlobal { from: unit, var },
+                            overflow: false,
+                        });
+                        if over_threshold {
+                            // Re-request ownership for the still-waiting local cores.
+                            ll.pending_global = true;
+                            out.push(Outcome::Send {
+                                to: master,
+                                msg: EngineMsg::LockAcquireGlobal { from: unit, var },
+                                overflow: false,
+                            });
+                        } else {
+                            engine.local_locks.remove(&var);
+                            engine.st.release(Time::ZERO, var);
+                        }
+                    }
+                }
+            }
+            SyncRequest::BarrierWait {
+                var,
+                participants,
+                scope,
+            } => {
+                let local_only = scope == BarrierScope::WithinUnit;
+                if direct {
+                    let mb = engine.master_barriers.entry(var).or_default();
+                    mb.participants = participants;
+                    mb.arrived += 1;
+                    mb.direct_waiters.push(core);
+                    if mb.arrived >= participants {
+                        finish_master_barrier(engine, var, &mut out);
+                    }
+                } else if local_only {
+                    let lb = engine.local_barriers.entry(var).or_default();
+                    lb.waiters.push(core);
+                    if lb.waiters.len() as u32 >= participants {
+                        let lb = engine.local_barriers.remove(&var).expect("present");
+                        engine.st.release(Time::ZERO, var);
+                        for w in lb.waiters {
+                            out.push(Outcome::Complete { core: w });
+                        }
+                    }
+                } else if participants == total_cores {
+                    // Full-system barrier: hierarchical two-level communication.
+                    let lb = engine.local_barriers.entry(var).or_default();
+                    lb.waiters.push(core);
+                    if lb.waiters.len() >= cores_per_unit {
+                        lb.announced = true;
+                        out.push(Outcome::Send {
+                            to: master,
+                            msg: EngineMsg::BarrierArriveGlobal {
+                                from: unit,
+                                var,
+                                count: lb.waiters.len() as u32,
+                                participants,
+                            },
+                            overflow: false,
+                        });
+                    }
+                } else {
+                    // Partial across-unit barrier: one-level communication, every local
+                    // message is redirected to the Master SE (Section 4.1.2).
+                    let lb = engine.local_barriers.entry(var).or_default();
+                    lb.waiters.push(core);
+                    out.push(Outcome::Send {
+                        to: master,
+                        msg: EngineMsg::BarrierArriveGlobal {
+                            from: unit,
+                            var,
+                            count: 1,
+                            participants,
+                        },
+                        overflow: false,
+                    });
+                }
+            }
+            SyncRequest::SemWait { var, initial } => {
+                if unit == master || direct {
+                    let sem = engine.master_sems.entry(var).or_default();
+                    if !sem.initialized {
+                        sem.initialized = true;
+                        sem.count = i64::from(initial);
+                    }
+                    if sem.count > 0 {
+                        sem.count -= 1;
+                        out.push(Outcome::Complete { core });
+                    } else {
+                        sem.waiters.push_back(core);
+                    }
+                } else {
+                    out.push(Outcome::Send {
+                        to: master,
+                        msg: EngineMsg::CoreReq {
+                            core,
+                            req,
+                            direct: true,
+                            fallback: false,
+                        },
+                        overflow: false,
+                    });
+                }
+            }
+            SyncRequest::SemPost { var } => {
+                if unit == master || direct {
+                    let sem = engine.master_sems.entry(var).or_default();
+                    if let Some(next) = sem.waiters.pop_front() {
+                        out.push(Outcome::Complete { core: next });
+                    } else {
+                        sem.count += 1;
+                    }
+                } else {
+                    out.push(Outcome::Send {
+                        to: master,
+                        msg: EngineMsg::CoreReq {
+                            core,
+                            req,
+                            direct: true,
+                            fallback: false,
+                        },
+                        overflow: false,
+                    });
+                }
+            }
+            SyncRequest::CondWait { var, lock } => {
+                if unit == master || direct {
+                    engine
+                        .master_conds
+                        .entry(var)
+                        .or_default()
+                        .waiters
+                        .push_back((core, lock));
+                    // cond_wait atomically releases the associated lock on behalf of the
+                    // waiting core.
+                    out.push(Outcome::Inject {
+                        core,
+                        req: SyncRequest::LockRelease { var: lock },
+                    });
+                } else {
+                    out.push(Outcome::Send {
+                        to: master,
+                        msg: EngineMsg::CoreReq {
+                            core,
+                            req,
+                            direct: true,
+                            fallback: false,
+                        },
+                        overflow: false,
+                    });
+                }
+            }
+            SyncRequest::CondSignal { var } => {
+                if unit == master || direct {
+                    let waiter = engine
+                        .master_conds
+                        .entry(var)
+                        .or_default()
+                        .waiters
+                        .pop_front();
+                    if let Some((woken, lock)) = waiter {
+                        // The woken core re-acquires the lock; its cond_wait completes
+                        // when the lock is granted to it.
+                        out.push(Outcome::Inject {
+                            core: woken,
+                            req: SyncRequest::LockAcquire { var: lock },
+                        });
+                    }
+                } else {
+                    out.push(Outcome::Send {
+                        to: master,
+                        msg: EngineMsg::CoreReq {
+                            core,
+                            req,
+                            direct: true,
+                            fallback: false,
+                        },
+                        overflow: false,
+                    });
+                }
+            }
+            SyncRequest::CondBroadcast { var } => {
+                if unit == master || direct {
+                    let waiters =
+                        std::mem::take(&mut engine.master_conds.entry(var).or_default().waiters);
+                    for (woken, lock) in waiters {
+                        out.push(Outcome::Inject {
+                            core: woken,
+                            req: SyncRequest::LockAcquire { var: lock },
+                        });
+                    }
+                } else {
+                    out.push(Outcome::Send {
+                        to: master,
+                        msg: EngineMsg::CoreReq {
+                            core,
+                            req,
+                            direct: true,
+                            fallback: false,
+                        },
+                        overflow: false,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn process_global(&mut self, unit: UnitId, msg: EngineMsg) -> Vec<Outcome> {
+        let engine = &mut self.engines[unit.index()];
+        let mut out = Vec::new();
+        match msg {
+            EngineMsg::LockAcquireGlobal { from, var } => {
+                master_lock_acquire(engine, var, Grantee::Unit(from), &mut out);
+            }
+            EngineMsg::LockReleaseGlobal { from, var } => {
+                master_lock_release(engine, var, Grantee::Unit(from), &mut out);
+            }
+            EngineMsg::LockGrantGlobal { var } => {
+                let ll = engine.local_locks.entry(var).or_default();
+                ll.has_ownership = true;
+                ll.pending_global = false;
+                ll.local_grants = 0;
+                if ll.holder.is_none() && !ll.waiters.is_empty() {
+                    grant_local_lock(engine, var, &mut out);
+                }
+            }
+            EngineMsg::BarrierArriveGlobal {
+                from,
+                var,
+                count,
+                participants,
+            } => {
+                let mb = engine.master_barriers.entry(var).or_default();
+                mb.participants = participants;
+                mb.arrived += count;
+                if !mb.arrived_units.contains(&from) {
+                    mb.arrived_units.push(from);
+                }
+                if mb.arrived >= participants {
+                    finish_master_barrier(engine, var, &mut out);
+                }
+            }
+            EngineMsg::BarrierDepartGlobal { var } => {
+                if let Some(lb) = engine.local_barriers.remove(&var) {
+                    engine.st.release(Time::ZERO, var);
+                    for w in lb.waiters {
+                        out.push(Outcome::Complete { core: w });
+                    }
+                }
+            }
+            EngineMsg::CoreReq { .. } => unreachable!("core requests use process_core_request"),
+        }
+        out
+    }
+
+    fn apply_outcomes(
+        &mut self,
+        ctx: &mut dyn SyncContext,
+        at: Time,
+        unit: UnitId,
+        outcomes: Vec<Outcome>,
+    ) {
+        for outcome in outcomes {
+            match outcome {
+                Outcome::Complete { core } => self.complete_core(ctx, at, unit, core),
+                Outcome::Send { to, msg, overflow } => {
+                    self.send_engine_msg(ctx, at, unit, to, msg, overflow)
+                }
+                Outcome::Inject { core, req } => self.route_request(ctx, at, unit, core, req),
+                Outcome::MisarAbortBroadcast => {
+                    // Abort messages to every core of the unit, and matching
+                    // acknowledgements once the cores switch to the fallback solution.
+                    for _ in 0..self.config.cores_per_unit {
+                        ctx.local_hop(unit, Self::local_bytes());
+                        self.stats.local_messages += 1;
+                    }
+                }
+                Outcome::MisarSwitchBack { core } => {
+                    ctx.local_hop(core.unit, Self::local_bytes());
+                    self.stats.local_messages += 1;
+                }
+            }
+        }
+    }
+
+    /// Re-routes every lock waiter tracked in hardware for `var` to the MiSAR fallback
+    /// server at `fallback_unit`, emulating the abort/retry of the software fallback
+    /// (Section 6.7.3). Holders keep the lock; their releases are redirected by the
+    /// sticky fallback set.
+    fn misar_drain_lock_waiters(
+        &mut self,
+        ctx: &mut dyn SyncContext,
+        at: Time,
+        var: Addr,
+        fallback_unit: UnitId,
+    ) {
+        let mut displaced: Vec<GlobalCoreId> = Vec::new();
+        for engine in &mut self.engines {
+            if let Some(ll) = engine.local_locks.remove(&var) {
+                displaced.extend(ll.waiters);
+                engine.st.release(Time::ZERO, var);
+            }
+            if let Some(ml) = engine.master_locks.remove(&var) {
+                for grantee in ml.waiting {
+                    if let Grantee::Core(c) = grantee {
+                        displaced.push(c);
+                    }
+                    // Unit-level waiters are covered by draining that unit's local
+                    // waiter queue above.
+                }
+                engine.st.release(Time::ZERO, var);
+            }
+        }
+        for core in displaced {
+            self.send_engine_msg(
+                ctx,
+                at,
+                core.unit,
+                fallback_unit,
+                EngineMsg::CoreReq {
+                    core,
+                    req: SyncRequest::LockAcquire { var },
+                    direct: true,
+                    fallback: true,
+                },
+                true,
+            );
+        }
+    }
+
+    /// Routes a request on behalf of `core` to the engine that serves it under the
+    /// configured topology, charging the message hop from `origin` (the core's unit
+    /// when the core itself issues the request, or the engine that generated an
+    /// internal request on the core's behalf).
+    fn route_request(
+        &mut self,
+        ctx: &mut dyn SyncContext,
+        at: Time,
+        origin: UnitId,
+        core: GlobalCoreId,
+        req: SyncRequest,
+    ) {
+        let (dest, direct) = match self.config.topology {
+            Topology::Hierarchical => (core.unit, false),
+            Topology::Flat => (self.master_of(ctx, req.var()), true),
+        };
+        let mut delivery = at;
+        if origin != dest {
+            delivery += ctx.remote_hop(origin, dest, Self::global_bytes());
+            self.stats.global_messages += 1;
+        }
+        self.schedule_msg(
+            ctx,
+            delivery,
+            dest,
+            EngineMsg::CoreReq {
+                core,
+                req,
+                direct,
+                fallback: false,
+            },
+        );
+    }
+}
+
+fn grant_local_lock(engine: &mut Engine, var: Addr, out: &mut Vec<Outcome>) {
+    let ll = engine.local_locks.get_mut(&var).expect("local lock state");
+    if let Some(next) = ll.waiters.pop_front() {
+        ll.holder = Some(next);
+        ll.local_grants += 1;
+        if let Some(e) = engine.st.lookup_mut(var) {
+            e.local_waitlist.clear(next.core.index());
+        }
+        out.push(Outcome::Complete { core: next });
+    }
+}
+
+fn master_lock_acquire(engine: &mut Engine, var: Addr, who: Grantee, out: &mut Vec<Outcome>) {
+    let ml = engine.master_locks.entry(var).or_default();
+    if ml.owner.is_none() {
+        ml.owner = Some(who);
+        match who {
+            Grantee::Unit(u) => out.push(Outcome::Send {
+                to: u,
+                msg: EngineMsg::LockGrantGlobal { var },
+                overflow: false,
+            }),
+            Grantee::Core(c) => out.push(Outcome::Complete { core: c }),
+        }
+    } else {
+        ml.waiting.push_back(who);
+        if let (Some(e), Grantee::Unit(u)) = (engine.st.lookup_mut(var), who) {
+            e.global_waitlist.set(u.index());
+        }
+    }
+}
+
+fn master_lock_release(engine: &mut Engine, var: Addr, _who: Grantee, out: &mut Vec<Outcome>) {
+    let ml = engine.master_locks.entry(var).or_default();
+    ml.owner = None;
+    if let Some(next) = ml.waiting.pop_front() {
+        ml.owner = Some(next);
+        if let (Some(e), Grantee::Unit(u)) = (engine.st.lookup_mut(var), next) {
+            e.global_waitlist.clear(u.index());
+        }
+        match next {
+            Grantee::Unit(u) => out.push(Outcome::Send {
+                to: u,
+                msg: EngineMsg::LockGrantGlobal { var },
+                overflow: false,
+            }),
+            Grantee::Core(c) => out.push(Outcome::Complete { core: c }),
+        }
+    } else {
+        engine.master_locks.remove(&var);
+        engine.st.release(Time::ZERO, var);
+    }
+}
+
+fn finish_master_barrier(engine: &mut Engine, var: Addr, out: &mut Vec<Outcome>) {
+    let mb = engine.master_barriers.remove(&var).expect("barrier state");
+    engine.st.release(Time::ZERO, var);
+    for u in mb.arrived_units {
+        out.push(Outcome::Send {
+            to: u,
+            msg: EngineMsg::BarrierDepartGlobal { var },
+            overflow: false,
+        });
+    }
+    for c in mb.direct_waiters {
+        out.push(Outcome::Complete { core: c });
+    }
+}
+
+impl SyncMechanism for ProtocolMechanism {
+    fn name(&self) -> &'static str {
+        self.config.kind.name()
+    }
+
+    fn request(&mut self, ctx: &mut dyn SyncContext, core: GlobalCoreId, req: SyncRequest) {
+        self.stats.requests += 1;
+        if req.is_acquire_type() {
+            self.stats.acquire_requests += 1;
+        }
+        // The core's request always traverses its local crossbar to reach the network
+        // interface of its unit.
+        let now = ctx.now();
+        let local = ctx.local_hop(core.unit, Self::local_bytes());
+        self.stats.local_messages += 1;
+        self.route_request(ctx, now + local, core.unit, core, req);
+    }
+
+    fn deliver(&mut self, ctx: &mut dyn SyncContext, token: u64) {
+        let Some(PendingEvent { unit, msg }) = self.pending.remove(&token) else {
+            return;
+        };
+        let now = ctx.now();
+        let var = msg.var();
+        let kind = msg.primitive();
+
+        // Resolve ST / overflow state (SynCron backends only).
+        let (mut use_memory, redirect) = match msg {
+            EngineMsg::CoreReq {
+                req,
+                direct,
+                fallback,
+                ..
+            } => {
+                if fallback {
+                    (false, false)
+                } else {
+                    let counter_action = if req.is_acquire_type() { 1 } else { -1 };
+                    // Redirected (direct) requests were already counted by the SE that
+                    // first overflowed.
+                    let count_stat = req.is_acquire_type()
+                        && !(direct && self.config.topology == Topology::Hierarchical);
+                    let (mem, redir) =
+                        self.st_resolve(ctx, now, unit, var, kind, counter_action, count_stat);
+                    // Direct requests reaching the master during overflow are serviced
+                    // via memory rather than redirected again.
+                    if redir && direct {
+                        (true, false)
+                    } else {
+                        (mem, redir)
+                    }
+                }
+            }
+            _ => {
+                let (mem, _) = self.st_resolve(ctx, now, unit, var, kind, 0, false);
+                (mem, false)
+            }
+        };
+
+        if redirect {
+            // The engine could not track the variable: hand the request over.
+            if let EngineMsg::CoreReq { core, req, .. } = msg {
+                match self.config.overflow_mode {
+                    OverflowMode::Integrated => {
+                        let master = self.master_of(ctx, var);
+                        self.send_engine_msg(
+                            ctx,
+                            now,
+                            unit,
+                            master,
+                            EngineMsg::CoreReq {
+                                core,
+                                req,
+                                direct: true,
+                                fallback: false,
+                            },
+                            true,
+                        );
+                    }
+                    OverflowMode::MiSarCentral | OverflowMode::MiSarDistributed => {
+                        let fallback_unit = match self.config.overflow_mode {
+                            OverflowMode::MiSarCentral => UnitId(0),
+                            _ => ctx.home_unit(var),
+                        };
+                        let first = {
+                            let engine = &mut self.engines[unit.index()];
+                            !std::mem::replace(
+                                engine.misar_abort_sent.entry(var).or_insert(false),
+                                true,
+                            )
+                        };
+                        let mut outcomes = Vec::new();
+                        if first {
+                            outcomes.push(Outcome::MisarAbortBroadcast);
+                        }
+                        outcomes.push(Outcome::MisarSwitchBack { core });
+                        self.apply_outcomes(ctx, now, unit, outcomes);
+                        // The abort notification reaches the core, which switches to
+                        // the software fallback and re-issues the request from there.
+                        let abort_delivery = ctx.local_hop(unit, Self::local_bytes());
+                        self.stats.local_messages += 1;
+                        let switch_overhead = Freq::ghz(2.5).cycles_to_ps(100);
+                        let retry_at = now + abort_delivery + switch_overhead;
+                        if first {
+                            // The aborted cores retry through the fallback server:
+                            // every waiter queued in hardware for this variable is
+                            // re-routed so that no grant is lost during the switch.
+                            self.misar_drain_lock_waiters(ctx, retry_at, var, fallback_unit);
+                        }
+                        self.send_engine_msg(
+                            ctx,
+                            retry_at,
+                            unit,
+                            fallback_unit,
+                            EngineMsg::CoreReq {
+                                core,
+                                req,
+                                direct: true,
+                                fallback: true,
+                            },
+                            true,
+                        );
+                    }
+                }
+                return;
+            }
+            // Global messages are never redirected; fall through and service via memory.
+            use_memory = true;
+        }
+
+        let fallback = matches!(msg, EngineMsg::CoreReq { fallback: true, .. });
+        let service = self.service_time(ctx, unit, var, use_memory, fallback);
+        let start = self.engines[unit.index()].busy.acquire(now, service);
+        let done = start + service;
+
+        let outcomes = match msg {
+            EngineMsg::CoreReq {
+                core, req, direct, ..
+            } => self.process_core_request(unit, ctx, core, req, direct || fallback),
+            other => self.process_global(unit, other),
+        };
+        self.apply_outcomes(ctx, done, unit, outcomes);
+    }
+
+    fn stats(&self, end: Time) -> SyncMechanismStats {
+        let mut stats = self.stats;
+        if self.config.backend == EngineBackend::SyncronSe && !self.engines.is_empty() {
+            let mut max = 0.0f64;
+            let mut avg_sum = 0.0f64;
+            for e in &self.engines {
+                max = max.max(e.st.max_occupancy());
+                avg_sum += e.st.avg_occupancy(end);
+            }
+            stats.st_max_occupancy = max;
+            stats.st_avg_occupancy = avg_sum / self.engines.len() as f64;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::{build_mechanism, MechanismParams};
+    use syncron_sim::event::EventQueue;
+    use syncron_sim::{CoreId, UnitId};
+
+    /// A miniature NDP system used to drive mechanisms in isolation: fixed hop and
+    /// memory latencies, FIFO event delivery, and a record of completions.
+    struct Harness {
+        mech: Box<dyn SyncMechanism>,
+        ctx: HarnessCtx,
+    }
+
+    struct HarnessCtx {
+        now: Time,
+        queue: EventQueue<u64>,
+        completed: Vec<(GlobalCoreId, Time)>,
+        local_hops: u64,
+        remote_hops: u64,
+        mem_accesses: u64,
+    }
+
+    impl SyncContext for HarnessCtx {
+        fn now(&self) -> Time {
+            self.now
+        }
+        fn schedule(&mut self, at: Time, token: u64) {
+            self.queue.push(at, token);
+        }
+        fn local_hop(&mut self, _unit: UnitId, _bytes: u64) -> Time {
+            self.local_hops += 1;
+            Time::from_ns(2)
+        }
+        fn remote_hop(&mut self, _f: UnitId, _t: UnitId, _bytes: u64) -> Time {
+            self.remote_hops += 1;
+            Time::from_ns(40)
+        }
+        fn sync_mem_access(&mut self, _u: UnitId, _a: Addr, _w: bool, _c: bool) -> Time {
+            self.mem_accesses += 1;
+            Time::from_ns(20)
+        }
+        fn home_unit(&self, addr: Addr) -> UnitId {
+            UnitId(((addr.value() >> 22) % 4) as u8)
+        }
+        fn complete(&mut self, core: GlobalCoreId, at: Time) {
+            self.completed.push((core, at));
+        }
+        fn units(&self) -> usize {
+            4
+        }
+        fn cores_per_unit(&self) -> usize {
+            16
+        }
+    }
+
+    impl Harness {
+        fn new(kind: MechanismKind) -> Self {
+            Harness::with_params(MechanismParams::new(kind))
+        }
+
+        fn with_params(params: MechanismParams) -> Self {
+            Harness {
+                mech: build_mechanism(&params, 4, 16),
+                ctx: HarnessCtx {
+                    now: Time::ZERO,
+                    queue: EventQueue::new(),
+                    completed: Vec::new(),
+                    local_hops: 0,
+                    remote_hops: 0,
+                    mem_accesses: 0,
+                },
+            }
+        }
+
+        fn request(&mut self, core: GlobalCoreId, req: SyncRequest) {
+            self.mech.request(&mut self.ctx, core, req);
+            self.drain();
+        }
+
+        fn drain(&mut self) {
+            while let Some((at, token)) = self.ctx.queue.pop() {
+                self.ctx.now = self.ctx.now.max(at);
+                self.mech.deliver(&mut self.ctx, token);
+            }
+        }
+
+        fn completed(&self) -> &[(GlobalCoreId, Time)] {
+            &self.ctx.completed
+        }
+    }
+
+    fn core(u: u8, c: u8) -> GlobalCoreId {
+        GlobalCoreId::new(UnitId(u), CoreId(c))
+    }
+
+    fn lock_var() -> Addr {
+        // Homed in unit 1 for the harness's home_unit function.
+        Addr(1 << 22)
+    }
+
+    fn exercise_lock_mutual_exclusion(kind: MechanismKind) {
+        let mut h = Harness::new(kind);
+        let var = lock_var();
+        let cores = [core(0, 0), core(0, 1), core(1, 0), core(2, 5), core(3, 2)];
+        for &c in &cores {
+            h.request(c, SyncRequest::LockAcquire { var });
+        }
+        // Exactly one acquisition is granted before any release.
+        assert_eq!(h.completed().len(), 1, "{kind:?}");
+        let mut held = h.completed()[0].0;
+        let mut order = vec![held];
+        for _ in 0..cores.len() - 1 {
+            h.request(held, SyncRequest::LockRelease { var });
+            let newly = h.completed().last().copied().expect("a grant follows a release");
+            assert_ne!(newly.0, held, "{kind:?}: release granted back to holder");
+            held = newly.0;
+            order.push(held);
+        }
+        h.request(held, SyncRequest::LockRelease { var });
+        // Every core acquired the lock exactly once.
+        let mut sorted: Vec<_> = order.iter().map(|c| c.flat_index(16)).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), cores.len(), "{kind:?}: duplicate grants {order:?}");
+    }
+
+    #[test]
+    fn lock_mutual_exclusion_all_mechanisms() {
+        for kind in [
+            MechanismKind::Central,
+            MechanismKind::Hier,
+            MechanismKind::SynCron,
+            MechanismKind::SynCronFlat,
+        ] {
+            exercise_lock_mutual_exclusion(kind);
+        }
+    }
+
+    #[test]
+    fn syncron_prefers_local_grants() {
+        // Two cores of unit 1 (the variable's home) and one core of unit 3 compete.
+        // After the first local release, the lock should be handed to the other local
+        // waiter before leaving the unit.
+        let mut h = Harness::new(MechanismKind::SynCron);
+        let var = lock_var();
+        h.request(core(1, 0), SyncRequest::LockAcquire { var });
+        h.request(core(1, 1), SyncRequest::LockAcquire { var });
+        h.request(core(3, 0), SyncRequest::LockAcquire { var });
+        assert_eq!(h.completed().len(), 1);
+        assert_eq!(h.completed()[0].0, core(1, 0));
+        h.request(core(1, 0), SyncRequest::LockRelease { var });
+        assert_eq!(h.completed()[1].0, core(1, 1), "local waiter served first");
+        h.request(core(1, 1), SyncRequest::LockRelease { var });
+        assert_eq!(h.completed()[2].0, core(3, 0));
+        h.request(core(3, 0), SyncRequest::LockRelease { var });
+    }
+
+    #[test]
+    fn fairness_threshold_hands_lock_to_other_unit() {
+        let params = MechanismParams::new(MechanismKind::SynCron).with_fairness_threshold(1);
+        let mut h = Harness::with_params(params);
+        let var = lock_var();
+        h.request(core(1, 0), SyncRequest::LockAcquire { var });
+        h.request(core(1, 1), SyncRequest::LockAcquire { var });
+        h.request(core(3, 0), SyncRequest::LockAcquire { var });
+        assert_eq!(h.completed()[0].0, core(1, 0));
+        // Threshold of 1 consecutive local grant: on release the lock must go to the
+        // waiting remote unit even though a local waiter exists.
+        h.request(core(1, 0), SyncRequest::LockRelease { var });
+        assert_eq!(h.completed()[1].0, core(3, 0), "fairness hand-off to unit 3");
+        h.request(core(3, 0), SyncRequest::LockRelease { var });
+        assert_eq!(h.completed()[2].0, core(1, 1));
+        h.request(core(1, 1), SyncRequest::LockRelease { var });
+    }
+
+    #[test]
+    fn full_system_barrier_releases_everyone() {
+        for kind in [
+            MechanismKind::Central,
+            MechanismKind::Hier,
+            MechanismKind::SynCron,
+            MechanismKind::SynCronFlat,
+        ] {
+            let mut h = Harness::new(kind);
+            let var = Addr(2 << 22);
+            let total = 64u32;
+            for u in 0..4u8 {
+                for c in 0..16u8 {
+                    h.request(
+                        core(u, c),
+                        SyncRequest::BarrierWait {
+                            var,
+                            participants: total,
+                            scope: BarrierScope::AcrossUnits,
+                        },
+                    );
+                }
+            }
+            assert_eq!(h.completed().len(), 64, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn partial_barrier_uses_one_level_and_completes() {
+        let mut h = Harness::new(MechanismKind::SynCron);
+        let var = Addr(2 << 22);
+        // 6 participants spread over 3 units (fewer than the 64 total cores).
+        let participants = [core(0, 0), core(0, 1), core(1, 0), core(1, 1), core(2, 0), core(2, 1)];
+        for &c in &participants {
+            h.request(
+                c,
+                SyncRequest::BarrierWait {
+                    var,
+                    participants: participants.len() as u32,
+                    scope: BarrierScope::AcrossUnits,
+                },
+            );
+        }
+        assert_eq!(h.completed().len(), participants.len());
+    }
+
+    #[test]
+    fn within_unit_barrier_stays_local() {
+        let mut h = Harness::new(MechanismKind::SynCron);
+        let var = Addr(3 << 22);
+        for c in 0..8u8 {
+            h.request(
+                core(2, c),
+                SyncRequest::BarrierWait {
+                    var,
+                    participants: 8,
+                    scope: BarrierScope::WithinUnit,
+                },
+            );
+        }
+        assert_eq!(h.completed().len(), 8);
+        // A within-unit barrier at unit 2 for a variable homed at unit 1 never needs a
+        // remote hop under SynCron.
+        assert_eq!(h.ctx.remote_hops, 0);
+    }
+
+    #[test]
+    fn semaphore_grants_match_resources() {
+        for kind in [MechanismKind::Central, MechanismKind::Hier, MechanismKind::SynCron] {
+            let mut h = Harness::new(kind);
+            let var = Addr(1 << 22);
+            for c in 0..4u8 {
+                h.request(core(0, c), SyncRequest::SemWait { var, initial: 2 });
+            }
+            assert_eq!(h.completed().len(), 2, "{kind:?}");
+            h.request(core(0, 0), SyncRequest::SemPost { var });
+            h.request(core(0, 1), SyncRequest::SemPost { var });
+            assert_eq!(h.completed().len(), 4, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn condvar_signal_and_broadcast() {
+        let mut h = Harness::new(MechanismKind::SynCron);
+        let cond = Addr(1 << 22);
+        let lock = Addr((1 << 22) + 64);
+        for c in 0..3u8 {
+            h.request(core(0, c), SyncRequest::LockAcquire { var: lock });
+            h.request(core(0, c), SyncRequest::CondWait { var: cond, lock });
+        }
+        // Three lock acquisitions completed; the cond_waits have not.
+        assert_eq!(h.completed().len(), 3);
+        h.request(core(1, 0), SyncRequest::CondSignal { var: cond });
+        assert_eq!(h.completed().len(), 4, "one waiter woken and re-acquired the lock");
+        let woken = h.completed()[3].0;
+        h.request(woken, SyncRequest::LockRelease { var: lock });
+        h.request(core(1, 0), SyncRequest::CondBroadcast { var: cond });
+        // Remaining two waiters wake; they serialize on the lock.
+        let done: Vec<_> = h.completed().iter().map(|(c, _)| *c).collect();
+        assert!(done.len() >= 5, "{done:?}");
+    }
+
+    #[test]
+    fn syncron_uses_fewer_remote_hops_than_flat_under_contention() {
+        let var = lock_var();
+        let run = |kind: MechanismKind| {
+            let mut h = Harness::new(kind);
+            // All 8 cores of unit 0 (remote to the variable's home unit 1) contend.
+            for c in 0..8u8 {
+                h.request(core(0, c), SyncRequest::LockAcquire { var });
+            }
+            let mut holder = h.completed()[0].0;
+            for _ in 0..7 {
+                h.request(holder, SyncRequest::LockRelease { var });
+                holder = h.completed().last().unwrap().0;
+            }
+            h.request(holder, SyncRequest::LockRelease { var });
+            h.ctx.remote_hops
+        };
+        let hier = run(MechanismKind::SynCron);
+        let flat = run(MechanismKind::SynCronFlat);
+        assert!(
+            hier < flat,
+            "hierarchical SynCron ({hier} remote hops) must beat flat ({flat})"
+        );
+    }
+
+    #[test]
+    fn syncron_avoids_memory_accesses_without_overflow() {
+        let mut h = Harness::new(MechanismKind::SynCron);
+        let var = lock_var();
+        for c in 0..4u8 {
+            h.request(core(0, c), SyncRequest::LockAcquire { var });
+        }
+        let mut holder = h.completed()[0].0;
+        for _ in 0..3 {
+            h.request(holder, SyncRequest::LockRelease { var });
+            holder = h.completed().last().unwrap().0;
+        }
+        h.request(holder, SyncRequest::LockRelease { var });
+        assert_eq!(h.ctx.mem_accesses, 0, "ST buffering must avoid memory");
+        // Hier, in contrast, accesses memory for every message.
+        let mut hh = Harness::new(MechanismKind::Hier);
+        hh.request(core(0, 0), SyncRequest::LockAcquire { var });
+        hh.request(core(0, 0), SyncRequest::LockRelease { var });
+        assert!(hh.ctx.mem_accesses > 0);
+    }
+
+    #[test]
+    fn st_overflow_integrated_still_correct() {
+        // A 2-entry ST with many distinct locks: most allocations overflow, requests
+        // are redirected to the Master SE and serviced via memory, but mutual exclusion
+        // and completion still hold.
+        let params = MechanismParams::new(MechanismKind::SynCron).with_st_entries(2);
+        let mut h = Harness::with_params(params);
+        let locks: Vec<Addr> = (0..16).map(|i| Addr((1 << 22) + i * 64)).collect();
+        for (i, &var) in locks.iter().enumerate() {
+            let c = core((i % 4) as u8, (i % 16) as u8);
+            h.request(c, SyncRequest::LockAcquire { var });
+        }
+        assert_eq!(h.completed().len(), locks.len(), "uncontended locks all granted");
+        for (i, &var) in locks.iter().enumerate() {
+            let c = core((i % 4) as u8, (i % 16) as u8);
+            h.request(c, SyncRequest::LockRelease { var });
+        }
+        let stats = h.mech.stats(h.ctx.now);
+        assert!(stats.overflowed_requests > 0, "expected ST overflow");
+        assert!(stats.mem_accesses > 0, "overflow must touch memory");
+    }
+
+    #[test]
+    fn misar_overflow_modes_cost_more_traffic_than_integrated() {
+        let locks: Vec<Addr> = (0..24).map(|i| Addr((1 << 22) + i * 64)).collect();
+        let run = |mode: OverflowMode| {
+            let params = MechanismParams::new(MechanismKind::SynCron)
+                .with_st_entries(2)
+                .with_overflow_mode(mode);
+            let mut h = Harness::with_params(params);
+            // Hold many distinct locks at the same time so the 2-entry STs overflow.
+            for (i, &var) in locks.iter().enumerate() {
+                let c = core((i % 4) as u8, (i % 16) as u8);
+                h.request(c, SyncRequest::LockAcquire { var });
+            }
+            for (i, &var) in locks.iter().enumerate() {
+                let c = core((i % 4) as u8, (i % 16) as u8);
+                h.request(c, SyncRequest::LockRelease { var });
+            }
+            assert_eq!(
+                h.completed().len(),
+                locks.len(),
+                "{mode:?}: every acquire must complete"
+            );
+            h.ctx.local_hops + h.ctx.remote_hops
+        };
+        let integrated = run(OverflowMode::Integrated);
+        let central = run(OverflowMode::MiSarCentral);
+        let distrib = run(OverflowMode::MiSarDistributed);
+        assert!(central > integrated, "central {central} vs integrated {integrated}");
+        assert!(distrib > integrated, "distrib {distrib} vs integrated {integrated}");
+    }
+
+    #[test]
+    fn stats_track_messages_and_occupancy() {
+        let mut h = Harness::new(MechanismKind::SynCron);
+        let var = lock_var();
+        h.request(core(0, 0), SyncRequest::LockAcquire { var });
+        h.request(core(0, 0), SyncRequest::LockRelease { var });
+        let stats = h.mech.stats(h.ctx.now);
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.completions, 1);
+        assert!(stats.local_messages >= 2);
+        assert!(stats.global_messages >= 1, "acquire crossed to the master SE");
+        assert!(stats.st_max_occupancy > 0.0);
+        assert_eq!(stats.overflowed_requests, 0);
+    }
+
+    #[test]
+    fn central_serializes_all_requests_on_one_server() {
+        // With Central, every request goes to unit 0's server; requests from unit 0
+        // cores do not cross units but requests from other units do.
+        let mut h = Harness::new(MechanismKind::Central);
+        let var = lock_var(); // homed at unit 1, but Central serves everything at unit 0
+        h.request(core(0, 0), SyncRequest::LockAcquire { var });
+        assert_eq!(h.ctx.remote_hops, 0);
+        h.request(core(0, 0), SyncRequest::LockRelease { var });
+        h.request(core(2, 0), SyncRequest::LockAcquire { var });
+        assert!(h.ctx.remote_hops > 0);
+        h.request(core(2, 0), SyncRequest::LockRelease { var });
+    }
+}

@@ -1,0 +1,136 @@
+//! The in-memory `syncronVar` structure used during ST overflow.
+//!
+//! Section 4.3.1 of the paper: synchronization variables are allocated by the NDP
+//! driver as an opaque `syncronVar` structure in main memory. During ST overflow the
+//! Master SE coordinates synchronization by reading and writing this structure instead
+//! of its (full) Synchronization Table. The structure holds one waiting list per SE of
+//! the system (one bit per NDP core of that unit), a `VarInfo` field with the same
+//! per-primitive meaning as the ST's `TableInfo`, and an `OverflowInfo` bitmask
+//! recording which SEs have overflowed for this variable.
+
+use crate::table::Waitlist;
+use syncron_sim::{Addr, UnitId};
+
+/// The driver-allocated, memory-resident synchronization variable (Figure 9).
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SyncronVar {
+    /// Address the variable is allocated at (its home NDP unit is derived from it).
+    pub addr: Addr,
+    /// One waiting list per SE of the system; each holds one bit per NDP core of the
+    /// corresponding unit (`uint16_t Waitlist[4]` in the paper's 4-unit configuration).
+    pub waitlists: Vec<Waitlist>,
+    /// Per-primitive information (lock owner, barrier count, semaphore resources, or
+    /// associated lock address), `uint64_t VarInfo` in the paper.
+    pub var_info: u64,
+    /// Bitmask of SEs that have overflowed for this variable, `uint8_t OverflowInfo`.
+    pub overflow_info: u8,
+}
+
+impl SyncronVar {
+    /// Size of the structure in bytes for a system with `units` NDP units: the paper's
+    /// `struct syncronVar_t` is 4 × 2-byte waitlists + 8-byte VarInfo + 1-byte
+    /// OverflowInfo.
+    pub fn size_bytes(units: usize) -> u64 {
+        (units * 2 + 8 + 1) as u64
+    }
+
+    /// Creates an empty variable for a system with `units` NDP units.
+    pub fn new(addr: Addr, units: usize) -> Self {
+        SyncronVar {
+            addr,
+            waitlists: vec![Waitlist::EMPTY; units],
+            var_info: 0,
+            overflow_info: 0,
+        }
+    }
+
+    /// Sets the waiting bit of `core_index` in the waiting list of `unit`.
+    pub fn set_waiter(&mut self, unit: UnitId, core_index: usize) {
+        self.waitlists[unit.index()].set(core_index);
+    }
+
+    /// Clears the waiting bit of `core_index` in the waiting list of `unit`.
+    pub fn clear_waiter(&mut self, unit: UnitId, core_index: usize) {
+        self.waitlists[unit.index()].clear(core_index);
+    }
+
+    /// Sets **all** bits of `unit`'s waiting list — how the Master SE represents "some
+    /// cores of this (non-overflowed) unit are waiting" when it only receives an
+    /// aggregated global message from that unit's SE (Section 4.3.2).
+    pub fn set_unit_waiting(&mut self, unit: UnitId, cores_per_unit: usize) {
+        for i in 0..cores_per_unit {
+            self.waitlists[unit.index()].set(i);
+        }
+    }
+
+    /// Clears all bits of `unit`'s waiting list.
+    pub fn clear_unit_waiting(&mut self, unit: UnitId) {
+        self.waitlists[unit.index()] = Waitlist::EMPTY;
+    }
+
+    /// Marks `unit`'s SE as overflowed for this variable.
+    pub fn mark_overflowed(&mut self, unit: UnitId) {
+        self.overflow_info |= 1 << unit.index();
+    }
+
+    /// Returns whether `unit`'s SE is marked overflowed.
+    pub fn is_overflowed(&self, unit: UnitId) -> bool {
+        self.overflow_info & (1 << unit.index()) != 0
+    }
+
+    /// Returns `true` when no core of any unit is waiting — the point at which the
+    /// Master SE decrements its indexing counter and notifies overflowed SEs with
+    /// `decrease_indexing_counter` messages.
+    pub fn all_waitlists_empty(&self) -> bool {
+        self.waitlists.iter().all(|w| w.is_empty())
+    }
+
+    /// Units whose SEs are marked overflowed (targets of `decrease_indexing_counter`).
+    pub fn overflowed_units(&self) -> Vec<UnitId> {
+        (0..self.waitlists.len())
+            .filter(|&u| self.overflow_info & (1 << u) != 0)
+            .map(|u| UnitId(u as u8))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_matches_paper_struct() {
+        // uint16_t Waitlist[4] + uint64_t VarInfo + uint8_t OverflowInfo = 17 bytes.
+        assert_eq!(SyncronVar::size_bytes(4), 17);
+    }
+
+    #[test]
+    fn waiter_bits_per_unit() {
+        let mut v = SyncronVar::new(Addr(0x100), 4);
+        v.set_waiter(UnitId(2), 5);
+        assert!(!v.all_waitlists_empty());
+        assert!(v.waitlists[2].contains(5));
+        v.clear_waiter(UnitId(2), 5);
+        assert!(v.all_waitlists_empty());
+    }
+
+    #[test]
+    fn unit_level_aggregation() {
+        let mut v = SyncronVar::new(Addr(0x100), 4);
+        v.set_unit_waiting(UnitId(1), 16);
+        assert_eq!(v.waitlists[1].count(), 16);
+        v.clear_unit_waiting(UnitId(1));
+        assert!(v.all_waitlists_empty());
+    }
+
+    #[test]
+    fn overflow_bookkeeping() {
+        let mut v = SyncronVar::new(Addr(0x100), 4);
+        assert!(!v.is_overflowed(UnitId(3)));
+        v.mark_overflowed(UnitId(3));
+        v.mark_overflowed(UnitId(0));
+        assert!(v.is_overflowed(UnitId(3)));
+        assert_eq!(v.overflowed_units(), vec![UnitId(0), UnitId(3)]);
+    }
+}

@@ -1,0 +1,411 @@
+//! The Synchronization Table (ST).
+//!
+//! Section 4.2.2 of the paper: each Synchronization Engine contains a 64-entry ST.
+//! Each entry holds (i) the 64-bit address of a synchronization variable, (ii) a
+//! *global waiting list* — one bit per SE of the system, used by the Master SE,
+//! (iii) a *local waiting list* — one bit per NDP core of the unit, (iv) a free/occupied
+//! state bit, and (v) a 64-bit `TableInfo` field whose meaning depends on the primitive
+//! (lock owner, barrier arrival count, available semaphore resources, or the lock
+//! address associated with a condition variable).
+//!
+//! The ST is the structure that gives SynCron its *direct buffering* property: as long
+//! as a variable has an ST entry, no memory access is needed to synchronize on it.
+//! Occupancy of the ST is reported in Table 7 of the paper and swept in Figure 22.
+
+use crate::request::PrimitiveKind;
+use syncron_sim::stats::TimeWeighted;
+use syncron_sim::time::Time;
+use syncron_sim::{Addr, CoreId, UnitId};
+
+/// A hardware bit queue holding one bit per waiter (local NDP cores or SEs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Waitlist(u64);
+
+impl Waitlist {
+    /// An empty waiting list.
+    pub const EMPTY: Waitlist = Waitlist(0);
+
+    /// Sets the bit for `index`.
+    pub fn set(&mut self, index: usize) {
+        debug_assert!(index < 64);
+        self.0 |= 1u64 << index;
+    }
+
+    /// Clears the bit for `index`.
+    pub fn clear(&mut self, index: usize) {
+        self.0 &= !(1u64 << index);
+    }
+
+    /// Returns whether the bit for `index` is set.
+    pub fn contains(&self, index: usize) -> bool {
+        self.0 & (1u64 << index) != 0
+    }
+
+    /// Returns `true` if no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Index of the lowest set bit, if any (the next waiter to serve).
+    pub fn first(&self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Removes and returns the lowest set bit.
+    pub fn pop_first(&mut self) -> Option<usize> {
+        let first = self.first()?;
+        self.clear(first);
+        Some(first)
+    }
+
+    /// The raw bit pattern.
+    pub fn bits(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Per-primitive `TableInfo` field of an ST entry (Figure 7 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TableInfo {
+    /// Lock: the current owner — either a local core or a remote SE.
+    LockOwner {
+        /// Owning SE (global ID), when the lock is held by another NDP unit.
+        global: Option<UnitId>,
+        /// Owning local core (local ID), when the lock is held within this unit.
+        local: Option<CoreId>,
+    },
+    /// Barrier: number of cores that have arrived so far.
+    BarrierCount(u32),
+    /// Semaphore: number of available resources.
+    SemResources(i64),
+    /// Condition variable: address of the associated lock.
+    CondLock(Addr),
+}
+
+/// One Synchronization Table entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StEntry {
+    /// Address of the synchronization variable buffered by this entry.
+    pub addr: Addr,
+    /// Global waiting list: one bit per SE of the system (used by the Master SE).
+    pub global_waitlist: Waitlist,
+    /// Local waiting list: one bit per NDP core of this unit.
+    pub local_waitlist: Waitlist,
+    /// Primitive-specific information.
+    pub info: TableInfo,
+    /// Primitive kind tracked by this entry.
+    pub kind: PrimitiveKind,
+}
+
+impl StEntry {
+    /// Size of one entry in bits (Figure 7): 64 address + 4 global + 16 local +
+    /// 1 state + 64 TableInfo = 149 bits for the paper's 4-unit / 16-core configuration.
+    pub fn bits(units: usize, cores_per_unit: usize) -> u32 {
+        64 + units as u32 + cores_per_unit as u32 + 1 + 64
+    }
+}
+
+/// The Synchronization Table of one Synchronization Engine.
+///
+/// # Example
+///
+/// ```
+/// use syncron_core::table::SynchronizationTable;
+/// use syncron_core::request::PrimitiveKind;
+/// use syncron_sim::{Addr, Time};
+///
+/// let mut st = SynchronizationTable::new(64);
+/// assert!(st.allocate(Time::ZERO, Addr(0x40), PrimitiveKind::Lock).is_some());
+/// assert!(st.lookup(Addr(0x40)).is_some());
+/// st.release(Time::from_ns(10), Addr(0x40));
+/// assert!(st.lookup(Addr(0x40)).is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SynchronizationTable {
+    entries: Vec<Option<StEntry>>,
+    occupancy: TimeWeighted,
+    occupied: usize,
+    allocations: u64,
+    rejections: u64,
+}
+
+impl SynchronizationTable {
+    /// Creates an empty ST with `capacity` entries (the paper uses 64; Figure 22
+    /// sweeps 8–64, Figure 23 up to 256).
+    pub fn new(capacity: usize) -> Self {
+        SynchronizationTable {
+            entries: vec![None; capacity.max(1)],
+            occupancy: TimeWeighted::new(),
+            occupied: 0,
+            allocations: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Total number of entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of currently occupied entries.
+    pub fn occupied(&self) -> usize {
+        self.occupied
+    }
+
+    /// Returns `true` if every entry is occupied.
+    pub fn is_full(&self) -> bool {
+        self.occupied == self.entries.len()
+    }
+
+    /// Looks up the entry for `addr`, if present.
+    pub fn lookup(&self, addr: Addr) -> Option<&StEntry> {
+        self.entries
+            .iter()
+            .flatten()
+            .find(|e| e.addr == addr)
+    }
+
+    /// Looks up the entry for `addr` mutably, if present.
+    pub fn lookup_mut(&mut self, addr: Addr) -> Option<&mut StEntry> {
+        self.entries
+            .iter_mut()
+            .flatten()
+            .find(|e| e.addr == addr)
+    }
+
+    /// Allocates an entry for `addr`. Returns `None` (and counts a rejection) if the
+    /// table is full; the caller must then fall back to the overflow path.
+    ///
+    /// If an entry for `addr` already exists it is returned unchanged.
+    pub fn allocate(
+        &mut self,
+        now: Time,
+        addr: Addr,
+        kind: PrimitiveKind,
+    ) -> Option<&mut StEntry> {
+        if self
+            .entries
+            .iter()
+            .flatten()
+            .any(|e| e.addr == addr)
+        {
+            return self.lookup_mut(addr);
+        }
+        let free = self.entries.iter().position(|e| e.is_none());
+        match free {
+            Some(slot) => {
+                let info = match kind {
+                    PrimitiveKind::Lock => TableInfo::LockOwner {
+                        global: None,
+                        local: None,
+                    },
+                    PrimitiveKind::Barrier => TableInfo::BarrierCount(0),
+                    PrimitiveKind::Semaphore => TableInfo::SemResources(0),
+                    PrimitiveKind::CondVar => TableInfo::CondLock(Addr(0)),
+                };
+                self.entries[slot] = Some(StEntry {
+                    addr,
+                    global_waitlist: Waitlist::EMPTY,
+                    local_waitlist: Waitlist::EMPTY,
+                    info,
+                    kind,
+                });
+                self.occupied += 1;
+                self.allocations += 1;
+                self.occupancy.update(now, self.occupied as f64);
+                self.entries[slot].as_mut()
+            }
+            None => {
+                self.rejections += 1;
+                None
+            }
+        }
+    }
+
+    /// Releases the entry for `addr` (no-op if absent).
+    pub fn release(&mut self, now: Time, addr: Addr) {
+        for slot in &mut self.entries {
+            if slot.as_ref().is_some_and(|e| e.addr == addr) {
+                *slot = None;
+                self.occupied -= 1;
+                self.occupancy.update(now, self.occupied as f64);
+                return;
+            }
+        }
+    }
+
+    /// Number of successful allocations so far.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Number of allocation attempts rejected because the table was full.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Maximum occupancy observed, as a fraction of capacity.
+    pub fn max_occupancy(&self) -> f64 {
+        self.occupancy.max() / self.capacity() as f64
+    }
+
+    /// Time-weighted average occupancy until `end`, as a fraction of capacity.
+    pub fn avg_occupancy(&self, end: Time) -> f64 {
+        self.occupancy.average_until(end) / self.capacity() as f64
+    }
+
+    /// Iterates over the occupied entries.
+    pub fn iter(&self) -> impl Iterator<Item = &StEntry> {
+        self.entries.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waitlist_set_clear_pop() {
+        let mut w = Waitlist::EMPTY;
+        assert!(w.is_empty());
+        w.set(3);
+        w.set(7);
+        assert!(w.contains(3));
+        assert!(!w.contains(4));
+        assert_eq!(w.count(), 2);
+        assert_eq!(w.first(), Some(3));
+        assert_eq!(w.pop_first(), Some(3));
+        assert_eq!(w.pop_first(), Some(7));
+        assert_eq!(w.pop_first(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn entry_size_matches_figure7() {
+        // 4 SEs, 16 cores per unit → 149 bits per entry.
+        assert_eq!(StEntry::bits(4, 16), 149);
+    }
+
+    #[test]
+    fn st_capacity_64_total_size_matches_table5() {
+        // Table 5 reports the ST as 1192 bytes for 64 entries: 64 * 149 bits = 9536 bits
+        // = 1192 bytes.
+        let bits = 64 * StEntry::bits(4, 16) as usize;
+        assert_eq!(bits / 8, 1192);
+    }
+
+    #[test]
+    fn allocate_lookup_release() {
+        let mut st = SynchronizationTable::new(4);
+        assert!(st.allocate(Time::ZERO, Addr(0x100), PrimitiveKind::Lock).is_some());
+        assert_eq!(st.occupied(), 1);
+        assert!(st.lookup(Addr(0x100)).is_some());
+        // Re-allocating the same address does not consume another entry.
+        assert!(st.allocate(Time::ZERO, Addr(0x100), PrimitiveKind::Lock).is_some());
+        assert_eq!(st.occupied(), 1);
+        st.release(Time::from_ns(5), Addr(0x100));
+        assert_eq!(st.occupied(), 0);
+        assert!(st.lookup(Addr(0x100)).is_none());
+    }
+
+    #[test]
+    fn full_table_rejects() {
+        let mut st = SynchronizationTable::new(2);
+        assert!(st.allocate(Time::ZERO, Addr(0x40), PrimitiveKind::Lock).is_some());
+        assert!(st.allocate(Time::ZERO, Addr(0x80), PrimitiveKind::Barrier).is_some());
+        assert!(st.is_full());
+        assert!(st.allocate(Time::ZERO, Addr(0xC0), PrimitiveKind::Lock).is_none());
+        assert_eq!(st.rejections(), 1);
+        // Releasing one entry makes room again.
+        st.release(Time::from_ns(1), Addr(0x40));
+        assert!(st.allocate(Time::from_ns(2), Addr(0xC0), PrimitiveKind::Lock).is_some());
+    }
+
+    #[test]
+    fn occupancy_statistics() {
+        let mut st = SynchronizationTable::new(4);
+        st.allocate(Time::ZERO, Addr(0x40), PrimitiveKind::Lock);
+        st.allocate(Time::ZERO, Addr(0x80), PrimitiveKind::Lock);
+        st.release(Time::from_ns(50), Addr(0x40));
+        st.release(Time::from_ns(100), Addr(0x80));
+        // Max occupancy was 2/4 = 0.5.
+        assert!((st.max_occupancy() - 0.5).abs() < 1e-9);
+        let avg = st.avg_occupancy(Time::from_ns(100));
+        assert!(avg > 0.0 && avg <= 0.5, "avg {avg}");
+    }
+
+    #[test]
+    fn table_info_defaults_per_primitive() {
+        let mut st = SynchronizationTable::new(8);
+        let lock = st.allocate(Time::ZERO, Addr(0x40), PrimitiveKind::Lock).unwrap();
+        assert!(matches!(lock.info, TableInfo::LockOwner { global: None, local: None }));
+        let bar = st.allocate(Time::ZERO, Addr(0x80), PrimitiveKind::Barrier).unwrap();
+        assert!(matches!(bar.info, TableInfo::BarrierCount(0)));
+        let sem = st.allocate(Time::ZERO, Addr(0xC0), PrimitiveKind::Semaphore).unwrap();
+        assert!(matches!(sem.info, TableInfo::SemResources(0)));
+        let cond = st.allocate(Time::ZERO, Addr(0x140), PrimitiveKind::CondVar).unwrap();
+        assert!(matches!(cond.info, TableInfo::CondLock(Addr(0))));
+        assert_eq!(st.iter().count(), 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Occupancy never exceeds capacity, lookups find exactly the live entries, and
+        /// allocations minus releases equals the occupied count.
+        #[test]
+        fn st_invariants(ops in proptest::collection::vec((any::<bool>(), 0u64..32), 1..300)) {
+            let mut st = SynchronizationTable::new(8);
+            let mut live: std::collections::HashSet<u64> = std::collections::HashSet::new();
+            let mut t = 0u64;
+            for (alloc, slot) in ops {
+                t += 1;
+                let addr = Addr(slot * 64);
+                if alloc {
+                    if st.allocate(Time::from_ns(t), addr, PrimitiveKind::Lock).is_some() {
+                        live.insert(slot);
+                    }
+                } else {
+                    st.release(Time::from_ns(t), addr);
+                    live.remove(&slot);
+                }
+                prop_assert!(st.occupied() <= st.capacity());
+                prop_assert_eq!(st.occupied(), live.len());
+                for &s in &live {
+                    prop_assert!(st.lookup(Addr(s * 64)).is_some());
+                }
+            }
+        }
+
+        /// Waitlist set/clear behaves like a set of small integers.
+        #[test]
+        fn waitlist_matches_model(ops in proptest::collection::vec((any::<bool>(), 0usize..16), 1..200)) {
+            let mut w = Waitlist::EMPTY;
+            let mut model = std::collections::BTreeSet::new();
+            for (set, idx) in ops {
+                if set { w.set(idx); model.insert(idx); } else { w.clear(idx); model.remove(&idx); }
+                prop_assert_eq!(w.count() as usize, model.len());
+                prop_assert_eq!(w.first(), model.iter().next().copied());
+                for i in 0..16 {
+                    prop_assert_eq!(w.contains(i), model.contains(&i));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # syncron-mem
+//!
+//! Memory-subsystem models for the SynCron (HPCA 2021) NDP simulator.
+//!
+//! The paper's baseline NDP architecture (Section 2.1, Table 5) gives each NDP unit a
+//! 3D-stacked (or planar) DRAM device and each NDP core a small private L1 cache.
+//! There is **no shared cache** and **no hardware cache coherence**: data is classified
+//! as thread-private, shared read-only (both cacheable), or shared read-write
+//! (uncacheable), i.e. software-assisted coherence.
+//!
+//! This crate provides:
+//!
+//! * [`dram`] — DRAM timing and energy models for the three memory technologies the
+//!   paper evaluates: HBM (2.5D NDP), HMC (3D NDP) and DDR4 (2D NDP), with per-bank
+//!   open-row tracking and bank-conflict serialization.
+//! * [`cache`] — the private per-core L1 model (16 KB, 2-way, 64 B lines, 4-cycle hits,
+//!   23/47 pJ per hit/miss) and the software-assisted [`cache::DataClass`] policy.
+//! * [`mesi`] — a directory-based MESI coherence model used **only** by the paper's
+//!   motivational baselines (the `mesi-lock` stack of Figure 2 and the CPU lock
+//!   microbenchmark of Table 1); the NDP system itself does not use hardware coherence.
+//! * [`energy`] — the energy tally (cache / network / memory picojoules) that the
+//!   evaluation reports (Figure 14) are built from.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod dram;
+pub mod energy;
+pub mod mesi;
+
+pub use cache::{CacheConfig, CacheOutcome, DataClass, L1Cache};
+pub use dram::{DramModel, DramSpec, MemTech};
+pub use energy::EnergyTally;
+pub use mesi::{MesiDirectory, MesiOutcome, MesiParams};

@@ -1,0 +1,217 @@
+//! Intra-unit buffered crossbar model.
+//!
+//! Table 5 of the paper: "buffered crossbar network with packet flow control; 1-cycle
+//! arbiter; 1-cycle per hop; 0.4 pJ/bit per hop; M/D/1 model for queueing latency".
+//!
+//! The model composes a fixed pipeline latency (arbiter + hops) with an analytic
+//! M/D/1 queueing delay whose arrival rate is measured online from the packet stream
+//! crossing the crossbar. The measured-load approach lets contention phases (e.g. all
+//! 16 cores hammering the local Synchronization Engine) see growing queueing delay
+//! without simulating individual flits.
+
+use syncron_sim::queueing::{md1_wait, RateTracker};
+use syncron_sim::stats::Counter;
+use syncron_sim::time::{Freq, Time};
+
+/// Configuration of an intra-unit crossbar.
+#[derive(Clone, Copy, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CrossbarConfig {
+    /// Core/network clock used for the arbiter and hop cycles.
+    pub clock: Freq,
+    /// Arbiter latency in cycles (Table 5: 1).
+    pub arbiter_cycles: u64,
+    /// Number of hops a packet traverses on average (request + response paths are
+    /// charged separately by the caller).
+    pub hops: u64,
+    /// Flit width in bytes; a packet of `n` bytes occupies the switch for
+    /// `ceil(n / flit_bytes)` cycles.
+    pub flit_bytes: u64,
+    /// Energy per bit per hop, in picojoules (Table 5: 0.4 pJ/bit/hop).
+    pub pj_per_bit_hop: f64,
+    /// Maximum utilization the M/D/1 model is evaluated at (stability clamp).
+    pub max_utilization: f64,
+}
+
+impl Default for CrossbarConfig {
+    fn default() -> Self {
+        CrossbarConfig {
+            clock: Freq::ghz(2.5),
+            arbiter_cycles: 1,
+            hops: 2,
+            flit_bytes: 16,
+            pj_per_bit_hop: 0.4,
+            max_utilization: 0.95,
+        }
+    }
+}
+
+/// Traffic and energy counters of a [`Crossbar`].
+#[derive(Clone, Copy, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CrossbarStats {
+    /// Packets transferred.
+    pub packets: Counter,
+    /// Bytes transferred.
+    pub bytes: Counter,
+    /// Accumulated queueing delay (for average-latency reporting).
+    pub queueing_ps: Counter,
+}
+
+/// The intra-unit crossbar connecting NDP cores, the Synchronization Engine and the
+/// memory controller of one NDP unit.
+///
+/// # Example
+///
+/// ```
+/// use syncron_net::crossbar::{Crossbar, CrossbarConfig};
+/// use syncron_sim::Time;
+///
+/// let mut xbar = Crossbar::new(CrossbarConfig::default());
+/// let latency = xbar.transfer(Time::ZERO, 64);
+/// assert!(latency >= Time::from_ps(3 * 400)); // arbiter + 2 hops at 2.5 GHz
+/// assert_eq!(xbar.stats().bytes.get(), 64);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Crossbar {
+    config: CrossbarConfig,
+    rate: RateTracker,
+    stats: CrossbarStats,
+    energy_pj: f64,
+}
+
+impl Crossbar {
+    /// Creates an idle crossbar.
+    pub fn new(config: CrossbarConfig) -> Self {
+        Crossbar {
+            config,
+            // Measure load over a 2 µs window: long enough to smooth individual
+            // packets, short enough to follow contention phases.
+            rate: RateTracker::new(Time::from_us(2)),
+            stats: CrossbarStats::default(),
+            energy_pj: 0.0,
+        }
+    }
+
+    /// The crossbar's configuration.
+    pub fn config(&self) -> &CrossbarConfig {
+        &self.config
+    }
+
+    /// Transfers a packet of `bytes` across the crossbar at time `now` and returns the
+    /// latency the packet experiences (pipeline + serialization + queueing).
+    pub fn transfer(&mut self, now: Time, bytes: u64) -> Time {
+        let cfg = &self.config;
+        let flits = bytes.div_ceil(cfg.flit_bytes).max(1);
+        let service = cfg.clock.cycles_to_ps(flits);
+        let pipeline = cfg.clock.cycles_to_ps(cfg.arbiter_cycles + cfg.hops);
+
+        self.rate.record(now);
+        let lambda = self.rate.rate_per_ps(now);
+        let queueing = md1_wait(lambda, service, cfg.max_utilization);
+
+        self.stats.packets.inc();
+        self.stats.bytes.add(bytes);
+        self.stats.queueing_ps.add(queueing.as_ps());
+        self.energy_pj += bytes as f64 * 8.0 * cfg.pj_per_bit_hop * cfg.hops as f64;
+
+        pipeline + service + queueing
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CrossbarStats {
+        &self.stats
+    }
+
+    /// Total crossbar energy in picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        self.energy_pj
+    }
+
+    /// Average queueing delay per packet.
+    pub fn avg_queueing(&self) -> Time {
+        let pkts = self.stats.packets.get();
+        if pkts == 0 {
+            Time::ZERO
+        } else {
+            Time::from_ps(self.stats.queueing_ps.get() / pkts)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_latency_matches_pipeline() {
+        let mut xbar = Crossbar::new(CrossbarConfig::default());
+        // A single 16-byte packet on an idle crossbar: 1 arbiter + 2 hops + 1 flit cycle.
+        let lat = xbar.transfer(Time::ZERO, 16);
+        assert_eq!(lat, Time::from_ps(4 * 400));
+    }
+
+    #[test]
+    fn larger_packets_take_longer() {
+        let mut a = Crossbar::new(CrossbarConfig::default());
+        let mut b = Crossbar::new(CrossbarConfig::default());
+        let small = a.transfer(Time::ZERO, 16);
+        let large = b.transfer(Time::ZERO, 64);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn queueing_grows_under_load() {
+        let mut xbar = Crossbar::new(CrossbarConfig::default());
+        let idle = xbar.transfer(Time::ZERO, 64);
+        // Hammer the crossbar with a packet every nanosecond.
+        let mut last = Time::ZERO;
+        for i in 1..2000u64 {
+            last = xbar.transfer(Time::from_ns(i), 64);
+        }
+        assert!(last > idle, "loaded latency {last} should exceed idle {idle}");
+        assert!(xbar.avg_queueing() > Time::ZERO);
+    }
+
+    #[test]
+    fn energy_proportional_to_bytes_and_hops() {
+        let cfg = CrossbarConfig::default();
+        let mut xbar = Crossbar::new(cfg);
+        xbar.transfer(Time::ZERO, 100);
+        let expected = 100.0 * 8.0 * cfg.pj_per_bit_hop * cfg.hops as f64;
+        assert!((xbar.energy_pj() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut xbar = Crossbar::new(CrossbarConfig::default());
+        for i in 0..10u64 {
+            xbar.transfer(Time::from_ns(i * 100), 32);
+        }
+        assert_eq!(xbar.stats().packets.get(), 10);
+        assert_eq!(xbar.stats().bytes.get(), 320);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Latency is always at least the unloaded pipeline latency and finite.
+        #[test]
+        fn latency_bounded_below(pkts in proptest::collection::vec((0u64..1_000_000, 1u64..256), 1..200)) {
+            let cfg = CrossbarConfig::default();
+            let mut xbar = Crossbar::new(cfg);
+            let floor = cfg.clock.cycles_to_ps(cfg.arbiter_cycles + cfg.hops + 1);
+            let mut sorted = pkts.clone();
+            sorted.sort();
+            for (t, bytes) in sorted {
+                let lat = xbar.transfer(Time::from_ps(t), bytes);
+                prop_assert!(lat >= floor);
+                prop_assert!(lat < Time::from_ms(1));
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # syncron-net
+//!
+//! Interconnect models for the SynCron (HPCA 2021) NDP simulator.
+//!
+//! The paper's system (Table 5) has two levels of interconnect with very different
+//! costs, and that asymmetry is the central motivation for SynCron's hierarchical
+//! design:
+//!
+//! * **Inside an NDP unit** — a buffered crossbar with packet flow control, a 1-cycle
+//!   arbiter, 1 cycle per hop, M/D/1 queueing latency, and 0.4 pJ/bit/hop
+//!   ([`crossbar::Crossbar`]).
+//! * **Across NDP units** — serial interconnection links with 12.8 GB/s per direction,
+//!   40 ns per cache line, an extra 20-cycle controller latency, and 4 pJ/bit
+//!   ([`link::InterUnitLink`]).
+//!
+//! Both models account transferred bytes and energy so the evaluation can reproduce the
+//! paper's data-movement (Figure 15) and energy (Figure 14) results.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod crossbar;
+pub mod link;
+pub mod traffic;
+
+pub use crossbar::{Crossbar, CrossbarConfig};
+pub use link::{InterUnitLink, LinkConfig};
+pub use traffic::TrafficStats;

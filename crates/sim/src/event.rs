@@ -1,0 +1,221 @@
+//! Discrete-event queue.
+//!
+//! The simulator advances time by repeatedly popping the earliest pending event.
+//! Events scheduled for the same timestamp are delivered in FIFO order (insertion
+//! order), which keeps simulations deterministic and makes protocol races easy to
+//! reason about in tests.
+
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered, insertion-stable event queue.
+///
+/// # Example
+///
+/// ```
+/// use syncron_sim::event::EventQueue;
+/// use syncron_sim::time::Time;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Time::from_ns(5), "b");
+/// q.push(Time::from_ns(1), "a");
+/// q.push(Time::from_ns(5), "c");
+/// assert_eq!(q.pop(), Some((Time::from_ns(1), "a")));
+/// assert_eq!(q.pop(), Some((Time::from_ns(5), "b")));
+/// assert_eq!(q.pop(), Some((Time::from_ns(5), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    popped: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty event queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Creates an empty event queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    pub fn push(&mut self, at: Time, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest pending event, or `None` if the queue is empty.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|Reverse(e)| {
+            self.popped += 1;
+            (e.at, e.event)
+        })
+    }
+
+    /// Returns the timestamp of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events scheduled so far (including already-delivered ones).
+    pub fn scheduled_total(&self) -> u64 {
+        self.seq
+    }
+
+    /// Total number of events delivered so far.
+    pub fn delivered_total(&self) -> u64 {
+        self.popped
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(30), 3);
+        q.push(Time::from_ps(10), 1);
+        q.push(Time::from_ps(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_within_same_timestamp() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Time::from_ps(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn counts_scheduled_and_delivered() {
+        let mut q = EventQueue::new();
+        q.push(Time::ZERO, ());
+        q.push(Time::ZERO, ());
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.delivered_total(), 0);
+        q.pop();
+        assert_eq!(q.delivered_total(), 1);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from_ns(9), 'x');
+        q.push(Time::from_ns(2), 'y');
+        assert_eq!(q.peek_time(), Some(Time::from_ns(2)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping always yields events in non-decreasing time order, and events with
+        /// equal timestamps preserve insertion order.
+        #[test]
+        fn pops_are_monotone_and_stable(times in proptest::collection::vec(0u64..50, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(Time::from_ps(*t), i);
+            }
+            let mut last: Option<(Time, usize)> = None;
+            while let Some((t, idx)) = q.pop() {
+                if let Some((lt, lidx)) = last {
+                    prop_assert!(t >= lt);
+                    if t == lt {
+                        prop_assert!(idx > lidx);
+                    }
+                }
+                last = Some((t, idx));
+            }
+        }
+
+        /// Every pushed event is delivered exactly once.
+        #[test]
+        fn conservation(times in proptest::collection::vec(0u64..1000, 0..300)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(Time::from_ps(*t), i);
+            }
+            let mut seen = vec![false; times.len()];
+            while let Some((_, idx)) = q.pop() {
+                prop_assert!(!seen[idx]);
+                seen[idx] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+}

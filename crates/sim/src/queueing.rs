@@ -1,0 +1,242 @@
+//! Analytic queueing models.
+//!
+//! The paper's simulation methodology (Table 5) models the queueing latency of the
+//! intra-unit buffered crossbar with an **M/D/1** model: Poisson arrivals, a
+//! deterministic service time, and a single server. This module provides that model
+//! plus a small utilization tracker that estimates the arrival rate from the stream
+//! of packets observed during simulation.
+
+use crate::time::Time;
+
+/// Mean waiting time of an M/D/1 queue.
+///
+/// For arrival rate `lambda` (packets per picosecond) and deterministic service time
+/// `service` the mean *waiting* time (excluding service) is
+/// `W = rho / (2 * mu * (1 - rho))` where `rho = lambda / mu` and `mu = 1 / service`.
+///
+/// The returned waiting time is clamped: if the utilization is at or above
+/// `max_utilization` (default callers use 0.95) the wait at that utilization is
+/// returned instead, keeping the model stable when the simulated network saturates.
+///
+/// # Example
+///
+/// ```
+/// use syncron_sim::queueing::md1_wait;
+/// use syncron_sim::time::Time;
+/// // Utilization 0.5 with a 1 ns service time waits 0.5 ns on average.
+/// let w = md1_wait(0.0005, Time::from_ns(1), 0.95);
+/// assert_eq!(w.as_ps(), 500);
+/// ```
+pub fn md1_wait(lambda_per_ps: f64, service: Time, max_utilization: f64) -> Time {
+    if lambda_per_ps <= 0.0 || service == Time::ZERO {
+        return Time::ZERO;
+    }
+    let s = service.as_ps() as f64;
+    let mu = 1.0 / s;
+    let rho = (lambda_per_ps / mu).min(max_utilization.clamp(0.0, 0.999));
+    if rho <= 0.0 {
+        return Time::ZERO;
+    }
+    let wait = rho / (2.0 * mu * (1.0 - rho));
+    Time::from_ps(wait.round() as u64)
+}
+
+/// Tracks the recent arrival rate of packets at a network port so the M/D/1 model can
+/// be evaluated with a locally-measured `lambda`.
+///
+/// The tracker uses an exponentially-decayed packet count over a configurable window,
+/// which reacts to bursts (high contention phases) but forgets idle periods.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RateTracker {
+    window: Time,
+    last: Time,
+    weight: f64,
+    total_packets: u64,
+}
+
+impl RateTracker {
+    /// Creates a tracker with the given averaging window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: Time) -> Self {
+        assert!(window > Time::ZERO, "rate window must be positive");
+        RateTracker {
+            window,
+            last: Time::ZERO,
+            weight: 0.0,
+            total_packets: 0,
+        }
+    }
+
+    /// Records the arrival of one packet at time `now`.
+    pub fn record(&mut self, now: Time) {
+        self.decay_to(now);
+        self.weight += 1.0;
+        self.total_packets += 1;
+    }
+
+    /// Returns the estimated arrival rate in packets per picosecond at time `now`.
+    pub fn rate_per_ps(&mut self, now: Time) -> f64 {
+        self.decay_to(now);
+        self.weight / self.window.as_ps() as f64
+    }
+
+    /// Total packets ever recorded.
+    pub fn total_packets(&self) -> u64 {
+        self.total_packets
+    }
+
+    fn decay_to(&mut self, now: Time) {
+        if now <= self.last {
+            return;
+        }
+        let dt = (now - self.last).as_ps() as f64;
+        let w = self.window.as_ps() as f64;
+        // Exponential decay with time constant = window.
+        self.weight *= (-dt / w).exp();
+        self.last = now;
+    }
+}
+
+/// A single-resource serializer: models a component (DRAM bank, inter-unit link,
+/// Synchronization Engine SPU) that can service one request at a time.
+///
+/// [`Serializer::acquire`] returns the time at which a request arriving at `now` and
+/// occupying the resource for `busy` actually starts service, after waiting for all
+/// previously accepted requests.
+#[derive(Clone, Copy, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Serializer {
+    busy_until: Time,
+}
+
+impl Serializer {
+    /// Creates an idle serializer.
+    pub fn new() -> Self {
+        Serializer {
+            busy_until: Time::ZERO,
+        }
+    }
+
+    /// Accepts a request arriving at `now` that occupies the resource for `busy`.
+    /// Returns the time service **starts**; the resource is then busy until
+    /// `start + busy`.
+    pub fn acquire(&mut self, now: Time, busy: Time) -> Time {
+        let start = now.max(self.busy_until);
+        self.busy_until = start + busy;
+        start
+    }
+
+    /// Time at which the resource becomes idle.
+    pub fn busy_until(&self) -> Time {
+        self.busy_until
+    }
+
+    /// Returns `true` if the resource is idle at `now`.
+    pub fn is_idle_at(&self, now: Time) -> bool {
+        self.busy_until <= now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md1_zero_load_is_zero_wait() {
+        assert_eq!(md1_wait(0.0, Time::from_ns(1), 0.95), Time::ZERO);
+        assert_eq!(md1_wait(0.5, Time::ZERO, 0.95), Time::ZERO);
+    }
+
+    #[test]
+    fn md1_wait_grows_with_load() {
+        let s = Time::from_ns(1);
+        let w1 = md1_wait(0.0001, s, 0.95);
+        let w2 = md1_wait(0.0005, s, 0.95);
+        let w3 = md1_wait(0.0009, s, 0.95);
+        assert!(w1 < w2 && w2 < w3, "{w1:?} {w2:?} {w3:?}");
+    }
+
+    #[test]
+    fn md1_wait_clamps_at_saturation() {
+        let s = Time::from_ns(1);
+        let at_limit = md1_wait(0.00095, s, 0.95);
+        let beyond = md1_wait(0.5, s, 0.95);
+        assert_eq!(at_limit, beyond);
+    }
+
+    #[test]
+    fn rate_tracker_estimates_rate() {
+        let mut rt = RateTracker::new(Time::from_ns(100));
+        // One packet every 1 ns for 200 packets: rate ≈ 0.001 packets/ps.
+        for i in 0..200u64 {
+            rt.record(Time::from_ns(i));
+        }
+        let rate = rt.rate_per_ps(Time::from_ns(200));
+        assert!(rate > 0.0004 && rate < 0.0012, "rate {rate}");
+        assert_eq!(rt.total_packets(), 200);
+    }
+
+    #[test]
+    fn rate_tracker_decays_when_idle() {
+        let mut rt = RateTracker::new(Time::from_ns(10));
+        for i in 0..50u64 {
+            rt.record(Time::from_ns(i));
+        }
+        let busy = rt.rate_per_ps(Time::from_ns(50));
+        let idle = rt.rate_per_ps(Time::from_us(1));
+        assert!(idle < busy / 10.0);
+    }
+
+    #[test]
+    fn serializer_orders_requests() {
+        let mut s = Serializer::new();
+        let start1 = s.acquire(Time::from_ns(0), Time::from_ns(5));
+        let start2 = s.acquire(Time::from_ns(1), Time::from_ns(5));
+        let start3 = s.acquire(Time::from_ns(20), Time::from_ns(5));
+        assert_eq!(start1, Time::from_ns(0));
+        assert_eq!(start2, Time::from_ns(5));
+        assert_eq!(start3, Time::from_ns(20));
+        assert!(s.is_idle_at(Time::from_ns(25)));
+        assert!(!s.is_idle_at(Time::from_ns(24)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The serializer never starts a request before it arrives and never overlaps
+        /// two requests.
+        #[test]
+        fn serializer_no_overlap(reqs in proptest::collection::vec((0u64..10_000, 1u64..100), 1..100)) {
+            let mut s = Serializer::new();
+            let mut sorted = reqs.clone();
+            sorted.sort();
+            let mut prev_end = Time::ZERO;
+            for (arrive, busy) in sorted {
+                let start = s.acquire(Time::from_ps(arrive), Time::from_ps(busy));
+                prop_assert!(start >= Time::from_ps(arrive));
+                prop_assert!(start >= prev_end);
+                prev_end = start + Time::from_ps(busy);
+            }
+        }
+
+        /// M/D/1 waiting time is monotone in the arrival rate.
+        #[test]
+        fn md1_monotone(lams in proptest::collection::vec(0.0f64..0.002, 2..20)) {
+            let s = Time::from_ns(1);
+            let mut sorted = lams.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let waits: Vec<Time> = sorted.iter().map(|&l| md1_wait(l, s, 0.95)).collect();
+            for w in waits.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! System configuration.
+//!
+//! [`NdpConfig`] captures the simulated machine of Table 5 of the paper and the knobs
+//! its sensitivity studies sweep: number of NDP units and cores, memory technology
+//! (HBM / HMC / DDR4), inter-unit link latency, synchronization mechanism and its
+//! parameters (ST size, overflow mode, fairness threshold), and the coherence mode
+//! used by the motivational MESI experiments.
+
+pub use syncron_mem::dram::MemTech;
+
+use syncron_core::mechanism::{MechanismKind, MechanismParams};
+use syncron_core::protocol::OverflowMode;
+use syncron_mem::cache::CacheConfig;
+use syncron_mem::mesi::MesiParams;
+use syncron_net::crossbar::CrossbarConfig;
+use syncron_net::link::LinkConfig;
+use syncron_sim::time::{Freq, Time};
+use syncron_sim::{CoreId, GlobalCoreId, UnitId};
+
+/// How shared read-write data is kept coherent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CoherenceMode {
+    /// The NDP baseline (Section 2.1): software-assisted coherence; shared read-write
+    /// data is uncacheable.
+    #[default]
+    SoftwareAssisted,
+    /// A directory-based MESI protocol over the cores' private caches. Used only by the
+    /// motivational experiments (Figure 2 and Table 1); real NDP systems do not
+    /// support it.
+    MesiDirectory,
+}
+
+/// Configuration of the simulated NDP system.
+#[derive(Clone, Copy, Debug)]
+pub struct NdpConfig {
+    /// Number of NDP units (Table 5: 4).
+    pub units: usize,
+    /// NDP cores per unit (Table 5: 16).
+    pub cores_per_unit: usize,
+    /// NDP core clock (Table 5: 2.5 GHz, in-order, CPI 1 for compute).
+    pub core_freq: Freq,
+    /// Memory technology attached to each unit.
+    pub mem_tech: MemTech,
+    /// Private L1 configuration.
+    pub l1: CacheConfig,
+    /// Intra-unit crossbar configuration.
+    pub crossbar: CrossbarConfig,
+    /// Inter-unit link configuration.
+    pub link: LinkConfig,
+    /// Synchronization mechanism and its parameters.
+    pub mechanism: MechanismParams,
+    /// Coherence mode for shared read-write data.
+    pub coherence: CoherenceMode,
+    /// Latency parameters of the MESI directory protocol (only used when `coherence`
+    /// is [`CoherenceMode::MesiDirectory`]).
+    pub mesi: MesiParams,
+    /// Whether one core per unit is reserved as a synchronization server / disabled for
+    /// SynCron, so that every scheme runs the same number of client cores (Section 5).
+    pub reserve_server_core: bool,
+    /// Deterministic seed used by workloads.
+    pub seed: u64,
+    /// Safety limit on delivered events, after which the run is aborted and the report
+    /// is marked incomplete.
+    pub max_events: u64,
+}
+
+impl NdpConfig {
+    /// The paper's default configuration: 4 NDP units × 16 cores, HBM (2.5D NDP),
+    /// 40 ns / 12.8 GB/s inter-unit links, SynCron with a 64-entry ST.
+    pub fn paper_default() -> Self {
+        NdpConfig {
+            units: 4,
+            cores_per_unit: 16,
+            core_freq: Freq::ghz(2.5),
+            mem_tech: MemTech::Hbm,
+            l1: CacheConfig::ndp_l1(),
+            crossbar: CrossbarConfig::default(),
+            link: LinkConfig::default(),
+            mechanism: MechanismParams::new(MechanismKind::SynCron),
+            coherence: CoherenceMode::SoftwareAssisted,
+            mesi: MesiParams::ndp_default(),
+            reserve_server_core: true,
+            seed: 0x5EED_5EED,
+            max_events: 400_000_000,
+        }
+    }
+
+    /// Starts building a configuration from the paper defaults.
+    pub fn builder() -> NdpConfigBuilder {
+        NdpConfigBuilder {
+            config: NdpConfig::paper_default(),
+        }
+    }
+
+    /// Total number of NDP cores, including any reserved server cores.
+    pub fn total_cores(&self) -> usize {
+        self.units * self.cores_per_unit
+    }
+
+    /// Number of client cores per unit (cores that execute the workload).
+    pub fn clients_per_unit(&self) -> usize {
+        if self.reserve_server_core {
+            self.cores_per_unit.saturating_sub(1).max(1)
+        } else {
+            self.cores_per_unit
+        }
+    }
+
+    /// Total number of client cores.
+    pub fn total_clients(&self) -> usize {
+        self.units * self.clients_per_unit()
+    }
+
+    /// The identities of the client cores, unit-major (the order workloads receive
+    /// them in [`crate::workload::Workload::build`]).
+    pub fn client_cores(&self) -> Vec<GlobalCoreId> {
+        let per_unit = self.clients_per_unit();
+        (0..self.units)
+            .flat_map(move |u| {
+                (0..per_unit).map(move |c| GlobalCoreId::new(UnitId(u as u8), CoreId(c as u8)))
+            })
+            .collect()
+    }
+
+    /// Period of one NDP core cycle.
+    pub fn core_cycle(&self) -> Time {
+        self.core_freq.period()
+    }
+}
+
+impl Default for NdpConfig {
+    fn default() -> Self {
+        NdpConfig::paper_default()
+    }
+}
+
+/// Builder for [`NdpConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct NdpConfigBuilder {
+    config: NdpConfig,
+}
+
+impl NdpConfigBuilder {
+    /// Sets the number of NDP units.
+    pub fn units(mut self, units: usize) -> Self {
+        self.config.units = units.max(1);
+        self
+    }
+
+    /// Sets the number of NDP cores per unit.
+    pub fn cores_per_unit(mut self, cores: usize) -> Self {
+        self.config.cores_per_unit = cores.max(1);
+        self
+    }
+
+    /// Sets the memory technology (Figure 18 sweep).
+    pub fn mem_tech(mut self, tech: MemTech) -> Self {
+        self.config.mem_tech = tech;
+        self
+    }
+
+    /// Sets the synchronization mechanism with its default parameters.
+    pub fn mechanism(mut self, kind: MechanismKind) -> Self {
+        self.config.mechanism = MechanismParams::new(kind);
+        self
+    }
+
+    /// Sets the synchronization mechanism with explicit parameters.
+    pub fn mechanism_params(mut self, params: MechanismParams) -> Self {
+        self.config.mechanism = params;
+        self
+    }
+
+    /// Sets the ST size (Figure 22/23 sweeps).
+    pub fn st_entries(mut self, entries: usize) -> Self {
+        self.config.mechanism.st_entries = entries;
+        self
+    }
+
+    /// Sets the overflow mode (Figure 23 comparison).
+    pub fn overflow_mode(mut self, mode: OverflowMode) -> Self {
+        self.config.mechanism.overflow_mode = mode;
+        self
+    }
+
+    /// Sets the inter-unit per-cache-line transfer latency (Figures 16, 17, 21 sweeps).
+    pub fn link_latency(mut self, latency: Time) -> Self {
+        self.config.link.transfer_latency = latency;
+        self
+    }
+
+    /// Sets the coherence mode (MESI only for the motivational experiments).
+    pub fn coherence(mut self, mode: CoherenceMode) -> Self {
+        self.config.coherence = mode;
+        self
+    }
+
+    /// Sets the MESI latency parameters (e.g. [`MesiParams::cpu_two_socket`] for the
+    /// Table 1 CPU experiment).
+    pub fn mesi_params(mut self, params: MesiParams) -> Self {
+        self.config.mesi = params;
+        self
+    }
+
+    /// Controls whether one core per unit is reserved as a synchronization server.
+    pub fn reserve_server_core(mut self, reserve: bool) -> Self {
+        self.config.reserve_server_core = reserve;
+        self
+    }
+
+    /// Sets the workload seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the event safety limit.
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.config.max_events = max_events;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> NdpConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table5() {
+        let cfg = NdpConfig::paper_default();
+        assert_eq!(cfg.units, 4);
+        assert_eq!(cfg.cores_per_unit, 16);
+        assert_eq!(cfg.total_cores(), 64);
+        assert_eq!(cfg.core_freq.period(), Time::from_ps(400));
+        assert_eq!(cfg.mem_tech, MemTech::Hbm);
+        assert_eq!(cfg.link.transfer_latency, Time::from_ns(40));
+        assert_eq!(cfg.mechanism.kind, MechanismKind::SynCron);
+        assert_eq!(cfg.mechanism.st_entries, 64);
+    }
+
+    #[test]
+    fn client_cores_exclude_the_server_core() {
+        let cfg = NdpConfig::paper_default();
+        // Section 5: 15 client cores per NDP unit for every scheme.
+        assert_eq!(cfg.clients_per_unit(), 15);
+        assert_eq!(cfg.total_clients(), 60);
+        let clients = cfg.client_cores();
+        assert_eq!(clients.len(), 60);
+        assert!(clients.iter().all(|c| c.core.index() < 15));
+        // Without the reservation all cores are clients.
+        let cfg = NdpConfig::builder().reserve_server_core(false).build();
+        assert_eq!(cfg.total_clients(), 64);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let cfg = NdpConfig::builder()
+            .units(2)
+            .cores_per_unit(8)
+            .mem_tech(MemTech::Ddr4)
+            .mechanism(MechanismKind::Central)
+            .st_entries(16)
+            .link_latency(Time::from_ns(500))
+            .coherence(CoherenceMode::MesiDirectory)
+            .seed(7)
+            .max_events(1000)
+            .build();
+        assert_eq!(cfg.units, 2);
+        assert_eq!(cfg.cores_per_unit, 8);
+        assert_eq!(cfg.mem_tech, MemTech::Ddr4);
+        assert_eq!(cfg.mechanism.kind, MechanismKind::Central);
+        assert_eq!(cfg.mechanism.st_entries, 16);
+        assert_eq!(cfg.link.transfer_latency, Time::from_ns(500));
+        assert_eq!(cfg.coherence, CoherenceMode::MesiDirectory);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.max_events, 1000);
+    }
+
+    #[test]
+    fn client_core_order_is_unit_major() {
+        let cfg = NdpConfig::builder().units(2).cores_per_unit(3).build();
+        let clients = cfg.client_cores();
+        assert_eq!(clients[0], GlobalCoreId::new(UnitId(0), CoreId(0)));
+        assert_eq!(clients[2], GlobalCoreId::new(UnitId(1), CoreId(0)));
+    }
+}

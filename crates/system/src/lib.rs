@@ -1,0 +1,92 @@
+//! # syncron-system
+//!
+//! NDP system assembly for the SynCron (HPCA 2021) reproduction.
+//!
+//! This crate glues the substrates together into the simulated machine of Table 5:
+//! several NDP units, each with in-order NDP cores (2.5 GHz, private L1s), a local
+//! buffered crossbar and a DRAM device; serial links between units; and one
+//! synchronization mechanism (SynCron, Central, Hier, Ideal, …) serving the cores'
+//! `req_sync`/`req_async` requests.
+//!
+//! * [`config`] — the [`config::NdpConfig`] describing the machine (units, cores,
+//!   memory technology, link latency, mechanism parameters, coherence mode).
+//! * [`address`] — the shared physical address space, data placement (home units) and
+//!   software-assisted coherence data classes.
+//! * [`workload`] — the execution model: workloads provide one [`workload::CoreProgram`]
+//!   per client core, which the machine steps one [`workload::Action`] at a time.
+//! * [`machine`] — the event-driven machine itself.
+//! * [`report`] — the [`report::RunReport`] with execution time, energy breakdown,
+//!   data movement and synchronization statistics, mirroring the paper's figures.
+//!
+//! # Example
+//!
+//! ```
+//! use syncron_system::config::NdpConfig;
+//! use syncron_system::workload::{Action, CoreProgram, Workload};
+//! use syncron_system::{run_workload, AddressSpace};
+//! use syncron_core::{MechanismKind, SyncRequest};
+//! use syncron_sim::{Addr, GlobalCoreId, Time, UnitId};
+//!
+//! /// Each core acquires and releases one global lock a few times.
+//! struct TinyLock;
+//! struct TinyLockProgram { lock: Addr, remaining: u32, phase: u8 }
+//!
+//! impl CoreProgram for TinyLockProgram {
+//!     fn step(&mut self, _core: GlobalCoreId, _now: Time) -> Action {
+//!         if self.remaining == 0 { return Action::Done; }
+//!         match self.phase {
+//!             0 => { self.phase = 1; Action::Sync(SyncRequest::LockAcquire { var: self.lock }) }
+//!             _ => {
+//!                 self.phase = 0;
+//!                 self.remaining -= 1;
+//!                 Action::Sync(SyncRequest::LockRelease { var: self.lock })
+//!             }
+//!         }
+//!     }
+//!     fn ops_completed(&self) -> u64 { 3 }
+//! }
+//!
+//! impl Workload for TinyLock {
+//!     fn name(&self) -> String { "tiny-lock".into() }
+//!     fn build(
+//!         &self,
+//!         space: &mut AddressSpace,
+//!         _config: &NdpConfig,
+//!         clients: &[GlobalCoreId],
+//!     ) -> Vec<Box<dyn CoreProgram>> {
+//!         let lock = space.allocate_shared_rw(64, UnitId(0));
+//!         clients
+//!             .iter()
+//!             .map(|_| {
+//!                 Box::new(TinyLockProgram { lock, remaining: 3, phase: 0 })
+//!                     as Box<dyn CoreProgram>
+//!             })
+//!             .collect()
+//!     }
+//! }
+//!
+//! let config = NdpConfig::builder()
+//!     .units(2)
+//!     .cores_per_unit(4)
+//!     .mechanism(MechanismKind::SynCron)
+//!     .build();
+//! let report = run_workload(&config, &TinyLock);
+//! assert!(report.completed);
+//! assert!(report.sim_time > Time::ZERO);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod address;
+pub mod config;
+pub mod machine;
+pub mod report;
+pub mod workload;
+
+pub use address::{AddressSpace, DataClass};
+pub use config::{CoherenceMode, MemTech, NdpConfig};
+pub use machine::{run_workload, NdpMachine};
+pub use report::RunReport;
+pub use workload::{Action, CoreProgram, Workload};

@@ -1,0 +1,855 @@
+//! The event-driven NDP machine.
+//!
+//! [`NdpMachine`] assembles the substrates — per-core L1 caches, per-unit crossbars and
+//! DRAM devices, inter-unit links, a MESI directory (for the motivational experiments)
+//! and one synchronization mechanism — and steps the client cores' programs one
+//! [`Action`] at a time, charging each action's latency through the corresponding
+//! models. The machine is fully deterministic: same configuration and workload seed,
+//! same result.
+
+use crate::address::AddressSpace;
+use crate::config::{CoherenceMode, NdpConfig};
+use crate::report::RunReport;
+use crate::workload::{Action, CoreProgram, Workload};
+
+use syncron_core::mechanism::{build_mechanism, SyncContext, SyncMechanism};
+use syncron_mem::cache::L1Cache;
+use syncron_mem::dram::{DramModel, DramSpec};
+use syncron_mem::energy::EnergyTally;
+use syncron_mem::mesi::{CoherentAccess, MesiDirectory};
+use syncron_net::crossbar::Crossbar;
+use syncron_net::link::InterUnitLink;
+use syncron_net::traffic::TrafficStats;
+use syncron_sim::event::EventQueue;
+use syncron_sim::time::Time;
+use syncron_sim::{Addr, GlobalCoreId, UnitId};
+
+/// Size of a request header packet on the network, in bytes.
+const HDR_BYTES: u64 = 16;
+/// Size of a data (cache line) packet on the network, in bytes.
+const LINE_BYTES: u64 = 64;
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// A client core (by dense client index) is ready for its next action.
+    CoreStep(usize),
+    /// A blocking synchronization request completed; the core resumes.
+    CoreResume(GlobalCoreId),
+    /// A token scheduled by the synchronization mechanism is due.
+    SyncToken(u64),
+}
+
+/// Shared mutable machine state handed to the synchronization mechanism.
+struct MechCtx<'a> {
+    now: Time,
+    queue: &'a mut EventQueue<Event>,
+    crossbars: &'a mut [Crossbar],
+    links: &'a mut InterUnitLink,
+    drams: &'a mut [DramModel],
+    server_l1s: &'a mut [L1Cache],
+    traffic: &'a mut TrafficStats,
+    space: &'a AddressSpace,
+    units: usize,
+    cores_per_unit: usize,
+}
+
+impl std::fmt::Debug for MechCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MechCtx(now={})", self.now)
+    }
+}
+
+impl SyncContext for MechCtx<'_> {
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn schedule(&mut self, at: Time, token: u64) {
+        self.queue.push(at, Event::SyncToken(token));
+    }
+
+    fn local_hop(&mut self, unit: UnitId, bytes: u64) -> Time {
+        self.traffic.add_intra(bytes);
+        self.crossbars[unit.index()].transfer(self.now, bytes)
+    }
+
+    fn remote_hop(&mut self, from: UnitId, to: UnitId, bytes: u64) -> Time {
+        self.traffic.add_inter(bytes);
+        let mut lat = self.crossbars[from.index()].transfer(self.now, bytes);
+        lat += self.links.transfer(self.now + lat, from, to, bytes);
+        lat += self.crossbars[to.index()].transfer(self.now + lat, bytes);
+        lat
+    }
+
+    fn sync_mem_access(&mut self, unit: UnitId, addr: Addr, write: bool, cached: bool) -> Time {
+        let u = unit.index();
+        let mut lat = Time::ZERO;
+        if cached {
+            let outcome = self.server_l1s[u].access(addr, write);
+            lat += self.server_l1s[u].hit_latency();
+            if outcome.is_hit() {
+                return lat;
+            }
+        }
+        // Miss (or uncached syncronVar access): go to the unit's local DRAM through the
+        // crossbar.
+        lat += self.crossbars[u].transfer(self.now + lat, HDR_BYTES);
+        let done = self.drams[u].access(self.now + lat, addr, write);
+        lat = done.saturating_sub(self.now);
+        lat += self.crossbars[u].transfer(self.now + lat, LINE_BYTES);
+        self.traffic.add_intra(HDR_BYTES + LINE_BYTES);
+        lat
+    }
+
+    fn home_unit(&self, addr: Addr) -> UnitId {
+        self.space.home_unit(addr)
+    }
+
+    fn complete(&mut self, core: GlobalCoreId, at: Time) {
+        // The machine resolves the core's dense client index from its global identity.
+        self.queue.push(at.max(self.now), Event::CoreResume(core));
+    }
+
+    fn units(&self) -> usize {
+        self.units
+    }
+
+    fn cores_per_unit(&self) -> usize {
+        self.cores_per_unit
+    }
+}
+
+/// The simulated NDP system.
+pub struct NdpMachine {
+    config: NdpConfig,
+    space: AddressSpace,
+    clients: Vec<GlobalCoreId>,
+    client_index: std::collections::HashMap<GlobalCoreId, usize>,
+    programs: Vec<Box<dyn CoreProgram>>,
+    core_done: Vec<bool>,
+    done_count: usize,
+    last_finish: Time,
+    time: Time,
+    queue: EventQueue<Event>,
+    l1s: Vec<L1Cache>,
+    server_l1s: Vec<L1Cache>,
+    drams: Vec<DramModel>,
+    crossbars: Vec<Crossbar>,
+    links: InterUnitLink,
+    mesi: Option<MesiDirectory>,
+    mechanism: Option<Box<dyn SyncMechanism>>,
+    traffic: TrafficStats,
+    mesi_network_pj: f64,
+    workload_name: String,
+    instructions: u64,
+    loads: u64,
+    stores: u64,
+    sync_requests: u64,
+    events_delivered: u64,
+    completed: bool,
+}
+
+impl std::fmt::Debug for NdpMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "NdpMachine(workload={}, clients={}, time={})",
+            self.workload_name,
+            self.clients.len(),
+            self.time
+        )
+    }
+}
+
+impl NdpMachine {
+    /// Builds a machine for `config` running `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload returns a different number of programs than there are
+    /// client cores.
+    pub fn new(config: &NdpConfig, workload: &dyn Workload) -> Self {
+        let mut space = AddressSpace::new(config.units);
+        let clients = config.client_cores();
+        let programs = workload.build(&mut space, config, &clients);
+        assert_eq!(
+            programs.len(),
+            clients.len(),
+            "workload must provide one program per client core"
+        );
+        let client_index = clients
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, c)| (c, i))
+            .collect();
+
+        let dram_spec = DramSpec::for_tech(config.mem_tech);
+        let mesi = match config.coherence {
+            CoherenceMode::SoftwareAssisted => None,
+            CoherenceMode::MesiDirectory => Some(MesiDirectory::new(
+                config.units,
+                config.cores_per_unit,
+                config.mesi,
+            )),
+        };
+        let mechanism = build_mechanism(&config.mechanism, config.units, config.cores_per_unit);
+
+        let mut machine = NdpMachine {
+            config: *config,
+            space,
+            core_done: vec![false; clients.len()],
+            done_count: 0,
+            last_finish: Time::ZERO,
+            time: Time::ZERO,
+            queue: EventQueue::with_capacity(clients.len() * 4),
+            l1s: clients.iter().map(|_| L1Cache::new(config.l1)).collect(),
+            server_l1s: (0..config.units).map(|_| L1Cache::new(config.l1)).collect(),
+            drams: (0..config.units).map(|_| DramModel::new(dram_spec)).collect(),
+            crossbars: (0..config.units)
+                .map(|_| Crossbar::new(config.crossbar))
+                .collect(),
+            links: InterUnitLink::new(config.link),
+            mesi,
+            mechanism: Some(mechanism),
+            traffic: TrafficStats::new(),
+            mesi_network_pj: 0.0,
+            workload_name: workload.name(),
+            instructions: 0,
+            loads: 0,
+            stores: 0,
+            sync_requests: 0,
+            events_delivered: 0,
+            completed: false,
+            clients,
+            client_index,
+            programs,
+        };
+        for i in 0..machine.programs.len() {
+            machine.queue.push(Time::ZERO, Event::CoreStep(i));
+        }
+        machine
+    }
+
+    /// Runs the machine until every client core has finished (or the event safety
+    /// limit is reached) and returns the report.
+    pub fn run(&mut self) -> RunReport {
+        while let Some((at, event)) = self.queue.pop() {
+            self.time = self.time.max(at);
+            self.events_delivered += 1;
+            if self.events_delivered > self.config.max_events {
+                self.completed = false;
+                return self.build_report();
+            }
+            match event {
+                Event::CoreStep(idx) => self.step_core(idx),
+                Event::CoreResume(core) => {
+                    if let Some(&idx) = self.client_index.get(&core) {
+                        self.step_core(idx);
+                    }
+                }
+                Event::SyncToken(token) => self.with_mechanism(|mech, ctx| mech.deliver(ctx, token)),
+            }
+            if self.done_count == self.programs.len() {
+                self.completed = true;
+                break;
+            }
+        }
+        // If the queue drained without every core reporting Done, the workload
+        // deadlocked (e.g. a lock never released); report it as incomplete.
+        if self.done_count == self.programs.len() {
+            self.completed = true;
+        }
+        self.build_report()
+    }
+
+    fn step_core(&mut self, idx: usize) {
+        if self.core_done[idx] {
+            return;
+        }
+        let core = self.clients[idx];
+        let now = self.time;
+        let action = self.programs[idx].step(core, now);
+        match action {
+            Action::Compute { instrs } => {
+                self.instructions += instrs;
+                let latency = self.config.core_cycle().saturating_mul(instrs.max(1));
+                self.queue.push(now + latency, Event::CoreStep(idx));
+            }
+            Action::Load { addr } => {
+                self.loads += 1;
+                let latency = self.data_access(idx, core, addr, CoherentAccess::Read);
+                self.queue.push(now + latency, Event::CoreStep(idx));
+            }
+            Action::Store { addr } => {
+                self.stores += 1;
+                let latency = self.data_access(idx, core, addr, CoherentAccess::Write);
+                self.queue.push(now + latency, Event::CoreStep(idx));
+            }
+            Action::Rmw { addr } => {
+                self.loads += 1;
+                self.stores += 1;
+                let latency = self.data_access(idx, core, addr, CoherentAccess::Rmw);
+                self.queue.push(now + latency, Event::CoreStep(idx));
+            }
+            Action::Sync(req) => {
+                self.sync_requests += 1;
+                let blocking = req.is_blocking();
+                self.with_mechanism(|mech, ctx| mech.request(ctx, core, req));
+                if !blocking {
+                    // req_async commits as soon as the message is issued.
+                    let latency = self.config.core_cycle();
+                    self.queue.push(now + latency, Event::CoreStep(idx));
+                }
+                // Blocking requests resume when the mechanism completes them.
+            }
+            Action::Done => {
+                self.core_done[idx] = true;
+                self.done_count += 1;
+                self.last_finish = self.last_finish.max(now);
+            }
+        }
+    }
+
+    /// Latency of a data access by client `idx` to `addr`.
+    fn data_access(
+        &mut self,
+        idx: usize,
+        core: GlobalCoreId,
+        addr: Addr,
+        kind: CoherentAccess,
+    ) -> Time {
+        let class = self.space.class_of(addr);
+        let home = self.space.home_unit(addr);
+        let now = self.time;
+
+        // Coherent shared read-write data under the MESI mode goes through the
+        // directory protocol (Figure 2 / Table 1 baselines only).
+        if let Some(mesi) = self.mesi.as_mut() {
+            if !class.cacheable() {
+                let out = mesi.access(now, core, addr, kind, home);
+                // Account the protocol's traffic and energy analytically: control
+                // messages are header-sized, every message moves through the crossbars
+                // (and the links when crossing units).
+                let intra_bytes = u64::from(out.intra_msgs) * 2 * HDR_BYTES;
+                let inter_bytes = u64::from(out.inter_msgs) * (HDR_BYTES + LINE_BYTES) / 2;
+                if intra_bytes > 0 {
+                    self.traffic.add_intra(intra_bytes);
+                }
+                if inter_bytes > 0 {
+                    self.traffic.add_inter(inter_bytes);
+                }
+                self.mesi_network_pj += intra_bytes as f64 * 8.0
+                    * self.config.crossbar.pj_per_bit_hop
+                    * self.config.crossbar.hops as f64
+                    + inter_bytes as f64 * 8.0 * self.config.link.pj_per_bit;
+                for _ in 0..out.mem_accesses {
+                    self.drams[home.index()].access(now, addr, kind != CoherentAccess::Read);
+                }
+                // The requester's L1 energy for the probe/fill.
+                self.l1s[idx].access(addr, kind != CoherentAccess::Read);
+                return out.latency;
+            }
+        }
+
+        let write = kind != CoherentAccess::Read;
+        let mut lat = Time::ZERO;
+        if class.cacheable() {
+            let outcome = self.l1s[idx].access(addr, write);
+            lat += self.l1s[idx].hit_latency();
+            if outcome.is_hit() {
+                return lat;
+            }
+        }
+
+        // Miss or uncacheable: fetch/update the line in the home unit's DRAM.
+        let local = core.unit == home;
+        lat += self.crossbars[core.unit.index()].transfer(now + lat, HDR_BYTES);
+        if !local {
+            lat += self
+                .links
+                .transfer(now + lat, core.unit, home, HDR_BYTES);
+            lat += self.crossbars[home.index()].transfer(now + lat, HDR_BYTES);
+        }
+        let dram_done = self.drams[home.index()].access(now + lat, addr, write);
+        lat = dram_done.saturating_sub(now);
+        lat += self.crossbars[home.index()].transfer(now + lat, LINE_BYTES);
+        if !local {
+            lat += self
+                .links
+                .transfer(now + lat, home, core.unit, LINE_BYTES);
+            lat += self.crossbars[core.unit.index()].transfer(now + lat, LINE_BYTES);
+            self.traffic.add_inter(HDR_BYTES + LINE_BYTES);
+        } else {
+            self.traffic.add_intra(HDR_BYTES + LINE_BYTES);
+        }
+        // An atomic RMW under software-assisted coherence performs its update at the
+        // memory side; charge one extra core cycle for the returned old value check.
+        if kind == CoherentAccess::Rmw {
+            lat += self.config.core_cycle();
+        }
+        lat
+    }
+
+    fn with_mechanism<R>(
+        &mut self,
+        f: impl FnOnce(&mut dyn SyncMechanism, &mut MechCtx<'_>) -> R,
+    ) -> R {
+        let mut mech = self.mechanism.take().expect("mechanism in use");
+        let mut ctx = MechCtx {
+            now: self.time,
+            queue: &mut self.queue,
+            crossbars: &mut self.crossbars,
+            links: &mut self.links,
+            drams: &mut self.drams,
+            server_l1s: &mut self.server_l1s,
+            traffic: &mut self.traffic,
+            space: &self.space,
+            units: self.config.units,
+            cores_per_unit: self.config.cores_per_unit,
+        };
+        let result = f(mech.as_mut(), &mut ctx);
+        self.mechanism = Some(mech);
+        result
+    }
+
+    /// The configuration this machine runs.
+    pub fn config(&self) -> &NdpConfig {
+        &self.config
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.time
+    }
+
+    fn build_report(&mut self) -> RunReport {
+        let end = if self.last_finish > Time::ZERO {
+            self.last_finish
+        } else {
+            self.time
+        };
+        let mut energy = EnergyTally::new();
+        let mut l1_hits = 0u64;
+        let mut l1_accesses = 0u64;
+        for l1 in self.l1s.iter().chain(self.server_l1s.iter()) {
+            energy.add_cache(l1.energy_pj());
+            l1_hits += l1.stats().hits.get();
+            l1_accesses += l1.stats().accesses();
+        }
+        let mut dram_accesses = 0u64;
+        for dram in &self.drams {
+            energy.add_memory(dram.energy_pj());
+            dram_accesses += dram.stats().total_accesses();
+        }
+        for xbar in &self.crossbars {
+            energy.add_network(xbar.energy_pj());
+        }
+        energy.add_network(self.links.energy_pj());
+        energy.add_network(self.mesi_network_pj);
+
+        let total_ops: u64 = self.programs.iter().map(|p| p.ops_completed()).sum();
+        let sync = self
+            .mechanism
+            .as_ref()
+            .map(|m| m.stats(end))
+            .unwrap_or_default();
+        let mechanism_name = self
+            .mechanism
+            .as_ref()
+            .map(|m| m.name().to_string())
+            .unwrap_or_default();
+
+        RunReport {
+            workload: self.workload_name.clone(),
+            mechanism: mechanism_name,
+            sim_time: end,
+            completed: self.completed,
+            total_ops,
+            instructions: self.instructions,
+            loads: self.loads,
+            stores: self.stores,
+            sync_requests: self.sync_requests,
+            energy,
+            traffic: self.traffic,
+            sync,
+            dram_accesses,
+            l1_hit_ratio: if l1_accesses == 0 {
+                0.0
+            } else {
+                l1_hits as f64 / l1_accesses as f64
+            },
+        }
+    }
+}
+
+/// Convenience wrapper: builds a machine for `config`, runs `workload` to completion
+/// and returns the report.
+pub fn run_workload(config: &NdpConfig, workload: &dyn Workload) -> RunReport {
+    NdpMachine::new(config, workload).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::DataClass;
+    use syncron_core::request::{BarrierScope, SyncRequest};
+    use syncron_core::MechanismKind;
+    use syncron_sim::UnitId;
+
+    /// Each core increments a per-core counter `iterations` times, protected by one
+    /// global lock, mixing compute, memory and synchronization actions.
+    struct CounterWorkload {
+        iterations: u32,
+    }
+
+    struct CounterProgram {
+        lock: Addr,
+        slot: Addr,
+        remaining: u32,
+        phase: u8,
+        ops: u64,
+    }
+
+    impl CoreProgram for CounterProgram {
+        fn step(&mut self, _core: GlobalCoreId, _now: Time) -> Action {
+            if self.remaining == 0 {
+                return Action::Done;
+            }
+            let action = match self.phase {
+                0 => Action::Compute { instrs: 50 },
+                1 => Action::Sync(SyncRequest::LockAcquire { var: self.lock }),
+                2 => Action::Load { addr: self.slot },
+                3 => Action::Store { addr: self.slot },
+                4 => Action::Sync(SyncRequest::LockRelease { var: self.lock }),
+                _ => unreachable!(),
+            };
+            if self.phase == 4 {
+                self.phase = 0;
+                self.remaining -= 1;
+                self.ops += 1;
+            } else {
+                self.phase += 1;
+            }
+            action
+        }
+
+        fn ops_completed(&self) -> u64 {
+            self.ops
+        }
+    }
+
+    impl Workload for CounterWorkload {
+        fn name(&self) -> String {
+            "counter".into()
+        }
+
+        fn build(
+            &self,
+            space: &mut AddressSpace,
+            _config: &NdpConfig,
+            clients: &[GlobalCoreId],
+        ) -> Vec<Box<dyn CoreProgram>> {
+            let lock = space.allocate_shared_rw(64, UnitId(0));
+            let slots = space.allocate_shared_rw(64 * clients.len() as u64, UnitId(0));
+            clients
+                .iter()
+                .enumerate()
+                .map(|(i, _)| {
+                    Box::new(CounterProgram {
+                        lock,
+                        slot: slots.offset(64 * i as u64),
+                        remaining: self.iterations,
+                        phase: 0,
+                        ops: 0,
+                    }) as Box<dyn CoreProgram>
+                })
+                .collect()
+        }
+    }
+
+    /// All cores synchronize on a global barrier a few times.
+    struct BarrierWorkload {
+        rounds: u32,
+    }
+
+    struct BarrierProgram {
+        bar: Addr,
+        participants: u32,
+        remaining: u32,
+        compute_next: bool,
+    }
+
+    impl CoreProgram for BarrierProgram {
+        fn step(&mut self, _core: GlobalCoreId, _now: Time) -> Action {
+            if self.remaining == 0 {
+                return Action::Done;
+            }
+            if self.compute_next {
+                self.compute_next = false;
+                Action::Compute { instrs: 100 }
+            } else {
+                self.compute_next = true;
+                self.remaining -= 1;
+                Action::Sync(SyncRequest::BarrierWait {
+                    var: self.bar,
+                    participants: self.participants,
+                    scope: BarrierScope::AcrossUnits,
+                })
+            }
+        }
+
+        fn ops_completed(&self) -> u64 {
+            1
+        }
+    }
+
+    impl Workload for BarrierWorkload {
+        fn name(&self) -> String {
+            "barrier".into()
+        }
+
+        fn build(
+            &self,
+            space: &mut AddressSpace,
+            _config: &NdpConfig,
+            clients: &[GlobalCoreId],
+        ) -> Vec<Box<dyn CoreProgram>> {
+            let bar = space.allocate_shared_rw(64, UnitId(0));
+            clients
+                .iter()
+                .map(|_| {
+                    Box::new(BarrierProgram {
+                        bar,
+                        participants: clients.len() as u32,
+                        remaining: self.rounds,
+                        compute_next: true,
+                    }) as Box<dyn CoreProgram>
+                })
+                .collect()
+        }
+    }
+
+    fn small_config(kind: MechanismKind) -> NdpConfig {
+        NdpConfig::builder()
+            .units(2)
+            .cores_per_unit(4)
+            .mechanism(kind)
+            .build()
+    }
+
+    #[test]
+    fn counter_workload_completes_under_every_mechanism() {
+        for kind in MechanismKind::ALL {
+            let report = run_workload(&small_config(kind), &CounterWorkload { iterations: 5 });
+            assert!(report.completed, "{kind:?} did not complete");
+            assert_eq!(report.total_ops, 5 * 6, "{kind:?}");
+            assert!(report.sim_time > Time::ZERO);
+            assert!(report.sync_requests > 0);
+        }
+    }
+
+    #[test]
+    fn ideal_is_fastest_and_uses_least_energy() {
+        let workload = CounterWorkload { iterations: 10 };
+        let ideal = run_workload(&small_config(MechanismKind::Ideal), &workload);
+        for kind in [MechanismKind::Central, MechanismKind::Hier, MechanismKind::SynCron] {
+            let other = run_workload(&small_config(kind), &workload);
+            assert!(
+                other.sim_time >= ideal.sim_time,
+                "{kind:?} ({}) beat Ideal ({})",
+                other.sim_time,
+                ideal.sim_time
+            );
+            assert!(other.energy.total_pj() >= ideal.energy.total_pj());
+        }
+    }
+
+    #[test]
+    fn syncron_beats_central_under_contention() {
+        let workload = CounterWorkload { iterations: 20 };
+        let central = run_workload(&small_config(MechanismKind::Central), &workload);
+        let syncron = run_workload(&small_config(MechanismKind::SynCron), &workload);
+        assert!(
+            syncron.sim_time < central.sim_time,
+            "SynCron {} should beat Central {}",
+            syncron.sim_time,
+            central.sim_time
+        );
+    }
+
+    #[test]
+    fn barrier_workload_completes() {
+        for kind in [MechanismKind::SynCron, MechanismKind::Hier, MechanismKind::Ideal] {
+            let report = run_workload(&small_config(kind), &BarrierWorkload { rounds: 4 });
+            assert!(report.completed, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn report_accounts_energy_and_traffic() {
+        let report = run_workload(
+            &small_config(MechanismKind::SynCron),
+            &CounterWorkload { iterations: 5 },
+        );
+        assert!(report.energy.total_pj() > 0.0);
+        assert!(report.traffic.total_bytes() > 0);
+        assert!(report.dram_accesses > 0);
+        assert!(report.instructions > 0);
+        assert!(report.loads > 0 && report.stores > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = small_config(MechanismKind::SynCron);
+        let a = run_workload(&cfg, &CounterWorkload { iterations: 8 });
+        let b = run_workload(&cfg, &CounterWorkload { iterations: 8 });
+        assert_eq!(a.sim_time, b.sim_time);
+        assert_eq!(a.traffic, b.traffic);
+    }
+
+    #[test]
+    fn remote_data_costs_more_than_local() {
+        // A single core reading shared data homed locally vs remotely.
+        struct OneReader {
+            home: UnitId,
+        }
+        struct ReaderProgram {
+            addr: Addr,
+            remaining: u32,
+        }
+        impl CoreProgram for ReaderProgram {
+            fn step(&mut self, _c: GlobalCoreId, _n: Time) -> Action {
+                if self.remaining == 0 {
+                    return Action::Done;
+                }
+                self.remaining -= 1;
+                Action::Load { addr: self.addr }
+            }
+        }
+        impl Workload for OneReader {
+            fn name(&self) -> String {
+                "one-reader".into()
+            }
+            fn build(
+                &self,
+                space: &mut AddressSpace,
+                _c: &NdpConfig,
+                clients: &[GlobalCoreId],
+            ) -> Vec<Box<dyn CoreProgram>> {
+                let addr = space.allocate(4096, DataClass::SharedReadWrite, self.home);
+                clients
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| {
+                        Box::new(ReaderProgram {
+                            addr: addr.offset(64 * i as u64),
+                            remaining: if i == 0 { 100 } else { 0 },
+                        }) as Box<dyn CoreProgram>
+                    })
+                    .collect()
+            }
+        }
+        let cfg = small_config(MechanismKind::Ideal);
+        let local = run_workload(&cfg, &OneReader { home: UnitId(0) });
+        let remote = run_workload(&cfg, &OneReader { home: UnitId(1) });
+        assert!(remote.sim_time > local.sim_time);
+        assert!(remote.traffic.inter_unit_bytes > local.traffic.inter_unit_bytes);
+    }
+
+    #[test]
+    fn deadlocked_workload_reports_incomplete() {
+        // A core that acquires a lock twice without releasing deadlocks itself.
+        struct Deadlock;
+        struct DeadlockProgram {
+            lock: Addr,
+            acquired: u32,
+        }
+        impl CoreProgram for DeadlockProgram {
+            fn step(&mut self, _c: GlobalCoreId, _n: Time) -> Action {
+                self.acquired += 1;
+                Action::Sync(SyncRequest::LockAcquire { var: self.lock })
+            }
+        }
+        impl Workload for Deadlock {
+            fn name(&self) -> String {
+                "deadlock".into()
+            }
+            fn build(
+                &self,
+                space: &mut AddressSpace,
+                _c: &NdpConfig,
+                clients: &[GlobalCoreId],
+            ) -> Vec<Box<dyn CoreProgram>> {
+                let lock = space.allocate_shared_rw(64, UnitId(0));
+                clients
+                    .iter()
+                    .map(|_| Box::new(DeadlockProgram { lock, acquired: 0 }) as Box<dyn CoreProgram>)
+                    .collect()
+            }
+        }
+        let report = run_workload(&small_config(MechanismKind::SynCron), &Deadlock);
+        assert!(!report.completed);
+    }
+
+    #[test]
+    fn mesi_mode_runs_rmw_workload() {
+        struct SpinWorkload;
+        struct SpinProgram {
+            lock: Addr,
+            remaining: u32,
+            holding: bool,
+        }
+        impl CoreProgram for SpinProgram {
+            fn step(&mut self, _c: GlobalCoreId, _n: Time) -> Action {
+                if self.remaining == 0 {
+                    return Action::Done;
+                }
+                if self.holding {
+                    self.holding = false;
+                    self.remaining -= 1;
+                    Action::Store { addr: self.lock }
+                } else {
+                    self.holding = true;
+                    Action::Rmw { addr: self.lock }
+                }
+            }
+            fn ops_completed(&self) -> u64 {
+                1
+            }
+        }
+        impl Workload for SpinWorkload {
+            fn name(&self) -> String {
+                "spin".into()
+            }
+            fn build(
+                &self,
+                space: &mut AddressSpace,
+                _c: &NdpConfig,
+                clients: &[GlobalCoreId],
+            ) -> Vec<Box<dyn CoreProgram>> {
+                let lock = space.allocate_shared_rw(64, UnitId(0));
+                clients
+                    .iter()
+                    .map(|_| {
+                        Box::new(SpinProgram {
+                            lock,
+                            remaining: 10,
+                            holding: false,
+                        }) as Box<dyn CoreProgram>
+                    })
+                    .collect()
+            }
+        }
+        let cfg = NdpConfig::builder()
+            .units(2)
+            .cores_per_unit(4)
+            .coherence(CoherenceMode::MesiDirectory)
+            .mechanism(MechanismKind::Ideal)
+            .reserve_server_core(false)
+            .build();
+        let report = run_workload(&cfg, &SpinWorkload);
+        assert!(report.completed);
+        assert!(report.traffic.total_bytes() > 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Evaluation reports.
+//!
+//! A [`RunReport`] captures everything the paper's evaluation figures need from one
+//! simulation: execution time (speedups, Figures 10–13, 16–23), energy broken down into
+//! cache / network / memory (Figure 14), data movement inside and across NDP units
+//! (Figure 15), and the synchronization mechanism's statistics (ST occupancy for
+//! Table 7 and Figure 19, overflow fractions for Figures 22 and 23).
+
+use syncron_core::mechanism::SyncMechanismStats;
+use syncron_mem::energy::EnergyTally;
+use syncron_net::traffic::TrafficStats;
+use syncron_sim::time::Time;
+
+/// The outcome of one workload run on one configuration.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RunReport {
+    /// Workload name.
+    pub workload: String,
+    /// Synchronization mechanism name.
+    pub mechanism: String,
+    /// Simulated execution time (from start until the last client core finished).
+    pub sim_time: Time,
+    /// Whether every core finished before the event safety limit was hit.
+    pub completed: bool,
+    /// Application-level operations completed (data-structure ops, vertices, …).
+    pub total_ops: u64,
+    /// Instructions executed by client cores (compute actions).
+    pub instructions: u64,
+    /// Load actions executed.
+    pub loads: u64,
+    /// Store actions executed.
+    pub stores: u64,
+    /// Synchronization requests issued.
+    pub sync_requests: u64,
+    /// Energy breakdown.
+    pub energy: EnergyTally,
+    /// Data movement split into intra-unit and inter-unit bytes.
+    pub traffic: TrafficStats,
+    /// Synchronization mechanism statistics (messages, memory accesses, ST occupancy).
+    pub sync: SyncMechanismStats,
+    /// DRAM accesses performed (all units).
+    pub dram_accesses: u64,
+    /// Hit ratio across the client cores' L1 caches.
+    pub l1_hit_ratio: f64,
+}
+
+impl RunReport {
+    /// Throughput in operations per millisecond (the unit of Figure 11).
+    pub fn ops_per_ms(&self) -> f64 {
+        let ms = self.sim_time.as_ms_f64();
+        if ms <= 0.0 {
+            0.0
+        } else {
+            self.total_ops as f64 / ms
+        }
+    }
+
+    /// Throughput in operations per microsecond (the unit of Figure 16).
+    pub fn ops_per_us(&self) -> f64 {
+        self.ops_per_ms() / 1000.0
+    }
+
+    /// Speedup of this run relative to `baseline` (`> 1` means this run is faster).
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        let own = self.sim_time.as_ps();
+        if own == 0 {
+            return 0.0;
+        }
+        baseline.sim_time.as_ps() as f64 / own as f64
+    }
+
+    /// Slowdown of this run relative to `baseline` (`> 1` means this run is slower).
+    pub fn slowdown_over(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.sim_time.as_ps();
+        if base == 0 {
+            return 0.0;
+        }
+        self.sim_time.as_ps() as f64 / base as f64
+    }
+
+    /// Ratio of this run's total energy to `baseline`'s (`< 1` means this run uses
+    /// less energy).
+    pub fn energy_ratio_over(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.energy.total_pj();
+        if base <= 0.0 {
+            return 0.0;
+        }
+        self.energy.total_pj() / base
+    }
+
+    /// Ratio of this run's total data movement to `baseline`'s.
+    pub fn data_movement_ratio_over(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.traffic.total_bytes();
+        if base == 0 {
+            return 0.0;
+        }
+        self.traffic.total_bytes() as f64 / base as f64
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<16} {:<12} time={:<12} ops/ms={:<10.1} energy={:.1}uJ inter-unit={:.0}KB sync-msgs={}",
+            self.workload,
+            self.mechanism,
+            self.sim_time.to_string(),
+            self.ops_per_ms(),
+            self.energy.total_uj(),
+            self.traffic.inter_unit_bytes as f64 / 1024.0,
+            self.sync.local_messages + self.sync.global_messages,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(time_ns: u64, ops: u64) -> RunReport {
+        RunReport {
+            workload: "test".into(),
+            mechanism: "SynCron".into(),
+            sim_time: Time::from_ns(time_ns),
+            completed: true,
+            total_ops: ops,
+            instructions: 0,
+            loads: 0,
+            stores: 0,
+            sync_requests: 0,
+            energy: EnergyTally {
+                cache_pj: 10.0,
+                network_pj: 20.0,
+                memory_pj: 70.0,
+            },
+            traffic: TrafficStats {
+                intra_unit_bytes: 1000,
+                inter_unit_bytes: 500,
+                intra_unit_msgs: 10,
+                inter_unit_msgs: 5,
+            },
+            sync: SyncMechanismStats::default(),
+            dram_accesses: 0,
+            l1_hit_ratio: 0.5,
+        }
+    }
+
+    #[test]
+    fn throughput_units() {
+        let r = report(1_000_000, 500); // 1 ms, 500 ops
+        assert!((r.ops_per_ms() - 500.0).abs() < 1e-9);
+        assert!((r.ops_per_us() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_and_slowdown_are_reciprocal() {
+        let fast = report(1_000, 100);
+        let slow = report(2_000, 100);
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-9);
+        assert!((slow.slowdown_over(&fast) - 2.0).abs() < 1e-9);
+        assert!((slow.speedup_over(&fast) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_and_data_ratios() {
+        let a = report(1_000, 100);
+        let mut b = report(1_000, 100);
+        b.energy.memory_pj = 170.0;
+        b.traffic.inter_unit_bytes = 2000;
+        assert!((b.energy_ratio_over(&a) - 2.0).abs() < 1e-9);
+        assert!((b.data_movement_ratio_over(&a) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_contains_key_fields() {
+        let s = report(1_000_000, 500).summary();
+        assert!(s.contains("SynCron"));
+        assert!(s.contains("ops/ms"));
+    }
+}

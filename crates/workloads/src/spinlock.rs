@@ -1,0 +1,623 @@
+//! Coherence-based spin locks and the MESI-lock stack.
+//!
+//! These workloads reproduce the paper's *motivational* experiments, which show why
+//! coherence-based synchronization is a poor fit for NDP systems:
+//!
+//! * **Table 1** — throughput of a TTAS lock and a hierarchical ticket lock (HTL) on a
+//!   two-socket server, with 1 or 14 threads in one socket and 2 threads pinned to the
+//!   same or different sockets ([`SpinLockBench`]).
+//! * **Figure 2** — slowdown of a stack protected by a coarse-grained `mesi-lock`
+//!   (a TTAS lock over a MESI directory protocol) relative to an ideal zero-cost lock,
+//!   as the number of NDP cores and NDP units grows ([`LockedStack`]).
+//!
+//! The spin locks are built from [`Action::Rmw`] / [`Action::Load`] / [`Action::Store`]
+//! actions on shared read-write data and therefore only make sense under
+//! [`CoherenceMode::MesiDirectory`](syncron_system::config::CoherenceMode).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use syncron_core::request::SyncRequest;
+use syncron_sim::time::Time;
+use syncron_sim::{Addr, GlobalCoreId, UnitId};
+use syncron_system::address::AddressSpace;
+use syncron_system::config::NdpConfig;
+use syncron_system::workload::{Action, CoreProgram, Workload};
+
+/// Which spin-lock algorithm to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpinKind {
+    /// Test-and-test-and-set lock.
+    Ttas,
+    /// Hierarchical ticket lock: a per-socket ticket lock nested under a global one.
+    HierarchicalTicket,
+}
+
+impl SpinKind {
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpinKind::Ttas => "TTAS",
+            SpinKind::HierarchicalTicket => "HTL",
+        }
+    }
+}
+
+/// How the active threads of a [`SpinLockBench`] are placed on the sockets/units.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Placement {
+    /// Fill the first socket/unit before using the next (Table 1's "single-socket").
+    Packed,
+    /// Round-robin across sockets/units (Table 1's "different-socket").
+    Spread,
+}
+
+/// Functional state of one spin lock, shared between the simulated cores.
+#[derive(Debug, Default)]
+struct SpinState {
+    held: bool,
+    next_ticket: u64,
+    now_serving: u64,
+}
+
+/// The lock microbenchmark of Table 1: `active` threads repeatedly acquire and release
+/// one global lock with an empty critical section.
+#[derive(Clone, Copy, Debug)]
+pub struct SpinLockBench {
+    /// Which lock algorithm to use.
+    pub kind: SpinKind,
+    /// Number of active threads; the remaining client cores stay idle.
+    pub active: usize,
+    /// Thread placement across sockets/units.
+    pub placement: Placement,
+    /// Lock acquisitions per active thread.
+    pub iterations: u32,
+    /// Instructions of think time between acquisitions.
+    pub interval: u64,
+}
+
+impl SpinLockBench {
+    /// Creates the benchmark.
+    pub fn new(kind: SpinKind, active: usize, placement: Placement, iterations: u32) -> Self {
+        SpinLockBench {
+            kind,
+            active,
+            placement,
+            iterations,
+            interval: 50,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct HtlShared {
+    global: SpinState,
+    per_unit: Vec<SpinState>,
+}
+
+enum SpinProgramKind {
+    Idle,
+    Ttas {
+        lock: Addr,
+        state: Rc<RefCell<SpinState>>,
+    },
+    Htl {
+        global_lock: Addr,
+        local_lock: Addr,
+        state: Rc<RefCell<HtlShared>>,
+        my_global_ticket: u64,
+        my_local_ticket: u64,
+    },
+}
+
+/// Phases of a spin-lock acquire/release cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SpinPhase {
+    Think,
+    TryLocal,
+    SpinLocal,
+    TryGlobal,
+    SpinGlobal,
+    Release,
+}
+
+struct SpinProgram {
+    kind: SpinProgramKind,
+    phase: SpinPhase,
+    remaining: u32,
+    interval: u64,
+    ops: u64,
+    got_it: bool,
+}
+
+impl SpinProgram {
+    fn idle() -> Self {
+        SpinProgram {
+            kind: SpinProgramKind::Idle,
+            phase: SpinPhase::Think,
+            remaining: 0,
+            interval: 0,
+            ops: 0,
+            got_it: false,
+        }
+    }
+}
+
+impl CoreProgram for SpinProgram {
+    fn step(&mut self, core: GlobalCoreId, _now: Time) -> Action {
+        if self.remaining == 0 {
+            return Action::Done;
+        }
+        match &mut self.kind {
+            SpinProgramKind::Idle => Action::Done,
+            SpinProgramKind::Ttas { lock, state } => match self.phase {
+                SpinPhase::Think => {
+                    self.phase = SpinPhase::TryGlobal;
+                    Action::Compute {
+                        instrs: self.interval.max(1),
+                    }
+                }
+                SpinPhase::TryGlobal => {
+                    // Test-and-set: the functional outcome is decided when the RMW is
+                    // issued; its latency is charged by the MESI model.
+                    let mut s = state.borrow_mut();
+                    if s.held {
+                        self.got_it = false;
+                    } else {
+                        s.held = true;
+                        self.got_it = true;
+                    }
+                    self.phase = if self.got_it {
+                        SpinPhase::Release
+                    } else {
+                        SpinPhase::SpinGlobal
+                    };
+                    Action::Rmw { addr: *lock }
+                }
+                SpinPhase::SpinGlobal => {
+                    // Test: spin with loads until the lock looks free, then retry.
+                    if state.borrow().held {
+                        Action::Load { addr: *lock }
+                    } else {
+                        self.phase = SpinPhase::TryGlobal;
+                        Action::Load { addr: *lock }
+                    }
+                }
+                SpinPhase::Release => {
+                    state.borrow_mut().held = false;
+                    self.phase = SpinPhase::Think;
+                    self.remaining -= 1;
+                    self.ops += 1;
+                    Action::Store { addr: *lock }
+                }
+                _ => unreachable!("TTAS never uses local phases"),
+            },
+            SpinProgramKind::Htl {
+                global_lock,
+                local_lock,
+                state,
+                my_global_ticket,
+                my_local_ticket,
+            } => {
+                let unit = core.unit.index();
+                match self.phase {
+                    SpinPhase::Think => {
+                        self.phase = SpinPhase::TryLocal;
+                        Action::Compute {
+                            instrs: self.interval.max(1),
+                        }
+                    }
+                    SpinPhase::TryLocal => {
+                        let mut s = state.borrow_mut();
+                        *my_local_ticket = s.per_unit[unit].next_ticket;
+                        s.per_unit[unit].next_ticket += 1;
+                        self.phase = SpinPhase::SpinLocal;
+                        Action::Rmw { addr: *local_lock }
+                    }
+                    SpinPhase::SpinLocal => {
+                        let serving = state.borrow().per_unit[unit].now_serving;
+                        if serving == *my_local_ticket {
+                            self.phase = SpinPhase::TryGlobal;
+                        }
+                        Action::Load { addr: *local_lock }
+                    }
+                    SpinPhase::TryGlobal => {
+                        let mut s = state.borrow_mut();
+                        *my_global_ticket = s.global.next_ticket;
+                        s.global.next_ticket += 1;
+                        self.phase = SpinPhase::SpinGlobal;
+                        Action::Rmw { addr: *global_lock }
+                    }
+                    SpinPhase::SpinGlobal => {
+                        let serving = state.borrow().global.now_serving;
+                        if serving == *my_global_ticket {
+                            self.phase = SpinPhase::Release;
+                        }
+                        Action::Load { addr: *global_lock }
+                    }
+                    SpinPhase::Release => {
+                        let mut s = state.borrow_mut();
+                        s.global.now_serving += 1;
+                        s.per_unit[unit].now_serving += 1;
+                        self.phase = SpinPhase::Think;
+                        self.remaining -= 1;
+                        self.ops += 1;
+                        Action::Store { addr: *global_lock }
+                    }
+                }
+            }
+        }
+    }
+
+    fn ops_completed(&self) -> u64 {
+        self.ops
+    }
+}
+
+impl Workload for SpinLockBench {
+    fn name(&self) -> String {
+        format!(
+            "{}.{}threads.{}",
+            self.kind.name(),
+            self.active,
+            match self.placement {
+                Placement::Packed => "packed",
+                Placement::Spread => "spread",
+            }
+        )
+    }
+
+    fn build(
+        &self,
+        space: &mut AddressSpace,
+        config: &NdpConfig,
+        clients: &[GlobalCoreId],
+    ) -> Vec<Box<dyn CoreProgram>> {
+        let global_lock = space.allocate_shared_rw(64, UnitId(0));
+        let local_locks: Vec<Addr> = (0..config.units)
+            .map(|u| space.allocate_shared_rw(64, UnitId(u as u8)))
+            .collect();
+        let ttas_state = Rc::new(RefCell::new(SpinState::default()));
+        let htl_state = Rc::new(RefCell::new(HtlShared {
+            global: SpinState::default(),
+            per_unit: (0..config.units).map(|_| SpinState::default()).collect(),
+        }));
+
+        // Choose which client cores are active according to the placement policy.
+        let mut ordered: Vec<usize> = (0..clients.len()).collect();
+        if self.placement == Placement::Spread {
+            // Round-robin across units: sort by local core index first.
+            ordered.sort_by_key(|&i| (clients[i].core.index(), clients[i].unit.index()));
+        }
+        let active: std::collections::HashSet<usize> =
+            ordered.into_iter().take(self.active).collect();
+
+        clients
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if !active.contains(&i) {
+                    return Box::new(SpinProgram::idle()) as Box<dyn CoreProgram>;
+                }
+                let kind = match self.kind {
+                    SpinKind::Ttas => SpinProgramKind::Ttas {
+                        lock: global_lock,
+                        state: Rc::clone(&ttas_state),
+                    },
+                    SpinKind::HierarchicalTicket => SpinProgramKind::Htl {
+                        global_lock,
+                        local_lock: local_locks[c.unit.index()],
+                        state: Rc::clone(&htl_state),
+                        my_global_ticket: 0,
+                        my_local_ticket: 0,
+                    },
+                };
+                Box::new(SpinProgram {
+                    kind,
+                    phase: SpinPhase::Think,
+                    remaining: self.iterations,
+                    interval: self.interval,
+                    ops: 0,
+                    got_it: false,
+                }) as Box<dyn CoreProgram>
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: stack protected by a coarse-grained lock
+// ---------------------------------------------------------------------------
+
+/// Which lock protects the stack of Figure 2.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StackLock {
+    /// A TTAS spin lock over MESI coherence (`mesi-lock`).
+    MesiSpin,
+    /// The simulated synchronization mechanism's lock primitive (used with the Ideal
+    /// mechanism this is the paper's `ideal-lock`).
+    SyncPrimitive,
+}
+
+/// A stack protected by one coarse-grained lock; every core performs `pushes` push
+/// operations (Figure 2 and the `stack` data structure of Figure 11 use the same
+/// structure; this variant exists to compare lock implementations).
+#[derive(Clone, Copy, Debug)]
+pub struct LockedStack {
+    /// Lock implementation.
+    pub lock: StackLock,
+    /// Push operations per core.
+    pub pushes: u32,
+    /// Instructions of think time between operations.
+    pub interval: u64,
+}
+
+impl LockedStack {
+    /// Creates the workload.
+    pub fn new(lock: StackLock, pushes: u32) -> Self {
+        LockedStack {
+            lock,
+            pushes,
+            interval: 40,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct StackShared {
+    top: u64,
+    lock_state: SpinState,
+}
+
+struct LockedStackProgram {
+    lock_impl: StackLock,
+    lock_addr: Addr,
+    top_addr: Addr,
+    nodes_base: Addr,
+    shared: Rc<RefCell<StackShared>>,
+    interval: u64,
+    remaining: u32,
+    phase: u8,
+    got_it: bool,
+    ops: u64,
+}
+
+impl CoreProgram for LockedStackProgram {
+    fn step(&mut self, _core: GlobalCoreId, _now: Time) -> Action {
+        if self.remaining == 0 {
+            return Action::Done;
+        }
+        match self.phase {
+            // Think time.
+            0 => {
+                self.phase = 1;
+                Action::Compute {
+                    instrs: self.interval.max(1),
+                }
+            }
+            // Acquire the lock.
+            1 => match self.lock_impl {
+                StackLock::SyncPrimitive => {
+                    self.phase = 3;
+                    Action::Sync(SyncRequest::LockAcquire { var: self.lock_addr })
+                }
+                StackLock::MesiSpin => {
+                    let mut s = self.shared.borrow_mut();
+                    if s.lock_state.held {
+                        self.got_it = false;
+                    } else {
+                        s.lock_state.held = true;
+                        self.got_it = true;
+                    }
+                    self.phase = if self.got_it { 3 } else { 2 };
+                    Action::Rmw {
+                        addr: self.lock_addr,
+                    }
+                }
+            },
+            // Spin until the lock looks free (MESI lock only).
+            2 => {
+                if self.shared.borrow().lock_state.held {
+                    Action::Load {
+                        addr: self.lock_addr,
+                    }
+                } else {
+                    self.phase = 1;
+                    Action::Load {
+                        addr: self.lock_addr,
+                    }
+                }
+            }
+            // Critical section: read top, write the new node, update top.
+            3 => {
+                self.phase = 4;
+                Action::Load {
+                    addr: self.top_addr,
+                }
+            }
+            4 => {
+                let mut s = self.shared.borrow_mut();
+                s.top += 1;
+                let node = self.nodes_base.offset((s.top % 4096) * 64);
+                self.phase = 5;
+                Action::Store { addr: node }
+            }
+            5 => {
+                self.phase = 6;
+                Action::Store {
+                    addr: self.top_addr,
+                }
+            }
+            // Release the lock.
+            _ => {
+                self.phase = 0;
+                self.remaining -= 1;
+                self.ops += 1;
+                match self.lock_impl {
+                    StackLock::SyncPrimitive => {
+                        Action::Sync(SyncRequest::LockRelease { var: self.lock_addr })
+                    }
+                    StackLock::MesiSpin => {
+                        self.shared.borrow_mut().lock_state.held = false;
+                        Action::Store {
+                            addr: self.lock_addr,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn ops_completed(&self) -> u64 {
+        self.ops
+    }
+}
+
+impl Workload for LockedStack {
+    fn name(&self) -> String {
+        match self.lock {
+            StackLock::MesiSpin => "stack.mesi-lock".into(),
+            StackLock::SyncPrimitive => "stack.sync-lock".into(),
+        }
+    }
+
+    fn build(
+        &self,
+        space: &mut AddressSpace,
+        _config: &NdpConfig,
+        clients: &[GlobalCoreId],
+    ) -> Vec<Box<dyn CoreProgram>> {
+        let lock_addr = space.allocate_shared_rw(64, UnitId(0));
+        let top_addr = space.allocate_shared_rw(64, UnitId(0));
+        let nodes_base = space.allocate_shared_rw(64 * 4096, UnitId(0));
+        let shared = Rc::new(RefCell::new(StackShared {
+            top: 0,
+            lock_state: SpinState::default(),
+        }));
+        clients
+            .iter()
+            .map(|_| {
+                Box::new(LockedStackProgram {
+                    lock_impl: self.lock,
+                    lock_addr,
+                    top_addr,
+                    nodes_base,
+                    shared: Rc::clone(&shared),
+                    interval: self.interval,
+                    remaining: self.pushes,
+                    phase: 0,
+                    got_it: false,
+                    ops: 0,
+                }) as Box<dyn CoreProgram>
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncron_core::MechanismKind;
+    use syncron_system::config::CoherenceMode;
+    use syncron_system::run_workload;
+
+    fn mesi_config(units: usize, cores: usize) -> NdpConfig {
+        NdpConfig::builder()
+            .units(units)
+            .cores_per_unit(cores)
+            .coherence(CoherenceMode::MesiDirectory)
+            .mechanism(MechanismKind::Ideal)
+            .reserve_server_core(false)
+            .build()
+    }
+
+    #[test]
+    fn ttas_bench_completes_and_counts_ops() {
+        let bench = SpinLockBench::new(SpinKind::Ttas, 4, Placement::Packed, 20);
+        let report = run_workload(&mesi_config(2, 4), &bench);
+        assert!(report.completed);
+        assert_eq!(report.total_ops, 4 * 20);
+    }
+
+    #[test]
+    fn htl_bench_completes() {
+        let bench = SpinLockBench::new(SpinKind::HierarchicalTicket, 4, Placement::Spread, 10);
+        let report = run_workload(&mesi_config(2, 4), &bench);
+        assert!(report.completed);
+        assert_eq!(report.total_ops, 40);
+    }
+
+    #[test]
+    fn single_thread_scales_down_gracefully() {
+        let bench = SpinLockBench::new(SpinKind::Ttas, 1, Placement::Packed, 50);
+        let report = run_workload(&mesi_config(2, 4), &bench);
+        assert!(report.completed);
+        assert_eq!(report.total_ops, 50);
+    }
+
+    #[test]
+    fn contended_ttas_has_lower_per_thread_throughput() {
+        // Table 1's trend: per-thread throughput collapses as threads are added.
+        let one = run_workload(
+            &mesi_config(1, 14),
+            &SpinLockBench::new(SpinKind::Ttas, 1, Placement::Packed, 30),
+        );
+        let many = run_workload(
+            &mesi_config(1, 14),
+            &SpinLockBench::new(SpinKind::Ttas, 14, Placement::Packed, 30),
+        );
+        let one_tp = one.ops_per_ms();
+        let many_tp = many.ops_per_ms() / 14.0;
+        assert!(
+            many_tp < one_tp,
+            "per-thread throughput should drop: 1-thread {one_tp:.0} vs 14-thread {many_tp:.0}"
+        );
+    }
+
+    #[test]
+    fn cross_socket_threads_are_slower_than_same_socket() {
+        let same = run_workload(
+            &mesi_config(2, 14),
+            &SpinLockBench::new(SpinKind::Ttas, 2, Placement::Packed, 30),
+        );
+        let cross = run_workload(
+            &mesi_config(2, 14),
+            &SpinLockBench::new(SpinKind::Ttas, 2, Placement::Spread, 30),
+        );
+        assert!(
+            cross.sim_time > same.sim_time,
+            "cross-socket {} should be slower than same-socket {}",
+            cross.sim_time,
+            same.sim_time
+        );
+    }
+
+    #[test]
+    fn mesi_stack_slower_than_ideal_lock_stack() {
+        // Figure 2's headline: the MESI lock slows the stack down relative to an ideal
+        // zero-cost lock, and more so with more NDP units.
+        let mesi = run_workload(&mesi_config(2, 8), &LockedStack::new(StackLock::MesiSpin, 20));
+        let ideal_cfg = NdpConfig::builder()
+            .units(2)
+            .cores_per_unit(8)
+            .mechanism(MechanismKind::Ideal)
+            .reserve_server_core(false)
+            .build();
+        let ideal = run_workload(&ideal_cfg, &LockedStack::new(StackLock::SyncPrimitive, 20));
+        assert!(mesi.completed && ideal.completed);
+        assert!(
+            mesi.sim_time > ideal.sim_time,
+            "mesi-lock {} vs ideal-lock {}",
+            mesi.sim_time,
+            ideal.sim_time
+        );
+    }
+
+    #[test]
+    fn names_reflect_configuration() {
+        assert!(SpinLockBench::new(SpinKind::Ttas, 2, Placement::Spread, 1)
+            .name()
+            .contains("TTAS"));
+        assert_eq!(LockedStack::new(StackLock::MesiSpin, 1).name(), "stack.mesi-lock");
+    }
+}

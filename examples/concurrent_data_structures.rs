@@ -1,0 +1,52 @@
+//! Concurrent data structures on the simulated NDP system: throughput of a
+//! high-contention stack, a medium-contention hash table and the lock-heavy
+//! fine-grained BST under every synchronization scheme (the paper's Figure 11
+//! scenario), plus an ST-overflow demonstration (Figure 23).
+//!
+//! ```bash
+//! cargo run --release --example concurrent_data_structures
+//! ```
+
+use syncron::core::mechanism::MechanismParams;
+use syncron::core::protocol::OverflowMode;
+use syncron::prelude::*;
+use syncron::workloads::datastructures;
+
+fn main() {
+    println!("Pointer-chasing data structures, 4 NDP units x 16 cores, 40 ops per core\n");
+    for name in ["stack", "hash-table", "bst-fg"] {
+        println!("--- {name} ---");
+        for kind in MechanismKind::COMPARED {
+            let config = NdpConfig::builder().mechanism(kind).build();
+            let workload = datastructures::by_name(name, 40).expect("known structure");
+            let report = syncron::system::run_workload(&config, workload.as_ref());
+            println!(
+                "  {:<12} {:>10.1} ops/ms   sync requests={:<8} overflowed={:.1}%",
+                kind.name(),
+                report.ops_per_ms(),
+                report.sync_requests,
+                report.sync.overflow_fraction() * 100.0,
+            );
+        }
+    }
+
+    println!("\nST overflow management on bst-fg with a deliberately small 16-entry ST:");
+    for (label, mode) in [
+        ("integrated (SynCron)", OverflowMode::Integrated),
+        ("MiSAR-style central", OverflowMode::MiSarCentral),
+        ("MiSAR-style distributed", OverflowMode::MiSarDistributed),
+    ] {
+        let params = MechanismParams::new(MechanismKind::SynCron)
+            .with_st_entries(16)
+            .with_overflow_mode(mode);
+        let config = NdpConfig::builder().mechanism_params(params).build();
+        let workload = datastructures::by_name("bst-fg", 40).expect("bst-fg");
+        let report = syncron::system::run_workload(&config, workload.as_ref());
+        println!(
+            "  {:<24} {:>10.1} ops/ms   overflowed={:.1}%",
+            label,
+            report.ops_per_ms(),
+            report.sync.overflow_fraction() * 100.0,
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Graph analytics on the simulated NDP system: runs PageRank and BFS over a synthetic
+//! power-law graph under Central, Hier, SynCron and Ideal, and shows the effect of a
+//! better graph partitioning (the paper's Figure 12 / Figure 19 scenario).
+//!
+//! ```bash
+//! cargo run --release --example graph_analytics
+//! ```
+
+use syncron::prelude::*;
+use syncron::workloads::graph::{
+    edge_cut, partition_greedy, partition_striped, GraphAlgo, GraphApp, GraphInput, Partitioning,
+};
+
+fn main() {
+    let input = GraphInput {
+        name: "demo",
+        vertices: 2_000,
+        avg_degree: 8,
+        rmat: true,
+    };
+
+    // How much does the greedy (Metis-like) partitioner help the placement?
+    let graph = input.generate(1);
+    let striped_cut = edge_cut(&graph, &partition_striped(graph.vertices, 4));
+    let greedy_cut = edge_cut(&graph, &partition_greedy(&graph, 4));
+    println!(
+        "Synthetic R-MAT graph: {} vertices, {} directed edges, max degree {}",
+        graph.vertices,
+        graph.edge_slots(),
+        graph.max_degree()
+    );
+    println!("Edge cut across 4 NDP units: striped={striped_cut}  greedy={greedy_cut}\n");
+
+    for algo in [GraphAlgo::Pr, GraphAlgo::Bfs] {
+        println!("--- {} ---", algo.name());
+        let mut central = None;
+        for kind in MechanismKind::COMPARED {
+            let config = NdpConfig::builder().mechanism(kind).build();
+            let report =
+                syncron::system::run_workload(&config, &GraphApp::new(algo, input));
+            let speedup = central
+                .as_ref()
+                .map(|c: &RunReport| report.speedup_over(c))
+                .unwrap_or(1.0);
+            if kind == MechanismKind::Central {
+                central = Some(report.clone());
+            }
+            println!(
+                "  {:<12} time={:<12} speedup={:<6.2} inter-unit traffic={:>8} KB",
+                kind.name(),
+                report.sim_time.to_string(),
+                speedup,
+                report.traffic.inter_unit_bytes / 1024,
+            );
+        }
+    }
+
+    // Better placement: same app, greedy partitioning, SynCron.
+    println!("\n--- pr with better data placement (SynCron) ---");
+    for (label, partitioning) in [("striped", Partitioning::Striped), ("greedy", Partitioning::Greedy)] {
+        let config = NdpConfig::builder().mechanism(MechanismKind::SynCron).build();
+        let wl = GraphApp::new(GraphAlgo::Pr, input).with_partitioning(partitioning);
+        let report = syncron::system::run_workload(&config, &wl);
+        println!(
+            "  {:<8} time={:<12} inter-unit traffic={:>8} KB  max ST occupancy={:.0}%",
+            label,
+            report.sim_time.to_string(),
+            report.traffic.inter_unit_bytes / 1024,
+            report.sync.st_max_occupancy * 100.0,
+        );
+    }
+}

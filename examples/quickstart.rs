@@ -1,0 +1,43 @@
+//! Quickstart: build an NDP system, run a lock microbenchmark under every
+//! synchronization scheme, and compare the results.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use syncron::prelude::*;
+use syncron::workloads::micro::LockMicrobench;
+
+fn main() {
+    println!("SynCron quickstart: 4 NDP units x 16 cores, HBM, one contended lock\n");
+
+    // Every core computes for 200 instructions, then acquires and releases a single
+    // global lock (an empty critical section) — the paper's Figure 10 setup.
+    let workload = LockMicrobench::new(200, 20);
+
+    let mut central_time = None;
+    for kind in MechanismKind::COMPARED {
+        let config = NdpConfig::builder()
+            .units(4)
+            .cores_per_unit(16)
+            .mechanism(kind)
+            .build();
+        let report = syncron::system::run_workload(&config, &workload);
+        let speedup = central_time
+            .map(|t: Time| t.as_ps() as f64 / report.sim_time.as_ps() as f64)
+            .unwrap_or(1.0);
+        if kind == MechanismKind::Central {
+            central_time = Some(report.sim_time);
+        }
+        println!(
+            "{:<12} time={:<12} speedup-vs-Central={:<6.2} energy={:>10.1} uJ  sync messages={}",
+            kind.name(),
+            report.sim_time.to_string(),
+            speedup,
+            report.energy.total_uj(),
+            report.sync.local_messages + report.sync.global_messages,
+        );
+    }
+
+    println!("\nSynCron should land between Hier and the zero-overhead Ideal scheme.");
+}

@@ -1,0 +1,120 @@
+//! Cross-crate integration tests: workloads running on the full simulated NDP system
+//! through the public `syncron` facade.
+
+use syncron::prelude::*;
+use syncron::workloads::datastructures::{self, DsConfig};
+use syncron::workloads::datastructures::coarse::Stack;
+use syncron::workloads::graph::{GraphAlgo, GraphApp, GraphInput};
+use syncron::workloads::micro::{BarrierMicrobench, LockMicrobench};
+use syncron::workloads::timeseries::TimeSeries;
+
+fn config(kind: MechanismKind, units: usize, cores: usize) -> NdpConfig {
+    NdpConfig::builder()
+        .units(units)
+        .cores_per_unit(cores)
+        .mechanism(kind)
+        .build()
+}
+
+fn tiny_graph() -> GraphInput {
+    GraphInput {
+        name: "it",
+        vertices: 400,
+        avg_degree: 6,
+        rmat: true,
+    }
+}
+
+#[test]
+fn every_mechanism_runs_every_workload_class() {
+    for kind in MechanismKind::ALL {
+        let cfg = config(kind, 2, 4);
+        let micro = syncron::system::run_workload(&cfg, &LockMicrobench::new(100, 8));
+        assert!(micro.completed, "{kind:?} lock micro");
+
+        let ds = datastructures::by_name("hash-table", 10).unwrap();
+        let ds_report = syncron::system::run_workload(&cfg, ds.as_ref());
+        assert!(ds_report.completed, "{kind:?} hash table");
+
+        let graph = syncron::system::run_workload(&cfg, &GraphApp::new(GraphAlgo::Bfs, tiny_graph()));
+        assert!(graph.completed, "{kind:?} bfs");
+
+        let ts = TimeSeries::air().with_diagonals_per_core(1);
+        let ts_report = syncron::system::run_workload(&cfg, &ts);
+        assert!(ts_report.completed, "{kind:?} time series");
+    }
+}
+
+#[test]
+fn paper_ordering_holds_under_high_contention() {
+    // Figure 11 (stack): Central <= Hier <= SynCron <= Ideal in throughput at 60 cores.
+    let stack = Stack::new(DsConfig::new(10_000, 25));
+    let mut throughputs = Vec::new();
+    for kind in MechanismKind::COMPARED {
+        let report = syncron::system::run_workload(&config(kind, 4, 16), &stack);
+        assert!(report.completed, "{kind:?}");
+        throughputs.push((kind, report.ops_per_ms()));
+    }
+    let central = throughputs[0].1;
+    let hier = throughputs[1].1;
+    let syncron = throughputs[2].1;
+    let ideal = throughputs[3].1;
+    assert!(hier > central, "Hier {hier} should beat Central {central}");
+    assert!(syncron > hier, "SynCron {syncron} should beat Hier {hier}");
+    assert!(ideal >= syncron, "Ideal {ideal} must be an upper bound for SynCron {syncron}");
+}
+
+#[test]
+fn syncron_reduces_inter_unit_traffic_and_energy_vs_central() {
+    // Figures 14 and 15: under contention, SynCron's hierarchical aggregation (one
+    // global message on behalf of all local waiters) cuts remote traffic and energy
+    // relative to the Central scheme, which sends every request across the system.
+    let wl = Stack::new(DsConfig::new(10_000, 25));
+    let central = syncron::system::run_workload(&config(MechanismKind::Central, 4, 16), &wl);
+    let syncron = syncron::system::run_workload(&config(MechanismKind::SynCron, 4, 16), &wl);
+    assert!(
+        syncron.traffic.inter_unit_bytes < central.traffic.inter_unit_bytes,
+        "SynCron {} vs Central {} inter-unit bytes",
+        syncron.traffic.inter_unit_bytes,
+        central.traffic.inter_unit_bytes
+    );
+    assert!(syncron.energy.total_pj() < central.energy.total_pj());
+}
+
+#[test]
+fn barriers_scale_with_more_units() {
+    // Figure 13 flavour: adding NDP units (and thus cores) should not slow down a
+    // fixed-iteration barrier microbenchmark by more than the growth in participants.
+    let one = syncron::system::run_workload(
+        &config(MechanismKind::SynCron, 1, 16),
+        &BarrierMicrobench::new(500, 10),
+    );
+    let four = syncron::system::run_workload(
+        &config(MechanismKind::SynCron, 4, 16),
+        &BarrierMicrobench::new(500, 10),
+    );
+    assert!(one.completed && four.completed);
+    // 4x the cores should cost far less than 4x the time for the same per-core work.
+    assert!(four.sim_time.as_ps() < one.sim_time.as_ps() * 3);
+}
+
+#[test]
+fn st_occupancy_is_reported_for_real_apps() {
+    let ts = TimeSeries::air().with_diagonals_per_core(2);
+    let report = syncron::system::run_workload(&config(MechanismKind::SynCron, 4, 16), &ts);
+    assert!(report.completed);
+    assert!(report.sync.st_max_occupancy > 0.0, "ST occupancy should be tracked");
+    assert!(report.sync.st_max_occupancy <= 1.0);
+    assert!(report.sync.st_avg_occupancy <= report.sync.st_max_occupancy);
+}
+
+#[test]
+fn reports_are_deterministic_across_runs() {
+    let wl = GraphApp::new(GraphAlgo::Cc, tiny_graph());
+    let cfg = config(MechanismKind::SynCron, 2, 8);
+    let a = syncron::system::run_workload(&cfg, &wl);
+    let b = syncron::system::run_workload(&cfg, &wl);
+    assert_eq!(a.sim_time, b.sim_time);
+    assert_eq!(a.traffic, b.traffic);
+    assert_eq!(a.sync_requests, b.sync_requests);
+}
