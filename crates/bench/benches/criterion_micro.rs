@@ -1,11 +1,15 @@
-//! Criterion micro-benchmarks of the simulator's hot kernels.
+//! Micro-benchmarks of the simulator's hot kernels.
 //!
 //! These do not correspond to a paper figure; they keep the substrate honest (event
 //! queue, Synchronization Table, L1 cache, DRAM timing, crossbar, MESI directory) so
 //! that regressions in the simulator itself are caught by `cargo bench`.
+//!
+//! The build environment has no access to crates.io, so instead of criterion this
+//! target ships a small std-only timing loop: each kernel is warmed up and then run for
+//! a fixed number of batches, reporting ns/iteration (median of batches).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use syncron_core::request::PrimitiveKind;
 use syncron_core::table::SynchronizationTable;
@@ -16,101 +20,108 @@ use syncron_net::crossbar::{Crossbar, CrossbarConfig};
 use syncron_sim::event::EventQueue;
 use syncron_sim::{Addr, GlobalCoreId, Time, UnitId};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::with_capacity(1024);
-            for i in 0..1024u64 {
-                q.push(Time::from_ps((i * 7919) % 4096), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, e)) = q.pop() {
-                sum = sum.wrapping_add(e);
-            }
-            black_box(sum)
-        })
+/// Times `iters_per_batch` iterations of `f` over `batches` batches and prints the
+/// median ns/iteration.
+fn bench(name: &str, iters_per_batch: u64, mut f: impl FnMut()) {
+    const BATCHES: usize = 15;
+    // Warm-up.
+    for _ in 0..iters_per_batch.min(1_000) {
+        f();
+    }
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..iters_per_batch {
+            f();
+        }
+        per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters_per_batch as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    println!("{:<32} {:>10.1} ns/iter", name, per_iter_ns[BATCHES / 2]);
+}
+
+fn bench_event_queue() {
+    bench("event_queue_push_pop_1k", 200, || {
+        let mut q = EventQueue::with_capacity(1024);
+        for i in 0..1024u64 {
+            q.push(Time::from_ps((i * 7919) % 4096), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, e)) = q.pop() {
+            sum = sum.wrapping_add(e);
+        }
+        black_box(sum);
     });
 }
 
-fn bench_synchronization_table(c: &mut Criterion) {
-    c.bench_function("st_allocate_lookup_release", |b| {
-        b.iter(|| {
-            let mut st = SynchronizationTable::new(64);
-            for i in 0..64u64 {
-                st.allocate(Time::from_ns(i), Addr(i * 64), PrimitiveKind::Lock);
-            }
-            for i in 0..64u64 {
-                black_box(st.lookup(Addr(i * 64)));
-            }
-            for i in 0..64u64 {
-                st.release(Time::from_ns(100 + i), Addr(i * 64));
-            }
-            black_box(st.occupied())
-        })
+fn bench_synchronization_table() {
+    bench("st_allocate_lookup_release", 2_000, || {
+        let mut st = SynchronizationTable::new(64);
+        for i in 0..64u64 {
+            st.allocate(Time::from_ns(i), Addr(i * 64), PrimitiveKind::Lock);
+        }
+        for i in 0..64u64 {
+            black_box(st.lookup(Addr(i * 64)));
+        }
+        for i in 0..64u64 {
+            st.release(Time::from_ns(100 + i), Addr(i * 64));
+        }
+        black_box(st.occupied());
     });
 }
 
-fn bench_l1_cache(c: &mut Criterion) {
-    c.bench_function("l1_cache_access_stream", |b| {
-        let mut l1 = L1Cache::new(CacheConfig::ndp_l1());
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            black_box(l1.access(Addr((i * 64) % (64 * 1024)), i % 3 == 0))
-        })
+fn bench_l1_cache() {
+    let mut l1 = L1Cache::new(CacheConfig::ndp_l1());
+    let mut i = 0u64;
+    bench("l1_cache_access_stream", 1_000_000, || {
+        i = i.wrapping_add(1);
+        black_box(l1.access(Addr((i * 64) % (64 * 1024)), i.is_multiple_of(3)));
     });
 }
 
-fn bench_dram(c: &mut Criterion) {
-    c.bench_function("dram_hbm_access", |b| {
-        let mut dram = DramModel::new(DramSpec::hbm());
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            black_box(dram.access(Time::from_ns(i), Addr(i * 64 * 33), i % 4 == 0))
-        })
+fn bench_dram() {
+    let mut dram = DramModel::new(DramSpec::hbm());
+    let mut i = 0u64;
+    bench("dram_hbm_access", 1_000_000, || {
+        i = i.wrapping_add(1);
+        black_box(dram.access(Time::from_ns(i), Addr(i * 64 * 33), i.is_multiple_of(4)));
     });
 }
 
-fn bench_crossbar(c: &mut Criterion) {
-    c.bench_function("crossbar_transfer", |b| {
-        let mut xbar = Crossbar::new(CrossbarConfig::default());
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            black_box(xbar.transfer(Time::from_ns(i), 64))
-        })
+fn bench_crossbar() {
+    let mut xbar = Crossbar::new(CrossbarConfig::default());
+    let mut i = 0u64;
+    bench("crossbar_transfer", 1_000_000, || {
+        i = i.wrapping_add(1);
+        black_box(xbar.transfer(Time::from_ns(i), 64));
     });
 }
 
-fn bench_mesi(c: &mut Criterion) {
-    c.bench_function("mesi_directory_rmw_pingpong", |b| {
-        let mut dir = MesiDirectory::new(4, 16, MesiParams::ndp_default());
-        let cores: Vec<GlobalCoreId> = (0..8)
-            .map(|i| GlobalCoreId::from_flat(i * 7 % 64, 16))
-            .collect();
-        let mut i = 0usize;
-        b.iter(|| {
-            i += 1;
-            let core = cores[i % cores.len()];
-            black_box(dir.access(
-                Time::from_ns(i as u64),
-                core,
-                Addr(0x1000),
-                CoherentAccess::Rmw,
-                UnitId(0),
-            ))
-        })
+fn bench_mesi() {
+    let mut dir = MesiDirectory::new(4, 16, MesiParams::ndp_default());
+    let cores: Vec<GlobalCoreId> = (0..8)
+        .map(|i| GlobalCoreId::from_flat(i * 7 % 64, 16))
+        .collect();
+    let mut i = 0usize;
+    bench("mesi_directory_rmw_pingpong", 200_000, || {
+        i += 1;
+        let core = cores[i % cores.len()];
+        black_box(dir.access(
+            Time::from_ns(i as u64),
+            core,
+            Addr(0x1000),
+            CoherentAccess::Rmw,
+            UnitId(0),
+        ));
     });
 }
 
-criterion_group!(
-    kernels,
-    bench_event_queue,
-    bench_synchronization_table,
-    bench_l1_cache,
-    bench_dram,
-    bench_crossbar,
-    bench_mesi
-);
-criterion_main!(kernels);
+fn main() {
+    println!("simulator kernel micro-benchmarks (median of 15 batches)");
+    bench_event_queue();
+    bench_synchronization_table();
+    bench_l1_cache();
+    bench_dram();
+    bench_crossbar();
+    bench_mesi();
+}

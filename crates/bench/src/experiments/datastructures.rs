@@ -1,46 +1,39 @@
 //! Figures 11, 16 and 23: pointer-chasing data structures.
 
-use crate::{f2, run_many, scaled, Table};
-use syncron_core::mechanism::MechanismParams;
+use crate::{f2, run_scenarios, scaled, ConfigSpec, Sweep, Table, WorkloadSpec};
 use syncron_core::protocol::OverflowMode;
 use syncron_core::MechanismKind;
-use syncron_sim::Time;
-use syncron_system::config::NdpConfig;
-use syncron_system::workload::Workload;
 use syncron_workloads::datastructures::{self, DsConfig};
 
-fn config_with_units(kind: MechanismKind, units: usize) -> NdpConfig {
-    NdpConfig::builder().units(units).cores_per_unit(16).mechanism(kind).build()
+fn ds_spec(name: &str, ops: u32) -> WorkloadSpec {
+    WorkloadSpec::DataStructure {
+        name: name.to_string(),
+        ops_per_core: ops,
+    }
 }
 
 /// Figure 11: throughput (operations/ms) of the nine data structures as the number of
 /// NDP cores grows from 15 to 60 (one NDP unit added per step), for each scheme.
 pub fn fig11() -> Vec<Table> {
     let ops = scaled(40, 8);
-    let schemes = MechanismKind::COMPARED;
     let unit_steps = [1usize, 2, 3, 4];
     datastructures::ALL_NAMES
         .iter()
         .map(|&name| {
-            let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
-            for &units in &unit_steps {
-                for kind in schemes {
-                    jobs.push((
-                        config_with_units(kind, units),
-                        datastructures::by_name(name, ops).expect("known structure"),
-                    ));
-                }
-            }
-            let reports = run_many(jobs);
+            let sweep = Sweep::new(format!("fig11-{name}"))
+                .workload(ds_spec(name, ops))
+                .units(unit_steps)
+                .compared_mechanisms();
+            let results = run_scenarios(&sweep.scenarios().expect("valid sweep"));
             let mut table = Table::new(
                 format!("Figure 11 ({name}): throughput in operations/ms vs NDP cores"),
                 &["cores", "Central", "Hier", "SynCron", "Ideal"],
             );
-            for (i, &units) in unit_steps.iter().enumerate() {
-                let base = i * schemes.len();
+            for &units in &unit_steps {
                 let mut cells = vec![(units * 15).to_string()];
-                for j in 0..schemes.len() {
-                    cells.push(f2(reports[base + j].ops_per_ms()));
+                for kind in MechanismKind::COMPARED {
+                    let label = format!("fig11-{name}/{name}/u={units}/mech={}", kind.name());
+                    cells.push(f2(results.report(&label).expect("swept").ops_per_ms()));
                 }
                 table.push_row(cells);
             }
@@ -54,30 +47,26 @@ pub fn fig11() -> Vec<Table> {
 pub fn fig16() -> Vec<Table> {
     let ops = scaled(40, 8);
     let latencies_ns: [u64; 8] = [40, 100, 200, 500, 1_000, 2_000, 4_500, 9_000];
-    let schemes = MechanismKind::COMPARED;
     ["stack", "priority-queue"]
         .iter()
         .map(|&name| {
-            let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
-            for &lat in &latencies_ns {
-                for kind in schemes {
-                    let config = NdpConfig::builder()
-                        .mechanism(kind)
-                        .link_latency(Time::from_ns(lat))
-                        .build();
-                    jobs.push((config, datastructures::by_name(name, ops).expect("known")));
-                }
-            }
-            let reports = run_many(jobs);
+            let sweep = Sweep::new(format!("fig16-{name}"))
+                .workload(ds_spec(name, ops))
+                .link_latencies_ns(latencies_ns)
+                .compared_mechanisms();
+            let results = run_scenarios(&sweep.scenarios().expect("valid sweep"));
             let mut table = Table::new(
                 format!("Figure 16 ({name}): operations/us vs inter-unit link transfer latency"),
                 &["latency_ns", "Central", "Hier", "SynCron", "Ideal"],
             );
-            for (i, &lat) in latencies_ns.iter().enumerate() {
-                let base = i * schemes.len();
+            for &lat in &latencies_ns {
                 let mut cells = vec![lat.to_string()];
-                for j in 0..schemes.len() {
-                    cells.push(format!("{:.3}", reports[base + j].ops_per_us()));
+                for kind in MechanismKind::COMPARED {
+                    let label = format!("fig16-{name}/{name}/lat={lat}/mech={}", kind.name());
+                    cells.push(format!(
+                        "{:.3}",
+                        results.report(&label).expect("swept").ops_per_us()
+                    ));
                 }
                 table.push_row(cells);
             }
@@ -96,20 +85,12 @@ pub fn fig23() -> Table {
         ("SynCron_CentralOvrfl", OverflowMode::MiSarCentral),
         ("SynCron_DistribOvrfl", OverflowMode::MiSarDistributed),
     ];
-    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
-    for &st in &st_sizes {
-        for (_, mode) in &modes {
-            let params = MechanismParams::new(MechanismKind::SynCron)
-                .with_st_entries(st)
-                .with_overflow_mode(*mode);
-            let config = NdpConfig::builder().mechanism_params(params).build();
-            jobs.push((
-                config,
-                datastructures::by_name("bst-fg", ops).expect("bst-fg"),
-            ));
-        }
-    }
-    let reports = run_many(jobs);
+    let sweep = Sweep::new("fig23")
+        .workload(ds_spec("bst-fg", ops))
+        .st_entries(st_sizes)
+        .overflow_modes(modes.iter().map(|&(_, m)| m));
+    let results = run_scenarios(&sweep.scenarios().expect("valid sweep"));
+
     let mut table = Table::new(
         "Figure 23: BST_FG throughput (operations/ms) under different overflow schemes",
         &[
@@ -120,13 +101,21 @@ pub fn fig23() -> Table {
             "overflowed %",
         ],
     );
-    for (i, &st) in st_sizes.iter().enumerate() {
-        let base = i * modes.len();
+    for &st in &st_sizes {
+        let label = |mode: OverflowMode| format!("fig23/bst-fg/st={st}/ovfl={}", mode.name());
         let mut cells = vec![st.to_string()];
-        for j in 0..modes.len() {
-            cells.push(f2(reports[base + j].ops_per_ms()));
+        for &(_, mode) in &modes {
+            cells.push(f2(results
+                .report(&label(mode))
+                .expect("swept")
+                .ops_per_ms()));
         }
-        cells.push(f2(reports[base].sync.overflow_fraction() * 100.0));
+        cells.push(f2(results
+            .report(&label(OverflowMode::Integrated))
+            .expect("swept")
+            .sync
+            .overflow_fraction()
+            * 100.0));
         table.push_row(cells);
     }
     table
@@ -135,8 +124,12 @@ pub fn fig23() -> Table {
 /// Building block shared by tests and quick examples: runs one structure under one
 /// scheme at the paper's default system size.
 pub fn run_structure(name: &str, kind: MechanismKind, ops: u32) -> syncron_system::RunReport {
-    let wl = datastructures::by_name(name, ops).expect("known structure");
-    syncron_system::run_workload(&config_with_units(kind, 4), wl.as_ref())
+    let scenario = crate::Scenario::new(
+        format!("{name}/{}", kind.name()),
+        ConfigSpec::default().with_mechanism(kind),
+        ds_spec(name, ops),
+    );
+    scenario.run().expect("known structure")
 }
 
 /// Default data-structure sizing used by examples.
@@ -159,10 +152,12 @@ mod tests {
 
     #[test]
     fn bst_fg_overflows_small_sts() {
-        let params = MechanismParams::new(MechanismKind::SynCron).with_st_entries(16);
-        let config = NdpConfig::builder().mechanism_params(params).build();
-        let wl = datastructures::by_name("bst-fg", 10).unwrap();
-        let report = syncron_system::run_workload(&config, wl.as_ref());
+        let config = ConfigSpec {
+            st_entries: 16,
+            ..ConfigSpec::default()
+        };
+        let scenario = crate::Scenario::new("bst-fg-16", config, ds_spec("bst-fg", 10));
+        let report = scenario.run().unwrap();
         assert!(report.completed);
         assert!(
             report.sync.overflow_fraction() > 0.0,

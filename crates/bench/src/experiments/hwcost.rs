@@ -1,6 +1,6 @@
 //! Table 8: area and power of the Synchronization Engine vs an ARM Cortex-A7.
 
-use crate::{Table};
+use crate::Table;
 use syncron_core::hw_cost::{CortexA7, SeCost};
 
 /// Table 8: SE component areas, total area and power, compared to an ARM Cortex-A7.
@@ -53,7 +53,12 @@ pub fn table08() -> Table {
 pub fn st_size_area_sweep() -> Table {
     let mut table = Table::new(
         "SE area vs ST size (sensitivity companion to Figures 22/23)",
-        &["ST entries", "ST area (mm^2)", "total SE area (mm^2)", "power (mW)"],
+        &[
+            "ST entries",
+            "ST area (mm^2)",
+            "total SE area (mm^2)",
+            "power (mW)",
+        ],
     );
     for st in [8usize, 16, 32, 48, 64, 128, 256] {
         let se = SeCost::for_config(st, 256, 4, 16);

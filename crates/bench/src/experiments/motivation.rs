@@ -1,21 +1,20 @@
 //! Motivational experiments: Table 1 and Figure 2.
 
-use crate::{f2, run_many, scaled, Table};
+use crate::{f2, run_scenarios, scaled, ConfigSpec, Scenario, Sweep, Table, WorkloadSpec};
 use syncron_core::MechanismKind;
-use syncron_mem::mesi::MesiParams;
-use syncron_system::config::{CoherenceMode, NdpConfig};
-use syncron_system::workload::Workload;
-use syncron_workloads::spinlock::{LockedStack, Placement, SpinKind, SpinLockBench, StackLock};
+use syncron_harness::MesiProfile;
+use syncron_system::config::CoherenceMode;
+use syncron_workloads::spinlock::{Placement, SpinKind, StackLock};
 
-fn cpu_config(units: usize, cores: usize) -> NdpConfig {
-    NdpConfig::builder()
-        .units(units)
-        .cores_per_unit(cores)
-        .coherence(CoherenceMode::MesiDirectory)
-        .mesi_params(MesiParams::cpu_two_socket())
-        .mechanism(MechanismKind::Ideal)
-        .reserve_server_core(false)
-        .build()
+/// The simulated two-socket CPU of Table 1: MESI directory coherence with CPU
+/// latencies, no synchronization mechanism involved.
+fn cpu_config(units: usize, cores: usize) -> ConfigSpec {
+    let mut config = ConfigSpec::default().with_geometry(units, cores);
+    config.coherence = CoherenceMode::MesiDirectory;
+    config.mesi = MesiProfile::CpuTwoSocket;
+    config.mechanism = MechanismKind::Ideal;
+    config.reserve_server_core = false;
+    config
 }
 
 /// Table 1: throughput (operations per second, reported in millions) of two
@@ -28,16 +27,21 @@ pub fn table01() -> Table {
         ("2 threads same-socket", 2, Placement::Packed),
         ("2 threads different-socket", 2, Placement::Spread),
     ];
-    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
-    for kind in [SpinKind::Ttas, SpinKind::HierarchicalTicket] {
-        for (_, threads, placement) in &scenarios {
-            jobs.push((
-                cpu_config(2, 14),
-                Box::new(SpinLockBench::new(kind, *threads, *placement, iters)),
-            ));
-        }
-    }
-    let reports = run_many(jobs);
+    let sweep = Sweep::new("table01").base(cpu_config(2, 14)).workloads(
+        [SpinKind::Ttas, SpinKind::HierarchicalTicket]
+            .iter()
+            .flat_map(|&kind| {
+                scenarios
+                    .iter()
+                    .map(move |&(_, threads, placement)| WorkloadSpec::SpinLock {
+                        kind,
+                        threads,
+                        placement,
+                        iterations: iters,
+                    })
+            }),
+    );
+    let results = run_scenarios(&sweep.scenarios().expect("valid sweep"));
 
     let mut table = Table::new(
         "Table 1: coherence-based lock throughput (Mops/s) on a simulated 2-socket CPU",
@@ -49,10 +53,18 @@ pub fn table01() -> Table {
             "2thr diff-socket",
         ],
     );
-    for (row, kind) in [SpinKind::Ttas, SpinKind::HierarchicalTicket].iter().enumerate() {
+    for kind in [SpinKind::Ttas, SpinKind::HierarchicalTicket] {
         let mut cells = vec![kind.name().to_string()];
-        for col in 0..scenarios.len() {
-            let report = &reports[row * scenarios.len() + col];
+        for &(_, threads, placement) in &scenarios {
+            let spec = WorkloadSpec::SpinLock {
+                kind,
+                threads,
+                placement,
+                iterations: iters,
+            };
+            let report = results
+                .report(&format!("table01/{}", spec.label()))
+                .expect("swept");
             let mops = report.total_ops as f64 / report.sim_time.as_secs_f64() / 1e6;
             cells.push(f2(mops));
         }
@@ -63,6 +75,9 @@ pub fn table01() -> Table {
 
 /// Figure 2: slowdown of a coarse-lock stack with a MESI lock over an ideal zero-cost
 /// lock, (a) varying cores within one NDP unit and (b) varying NDP units at 60 cores.
+///
+/// Units and cores vary *together* here (60 cores split over 1–4 units), which a
+/// cartesian sweep cannot express — so the scenario list is built explicitly.
 pub fn fig02() -> Table {
     let pushes = scaled(60, 10);
     let mut table = Table::new(
@@ -70,73 +85,72 @@ pub fn fig02() -> Table {
         &["configuration", "cores", "units", "mesi-lock slowdown"],
     );
 
-    // (a) 15..60 cores within a single NDP unit.
-    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
+    let ndp_config = |units: usize, cores: usize, mesi: bool| {
+        let mut config = ConfigSpec::default().with_geometry(units, cores);
+        config.mechanism = MechanismKind::Ideal;
+        config.reserve_server_core = false;
+        if mesi {
+            config.coherence = CoherenceMode::MesiDirectory;
+        }
+        config
+    };
+    let stack = |lock: StackLock| WorkloadSpec::LockedStack { lock, pushes };
+
+    let mut scenarios = Vec::new();
+    // (a) 15..60 cores within a single NDP unit; (b) 60 cores split over 1..4 units.
     let core_counts = [15usize, 30, 45, 60];
+    let unit_counts = [1usize, 2, 3, 4];
     for &cores in &core_counts {
-        let mesi_cfg = NdpConfig::builder()
-            .units(1)
-            .cores_per_unit(cores)
-            .coherence(CoherenceMode::MesiDirectory)
-            .mechanism(MechanismKind::Ideal)
-            .reserve_server_core(false)
-            .build();
-        let ideal_cfg = NdpConfig::builder()
-            .units(1)
-            .cores_per_unit(cores)
-            .mechanism(MechanismKind::Ideal)
-            .reserve_server_core(false)
-            .build();
-        jobs.push((mesi_cfg, Box::new(LockedStack::new(StackLock::MesiSpin, pushes))));
-        jobs.push((
-            ideal_cfg,
-            Box::new(LockedStack::new(StackLock::SyncPrimitive, pushes)),
+        scenarios.push(Scenario::new(
+            format!("fig02/a/c{cores}/mesi"),
+            ndp_config(1, cores, true),
+            stack(StackLock::MesiSpin),
+        ));
+        scenarios.push(Scenario::new(
+            format!("fig02/a/c{cores}/ideal"),
+            ndp_config(1, cores, false),
+            stack(StackLock::SyncPrimitive),
         ));
     }
-    // (b) 60 cores split over 1..4 NDP units.
-    let unit_counts = [1usize, 2, 3, 4];
     for &units in &unit_counts {
         let cores = 60 / units;
-        let mesi_cfg = NdpConfig::builder()
-            .units(units)
-            .cores_per_unit(cores)
-            .coherence(CoherenceMode::MesiDirectory)
-            .mechanism(MechanismKind::Ideal)
-            .reserve_server_core(false)
-            .build();
-        let ideal_cfg = NdpConfig::builder()
-            .units(units)
-            .cores_per_unit(cores)
-            .mechanism(MechanismKind::Ideal)
-            .reserve_server_core(false)
-            .build();
-        jobs.push((mesi_cfg, Box::new(LockedStack::new(StackLock::MesiSpin, pushes))));
-        jobs.push((
-            ideal_cfg,
-            Box::new(LockedStack::new(StackLock::SyncPrimitive, pushes)),
+        scenarios.push(Scenario::new(
+            format!("fig02/b/u{units}/mesi"),
+            ndp_config(units, cores, true),
+            stack(StackLock::MesiSpin),
+        ));
+        scenarios.push(Scenario::new(
+            format!("fig02/b/u{units}/ideal"),
+            ndp_config(units, cores, false),
+            stack(StackLock::SyncPrimitive),
         ));
     }
-    let reports = run_many(jobs);
+    let results = run_scenarios(&scenarios);
 
-    for (i, &cores) in core_counts.iter().enumerate() {
-        let mesi = &reports[i * 2];
-        let ideal = &reports[i * 2 + 1];
+    for &cores in &core_counts {
         table.push_row(vec![
             "(a) single unit".into(),
             cores.to_string(),
             "1".into(),
-            f2(mesi.slowdown_over(ideal)),
+            f2(results
+                .slowdown_over(
+                    &format!("fig02/a/c{cores}/mesi"),
+                    &format!("fig02/a/c{cores}/ideal"),
+                )
+                .expect("keyed")),
         ]);
     }
-    let base = core_counts.len() * 2;
-    for (i, &units) in unit_counts.iter().enumerate() {
-        let mesi = &reports[base + i * 2];
-        let ideal = &reports[base + i * 2 + 1];
+    for &units in &unit_counts {
         table.push_row(vec![
             "(b) 60 cores total".into(),
             "60".into(),
             units.to_string(),
-            f2(mesi.slowdown_over(ideal)),
+            f2(results
+                .slowdown_over(
+                    &format!("fig02/b/u{units}/mesi"),
+                    &format!("fig02/b/u{units}/ideal"),
+                )
+                .expect("keyed")),
         ]);
     }
     table

@@ -1,15 +1,9 @@
 //! Figure 10: speedup of the four synchronization primitives over Central, as a
 //! function of the number of instructions between synchronization points.
 
-use crate::{f2, run_many, scaled, Table};
+use crate::{f2, run_scenarios, scaled, Sweep, Table, WorkloadSpec};
 use syncron_core::MechanismKind;
-use syncron_system::config::NdpConfig;
-use syncron_system::workload::Workload;
-use syncron_workloads::micro::{microbench, SyncPrimitive};
-
-fn paper_config(kind: MechanismKind) -> NdpConfig {
-    NdpConfig::builder().mechanism(kind).build()
-}
+use syncron_workloads::micro::SyncPrimitive;
 
 /// The instruction intervals swept for each primitive (the x-axes of Figure 10).
 pub fn intervals_for(primitive: SyncPrimitive) -> &'static [u64] {
@@ -21,18 +15,28 @@ pub fn intervals_for(primitive: SyncPrimitive) -> &'static [u64] {
     }
 }
 
+/// The Figure 10 sweep for one primitive: one microbenchmark per interval, across the
+/// four compared schemes at the paper-default system size.
+pub fn fig10_sweep(primitive: SyncPrimitive) -> Sweep {
+    let iterations = scaled(24, 4);
+    Sweep::new(format!("fig10-{}", primitive.name()))
+        .workloads(
+            intervals_for(primitive)
+                .iter()
+                .map(|&interval| WorkloadSpec::Micro {
+                    primitive,
+                    interval,
+                    iterations,
+                }),
+        )
+        .compared_mechanisms()
+}
+
 /// Runs the Figure 10 sweep for one primitive and returns one row per interval with the
 /// speedup of every scheme over Central.
 pub fn fig10_primitive(primitive: SyncPrimitive) -> Table {
-    let iterations = scaled(24, 4);
-    let schemes = MechanismKind::COMPARED;
-    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
-    for &interval in intervals_for(primitive) {
-        for kind in schemes {
-            jobs.push((paper_config(kind), microbench(primitive, interval, iterations)));
-        }
-    }
-    let reports = run_many(jobs);
+    let sweep = fig10_sweep(primitive);
+    let results = run_scenarios(&sweep.scenarios().expect("valid sweep"));
 
     let mut table = Table::new(
         format!(
@@ -41,12 +45,22 @@ pub fn fig10_primitive(primitive: SyncPrimitive) -> Table {
         ),
         &["interval", "Central", "Hier", "SynCron", "Ideal"],
     );
-    for (i, &interval) in intervals_for(primitive).iter().enumerate() {
-        let base = i * schemes.len();
-        let central = &reports[base];
+    for &interval in intervals_for(primitive) {
+        let label = |kind: MechanismKind| {
+            format!(
+                "fig10-{}/{}-micro.i{}/mech={}",
+                primitive.name(),
+                primitive.name(),
+                interval,
+                kind.name()
+            )
+        };
+        let central = label(MechanismKind::Central);
         let mut cells = vec![interval.to_string()];
-        for j in 0..schemes.len() {
-            cells.push(f2(reports[base + j].speedup_over(central)));
+        for kind in MechanismKind::COMPARED {
+            cells.push(f2(results
+                .speedup_over(&label(kind), &central)
+                .expect("sweep covers every scheme")));
         }
         table.push_row(cells);
     }
@@ -55,7 +69,10 @@ pub fn fig10_primitive(primitive: SyncPrimitive) -> Table {
 
 /// Runs Figure 10 for all four primitives.
 pub fn fig10_all() -> Vec<Table> {
-    SyncPrimitive::ALL.iter().map(|&p| fig10_primitive(p)).collect()
+    SyncPrimitive::ALL
+        .iter()
+        .map(|&p| fig10_primitive(p))
+        .collect()
 }
 
 #[cfg(test)]
@@ -74,5 +91,14 @@ mod tests {
         let ideal: f64 = first[4].parse().unwrap();
         assert!(syncron > 1.0, "SynCron speedup {syncron}");
         assert!(ideal >= syncron);
+    }
+
+    #[test]
+    fn sweep_cardinality_matches_axes() {
+        let scenarios = fig10_sweep(SyncPrimitive::Barrier).scenarios().unwrap();
+        assert_eq!(
+            scenarios.len(),
+            intervals_for(SyncPrimitive::Barrier).len() * MechanismKind::COMPARED.len()
+        );
     }
 }

@@ -1,12 +1,8 @@
 //! Figures 12–15 and Table 7: the real applications (graph analytics and time series).
 
-use crate::{f2, run_many, scaled, Table};
+use crate::{f2, run_scenarios, scaled, RunSet, Sweep, Table, WorkloadSpec};
 use syncron_core::MechanismKind;
-use syncron_system::config::NdpConfig;
-use syncron_system::report::RunReport;
-use syncron_system::workload::Workload;
-use syncron_workloads::graph::{GraphAlgo, GraphApp, GraphInput};
-use syncron_workloads::timeseries::TimeSeries;
+use syncron_workloads::graph::{GraphAlgo, GraphInput, Partitioning};
 
 /// One application–input combination of the paper's real-application set.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -18,7 +14,7 @@ pub struct AppCombo {
 }
 
 impl AppCombo {
-    /// Label in the paper's `app.input` format.
+    /// Label in the paper's `app.input` format (also the workload-spec label).
     pub fn label(&self) -> String {
         format!("{}.{}", self.app, self.input)
     }
@@ -36,8 +32,14 @@ pub fn all_combos() -> Vec<AppCombo> {
             });
         }
     }
-    combos.push(AppCombo { app: "ts", input: "air" });
-    combos.push(AppCombo { app: "ts", input: "pow" });
+    combos.push(AppCombo {
+        app: "ts",
+        input: "air",
+    });
+    combos.push(AppCombo {
+        app: "ts",
+        input: "pow",
+    });
     combos
 }
 
@@ -58,55 +60,52 @@ pub fn highlighted_combos() -> Vec<AppCombo> {
     .collect()
 }
 
-/// Builds the workload for one combination (time series work is scaled with
+/// The workload spec for one combination (time-series work is scaled with
 /// `SYNCRON_SCALE` like everything else).
-pub fn build_workload(combo: &AppCombo) -> Box<dyn Workload + Send + Sync> {
+pub fn workload_spec(combo: &AppCombo) -> WorkloadSpec {
     if combo.app == "ts" {
-        let ts = TimeSeries::by_name(combo.input).expect("known time series");
-        Box::new(ts.with_diagonals_per_core(scaled(6, 2)))
+        WorkloadSpec::TimeSeries {
+            input: combo.input.to_string(),
+            diagonals_per_core: scaled(6, 2),
+        }
     } else {
-        let algo = GraphAlgo::by_name(combo.app).expect("known graph algorithm");
-        let input = GraphInput::by_name(combo.input).expect("known graph input");
-        Box::new(GraphApp::new(algo, input))
-    }
-}
-
-/// Paper-default system configuration with the requested scheme and unit count.
-pub fn app_config(kind: MechanismKind, units: usize) -> NdpConfig {
-    NdpConfig::builder().units(units).cores_per_unit(16).mechanism(kind).build()
-}
-
-/// Runs a set of combinations under every compared scheme and returns
-/// `reports[combo][scheme]` in the order of [`MechanismKind::COMPARED`].
-pub fn run_combos(combos: &[AppCombo]) -> Vec<Vec<RunReport>> {
-    let schemes = MechanismKind::COMPARED;
-    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
-    for combo in combos {
-        for kind in schemes {
-            jobs.push((app_config(kind, 4), build_workload(combo)));
+        WorkloadSpec::Graph {
+            algo: GraphAlgo::by_name(combo.app).expect("known graph algorithm"),
+            input: combo.input.to_string(),
+            partitioning: Partitioning::Striped,
         }
     }
-    let reports = run_many(jobs);
-    reports
-        .chunks(schemes.len())
-        .map(|chunk| chunk.to_vec())
-        .collect()
+}
+
+/// Runs a set of combinations under every compared scheme at the paper-default system
+/// size; results are keyed `{name}/{app.input}/mech={scheme}`.
+pub fn run_combos(name: &str, combos: &[AppCombo]) -> RunSet {
+    let sweep = Sweep::new(name)
+        .workloads(combos.iter().map(workload_spec))
+        .compared_mechanisms();
+    run_scenarios(&sweep.scenarios().expect("valid sweep"))
+}
+
+fn combo_label(name: &str, combo: &AppCombo, kind: MechanismKind) -> String {
+    format!("{name}/{}/mech={}", combo.label(), kind.name())
 }
 
 /// Figure 12: speedup of every scheme over Central for all 26 combinations.
 pub fn fig12() -> Table {
     let combos = all_combos();
-    let results = run_combos(&combos);
+    let results = run_combos("fig12", &combos);
     let mut table = Table::new(
         "Figure 12: real-application speedup over Central",
         &["app.input", "Central", "Hier", "SynCron", "Ideal"],
     );
     let mut geo = [1.0f64; 4];
-    for (combo, reports) in combos.iter().zip(&results) {
-        let central = &reports[0];
+    for combo in &combos {
+        let central = combo_label("fig12", combo, MechanismKind::Central);
         let mut cells = vec![combo.label()];
-        for (j, report) in reports.iter().enumerate() {
-            let speedup = report.speedup_over(central);
+        for (j, kind) in MechanismKind::COMPARED.iter().enumerate() {
+            let speedup = results
+                .speedup_over(&combo_label("fig12", combo, *kind), &central)
+                .expect("swept");
             geo[j] *= speedup;
             cells.push(f2(speedup));
         }
@@ -128,24 +127,22 @@ pub fn fig12() -> Table {
 pub fn fig13() -> Table {
     let combos = highlighted_combos();
     let unit_steps = [1usize, 2, 3, 4];
-    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
-    for combo in &combos {
-        for &units in &unit_steps {
-            jobs.push((app_config(MechanismKind::SynCron, units), build_workload(combo)));
-        }
-    }
-    let reports = run_many(jobs);
+    let sweep = Sweep::new("fig13")
+        .workloads(combos.iter().map(workload_spec))
+        .units(unit_steps);
+    let results = run_scenarios(&sweep.scenarios().expect("valid sweep"));
+
     let mut table = Table::new(
         "Figure 13: SynCron scalability (speedup over 1 NDP unit)",
         &["app.input", "1 unit", "2 units", "3 units", "4 units"],
     );
     let mut avg = [0.0f64; 4];
-    for (i, combo) in combos.iter().enumerate() {
-        let base = i * unit_steps.len();
-        let one_unit = &reports[base];
+    for combo in &combos {
+        let one_unit = format!("fig13/{}/u=1", combo.label());
         let mut cells = vec![combo.label()];
-        for j in 0..unit_steps.len() {
-            let speedup = reports[base + j].speedup_over(one_unit);
+        for (j, &units) in unit_steps.iter().enumerate() {
+            let label = format!("fig13/{}/u={units}", combo.label());
+            let speedup = results.speedup_over(&label, &one_unit).expect("swept");
             avg[j] += speedup;
             cells.push(f2(speedup));
         }
@@ -164,15 +161,28 @@ pub fn fig13() -> Table {
 /// Figure 14: energy breakdown (cache / network / memory) normalized to Central.
 pub fn fig14() -> Table {
     let combos = highlighted_combos();
-    let results = run_combos(&combos);
+    let results = run_combos("fig14", &combos);
     let mut table = Table::new(
         "Figure 14: energy normalized to Central (cache/network/memory fractions)",
-        &["app.input", "scheme", "total vs Central", "cache", "network", "memory"],
+        &[
+            "app.input",
+            "scheme",
+            "total vs Central",
+            "cache",
+            "network",
+            "memory",
+        ],
     );
-    for (combo, reports) in combos.iter().zip(&results) {
-        let central_energy = reports[0].energy.total_pj();
-        for (j, kind) in MechanismKind::COMPARED.iter().enumerate() {
-            let report = &reports[j];
+    for combo in &combos {
+        let central_energy = results
+            .report(&combo_label("fig14", combo, MechanismKind::Central))
+            .expect("swept")
+            .energy
+            .total_pj();
+        for kind in MechanismKind::COMPARED {
+            let report = results
+                .report(&combo_label("fig14", combo, kind))
+                .expect("swept");
             let (c, n, m) = report.energy.breakdown();
             table.push_row(vec![
                 combo.label(),
@@ -190,7 +200,7 @@ pub fn fig14() -> Table {
 /// Figure 15: data movement (inside / across NDP units) normalized to Central.
 pub fn fig15() -> Table {
     let combos = highlighted_combos();
-    let results = run_combos(&combos);
+    let results = run_combos("fig15", &combos);
     let mut table = Table::new(
         "Figure 15: data movement normalized to Central",
         &[
@@ -201,10 +211,16 @@ pub fn fig15() -> Table {
             "across-unit bytes",
         ],
     );
-    for (combo, reports) in combos.iter().zip(&results) {
-        let central_bytes = reports[0].traffic.total_bytes() as f64;
-        for (j, kind) in MechanismKind::COMPARED.iter().enumerate() {
-            let report = &reports[j];
+    for combo in &combos {
+        let central_bytes = results
+            .report(&combo_label("fig15", combo, MechanismKind::Central))
+            .expect("swept")
+            .traffic
+            .total_bytes() as f64;
+        for kind in MechanismKind::COMPARED {
+            let report = results
+                .report(&combo_label("fig15", combo, kind))
+                .expect("swept");
             table.push_row(vec![
                 combo.label(),
                 kind.name().into(),
@@ -220,16 +236,16 @@ pub fn fig15() -> Table {
 /// Table 7: maximum and average ST occupancy of SynCron for every combination.
 pub fn table07() -> Table {
     let combos = all_combos();
-    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
-    for combo in &combos {
-        jobs.push((app_config(MechanismKind::SynCron, 4), build_workload(combo)));
-    }
-    let reports = run_many(jobs);
+    let sweep = Sweep::new("table07").workloads(combos.iter().map(workload_spec));
+    let results = run_scenarios(&sweep.scenarios().expect("valid sweep"));
     let mut table = Table::new(
         "Table 7: ST occupancy in real applications (percent of 64 entries)",
         &["app.input", "max %", "avg %"],
     );
-    for (combo, report) in combos.iter().zip(&reports) {
+    for combo in &combos {
+        let report = results
+            .report(&format!("table07/{}", combo.label()))
+            .expect("swept");
         table.push_row(vec![
             combo.label(),
             f2(report.sync.st_max_occupancy * 100.0),
@@ -253,7 +269,9 @@ mod tests {
     #[test]
     fn workloads_build_for_every_combo() {
         for combo in all_combos() {
-            let wl = build_workload(&combo);
+            let spec = workload_spec(&combo);
+            assert_eq!(spec.label(), combo.label());
+            let wl = spec.build().expect("known combo");
             assert!(!wl.name().is_empty());
         }
     }

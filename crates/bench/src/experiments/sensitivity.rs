@@ -1,47 +1,48 @@
 //! Figures 17–22 and the fairness extension (Figure 24 in this reproduction).
 
-use crate::experiments::realapps::{app_config, build_workload, AppCombo};
-use crate::{f2, run_many, scaled, Table};
-use syncron_core::mechanism::MechanismParams;
+use crate::experiments::realapps::{workload_spec, AppCombo};
+use crate::{f2, run_scenarios, scaled, Sweep, Table, WorkloadSpec};
 use syncron_core::MechanismKind;
 use syncron_mem::MemTech;
-use syncron_sim::Time;
-use syncron_system::config::NdpConfig;
-use syncron_system::workload::Workload;
-use syncron_workloads::datastructures::{self};
-use syncron_workloads::graph::{GraphAlgo, GraphApp, GraphInput, Partitioning};
-use syncron_workloads::micro::LockMicrobench;
+use syncron_workloads::graph::{GraphAlgo, GraphInput, Partitioning};
+use syncron_workloads::micro::SyncPrimitive;
+
+/// The Figure 17 sweep: pr.wk across the compared schemes as the inter-unit link
+/// latency grows (low contention).
+pub fn fig17_sweep() -> Sweep {
+    Sweep::new("fig17")
+        .workload(workload_spec(&AppCombo {
+            app: "pr",
+            input: "wk",
+        }))
+        .link_latencies_ns([40, 100, 200, 500])
+        .compared_mechanisms()
+}
 
 /// Figure 17: slowdown over Ideal of each scheme for pr.wk as the inter-unit link
 /// latency grows (low contention).
 pub fn fig17() -> Table {
     let latencies_ns = [40u64, 100, 200, 500];
-    let schemes = MechanismKind::COMPARED;
-    let combo = AppCombo { app: "pr", input: "wk" };
-    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
-    for &lat in &latencies_ns {
-        for kind in schemes {
-            let mut config = app_config(kind, 4);
-            config.link.transfer_latency = Time::from_ns(lat);
-            jobs.push((config, build_workload(&combo)));
-        }
-    }
-    let reports = run_many(jobs);
+    let results = run_scenarios(&fig17_sweep().scenarios().expect("valid sweep"));
     let mut table = Table::new(
         "Figure 17: pr.wk slowdown over Ideal vs inter-unit link latency",
         &["latency_ns", "Ideal", "SynCron", "Hier", "Central"],
     );
-    for (i, &lat) in latencies_ns.iter().enumerate() {
-        let base = i * schemes.len();
-        // COMPARED order is Central, Hier, SynCron, Ideal; the figure lists the
-        // reverse, normalized to Ideal.
-        let ideal = &reports[base + 3];
+    for &lat in &latencies_ns {
+        let label = |kind: MechanismKind| format!("fig17/pr.wk/lat={lat}/mech={}", kind.name());
+        let ideal = label(MechanismKind::Ideal);
         table.push_row(vec![
             lat.to_string(),
             f2(1.0),
-            f2(reports[base + 2].slowdown_over(ideal)),
-            f2(reports[base + 1].slowdown_over(ideal)),
-            f2(reports[base].slowdown_over(ideal)),
+            f2(results
+                .slowdown_over(&label(MechanismKind::SynCron), &ideal)
+                .expect("swept")),
+            f2(results
+                .slowdown_over(&label(MechanismKind::Hier), &ideal)
+                .expect("swept")),
+            f2(results
+                .slowdown_over(&label(MechanismKind::Central), &ideal)
+                .expect("swept")),
         ]);
     }
     table
@@ -51,37 +52,48 @@ pub fn fig17() -> Table {
 /// HBM, HMC and DDR4 memory.
 pub fn fig18() -> Table {
     let combos = [
-        AppCombo { app: "cc", input: "wk" },
-        AppCombo { app: "pr", input: "wk" },
-        AppCombo { app: "ts", input: "pow" },
+        AppCombo {
+            app: "cc",
+            input: "wk",
+        },
+        AppCombo {
+            app: "pr",
+            input: "wk",
+        },
+        AppCombo {
+            app: "ts",
+            input: "pow",
+        },
     ];
     let techs = [MemTech::Hbm, MemTech::Hmc, MemTech::Ddr4];
-    let schemes = MechanismKind::COMPARED;
-    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
-    for combo in &combos {
-        for &tech in &techs {
-            for kind in schemes {
-                let mut config = app_config(kind, 4);
-                config.mem_tech = tech;
-                jobs.push((config, build_workload(combo)));
-            }
-        }
-    }
-    let reports = run_many(jobs);
+    let sweep = Sweep::new("fig18")
+        .workloads(combos.iter().map(workload_spec))
+        .mem_techs(techs)
+        .compared_mechanisms();
+    let results = run_scenarios(&sweep.scenarios().expect("valid sweep"));
+
     let mut table = Table::new(
         "Figure 18: speedup over Central under different memory technologies",
         &["app.input", "memory", "Central", "Hier", "SynCron", "Ideal"],
     );
-    let mut idx = 0;
     for combo in &combos {
         for &tech in &techs {
-            let central = &reports[idx];
+            let label = |kind: MechanismKind| {
+                format!(
+                    "fig18/{}/mem={}/mech={}",
+                    combo.label(),
+                    tech.name(),
+                    kind.name()
+                )
+            };
+            let central = label(MechanismKind::Central);
             let mut cells = vec![combo.label(), tech.name().to_string()];
-            for j in 0..schemes.len() {
-                cells.push(f2(reports[idx + j].speedup_over(central)));
+            for kind in MechanismKind::COMPARED {
+                cells.push(f2(results
+                    .speedup_over(&label(kind), &central)
+                    .expect("swept")));
             }
             table.push_row(cells);
-            idx += schemes.len();
         }
     }
     table
@@ -90,18 +102,23 @@ pub fn fig18() -> Table {
 /// Figure 19: effect of a better graph partitioning (greedy min-cut stand-in for Metis)
 /// on PageRank, plus SynCron's maximum ST occupancy.
 pub fn fig19() -> Table {
-    let schemes = MechanismKind::COMPARED;
-    let partitionings = [("striped", Partitioning::Striped), ("greedy", Partitioning::Greedy)];
-    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
-    for input in GraphInput::ALL {
-        for (_, partitioning) in &partitionings {
-            for kind in schemes {
-                let wl = GraphApp::new(GraphAlgo::Pr, input).with_partitioning(*partitioning);
-                jobs.push((app_config(kind, 4), Box::new(wl)));
-            }
-        }
-    }
-    let reports = run_many(jobs);
+    let partitionings = [
+        ("striped", Partitioning::Striped),
+        ("greedy", Partitioning::Greedy),
+    ];
+    let sweep = Sweep::new("fig19")
+        .workloads(GraphInput::ALL.iter().flat_map(|input| {
+            partitionings
+                .iter()
+                .map(|&(_, partitioning)| WorkloadSpec::Graph {
+                    algo: GraphAlgo::Pr,
+                    input: input.name.to_string(),
+                    partitioning,
+                })
+        }))
+        .compared_mechanisms();
+    let results = run_scenarios(&sweep.scenarios().expect("valid sweep"));
+
     let mut table = Table::new(
         "Figure 19: PageRank speedup over Central(striped) with better data placement",
         &[
@@ -114,18 +131,27 @@ pub fn fig19() -> Table {
             "SynCron max ST occupancy %",
         ],
     );
-    let mut idx = 0;
     for input in GraphInput::ALL {
-        let striped_central = reports[idx].clone();
+        // Workload labels: `pr.{input}` for striped, `pr.{input}.greedy` for greedy.
+        let label = |pname: &str, kind: MechanismKind| {
+            let suffix = if pname == "greedy" { ".greedy" } else { "" };
+            format!("fig19/pr.{}{}/mech={}", input.name, suffix, kind.name())
+        };
+        let striped_central = label("striped", MechanismKind::Central);
         for (pname, _) in &partitionings {
             let mut cells = vec![format!("pr.{}", input.name), pname.to_string()];
-            for j in 0..schemes.len() {
-                cells.push(f2(reports[idx + j].speedup_over(&striped_central)));
+            for kind in MechanismKind::COMPARED {
+                cells.push(f2(results
+                    .speedup_over(&label(pname, kind), &striped_central)
+                    .expect("swept")));
             }
-            // SynCron is the third scheme in COMPARED order.
-            cells.push(f2(reports[idx + 2].sync.st_max_occupancy * 100.0));
+            cells.push(f2(results
+                .report(&label(pname, MechanismKind::SynCron))
+                .expect("swept")
+                .sync
+                .st_max_occupancy
+                * 100.0));
             table.push_row(cells);
-            idx += schemes.len();
         }
     }
     table
@@ -143,23 +169,20 @@ pub fn fig20() -> Table {
             });
         }
     }
-    let kinds = [MechanismKind::SynCronFlat, MechanismKind::SynCron];
-    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
-    for combo in &combos {
-        for &kind in &kinds {
-            jobs.push((app_config(kind, 4), build_workload(combo)));
-        }
-    }
-    let reports = run_many(jobs);
+    let sweep = Sweep::new("fig20")
+        .workloads(combos.iter().map(workload_spec))
+        .mechanisms([MechanismKind::SynCronFlat, MechanismKind::SynCron]);
+    let results = run_scenarios(&sweep.scenarios().expect("valid sweep"));
+
     let mut table = Table::new(
         "Figure 20: SynCron speedup over flat (graph applications, 40ns links)",
         &["app.input", "speedup vs flat"],
     );
     let mut sum = 0.0;
-    for (i, combo) in combos.iter().enumerate() {
-        let flat = &reports[i * 2];
-        let hier = &reports[i * 2 + 1];
-        let speedup = hier.speedup_over(flat);
+    for combo in &combos {
+        let hier = format!("fig20/{}/mech=SynCron", combo.label());
+        let flat = format!("fig20/{}/mech=SynCron-flat", combo.label());
+        let speedup = results.speedup_over(&hier, &flat).expect("swept");
         sum += speedup;
         table.push_row(vec![combo.label(), f2(speedup)]);
     }
@@ -172,54 +195,54 @@ pub fn fig20() -> Table {
 /// inter-unit link latency.
 pub fn fig21() -> Table {
     let latencies_ns = [40u64, 100, 200, 500];
+    let flat_vs_hier = [MechanismKind::SynCronFlat, MechanismKind::SynCron];
+
+    // (a) time series, 4 NDP units; (b) queue with 30 and 60 cores. One combined run.
+    let mut scenarios = Sweep::new("fig21-ts")
+        .workloads(["air", "pow"].map(|input| workload_spec(&AppCombo { app: "ts", input })))
+        .link_latencies_ns(latencies_ns)
+        .mechanisms(flat_vs_hier)
+        .scenarios()
+        .expect("valid sweep");
+    let ops = scaled(40, 8);
+    scenarios.extend(
+        Sweep::new("fig21-queue")
+            .workload(WorkloadSpec::DataStructure {
+                name: "queue".into(),
+                ops_per_core: ops,
+            })
+            .units([2, 4])
+            .link_latencies_ns(latencies_ns)
+            .mechanisms(flat_vs_hier)
+            .scenarios()
+            .expect("valid sweep"),
+    );
+    let results = run_scenarios(&scenarios);
+
     let mut table = Table::new(
         "Figure 21: SynCron speedup over flat vs link latency",
         &["workload", "latency_ns", "speedup vs flat"],
     );
-
-    // (a) time series, 4 NDP units.
-    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
-    for ts in ["air", "pow"] {
-        for &lat in &latencies_ns {
-            for kind in [MechanismKind::SynCronFlat, MechanismKind::SynCron] {
-                let mut config = app_config(kind, 4);
-                config.link.transfer_latency = Time::from_ns(lat);
-                jobs.push((config, build_workload(&AppCombo { app: "ts", input: ts })));
-            }
-        }
-    }
-    // (b) queue data structure with 30 and 60 cores.
-    let ops = scaled(40, 8);
-    for &units in &[2usize, 4] {
-        for &lat in &latencies_ns {
-            for kind in [MechanismKind::SynCronFlat, MechanismKind::SynCron] {
-                let config = NdpConfig::builder()
-                    .units(units)
-                    .cores_per_unit(16)
-                    .mechanism(kind)
-                    .link_latency(Time::from_ns(lat))
-                    .build();
-                jobs.push((config, datastructures::by_name("queue", ops).expect("queue")));
-            }
-        }
-    }
-    let reports = run_many(jobs);
-
-    let mut idx = 0;
     for ts in ["ts.air", "ts.pow"] {
         for &lat in &latencies_ns {
-            let flat = &reports[idx];
-            let hier = &reports[idx + 1];
-            table.push_row(vec![ts.into(), lat.to_string(), f2(hier.speedup_over(flat))]);
-            idx += 2;
+            let hier = format!("fig21-ts/{ts}/lat={lat}/mech=SynCron");
+            let flat = format!("fig21-ts/{ts}/lat={lat}/mech=SynCron-flat");
+            table.push_row(vec![
+                ts.into(),
+                lat.to_string(),
+                f2(results.speedup_over(&hier, &flat).expect("swept")),
+            ]);
         }
     }
-    for cores in ["queue.30cores", "queue.60cores"] {
+    for (units, display) in [(2usize, "queue.30cores"), (4, "queue.60cores")] {
         for &lat in &latencies_ns {
-            let flat = &reports[idx];
-            let hier = &reports[idx + 1];
-            table.push_row(vec![cores.into(), lat.to_string(), f2(hier.speedup_over(flat))]);
-            idx += 2;
+            let hier = format!("fig21-queue/queue/u={units}/lat={lat}/mech=SynCron");
+            let flat = format!("fig21-queue/queue/u={units}/lat={lat}/mech=SynCron-flat");
+            table.push_row(vec![
+                display.into(),
+                lat.to_string(),
+                f2(results.speedup_over(&hier, &flat).expect("swept")),
+            ]);
         }
     }
     table
@@ -229,37 +252,48 @@ pub fn fig21() -> Table {
 /// the fraction of overflowed requests, for cc.wk, pr.wk, ts.air and ts.pow.
 pub fn fig22() -> Table {
     let combos = [
-        AppCombo { app: "cc", input: "wk" },
-        AppCombo { app: "pr", input: "wk" },
-        AppCombo { app: "ts", input: "air" },
-        AppCombo { app: "ts", input: "pow" },
+        AppCombo {
+            app: "cc",
+            input: "wk",
+        },
+        AppCombo {
+            app: "pr",
+            input: "wk",
+        },
+        AppCombo {
+            app: "ts",
+            input: "air",
+        },
+        AppCombo {
+            app: "ts",
+            input: "pow",
+        },
     ];
     let st_sizes = [64usize, 48, 32, 16, 8];
-    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
-    for combo in &combos {
-        for &st in &st_sizes {
-            let params = MechanismParams::new(MechanismKind::SynCron).with_st_entries(st);
-            let config = NdpConfig::builder().mechanism_params(params).build();
-            jobs.push((config, build_workload(combo)));
-        }
-    }
-    let reports = run_many(jobs);
+    let sweep = Sweep::new("fig22")
+        .workloads(combos.iter().map(workload_spec))
+        .st_entries(st_sizes);
+    let results = run_scenarios(&sweep.scenarios().expect("valid sweep"));
+
     let mut table = Table::new(
         "Figure 22: slowdown vs ST size (normalized to 64 entries) and overflowed requests",
         &["app.input", "ST entries", "slowdown", "overflowed %"],
     );
-    let mut idx = 0;
     for combo in &combos {
-        let baseline = reports[idx].clone();
+        let baseline = format!("fig22/{}/st=64", combo.label());
         for &st in &st_sizes {
-            let report = &reports[idx];
+            let label = format!("fig22/{}/st={st}", combo.label());
             table.push_row(vec![
                 combo.label(),
                 st.to_string(),
-                f2(report.slowdown_over(&baseline)),
-                f2(report.sync.overflow_fraction() * 100.0),
+                f2(results.slowdown_over(&label, &baseline).expect("swept")),
+                f2(results
+                    .report(&label)
+                    .expect("swept")
+                    .sync
+                    .overflow_fraction()
+                    * 100.0),
             ]);
-            idx += 1;
         }
     }
     table
@@ -271,22 +305,26 @@ pub fn fig22() -> Table {
 pub fn fig24_fairness() -> Table {
     let thresholds: [Option<u32>; 4] = [None, Some(32), Some(8), Some(2)];
     let iterations = scaled(30, 6);
-    let mut jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = Vec::new();
-    for &threshold in &thresholds {
-        let mut params = MechanismParams::new(MechanismKind::SynCron);
-        params.fairness_threshold = threshold;
-        let config = NdpConfig::builder().mechanism_params(params).build();
-        jobs.push((config, Box::new(LockMicrobench::new(100, iterations))));
-    }
-    let reports = run_many(jobs);
+    let sweep = Sweep::new("fig24")
+        .workload(WorkloadSpec::Micro {
+            primitive: SyncPrimitive::Lock,
+            interval: 100,
+            iterations,
+        })
+        .fairness_thresholds(thresholds);
+    let results = run_scenarios(&sweep.scenarios().expect("valid sweep"));
+
     let mut table = Table::new(
         "Fairness extension: lock microbenchmark vs local-grant threshold",
         &["threshold", "total time (us)", "ops/ms", "remote messages"],
     );
-    for (i, &threshold) in thresholds.iter().enumerate() {
-        let report = &reports[i];
+    for &threshold in &thresholds {
+        let fragment = threshold.map_or("off".to_string(), |t| t.to_string());
+        let report = results
+            .report(&format!("fig24/lock-micro.i100/fair={fragment}"))
+            .expect("swept");
         table.push_row(vec![
-            threshold.map_or("off".to_string(), |t| t.to_string()),
+            fragment,
             f2(report.sim_time.as_us_f64()),
             f2(report.ops_per_ms()),
             report.sync.global_messages.to_string(),
@@ -313,6 +351,9 @@ mod tests {
         let t = fig24_fairness();
         let off: u64 = t.rows[0][3].parse().unwrap();
         let aggressive: u64 = t.rows[3][3].parse().unwrap();
-        assert!(aggressive >= off, "fairness hand-offs should add global traffic");
+        assert!(
+            aggressive >= off,
+            "fairness hand-offs should add global traffic"
+        );
     }
 }

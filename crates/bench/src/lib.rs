@@ -8,6 +8,12 @@
 //! experiment and prints the regenerated table. `EXPERIMENTS.md` at the repository root
 //! records the paper-reported numbers next to the values measured with this harness.
 //!
+//! Experiments are expressed against the `syncron-harness` scenario API: each builds a
+//! labelled [`syncron_harness::Sweep`] (or an explicit scenario list), executes it on
+//! the parallel [`syncron_harness::Runner`], and reads results back from the keyed
+//! [`syncron_harness::RunSet`] — no positional job lists. The same sweeps are
+//! available declaratively to `syncron-cli` through the files under `scenarios/`.
+//!
 //! All experiments respect the `SYNCRON_SCALE` environment variable (default `1.0`):
 //! values below 1 shrink the workloads for quick smoke runs, values above 1 grow them
 //! towards the paper's full sizes at the cost of simulation time.
@@ -17,9 +23,7 @@
 
 pub mod experiments;
 
-use syncron_system::config::NdpConfig;
-use syncron_system::report::RunReport;
-use syncron_system::workload::Workload;
+pub use syncron_harness::{ConfigSpec, RunSet, Runner, Scenario, Sweep, WorkloadSpec};
 
 /// A simple text table: the output format of every experiment.
 #[derive(Clone, Debug, Default)]
@@ -65,7 +69,13 @@ impl Table {
             cells
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8) + 2))
+                .map(|(i, c)| {
+                    format!(
+                        "{:<width$}",
+                        c,
+                        width = widths.get(i).copied().unwrap_or(8) + 2
+                    )
+                })
                 .collect::<String>()
         };
         out.push_str(&fmt_row(&self.headers));
@@ -100,40 +110,14 @@ pub fn scaled(base: u32, min: u32) -> u32 {
     ((base as f64 * scale()).round() as u32).max(min)
 }
 
-/// Runs one (configuration, workload) pair.
-pub fn run_one(config: &NdpConfig, workload: &(dyn Workload + Sync)) -> RunReport {
-    syncron_system::run_workload(config, workload)
-}
-
-/// Runs many independent simulations in parallel across the host's cores and returns
-/// the reports in input order.
-pub fn run_many(jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)>) -> Vec<RunReport> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
-    let jobs: Vec<(usize, NdpConfig, Box<dyn Workload + Send + Sync>)> = jobs
-        .into_iter()
-        .enumerate()
-        .map(|(i, (c, w))| (i, c, w))
-        .collect();
-    let queue = std::sync::Mutex::new(jobs);
-    let results = std::sync::Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let job = queue.lock().expect("queue lock").pop();
-                let Some((index, config, workload)) = job else {
-                    break;
-                };
-                let report = syncron_system::run_workload(&config, workload.as_ref());
-                results.lock().expect("results lock").push((index, report));
-            });
-        }
-    });
-    let mut collected = results.into_inner().expect("results");
-    collected.sort_by_key(|(i, _)| *i);
-    collected.into_iter().map(|(_, r)| r).collect()
+/// Runs a scenario list on the parallel runner.
+///
+/// Experiments construct their scenarios internally, so failures here are programming
+/// errors (duplicate labels, unknown workload names) — panic with the harness error.
+pub fn run_scenarios(scenarios: &[Scenario]) -> RunSet {
+    Runner::new()
+        .run(scenarios)
+        .unwrap_or_else(|e| panic!("experiment scenarios failed to run: {e}"))
 }
 
 /// Formats a floating-point cell with two decimals.
@@ -145,7 +129,7 @@ pub fn f2(value: f64) -> String {
 mod tests {
     use super::*;
     use syncron_core::MechanismKind;
-    use syncron_workloads::micro::LockMicrobench;
+    use syncron_workloads::micro::SyncPrimitive;
 
     #[test]
     fn table_renders_alignment() {
@@ -166,23 +150,23 @@ mod tests {
     }
 
     #[test]
-    fn run_many_preserves_order() {
-        let cfg_a = NdpConfig::builder()
-            .units(1)
-            .cores_per_unit(3)
-            .mechanism(MechanismKind::Ideal)
-            .build();
-        let cfg_b = NdpConfig::builder()
-            .units(2)
-            .cores_per_unit(3)
-            .mechanism(MechanismKind::Ideal)
-            .build();
-        let jobs: Vec<(NdpConfig, Box<dyn Workload + Send + Sync>)> = vec![
-            (cfg_a, Box::new(LockMicrobench::new(100, 3))),
-            (cfg_b, Box::new(LockMicrobench::new(100, 3))),
-        ];
-        let reports = run_many(jobs);
-        assert_eq!(reports.len(), 2);
-        assert!(reports[0].total_ops < reports[1].total_ops);
+    fn run_scenarios_keys_results_by_label() {
+        let scenarios = Sweep::new("t")
+            .base(ConfigSpec::default().with_geometry(1, 3))
+            .workloads([WorkloadSpec::Micro {
+                primitive: SyncPrimitive::Lock,
+                interval: 100,
+                iterations: 3,
+            }])
+            .units([1, 2])
+            .scenarios()
+            .unwrap();
+        let set = run_scenarios(&scenarios);
+        assert_eq!(set.len(), 2);
+        let one = set.get("t/lock-micro.i100/u=1").unwrap();
+        let two = set.get("t/lock-micro.i100/u=2").unwrap();
+        assert_eq!(one.scenario.config.mechanism, MechanismKind::SynCron);
+        // Twice the units, twice the clients, twice the total operations.
+        assert!(one.report.total_ops < two.report.total_ops);
     }
 }

@@ -1,0 +1,287 @@
+//! `syncron-cli` — run SynCron evaluation scenarios and sweeps from files.
+//!
+//! Subcommands:
+//!
+//! * `list` — the workload catalog, configuration axes and bundled scenario files;
+//! * `run <file>` — execute the `[[scenario]]` entries of a TOML/JSON file;
+//! * `sweep <file>` — expand and execute the `[sweep]` of a TOML/JSON file.
+//!
+//! Both `run` and `sweep` accept `--json <path>` / `--csv <path>` to export the full
+//! result set, `--threads <n>` to cap parallelism, and `-q` to silence per-scenario
+//! progress. See `scenarios/` in the repository root for ready-made files reproducing
+//! the paper's figures.
+
+use std::process::ExitCode;
+
+use syncron_harness::json::Value;
+use syncron_harness::{HarnessError, RunSet, Runner, Scenario, Sweep, WorkloadSpec};
+
+const USAGE: &str = "syncron-cli — SynCron (HPCA 2021) scenario driver
+
+USAGE:
+    syncron-cli list
+    syncron-cli run   <file.toml|file.json> [OPTIONS]
+    syncron-cli sweep <file.toml|file.json> [OPTIONS]
+
+OPTIONS:
+    --json <path>      write the full result set as JSON
+    --csv <path>       write the full result set as CSV
+    --threads <n>      cap the number of worker threads
+    --dry-run          expand and list scenario labels without simulating
+    -q, --quiet        no per-scenario progress on stderr
+    -h, --help         show this help
+
+FILE FORMATS (TOML shown; the JSON equivalent mirrors the structure):
+    # run: explicit scenarios
+    [[scenario]]
+    label = \"demo\"
+    [scenario.config]          # any omitted field keeps the paper default
+    mechanism = \"SynCron\"
+    [scenario.workload]
+    kind = \"data-structure\"
+    name = \"stack\"
+
+    # sweep: cartesian product — array-valued fields become axes
+    [sweep]
+    label = \"fig17\"
+    [sweep.config]
+    mechanism = [\"Central\", \"Hier\", \"SynCron\", \"Ideal\"]
+    link_latency_ns = [40, 100, 200, 500]
+    [sweep.workload]
+    kind = \"graph\"
+    algo = \"pr\"
+    input = \"wk\"
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    file: String,
+    json_out: Option<String>,
+    csv_out: Option<String>,
+    threads: Option<usize>,
+    quiet: bool,
+    dry_run: bool,
+}
+
+/// Parses subcommand options; `Ok(None)` means help was requested.
+fn parse_options(args: &[String]) -> Result<Option<Options>, String> {
+    let mut file = None;
+    let mut json_out = None;
+    let mut csv_out = None;
+    let mut threads = None;
+    let mut quiet = false;
+    let mut dry_run = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_out = Some(it.next().ok_or("--json needs a path argument")?.to_string())
+            }
+            "--csv" => csv_out = Some(it.next().ok_or("--csv needs a path argument")?.to_string()),
+            "--threads" => {
+                threads = Some(
+                    it.next()
+                        .ok_or("--threads needs a number")?
+                        .parse::<usize>()
+                        .map_err(|_| "--threads needs a number".to_string())?,
+                )
+            }
+            "-q" | "--quiet" => quiet = true,
+            "--dry-run" => dry_run = true,
+            "-h" | "--help" => return Ok(None),
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            other => return Err(format!("unexpected argument '{other}'\n\n{USAGE}")),
+        }
+    }
+    Ok(Some(Options {
+        file: file.ok_or_else(|| format!("missing scenario file\n\n{USAGE}"))?,
+        json_out,
+        csv_out,
+        threads,
+        quiet,
+        dry_run,
+    }))
+}
+
+fn run_cli(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            list();
+            Ok(())
+        }
+        Some("run") => match parse_options(&args[1..])? {
+            Some(options) => execute(&options, Mode::Run),
+            None => {
+                println!("{USAGE}");
+                Ok(())
+            }
+        },
+        Some("sweep") => match parse_options(&args[1..])? {
+            Some(options) => execute(&options, Mode::Sweep),
+            None => {
+                println!("{USAGE}");
+                Ok(())
+            }
+        },
+        Some("-h") | Some("--help") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn list() {
+    println!("workload kinds (for [scenario.workload] / [sweep.workload] tables):\n");
+    for line in WorkloadSpec::catalog() {
+        println!("    {line}");
+    }
+    println!(
+        "\nconfig fields (for [scenario.config] / [sweep.config] tables; omitted fields \
+         keep the paper's Table 5 defaults):\n"
+    );
+    for line in [
+        "units=<n>                         NDP units (default 4)",
+        "cores_per_unit=<n>                cores per unit (default 16)",
+        "mechanism=Central|Hier|SynCron|SynCron-flat|Ideal",
+        "mem_tech=hbm|hmc|ddr4             memory technology",
+        "link_latency_ns=<n>               inter-unit transfer latency (default 40)",
+        "st_entries=<n>                    Synchronization Table size (default 64)",
+        "overflow_mode=integrated|central-overflow|distributed-overflow",
+        "fairness_threshold=<n>|\"off\"      local-grant fairness threshold",
+        "coherence=software-assisted|mesi  shared-RW data handling",
+        "mesi_profile=ndp|cpu-two-socket   MESI latencies (with coherence=mesi)",
+        "reserve_server_core=true|false    reserve one core per unit as server",
+        "seed=<n>                          deterministic workload seed",
+        "max_events=<n>                    event safety limit",
+    ] {
+        println!("    {line}");
+    }
+    println!("\nbundled scenario files: see scenarios/ in the repository root.");
+}
+
+enum Mode {
+    Run,
+    Sweep,
+}
+
+fn load_document(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".json") {
+        syncron_harness::json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        syncron_harness::toml::parse(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn collect_scenarios(doc: &Value, mode: Mode, path: &str) -> Result<Vec<Scenario>, String> {
+    let harness_err = |e: HarnessError| format!("{path}: {e}");
+    match mode {
+        Mode::Run => {
+            let entries = doc
+                .get("scenario")
+                .and_then(Value::as_array)
+                .ok_or_else(|| {
+                    format!(
+                        "{path}: a run file needs [[scenario]] entries (or a \"scenario\" array)"
+                    )
+                })?;
+            entries
+                .iter()
+                .map(|entry| Scenario::from_value(entry).map_err(harness_err))
+                .collect()
+        }
+        Mode::Sweep => {
+            let sweep = doc
+                .get("sweep")
+                .ok_or_else(|| format!("{path}: a sweep file needs a [sweep] table"))?;
+            Sweep::scenarios_from_value(sweep).map_err(harness_err)
+        }
+    }
+}
+
+fn execute(options: &Options, mode: Mode) -> Result<(), String> {
+    let doc = load_document(&options.file)?;
+    let scenarios = collect_scenarios(&doc, mode, &options.file)?;
+    eprintln!(
+        "{}: {} scenario{}",
+        options.file,
+        scenarios.len(),
+        if scenarios.len() == 1 { "" } else { "s" }
+    );
+    if options.dry_run {
+        for scenario in &scenarios {
+            scenario
+                .workload
+                .build()
+                .map_err(|e| format!("{}: {e}", scenario.label))?;
+            println!("{}", scenario.label);
+        }
+        return Ok(());
+    }
+
+    let mut runner = Runner::new();
+    if let Some(threads) = options.threads {
+        runner = runner.threads(threads);
+    }
+    if !options.quiet {
+        runner = runner.on_progress(|p| {
+            eprintln!(
+                "[{}/{}] {} {}",
+                p.finished,
+                p.total,
+                p.label,
+                if p.completed { "" } else { "(INCOMPLETE)" }
+            );
+        });
+    }
+    let results = runner
+        .run(&scenarios)
+        .map_err(|e| format!("{}: {e}", options.file))?;
+
+    print_summary(&results);
+    if let Some(path) = &options.json_out {
+        results.write_json(path).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &options.csv_out {
+        results.write_csv(path).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn print_summary(results: &RunSet) {
+    let width = results
+        .entries()
+        .iter()
+        .map(|e| e.scenario.label.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    println!(
+        "{:<width$}  {:>12}  {:>10}  {:>9}  {:>12}",
+        "label", "sim time us", "ops/ms", "complete", "sync msgs"
+    );
+    for entry in results.entries() {
+        let r = &entry.report;
+        println!(
+            "{:<width$}  {:>12.2}  {:>10.2}  {:>9}  {:>12}",
+            entry.scenario.label,
+            r.sim_time.as_us_f64(),
+            r.ops_per_ms(),
+            if r.completed { "yes" } else { "NO" },
+            r.sync.local_messages + r.sync.global_messages,
+        );
+    }
+}

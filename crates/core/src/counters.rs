@@ -165,20 +165,31 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use syncron_sim::SimRng;
 
-    proptest! {
-        /// A counter's value equals max(0, increments - decrements) applied in order,
-        /// for any interleaving on a single address.
-        #[test]
-        fn counter_tracks_balance(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+    /// A counter's value equals max(0, increments - decrements) applied in order,
+    /// for any interleaving on a single address.
+    ///
+    /// Deterministic stand-in for a proptest property (no crates.io access): many
+    /// randomized op sequences driven by the in-tree RNG.
+    #[test]
+    fn counter_tracks_balance() {
+        for case in 0..64u64 {
+            let mut rng = SimRng::seed_from(0xC0_0000 + case);
+            let ops = 1 + rng.gen_range(199) as usize;
             let mut ctrs = IndexingCounters::new(64);
             let addr = Addr(0x80);
             let mut model: i64 = 0;
-            for inc in ops {
-                if inc { ctrs.increment(addr); model += 1; } else { ctrs.decrement(addr); model = (model - 1).max(0); }
-                prop_assert_eq!(ctrs.value(addr) as i64, model);
-                prop_assert_eq!(ctrs.is_overflowed(addr), model > 0);
+            for _ in 0..ops {
+                if rng.gen_bool(0.5) {
+                    ctrs.increment(addr);
+                    model += 1;
+                } else {
+                    ctrs.decrement(addr);
+                    model = (model - 1).max(0);
+                }
+                assert_eq!(ctrs.value(addr) as i64, model);
+                assert_eq!(ctrs.is_overflowed(addr), model > 0);
             }
         }
     }

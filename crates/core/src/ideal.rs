@@ -195,7 +195,13 @@ mod tests {
         fn remote_hop(&mut self, _from: UnitId, _to: UnitId, _bytes: u64) -> Time {
             Time::from_ns(40)
         }
-        fn sync_mem_access(&mut self, _unit: UnitId, _addr: Addr, _write: bool, _cached: bool) -> Time {
+        fn sync_mem_access(
+            &mut self,
+            _unit: UnitId,
+            _addr: Addr,
+            _write: bool,
+            _cached: bool,
+        ) -> Time {
             Time::from_ns(20)
         }
         fn home_unit(&self, addr: Addr) -> UnitId {
@@ -242,7 +248,11 @@ mod tests {
             now: Time::from_us(3),
             ..Default::default()
         };
-        m.request(&mut ctx, core(0, 0), SyncRequest::LockAcquire { var: Addr(0x80) });
+        m.request(
+            &mut ctx,
+            core(0, 0),
+            SyncRequest::LockAcquire { var: Addr(0x80) },
+        );
         assert_eq!(ctx.completed[0].1, Time::from_us(3));
     }
 
@@ -302,9 +312,21 @@ mod tests {
         let mut ctx = TestCtx::default();
         let var = Addr(0x200);
         // Two resources: first two waits succeed, third blocks until a post.
-        m.request(&mut ctx, core(0, 0), SyncRequest::SemWait { var, initial: 2 });
-        m.request(&mut ctx, core(0, 1), SyncRequest::SemWait { var, initial: 2 });
-        m.request(&mut ctx, core(0, 2), SyncRequest::SemWait { var, initial: 2 });
+        m.request(
+            &mut ctx,
+            core(0, 0),
+            SyncRequest::SemWait { var, initial: 2 },
+        );
+        m.request(
+            &mut ctx,
+            core(0, 1),
+            SyncRequest::SemWait { var, initial: 2 },
+        );
+        m.request(
+            &mut ctx,
+            core(0, 2),
+            SyncRequest::SemWait { var, initial: 2 },
+        );
         assert_eq!(ctx.completed.len(), 2);
         m.request(&mut ctx, core(0, 0), SyncRequest::SemPost { var });
         assert_eq!(ctx.completed.len(), 3);
@@ -320,7 +342,11 @@ mod tests {
         // Core 0 takes the lock then waits on the condition variable.
         m.request(&mut ctx, core(0, 0), SyncRequest::LockAcquire { var: lock });
         assert_eq!(ctx.completed.len(), 1);
-        m.request(&mut ctx, core(0, 0), SyncRequest::CondWait { var: cond, lock });
+        m.request(
+            &mut ctx,
+            core(0, 0),
+            SyncRequest::CondWait { var: cond, lock },
+        );
         // cond_wait released the lock, so another core can take it.
         m.request(&mut ctx, core(0, 1), SyncRequest::LockAcquire { var: lock });
         assert_eq!(ctx.completed.len(), 2);
@@ -341,10 +367,18 @@ mod tests {
         let lock = Addr(0x440);
         for i in 0..3 {
             m.request(&mut ctx, core(0, i), SyncRequest::LockAcquire { var: lock });
-            m.request(&mut ctx, core(0, i), SyncRequest::CondWait { var: cond, lock });
+            m.request(
+                &mut ctx,
+                core(0, i),
+                SyncRequest::CondWait { var: cond, lock },
+            );
         }
         assert_eq!(ctx.completed.len(), 3); // the three lock acquisitions
-        m.request(&mut ctx, core(1, 0), SyncRequest::CondBroadcast { var: cond });
+        m.request(
+            &mut ctx,
+            core(1, 0),
+            SyncRequest::CondBroadcast { var: cond },
+        );
         // All three waiters re-acquire the lock one after another as it is released.
         assert_eq!(ctx.completed.len(), 4);
         let fourth = ctx.completed[3].0;

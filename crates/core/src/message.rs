@@ -137,8 +137,12 @@ impl SyncOpcode {
             LockAcquireGlobal | LockAcquireLocal | LockReleaseGlobal | LockReleaseLocal
             | LockGrantGlobal | LockGrantLocal | LockAcquireOverflow | LockReleaseOverflow
             | LockGrantOverflow => PrimitiveKind::Lock,
-            BarrierWaitGlobal | BarrierWaitLocalWithinUnit | BarrierWaitLocalAcrossUnits
-            | BarrierDepartGlobal | BarrierDepartLocal | BarrierWaitOverflow
+            BarrierWaitGlobal
+            | BarrierWaitLocalWithinUnit
+            | BarrierWaitLocalAcrossUnits
+            | BarrierDepartGlobal
+            | BarrierDepartLocal
+            | BarrierWaitOverflow
             | BarrierDepartureOverflow => PrimitiveKind::Barrier,
             SemWaitGlobal | SemWaitLocal | SemGrantGlobal | SemGrantLocal | SemPostGlobal
             | SemPostLocal | SemWaitOverflow | SemGrantOverflow | SemPostOverflow => {

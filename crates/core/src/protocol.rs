@@ -266,16 +266,26 @@ enum EngineMsg {
         direct: bool,
         fallback: bool,
     },
-    LockAcquireGlobal { from: UnitId, var: Addr },
-    LockReleaseGlobal { from: UnitId, var: Addr },
-    LockGrantGlobal { var: Addr },
+    LockAcquireGlobal {
+        from: UnitId,
+        var: Addr,
+    },
+    LockReleaseGlobal {
+        from: UnitId,
+        var: Addr,
+    },
+    LockGrantGlobal {
+        var: Addr,
+    },
     BarrierArriveGlobal {
         from: UnitId,
         var: Addr,
         count: u32,
         participants: u32,
     },
-    BarrierDepartGlobal { var: Addr },
+    BarrierDepartGlobal {
+        var: Addr,
+    },
 }
 
 impl EngineMsg {
@@ -309,10 +319,17 @@ enum Outcome {
     /// Complete a blocking request for `core`, responding from the processing engine.
     Complete { core: GlobalCoreId },
     /// Send a message to another engine (global scope).
-    Send { to: UnitId, msg: EngineMsg, overflow: bool },
+    Send {
+        to: UnitId,
+        msg: EngineMsg,
+        overflow: bool,
+    },
     /// Route a brand-new core request (used by condition variables to release or
     /// re-acquire the associated lock on behalf of a waiting core).
-    Inject { core: GlobalCoreId, req: SyncRequest },
+    Inject {
+        core: GlobalCoreId,
+        req: SyncRequest,
+    },
     /// Charge a MiSAR abort broadcast to every core of the processing engine's unit.
     MisarAbortBroadcast,
     /// Charge the MiSAR "switch back to hardware" notification message.
@@ -362,7 +379,9 @@ impl ProtocolMechanism {
     }
 
     fn master_of(&self, ctx: &dyn SyncContext, var: Addr) -> UnitId {
-        self.config.fixed_server.unwrap_or_else(|| ctx.home_unit(var))
+        self.config
+            .fixed_server
+            .unwrap_or_else(|| ctx.home_unit(var))
     }
 
     fn local_bytes() -> u64 {
@@ -373,13 +392,7 @@ impl ProtocolMechanism {
         SyncMessage::wire_bytes(MessageScope::Global)
     }
 
-    fn schedule_msg(
-        &mut self,
-        ctx: &mut dyn SyncContext,
-        at: Time,
-        unit: UnitId,
-        msg: EngineMsg,
-    ) {
+    fn schedule_msg(&mut self, ctx: &mut dyn SyncContext, at: Time, unit: UnitId, msg: EngineMsg) {
         let token = self.next_token;
         self.next_token += 1;
         self.pending.insert(token, PendingEvent { unit, msg });
@@ -477,6 +490,7 @@ impl ProtocolMechanism {
     /// requests and 0 for SE-to-SE messages; `count_stat` controls whether an overflow
     /// is counted towards the overflowed-request statistic (redirected requests are
     /// only counted once, at the SE that first observed the overflow).
+    #[allow(clippy::too_many_arguments)]
     fn st_resolve(
         &mut self,
         ctx: &dyn SyncContext,
@@ -1300,7 +1314,11 @@ mod tests {
         let mut order = vec![held];
         for _ in 0..cores.len() - 1 {
             h.request(held, SyncRequest::LockRelease { var });
-            let newly = h.completed().last().copied().expect("a grant follows a release");
+            let newly = h
+                .completed()
+                .last()
+                .copied()
+                .expect("a grant follows a release");
             assert_ne!(newly.0, held, "{kind:?}: release granted back to holder");
             held = newly.0;
             order.push(held);
@@ -1310,7 +1328,11 @@ mod tests {
         let mut sorted: Vec<_> = order.iter().map(|c| c.flat_index(16)).collect();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), cores.len(), "{kind:?}: duplicate grants {order:?}");
+        assert_eq!(
+            sorted.len(),
+            cores.len(),
+            "{kind:?}: duplicate grants {order:?}"
+        );
     }
 
     #[test]
@@ -1356,7 +1378,11 @@ mod tests {
         // Threshold of 1 consecutive local grant: on release the lock must go to the
         // waiting remote unit even though a local waiter exists.
         h.request(core(1, 0), SyncRequest::LockRelease { var });
-        assert_eq!(h.completed()[1].0, core(3, 0), "fairness hand-off to unit 3");
+        assert_eq!(
+            h.completed()[1].0,
+            core(3, 0),
+            "fairness hand-off to unit 3"
+        );
         h.request(core(3, 0), SyncRequest::LockRelease { var });
         assert_eq!(h.completed()[2].0, core(1, 1));
         h.request(core(1, 1), SyncRequest::LockRelease { var });
@@ -1394,7 +1420,14 @@ mod tests {
         let mut h = Harness::new(MechanismKind::SynCron);
         let var = Addr(2 << 22);
         // 6 participants spread over 3 units (fewer than the 64 total cores).
-        let participants = [core(0, 0), core(0, 1), core(1, 0), core(1, 1), core(2, 0), core(2, 1)];
+        let participants = [
+            core(0, 0),
+            core(0, 1),
+            core(1, 0),
+            core(1, 1),
+            core(2, 0),
+            core(2, 1),
+        ];
         for &c in &participants {
             h.request(
                 c,
@@ -1430,7 +1463,11 @@ mod tests {
 
     #[test]
     fn semaphore_grants_match_resources() {
-        for kind in [MechanismKind::Central, MechanismKind::Hier, MechanismKind::SynCron] {
+        for kind in [
+            MechanismKind::Central,
+            MechanismKind::Hier,
+            MechanismKind::SynCron,
+        ] {
             let mut h = Harness::new(kind);
             let var = Addr(1 << 22);
             for c in 0..4u8 {
@@ -1455,7 +1492,11 @@ mod tests {
         // Three lock acquisitions completed; the cond_waits have not.
         assert_eq!(h.completed().len(), 3);
         h.request(core(1, 0), SyncRequest::CondSignal { var: cond });
-        assert_eq!(h.completed().len(), 4, "one waiter woken and re-acquired the lock");
+        assert_eq!(
+            h.completed().len(),
+            4,
+            "one waiter woken and re-acquired the lock"
+        );
         let woken = h.completed()[3].0;
         h.request(woken, SyncRequest::LockRelease { var: lock });
         h.request(core(1, 0), SyncRequest::CondBroadcast { var: cond });
@@ -1522,7 +1563,11 @@ mod tests {
             let c = core((i % 4) as u8, (i % 16) as u8);
             h.request(c, SyncRequest::LockAcquire { var });
         }
-        assert_eq!(h.completed().len(), locks.len(), "uncontended locks all granted");
+        assert_eq!(
+            h.completed().len(),
+            locks.len(),
+            "uncontended locks all granted"
+        );
         for (i, &var) in locks.iter().enumerate() {
             let c = core((i % 4) as u8, (i % 16) as u8);
             h.request(c, SyncRequest::LockRelease { var });
@@ -1559,8 +1604,14 @@ mod tests {
         let integrated = run(OverflowMode::Integrated);
         let central = run(OverflowMode::MiSarCentral);
         let distrib = run(OverflowMode::MiSarDistributed);
-        assert!(central > integrated, "central {central} vs integrated {integrated}");
-        assert!(distrib > integrated, "distrib {distrib} vs integrated {integrated}");
+        assert!(
+            central > integrated,
+            "central {central} vs integrated {integrated}"
+        );
+        assert!(
+            distrib > integrated,
+            "distrib {distrib} vs integrated {integrated}"
+        );
     }
 
     #[test]
@@ -1573,7 +1624,10 @@ mod tests {
         assert_eq!(stats.requests, 2);
         assert_eq!(stats.completions, 1);
         assert!(stats.local_messages >= 2);
-        assert!(stats.global_messages >= 1, "acquire crossed to the master SE");
+        assert!(
+            stats.global_messages >= 1,
+            "acquire crossed to the master SE"
+        );
         assert!(stats.st_max_occupancy > 0.0);
         assert_eq!(stats.overflowed_requests, 0);
     }

@@ -128,7 +128,9 @@ impl SyncRequest {
     /// The primitive this request belongs to.
     pub fn primitive(&self) -> PrimitiveKind {
         match self {
-            SyncRequest::LockAcquire { .. } | SyncRequest::LockRelease { .. } => PrimitiveKind::Lock,
+            SyncRequest::LockAcquire { .. } | SyncRequest::LockRelease { .. } => {
+                PrimitiveKind::Lock
+            }
             SyncRequest::BarrierWait { .. } => PrimitiveKind::Barrier,
             SyncRequest::SemWait { .. } | SyncRequest::SemPost { .. } => PrimitiveKind::Semaphore,
             SyncRequest::CondWait { .. }
@@ -188,7 +190,10 @@ mod tests {
     #[test]
     fn primitive_classification() {
         let var = Addr(0x40);
-        assert_eq!(SyncRequest::LockAcquire { var }.primitive(), PrimitiveKind::Lock);
+        assert_eq!(
+            SyncRequest::LockAcquire { var }.primitive(),
+            PrimitiveKind::Lock
+        );
         assert_eq!(
             SyncRequest::BarrierWait {
                 var,
@@ -198,7 +203,10 @@ mod tests {
             .primitive(),
             PrimitiveKind::Barrier
         );
-        assert_eq!(SyncRequest::SemPost { var }.primitive(), PrimitiveKind::Semaphore);
+        assert_eq!(
+            SyncRequest::SemPost { var }.primitive(),
+            PrimitiveKind::Semaphore
+        );
         assert_eq!(
             SyncRequest::CondBroadcast { var }.primitive(),
             PrimitiveKind::CondVar

@@ -171,36 +171,20 @@ impl SynchronizationTable {
 
     /// Looks up the entry for `addr`, if present.
     pub fn lookup(&self, addr: Addr) -> Option<&StEntry> {
-        self.entries
-            .iter()
-            .flatten()
-            .find(|e| e.addr == addr)
+        self.entries.iter().flatten().find(|e| e.addr == addr)
     }
 
     /// Looks up the entry for `addr` mutably, if present.
     pub fn lookup_mut(&mut self, addr: Addr) -> Option<&mut StEntry> {
-        self.entries
-            .iter_mut()
-            .flatten()
-            .find(|e| e.addr == addr)
+        self.entries.iter_mut().flatten().find(|e| e.addr == addr)
     }
 
     /// Allocates an entry for `addr`. Returns `None` (and counts a rejection) if the
     /// table is full; the caller must then fall back to the overflow path.
     ///
     /// If an entry for `addr` already exists it is returned unchanged.
-    pub fn allocate(
-        &mut self,
-        now: Time,
-        addr: Addr,
-        kind: PrimitiveKind,
-    ) -> Option<&mut StEntry> {
-        if self
-            .entries
-            .iter()
-            .flatten()
-            .any(|e| e.addr == addr)
-        {
+    pub fn allocate(&mut self, now: Time, addr: Addr, kind: PrimitiveKind) -> Option<&mut StEntry> {
+        if self.entries.iter().flatten().any(|e| e.addr == addr) {
             return self.lookup_mut(addr);
         }
         let free = self.entries.iter().position(|e| e.is_none());
@@ -309,11 +293,15 @@ mod tests {
     #[test]
     fn allocate_lookup_release() {
         let mut st = SynchronizationTable::new(4);
-        assert!(st.allocate(Time::ZERO, Addr(0x100), PrimitiveKind::Lock).is_some());
+        assert!(st
+            .allocate(Time::ZERO, Addr(0x100), PrimitiveKind::Lock)
+            .is_some());
         assert_eq!(st.occupied(), 1);
         assert!(st.lookup(Addr(0x100)).is_some());
         // Re-allocating the same address does not consume another entry.
-        assert!(st.allocate(Time::ZERO, Addr(0x100), PrimitiveKind::Lock).is_some());
+        assert!(st
+            .allocate(Time::ZERO, Addr(0x100), PrimitiveKind::Lock)
+            .is_some());
         assert_eq!(st.occupied(), 1);
         st.release(Time::from_ns(5), Addr(0x100));
         assert_eq!(st.occupied(), 0);
@@ -323,14 +311,22 @@ mod tests {
     #[test]
     fn full_table_rejects() {
         let mut st = SynchronizationTable::new(2);
-        assert!(st.allocate(Time::ZERO, Addr(0x40), PrimitiveKind::Lock).is_some());
-        assert!(st.allocate(Time::ZERO, Addr(0x80), PrimitiveKind::Barrier).is_some());
+        assert!(st
+            .allocate(Time::ZERO, Addr(0x40), PrimitiveKind::Lock)
+            .is_some());
+        assert!(st
+            .allocate(Time::ZERO, Addr(0x80), PrimitiveKind::Barrier)
+            .is_some());
         assert!(st.is_full());
-        assert!(st.allocate(Time::ZERO, Addr(0xC0), PrimitiveKind::Lock).is_none());
+        assert!(st
+            .allocate(Time::ZERO, Addr(0xC0), PrimitiveKind::Lock)
+            .is_none());
         assert_eq!(st.rejections(), 1);
         // Releasing one entry makes room again.
         st.release(Time::from_ns(1), Addr(0x40));
-        assert!(st.allocate(Time::from_ns(2), Addr(0xC0), PrimitiveKind::Lock).is_some());
+        assert!(st
+            .allocate(Time::from_ns(2), Addr(0xC0), PrimitiveKind::Lock)
+            .is_some());
     }
 
     #[test]
@@ -349,13 +345,27 @@ mod tests {
     #[test]
     fn table_info_defaults_per_primitive() {
         let mut st = SynchronizationTable::new(8);
-        let lock = st.allocate(Time::ZERO, Addr(0x40), PrimitiveKind::Lock).unwrap();
-        assert!(matches!(lock.info, TableInfo::LockOwner { global: None, local: None }));
-        let bar = st.allocate(Time::ZERO, Addr(0x80), PrimitiveKind::Barrier).unwrap();
+        let lock = st
+            .allocate(Time::ZERO, Addr(0x40), PrimitiveKind::Lock)
+            .unwrap();
+        assert!(matches!(
+            lock.info,
+            TableInfo::LockOwner {
+                global: None,
+                local: None
+            }
+        ));
+        let bar = st
+            .allocate(Time::ZERO, Addr(0x80), PrimitiveKind::Barrier)
+            .unwrap();
         assert!(matches!(bar.info, TableInfo::BarrierCount(0)));
-        let sem = st.allocate(Time::ZERO, Addr(0xC0), PrimitiveKind::Semaphore).unwrap();
+        let sem = st
+            .allocate(Time::ZERO, Addr(0xC0), PrimitiveKind::Semaphore)
+            .unwrap();
         assert!(matches!(sem.info, TableInfo::SemResources(0)));
-        let cond = st.allocate(Time::ZERO, Addr(0x140), PrimitiveKind::CondVar).unwrap();
+        let cond = st
+            .allocate(Time::ZERO, Addr(0x140), PrimitiveKind::CondVar)
+            .unwrap();
         assert!(matches!(cond.info, TableInfo::CondLock(Addr(0))));
         assert_eq!(st.iter().count(), 4);
     }
@@ -364,46 +374,66 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use syncron_sim::SimRng;
 
-    proptest! {
-        /// Occupancy never exceeds capacity, lookups find exactly the live entries, and
-        /// allocations minus releases equals the occupied count.
-        #[test]
-        fn st_invariants(ops in proptest::collection::vec((any::<bool>(), 0u64..32), 1..300)) {
+    // Deterministic stand-ins for proptest properties (no crates.io access): many
+    // randomized op sequences driven by the in-tree RNG.
+
+    /// Occupancy never exceeds capacity, lookups find exactly the live entries, and
+    /// allocations minus releases equals the occupied count.
+    #[test]
+    fn st_invariants() {
+        for case in 0..64u64 {
+            let mut rng = SimRng::seed_from(0x57_0000 + case);
+            let ops = 1 + rng.gen_range(299) as usize;
             let mut st = SynchronizationTable::new(8);
             let mut live: std::collections::HashSet<u64> = std::collections::HashSet::new();
             let mut t = 0u64;
-            for (alloc, slot) in ops {
+            for _ in 0..ops {
                 t += 1;
+                let slot = rng.gen_range(32);
                 let addr = Addr(slot * 64);
-                if alloc {
-                    if st.allocate(Time::from_ns(t), addr, PrimitiveKind::Lock).is_some() {
+                if rng.gen_bool(0.5) {
+                    if st
+                        .allocate(Time::from_ns(t), addr, PrimitiveKind::Lock)
+                        .is_some()
+                    {
                         live.insert(slot);
                     }
                 } else {
                     st.release(Time::from_ns(t), addr);
                     live.remove(&slot);
                 }
-                prop_assert!(st.occupied() <= st.capacity());
-                prop_assert_eq!(st.occupied(), live.len());
+                assert!(st.occupied() <= st.capacity());
+                assert_eq!(st.occupied(), live.len());
                 for &s in &live {
-                    prop_assert!(st.lookup(Addr(s * 64)).is_some());
+                    assert!(st.lookup(Addr(s * 64)).is_some());
                 }
             }
         }
+    }
 
-        /// Waitlist set/clear behaves like a set of small integers.
-        #[test]
-        fn waitlist_matches_model(ops in proptest::collection::vec((any::<bool>(), 0usize..16), 1..200)) {
+    /// Waitlist set/clear behaves like a set of small integers.
+    #[test]
+    fn waitlist_matches_model() {
+        for case in 0..64u64 {
+            let mut rng = SimRng::seed_from(0x3A17_0000 + case);
+            let ops = 1 + rng.gen_range(199) as usize;
             let mut w = Waitlist::EMPTY;
             let mut model = std::collections::BTreeSet::new();
-            for (set, idx) in ops {
-                if set { w.set(idx); model.insert(idx); } else { w.clear(idx); model.remove(&idx); }
-                prop_assert_eq!(w.count() as usize, model.len());
-                prop_assert_eq!(w.first(), model.iter().next().copied());
+            for _ in 0..ops {
+                let idx = rng.gen_range(16) as usize;
+                if rng.gen_bool(0.5) {
+                    w.set(idx);
+                    model.insert(idx);
+                } else {
+                    w.clear(idx);
+                    model.remove(&idx);
+                }
+                assert_eq!(w.count() as usize, model.len());
+                assert_eq!(w.first(), model.iter().next().copied());
                 for i in 0..16 {
-                    prop_assert_eq!(w.contains(i), model.contains(&i));
+                    assert_eq!(w.contains(i), model.contains(&i));
                 }
             }
         }

@@ -1,0 +1,48 @@
+//! Harness error type.
+
+use std::fmt;
+
+/// Errors produced while parsing, expanding or running scenarios.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HarnessError {
+    /// A workload or config specification was invalid (unknown name, bad field type).
+    Spec(String),
+    /// A scenario document failed to parse (JSON/TOML syntax or missing sections).
+    Parse(String),
+    /// Two scenarios in one run set share a label, which would break keyed lookup.
+    DuplicateLabel(String),
+    /// Reading or writing a scenario/result file failed.
+    Io(String),
+}
+
+impl HarnessError {
+    /// Builds a [`HarnessError::Spec`].
+    pub fn spec(message: impl Into<String>) -> Self {
+        HarnessError::Spec(message.into())
+    }
+
+    /// Builds a [`HarnessError::Parse`].
+    pub fn parse(message: impl Into<String>) -> Self {
+        HarnessError::Parse(message.into())
+    }
+
+    /// Builds a [`HarnessError::Io`].
+    pub fn io(message: impl Into<String>) -> Self {
+        HarnessError::Io(message.into())
+    }
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Spec(m) => write!(f, "invalid specification: {m}"),
+            HarnessError::Parse(m) => write!(f, "parse error: {m}"),
+            HarnessError::DuplicateLabel(l) => {
+                write!(f, "duplicate scenario label '{l}' in one run set")
+            }
+            HarnessError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}

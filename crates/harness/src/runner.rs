@@ -1,0 +1,261 @@
+//! Parallel scenario execution.
+//!
+//! [`Runner`] replaces the old `run_many(Vec<(NdpConfig, Box<dyn Workload>)>)` pattern
+//! with a proper work-queue thread pool over [`Scenario`]s:
+//!
+//! * work is claimed lock-free through a shared atomic cursor (no `Mutex<Vec<_>>`
+//!   popping) and each worker rebuilds its workload from the spec, so nothing boxed
+//!   crosses threads;
+//! * a progress callback fires after every finished scenario;
+//! * results come back as a [`RunSet`] keyed by scenario label, independent of thread
+//!   count and execution order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::error::HarnessError;
+use crate::runset::RunSet;
+use crate::scenario::Scenario;
+
+/// Progress report handed to the [`Runner`] callback after each finished scenario.
+#[derive(Clone, Debug)]
+pub struct Progress {
+    /// Number of scenarios finished so far (including this one).
+    pub finished: usize,
+    /// Total number of scenarios in the run.
+    pub total: usize,
+    /// Label of the scenario that just finished.
+    pub label: String,
+    /// Whether the finished run completed before hitting the event safety limit.
+    pub completed: bool,
+}
+
+type ProgressFn = dyn Fn(&Progress) + Send + Sync;
+
+/// Parallel scenario runner.
+pub struct Runner {
+    threads: Option<usize>,
+    progress: Option<Box<ProgressFn>>,
+}
+
+impl std::fmt::Debug for Runner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runner")
+            .field("threads", &self.threads)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::new()
+    }
+}
+
+impl Runner {
+    /// Creates a runner that uses all available host parallelism.
+    pub fn new() -> Self {
+        Runner {
+            threads: None,
+            progress: None,
+        }
+    }
+
+    /// Caps the number of worker threads (values are clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Installs a progress callback, invoked after every finished scenario.
+    ///
+    /// The callback may fire concurrently from several worker threads.
+    pub fn on_progress(mut self, callback: impl Fn(&Progress) + Send + Sync + 'static) -> Self {
+        self.progress = Some(Box::new(callback));
+        self
+    }
+
+    /// Runs every scenario and returns the reports keyed by scenario label.
+    ///
+    /// Fails fast — before simulating anything — if a label is duplicated or a
+    /// workload spec names an unknown workload. Results are deterministic: each
+    /// simulation is single-threaded and seeded by its scenario alone, so the returned
+    /// [`RunSet`] is identical for any thread count.
+    pub fn run(&self, scenarios: &[Scenario]) -> Result<RunSet, HarnessError> {
+        // Validate labels and specs up front.
+        let mut seen = std::collections::BTreeSet::new();
+        for scenario in scenarios {
+            if !seen.insert(scenario.label.as_str()) {
+                return Err(HarnessError::DuplicateLabel(scenario.label.clone()));
+            }
+            scenario.workload.build()?;
+        }
+        if scenarios.is_empty() {
+            return Ok(RunSet::empty());
+        }
+
+        let threads = self
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
+            .min(scenarios.len());
+
+        let cursor = AtomicUsize::new(0);
+        let finished = AtomicUsize::new(0);
+        let total = scenarios.len();
+        let progress = self.progress.as_deref();
+
+        let mut slots: Vec<Option<syncron_system::RunReport>> = Vec::new();
+        slots.resize_with(total, || None);
+        let slot_cells: Vec<std::sync::Mutex<Option<syncron_system::RunReport>>> =
+            slots.into_iter().map(std::sync::Mutex::new).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    // Lock-free work claiming: each scenario index is handed to
+                    // exactly one worker.
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        break;
+                    }
+                    let scenario = &scenarios[index];
+                    let workload = scenario
+                        .workload
+                        .build()
+                        .expect("spec validated before launch");
+                    let report = syncron_system::run_workload(
+                        &scenario.config.to_ndp_config(),
+                        workload.as_ref(),
+                    );
+                    let completed = report.completed;
+                    *slot_cells[index].lock().expect("slot lock") = Some(report);
+                    let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(callback) = progress {
+                        callback(&Progress {
+                            finished: done,
+                            total,
+                            label: scenario.label.clone(),
+                            completed,
+                        });
+                    }
+                });
+            }
+        });
+
+        let reports: Vec<syncron_system::RunReport> = slot_cells
+            .into_iter()
+            .map(|cell| {
+                cell.into_inner()
+                    .expect("slot lock")
+                    .expect("every slot filled by the pool")
+            })
+            .collect();
+        RunSet::from_pairs(scenarios.iter().cloned().zip(reports))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ConfigSpec;
+    use crate::spec::WorkloadSpec;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use syncron_core::MechanismKind;
+    use syncron_workloads::micro::SyncPrimitive;
+
+    fn tiny_scenarios(n: usize) -> Vec<Scenario> {
+        (0..n)
+            .map(|i| {
+                Scenario::new(
+                    format!("s{i}"),
+                    ConfigSpec::default()
+                        .with_geometry(2, 4)
+                        .with_mechanism(MechanismKind::SynCron),
+                    WorkloadSpec::Micro {
+                        primitive: SyncPrimitive::Lock,
+                        interval: 50 + i as u64,
+                        iterations: 4,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn runs_everything_and_keys_by_label() {
+        let scenarios = tiny_scenarios(5);
+        let set = Runner::new().threads(3).run(&scenarios).unwrap();
+        assert_eq!(set.len(), 5);
+        for s in &scenarios {
+            let entry = set.get(&s.label).expect("keyed lookup");
+            assert!(entry.report.completed);
+            assert_eq!(entry.scenario.label, s.label);
+        }
+    }
+
+    #[test]
+    fn progress_callback_sees_every_scenario() {
+        let scenarios = tiny_scenarios(4);
+        let count = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let (count2, seen2) = (Arc::clone(&count), Arc::clone(&seen));
+        let _ = Runner::new()
+            .threads(2)
+            .on_progress(move |p| {
+                count2.fetch_add(1, Ordering::Relaxed);
+                assert!(p.finished <= p.total);
+                seen2.lock().unwrap().push(p.label.clone());
+            })
+            .run(&scenarios)
+            .unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+        let mut labels = seen.lock().unwrap().clone();
+        labels.sort();
+        assert_eq!(labels, vec!["s0", "s1", "s2", "s3"]);
+    }
+
+    #[test]
+    fn duplicate_labels_fail_fast() {
+        let mut scenarios = tiny_scenarios(2);
+        scenarios[1].label = scenarios[0].label.clone();
+        assert!(matches!(
+            Runner::new().run(&scenarios),
+            Err(HarnessError::DuplicateLabel(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_specs_fail_before_running() {
+        let scenarios = vec![Scenario::new(
+            "bad",
+            ConfigSpec::default(),
+            WorkloadSpec::DataStructure {
+                name: "nope".into(),
+                ops_per_core: 1,
+            },
+        )];
+        assert!(matches!(
+            Runner::new().run(&scenarios),
+            Err(HarnessError::Spec(_))
+        ));
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let scenarios = tiny_scenarios(6);
+        let a = Runner::new().threads(1).run(&scenarios).unwrap();
+        let b = Runner::new().threads(4).run(&scenarios).unwrap();
+        for s in &scenarios {
+            let ra = &a.get(&s.label).unwrap().report;
+            let rb = &b.get(&s.label).unwrap().report;
+            assert_eq!(ra.sim_time, rb.sim_time, "{}", s.label);
+            assert_eq!(ra.total_ops, rb.total_ops);
+            assert_eq!(ra.sync_requests, rb.sync_requests);
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Keyed result sets with comparison and export helpers.
+//!
+//! A [`RunSet`] is the output of [`crate::runner::Runner::run`]: one
+//! ([`Scenario`], [`RunReport`]) entry per scenario, indexed by the scenario label.
+//! Experiments look results up by key ([`RunSet::get`]) or by structured predicate
+//! ([`RunSet::find`]) instead of reconstructing input order, and export the whole set
+//! as JSON or CSV.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use syncron_system::RunReport;
+
+use crate::error::HarnessError;
+use crate::json::Value;
+use crate::scenario::{ConfigSpec, Scenario};
+
+/// One scenario together with its report.
+#[derive(Clone, Debug)]
+pub struct RunEntry {
+    /// The scenario that was run.
+    pub scenario: Scenario,
+    /// Its simulation report.
+    pub report: RunReport,
+}
+
+/// The results of one runner invocation, keyed by scenario label.
+#[derive(Clone, Debug, Default)]
+pub struct RunSet {
+    entries: Vec<RunEntry>,
+    index: BTreeMap<String, usize>,
+}
+
+impl RunSet {
+    /// An empty set.
+    pub fn empty() -> Self {
+        RunSet::default()
+    }
+
+    /// Builds a set from (scenario, report) pairs, rejecting duplicate labels.
+    pub fn from_pairs(
+        pairs: impl IntoIterator<Item = (Scenario, RunReport)>,
+    ) -> Result<Self, HarnessError> {
+        let mut set = RunSet::default();
+        for (scenario, report) in pairs {
+            if set.index.contains_key(&scenario.label) {
+                return Err(HarnessError::DuplicateLabel(scenario.label));
+            }
+            set.index.insert(scenario.label.clone(), set.entries.len());
+            set.entries.push(RunEntry { scenario, report });
+        }
+        Ok(set)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the set holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in execution-submission order.
+    pub fn entries(&self) -> &[RunEntry] {
+        &self.entries
+    }
+
+    /// Looks an entry up by its scenario label.
+    pub fn get(&self, label: &str) -> Option<&RunEntry> {
+        self.index.get(label).map(|&i| &self.entries[i])
+    }
+
+    /// The report for `label`.
+    pub fn report(&self, label: &str) -> Option<&RunReport> {
+        self.get(label).map(|e| &e.report)
+    }
+
+    /// First entry whose scenario satisfies `predicate` (submission order).
+    pub fn find(&self, predicate: impl Fn(&Scenario) -> bool) -> Option<&RunEntry> {
+        self.entries.iter().find(|e| predicate(&e.scenario))
+    }
+
+    /// All entries whose scenario satisfies `predicate` (submission order).
+    pub fn select(&self, predicate: impl Fn(&Scenario) -> bool) -> Vec<&RunEntry> {
+        self.entries
+            .iter()
+            .filter(|e| predicate(&e.scenario))
+            .collect()
+    }
+
+    /// Speedup of `label` over `baseline_label` (`> 1` means `label` is faster).
+    pub fn speedup_over(&self, label: &str, baseline_label: &str) -> Option<f64> {
+        let run = self.report(label)?;
+        let base = self.report(baseline_label)?;
+        Some(run.speedup_over(base))
+    }
+
+    /// Slowdown of `label` over `baseline_label` (`> 1` means `label` is slower).
+    pub fn slowdown_over(&self, label: &str, baseline_label: &str) -> Option<f64> {
+        let run = self.report(label)?;
+        let base = self.report(baseline_label)?;
+        Some(run.slowdown_over(base))
+    }
+
+    /// Serializes the set as a JSON value: an array of
+    /// `{label, config, workload, report}` tables.
+    pub fn to_json_value(&self) -> Value {
+        Value::Array(
+            self.entries
+                .iter()
+                .map(|e| {
+                    Value::table([
+                        ("label", Value::str(e.scenario.label.clone())),
+                        ("config", e.scenario.config.to_value()),
+                        ("workload", e.scenario.workload.to_value()),
+                        ("report", report_to_value(&e.report)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Serializes the set as pretty-printed JSON.
+    pub fn to_json_string(&self) -> String {
+        self.to_json_value().to_json_pretty()
+    }
+
+    /// Serializes the set as CSV (one row per entry, fixed column set).
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
+        for e in &self.entries {
+            out.push_str(&csv_row(&e.scenario.label, &e.scenario.config, &e.report));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSON export to `path`.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> Result<(), HarnessError> {
+        std::fs::write(path.as_ref(), self.to_json_string())
+            .map_err(|e| HarnessError::io(format!("{}: {e}", path.as_ref().display())))
+    }
+
+    /// Writes the CSV export to `path`.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> Result<(), HarnessError> {
+        std::fs::write(path.as_ref(), self.to_csv_string())
+            .map_err(|e| HarnessError::io(format!("{}: {e}", path.as_ref().display())))
+    }
+}
+
+const CSV_HEADER: &str = "label,workload,mechanism,units,cores_per_unit,mem_tech,link_latency_ns,\
+st_entries,completed,sim_time_ps,total_ops,ops_per_ms,instructions,loads,stores,sync_requests,\
+energy_cache_pj,energy_network_pj,energy_memory_pj,energy_total_pj,intra_unit_bytes,\
+inter_unit_bytes,sync_local_messages,sync_global_messages,sync_mem_accesses,\
+overflow_fraction,st_max_occupancy,st_avg_occupancy,dram_accesses,l1_hit_ratio";
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn csv_row(label: &str, config: &ConfigSpec, r: &RunReport) -> String {
+    [
+        csv_field(label),
+        csv_field(&r.workload),
+        csv_field(&r.mechanism),
+        config.units.to_string(),
+        config.cores_per_unit.to_string(),
+        config.mem_tech.name().to_string(),
+        config.link_latency_ns.to_string(),
+        config.st_entries.to_string(),
+        r.completed.to_string(),
+        r.sim_time.as_ps().to_string(),
+        r.total_ops.to_string(),
+        format!("{:.3}", r.ops_per_ms()),
+        r.instructions.to_string(),
+        r.loads.to_string(),
+        r.stores.to_string(),
+        r.sync_requests.to_string(),
+        format!("{:.1}", r.energy.cache_pj),
+        format!("{:.1}", r.energy.network_pj),
+        format!("{:.1}", r.energy.memory_pj),
+        format!("{:.1}", r.energy.total_pj()),
+        r.traffic.intra_unit_bytes.to_string(),
+        r.traffic.inter_unit_bytes.to_string(),
+        r.sync.local_messages.to_string(),
+        r.sync.global_messages.to_string(),
+        r.sync.mem_accesses.to_string(),
+        format!("{:.4}", r.sync.overflow_fraction()),
+        format!("{:.4}", r.sync.st_max_occupancy),
+        format!("{:.4}", r.sync.st_avg_occupancy),
+        r.dram_accesses.to_string(),
+        format!("{:.4}", r.l1_hit_ratio),
+    ]
+    .join(",")
+}
+
+/// Serializes a [`RunReport`] into a table value (the JSON mirror of the report
+/// struct, with derived throughput added for convenience).
+pub fn report_to_value(r: &RunReport) -> Value {
+    Value::table([
+        ("workload", Value::str(r.workload.clone())),
+        ("mechanism", Value::str(r.mechanism.clone())),
+        ("sim_time_ps", Value::Int(r.sim_time.as_ps() as i64)),
+        ("completed", Value::Bool(r.completed)),
+        ("total_ops", Value::Int(r.total_ops as i64)),
+        ("ops_per_ms", Value::Float(r.ops_per_ms())),
+        ("instructions", Value::Int(r.instructions as i64)),
+        ("loads", Value::Int(r.loads as i64)),
+        ("stores", Value::Int(r.stores as i64)),
+        ("sync_requests", Value::Int(r.sync_requests as i64)),
+        (
+            "energy_pj",
+            Value::table([
+                ("cache", Value::Float(r.energy.cache_pj)),
+                ("network", Value::Float(r.energy.network_pj)),
+                ("memory", Value::Float(r.energy.memory_pj)),
+                ("total", Value::Float(r.energy.total_pj())),
+            ]),
+        ),
+        (
+            "traffic",
+            Value::table([
+                (
+                    "intra_unit_bytes",
+                    Value::Int(r.traffic.intra_unit_bytes as i64),
+                ),
+                (
+                    "inter_unit_bytes",
+                    Value::Int(r.traffic.inter_unit_bytes as i64),
+                ),
+                (
+                    "intra_unit_msgs",
+                    Value::Int(r.traffic.intra_unit_msgs as i64),
+                ),
+                (
+                    "inter_unit_msgs",
+                    Value::Int(r.traffic.inter_unit_msgs as i64),
+                ),
+            ]),
+        ),
+        (
+            "sync",
+            Value::table([
+                ("requests", Value::Int(r.sync.requests as i64)),
+                ("completions", Value::Int(r.sync.completions as i64)),
+                ("local_messages", Value::Int(r.sync.local_messages as i64)),
+                ("global_messages", Value::Int(r.sync.global_messages as i64)),
+                (
+                    "overflow_messages",
+                    Value::Int(r.sync.overflow_messages as i64),
+                ),
+                ("mem_accesses", Value::Int(r.sync.mem_accesses as i64)),
+                (
+                    "overflowed_requests",
+                    Value::Int(r.sync.overflowed_requests as i64),
+                ),
+                (
+                    "overflow_fraction",
+                    Value::Float(r.sync.overflow_fraction()),
+                ),
+                ("st_max_occupancy", Value::Float(r.sync.st_max_occupancy)),
+                ("st_avg_occupancy", Value::Float(r.sync.st_avg_occupancy)),
+            ]),
+        ),
+        ("dram_accesses", Value::Int(r.dram_accesses as i64)),
+        ("l1_hit_ratio", Value::Float(r.l1_hit_ratio)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Runner;
+    use crate::spec::WorkloadSpec;
+    use crate::sweep::Sweep;
+    use syncron_core::MechanismKind;
+    use syncron_workloads::micro::SyncPrimitive;
+
+    fn small_set() -> RunSet {
+        let scenarios = Sweep::new("t")
+            .base(ConfigSpec::default().with_geometry(2, 4))
+            .workload(WorkloadSpec::Micro {
+                primitive: SyncPrimitive::Lock,
+                interval: 100,
+                iterations: 4,
+            })
+            .compared_mechanisms()
+            .scenarios()
+            .unwrap();
+        Runner::new().run(&scenarios).unwrap()
+    }
+
+    #[test]
+    fn keyed_lookup_and_comparisons() {
+        let set = small_set();
+        assert_eq!(set.len(), 4);
+        let syncron = "t/lock-micro.i100/mech=SynCron";
+        let central = "t/lock-micro.i100/mech=Central";
+        assert!(set.get(syncron).is_some());
+        assert!(set.get("nope").is_none());
+        let speedup = set.speedup_over(syncron, central).unwrap();
+        assert!(speedup > 0.0);
+        let slowdown = set.slowdown_over(central, syncron).unwrap();
+        assert!((speedup - slowdown).abs() < 1e-9);
+        // Structured lookup.
+        let ideal = set
+            .find(|s| s.config.mechanism == MechanismKind::Ideal)
+            .unwrap();
+        assert_eq!(ideal.report.mechanism, "Ideal");
+        assert_eq!(
+            set.select(|s| s.config.units == 2).len(),
+            4,
+            "all four scenarios share the base geometry"
+        );
+    }
+
+    #[test]
+    fn json_export_parses_back_and_carries_reports() {
+        let set = small_set();
+        let text = set.to_json_string();
+        let doc = crate::json::parse(&text).unwrap();
+        let rows = doc.as_array().unwrap();
+        assert_eq!(rows.len(), 4);
+        for row in rows {
+            assert!(row.get("label").unwrap().as_str().is_some());
+            let report = row.get("report").unwrap();
+            assert!(report.get("sim_time_ps").unwrap().as_i64().unwrap() > 0);
+            assert_eq!(report.get("completed").unwrap().as_bool(), Some(true));
+            // Scenario part round-trips.
+            let scenario = Scenario::from_value(row).unwrap();
+            assert!(set.get(&scenario.label).is_some());
+        }
+    }
+
+    #[test]
+    fn csv_export_has_header_and_one_row_per_entry() {
+        let set = small_set();
+        let csv = set.to_csv_string();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + set.len());
+        assert!(lines[0].starts_with("label,workload,mechanism"));
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "header and rows must have the same column count"
+        );
+    }
+}

@@ -1,0 +1,521 @@
+//! Labelled, serializable scenarios: a system configuration plus a workload spec.
+//!
+//! [`ConfigSpec`] is the serializable projection of [`NdpConfig`] covering every knob
+//! the paper's evaluation sweeps (mechanism, link latency, ST size, memory technology,
+//! units/cores, overflow mode, fairness, coherence). [`Scenario`] pairs one concrete
+//! config with one [`WorkloadSpec`] under a unique label — the key under which the
+//! runner files its report.
+
+use syncron_core::mechanism::{MechanismKind, MechanismParams};
+use syncron_core::protocol::OverflowMode;
+use syncron_mem::mesi::MesiParams;
+use syncron_mem::MemTech;
+use syncron_sim::Time;
+use syncron_system::config::{CoherenceMode, NdpConfig};
+
+use crate::error::HarnessError;
+use crate::json::Value;
+use crate::spec::WorkloadSpec;
+
+/// Which MESI latency profile to use when `coherence = "mesi"`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MesiProfile {
+    /// The NDP-system directory latencies (Figure 2).
+    #[default]
+    NdpDefault,
+    /// The two-socket CPU latencies (Table 1).
+    CpuTwoSocket,
+}
+
+impl MesiProfile {
+    fn name(self) -> &'static str {
+        match self {
+            MesiProfile::NdpDefault => "ndp",
+            MesiProfile::CpuTwoSocket => "cpu-two-socket",
+        }
+    }
+
+    fn parse(name: &str) -> Result<Self, HarnessError> {
+        match name {
+            "ndp" => Ok(MesiProfile::NdpDefault),
+            "cpu-two-socket" => Ok(MesiProfile::CpuTwoSocket),
+            _ => Err(HarnessError::spec(format!(
+                "unknown mesi profile '{name}' (expected ndp or cpu-two-socket)"
+            ))),
+        }
+    }
+}
+
+/// Serializable system configuration covering the paper's sweep axes.
+///
+/// Defaults mirror [`NdpConfig::paper_default`]; [`ConfigSpec::to_ndp_config`]
+/// produces the concrete machine description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfigSpec {
+    /// Number of NDP units.
+    pub units: usize,
+    /// Cores per NDP unit.
+    pub cores_per_unit: usize,
+    /// Synchronization mechanism.
+    pub mechanism: MechanismKind,
+    /// Memory technology.
+    pub mem_tech: MemTech,
+    /// Inter-unit per-cache-line transfer latency in nanoseconds.
+    pub link_latency_ns: u64,
+    /// Synchronization Table entries per SE.
+    pub st_entries: usize,
+    /// ST overflow handling.
+    pub overflow_mode: OverflowMode,
+    /// Local-grant fairness threshold (`None` = off).
+    pub fairness_threshold: Option<u32>,
+    /// Coherence mode for shared read-write data.
+    pub coherence: CoherenceMode,
+    /// MESI latency profile (only used with [`CoherenceMode::MesiDirectory`]).
+    pub mesi: MesiProfile,
+    /// Whether one core per unit is reserved as a synchronization server.
+    pub reserve_server_core: bool,
+    /// Deterministic workload seed.
+    pub seed: u64,
+    /// Event safety limit.
+    pub max_events: u64,
+}
+
+impl Default for ConfigSpec {
+    fn default() -> Self {
+        let paper = NdpConfig::paper_default();
+        ConfigSpec {
+            units: paper.units,
+            cores_per_unit: paper.cores_per_unit,
+            mechanism: paper.mechanism.kind,
+            mem_tech: paper.mem_tech,
+            link_latency_ns: paper.link.transfer_latency.as_ns(),
+            st_entries: paper.mechanism.st_entries,
+            overflow_mode: paper.mechanism.overflow_mode,
+            fairness_threshold: paper.mechanism.fairness_threshold,
+            coherence: paper.coherence,
+            mesi: MesiProfile::NdpDefault,
+            reserve_server_core: paper.reserve_server_core,
+            seed: paper.seed,
+            max_events: paper.max_events,
+        }
+    }
+}
+
+impl ConfigSpec {
+    /// The paper's default configuration (alias of `Default`).
+    pub fn paper_default() -> Self {
+        ConfigSpec::default()
+    }
+
+    /// Sets the mechanism (builder style).
+    pub fn with_mechanism(mut self, kind: MechanismKind) -> Self {
+        self.mechanism = kind;
+        self
+    }
+
+    /// Sets units and cores per unit (builder style).
+    pub fn with_geometry(mut self, units: usize, cores_per_unit: usize) -> Self {
+        self.units = units;
+        self.cores_per_unit = cores_per_unit;
+        self
+    }
+
+    /// Builds the concrete [`NdpConfig`].
+    pub fn to_ndp_config(&self) -> NdpConfig {
+        let mut params = MechanismParams::new(self.mechanism)
+            .with_st_entries(self.st_entries)
+            .with_overflow_mode(self.overflow_mode);
+        params.fairness_threshold = self.fairness_threshold;
+        let mesi = match self.mesi {
+            MesiProfile::NdpDefault => MesiParams::ndp_default(),
+            MesiProfile::CpuTwoSocket => MesiParams::cpu_two_socket(),
+        };
+        NdpConfig::builder()
+            .units(self.units)
+            .cores_per_unit(self.cores_per_unit)
+            .mem_tech(self.mem_tech)
+            .mechanism_params(params)
+            .link_latency(Time::from_ns(self.link_latency_ns))
+            .coherence(self.coherence)
+            .mesi_params(mesi)
+            .reserve_server_core(self.reserve_server_core)
+            .seed(self.seed)
+            .max_events(self.max_events)
+            .build()
+    }
+
+    /// Serializes the config into a table value (all fields, deterministic order).
+    pub fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("units", Value::Int(self.units as i64)),
+            ("cores_per_unit", Value::Int(self.cores_per_unit as i64)),
+            ("mechanism", Value::str(self.mechanism.name())),
+            ("mem_tech", Value::str(self.mem_tech.name())),
+            ("link_latency_ns", Value::Int(self.link_latency_ns as i64)),
+            ("st_entries", Value::Int(self.st_entries as i64)),
+            ("overflow_mode", Value::str(self.overflow_mode.name())),
+            ("coherence", Value::str(coherence_name(self.coherence))),
+            ("mesi_profile", Value::str(self.mesi.name())),
+            ("reserve_server_core", Value::Bool(self.reserve_server_core)),
+            ("seed", Value::Int(self.seed as i64)),
+            ("max_events", Value::Int(self.max_events as i64)),
+        ];
+        if let Some(t) = self.fairness_threshold {
+            pairs.push(("fairness_threshold", Value::Int(t as i64)));
+        }
+        Value::table(pairs)
+    }
+
+    /// Deserializes a config from a table value; missing fields keep `base`'s values.
+    pub fn from_value_with_base(value: &Value, base: &ConfigSpec) -> Result<Self, HarnessError> {
+        let table = value
+            .as_table()
+            .ok_or_else(|| HarnessError::spec("config must be a table"))?;
+        let mut spec = base.clone();
+        for (key, v) in table {
+            match key.as_str() {
+                "units" => spec.units = usize_field(v, key)?,
+                "cores_per_unit" => spec.cores_per_unit = usize_field(v, key)?,
+                "mechanism" => spec.mechanism = parse_mechanism(str_field(v, key)?)?,
+                "mem_tech" => spec.mem_tech = parse_mem_tech(str_field(v, key)?)?,
+                "link_latency_ns" => spec.link_latency_ns = u64_field(v, key)?,
+                "st_entries" => spec.st_entries = usize_field(v, key)?,
+                "overflow_mode" => spec.overflow_mode = parse_overflow(str_field(v, key)?)?,
+                "fairness_threshold" => {
+                    spec.fairness_threshold = match v {
+                        Value::Str(s) if s == "off" => None,
+                        Value::Null => None,
+                        other => Some(
+                            other
+                                .as_u64()
+                                .and_then(|n| u32::try_from(n).ok())
+                                .ok_or_else(|| {
+                                    HarnessError::spec(
+                                        "fairness_threshold must be a u32, \"off\" or null",
+                                    )
+                                })?,
+                        ),
+                    }
+                }
+                "coherence" => spec.coherence = parse_coherence(str_field(v, key)?)?,
+                "mesi_profile" => spec.mesi = MesiProfile::parse(str_field(v, key)?)?,
+                "reserve_server_core" => {
+                    spec.reserve_server_core = v
+                        .as_bool()
+                        .ok_or_else(|| HarnessError::spec("reserve_server_core must be a bool"))?
+                }
+                "seed" => spec.seed = u64_field(v, key)?,
+                "max_events" => spec.max_events = u64_field(v, key)?,
+                other => {
+                    return Err(HarnessError::spec(format!(
+                        "unknown config field '{other}'"
+                    )))
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Deserializes a config using the paper defaults as base.
+    pub fn from_value(value: &Value) -> Result<Self, HarnessError> {
+        ConfigSpec::from_value_with_base(value, &ConfigSpec::default())
+    }
+}
+
+fn str_field<'v>(v: &'v Value, key: &str) -> Result<&'v str, HarnessError> {
+    v.as_str()
+        .ok_or_else(|| HarnessError::spec(format!("'{key}' must be a string")))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, HarnessError> {
+    v.as_u64()
+        .ok_or_else(|| HarnessError::spec(format!("'{key}' must be a non-negative integer")))
+}
+
+fn usize_field(v: &Value, key: &str) -> Result<usize, HarnessError> {
+    Ok(u64_field(v, key)? as usize)
+}
+
+/// Parses a mechanism name, accepting the report names (`SynCron-flat`) and common
+/// spellings (case-insensitive, `-`/`_` ignored).
+pub fn parse_mechanism(name: &str) -> Result<MechanismKind, HarnessError> {
+    let canon: String = name
+        .chars()
+        .filter(|c| *c != '-' && *c != '_')
+        .collect::<String>()
+        .to_ascii_lowercase();
+    MechanismKind::ALL
+        .iter()
+        .copied()
+        .find(|k| {
+            k.name()
+                .chars()
+                .filter(|c| *c != '-' && *c != '_')
+                .collect::<String>()
+                .to_ascii_lowercase()
+                == canon
+        })
+        .ok_or_else(|| {
+            HarnessError::spec(format!(
+                "unknown mechanism '{name}' (expected Central, Hier, SynCron, SynCron-flat \
+                 or Ideal)"
+            ))
+        })
+}
+
+fn parse_mem_tech(name: &str) -> Result<MemTech, HarnessError> {
+    let lower = name.to_ascii_lowercase();
+    MemTech::ALL
+        .iter()
+        .copied()
+        .find(|t| t.name() == lower)
+        .ok_or_else(|| {
+            HarnessError::spec(format!(
+                "unknown memory technology '{name}' (hbm, hmc, ddr4)"
+            ))
+        })
+}
+
+fn parse_overflow(name: &str) -> Result<OverflowMode, HarnessError> {
+    [
+        OverflowMode::Integrated,
+        OverflowMode::MiSarCentral,
+        OverflowMode::MiSarDistributed,
+    ]
+    .into_iter()
+    .find(|m| m.name() == name)
+    .ok_or_else(|| {
+        HarnessError::spec(format!(
+            "unknown overflow mode '{name}' (integrated, central-overflow, \
+             distributed-overflow)"
+        ))
+    })
+}
+
+fn coherence_name(mode: CoherenceMode) -> &'static str {
+    match mode {
+        CoherenceMode::SoftwareAssisted => "software-assisted",
+        CoherenceMode::MesiDirectory => "mesi",
+    }
+}
+
+fn parse_coherence(name: &str) -> Result<CoherenceMode, HarnessError> {
+    match name {
+        "software-assisted" => Ok(CoherenceMode::SoftwareAssisted),
+        "mesi" => Ok(CoherenceMode::MesiDirectory),
+        _ => Err(HarnessError::spec(format!(
+            "unknown coherence mode '{name}' (software-assisted or mesi)"
+        ))),
+    }
+}
+
+/// One labelled experiment: a system configuration plus a workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Unique label — the key under which the runner files this scenario's report.
+    pub label: String,
+    /// System configuration.
+    pub config: ConfigSpec,
+    /// Workload specification.
+    pub workload: WorkloadSpec,
+}
+
+impl Scenario {
+    /// Creates a scenario.
+    pub fn new(label: impl Into<String>, config: ConfigSpec, workload: WorkloadSpec) -> Self {
+        Scenario {
+            label: label.into(),
+            config,
+            workload,
+        }
+    }
+
+    /// Serializes the scenario into a table value.
+    pub fn to_value(&self) -> Value {
+        Value::table([
+            ("label", Value::str(self.label.clone())),
+            ("config", self.config.to_value()),
+            ("workload", self.workload.to_value()),
+        ])
+    }
+
+    /// Deserializes a scenario from a table value.
+    pub fn from_value(value: &Value) -> Result<Self, HarnessError> {
+        let workload = WorkloadSpec::from_value(
+            value
+                .get("workload")
+                .ok_or_else(|| HarnessError::spec("scenario needs a 'workload' table"))?,
+        )?;
+        let config = match value.get("config") {
+            Some(c) => ConfigSpec::from_value(c)?,
+            None => ConfigSpec::default(),
+        };
+        let label = value
+            .get("label")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| workload.label());
+        Ok(Scenario {
+            label,
+            config,
+            workload,
+        })
+    }
+
+    /// Runs this scenario synchronously on the current thread.
+    pub fn run(&self) -> Result<syncron_system::RunReport, HarnessError> {
+        let workload = self.workload.build()?;
+        Ok(syncron_system::run_workload(
+            &self.config.to_ndp_config(),
+            workload.as_ref(),
+        ))
+    }
+}
+
+/// Expands a table in which some scalar fields hold arrays into the cartesian product
+/// of concrete tables (deterministic order: array fields expand in sorted key order,
+/// earlier keys vary slowest).
+pub fn expand_tables(value: &Value) -> Result<Vec<Value>, HarnessError> {
+    let table = value
+        .as_table()
+        .ok_or_else(|| HarnessError::spec("expected a table"))?;
+    let axes: Vec<(&String, &[Value])> = table
+        .iter()
+        .filter_map(|(k, v)| v.as_array().map(|a| (k, a)))
+        .collect();
+    for (key, options) in &axes {
+        if options.is_empty() {
+            return Err(HarnessError::spec(format!(
+                "axis '{key}' expands to an empty array"
+            )));
+        }
+    }
+    let mut out = vec![table.clone()];
+    for (key, options) in axes {
+        let mut next = Vec::with_capacity(out.len() * options.len());
+        for base in &out {
+            for option in options {
+                let mut concrete = base.clone();
+                concrete.insert(key.clone(), option.clone());
+                next.push(concrete);
+            }
+        }
+        out = next;
+    }
+    Ok(out.into_iter().map(Value::Table).collect())
+}
+
+/// The keys of `value` that hold arrays (the axes [`expand_tables`] would expand),
+/// in sorted order.
+pub fn expansion_axes(value: &Value) -> Vec<String> {
+    value
+        .as_table()
+        .map(|t| {
+            t.iter()
+                .filter(|(_, v)| matches!(v, Value::Array(_)))
+                .map(|(k, _)| k.clone())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_spec_defaults_match_paper() {
+        let spec = ConfigSpec::default();
+        let cfg = spec.to_ndp_config();
+        let paper = NdpConfig::paper_default();
+        assert_eq!(cfg.units, paper.units);
+        assert_eq!(cfg.cores_per_unit, paper.cores_per_unit);
+        assert_eq!(cfg.mechanism.kind, paper.mechanism.kind);
+        assert_eq!(cfg.mechanism.st_entries, paper.mechanism.st_entries);
+        assert_eq!(cfg.link.transfer_latency, paper.link.transfer_latency);
+        assert_eq!(cfg.mem_tech, paper.mem_tech);
+        assert_eq!(cfg.seed, paper.seed);
+    }
+
+    #[test]
+    fn config_spec_round_trips() {
+        let spec = ConfigSpec {
+            units: 2,
+            mechanism: MechanismKind::SynCronFlat,
+            mem_tech: MemTech::Ddr4,
+            link_latency_ns: 500,
+            st_entries: 16,
+            overflow_mode: OverflowMode::MiSarDistributed,
+            fairness_threshold: Some(8),
+            coherence: CoherenceMode::MesiDirectory,
+            mesi: MesiProfile::CpuTwoSocket,
+            reserve_server_core: false,
+            seed: 7,
+            ..ConfigSpec::default()
+        };
+        let doc = spec.to_value();
+        assert_eq!(ConfigSpec::from_value(&doc).unwrap(), spec);
+        // And through JSON text.
+        let text = doc.to_json();
+        let back = ConfigSpec::from_value(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn mechanism_names_parse_loosely() {
+        assert_eq!(parse_mechanism("SynCron").unwrap(), MechanismKind::SynCron);
+        assert_eq!(parse_mechanism("syncron").unwrap(), MechanismKind::SynCron);
+        assert_eq!(
+            parse_mechanism("syncron_flat").unwrap(),
+            MechanismKind::SynCronFlat
+        );
+        assert_eq!(
+            parse_mechanism("SynCron-flat").unwrap(),
+            MechanismKind::SynCronFlat
+        );
+        assert!(parse_mechanism("quantum").is_err());
+    }
+
+    #[test]
+    fn scenario_round_trips_and_runs() {
+        let scenario = Scenario::new(
+            "demo",
+            ConfigSpec::default().with_geometry(2, 4),
+            WorkloadSpec::Micro {
+                primitive: syncron_workloads::micro::SyncPrimitive::Lock,
+                interval: 100,
+                iterations: 4,
+            },
+        );
+        let doc = scenario.to_value();
+        assert_eq!(Scenario::from_value(&doc).unwrap(), scenario);
+        let report = scenario.run().unwrap();
+        assert!(report.completed);
+        assert!(report.total_ops > 0);
+    }
+
+    #[test]
+    fn expansion_is_cartesian_and_deterministic() {
+        let doc = crate::json::parse(
+            r#"{"kind": "micro", "primitive": "lock", "interval": [50, 100], "iterations": [2, 4, 8]}"#,
+        )
+        .unwrap();
+        let expanded = expand_tables(&doc).unwrap();
+        assert_eq!(expanded.len(), 6);
+        assert_eq!(expansion_axes(&doc), vec!["interval", "iterations"]);
+        // Earlier (sorted) keys vary slowest: interval is the outer axis.
+        assert_eq!(expanded[0].get("interval").unwrap().as_i64(), Some(50));
+        assert_eq!(expanded[0].get("iterations").unwrap().as_i64(), Some(2));
+        assert_eq!(expanded[2].get("interval").unwrap().as_i64(), Some(50));
+        assert_eq!(expanded[2].get("iterations").unwrap().as_i64(), Some(8));
+        assert_eq!(expanded[3].get("interval").unwrap().as_i64(), Some(100));
+        let specs = WorkloadSpec::expand_from_value(&doc).unwrap();
+        assert_eq!(specs.len(), 6);
+    }
+
+    #[test]
+    fn empty_axis_is_rejected() {
+        let doc = crate::json::parse(r#"{"interval": []}"#).unwrap();
+        assert!(expand_tables(&doc).is_err());
+    }
+}

@@ -1,0 +1,464 @@
+//! Declarative cartesian sweeps over the paper's evaluation axes.
+//!
+//! A [`Sweep`] produces a labelled `Vec<Scenario>`: the cartesian product of one or
+//! more workloads with any combination of the paper's configuration axes (mechanism,
+//! NDP units, inter-unit link latency, ST size, memory technology, overflow mode,
+//! fairness threshold). Labels are generated deterministically from the axis values,
+//! so results can be looked up by key instead of input-order arithmetic.
+
+use syncron_core::mechanism::MechanismKind;
+use syncron_core::protocol::OverflowMode;
+use syncron_mem::MemTech;
+
+use crate::error::HarnessError;
+use crate::json::Value;
+use crate::scenario::{expand_tables, expansion_axes, ConfigSpec, Scenario};
+use crate::spec::WorkloadSpec;
+
+/// Builder for a labelled cartesian product of scenarios.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    name: String,
+    base: ConfigSpec,
+    workloads: Vec<WorkloadSpec>,
+    mechanisms: Option<Vec<MechanismKind>>,
+    units: Option<Vec<usize>>,
+    link_latencies_ns: Option<Vec<u64>>,
+    st_entries: Option<Vec<usize>>,
+    mem_techs: Option<Vec<MemTech>>,
+    overflow_modes: Option<Vec<OverflowMode>>,
+    fairness_thresholds: Option<Vec<Option<u32>>>,
+}
+
+impl Sweep {
+    /// Starts a sweep named `name` from the paper-default configuration.
+    pub fn new(name: impl Into<String>) -> Self {
+        Sweep {
+            name: name.into(),
+            base: ConfigSpec::default(),
+            workloads: Vec::new(),
+            mechanisms: None,
+            units: None,
+            link_latencies_ns: None,
+            st_entries: None,
+            mem_techs: None,
+            overflow_modes: None,
+            fairness_thresholds: None,
+        }
+    }
+
+    /// Replaces the base configuration every axis combination starts from.
+    pub fn base(mut self, base: ConfigSpec) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Adds one workload to the workload axis.
+    pub fn workload(mut self, spec: WorkloadSpec) -> Self {
+        self.workloads.push(spec);
+        self
+    }
+
+    /// Adds several workloads to the workload axis.
+    pub fn workloads(mut self, specs: impl IntoIterator<Item = WorkloadSpec>) -> Self {
+        self.workloads.extend(specs);
+        self
+    }
+
+    /// Sweeps the synchronization mechanism.
+    pub fn mechanisms(mut self, kinds: impl IntoIterator<Item = MechanismKind>) -> Self {
+        self.mechanisms = Some(kinds.into_iter().collect());
+        self
+    }
+
+    /// Sweeps the four schemes the paper compares (Central, Hier, SynCron, Ideal).
+    pub fn compared_mechanisms(self) -> Self {
+        self.mechanisms(MechanismKind::COMPARED)
+    }
+
+    /// Sweeps the number of NDP units.
+    pub fn units(mut self, units: impl IntoIterator<Item = usize>) -> Self {
+        self.units = Some(units.into_iter().collect());
+        self
+    }
+
+    /// Sweeps the inter-unit link transfer latency (nanoseconds).
+    pub fn link_latencies_ns(mut self, ns: impl IntoIterator<Item = u64>) -> Self {
+        self.link_latencies_ns = Some(ns.into_iter().collect());
+        self
+    }
+
+    /// Sweeps the ST size.
+    pub fn st_entries(mut self, entries: impl IntoIterator<Item = usize>) -> Self {
+        self.st_entries = Some(entries.into_iter().collect());
+        self
+    }
+
+    /// Sweeps the memory technology.
+    pub fn mem_techs(mut self, techs: impl IntoIterator<Item = MemTech>) -> Self {
+        self.mem_techs = Some(techs.into_iter().collect());
+        self
+    }
+
+    /// Sweeps the overflow-management mode.
+    pub fn overflow_modes(mut self, modes: impl IntoIterator<Item = OverflowMode>) -> Self {
+        self.overflow_modes = Some(modes.into_iter().collect());
+        self
+    }
+
+    /// Sweeps the fairness threshold (`None` = off).
+    pub fn fairness_thresholds(
+        mut self,
+        thresholds: impl IntoIterator<Item = Option<u32>>,
+    ) -> Self {
+        self.fairness_thresholds = Some(thresholds.into_iter().collect());
+        self
+    }
+
+    /// Expands the sweep into labelled scenarios.
+    ///
+    /// Iteration order (outer to inner): workload, units, memory technology, link
+    /// latency, ST size, overflow mode, fairness threshold, mechanism. Every axis
+    /// explicitly set on the builder contributes a `key=value` fragment to the label,
+    /// so labels are unique whenever workload labels are.
+    pub fn scenarios(&self) -> Result<Vec<Scenario>, HarnessError> {
+        if self.workloads.is_empty() {
+            return Err(HarnessError::spec(format!(
+                "sweep '{}' has no workloads",
+                self.name
+            )));
+        }
+        let explicitly_empty: [(&str, bool); 7] = [
+            (
+                "mechanisms",
+                self.mechanisms.as_ref().is_some_and(Vec::is_empty),
+            ),
+            ("units", self.units.as_ref().is_some_and(Vec::is_empty)),
+            (
+                "link_latencies_ns",
+                self.link_latencies_ns.as_ref().is_some_and(Vec::is_empty),
+            ),
+            (
+                "st_entries",
+                self.st_entries.as_ref().is_some_and(Vec::is_empty),
+            ),
+            (
+                "mem_techs",
+                self.mem_techs.as_ref().is_some_and(Vec::is_empty),
+            ),
+            (
+                "overflow_modes",
+                self.overflow_modes.as_ref().is_some_and(Vec::is_empty),
+            ),
+            (
+                "fairness_thresholds",
+                self.fairness_thresholds.as_ref().is_some_and(Vec::is_empty),
+            ),
+        ];
+        if let Some((axis_name, _)) = explicitly_empty.iter().find(|(_, empty)| *empty) {
+            return Err(HarnessError::spec(format!(
+                "sweep '{}': axis {axis_name} is empty",
+                self.name
+            )));
+        }
+
+        let units_axis = self.units.clone().unwrap_or_else(|| vec![self.base.units]);
+        let mem_axis = self
+            .mem_techs
+            .clone()
+            .unwrap_or_else(|| vec![self.base.mem_tech]);
+        let lat_axis = self
+            .link_latencies_ns
+            .clone()
+            .unwrap_or_else(|| vec![self.base.link_latency_ns]);
+        let st_axis = self
+            .st_entries
+            .clone()
+            .unwrap_or_else(|| vec![self.base.st_entries]);
+        let ovfl_axis = self
+            .overflow_modes
+            .clone()
+            .unwrap_or_else(|| vec![self.base.overflow_mode]);
+        let fair_axis = self
+            .fairness_thresholds
+            .clone()
+            .unwrap_or_else(|| vec![self.base.fairness_threshold]);
+        let mech_axis = self
+            .mechanisms
+            .clone()
+            .unwrap_or_else(|| vec![self.base.mechanism]);
+
+        let mut scenarios = Vec::new();
+        for workload in &self.workloads {
+            for &units in &units_axis {
+                for &mem in &mem_axis {
+                    for &lat in &lat_axis {
+                        for &st in &st_axis {
+                            for &ovfl in &ovfl_axis {
+                                for &fair in &fair_axis {
+                                    for &mech in &mech_axis {
+                                        let mut config = self.base.clone();
+                                        config.units = units;
+                                        config.mem_tech = mem;
+                                        config.link_latency_ns = lat;
+                                        config.st_entries = st;
+                                        config.overflow_mode = ovfl;
+                                        config.fairness_threshold = fair;
+                                        config.mechanism = mech;
+
+                                        let mut label =
+                                            format!("{}/{}", self.name, workload.label());
+                                        if self.units.is_some() {
+                                            label.push_str(&format!("/u={units}"));
+                                        }
+                                        if self.mem_techs.is_some() {
+                                            label.push_str(&format!("/mem={}", mem.name()));
+                                        }
+                                        if self.link_latencies_ns.is_some() {
+                                            label.push_str(&format!("/lat={lat}"));
+                                        }
+                                        if self.st_entries.is_some() {
+                                            label.push_str(&format!("/st={st}"));
+                                        }
+                                        if self.overflow_modes.is_some() {
+                                            label.push_str(&format!("/ovfl={}", ovfl.name()));
+                                        }
+                                        if self.fairness_thresholds.is_some() {
+                                            match fair {
+                                                Some(t) => label.push_str(&format!("/fair={t}")),
+                                                None => label.push_str("/fair=off"),
+                                            }
+                                        }
+                                        if self.mechanisms.is_some() {
+                                            label.push_str(&format!("/mech={}", mech.name()));
+                                        }
+                                        scenarios.push(Scenario::new(
+                                            label,
+                                            config,
+                                            workload.clone(),
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(scenarios)
+    }
+
+    /// Parses a sweep from a document table of the shape:
+    ///
+    /// ```toml
+    /// [sweep]
+    /// label = "fig17"
+    ///
+    /// [sweep.config]               # any ConfigSpec field; arrays become axes
+    /// mechanism = ["Central", "Hier", "SynCron", "Ideal"]
+    /// link_latency_ns = [40, 100, 200, 500]
+    ///
+    /// [sweep.workload]             # one table (arrays become axes) or an array
+    /// kind = "graph"
+    /// algo = "pr"
+    /// input = "wk"
+    /// ```
+    ///
+    /// Returns the labelled scenarios (config-axis fragments are appended to labels in
+    /// sorted key order).
+    pub fn scenarios_from_value(sweep: &Value) -> Result<Vec<Scenario>, HarnessError> {
+        let name = sweep
+            .get("label")
+            .and_then(Value::as_str)
+            .unwrap_or("sweep")
+            .to_string();
+        let config_doc = sweep
+            .get("config")
+            .cloned()
+            .unwrap_or_else(|| Value::table::<_, String>([]));
+        let axes = expansion_axes(&config_doc);
+        let configs = expand_tables(&config_doc)?;
+
+        let workload_doc = sweep
+            .get("workload")
+            .ok_or_else(|| HarnessError::spec("sweep needs a 'workload' table"))?;
+        // Each workload is kept with the `key=value` fragments of the axes it was
+        // expanded from, in case its own label does not reflect them.
+        let mut workloads: Vec<(WorkloadSpec, String)> = Vec::new();
+        let entries: Vec<&Value> = match workload_doc {
+            Value::Array(entries) => entries.iter().collect(),
+            table => vec![table],
+        };
+        for entry in entries {
+            let wl_axes = expansion_axes(entry);
+            for concrete in expand_tables(entry)? {
+                let spec = WorkloadSpec::from_value(&concrete)?;
+                let fragments = wl_axes
+                    .iter()
+                    .map(|axis| {
+                        let value = concrete.get(axis).expect("expanded axis present");
+                        format!("/{}={}", axis, scalar_to_label(value))
+                    })
+                    .collect::<String>();
+                workloads.push((spec, fragments));
+            }
+        }
+        if workloads.is_empty() {
+            return Err(HarnessError::spec(format!(
+                "sweep '{name}' has no workloads"
+            )));
+        }
+
+        // First try labels without the workload-axis fragments (workload labels often
+        // already encode them, e.g. `lock-micro.i50`); fall back to including the
+        // fragments when that would collide.
+        for include_wl_fragments in [false, true] {
+            let mut scenarios = Vec::new();
+            let mut seen = std::collections::BTreeSet::new();
+            let mut collision = false;
+            for (workload, wl_fragments) in &workloads {
+                for config_doc in &configs {
+                    let config = ConfigSpec::from_value(config_doc)?;
+                    let mut label = format!("{}/{}", name, workload.label());
+                    if include_wl_fragments {
+                        label.push_str(wl_fragments);
+                    }
+                    for axis in &axes {
+                        let value = config_doc.get(axis).expect("expanded axis present");
+                        label.push_str(&format!("/{}={}", axis, scalar_to_label(value)));
+                    }
+                    if !seen.insert(label.clone()) {
+                        collision = true;
+                    }
+                    scenarios.push(Scenario::new(label, config, workload.clone()));
+                }
+            }
+            if !collision {
+                return Ok(scenarios);
+            }
+            if include_wl_fragments {
+                let dup = scenarios
+                    .iter()
+                    .map(|s| s.label.clone())
+                    .find(|l| scenarios.iter().filter(|s| &s.label == l).count() > 1)
+                    .unwrap_or_default();
+                return Err(HarnessError::DuplicateLabel(dup));
+            }
+        }
+        unreachable!("loop always returns")
+    }
+}
+
+fn scalar_to_label(value: &Value) -> String {
+    match value {
+        Value::Str(s) => s.clone(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => f.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => other.to_json(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncron_workloads::micro::SyncPrimitive;
+
+    fn lock_micro(interval: u64) -> WorkloadSpec {
+        WorkloadSpec::Micro {
+            primitive: SyncPrimitive::Lock,
+            interval,
+            iterations: 4,
+        }
+    }
+
+    #[test]
+    fn cardinality_is_the_cartesian_product() {
+        let scenarios = Sweep::new("t")
+            .workloads([lock_micro(50), lock_micro(100), lock_micro(200)])
+            .compared_mechanisms()
+            .link_latencies_ns([40, 500])
+            .scenarios()
+            .unwrap();
+        assert_eq!(scenarios.len(), 3 * 4 * 2);
+    }
+
+    #[test]
+    fn labels_are_unique_and_keyed_by_axis_values() {
+        let scenarios = Sweep::new("fig")
+            .workloads([lock_micro(50), lock_micro(100)])
+            .compared_mechanisms()
+            .st_entries([16, 64])
+            .scenarios()
+            .unwrap();
+        let mut labels: Vec<&str> = scenarios.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.contains(&"fig/lock-micro.i50/st=16/mech=Central"));
+        assert!(labels.contains(&"fig/lock-micro.i100/st=64/mech=Ideal"));
+        labels.sort();
+        let n = labels.len();
+        labels.dedup();
+        assert_eq!(n, labels.len(), "labels must be unique");
+    }
+
+    #[test]
+    fn axis_values_reach_the_config() {
+        let scenarios = Sweep::new("t")
+            .workload(lock_micro(50))
+            .mechanisms([MechanismKind::Hier])
+            .units([2])
+            .mem_techs([MemTech::Hmc])
+            .link_latencies_ns([200])
+            .st_entries([32])
+            .overflow_modes([OverflowMode::MiSarCentral])
+            .fairness_thresholds([Some(8)])
+            .scenarios()
+            .unwrap();
+        assert_eq!(scenarios.len(), 1);
+        let c = &scenarios[0].config;
+        assert_eq!(c.mechanism, MechanismKind::Hier);
+        assert_eq!(c.units, 2);
+        assert_eq!(c.mem_tech, MemTech::Hmc);
+        assert_eq!(c.link_latency_ns, 200);
+        assert_eq!(c.st_entries, 32);
+        assert_eq!(c.overflow_mode, OverflowMode::MiSarCentral);
+        assert_eq!(c.fairness_threshold, Some(8));
+    }
+
+    #[test]
+    fn empty_sweeps_are_rejected() {
+        assert!(Sweep::new("t").scenarios().is_err());
+        assert!(Sweep::new("t")
+            .workload(lock_micro(50))
+            .mechanisms([])
+            .scenarios()
+            .is_err());
+    }
+
+    #[test]
+    fn file_driven_sweep_expands_config_and_workload_axes() {
+        let doc = crate::toml::parse(
+            r#"
+[sweep]
+label = "fig10-lock"
+
+[sweep.config]
+mechanism = ["Central", "Hier", "SynCron", "Ideal"]
+
+[sweep.workload]
+kind = "micro"
+primitive = "lock"
+interval = [50, 100, 200]
+iterations = 4
+"#,
+        )
+        .unwrap();
+        let scenarios = Sweep::scenarios_from_value(doc.get("sweep").unwrap()).unwrap();
+        assert_eq!(scenarios.len(), 12);
+        assert!(scenarios
+            .iter()
+            .any(|s| s.label == "fig10-lock/lock-micro.i50/mechanism=Central"));
+        assert!(scenarios
+            .iter()
+            .all(|s| matches!(s.workload, WorkloadSpec::Micro { .. })));
+    }
+}

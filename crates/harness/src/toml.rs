@@ -1,0 +1,476 @@
+//! A minimal TOML-subset parser producing [`crate::json::Value`] trees.
+//!
+//! Scenario and sweep files are simple: tables, arrays of tables, and scalar /
+//! array values. This parser supports exactly that subset of TOML:
+//!
+//! * `key = value` pairs with bare or double-quoted keys;
+//! * basic strings (`"..."` with the common escapes), integers (with `_`
+//!   separators), floats, booleans;
+//! * arrays, including multi-line arrays, and inline tables `{ k = v, ... }`;
+//! * `[table.path]` headers and `[[array.of.tables]]` headers;
+//! * `#` comments and blank lines.
+//!
+//! Unsupported TOML (multi-line strings, dates, dotted keys) is rejected with a
+//! line-numbered error rather than misparsed.
+
+use std::collections::BTreeMap;
+
+use crate::json::Value;
+
+/// A TOML parse error with 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TomlError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl std::fmt::Display for TomlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} on line {}", self.message, self.line)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+fn err(message: impl Into<String>, line: usize) -> TomlError {
+    TomlError {
+        message: message.into(),
+        line,
+    }
+}
+
+/// Parses a TOML document into a [`Value::Table`].
+pub fn parse(input: &str) -> Result<Value, TomlError> {
+    let mut root: BTreeMap<String, Value> = BTreeMap::new();
+    // Path of the table currently being filled, e.g. ["sweep", "config"].
+    let mut current_path: Vec<String> = Vec::new();
+
+    let lines: Vec<&str> = input.lines().collect();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let lineno = i + 1;
+        let line = strip_comment(lines[i]);
+        let trimmed = line.trim();
+        i += 1;
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix("[[") {
+            let header = header
+                .strip_suffix("]]")
+                .ok_or_else(|| err("malformed [[table]] header", lineno))?;
+            current_path = split_path(header, lineno)?;
+            let array = lookup_array(&mut root, &current_path, lineno)?;
+            array.push(Value::Table(BTreeMap::new()));
+        } else if let Some(header) = trimmed.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| err("malformed [table] header", lineno))?;
+            current_path = split_path(header, lineno)?;
+            lookup_table(&mut root, &current_path, lineno)?;
+        } else {
+            // key = value, where the value may span multiple lines for arrays.
+            let eq = trimmed
+                .find('=')
+                .ok_or_else(|| err("expected 'key = value'", lineno))?;
+            let key = parse_key(trimmed[..eq].trim(), lineno)?;
+            let mut value_text = trimmed[eq + 1..].trim().to_string();
+            // Accumulate continuation lines until brackets/braces balance outside
+            // strings.
+            while !balanced(&value_text) {
+                if i >= lines.len() {
+                    return Err(err("unterminated array or inline table", lineno));
+                }
+                value_text.push(' ');
+                value_text.push_str(strip_comment(lines[i]).trim());
+                i += 1;
+            }
+            let value = parse_value(&value_text, lineno)?;
+            let table = lookup_table(&mut root, &current_path, lineno)?;
+            if table.insert(key.clone(), value).is_some() {
+                return Err(err(format!("duplicate key '{key}'"), lineno));
+            }
+        }
+    }
+    Ok(Value::Table(root))
+}
+
+/// Tracks whether a scan position is inside a basic string, honoring `\"` escapes.
+#[derive(Default)]
+struct StringState {
+    in_string: bool,
+    escaped: bool,
+}
+
+impl StringState {
+    /// Feeds one character; returns `true` when the character is inside (or delimits)
+    /// a string.
+    fn feed(&mut self, c: char) -> bool {
+        if self.in_string {
+            if self.escaped {
+                self.escaped = false;
+            } else if c == '\\' {
+                self.escaped = true;
+            } else if c == '"' {
+                self.in_string = false;
+            }
+            true
+        } else {
+            if c == '"' {
+                self.in_string = true;
+            }
+            self.in_string
+        }
+    }
+}
+
+/// Removes a `#` comment, respecting strings (including `\"` escapes).
+fn strip_comment(line: &str) -> &str {
+    let mut state = StringState::default();
+    for (idx, c) in line.char_indices() {
+        if !state.feed(c) && c == '#' {
+            return &line[..idx];
+        }
+    }
+    line
+}
+
+/// True when brackets and braces balance outside of strings.
+fn balanced(text: &str) -> bool {
+    let mut depth = 0i32;
+    let mut state = StringState::default();
+    for c in text.chars() {
+        if state.feed(c) {
+            continue;
+        }
+        match c {
+            '[' | '{' => depth += 1,
+            ']' | '}' => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0 && !state.in_string
+}
+
+fn parse_key(raw: &str, line: usize) -> Result<String, TomlError> {
+    let raw = raw.trim();
+    if let Some(stripped) = raw.strip_prefix('"') {
+        let inner = stripped
+            .strip_suffix('"')
+            .ok_or_else(|| err("malformed quoted key", line))?;
+        return Ok(inner.to_string());
+    }
+    if raw.is_empty()
+        || !raw
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Err(err(format!("invalid key '{raw}'"), line));
+    }
+    Ok(raw.to_string())
+}
+
+fn split_path(header: &str, line: usize) -> Result<Vec<String>, TomlError> {
+    header
+        .split('.')
+        .map(|part| parse_key(part, line))
+        .collect()
+}
+
+/// Descends to (creating as needed) the table at `path`. Descending into an array of
+/// tables — mid-path or as the `[[...]]` tail — always means its most recent entry.
+fn lookup_table<'a>(
+    root: &'a mut BTreeMap<String, Value>,
+    path: &[String],
+    line: usize,
+) -> Result<&'a mut BTreeMap<String, Value>, TomlError> {
+    let mut current = root;
+    for part in path {
+        let entry = current
+            .entry(part.clone())
+            .or_insert_with(|| Value::Table(BTreeMap::new()));
+        current = match entry {
+            Value::Table(t) => t,
+            Value::Array(a) => match a.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => return Err(err(format!("'{part}' is not a table"), line)),
+            },
+            _ => return Err(err(format!("'{part}' is not a table"), line)),
+        };
+    }
+    Ok(current)
+}
+
+fn lookup_array<'a>(
+    root: &'a mut BTreeMap<String, Value>,
+    path: &[String],
+    line: usize,
+) -> Result<&'a mut Vec<Value>, TomlError> {
+    let (last, parents) = path
+        .split_last()
+        .ok_or_else(|| err("empty table path", line))?;
+    let parent = lookup_table(root, parents, line)?;
+    let entry = parent
+        .entry(last.clone())
+        .or_insert_with(|| Value::Array(Vec::new()));
+    match entry {
+        Value::Array(a) => Ok(a),
+        _ => Err(err(format!("'{last}' is not an array of tables"), line)),
+    }
+}
+
+fn parse_value(text: &str, line: usize) -> Result<Value, TomlError> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(err("missing value", line));
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        let (s, consumed) = parse_basic_string(rest, line)?;
+        if !rest[consumed..].trim().is_empty() {
+            return Err(err("trailing characters after string", line));
+        }
+        return Ok(Value::Str(s));
+    }
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if text.starts_with('[') {
+        return parse_array(text, line);
+    }
+    if text.starts_with('{') {
+        return parse_inline_table(text, line);
+    }
+    let numeric: String = text.chars().filter(|&c| c != '_').collect();
+    if numeric.contains(['.', 'e', 'E']) {
+        if let Ok(f) = numeric.parse::<f64>() {
+            return Ok(Value::Float(f));
+        }
+    } else if let Ok(i) = numeric.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    Err(err(format!("unsupported value '{text}'"), line))
+}
+
+/// Parses the contents of a basic string after the opening quote; returns the string
+/// and the number of bytes consumed (including the closing quote).
+fn parse_basic_string(rest: &str, line: usize) -> Result<(String, usize), TomlError> {
+    let mut s = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((idx, c)) = chars.next() {
+        match c {
+            '"' => return Ok((s, idx + 1)),
+            '\\' => match chars.next() {
+                Some((_, 'n')) => s.push('\n'),
+                Some((_, 't')) => s.push('\t'),
+                Some((_, 'r')) => s.push('\r'),
+                Some((_, '"')) => s.push('"'),
+                Some((_, '\\')) => s.push('\\'),
+                _ => return Err(err("unsupported string escape", line)),
+            },
+            c => s.push(c),
+        }
+    }
+    Err(err("unterminated string", line))
+}
+
+/// Splits the interior of a bracketed list on top-level commas.
+fn split_top_level(interior: &str, line: usize) -> Result<Vec<String>, TomlError> {
+    let mut items = Vec::new();
+    let mut depth = 0i32;
+    let mut state = StringState::default();
+    let mut start = 0usize;
+    for (idx, c) in interior.char_indices() {
+        if state.feed(c) {
+            continue;
+        }
+        match c {
+            '[' | '{' => depth += 1,
+            ']' | '}' => depth -= 1,
+            ',' if depth == 0 => {
+                items.push(interior[start..idx].trim().to_string());
+                start = idx + 1;
+            }
+            _ => {}
+        }
+    }
+    if state.in_string || depth != 0 {
+        return Err(err("malformed nested value", line));
+    }
+    let tail = interior[start..].trim();
+    if !tail.is_empty() {
+        items.push(tail.to_string());
+    }
+    Ok(items)
+}
+
+fn parse_array(text: &str, line: usize) -> Result<Value, TomlError> {
+    let interior = text
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err("malformed array", line))?;
+    let mut items = Vec::new();
+    for part in split_top_level(interior, line)? {
+        items.push(parse_value(&part, line)?);
+    }
+    Ok(Value::Array(items))
+}
+
+fn parse_inline_table(text: &str, line: usize) -> Result<Value, TomlError> {
+    let interior = text
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| err("malformed inline table", line))?;
+    let mut map = BTreeMap::new();
+    for part in split_top_level(interior, line)? {
+        let eq = part
+            .find('=')
+            .ok_or_else(|| err("expected 'key = value' in inline table", line))?;
+        let key = parse_key(part[..eq].trim(), line)?;
+        let value = parse_value(part[eq + 1..].trim(), line)?;
+        if map.insert(key.clone(), value).is_some() {
+            return Err(err(format!("duplicate key '{key}' in inline table"), line));
+        }
+    }
+    Ok(Value::Table(map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_scalars_and_arrays() {
+        let doc = parse(
+            r#"
+# A sweep file.
+title = "demo"
+
+[sweep]
+label = "fig16"
+latencies = [40, 100, 9_000]  # ns
+
+[sweep.config]
+units = 4
+ratio = 2.5
+reserve = true
+
+[sweep.workload]
+kind = "data-structure"
+name = "stack"
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("title").unwrap().as_str(), Some("demo"));
+        let sweep = doc.get("sweep").unwrap();
+        assert_eq!(sweep.get("label").unwrap().as_str(), Some("fig16"));
+        let lats: Vec<u64> = sweep
+            .get("latencies")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .collect();
+        assert_eq!(lats, vec![40, 100, 9000]);
+        assert_eq!(
+            sweep.get("config").unwrap().get("units").unwrap().as_i64(),
+            Some(4)
+        );
+        assert_eq!(
+            sweep.get("config").unwrap().get("ratio").unwrap().as_f64(),
+            Some(2.5)
+        );
+        assert_eq!(
+            sweep
+                .get("config")
+                .unwrap()
+                .get("reserve")
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+        assert_eq!(
+            sweep.get("workload").unwrap().get("name").unwrap().as_str(),
+            Some("stack")
+        );
+    }
+
+    #[test]
+    fn parses_arrays_of_tables_and_multiline_arrays() {
+        let doc = parse(
+            r#"
+[[scenario]]
+label = "a"
+sizes = [
+    1,
+    2,
+    3,
+]
+
+[[scenario]]
+label = "b"
+opts = { kind = "micro", interval = 50 }
+"#,
+        )
+        .unwrap();
+        let scenarios = doc.get("scenario").unwrap().as_array().unwrap();
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0].get("label").unwrap().as_str(), Some("a"));
+        assert_eq!(
+            scenarios[0].get("sizes").unwrap().as_array().unwrap().len(),
+            3
+        );
+        let opts = scenarios[1].get("opts").unwrap();
+        assert_eq!(opts.get("kind").unwrap().as_str(), Some("micro"));
+        assert_eq!(opts.get("interval").unwrap().as_i64(), Some(50));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("key").is_err());
+        assert!(parse("[unclosed").is_err());
+        assert!(parse("k = [1, 2").is_err());
+        assert!(parse("k = \"unterminated").is_err());
+        assert!(parse("k = 1\nk = 2").is_err());
+    }
+
+    #[test]
+    fn strings_with_hashes_and_escapes() {
+        let doc = parse("k = \"a # not comment\" # real comment\ne = \"x\\ny\"").unwrap();
+        assert_eq!(doc.get("k").unwrap().as_str(), Some("a # not comment"));
+        assert_eq!(doc.get("e").unwrap().as_str(), Some("x\ny"));
+    }
+
+    #[test]
+    fn escaped_quotes_survive_everywhere() {
+        // In plain values (with a trailing comment), inside arrays, and in inline
+        // tables — the scanners must not treat \" as a string delimiter.
+        let doc =
+            parse("k = \"say \\\"hi\\\"\" # b\ntags = [\"a\\\"b\", \"c\"]\nt = { s = \"x\\\\\" }")
+                .unwrap();
+        assert_eq!(doc.get("k").unwrap().as_str(), Some("say \"hi\""));
+        let tags: Vec<&str> = doc
+            .get("tags")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        assert_eq!(tags, vec!["a\"b", "c"]);
+        assert_eq!(
+            doc.get("t").unwrap().get("s").unwrap().as_str(),
+            Some("x\\")
+        );
+    }
+
+    #[test]
+    fn inline_table_duplicate_keys_are_rejected() {
+        assert!(parse("o = { a = 1, a = 2 }").is_err());
+    }
+}

@@ -215,21 +215,36 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use syncron_sim::SimRng;
 
-    proptest! {
-        /// End-to-end latency always covers the configured transfer latency plus
-        /// serialization, regardless of contention.
-        #[test]
-        fn latency_lower_bound(msgs in proptest::collection::vec((0u64..1_000_000, 0u8..4, 0u8..4, 1u64..512), 1..100)) {
+    /// End-to-end latency always covers the configured transfer latency plus
+    /// serialization, regardless of contention.
+    ///
+    /// Deterministic stand-in for a proptest property (no crates.io access).
+    #[test]
+    fn latency_lower_bound() {
+        for case in 0..64u64 {
+            let mut rng = SimRng::seed_from(0x117C_0000 + case);
+            let count = 1 + rng.gen_range(99) as usize;
+            let mut msgs: Vec<(u64, u8, u8, u64)> = (0..count)
+                .map(|_| {
+                    (
+                        rng.gen_range(1_000_000),
+                        rng.gen_range(4) as u8,
+                        rng.gen_range(4) as u8,
+                        1 + rng.gen_range(511),
+                    )
+                })
+                .collect();
             let cfg = LinkConfig::default();
             let mut links = InterUnitLink::new(cfg);
-            let mut sorted = msgs.clone();
-            sorted.sort();
-            for (t, from, to, bytes) in sorted {
-                if from == to { continue; }
+            msgs.sort();
+            for &(t, from, to, bytes) in &msgs {
+                if from == to {
+                    continue;
+                }
                 let lat = links.transfer(Time::from_ps(t), UnitId(from), UnitId(to), bytes);
-                prop_assert!(lat >= cfg.transfer_latency + cfg.serialization(bytes));
+                assert!(lat >= cfg.transfer_latency + cfg.serialization(bytes));
             }
         }
     }

@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline serde shim.
+//!
+//! Both derives expand to nothing, so `#[derive(serde::Serialize)]` type-checks without
+//! generating any impls. See `syncron-serde-stub` for why this exists.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

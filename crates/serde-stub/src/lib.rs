@@ -1,0 +1,20 @@
+//! A no-op stand-in for the `serde` crate.
+//!
+//! This workspace builds in environments without access to crates.io, but the model
+//! crates annotate their types with `#[cfg_attr(feature = "serde", derive(...))]` so
+//! that real serde support is one dependency swap away. This shim makes the `serde`
+//! feature *compile* offline: the derive macros expand to nothing and the traits carry
+//! no methods. Replace the `serde = { package = "syncron-serde-stub", ... }` path
+//! dependencies with the real `serde` crate (features = ["derive"]) to get actual
+//! serialization; no source change is required.
+//!
+//! The harness crate does not rely on this shim — its scenario/report serialization is
+//! implemented in-tree (see `syncron_harness::json`).
+
+pub use syncron_serde_derive::{Deserialize, Serialize};
+
+/// No-op stand-in for `serde::Serialize`.
+pub trait SerializeMarker {}
+
+/// No-op stand-in for `serde::Deserialize`.
+pub trait DeserializeMarker {}

@@ -180,13 +180,18 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SimRng;
 
-    proptest! {
-        /// Popping always yields events in non-decreasing time order, and events with
-        /// equal timestamps preserve insertion order.
-        #[test]
-        fn pops_are_monotone_and_stable(times in proptest::collection::vec(0u64..50, 1..200)) {
+    // Deterministic stand-ins for proptest properties (no crates.io access).
+
+    /// Popping always yields events in non-decreasing time order, and events with
+    /// equal timestamps preserve insertion order.
+    #[test]
+    fn pops_are_monotone_and_stable() {
+        for case in 0..64u64 {
+            let mut rng = SimRng::seed_from(0xE4E7_0000 + case);
+            let count = 1 + rng.gen_range(199) as usize;
+            let times: Vec<u64> = (0..count).map(|_| rng.gen_range(50)).collect();
             let mut q = EventQueue::new();
             for (i, t) in times.iter().enumerate() {
                 q.push(Time::from_ps(*t), i);
@@ -194,28 +199,33 @@ mod proptests {
             let mut last: Option<(Time, usize)> = None;
             while let Some((t, idx)) = q.pop() {
                 if let Some((lt, lidx)) = last {
-                    prop_assert!(t >= lt);
+                    assert!(t >= lt);
                     if t == lt {
-                        prop_assert!(idx > lidx);
+                        assert!(idx > lidx);
                     }
                 }
                 last = Some((t, idx));
             }
         }
+    }
 
-        /// Every pushed event is delivered exactly once.
-        #[test]
-        fn conservation(times in proptest::collection::vec(0u64..1000, 0..300)) {
+    /// Every pushed event is delivered exactly once.
+    #[test]
+    fn conservation() {
+        for case in 0..64u64 {
+            let mut rng = SimRng::seed_from(0xC0_5E4B + case);
+            let count = rng.gen_range(300) as usize;
+            let times: Vec<u64> = (0..count).map(|_| rng.gen_range(1000)).collect();
             let mut q = EventQueue::new();
             for (i, t) in times.iter().enumerate() {
                 q.push(Time::from_ps(*t), i);
             }
             let mut seen = vec![false; times.len()];
             while let Some((_, idx)) = q.pop() {
-                prop_assert!(!seen[idx]);
+                assert!(!seen[idx]);
                 seen[idx] = true;
             }
-            prop_assert!(seen.iter().all(|&s| s));
+            assert!(seen.iter().all(|&s| s));
         }
     }
 }

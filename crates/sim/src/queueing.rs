@@ -208,34 +208,44 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SimRng;
 
-    proptest! {
-        /// The serializer never starts a request before it arrives and never overlaps
-        /// two requests.
-        #[test]
-        fn serializer_no_overlap(reqs in proptest::collection::vec((0u64..10_000, 1u64..100), 1..100)) {
+    // Deterministic stand-ins for proptest properties (no crates.io access).
+
+    /// The serializer never starts a request before it arrives and never overlaps
+    /// two requests.
+    #[test]
+    fn serializer_no_overlap() {
+        for case in 0..64u64 {
+            let mut rng = SimRng::seed_from(0x5E7A_0000 + case);
+            let count = 1 + rng.gen_range(99) as usize;
+            let mut reqs: Vec<(u64, u64)> = (0..count)
+                .map(|_| (rng.gen_range(10_000), 1 + rng.gen_range(99)))
+                .collect();
             let mut s = Serializer::new();
-            let mut sorted = reqs.clone();
-            sorted.sort();
+            reqs.sort();
             let mut prev_end = Time::ZERO;
-            for (arrive, busy) in sorted {
+            for &(arrive, busy) in &reqs {
                 let start = s.acquire(Time::from_ps(arrive), Time::from_ps(busy));
-                prop_assert!(start >= Time::from_ps(arrive));
-                prop_assert!(start >= prev_end);
+                assert!(start >= Time::from_ps(arrive));
+                assert!(start >= prev_end);
                 prev_end = start + Time::from_ps(busy);
             }
         }
+    }
 
-        /// M/D/1 waiting time is monotone in the arrival rate.
-        #[test]
-        fn md1_monotone(lams in proptest::collection::vec(0.0f64..0.002, 2..20)) {
+    /// M/D/1 waiting time is monotone in the arrival rate.
+    #[test]
+    fn md1_monotone() {
+        for case in 0..64u64 {
+            let mut rng = SimRng::seed_from(0x3D1_0000 + case);
+            let count = 2 + rng.gen_range(18) as usize;
+            let mut lams: Vec<f64> = (0..count).map(|_| rng.gen_f64() * 0.002).collect();
             let s = Time::from_ns(1);
-            let mut sorted = lams.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            let waits: Vec<Time> = sorted.iter().map(|&l| md1_wait(l, s, 0.95)).collect();
+            lams.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let waits: Vec<Time> = lams.iter().map(|&l| md1_wait(l, s, 0.95)).collect();
             for w in waits.windows(2) {
-                prop_assert!(w[0] <= w[1]);
+                assert!(w[0] <= w[1]);
             }
         }
     }

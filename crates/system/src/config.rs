@@ -98,10 +98,25 @@ impl NdpConfig {
         self.units * self.cores_per_unit
     }
 
+    /// Whether each unit actually dedicates one core to synchronization serving.
+    ///
+    /// `reserve_server_core` only takes effect when a unit has more than one core:
+    /// with `cores_per_unit == 1` the lone core must keep executing the workload, so
+    /// it doubles as the server (message-passing schemes time-share it) and no core is
+    /// set aside.
+    pub fn has_dedicated_server(&self) -> bool {
+        self.reserve_server_core && self.cores_per_unit > 1
+    }
+
     /// Number of client cores per unit (cores that execute the workload).
+    ///
+    /// With a dedicated server core this is `cores_per_unit - 1`; otherwise every core
+    /// is a client — including the single-core-per-unit edge case, where the lone core
+    /// is a client *and* implicitly serves synchronization requests (see
+    /// [`NdpConfig::has_dedicated_server`]).
     pub fn clients_per_unit(&self) -> usize {
-        if self.reserve_server_core {
-            self.cores_per_unit.saturating_sub(1).max(1)
+        if self.has_dedicated_server() {
+            self.cores_per_unit - 1
         } else {
             self.cores_per_unit
         }
@@ -256,6 +271,31 @@ mod tests {
         // Without the reservation all cores are clients.
         let cfg = NdpConfig::builder().reserve_server_core(false).build();
         assert_eq!(cfg.total_clients(), 64);
+    }
+
+    #[test]
+    fn single_core_units_keep_their_only_core_as_client() {
+        // Edge case: with one core per unit the reservation cannot take effect — the
+        // lone core stays a client and implicitly doubles as the server.
+        let cfg = NdpConfig::builder()
+            .units(2)
+            .cores_per_unit(1)
+            .reserve_server_core(true)
+            .build();
+        assert!(!cfg.has_dedicated_server());
+        assert_eq!(cfg.clients_per_unit(), 1);
+        assert_eq!(cfg.total_clients(), 2);
+        assert_eq!(cfg.client_cores().len(), 2);
+
+        // With two or more cores the reservation is real.
+        let cfg = NdpConfig::builder()
+            .units(2)
+            .cores_per_unit(2)
+            .reserve_server_core(true)
+            .build();
+        assert!(cfg.has_dedicated_server());
+        assert_eq!(cfg.clients_per_unit(), 1);
+        assert_eq!(cfg.total_clients(), 2);
     }
 
     #[test]

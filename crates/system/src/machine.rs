@@ -205,7 +205,9 @@ impl NdpMachine {
             queue: EventQueue::with_capacity(clients.len() * 4),
             l1s: clients.iter().map(|_| L1Cache::new(config.l1)).collect(),
             server_l1s: (0..config.units).map(|_| L1Cache::new(config.l1)).collect(),
-            drams: (0..config.units).map(|_| DramModel::new(dram_spec)).collect(),
+            drams: (0..config.units)
+                .map(|_| DramModel::new(dram_spec))
+                .collect(),
             crossbars: (0..config.units)
                 .map(|_| Crossbar::new(config.crossbar))
                 .collect(),
@@ -248,7 +250,9 @@ impl NdpMachine {
                         self.step_core(idx);
                     }
                 }
-                Event::SyncToken(token) => self.with_mechanism(|mech, ctx| mech.deliver(ctx, token)),
+                Event::SyncToken(token) => {
+                    self.with_mechanism(|mech, ctx| mech.deliver(ctx, token))
+                }
             }
             if self.done_count == self.programs.len() {
                 self.completed = true;
@@ -339,7 +343,8 @@ impl NdpMachine {
                 if inter_bytes > 0 {
                     self.traffic.add_inter(inter_bytes);
                 }
-                self.mesi_network_pj += intra_bytes as f64 * 8.0
+                self.mesi_network_pj += intra_bytes as f64
+                    * 8.0
                     * self.config.crossbar.pj_per_bit_hop
                     * self.config.crossbar.hops as f64
                     + inter_bytes as f64 * 8.0 * self.config.link.pj_per_bit;
@@ -366,18 +371,14 @@ impl NdpMachine {
         let local = core.unit == home;
         lat += self.crossbars[core.unit.index()].transfer(now + lat, HDR_BYTES);
         if !local {
-            lat += self
-                .links
-                .transfer(now + lat, core.unit, home, HDR_BYTES);
+            lat += self.links.transfer(now + lat, core.unit, home, HDR_BYTES);
             lat += self.crossbars[home.index()].transfer(now + lat, HDR_BYTES);
         }
         let dram_done = self.drams[home.index()].access(now + lat, addr, write);
         lat = dram_done.saturating_sub(now);
         lat += self.crossbars[home.index()].transfer(now + lat, LINE_BYTES);
         if !local {
-            lat += self
-                .links
-                .transfer(now + lat, home, core.unit, LINE_BYTES);
+            lat += self.links.transfer(now + lat, home, core.unit, LINE_BYTES);
             lat += self.crossbars[core.unit.index()].transfer(now + lat, LINE_BYTES);
             self.traffic.add_inter(HDR_BYTES + LINE_BYTES);
         } else {
@@ -653,7 +654,11 @@ mod tests {
     fn ideal_is_fastest_and_uses_least_energy() {
         let workload = CounterWorkload { iterations: 10 };
         let ideal = run_workload(&small_config(MechanismKind::Ideal), &workload);
-        for kind in [MechanismKind::Central, MechanismKind::Hier, MechanismKind::SynCron] {
+        for kind in [
+            MechanismKind::Central,
+            MechanismKind::Hier,
+            MechanismKind::SynCron,
+        ] {
             let other = run_workload(&small_config(kind), &workload);
             assert!(
                 other.sim_time >= ideal.sim_time,
@@ -680,7 +685,11 @@ mod tests {
 
     #[test]
     fn barrier_workload_completes() {
-        for kind in [MechanismKind::SynCron, MechanismKind::Hier, MechanismKind::Ideal] {
+        for kind in [
+            MechanismKind::SynCron,
+            MechanismKind::Hier,
+            MechanismKind::Ideal,
+        ] {
             let report = run_workload(&small_config(kind), &BarrierWorkload { rounds: 4 });
             assert!(report.completed, "{kind:?}");
         }
@@ -784,7 +793,9 @@ mod tests {
                 let lock = space.allocate_shared_rw(64, UnitId(0));
                 clients
                     .iter()
-                    .map(|_| Box::new(DeadlockProgram { lock, acquired: 0 }) as Box<dyn CoreProgram>)
+                    .map(|_| {
+                        Box::new(DeadlockProgram { lock, acquired: 0 }) as Box<dyn CoreProgram>
+                    })
                     .collect()
             }
         }

@@ -73,10 +73,15 @@ impl NodePool {
     pub fn allocate(space: &mut AddressSpace, nodes: usize, with_locks: bool) -> Self {
         let units = space.units();
         let nodes_per_unit = nodes.div_ceil(units).max(1) as u64;
-        let node_parts =
-            space.allocate_partitioned(nodes_per_unit * Addr::LINE_BYTES, DataClass::SharedReadWrite);
+        let node_parts = space.allocate_partitioned(
+            nodes_per_unit * Addr::LINE_BYTES,
+            DataClass::SharedReadWrite,
+        );
         let lock_parts = if with_locks {
-            space.allocate_partitioned(nodes_per_unit * Addr::LINE_BYTES, DataClass::SharedReadWrite)
+            space.allocate_partitioned(
+                nodes_per_unit * Addr::LINE_BYTES,
+                DataClass::SharedReadWrite,
+            )
         } else {
             Vec::new()
         };

@@ -442,11 +442,12 @@ impl CoreProgram for GraphProgram {
             // Generate this iteration's work, then meet the other cores at the barrier.
             self.generate_iteration();
             self.at_barrier = true;
-            self.script.push_back(Action::Sync(SyncRequest::BarrierWait {
-                var: self.barrier,
-                participants: self.participants,
-                scope: BarrierScope::AcrossUnits,
-            }));
+            self.script
+                .push_back(Action::Sync(SyncRequest::BarrierWait {
+                    var: self.barrier,
+                    participants: self.participants,
+                    scope: BarrierScope::AcrossUnits,
+                }));
         }
     }
 
@@ -585,7 +586,11 @@ mod tests {
         assert!(report.completed);
         // The per-vertex push operations processed across cores should cover at least
         // the vertices of the giant component once.
-        assert!(report.total_ops >= 100, "only {} vertex-pushes", report.total_ops);
+        assert!(
+            report.total_ops >= 100,
+            "only {} vertex-pushes",
+            report.total_ops
+        );
     }
 
     #[test]

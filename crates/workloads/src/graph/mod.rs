@@ -75,7 +75,7 @@ impl Graph {
     /// using the canonical partition probabilities (a, b, c) = (0.57, 0.19, 0.19).
     pub fn rmat(vertices: usize, avg_degree: usize, seed: u64) -> Self {
         let mut rng = SimRng::seed_from(seed);
-        let scale = (usize::BITS - vertices.max(2).next_power_of_two().leading_zeros() - 1) as u32;
+        let scale = usize::BITS - vertices.max(2).next_power_of_two().leading_zeros() - 1;
         let n = 1usize << scale;
         let target_edges = vertices * avg_degree / 2;
         let mut edge_list = Vec::with_capacity(target_edges);
@@ -121,7 +121,10 @@ impl Graph {
     /// Maximum vertex degree (the "hub" size — R-MAT graphs have much larger hubs than
     /// uniform graphs of the same average degree).
     pub fn max_degree(&self) -> usize {
-        (0..self.vertices as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.vertices as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -196,10 +199,30 @@ impl GraphInput {
     /// Synthetic stand-ins for the paper's four graphs, at simulation-tractable scale
     /// but with increasing size and realistic degree skew (see `DESIGN.md`).
     pub const ALL: [GraphInput; 4] = [
-        GraphInput { name: "wk", vertices: 3_000, avg_degree: 8, rmat: true },
-        GraphInput { name: "sl", vertices: 4_500, avg_degree: 10, rmat: true },
-        GraphInput { name: "sx", vertices: 6_000, avg_degree: 8, rmat: false },
-        GraphInput { name: "co", vertices: 8_000, avg_degree: 12, rmat: true },
+        GraphInput {
+            name: "wk",
+            vertices: 3_000,
+            avg_degree: 8,
+            rmat: true,
+        },
+        GraphInput {
+            name: "sl",
+            vertices: 4_500,
+            avg_degree: 10,
+            rmat: true,
+        },
+        GraphInput {
+            name: "sx",
+            vertices: 6_000,
+            avg_degree: 8,
+            rmat: false,
+        },
+        GraphInput {
+            name: "co",
+            vertices: 8_000,
+            avg_degree: 12,
+            rmat: true,
+        },
     ];
 
     /// Looks up an input by its label.

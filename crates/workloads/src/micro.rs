@@ -385,7 +385,8 @@ impl CoreProgram for CondWaiterProgram {
                 self.phase = 0;
                 self.remaining -= 1;
                 self.ops += 1;
-                self.pending_waits.set(self.pending_waits.get().saturating_sub(1));
+                self.pending_waits
+                    .set(self.pending_waits.get().saturating_sub(1));
                 Action::Sync(SyncRequest::LockRelease { var: self.lock })
             }
         }
@@ -501,7 +502,10 @@ mod tests {
 
     #[test]
     fn lock_micro_completes_and_counts_ops() {
-        let report = run_workload(&config(MechanismKind::SynCron), &LockMicrobench::new(100, 10));
+        let report = run_workload(
+            &config(MechanismKind::SynCron),
+            &LockMicrobench::new(100, 10),
+        );
         assert!(report.completed);
         // 6 client cores (2 units x 3 clients) x 10 acquisitions.
         assert_eq!(report.total_ops, 60);
@@ -518,7 +522,11 @@ mod tests {
 
     #[test]
     fn semaphore_micro_completes() {
-        for kind in [MechanismKind::SynCron, MechanismKind::Central, MechanismKind::Ideal] {
+        for kind in [
+            MechanismKind::SynCron,
+            MechanismKind::Central,
+            MechanismKind::Ideal,
+        ] {
             let report = run_workload(&config(kind), &SemaphoreMicrobench::new(100, 8));
             assert!(report.completed, "{kind:?}");
         }
@@ -526,7 +534,11 @@ mod tests {
 
     #[test]
     fn condvar_micro_completes() {
-        for kind in [MechanismKind::SynCron, MechanismKind::Hier, MechanismKind::Ideal] {
+        for kind in [
+            MechanismKind::SynCron,
+            MechanismKind::Hier,
+            MechanismKind::Ideal,
+        ] {
             let report = run_workload(&config(kind), &CondVarMicrobench::new(200, 4));
             assert!(report.completed, "{kind:?}");
         }
@@ -536,13 +548,28 @@ mod tests {
     fn shorter_interval_is_more_sync_intensive() {
         // With a shorter compute interval, synchronization dominates and SynCron's
         // advantage over Central grows (the trend of Figure 10).
-        let short_central = run_workload(&config(MechanismKind::Central), &LockMicrobench::new(50, 20));
-        let short_syncron = run_workload(&config(MechanismKind::SynCron), &LockMicrobench::new(50, 20));
-        let long_central = run_workload(&config(MechanismKind::Central), &LockMicrobench::new(5000, 20));
-        let long_syncron = run_workload(&config(MechanismKind::SynCron), &LockMicrobench::new(5000, 20));
+        let short_central = run_workload(
+            &config(MechanismKind::Central),
+            &LockMicrobench::new(50, 20),
+        );
+        let short_syncron = run_workload(
+            &config(MechanismKind::SynCron),
+            &LockMicrobench::new(50, 20),
+        );
+        let long_central = run_workload(
+            &config(MechanismKind::Central),
+            &LockMicrobench::new(5000, 20),
+        );
+        let long_syncron = run_workload(
+            &config(MechanismKind::SynCron),
+            &LockMicrobench::new(5000, 20),
+        );
         let short_speedup = short_syncron.speedup_over(&short_central);
         let long_speedup = long_syncron.speedup_over(&long_central);
-        assert!(short_speedup > 1.0, "SynCron should beat Central: {short_speedup}");
+        assert!(
+            short_speedup > 1.0,
+            "SynCron should beat Central: {short_speedup}"
+        );
         assert!(
             short_speedup > long_speedup,
             "benefit should shrink with longer intervals ({short_speedup:.2} vs {long_speedup:.2})"

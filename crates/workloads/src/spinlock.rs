@@ -399,7 +399,9 @@ impl CoreProgram for LockedStackProgram {
             1 => match self.lock_impl {
                 StackLock::SyncPrimitive => {
                     self.phase = 3;
-                    Action::Sync(SyncRequest::LockAcquire { var: self.lock_addr })
+                    Action::Sync(SyncRequest::LockAcquire {
+                        var: self.lock_addr,
+                    })
                 }
                 StackLock::MesiSpin => {
                     let mut s = self.shared.borrow_mut();
@@ -454,9 +456,9 @@ impl CoreProgram for LockedStackProgram {
                 self.remaining -= 1;
                 self.ops += 1;
                 match self.lock_impl {
-                    StackLock::SyncPrimitive => {
-                        Action::Sync(SyncRequest::LockRelease { var: self.lock_addr })
-                    }
+                    StackLock::SyncPrimitive => Action::Sync(SyncRequest::LockRelease {
+                        var: self.lock_addr,
+                    }),
                     StackLock::MesiSpin => {
                         self.shared.borrow_mut().lock_state.held = false;
                         Action::Store {
@@ -596,7 +598,10 @@ mod tests {
     fn mesi_stack_slower_than_ideal_lock_stack() {
         // Figure 2's headline: the MESI lock slows the stack down relative to an ideal
         // zero-cost lock, and more so with more NDP units.
-        let mesi = run_workload(&mesi_config(2, 8), &LockedStack::new(StackLock::MesiSpin, 20));
+        let mesi = run_workload(
+            &mesi_config(2, 8),
+            &LockedStack::new(StackLock::MesiSpin, 20),
+        );
         let ideal_cfg = NdpConfig::builder()
             .units(2)
             .cores_per_unit(8)
@@ -618,6 +623,9 @@ mod tests {
         assert!(SpinLockBench::new(SpinKind::Ttas, 2, Placement::Spread, 1)
             .name()
             .contains("TTAS"));
-        assert_eq!(LockedStack::new(StackLock::MesiSpin, 1).name(), "stack.mesi-lock");
+        assert_eq!(
+            LockedStack::new(StackLock::MesiSpin, 1).name(),
+            "stack.mesi-lock"
+        );
     }
 }

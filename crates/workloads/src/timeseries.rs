@@ -131,8 +131,14 @@ impl OpGenerator for TsGen {
             // Incremental dot-product update: two cacheable reads of the replicated
             // series plus a handful of arithmetic instructions.
             build::compute(script, 12);
-            build::load(script, self.layout.series(self.my_unit, i + self.cfg.window as u64));
-            build::load(script, self.layout.series(self.my_unit, j + self.cfg.window as u64));
+            build::load(
+                script,
+                self.layout.series(self.my_unit, i + self.cfg.window as u64),
+            );
+            build::load(
+                script,
+                self.layout.series(self.my_unit, j + self.cfg.window as u64),
+            );
             // Check the current profile entries (uncacheable shared data).
             build::load(script, self.layout.profile(i));
             if self.rng.gen_bool(update_probability) {
@@ -261,6 +267,11 @@ mod tests {
         assert_eq!(TimeSeries::by_name("pow").unwrap().name, "pow");
         assert!(TimeSeries::by_name("x").is_none());
         assert_eq!(TimeSeries::air().name(), "ts.air");
-        assert_eq!(TimeSeries::pow().with_diagonals_per_core(2).diagonals_per_core, 2);
+        assert_eq!(
+            TimeSeries::pow()
+                .with_diagonals_per_core(2)
+                .diagonals_per_core,
+            2
+        );
     }
 }

@@ -36,8 +36,7 @@ fn main() {
         let mut central = None;
         for kind in MechanismKind::COMPARED {
             let config = NdpConfig::builder().mechanism(kind).build();
-            let report =
-                syncron::system::run_workload(&config, &GraphApp::new(algo, input));
+            let report = syncron::system::run_workload(&config, &GraphApp::new(algo, input));
             let speedup = central
                 .as_ref()
                 .map(|c: &RunReport| report.speedup_over(c))
@@ -57,8 +56,13 @@ fn main() {
 
     // Better placement: same app, greedy partitioning, SynCron.
     println!("\n--- pr with better data placement (SynCron) ---");
-    for (label, partitioning) in [("striped", Partitioning::Striped), ("greedy", Partitioning::Greedy)] {
-        let config = NdpConfig::builder().mechanism(MechanismKind::SynCron).build();
+    for (label, partitioning) in [
+        ("striped", Partitioning::Striped),
+        ("greedy", Partitioning::Greedy),
+    ] {
+        let config = NdpConfig::builder()
+            .mechanism(MechanismKind::SynCron)
+            .build();
         let wl = GraphApp::new(GraphAlgo::Pr, input).with_partitioning(partitioning);
         let report = syncron::system::run_workload(&config, &wl);
         println!(

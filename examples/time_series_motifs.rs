@@ -20,7 +20,11 @@ fn main() {
     for tech in [MemTech::Hbm, MemTech::Hmc, MemTech::Ddr4] {
         println!("--- memory technology: {tech} ---");
         let mut hier_time = None;
-        for kind in [MechanismKind::Hier, MechanismKind::SynCron, MechanismKind::Ideal] {
+        for kind in [
+            MechanismKind::Hier,
+            MechanismKind::SynCron,
+            MechanismKind::Ideal,
+        ] {
             let config = NdpConfig::builder().mem_tech(tech).mechanism(kind).build();
             let report = syncron::system::run_workload(&config, &dataset);
             let vs_hier = hier_time

@@ -14,6 +14,9 @@
 //! * [`system`] — NDP system assembly, configuration, execution model and reports.
 //! * [`workloads`] — microbenchmarks, concurrent data structures, graph applications and
 //!   time-series analysis used in the paper's evaluation.
+//! * [`harness`] — declarative scenarios and sweeps over the paper's evaluation axes,
+//!   a parallel runner, and results keyed by scenario label with JSON/CSV export
+//!   (also driven from TOML/JSON files by the `syncron-cli` binary).
 //!
 //! # Quickstart
 //!
@@ -34,6 +37,7 @@
 //! ```
 
 pub use syncron_core as core;
+pub use syncron_harness as harness;
 pub use syncron_mem as mem;
 pub use syncron_net as net;
 pub use syncron_sim as sim;
@@ -43,6 +47,7 @@ pub use syncron_workloads as workloads;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use syncron_core::MechanismKind;
+    pub use syncron_harness::{ConfigSpec, RunSet, Runner, Scenario, Sweep, WorkloadSpec};
     pub use syncron_sim::{Addr, CoreId, Freq, GlobalCoreId, Time, UnitId};
     pub use syncron_system::config::{MemTech, NdpConfig};
     pub use syncron_system::report::RunReport;

@@ -11,7 +11,11 @@ use syncron::workloads::micro::LockMicrobench;
 use syncron::workloads::timeseries::TimeSeries;
 
 fn paper_config(kind: MechanismKind) -> NdpConfig {
-    NdpConfig::builder().units(4).cores_per_unit(16).mechanism(kind).build()
+    NdpConfig::builder()
+        .units(4)
+        .cores_per_unit(16)
+        .mechanism(kind)
+        .build()
 }
 
 #[test]
@@ -22,8 +26,16 @@ fn claim_syncron_outperforms_prior_schemes_under_high_contention() {
     let central = syncron::system::run_workload(&paper_config(MechanismKind::Central), &wl);
     let hier = syncron::system::run_workload(&paper_config(MechanismKind::Hier), &wl);
     let syncron = syncron::system::run_workload(&paper_config(MechanismKind::SynCron), &wl);
-    assert!(syncron.speedup_over(&central) > 1.2, "vs Central: {:.2}", syncron.speedup_over(&central));
-    assert!(syncron.speedup_over(&hier) > 1.0, "vs Hier: {:.2}", syncron.speedup_over(&hier));
+    assert!(
+        syncron.speedup_over(&central) > 1.2,
+        "vs Central: {:.2}",
+        syncron.speedup_over(&central)
+    );
+    assert!(
+        syncron.speedup_over(&hier) > 1.0,
+        "vs Hier: {:.2}",
+        syncron.speedup_over(&hier)
+    );
 }
 
 #[test]
@@ -37,8 +49,14 @@ fn claim_syncron_approaches_ideal_on_low_contention_apps() {
     let ideal = syncron::system::run_workload(&paper_config(MechanismKind::Ideal), &ts);
     let syncron_gap = syncron.slowdown_over(&ideal);
     let central_gap = central.slowdown_over(&ideal);
-    assert!(syncron_gap < 1.35, "SynCron should be close to Ideal, gap {syncron_gap:.2}");
-    assert!(central_gap > syncron_gap * 1.3, "Central gap {central_gap:.2} vs SynCron gap {syncron_gap:.2}");
+    assert!(
+        syncron_gap < 1.35,
+        "SynCron should be close to Ideal, gap {syncron_gap:.2}"
+    );
+    assert!(
+        central_gap > syncron_gap * 1.3,
+        "Central gap {central_gap:.2} vs SynCron gap {syncron_gap:.2}"
+    );
 }
 
 #[test]
@@ -68,7 +86,10 @@ fn claim_integrated_overflow_degrades_gracefully() {
     let no_overflow = run(256, OverflowMode::Integrated);
     let integrated = run(16, OverflowMode::Integrated);
     let misar = run(16, OverflowMode::MiSarCentral);
-    assert!(integrated.sync.overflow_fraction() > 0.0, "16-entry ST must overflow");
+    assert!(
+        integrated.sync.overflow_fraction() > 0.0,
+        "16-entry ST must overflow"
+    );
     let integrated_slowdown = integrated.slowdown_over(&no_overflow);
     let misar_slowdown = misar.slowdown_over(&no_overflow);
     assert!(

@@ -2,8 +2,8 @@
 //! through the public `syncron` facade.
 
 use syncron::prelude::*;
-use syncron::workloads::datastructures::{self, DsConfig};
 use syncron::workloads::datastructures::coarse::Stack;
+use syncron::workloads::datastructures::{self, DsConfig};
 use syncron::workloads::graph::{GraphAlgo, GraphApp, GraphInput};
 use syncron::workloads::micro::{BarrierMicrobench, LockMicrobench};
 use syncron::workloads::timeseries::TimeSeries;
@@ -36,7 +36,8 @@ fn every_mechanism_runs_every_workload_class() {
         let ds_report = syncron::system::run_workload(&cfg, ds.as_ref());
         assert!(ds_report.completed, "{kind:?} hash table");
 
-        let graph = syncron::system::run_workload(&cfg, &GraphApp::new(GraphAlgo::Bfs, tiny_graph()));
+        let graph =
+            syncron::system::run_workload(&cfg, &GraphApp::new(GraphAlgo::Bfs, tiny_graph()));
         assert!(graph.completed, "{kind:?} bfs");
 
         let ts = TimeSeries::air().with_diagonals_per_core(1);
@@ -61,7 +62,10 @@ fn paper_ordering_holds_under_high_contention() {
     let ideal = throughputs[3].1;
     assert!(hier > central, "Hier {hier} should beat Central {central}");
     assert!(syncron > hier, "SynCron {syncron} should beat Hier {hier}");
-    assert!(ideal >= syncron, "Ideal {ideal} must be an upper bound for SynCron {syncron}");
+    assert!(
+        ideal >= syncron,
+        "Ideal {ideal} must be an upper bound for SynCron {syncron}"
+    );
 }
 
 #[test]
@@ -103,7 +107,10 @@ fn st_occupancy_is_reported_for_real_apps() {
     let ts = TimeSeries::air().with_diagonals_per_core(2);
     let report = syncron::system::run_workload(&config(MechanismKind::SynCron, 4, 16), &ts);
     assert!(report.completed);
-    assert!(report.sync.st_max_occupancy > 0.0, "ST occupancy should be tracked");
+    assert!(
+        report.sync.st_max_occupancy > 0.0,
+        "ST occupancy should be tracked"
+    );
     assert!(report.sync.st_max_occupancy <= 1.0);
     assert!(report.sync.st_avg_occupancy <= report.sync.st_max_occupancy);
 }
