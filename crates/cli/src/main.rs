@@ -158,6 +158,8 @@ fn list() {
         "link_latency_ns=<n>               inter-unit transfer latency (default 40)",
         "st_entries=<n>                    Synchronization Table size (default 64)",
         "overflow_mode=integrated|central-overflow|distributed-overflow",
+        "signal_coalescing=true|false      coalesce condvar signals at the engine (default true)",
+        "signal_backoff_ns=<n>             base NACK backoff for repeat signalers (default 200)",
         "fairness_threshold=<n>|\"off\"      local-grant fairness threshold",
         "coherence=software-assisted|mesi  shared-RW data handling",
         "mesi_profile=ndp|cpu-two-socket   MESI latencies (with coherence=mesi)",
@@ -250,6 +252,9 @@ fn execute(options: &Options, mode: Mode) -> Result<(), String> {
         .map_err(|e| format!("{}: {e}", options.file))?;
 
     print_summary(&results);
+    for line in incomplete_warnings(&results) {
+        eprintln!("{line}");
+    }
     if let Some(path) = &options.json_out {
         results.write_json(path).map_err(|e| e.to_string())?;
         eprintln!("wrote {path}");
@@ -259,6 +264,35 @@ fn execute(options: &Options, mode: Mode) -> Result<(), String> {
         eprintln!("wrote {path}");
     }
     Ok(())
+}
+
+/// Builds a loud per-scenario warning block for runs that hit the event safety limit
+/// (`completed = false`): their numbers are partial and must not be read as results.
+/// Returns an empty vector when every run completed.
+fn incomplete_warnings(results: &RunSet) -> Vec<String> {
+    let incomplete: Vec<_> = results
+        .entries()
+        .iter()
+        .filter(|e| !e.report.completed)
+        .collect();
+    if incomplete.is_empty() {
+        return Vec::new();
+    }
+    let mut lines = vec![format!(
+        "warning: {} of {} scenario{} hit the event safety limit before finishing \
+         (completed = false); the exported numbers for {} are partial:",
+        incomplete.len(),
+        results.len(),
+        if results.len() == 1 { "" } else { "s" },
+        if incomplete.len() == 1 { "it" } else { "them" },
+    )];
+    for entry in &incomplete {
+        lines.push(format!(
+            "  - {} (max_events = {}; raise it in the scenario's [config] to finish the run)",
+            entry.scenario.label, entry.scenario.config.max_events
+        ));
+    }
+    lines
 }
 
 fn print_summary(results: &RunSet) {
@@ -283,5 +317,56 @@ fn print_summary(results: &RunSet) {
             if r.completed { "yes" } else { "NO" },
             r.sync.local_messages + r.sync.global_messages,
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncron_harness::ConfigSpec;
+
+    fn run_scenario(label: &str, max_events: u64) -> (Scenario, syncron_system::RunReport) {
+        let mut config = ConfigSpec::default().with_geometry(2, 4);
+        config.max_events = max_events;
+        let scenario = Scenario::new(
+            label,
+            config,
+            WorkloadSpec::Micro {
+                primitive: syncron_workloads::micro::SyncPrimitive::Lock,
+                interval: 100,
+                iterations: 8,
+            },
+        );
+        let report = scenario.run().expect("scenario runs");
+        (scenario, report)
+    }
+
+    #[test]
+    fn incomplete_runs_get_a_loud_warning() {
+        // A tiny event budget aborts the run (completed = false); a generous one
+        // finishes it. The warning block must name exactly the aborted scenario and
+        // its max_events so the user can tell partial numbers from results.
+        let complete = run_scenario("ok", 50_000_000);
+        let truncated = run_scenario("truncated", 50);
+        assert!(complete.1.completed);
+        assert!(!truncated.1.completed, "50 events cannot finish the run");
+
+        let set = RunSet::from_pairs([complete, truncated]).unwrap();
+        let warnings = incomplete_warnings(&set);
+        assert_eq!(warnings.len(), 2, "one header plus one scenario line");
+        assert!(warnings[0].contains("warning: 1 of 2 scenarios"));
+        assert!(warnings[0].contains("completed = false"));
+        assert!(warnings[1].contains("truncated"));
+        assert!(warnings[1].contains("max_events = 50"));
+        assert!(
+            !warnings.iter().any(|l| l.contains("- ok ")),
+            "completed runs are not flagged"
+        );
+    }
+
+    #[test]
+    fn fully_completed_runs_warn_nothing() {
+        let set = RunSet::from_pairs([run_scenario("ok", 50_000_000)]).unwrap();
+        assert!(incomplete_warnings(&set).is_empty());
     }
 }

@@ -1,4 +1,4 @@
-//! Indexing counters for ST overflow tracking.
+//! Indexing counters for ST overflow tracking, and the signal-coalescing counters.
 //!
 //! Section 4.2.3 of the paper: when the ST is full, the SE keeps track of which
 //! synchronization variables are currently serviced via main memory using a small set
@@ -8,6 +8,12 @@
 //! via memory while its counter is non-zero. Different variables may alias onto the
 //! same counter; aliasing never affects correctness, only performance (an aliased
 //! variable may be serviced via memory even though the ST has room).
+//!
+//! This module also hosts [`SignalCounters`], the per-engine bookkeeping of the
+//! condvar signal-coalescing / backoff extension (see [`crate::protocol`]): how many
+//! signals were banked as pending, consumed by a later wait, or NACKed with a backoff
+//! delay. The protocol engine aggregates them into
+//! [`SyncMechanismStats`](crate::mechanism::SyncMechanismStats) for reporting.
 
 use syncron_sim::Addr;
 
@@ -106,6 +112,81 @@ impl IndexingCounters {
     }
 }
 
+/// Per-engine counters of the condvar signal-coalescing / backoff extension.
+///
+/// One `cond_signal` arriving at the serving engine ends in exactly one of three
+/// ways, each tracked by one counter:
+///
+/// * **delivered** — a waiter was queued and is woken;
+/// * **coalesced** — no waiter was queued, the signal is banked in the pending count;
+/// * **nacked** — no waiter was queued and the pending count was at its cap, so the
+///   signaler is NACKed with a backoff delay.
+///
+/// `consumed` counts the pending signals a later `cond_wait` picked up; at quiescence
+/// `consumed <= coalesced` (banked signals may outlive the run).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SignalCounters {
+    delivered: u64,
+    coalesced: u64,
+    consumed: u64,
+    nacked: u64,
+    max_pending: u16,
+}
+
+impl SignalCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        SignalCounters::default()
+    }
+
+    /// Records a signal that woke a queued waiter.
+    pub fn record_delivered(&mut self) {
+        self.delivered += 1;
+    }
+
+    /// Records a signal banked into the pending count, which now stands at
+    /// `pending_now`.
+    pub fn record_coalesced(&mut self, pending_now: u16) {
+        self.coalesced += 1;
+        self.max_pending = self.max_pending.max(pending_now);
+    }
+
+    /// Records a pending signal consumed by a later `cond_wait`.
+    pub fn record_consumed(&mut self) {
+        self.consumed += 1;
+    }
+
+    /// Records a signal NACKed with a backoff delay.
+    pub fn record_nacked(&mut self) {
+        self.nacked += 1;
+    }
+
+    /// Signals that woke a queued waiter.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Signals banked into the pending count.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Pending signals consumed by a later `cond_wait`.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Signals NACKed with a backoff delay.
+    pub fn nacked(&self) -> u64 {
+        self.nacked
+    }
+
+    /// High-water mark of the pending-signal count.
+    pub fn max_pending(&self) -> u16 {
+        self.max_pending
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +231,26 @@ mod tests {
         ctrs.increment(a);
         assert!(ctrs.is_overflowed(b), "aliased variable shares the counter");
         assert_eq!(ctrs.active(), 1);
+    }
+
+    #[test]
+    fn signal_counters_track_each_outcome() {
+        let mut s = SignalCounters::new();
+        s.record_delivered();
+        s.record_coalesced(1);
+        s.record_coalesced(2);
+        s.record_consumed();
+        s.record_nacked();
+        s.record_nacked();
+        assert_eq!(s.delivered(), 1);
+        assert_eq!(s.coalesced(), 2);
+        assert_eq!(s.consumed(), 1);
+        assert_eq!(s.nacked(), 2);
+        assert_eq!(s.max_pending(), 2);
+        // The high-water mark never decreases.
+        s.record_coalesced(1);
+        assert_eq!(s.max_pending(), 2);
+        assert!(s.consumed() <= s.coalesced());
     }
 
     #[test]

@@ -5,6 +5,14 @@
 //! still admits only one holder and a barrier still waits for every participant — but
 //! requests travel instantaneously, consume no energy and generate no traffic. The gap
 //! between a real scheme and Ideal is exactly the synchronization overhead.
+//!
+//! Ideal mirrors the signal-coalescing semantics of [`crate::protocol`] whenever the
+//! protocol schemes use them, so a sweep always compares identical primitive
+//! semantics: with coalescing on (the default), a `cond_signal` that finds no queued
+//! waiter is banked as a pending signal and consumed by a later `cond_wait` exactly
+//! once — uncapped, since the zero-overhead upper bound never wastes a signal, and
+//! without backoff NACKs, since wasted signals cost nothing here. With coalescing
+//! off, Ideal drops no-waiter signals just like the real schemes do.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -35,22 +43,45 @@ struct SemState {
 #[derive(Debug, Default)]
 struct CondState {
     waiters: VecDeque<(GlobalCoreId, Addr)>,
+    /// Banked signals, uncapped: the zero-overhead bound never wastes a signal.
+    pending: u64,
 }
 
 /// Zero-overhead synchronization mechanism.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct IdealMechanism {
     locks: HashMap<Addr, LockState>,
     barriers: HashMap<Addr, BarrierState>,
     semaphores: HashMap<Addr, SemState>,
     condvars: HashMap<Addr, CondState>,
+    signal_coalescing: bool,
     stats: SyncMechanismStats,
 }
 
+impl Default for IdealMechanism {
+    fn default() -> Self {
+        IdealMechanism::new()
+    }
+}
+
 impl IdealMechanism {
-    /// Creates an idle mechanism.
+    /// Creates an idle mechanism with signal coalescing on (the protocol default).
     pub fn new() -> Self {
-        IdealMechanism::default()
+        IdealMechanism {
+            locks: HashMap::new(),
+            barriers: HashMap::new(),
+            semaphores: HashMap::new(),
+            condvars: HashMap::new(),
+            signal_coalescing: true,
+            stats: SyncMechanismStats::default(),
+        }
+    }
+
+    /// Enables or disables signal coalescing, matching the semantics the protocol
+    /// schemes are configured with so sweeps stay apples-to-apples.
+    pub fn with_signal_coalescing(mut self, enabled: bool) -> Self {
+        self.signal_coalescing = enabled;
+        self
     }
 
     fn grant_lock(&mut self, ctx: &mut dyn SyncContext, var: Addr, core: GlobalCoreId) {
@@ -135,19 +166,31 @@ impl SyncMechanism for IdealMechanism {
                 }
             }
             SyncRequest::CondWait { var, lock } => {
-                self.condvars
-                    .entry(var)
-                    .or_default()
-                    .waiters
-                    .push_back((core, lock));
-                self.release_lock(ctx, lock);
+                let cond = self.condvars.entry(var).or_default();
+                if self.signal_coalescing && cond.pending > 0 {
+                    // Consume one banked signal: the wait returns immediately, the
+                    // core keeps holding the associated lock.
+                    cond.pending -= 1;
+                    self.stats.consumed_signals += 1;
+                    self.stats.completions += 1;
+                    ctx.complete(core, ctx.now());
+                } else {
+                    cond.waiters.push_back((core, lock));
+                    self.release_lock(ctx, lock);
+                }
             }
             SyncRequest::CondSignal { var } => {
-                let waiter = self.condvars.entry(var).or_default().waiters.pop_front();
-                if let Some((w, lock)) = waiter {
+                let cond = self.condvars.entry(var).or_default();
+                if let Some((w, lock)) = cond.waiters.pop_front() {
                     // The woken core re-acquires the associated lock; its cond_wait
                     // completes when the lock is granted.
+                    self.stats.delivered_signals += 1;
                     self.acquire_lock(ctx, lock, w);
+                } else if self.signal_coalescing {
+                    cond.pending = cond.pending.saturating_add(1);
+                    self.stats.coalesced_signals += 1;
+                    self.stats.max_pending_signals =
+                        self.stats.max_pending_signals.max(cond.pending);
                 }
             }
             SyncRequest::CondBroadcast { var } => {
@@ -357,6 +400,63 @@ mod tests {
         // Now core 0's cond_wait completes (it re-acquired the lock).
         assert_eq!(ctx.completed.len(), 3);
         assert_eq!(ctx.completed[2].0, core(0, 0));
+    }
+
+    #[test]
+    fn condvar_banks_pending_signals_each_consumed_once() {
+        let mut m = IdealMechanism::new();
+        let mut ctx = TestCtx::default();
+        let cond = Addr(0x300);
+        let lock = Addr(0x340);
+        // Two signals with no waiter are both banked.
+        m.request(&mut ctx, core(1, 0), SyncRequest::CondSignal { var: cond });
+        m.request(&mut ctx, core(1, 0), SyncRequest::CondSignal { var: cond });
+        // The next two waits each consume one banked signal and return immediately.
+        for c in 0..2 {
+            m.request(&mut ctx, core(0, c), SyncRequest::LockAcquire { var: lock });
+            m.request(
+                &mut ctx,
+                core(0, c),
+                SyncRequest::CondWait { var: cond, lock },
+            );
+            m.request(&mut ctx, core(0, c), SyncRequest::LockRelease { var: lock });
+        }
+        assert_eq!(ctx.completed.len(), 4, "both waits returned immediately");
+        // A third wait blocks: each signal was consumed exactly once.
+        m.request(&mut ctx, core(0, 2), SyncRequest::LockAcquire { var: lock });
+        m.request(
+            &mut ctx,
+            core(0, 2),
+            SyncRequest::CondWait { var: cond, lock },
+        );
+        assert_eq!(ctx.completed.len(), 5, "only the lock acquire completed");
+        let s = m.stats(Time::ZERO);
+        assert_eq!(s.coalesced_signals, 2);
+        assert_eq!(s.consumed_signals, 2);
+    }
+
+    #[test]
+    fn coalescing_off_drops_no_waiter_signals() {
+        // With the knob off, Ideal matches the protocol schemes' restored
+        // fire-and-forget semantics: a signal with no waiter is lost.
+        let mut m = IdealMechanism::new().with_signal_coalescing(false);
+        let mut ctx = TestCtx::default();
+        let cond = Addr(0x300);
+        let lock = Addr(0x340);
+        m.request(&mut ctx, core(1, 0), SyncRequest::CondSignal { var: cond });
+        m.request(&mut ctx, core(0, 0), SyncRequest::LockAcquire { var: lock });
+        m.request(
+            &mut ctx,
+            core(0, 0),
+            SyncRequest::CondWait { var: cond, lock },
+        );
+        assert_eq!(ctx.completed.len(), 1, "the wait must block");
+        let s = m.stats(Time::ZERO);
+        assert_eq!(s.coalesced_signals, 0);
+        // A real signal still wakes the waiter.
+        m.request(&mut ctx, core(1, 0), SyncRequest::CondSignal { var: cond });
+        assert_eq!(ctx.completed.len(), 2);
+        assert_eq!(m.stats(Time::ZERO).delivered_signals, 1);
     }
 
     #[test]

@@ -21,13 +21,13 @@
 //! * [`table`] — the Synchronization Table and its waiting-list bit queues;
 //! * [`counters`] — the indexing counters used during ST overflow;
 //! * [`syncvar`] — the in-memory `syncronVar` structure of Section 4.3.1;
-//! * [`mechanism`] — the [`SyncMechanism`](mechanism::SyncMechanism) /
-//!   [`SyncContext`](mechanism::SyncContext) interface the NDP system drives, and the
-//!   [`MechanismKind`] selector;
+//! * [`mechanism`] — the [`SyncMechanism`] / [`SyncContext`] interface the NDP
+//!   system drives, and the [`MechanismKind`] selector;
 //! * [`ideal`] — the zero-overhead *Ideal* baseline;
 //! * [`protocol`] — the message-passing protocol engine that implements **SynCron**
 //!   (hierarchical or flat, with integrated or MiSAR-style overflow management) as
-//!   well as the *Central* and *Hier* server-core baselines of Section 5;
+//!   well as the *Central* and *Hier* server-core baselines of Section 5, plus the
+//!   condvar signal-coalescing / backoff extension (see the module docs);
 //! * [`hw_cost`] — the area/power model behind Table 8.
 
 #![warn(missing_docs)]

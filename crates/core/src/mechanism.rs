@@ -139,6 +139,17 @@ pub struct SyncMechanismStats {
     pub overflowed_requests: u64,
     /// Acquire-type requests in total (denominator for the overflow fraction).
     pub acquire_requests: u64,
+    /// Condvar signals that woke a queued waiter.
+    pub delivered_signals: u64,
+    /// Condvar signals banked as pending because no waiter was queued
+    /// (signal-coalescing extension).
+    pub coalesced_signals: u64,
+    /// Banked pending signals later consumed by a `cond_wait`.
+    pub consumed_signals: u64,
+    /// Condvar signals NACKed with a backoff delay (pending count at its cap).
+    pub signal_nacks: u64,
+    /// High-water mark of the pending-signal count on any engine / variable.
+    pub max_pending_signals: u64,
     /// Time-weighted average ST occupancy across engines, as a fraction of capacity.
     pub st_avg_occupancy: f64,
     /// Maximum ST occupancy observed on any engine, as a fraction of capacity.
@@ -161,9 +172,20 @@ pub trait SyncMechanism {
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
 
+    /// Whether `req` blocks the issuing core until the mechanism completes it.
+    ///
+    /// Defaults to the ISA-level classification ([`SyncRequest::is_blocking`]).
+    /// Mechanisms with delayed-grant replies override this for requests they will
+    /// explicitly complete even though `req_async` issues them — e.g. the
+    /// signal-coalescing protocol ACK/NACKs every `cond_signal`, so the signaling
+    /// core stalls until the (possibly backoff-delayed) reply arrives.
+    fn blocks_core(&self, req: &SyncRequest) -> bool {
+        req.is_blocking()
+    }
+
     /// An NDP core issues a synchronization request at `ctx.now()`.
     ///
-    /// For blocking requests (see [`SyncRequest::is_blocking`]) the mechanism must
+    /// For blocking requests (see [`SyncMechanism::blocks_core`]) the mechanism must
     /// eventually call [`SyncContext::complete`] for `core`. Non-blocking requests
     /// return immediately on the core side; the mechanism still models their effect.
     fn request(&mut self, ctx: &mut dyn SyncContext, core: GlobalCoreId, req: SyncRequest);
@@ -190,6 +212,14 @@ pub struct MechanismParams {
     /// Optional lock-fairness threshold: maximum consecutive local grants before the
     /// lock is handed to another NDP unit (Section 4.4.2 extension).
     pub fairness_threshold: Option<u32>,
+    /// Whether condvar signals that find no queued waiter are coalesced into a
+    /// pending-signal count and ACK/NACKed, instead of silently dropped (default:
+    /// enabled; prevents signaler loops from flooding the serving engine).
+    pub signal_coalescing: bool,
+    /// Base NACK backoff delay in nanoseconds for repeat signalers; the delay doubles
+    /// per consecutive NACK up to 64x the base. `0` keeps the NACK replies but without
+    /// any delay. Ignored when `signal_coalescing` is off.
+    pub signal_backoff_ns: u64,
 }
 
 impl MechanismParams {
@@ -201,6 +231,8 @@ impl MechanismParams {
             indexing_counters: 256,
             overflow_mode: OverflowMode::Integrated,
             fairness_threshold: None,
+            signal_coalescing: true,
+            signal_backoff_ns: DEFAULT_SIGNAL_BACKOFF_NS,
         }
     }
 
@@ -221,7 +253,23 @@ impl MechanismParams {
         self.fairness_threshold = Some(threshold);
         self
     }
+
+    /// Enables or disables condvar signal coalescing / backoff.
+    pub fn with_signal_coalescing(mut self, enabled: bool) -> Self {
+        self.signal_coalescing = enabled;
+        self
+    }
+
+    /// Sets the base NACK backoff delay in nanoseconds (`0` = NACK without delay).
+    pub fn with_signal_backoff_ns(mut self, ns: u64) -> Self {
+        self.signal_backoff_ns = ns;
+        self
+    }
 }
+
+/// Default base NACK backoff delay in nanoseconds (doubles per consecutive NACK up to
+/// 64x this base).
+pub const DEFAULT_SIGNAL_BACKOFF_NS: u64 = 200;
 
 impl Default for MechanismParams {
     fn default() -> Self {
@@ -236,13 +284,17 @@ pub fn build_mechanism(
     cores_per_unit: usize,
 ) -> Box<dyn SyncMechanism> {
     match params.kind {
-        MechanismKind::Ideal => Box::new(crate::ideal::IdealMechanism::new()),
+        MechanismKind::Ideal => Box::new(
+            crate::ideal::IdealMechanism::new().with_signal_coalescing(params.signal_coalescing),
+        ),
         kind => {
             let config = ProtocolConfig::for_kind(kind, units, cores_per_unit)
                 .with_st_entries(params.st_entries)
                 .with_indexing_counters(params.indexing_counters)
                 .with_overflow_mode(params.overflow_mode)
-                .with_fairness_threshold(params.fairness_threshold);
+                .with_fairness_threshold(params.fairness_threshold)
+                .with_signal_coalescing(params.signal_coalescing)
+                .with_signal_backoff_ns(params.signal_backoff_ns);
             Box::new(ProtocolMechanism::new(config))
         }
     }
@@ -280,6 +332,17 @@ mod tests {
         assert_eq!(MechanismParams::default().kind, MechanismKind::SynCron);
         assert_eq!(MechanismParams::default().st_entries, 64);
         assert_eq!(MechanismParams::default().indexing_counters, 256);
+        // Signal coalescing is on by default with the documented backoff base.
+        assert!(MechanismParams::default().signal_coalescing);
+        assert_eq!(
+            MechanismParams::default().signal_backoff_ns,
+            DEFAULT_SIGNAL_BACKOFF_NS
+        );
+        let p = MechanismParams::default()
+            .with_signal_coalescing(false)
+            .with_signal_backoff_ns(50);
+        assert!(!p.signal_coalescing);
+        assert_eq!(p.signal_backoff_ns, 50);
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! additionally carry the sender SE's global ID, and the ST entry that processes them
 //! is 149 bits wide (Figure 6). Table 3 lists the full opcode set, including the
 //! overflow opcodes used by the hardware-only overflow management scheme.
+//!
+//! Beyond Table 3, this reproduction adds three `cond_signal_nack` reply opcodes for
+//! the signal-coalescing extension (see [`crate::protocol`]): when a `cond_signal`
+//! reaches the serving engine, finds no queued waiter and cannot be banked as a
+//! pending signal, the engine replies with a NACK whose `MessageInfo` field carries a
+//! backoff delay hint; the signaling core stalls for that delay before re-issuing.
+//! The extended set still fits the 6-bit opcode field.
 
 use crate::request::PrimitiveKind;
 use syncron_sim::{Addr, GlobalCoreId, UnitId};
@@ -71,11 +78,17 @@ pub enum SyncOpcode {
     CondGrantOverflow,
     // Other
     DecreaseIndexingCounter,
+    // Extension beyond Table 3: NACK-with-delay replies to a signaler whose
+    // cond_signal could not be delivered or banked (signal coalescing / backoff).
+    CondSignalNackLocal,
+    CondSignalNackGlobal,
+    CondSignalNackOverflow,
 }
 
 impl SyncOpcode {
-    /// Every opcode, in the order of Table 3.
-    pub const ALL: [SyncOpcode; 38] = [
+    /// Every opcode: the 38 of Table 3 in the paper's order, followed by the
+    /// 3 signal-coalescing extension opcodes.
+    pub const ALL: [SyncOpcode; 41] = [
         SyncOpcode::LockAcquireGlobal,
         SyncOpcode::LockAcquireLocal,
         SyncOpcode::LockReleaseGlobal,
@@ -114,10 +127,13 @@ impl SyncOpcode {
         SyncOpcode::CondBroadOverflow,
         SyncOpcode::CondGrantOverflow,
         SyncOpcode::DecreaseIndexingCounter,
+        SyncOpcode::CondSignalNackLocal,
+        SyncOpcode::CondSignalNackGlobal,
+        SyncOpcode::CondSignalNackOverflow,
     ];
 
     /// The number of bits needed to encode an opcode. The paper uses a 6-bit field,
-    /// which covers all 38 opcodes.
+    /// which covers all 38 paper opcodes plus the 3 extension opcodes.
     pub const OPCODE_BITS: u32 = 6;
 
     /// A dense numeric encoding of the opcode (fits in [`Self::OPCODE_BITS`]).
@@ -148,11 +164,21 @@ impl SyncOpcode {
             | SemPostLocal | SemWaitOverflow | SemGrantOverflow | SemPostOverflow => {
                 PrimitiveKind::Semaphore
             }
-            CondWaitGlobal | CondWaitLocal | CondSignalGlobal | CondSignalLocal
-            | CondBroadGlobal | CondBroadLocal | CondGrantGlobal | CondGrantLocal
-            | CondWaitOverflow | CondSignalOverflow | CondBroadOverflow | CondGrantOverflow => {
-                PrimitiveKind::CondVar
-            }
+            CondWaitGlobal
+            | CondWaitLocal
+            | CondSignalGlobal
+            | CondSignalLocal
+            | CondBroadGlobal
+            | CondBroadLocal
+            | CondGrantGlobal
+            | CondGrantLocal
+            | CondWaitOverflow
+            | CondSignalOverflow
+            | CondBroadOverflow
+            | CondGrantOverflow
+            | CondSignalNackLocal
+            | CondSignalNackGlobal
+            | CondSignalNackOverflow => PrimitiveKind::CondVar,
             DecreaseIndexingCounter => return None,
         })
     }
@@ -174,6 +200,7 @@ impl SyncOpcode {
                 | CondSignalGlobal
                 | CondBroadGlobal
                 | CondGrantGlobal
+                | CondSignalNackGlobal
         )
     }
 
@@ -194,6 +221,7 @@ impl SyncOpcode {
                 | CondSignalOverflow
                 | CondBroadOverflow
                 | CondGrantOverflow
+                | CondSignalNackOverflow
                 | DecreaseIndexingCounter
         )
     }
@@ -258,9 +286,12 @@ mod tests {
     use syncron_sim::CoreId;
 
     #[test]
-    fn opcode_count_matches_table3() {
-        // Table 3 lists 9 lock + 7 barrier + 9 semaphore + 12 condvar + 1 other opcodes.
-        assert_eq!(SyncOpcode::ALL.len(), 38);
+    fn opcode_count_matches_table3_plus_extension() {
+        // Table 3 lists 9 lock + 7 barrier + 9 semaphore + 12 condvar + 1 other opcodes
+        // (38); the signal-coalescing extension adds 3 cond_signal_nack replies.
+        assert_eq!(SyncOpcode::ALL.len(), 38 + 3);
+        // The paper's opcodes keep their Table 3 positions (stable encoding prefix).
+        assert_eq!(SyncOpcode::ALL[37], SyncOpcode::DecreaseIndexingCounter);
     }
 
     #[test]
@@ -296,7 +327,8 @@ mod tests {
             .iter()
             .filter(|o| o.primitive() == Some(PrimitiveKind::CondVar))
             .count();
-        assert_eq!((locks, barriers, sems, conds), (9, 7, 9, 12));
+        // 12 paper condvar opcodes + the 3 NACK extension opcodes.
+        assert_eq!((locks, barriers, sems, conds), (9, 7, 9, 15));
     }
 
     #[test]

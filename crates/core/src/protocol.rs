@@ -21,14 +21,40 @@
 //! (hierarchical / flat), backend (SE with ST / server core with memory) and overflow
 //! mode (integrated / MiSAR-style) — which is exactly the design space the paper's
 //! ablations explore (Sections 6.7.1 and 6.7.3).
+//!
+//! # Signal coalescing and backoff (extension)
+//!
+//! A `cond_signal` is fire-and-forget (`req_async`), so a signaler loop that races
+//! ahead of the waiters — exactly the Figure 10 condvar microbenchmark — floods the
+//! serving engine with signals that find no queued waiter. Under the Central scheme
+//! every one of those wasted signals crosses the chip to the single server, and the
+//! event count explodes. With [`ProtocolConfig::signal_coalescing`] enabled (the
+//! default) the serving engine instead:
+//!
+//! * **banks** a signal that finds no waiter into a per-variable pending-signal count
+//!   (capped by [`ProtocolConfig::pending_signal_cap`]) and ACKs the signaler; a later
+//!   `cond_wait` consumes a banked signal exactly once and returns immediately;
+//! * **NACKs** a signal that finds the pending count at its cap, replying with a
+//!   backoff delay hint (`cond_signal_nack` opcodes); the delay doubles per
+//!   consecutive NACK from the same core, from
+//!   [`ProtocolConfig::signal_backoff_base`] up to
+//!   [`ProtocolConfig::signal_backoff_max`], and resets as soon as one of the core's
+//!   signals is accepted.
+//!
+//! Under this policy the signaling core stalls until the ACK/NACK reply arrives
+//! ([`SyncMechanism::blocks_core`]), so each signaler has at most one signal in
+//! flight and the serving engine's queue stays bounded.
 
 use std::collections::{HashMap, VecDeque};
 
-use crate::counters::IndexingCounters;
-use crate::mechanism::{MechanismKind, SyncContext, SyncMechanism, SyncMechanismStats};
+use crate::counters::{IndexingCounters, SignalCounters};
+use crate::mechanism::{
+    MechanismKind, SyncContext, SyncMechanism, SyncMechanismStats, DEFAULT_SIGNAL_BACKOFF_NS,
+};
 use crate::message::{MessageScope, SyncMessage};
 use crate::request::{BarrierScope, PrimitiveKind, SyncRequest};
-use crate::table::SynchronizationTable;
+use crate::syncvar::SyncronVar;
+use crate::table::{SynchronizationTable, TableInfo};
 use syncron_sim::queueing::Serializer;
 use syncron_sim::time::{Freq, Time};
 use syncron_sim::{Addr, GlobalCoreId, UnitId};
@@ -110,6 +136,18 @@ pub struct ProtocolConfig {
     pub se_service: Time,
     /// Instruction overhead of a server core handling one message (Central / Hier).
     pub server_service: Time,
+    /// Coalesce condvar signals that find no queued waiter into a per-variable
+    /// pending-signal count (ACKing the signaler), and NACK-with-delay repeat
+    /// signalers once the count reaches [`ProtocolConfig::pending_signal_cap`].
+    /// Extension beyond the paper; see the module docs.
+    pub signal_coalescing: bool,
+    /// Base NACK backoff delay; doubles per consecutive NACK from the same core.
+    /// [`Time::ZERO`] keeps the NACK replies but adds no delay.
+    pub signal_backoff_base: Time,
+    /// Upper bound on the NACK backoff delay.
+    pub signal_backoff_max: Time,
+    /// Maximum signals banked per condition variable (at least 1).
+    pub pending_signal_cap: u16,
 }
 
 impl ProtocolConfig {
@@ -143,6 +181,10 @@ impl ProtocolConfig {
             // A server core spends ~30 instructions of control code per message at
             // 2.5 GHz, before its memory accesses to the synchronization variable.
             server_service: Freq::ghz(2.5).cycles_to_ps(30),
+            signal_coalescing: true,
+            signal_backoff_base: Time::from_ns(DEFAULT_SIGNAL_BACKOFF_NS),
+            signal_backoff_max: Time::from_ns(DEFAULT_SIGNAL_BACKOFF_NS * 64),
+            pending_signal_cap: 1,
         }
     }
 
@@ -168,6 +210,36 @@ impl ProtocolConfig {
     pub fn with_fairness_threshold(mut self, threshold: Option<u32>) -> Self {
         self.fairness_threshold = threshold;
         self
+    }
+
+    /// Enables or disables condvar signal coalescing / backoff.
+    pub fn with_signal_coalescing(mut self, enabled: bool) -> Self {
+        self.signal_coalescing = enabled;
+        self
+    }
+
+    /// Sets the NACK backoff from a base delay in nanoseconds; the maximum is fixed
+    /// at 64x the base (six doublings). `0` keeps NACK replies but without delay.
+    pub fn with_signal_backoff_ns(mut self, ns: u64) -> Self {
+        self.signal_backoff_base = Time::from_ns(ns);
+        self.signal_backoff_max = Time::from_ns(ns.saturating_mul(64));
+        self
+    }
+
+    /// Sets the maximum number of signals banked per condition variable.
+    pub fn with_pending_signal_cap(mut self, cap: u16) -> Self {
+        self.pending_signal_cap = cap.max(1);
+        self
+    }
+
+    /// The NACK backoff delay after `streak` consecutive NACKs to the same core.
+    fn backoff_delay(&self, streak: u32) -> Time {
+        if self.signal_backoff_base == Time::ZERO {
+            return Time::ZERO;
+        }
+        self.signal_backoff_base
+            .saturating_mul(1u64 << streak.min(16))
+            .min(self.signal_backoff_max)
     }
 }
 
@@ -219,6 +291,8 @@ struct MasterSem {
 #[derive(Debug, Default)]
 struct MasterCond {
     waiters: VecDeque<(GlobalCoreId, Addr)>,
+    /// Signals banked while no waiter was queued (signal-coalescing extension).
+    pending: u16,
 }
 
 /// Per-unit engine state (one SE or one server core).
@@ -234,10 +308,15 @@ struct Engine {
     master_sems: HashMap<Addr, MasterSem>,
     master_conds: HashMap<Addr, MasterCond>,
     misar_abort_sent: HashMap<Addr, bool>,
+    /// In-memory `syncronVar` images for variables this engine serves without an ST
+    /// entry (server-core backends, and SynCron's overflow path).
+    syncron_vars: HashMap<Addr, SyncronVar>,
+    signals: SignalCounters,
+    units: usize,
 }
 
 impl Engine {
-    fn new(st_entries: usize, counters: usize) -> Self {
+    fn new(st_entries: usize, counters: usize, units: usize) -> Self {
         Engine {
             busy: Serializer::new(),
             st: SynchronizationTable::new(st_entries),
@@ -249,6 +328,9 @@ impl Engine {
             master_sems: HashMap::new(),
             master_conds: HashMap::new(),
             misar_abort_sent: HashMap::new(),
+            syncron_vars: HashMap::new(),
+            signals: SignalCounters::new(),
+            units,
         }
     }
 }
@@ -330,6 +412,9 @@ enum Outcome {
         core: GlobalCoreId,
         req: SyncRequest,
     },
+    /// NACK a signaler whose signal could neither be delivered nor banked: the reply
+    /// completes the core only after the backoff delay.
+    Nack { core: GlobalCoreId, delay: Time },
     /// Charge a MiSAR abort broadcast to every core of the processing engine's unit.
     MisarAbortBroadcast,
     /// Charge the MiSAR "switch back to hardware" notification message.
@@ -355,13 +440,16 @@ pub struct ProtocolMechanism {
     /// that acquire/release pairs stay consistent (the cores were "aborted" to the
     /// alternative solution, Section 6.7.3).
     misar_fallback: std::collections::HashSet<Addr>,
+    /// Consecutive-NACK streak per signaling core; indexes the exponential backoff
+    /// and is cleared whenever one of the core's signals is accepted.
+    signal_streaks: HashMap<GlobalCoreId, u32>,
 }
 
 impl ProtocolMechanism {
     /// Creates a mechanism from a configuration.
     pub fn new(config: ProtocolConfig) -> Self {
         let engines = (0..config.units)
-            .map(|_| Engine::new(config.st_entries, config.indexing_counters))
+            .map(|_| Engine::new(config.st_entries, config.indexing_counters, config.units))
             .collect();
         ProtocolMechanism {
             config,
@@ -370,6 +458,7 @@ impl ProtocolMechanism {
             next_token: 0,
             stats: SyncMechanismStats::default(),
             misar_fallback: std::collections::HashSet::new(),
+            signal_streaks: HashMap::new(),
         }
     }
 
@@ -562,6 +651,9 @@ impl ProtocolMechanism {
         let total_cores = (self.config.units * cores_per_unit) as u32;
         let master = self.master_of(ctx, req.var());
         let fairness = self.config.fairness_threshold;
+        let coalescing = self.config.signal_coalescing;
+        let pending_cap = self.config.pending_signal_cap;
+        let config = self.config;
         let engine = &mut self.engines[unit.index()];
         let mut out = Vec::new();
 
@@ -732,18 +824,27 @@ impl ProtocolMechanism {
             }
             SyncRequest::CondWait { var, lock } => {
                 if unit == master || direct {
-                    engine
-                        .master_conds
-                        .entry(var)
-                        .or_default()
-                        .waiters
-                        .push_back((core, lock));
-                    // cond_wait atomically releases the associated lock on behalf of the
-                    // waiting core.
-                    out.push(Outcome::Inject {
-                        core,
-                        req: SyncRequest::LockRelease { var: lock },
-                    });
+                    let mc = engine.master_conds.entry(var).or_default();
+                    if coalescing && mc.pending > 0 {
+                        // A banked signal wakes this waiter immediately: the atomic
+                        // release-and-wait followed by the instant wake-and-reacquire
+                        // collapses to the core simply keeping the associated lock.
+                        mc.pending -= 1;
+                        let pending = mc.pending;
+                        engine.signals.record_consumed();
+                        mirror_cond_state(engine, var, Some(lock), pending);
+                        out.push(Outcome::Complete { core });
+                    } else {
+                        mc.waiters.push_back((core, lock));
+                        let pending = mc.pending;
+                        mirror_cond_state(engine, var, Some(lock), pending);
+                        // cond_wait atomically releases the associated lock on behalf
+                        // of the waiting core.
+                        out.push(Outcome::Inject {
+                            core,
+                            req: SyncRequest::LockRelease { var: lock },
+                        });
+                    }
                 } else {
                     out.push(Outcome::Send {
                         to: master,
@@ -759,19 +860,38 @@ impl ProtocolMechanism {
             }
             SyncRequest::CondSignal { var } => {
                 if unit == master || direct {
-                    let waiter = engine
-                        .master_conds
-                        .entry(var)
-                        .or_default()
-                        .waiters
-                        .pop_front();
-                    if let Some((woken, lock)) = waiter {
+                    let mc = engine.master_conds.entry(var).or_default();
+                    if let Some((woken, lock)) = mc.waiters.pop_front() {
                         // The woken core re-acquires the lock; its cond_wait completes
                         // when the lock is granted to it.
+                        engine.signals.record_delivered();
                         out.push(Outcome::Inject {
                             core: woken,
                             req: SyncRequest::LockAcquire { var: lock },
                         });
+                        if coalescing {
+                            self.signal_streaks.remove(&core);
+                            out.push(Outcome::Complete { core });
+                        }
+                    } else if coalescing {
+                        if mc.pending < pending_cap {
+                            // Bank the signal for the next cond_wait and ACK the
+                            // signaler.
+                            mc.pending += 1;
+                            let pending = mc.pending;
+                            engine.signals.record_coalesced(pending);
+                            mirror_cond_state(engine, var, None, pending);
+                            self.signal_streaks.remove(&core);
+                            out.push(Outcome::Complete { core });
+                        } else {
+                            // Pending count at its cap: NACK the signaler with an
+                            // exponentially growing backoff delay.
+                            engine.signals.record_nacked();
+                            let streak = self.signal_streaks.entry(core).or_insert(0);
+                            let delay = config.backoff_delay(*streak);
+                            *streak = streak.saturating_add(1);
+                            out.push(Outcome::Nack { core, delay });
+                        }
                     }
                 } else {
                     out.push(Outcome::Send {
@@ -871,6 +991,11 @@ impl ProtocolMechanism {
         for outcome in outcomes {
             match outcome {
                 Outcome::Complete { core } => self.complete_core(ctx, at, unit, core),
+                Outcome::Nack { core, delay } => {
+                    // The NACK reply travels now; the core stalls for the delay hint
+                    // it carries before resuming.
+                    self.complete_core(ctx, at + delay, unit, core)
+                }
                 Outcome::Send { to, msg, overflow } => {
                     self.send_engine_msg(ctx, at, unit, to, msg, overflow)
                 }
@@ -971,6 +1096,35 @@ impl ProtocolMechanism {
     }
 }
 
+/// Mirrors the condition-variable state (associated lock, coalesced pending-signal
+/// count) into wherever the engine keeps the variable: the ST entry buffering `var`
+/// when one exists (Master SE with the SynCron backend), otherwise the in-memory
+/// `syncronVar` image — which is where server-core backends and SynCron's overflow
+/// path hold their state, using the packed `VarInfo` layout of
+/// [`SyncronVar::set_cond_info`].
+fn mirror_cond_state(engine: &mut Engine, var: Addr, lock: Option<Addr>, pending: u16) {
+    if let Some(entry) = engine.st.lookup_mut(var) {
+        if let TableInfo::CondLock {
+            lock: entry_lock,
+            pending_signals,
+        } = &mut entry.info
+        {
+            if let Some(lock) = lock {
+                *entry_lock = lock;
+            }
+            *pending_signals = pending;
+        }
+        return;
+    }
+    let units = engine.units;
+    let image = engine
+        .syncron_vars
+        .entry(var)
+        .or_insert_with(|| SyncronVar::new(var, units));
+    let lock = lock.unwrap_or_else(|| image.cond_lock());
+    image.set_cond_info(lock, pending);
+}
+
 fn grant_local_lock(engine: &mut Engine, var: Addr, out: &mut Vec<Outcome>) {
     let ll = engine.local_locks.get_mut(&var).expect("local lock state");
     if let Some(next) = ll.waiters.pop_front() {
@@ -1043,6 +1197,13 @@ fn finish_master_barrier(engine: &mut Engine, var: Addr, out: &mut Vec<Outcome>)
 impl SyncMechanism for ProtocolMechanism {
     fn name(&self) -> &'static str {
         self.config.kind.name()
+    }
+
+    fn blocks_core(&self, req: &SyncRequest) -> bool {
+        // With signal coalescing every cond_signal is ACK/NACKed, so the signaling
+        // core stalls until the (possibly backoff-delayed) reply arrives.
+        req.is_blocking()
+            || (self.config.signal_coalescing && matches!(req, SyncRequest::CondSignal { .. }))
     }
 
     fn request(&mut self, ctx: &mut dyn SyncContext, core: GlobalCoreId, req: SyncRequest) {
@@ -1186,6 +1347,15 @@ impl SyncMechanism for ProtocolMechanism {
 
     fn stats(&self, end: Time) -> SyncMechanismStats {
         let mut stats = self.stats;
+        for e in &self.engines {
+            stats.delivered_signals += e.signals.delivered();
+            stats.coalesced_signals += e.signals.coalesced();
+            stats.consumed_signals += e.signals.consumed();
+            stats.signal_nacks += e.signals.nacked();
+            stats.max_pending_signals = stats
+                .max_pending_signals
+                .max(u64::from(e.signals.max_pending()));
+        }
         if self.config.backend == EngineBackend::SyncronSe && !self.engines.is_empty() {
             let mut max = 0.0f64;
             let mut avg_sum = 0.0f64;
@@ -1485,24 +1655,233 @@ mod tests {
         let mut h = Harness::new(MechanismKind::SynCron);
         let cond = Addr(1 << 22);
         let lock = Addr((1 << 22) + 64);
+        let signaler = core(1, 0);
         for c in 0..3u8 {
             h.request(core(0, c), SyncRequest::LockAcquire { var: lock });
             h.request(core(0, c), SyncRequest::CondWait { var: cond, lock });
         }
         // Three lock acquisitions completed; the cond_waits have not.
         assert_eq!(h.completed().len(), 3);
-        h.request(core(1, 0), SyncRequest::CondSignal { var: cond });
-        assert_eq!(
-            h.completed().len(),
-            4,
-            "one waiter woken and re-acquired the lock"
-        );
-        let woken = h.completed()[3].0;
+        h.request(signaler, SyncRequest::CondSignal { var: cond });
+        // One waiter woken and re-acquired the lock, plus the signaler's ACK
+        // (signal coalescing is on by default).
+        assert_eq!(h.completed().len(), 5);
+        let woken = h.completed()[3..]
+            .iter()
+            .map(|(c, _)| *c)
+            .find(|c| *c != signaler)
+            .expect("a waiter was woken");
         h.request(woken, SyncRequest::LockRelease { var: lock });
-        h.request(core(1, 0), SyncRequest::CondBroadcast { var: cond });
+        h.request(signaler, SyncRequest::CondBroadcast { var: cond });
         // Remaining two waiters wake; they serialize on the lock.
         let done: Vec<_> = h.completed().iter().map(|(c, _)| *c).collect();
-        assert!(done.len() >= 5, "{done:?}");
+        assert!(done.len() >= 6, "{done:?}");
+    }
+
+    #[test]
+    fn coalesced_signal_is_consumed_by_a_later_wait_exactly_once() {
+        for kind in [
+            MechanismKind::Central,
+            MechanismKind::Hier,
+            MechanismKind::SynCron,
+            MechanismKind::SynCronFlat,
+        ] {
+            let mut h = Harness::new(kind);
+            let cond = Addr(1 << 22);
+            let lock = Addr((1 << 22) + 64);
+            let signaler = core(2, 0);
+
+            // A signal with no queued waiter is banked (pending = 1), and the
+            // signaler is ACKed instead of left to re-signal forever.
+            h.request(signaler, SyncRequest::CondSignal { var: cond });
+            assert_eq!(h.completed().len(), 1, "{kind:?}: signaler ACK");
+            assert_eq!(h.completed()[0].0, signaler);
+
+            // With the default pending cap of 1, a second wasted signal is NACKed
+            // (it still completes the signaler, after the backoff delay).
+            h.request(signaler, SyncRequest::CondSignal { var: cond });
+            assert_eq!(h.completed().len(), 2, "{kind:?}: signaler NACK");
+            let stats = h.mech.stats(h.ctx.now);
+            assert_eq!(stats.coalesced_signals, 1, "{kind:?}");
+            assert_eq!(stats.signal_nacks, 1, "{kind:?}");
+            assert_eq!(stats.consumed_signals, 0, "{kind:?}");
+
+            // The first cond_wait consumes the banked signal exactly once: it
+            // completes immediately, keeping the associated lock.
+            h.request(core(0, 0), SyncRequest::LockAcquire { var: lock });
+            h.request(core(0, 0), SyncRequest::CondWait { var: cond, lock });
+            assert_eq!(h.completed().len(), 4, "{kind:?}: wait consumed the signal");
+            assert_eq!(h.mech.stats(h.ctx.now).consumed_signals, 1, "{kind:?}");
+            h.request(core(0, 0), SyncRequest::LockRelease { var: lock });
+
+            // The second cond_wait finds nothing banked and blocks.
+            h.request(core(0, 1), SyncRequest::LockAcquire { var: lock });
+            let before = h.completed().len();
+            h.request(core(0, 1), SyncRequest::CondWait { var: cond, lock });
+            assert_eq!(
+                h.completed().len(),
+                before,
+                "{kind:?}: second wait must block (signal consumed exactly once)"
+            );
+
+            // A fresh signal is delivered to the queued waiter, not banked.
+            h.request(signaler, SyncRequest::CondSignal { var: cond });
+            let done: Vec<_> = h.completed().iter().map(|(c, _)| *c).collect();
+            assert!(
+                done.contains(&core(0, 1)),
+                "{kind:?}: waiter woken {done:?}"
+            );
+            let stats = h.mech.stats(h.ctx.now);
+            assert_eq!(
+                stats.coalesced_signals, 1,
+                "{kind:?}: delivery is not banked"
+            );
+            assert_eq!(stats.consumed_signals, 1, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn nack_backoff_grows_exponentially_and_resets_on_acceptance() {
+        let mut h = Harness::new(MechanismKind::Central);
+        let cond = Addr(1 << 22);
+        let lock = Addr((1 << 22) + 64);
+        let signaler = core(0, 0);
+
+        // First signal banks (pending cap = 1); the rest are NACKed with doubling
+        // delays.
+        h.request(signaler, SyncRequest::CondSignal { var: cond });
+        let mut deltas = Vec::new();
+        for _ in 0..4 {
+            let before = h.ctx.now;
+            h.request(signaler, SyncRequest::CondSignal { var: cond });
+            let at = h.completed().last().unwrap().1;
+            deltas.push(at.saturating_sub(before));
+        }
+        for pair in deltas.windows(2) {
+            assert!(
+                pair[1] > pair[0],
+                "backoff must grow: {:?} then {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+
+        // Consume the banked signal, then bank a fresh one: the acceptance resets
+        // the signaler's streak, so the next NACK is fast again.
+        h.request(core(0, 1), SyncRequest::LockAcquire { var: lock });
+        h.request(core(0, 1), SyncRequest::CondWait { var: cond, lock });
+        h.request(core(0, 1), SyncRequest::LockRelease { var: lock });
+        h.request(signaler, SyncRequest::CondSignal { var: cond }); // banked: ACK, reset
+        let before = h.ctx.now;
+        h.request(signaler, SyncRequest::CondSignal { var: cond }); // NACK, streak 0
+        let after_reset = h.completed().last().unwrap().1.saturating_sub(before);
+        assert!(
+            after_reset < *deltas.last().unwrap(),
+            "reset streak must shrink the delay: {after_reset:?} vs {:?}",
+            deltas.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn pending_signal_cap_bounds_banked_signals() {
+        let params = MechanismParams::new(MechanismKind::SynCron);
+        let mut h = Harness::with_params(params);
+        // Raise the cap directly on the protocol config through a fresh mechanism.
+        let config =
+            ProtocolConfig::for_kind(MechanismKind::SynCron, 4, 16).with_pending_signal_cap(3);
+        h.mech = Box::new(ProtocolMechanism::new(config));
+        let cond = Addr(1 << 22);
+        for _ in 0..5 {
+            h.request(core(1, 0), SyncRequest::CondSignal { var: cond });
+        }
+        let stats = h.mech.stats(h.ctx.now);
+        assert_eq!(stats.coalesced_signals, 3, "cap bounds the banked signals");
+        assert_eq!(stats.signal_nacks, 2);
+    }
+
+    #[test]
+    fn server_backend_mirrors_cond_state_into_memory_image() {
+        // Central keeps synchronization state in memory: the banked pending count and
+        // associated lock must land in the engine's in-memory syncronVar image using
+        // the packed VarInfo layout.
+        let mut mech =
+            ProtocolMechanism::new(ProtocolConfig::for_kind(MechanismKind::Central, 4, 16));
+        let mut ctx = HarnessCtx {
+            now: Time::ZERO,
+            queue: EventQueue::new(),
+            completed: Vec::new(),
+            local_hops: 0,
+            remote_hops: 0,
+            mem_accesses: 0,
+        };
+        let cond = Addr(1 << 22);
+        let lock = Addr((1 << 22) + 64);
+        let drain = |mech: &mut ProtocolMechanism, ctx: &mut HarnessCtx| {
+            while let Some((at, token)) = ctx.queue.pop() {
+                ctx.now = ctx.now.max(at);
+                mech.deliver(ctx, token);
+            }
+        };
+        mech.request(&mut ctx, core(1, 0), SyncRequest::CondSignal { var: cond });
+        drain(&mut mech, &mut ctx);
+        // Central serves everything at unit 0.
+        let image = mech.engines[0]
+            .syncron_vars
+            .get(&cond)
+            .expect("in-memory syncronVar image");
+        assert_eq!(image.cond_pending_signals(), 1);
+        mech.request(&mut ctx, core(0, 0), SyncRequest::LockAcquire { var: lock });
+        drain(&mut mech, &mut ctx);
+        mech.request(
+            &mut ctx,
+            core(0, 0),
+            SyncRequest::CondWait { var: cond, lock },
+        );
+        drain(&mut mech, &mut ctx);
+        let image = mech.engines[0].syncron_vars.get(&cond).unwrap();
+        assert_eq!(image.cond_pending_signals(), 0, "consumed exactly once");
+        assert_eq!(image.cond_lock(), lock, "wait recorded the associated lock");
+        // The SynCron backend buffers the variable in its ST instead: no image.
+        let mut se =
+            ProtocolMechanism::new(ProtocolConfig::for_kind(MechanismKind::SynCron, 4, 16));
+        se.request(&mut ctx, core(1, 0), SyncRequest::CondSignal { var: cond });
+        drain(&mut se, &mut ctx);
+        let master = 1; // cond is homed at unit 1 under the harness home_unit
+        assert!(se.engines[master].syncron_vars.is_empty());
+        assert!(matches!(
+            se.engines[master].st.lookup(cond).unwrap().info,
+            TableInfo::CondLock {
+                pending_signals: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn coalescing_off_preserves_fire_and_forget_signals() {
+        let params = MechanismParams::new(MechanismKind::SynCron).with_signal_coalescing(false);
+        let mut h = Harness::with_params(params);
+        let cond = Addr(1 << 22);
+        let req = SyncRequest::CondSignal { var: cond };
+        assert!(
+            !h.mech.blocks_core(&req),
+            "without coalescing a signal stays req_async"
+        );
+        h.request(core(0, 0), req);
+        assert!(h.completed().is_empty(), "no ACK, the signal is dropped");
+        let stats = h.mech.stats(h.ctx.now);
+        assert_eq!(stats.coalesced_signals, 0);
+        assert_eq!(stats.signal_nacks, 0);
+    }
+
+    #[test]
+    fn coalescing_makes_signals_blocking_by_default() {
+        let h = Harness::new(MechanismKind::Central);
+        let var = lock_var();
+        assert!(h.mech.blocks_core(&SyncRequest::CondSignal { var }));
+        assert!(!h.mech.blocks_core(&SyncRequest::CondBroadcast { var }));
+        assert!(!h.mech.blocks_core(&SyncRequest::LockRelease { var }));
+        assert!(h.mech.blocks_core(&SyncRequest::LockAcquire { var }));
     }
 
     #[test]

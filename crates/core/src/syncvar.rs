@@ -93,6 +93,61 @@ impl SyncronVar {
             .map(|u| UnitId(u as u8))
             .collect()
     }
+
+    // ------------------------------------------------------------------
+    // Condition-variable VarInfo layout (signal-coalescing extension)
+    // ------------------------------------------------------------------
+    //
+    // For condition variables, the paper stores the associated lock's address in
+    // `VarInfo`. Synchronization variables are cache-line aligned and user-space
+    // addresses fit in 48 bits, so this reproduction packs the coalesced
+    // pending-signal count into the otherwise-unused top 16 bits:
+    //
+    //   bits 63..48  pending-signal count (signals banked while no waiter queued)
+    //   bits 47..0   associated lock address
+
+    /// Number of low `VarInfo` bits holding the associated lock address.
+    pub const COND_LOCK_BITS: u32 = 48;
+
+    /// Sets the condition-variable `VarInfo`: associated `lock` address plus the
+    /// coalesced `pending` signal count.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the lock address needs more than
+    /// [`Self::COND_LOCK_BITS`] bits.
+    pub fn set_cond_info(&mut self, lock: Addr, pending: u16) {
+        debug_assert!(lock.value() < (1 << Self::COND_LOCK_BITS));
+        self.var_info = (u64::from(pending) << Self::COND_LOCK_BITS)
+            | (lock.value() & ((1 << Self::COND_LOCK_BITS) - 1));
+    }
+
+    /// The associated lock address of a condition variable's `VarInfo`.
+    pub fn cond_lock(&self) -> Addr {
+        Addr(self.var_info & ((1 << Self::COND_LOCK_BITS) - 1))
+    }
+
+    /// The coalesced pending-signal count of a condition variable's `VarInfo`.
+    pub fn cond_pending_signals(&self) -> u16 {
+        (self.var_info >> Self::COND_LOCK_BITS) as u16
+    }
+
+    /// Banks one more pending signal (saturating), returning the new count.
+    pub fn add_pending_signal(&mut self) -> u16 {
+        let next = self.cond_pending_signals().saturating_add(1);
+        self.set_cond_info(self.cond_lock(), next);
+        next
+    }
+
+    /// Consumes one pending signal if any is banked; returns whether one was consumed.
+    pub fn take_pending_signal(&mut self) -> bool {
+        let pending = self.cond_pending_signals();
+        if pending == 0 {
+            return false;
+        }
+        self.set_cond_info(self.cond_lock(), pending - 1);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +177,38 @@ mod tests {
         assert_eq!(v.waitlists[1].count(), 16);
         v.clear_unit_waiting(UnitId(1));
         assert!(v.all_waitlists_empty());
+    }
+
+    #[test]
+    fn cond_varinfo_packs_lock_and_pending_count() {
+        let mut v = SyncronVar::new(Addr(0x100), 4);
+        let lock = Addr(0xDEAD_BEC0); // line-aligned, fits in 48 bits
+        v.set_cond_info(lock, 0);
+        assert_eq!(v.cond_lock(), lock);
+        assert_eq!(v.cond_pending_signals(), 0);
+        assert!(!v.take_pending_signal(), "nothing banked yet");
+        assert_eq!(v.add_pending_signal(), 1);
+        assert_eq!(v.add_pending_signal(), 2);
+        assert_eq!(v.cond_pending_signals(), 2);
+        assert_eq!(
+            v.cond_lock(),
+            lock,
+            "count must not disturb the lock address"
+        );
+        assert!(v.take_pending_signal());
+        assert!(v.take_pending_signal());
+        assert!(
+            !v.take_pending_signal(),
+            "each signal is consumed exactly once"
+        );
+        assert_eq!(v.cond_lock(), lock);
+    }
+
+    #[test]
+    fn cond_pending_count_saturates() {
+        let mut v = SyncronVar::new(Addr(0x100), 4);
+        v.set_cond_info(Addr(0x40), u16::MAX);
+        assert_eq!(v.add_pending_signal(), u16::MAX);
     }
 
     #[test]

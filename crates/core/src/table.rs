@@ -89,8 +89,18 @@ pub enum TableInfo {
     BarrierCount(u32),
     /// Semaphore: number of available resources.
     SemResources(i64),
-    /// Condition variable: address of the associated lock.
-    CondLock(Addr),
+    /// Condition variable: address of the associated lock, plus the coalesced
+    /// pending-signal count of the signal-coalescing extension (signals that arrived
+    /// with no queued waiter and have not yet been consumed by a later `cond_wait`).
+    /// The count packs into `TableInfo` bits the 64-bit lock address leaves unused
+    /// (synchronization variables are cache-line aligned), so the entry width of
+    /// Figure 7 is unchanged.
+    CondLock {
+        /// Address of the associated lock.
+        lock: Addr,
+        /// Signals banked while no waiter was queued.
+        pending_signals: u16,
+    },
 }
 
 /// One Synchronization Table entry.
@@ -197,7 +207,10 @@ impl SynchronizationTable {
                     },
                     PrimitiveKind::Barrier => TableInfo::BarrierCount(0),
                     PrimitiveKind::Semaphore => TableInfo::SemResources(0),
-                    PrimitiveKind::CondVar => TableInfo::CondLock(Addr(0)),
+                    PrimitiveKind::CondVar => TableInfo::CondLock {
+                        lock: Addr(0),
+                        pending_signals: 0,
+                    },
                 };
                 self.entries[slot] = Some(StEntry {
                     addr,
@@ -366,8 +379,38 @@ mod tests {
         let cond = st
             .allocate(Time::ZERO, Addr(0x140), PrimitiveKind::CondVar)
             .unwrap();
-        assert!(matches!(cond.info, TableInfo::CondLock(Addr(0))));
+        assert!(matches!(
+            cond.info,
+            TableInfo::CondLock {
+                lock: Addr(0),
+                pending_signals: 0
+            }
+        ));
         assert_eq!(st.iter().count(), 4);
+    }
+
+    #[test]
+    fn cond_entry_tracks_pending_signals() {
+        let mut st = SynchronizationTable::new(4);
+        st.allocate(Time::ZERO, Addr(0x140), PrimitiveKind::CondVar);
+        let entry = st.lookup_mut(Addr(0x140)).unwrap();
+        if let TableInfo::CondLock {
+            lock,
+            pending_signals,
+        } = &mut entry.info
+        {
+            *lock = Addr(0x180);
+            *pending_signals = 3;
+        } else {
+            panic!("condvar entry must carry CondLock info");
+        }
+        assert!(matches!(
+            st.lookup(Addr(0x140)).unwrap().info,
+            TableInfo::CondLock {
+                lock: Addr(0x180),
+                pending_signals: 3
+            }
+        ));
     }
 }
 

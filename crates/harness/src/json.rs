@@ -460,6 +460,18 @@ mod tests {
     }
 
     #[test]
+    fn config_spec_signal_knobs_survive_json_round_trip() {
+        let spec = crate::scenario::ConfigSpec {
+            signal_coalescing: false,
+            signal_backoff_ns: 1_000,
+            ..Default::default()
+        };
+        let text = spec.to_value().to_json_pretty();
+        let back = crate::scenario::ConfigSpec::from_value(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(parse("{\"a\": }").is_err());
         assert!(parse("[1, 2").is_err());

@@ -267,6 +267,23 @@ pub fn report_to_value(r: &RunReport) -> Value {
                 ),
                 ("st_max_occupancy", Value::Float(r.sync.st_max_occupancy)),
                 ("st_avg_occupancy", Value::Float(r.sync.st_avg_occupancy)),
+                (
+                    "delivered_signals",
+                    Value::Int(r.sync.delivered_signals as i64),
+                ),
+                (
+                    "coalesced_signals",
+                    Value::Int(r.sync.coalesced_signals as i64),
+                ),
+                (
+                    "consumed_signals",
+                    Value::Int(r.sync.consumed_signals as i64),
+                ),
+                ("signal_nacks", Value::Int(r.sync.signal_nacks as i64)),
+                (
+                    "max_pending_signals",
+                    Value::Int(r.sync.max_pending_signals as i64),
+                ),
             ]),
         ),
         ("dram_accesses", Value::Int(r.dram_accesses as i64)),

@@ -68,6 +68,10 @@ pub struct ConfigSpec {
     pub overflow_mode: OverflowMode,
     /// Local-grant fairness threshold (`None` = off).
     pub fairness_threshold: Option<u32>,
+    /// Condvar signal coalescing / backoff (extension; on by default).
+    pub signal_coalescing: bool,
+    /// Base NACK backoff delay in nanoseconds for repeat condvar signalers.
+    pub signal_backoff_ns: u64,
     /// Coherence mode for shared read-write data.
     pub coherence: CoherenceMode,
     /// MESI latency profile (only used with [`CoherenceMode::MesiDirectory`]).
@@ -92,6 +96,8 @@ impl Default for ConfigSpec {
             st_entries: paper.mechanism.st_entries,
             overflow_mode: paper.mechanism.overflow_mode,
             fairness_threshold: paper.mechanism.fairness_threshold,
+            signal_coalescing: paper.mechanism.signal_coalescing,
+            signal_backoff_ns: paper.mechanism.signal_backoff_ns,
             coherence: paper.coherence,
             mesi: MesiProfile::NdpDefault,
             reserve_server_core: paper.reserve_server_core,
@@ -124,7 +130,9 @@ impl ConfigSpec {
     pub fn to_ndp_config(&self) -> NdpConfig {
         let mut params = MechanismParams::new(self.mechanism)
             .with_st_entries(self.st_entries)
-            .with_overflow_mode(self.overflow_mode);
+            .with_overflow_mode(self.overflow_mode)
+            .with_signal_coalescing(self.signal_coalescing)
+            .with_signal_backoff_ns(self.signal_backoff_ns);
         params.fairness_threshold = self.fairness_threshold;
         let mesi = match self.mesi {
             MesiProfile::NdpDefault => MesiParams::ndp_default(),
@@ -154,6 +162,11 @@ impl ConfigSpec {
             ("link_latency_ns", Value::Int(self.link_latency_ns as i64)),
             ("st_entries", Value::Int(self.st_entries as i64)),
             ("overflow_mode", Value::str(self.overflow_mode.name())),
+            ("signal_coalescing", Value::Bool(self.signal_coalescing)),
+            (
+                "signal_backoff_ns",
+                Value::Int(self.signal_backoff_ns as i64),
+            ),
             ("coherence", Value::str(coherence_name(self.coherence))),
             ("mesi_profile", Value::str(self.mesi.name())),
             ("reserve_server_core", Value::Bool(self.reserve_server_core)),
@@ -181,6 +194,12 @@ impl ConfigSpec {
                 "link_latency_ns" => spec.link_latency_ns = u64_field(v, key)?,
                 "st_entries" => spec.st_entries = usize_field(v, key)?,
                 "overflow_mode" => spec.overflow_mode = parse_overflow(str_field(v, key)?)?,
+                "signal_coalescing" => {
+                    spec.signal_coalescing = v
+                        .as_bool()
+                        .ok_or_else(|| HarnessError::spec("signal_coalescing must be a bool"))?
+                }
+                "signal_backoff_ns" => spec.signal_backoff_ns = u64_field(v, key)?,
                 "fairness_threshold" => {
                     spec.fairness_threshold = match v {
                         Value::Str(s) if s == "off" => None,
@@ -447,6 +466,8 @@ mod tests {
             st_entries: 16,
             overflow_mode: OverflowMode::MiSarDistributed,
             fairness_threshold: Some(8),
+            signal_coalescing: false,
+            signal_backoff_ns: 75,
             coherence: CoherenceMode::MesiDirectory,
             mesi: MesiProfile::CpuTwoSocket,
             reserve_server_core: false,
@@ -455,6 +476,9 @@ mod tests {
         };
         let doc = spec.to_value();
         assert_eq!(ConfigSpec::from_value(&doc).unwrap(), spec);
+        let ndp = spec.to_ndp_config();
+        assert!(!ndp.mechanism.signal_coalescing);
+        assert_eq!(ndp.mechanism.signal_backoff_ns, 75);
         // And through JSON text.
         let text = doc.to_json();
         let back = ConfigSpec::from_value(&crate::json::parse(&text).unwrap()).unwrap();

@@ -401,6 +401,31 @@ name = "stack"
     }
 
     #[test]
+    fn config_table_carries_signal_coalescing_knobs() {
+        // The coalescing/backoff knob round-trips through the TOML codec into a
+        // ConfigSpec, like any other config axis.
+        let doc = parse(
+            r#"
+[scenario.config]
+mechanism = "Central"
+signal_coalescing = false
+signal_backoff_ns = 350
+"#,
+        )
+        .unwrap();
+        let spec = crate::scenario::ConfigSpec::from_value(
+            doc.get("scenario").unwrap().get("config").unwrap(),
+        )
+        .unwrap();
+        assert!(!spec.signal_coalescing);
+        assert_eq!(spec.signal_backoff_ns, 350);
+        // Omitted fields keep the paper defaults: coalescing on.
+        let defaults =
+            crate::scenario::ConfigSpec::from_value(&parse("units = 2").unwrap()).unwrap();
+        assert!(defaults.signal_coalescing);
+    }
+
+    #[test]
     fn parses_arrays_of_tables_and_multiline_arrays() {
         let doc = parse(
             r#"

@@ -199,6 +199,20 @@ impl NdpConfigBuilder {
         self
     }
 
+    /// Enables or disables condvar signal coalescing / backoff (on by default; see
+    /// `syncron_core::protocol` for the extension's semantics).
+    pub fn signal_coalescing(mut self, enabled: bool) -> Self {
+        self.config.mechanism.signal_coalescing = enabled;
+        self
+    }
+
+    /// Sets the base NACK backoff delay in nanoseconds for repeat condvar signalers
+    /// (`0` keeps NACK replies but adds no delay).
+    pub fn signal_backoff_ns(mut self, ns: u64) -> Self {
+        self.config.mechanism.signal_backoff_ns = ns;
+        self
+    }
+
     /// Sets the inter-unit per-cache-line transfer latency (Figures 16, 17, 21 sweeps).
     pub fn link_latency(mut self, latency: Time) -> Self {
         self.config.link.transfer_latency = latency;
@@ -257,6 +271,8 @@ mod tests {
         assert_eq!(cfg.link.transfer_latency, Time::from_ns(40));
         assert_eq!(cfg.mechanism.kind, MechanismKind::SynCron);
         assert_eq!(cfg.mechanism.st_entries, 64);
+        // Extension default: condvar signal coalescing is on.
+        assert!(cfg.mechanism.signal_coalescing);
     }
 
     #[test]
@@ -308,9 +324,13 @@ mod tests {
             .st_entries(16)
             .link_latency(Time::from_ns(500))
             .coherence(CoherenceMode::MesiDirectory)
+            .signal_coalescing(false)
+            .signal_backoff_ns(75)
             .seed(7)
             .max_events(1000)
             .build();
+        assert!(!cfg.mechanism.signal_coalescing);
+        assert_eq!(cfg.mechanism.signal_backoff_ns, 75);
         assert_eq!(cfg.units, 2);
         assert_eq!(cfg.cores_per_unit, 8);
         assert_eq!(cfg.mem_tech, MemTech::Ddr4);

@@ -298,7 +298,14 @@ impl NdpMachine {
             }
             Action::Sync(req) => {
                 self.sync_requests += 1;
-                let blocking = req.is_blocking();
+                // The mechanism decides whether the request blocks: beyond the
+                // ISA-level req_sync/req_async split, delayed-grant replies (condvar
+                // signal coalescing ACK/NACKs) also stall the issuing core.
+                let blocking = self
+                    .mechanism
+                    .as_ref()
+                    .map(|m| m.blocks_core(&req))
+                    .unwrap_or_else(|| req.is_blocking());
                 self.with_mechanism(|mech, ctx| mech.request(ctx, core, req));
                 if !blocking {
                     // req_async commits as soon as the message is issued.

@@ -397,6 +397,17 @@ impl CoreProgram for CondWaiterProgram {
     }
 }
 
+/// The signaling half of the condvar benchmark.
+///
+/// Under signal coalescing `cond_signal` follows the delayed-grant path: the core
+/// stalls until the engine's ACK (or backoff-delayed NACK) arrives, so this program
+/// is only stepped again once the reply lands — possibly much later than the one
+/// `req_async` cycle the paper's interface implies. The program re-checks the
+/// outstanding-wait count at that point so a signaler retires as soon as the last
+/// wait was satisfied while it was stalled. It always executes the full `interval`
+/// compute block between signals, keeping the benchmark's "instructions between two
+/// synchronization points" definition identical across mechanisms regardless of
+/// their reply latencies.
 #[derive(Debug)]
 struct CondSignalerProgram {
     cond: Addr,
@@ -542,6 +553,68 @@ mod tests {
             let report = run_workload(&config(kind), &CondVarMicrobench::new(200, 4));
             assert!(report.completed, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn condvar_micro_completes_within_event_budget_under_central_and_hier() {
+        // Regression test for the signaler flood: before signal coalescing, the
+        // signaler half of the cores re-signalled an empty condvar fast enough to
+        // saturate the single Central server, and even this small configuration
+        // burned millions of events. The explicit max_events budget is the assertion:
+        // hitting it reports completed = false.
+        for kind in [MechanismKind::Central, MechanismKind::Hier] {
+            let cfg = NdpConfig::builder()
+                .units(2)
+                .cores_per_unit(4)
+                .mechanism(kind)
+                .max_events(300_000)
+                .build();
+            let report = run_workload(&cfg, &CondVarMicrobench::new(200, 8));
+            assert!(
+                report.completed,
+                "{kind:?} blew the 300k event budget (signal coalescing regressed?)"
+            );
+            assert!(report.total_ops > 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn condvar_micro_completes_at_paper_geometry() {
+        // The paper-scale Figure 10 condvar point that used to hit the 400M-event
+        // safety limit under Central, shrunk to 2 iterations to stay CI-friendly.
+        // The budget is three orders of magnitude below the old blow-up.
+        for kind in [MechanismKind::Central, MechanismKind::Hier] {
+            let cfg = NdpConfig::builder()
+                .units(4)
+                .cores_per_unit(16)
+                .mechanism(kind)
+                .max_events(2_000_000)
+                .build();
+            let report = run_workload(&cfg, &CondVarMicrobench::new(200, 2));
+            assert!(report.completed, "{kind:?} (4x16, 60 clients)");
+            assert!(
+                report.sync.coalesced_signals > 0,
+                "{kind:?}: coalescing active"
+            );
+        }
+    }
+
+    #[test]
+    fn condvar_micro_still_completes_with_coalescing_disabled_at_small_scale() {
+        // The knob is sweepable: with coalescing off the old fire-and-forget
+        // semantics still finish at a small scale (the flood only bites at paper
+        // scale), they just burn far more events.
+        use syncron_core::mechanism::MechanismParams;
+        let params = MechanismParams::new(MechanismKind::SynCron).with_signal_coalescing(false);
+        let cfg = NdpConfig::builder()
+            .units(2)
+            .cores_per_unit(4)
+            .mechanism_params(params)
+            .build();
+        let report = run_workload(&cfg, &CondVarMicrobench::new(200, 4));
+        assert!(report.completed);
+        assert_eq!(report.sync.coalesced_signals, 0);
+        assert_eq!(report.sync.signal_nacks, 0);
     }
 
     #[test]
