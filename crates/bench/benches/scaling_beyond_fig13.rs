@@ -1,0 +1,5 @@
+//! Scaling sensitivity beyond Figure 13's range: 4 → 64 NDP units (up to 1024
+//! cores) under the four compared schemes.
+fn main() {
+    syncron_bench::experiments::sensitivity::scaling_beyond_fig13().print();
+}

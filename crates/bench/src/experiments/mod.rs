@@ -6,7 +6,7 @@
 //! | [`primitives`] | Figure 10 |
 //! | [`datastructures`] | Figures 11, 16, 23 |
 //! | [`realapps`] | Figures 12–15, Table 7 |
-//! | [`sensitivity`] | Figures 17–22, 24 (fairness extension) |
+//! | [`sensitivity`] | Figures 17–22, 24 (fairness extension), scaling beyond Fig 13 |
 //! | [`hwcost`] | Table 8 |
 
 pub mod datastructures;

@@ -1,6 +1,8 @@
 //! Motivational experiments: Table 1 and Figure 2.
 
-use crate::{f2, run_scenarios, scaled, ConfigSpec, Scenario, Sweep, Table, WorkloadSpec};
+use crate::{
+    expect_slowdown, f2, run_scenarios, scaled, ConfigSpec, Scenario, Sweep, Table, WorkloadSpec,
+};
 use syncron_core::MechanismKind;
 use syncron_harness::MesiProfile;
 use syncron_system::config::CoherenceMode;
@@ -132,12 +134,11 @@ pub fn fig02() -> Table {
             "(a) single unit".into(),
             cores.to_string(),
             "1".into(),
-            f2(results
-                .slowdown_over(
-                    &format!("fig02/a/c{cores}/mesi"),
-                    &format!("fig02/a/c{cores}/ideal"),
-                )
-                .expect("keyed")),
+            f2(expect_slowdown(
+                &results,
+                &format!("fig02/a/c{cores}/mesi"),
+                &format!("fig02/a/c{cores}/ideal"),
+            )),
         ]);
     }
     for &units in &unit_counts {
@@ -145,12 +146,11 @@ pub fn fig02() -> Table {
             "(b) 60 cores total".into(),
             "60".into(),
             units.to_string(),
-            f2(results
-                .slowdown_over(
-                    &format!("fig02/b/u{units}/mesi"),
-                    &format!("fig02/b/u{units}/ideal"),
-                )
-                .expect("keyed")),
+            f2(expect_slowdown(
+                &results,
+                &format!("fig02/b/u{units}/mesi"),
+                &format!("fig02/b/u{units}/ideal"),
+            )),
         ]);
     }
     table

@@ -1,7 +1,7 @@
 //! Figure 10: speedup of the four synchronization primitives over Central, as a
 //! function of the number of instructions between synchronization points.
 
-use crate::{f2, run_scenarios, scaled, Sweep, Table, WorkloadSpec};
+use crate::{expect_speedup, f2, run_scenarios, scaled, Sweep, Table, WorkloadSpec};
 use syncron_core::MechanismKind;
 use syncron_workloads::micro::SyncPrimitive;
 
@@ -58,9 +58,7 @@ pub fn fig10_primitive(primitive: SyncPrimitive) -> Table {
         let central = label(MechanismKind::Central);
         let mut cells = vec![interval.to_string()];
         for kind in MechanismKind::COMPARED {
-            cells.push(f2(results
-                .speedup_over(&label(kind), &central)
-                .expect("sweep covers every scheme")));
+            cells.push(f2(expect_speedup(&results, &label(kind), &central)));
         }
         table.push_row(cells);
     }

@@ -1,6 +1,6 @@
 //! Figures 12–15 and Table 7: the real applications (graph analytics and time series).
 
-use crate::{f2, run_scenarios, scaled, RunSet, Sweep, Table, WorkloadSpec};
+use crate::{expect_speedup, f2, run_scenarios, scaled, RunSet, Sweep, Table, WorkloadSpec};
 use syncron_core::MechanismKind;
 use syncron_workloads::graph::{GraphAlgo, GraphInput, Partitioning};
 
@@ -103,9 +103,7 @@ pub fn fig12() -> Table {
         let central = combo_label("fig12", combo, MechanismKind::Central);
         let mut cells = vec![combo.label()];
         for (j, kind) in MechanismKind::COMPARED.iter().enumerate() {
-            let speedup = results
-                .speedup_over(&combo_label("fig12", combo, *kind), &central)
-                .expect("swept");
+            let speedup = expect_speedup(&results, &combo_label("fig12", combo, *kind), &central);
             geo[j] *= speedup;
             cells.push(f2(speedup));
         }
@@ -142,7 +140,7 @@ pub fn fig13() -> Table {
         let mut cells = vec![combo.label()];
         for (j, &units) in unit_steps.iter().enumerate() {
             let label = format!("fig13/{}/u={units}", combo.label());
-            let speedup = results.speedup_over(&label, &one_unit).expect("swept");
+            let speedup = expect_speedup(&results, &label, &one_unit);
             avg[j] += speedup;
             cells.push(f2(speedup));
         }

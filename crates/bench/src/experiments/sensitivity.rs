@@ -1,7 +1,10 @@
-//! Figures 17–22 and the fairness extension (Figure 24 in this reproduction).
+//! Figures 17–22, the fairness extension (Figure 24 in this reproduction), and the
+//! large-geometry scaling study beyond Figure 13's range.
 
 use crate::experiments::realapps::{workload_spec, AppCombo};
-use crate::{f2, run_scenarios, scaled, Sweep, Table, WorkloadSpec};
+use crate::{
+    expect_slowdown, expect_speedup, f2, run_scenarios, scaled, Sweep, Table, WorkloadSpec,
+};
 use syncron_core::MechanismKind;
 use syncron_mem::MemTech;
 use syncron_workloads::graph::{GraphAlgo, GraphInput, Partitioning};
@@ -34,15 +37,21 @@ pub fn fig17() -> Table {
         table.push_row(vec![
             lat.to_string(),
             f2(1.0),
-            f2(results
-                .slowdown_over(&label(MechanismKind::SynCron), &ideal)
-                .expect("swept")),
-            f2(results
-                .slowdown_over(&label(MechanismKind::Hier), &ideal)
-                .expect("swept")),
-            f2(results
-                .slowdown_over(&label(MechanismKind::Central), &ideal)
-                .expect("swept")),
+            f2(expect_slowdown(
+                &results,
+                &label(MechanismKind::SynCron),
+                &ideal,
+            )),
+            f2(expect_slowdown(
+                &results,
+                &label(MechanismKind::Hier),
+                &ideal,
+            )),
+            f2(expect_slowdown(
+                &results,
+                &label(MechanismKind::Central),
+                &ideal,
+            )),
         ]);
     }
     table
@@ -89,9 +98,7 @@ pub fn fig18() -> Table {
             let central = label(MechanismKind::Central);
             let mut cells = vec![combo.label(), tech.name().to_string()];
             for kind in MechanismKind::COMPARED {
-                cells.push(f2(results
-                    .speedup_over(&label(kind), &central)
-                    .expect("swept")));
+                cells.push(f2(expect_speedup(&results, &label(kind), &central)));
             }
             table.push_row(cells);
         }
@@ -141,9 +148,11 @@ pub fn fig19() -> Table {
         for (pname, _) in &partitionings {
             let mut cells = vec![format!("pr.{}", input.name), pname.to_string()];
             for kind in MechanismKind::COMPARED {
-                cells.push(f2(results
-                    .speedup_over(&label(pname, kind), &striped_central)
-                    .expect("swept")));
+                cells.push(f2(expect_speedup(
+                    &results,
+                    &label(pname, kind),
+                    &striped_central,
+                )));
             }
             cells.push(f2(results
                 .report(&label(pname, MechanismKind::SynCron))
@@ -182,7 +191,7 @@ pub fn fig20() -> Table {
     for combo in &combos {
         let hier = format!("fig20/{}/mech=SynCron", combo.label());
         let flat = format!("fig20/{}/mech=SynCron-flat", combo.label());
-        let speedup = results.speedup_over(&hier, &flat).expect("swept");
+        let speedup = expect_speedup(&results, &hier, &flat);
         sum += speedup;
         table.push_row(vec![combo.label(), f2(speedup)]);
     }
@@ -230,7 +239,7 @@ pub fn fig21() -> Table {
             table.push_row(vec![
                 ts.into(),
                 lat.to_string(),
-                f2(results.speedup_over(&hier, &flat).expect("swept")),
+                f2(expect_speedup(&results, &hier, &flat)),
             ]);
         }
     }
@@ -241,7 +250,7 @@ pub fn fig21() -> Table {
             table.push_row(vec![
                 display.into(),
                 lat.to_string(),
-                f2(results.speedup_over(&hier, &flat).expect("swept")),
+                f2(expect_speedup(&results, &hier, &flat)),
             ]);
         }
     }
@@ -286,7 +295,7 @@ pub fn fig22() -> Table {
             table.push_row(vec![
                 combo.label(),
                 st.to_string(),
-                f2(results.slowdown_over(&label, &baseline).expect("swept")),
+                f2(expect_slowdown(&results, &label, &baseline)),
                 f2(results
                     .report(&label)
                     .expect("swept")
@@ -333,9 +342,66 @@ pub fn fig24_fairness() -> Table {
     table
 }
 
+/// Scaling sensitivity beyond Figure 13's range: Figure 13 stops at 4 NDP units
+/// (64 cores); this experiment grows the machine to 64 units (1024 cores) at the
+/// paper's 16 cores per unit and reports each scheme's throughput scaling relative
+/// to its own 4-unit run on a contended barrier microbenchmark. Declarative twin:
+/// `scenarios/scaling_sensitivity.toml`.
+pub fn scaling_beyond_fig13() -> Table {
+    let unit_steps = [4usize, 16, 64];
+    let sweep = Sweep::new("scaling")
+        .workload(WorkloadSpec::Micro {
+            primitive: SyncPrimitive::Barrier,
+            interval: 200,
+            iterations: scaled(4, 2),
+        })
+        .units(unit_steps)
+        .compared_mechanisms();
+    let results = run_scenarios(&sweep.scenarios().expect("valid sweep"));
+
+    let mut table = Table::new(
+        "Scaling beyond Figure 13: barrier throughput scaling vs a 4-unit machine",
+        &["units", "cores", "Central", "Hier", "SynCron", "Ideal"],
+    );
+    let label = |kind: MechanismKind, units: usize| {
+        format!("scaling/barrier-micro.i200/u={units}/mech={}", kind.name())
+    };
+    for &units in &unit_steps {
+        let mut cells = vec![units.to_string(), (units * 16).to_string()];
+        for kind in MechanismKind::COMPARED {
+            let base = results.report(&label(kind, 4)).expect("swept");
+            let run = results.report(&label(kind, units)).expect("swept");
+            assert!(
+                base.completed && run.completed,
+                "scaling runs must complete within their event budget"
+            );
+            // Throughput ratio: > 1 means the scheme scales past its 4-unit run.
+            cells.push(f2(run.ops_per_ms() / base.ops_per_ms()));
+        }
+        table.push_row(cells);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scaling_experiment_covers_1024_cores_and_completes() {
+        std::env::set_var("SYNCRON_SCALE", "0.2");
+        let t = scaling_beyond_fig13();
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[2][0], "64", "largest step is 64 units");
+        assert_eq!(t.rows[2][1], "1024", "1024 cores, beyond Fig 13's 64");
+        // Every cell parsed as a finite ratio (the runs completed).
+        for row in &t.rows {
+            for cell in &row[2..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v.is_finite() && v > 0.0, "{cell}");
+            }
+        }
+    }
 
     #[test]
     fn fig22_baseline_row_is_unity() {

@@ -125,6 +125,40 @@ pub fn f2(value: f64) -> String {
     format!("{value:.2}")
 }
 
+/// Speedup of `label` over `baseline`, panicking with a diagnostic that names the
+/// offending run. [`RunSet::speedup_over`] returns `None` both for a missing label
+/// and for a run truncated by `max_events`; experiments must not blame a key-lookup
+/// bug when a run was actually incomplete.
+pub fn expect_speedup(results: &RunSet, label: &str, baseline: &str) -> f64 {
+    results
+        .speedup_over(label, baseline)
+        .unwrap_or_else(|| panic!("{}", comparison_failure(results, label, baseline)))
+}
+
+/// Slowdown of `label` over `baseline`; see [`expect_speedup`] for the panic policy.
+pub fn expect_slowdown(results: &RunSet, label: &str, baseline: &str) -> f64 {
+    results
+        .slowdown_over(label, baseline)
+        .unwrap_or_else(|| panic!("{}", comparison_failure(results, label, baseline)))
+}
+
+fn comparison_failure(results: &RunSet, label: &str, baseline: &str) -> String {
+    for l in [label, baseline] {
+        match results.report(l) {
+            None => return format!("no run labelled '{l}' in the result set"),
+            Some(r) if !r.completed => {
+                return format!(
+                    "run '{l}' hit its max_events budget (completed = false); a partial \
+                     run cannot be a comparison point — raise max_events or shrink the \
+                     workload"
+                )
+            }
+            Some(_) => {}
+        }
+    }
+    unreachable!("comparison failed although both runs are present and complete")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

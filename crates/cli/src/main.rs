@@ -151,8 +151,8 @@ fn list() {
          keep the paper's Table 5 defaults):\n"
     );
     for line in [
-        "units=<n>                         NDP units (default 4)",
-        "cores_per_unit=<n>                cores per unit (default 16)",
+        "units=<1..=256>                   NDP units (default 4)",
+        "cores_per_unit=<1..=256>          cores per unit (default 16)",
         "mechanism=Central|Hier|SynCron|SynCron-flat|Ideal",
         "mem_tech=hbm|hmc|ddr4             memory technology",
         "link_latency_ns=<n>               inter-unit transfer latency (default 40)",

@@ -313,13 +313,16 @@ struct Engine {
     syncron_vars: HashMap<Addr, SyncronVar>,
     signals: SignalCounters,
     units: usize,
+    cores_per_unit: usize,
 }
 
 impl Engine {
-    fn new(st_entries: usize, counters: usize, units: usize) -> Self {
+    fn new(st_entries: usize, counters: usize, units: usize, cores_per_unit: usize) -> Self {
         Engine {
             busy: Serializer::new(),
-            st: SynchronizationTable::new(st_entries),
+            // Pre-size the waitlists of fresh ST entries for the configured geometry
+            // so tracking waiters never allocates on the pop/wake hot path.
+            st: SynchronizationTable::with_waiter_hint(st_entries, units, cores_per_unit),
             counters: IndexingCounters::new(counters),
             local_locks: HashMap::new(),
             local_barriers: HashMap::new(),
@@ -331,6 +334,7 @@ impl Engine {
             syncron_vars: HashMap::new(),
             signals: SignalCounters::new(),
             units,
+            cores_per_unit,
         }
     }
 }
@@ -449,7 +453,14 @@ impl ProtocolMechanism {
     /// Creates a mechanism from a configuration.
     pub fn new(config: ProtocolConfig) -> Self {
         let engines = (0..config.units)
-            .map(|_| Engine::new(config.st_entries, config.indexing_counters, config.units))
+            .map(|_| {
+                Engine::new(
+                    config.st_entries,
+                    config.indexing_counters,
+                    config.units,
+                    config.cores_per_unit,
+                )
+            })
             .collect();
         ProtocolMechanism {
             config,
@@ -471,6 +482,29 @@ impl ProtocolMechanism {
         self.config
             .fixed_server
             .unwrap_or_else(|| ctx.home_unit(var))
+    }
+
+    /// Whether `req`, delivered non-direct at `unit`, is a partial across-unit
+    /// barrier arrival that this SE merely forwards to the Master SE (one-level
+    /// communication, Section 4.1.2) without tracking the variable locally.
+    fn is_partial_barrier_forward(
+        &self,
+        ctx: &dyn SyncContext,
+        unit: UnitId,
+        req: &SyncRequest,
+    ) -> bool {
+        let SyncRequest::BarrierWait {
+            var,
+            participants,
+            scope,
+        } = *req
+        else {
+            return false;
+        };
+        scope == BarrierScope::AcrossUnits
+            && self.config.topology == Topology::Hierarchical
+            && participants != (self.config.units * self.config.cores_per_unit) as u32
+            && self.master_of(ctx, var) != unit
     }
 
     fn local_bytes() -> u64 {
@@ -683,8 +717,38 @@ impl ProtocolMechanism {
                 }
             }
             SyncRequest::LockRelease { var } => {
+                let locally_held = engine
+                    .local_locks
+                    .get(&var)
+                    .is_some_and(|ll| ll.has_ownership && ll.holder == Some(core));
                 if direct {
                     master_lock_release(engine, var, Grantee::Core(core), &mut out);
+                } else if !locally_held {
+                    // The core's acquire was granted at the master level (ST overflow
+                    // redirection), so its release belongs there too. Processing it
+                    // locally sent a phantom release on behalf of a unit that holds
+                    // no ownership, desynchronizing the master's grant queue — under
+                    // ST overflow this stranded locks forever (the master believed a
+                    // core owned a lock whose release it never saw).
+                    //
+                    // Drop any ST entry this delivery allocated: the variable is not
+                    // tracked by this SE (there is no local lock state to mirror),
+                    // and leaving it would pin an ST slot forever.
+                    if unit != master && !engine.local_locks.contains_key(&var) {
+                        engine.st.release(Time::ZERO, var);
+                    }
+                    out.push(Outcome::Send {
+                        to: master,
+                        msg: EngineMsg::CoreReq {
+                            core,
+                            req,
+                            direct: true,
+                            fallback: false,
+                        },
+                        // This hand-off only exists because the matching acquire was
+                        // redirected by ST overflow; classify its traffic the same way.
+                        overflow: true,
+                    });
                 } else {
                     let ll = engine.local_locks.entry(var).or_default();
                     ll.holder = None;
@@ -759,17 +823,23 @@ impl ProtocolMechanism {
                         });
                     }
                 } else {
-                    // Partial across-unit barrier: one-level communication, every local
-                    // message is redirected to the Master SE (Section 4.1.2).
-                    let lb = engine.local_barriers.entry(var).or_default();
-                    lb.waiters.push(core);
+                    // Partial across-unit barrier: one-level communication, every
+                    // arrival is forwarded to the Master SE as a direct request and
+                    // the master responds to each core individually (Section 4.1.2).
+                    // The local SE keeps *no* state for the variable: mixing local
+                    // waiter queues with master-side direct waiters desynchronized
+                    // barrier rounds once ST overflow redirected part of a unit — a
+                    // direct-completed core could re-arrive and join the stale local
+                    // queue while the previous round's departure was still in flight,
+                    // deadlocking the remaining waiters. (deliver() skips ST
+                    // allocation for these forwarded arrivals.)
                     out.push(Outcome::Send {
                         to: master,
-                        msg: EngineMsg::BarrierArriveGlobal {
-                            from: unit,
-                            var,
-                            count: 1,
-                            participants,
+                        msg: EngineMsg::CoreReq {
+                            core,
+                            req,
+                            direct: true,
+                            fallback: false,
                         },
                         overflow: false,
                     });
@@ -933,7 +1003,7 @@ impl ProtocolMechanism {
         out
     }
 
-    fn process_global(&mut self, unit: UnitId, msg: EngineMsg) -> Vec<Outcome> {
+    fn process_global(&mut self, unit: UnitId, master: UnitId, msg: EngineMsg) -> Vec<Outcome> {
         let engine = &mut self.engines[unit.index()];
         let mut out = Vec::new();
         match msg {
@@ -950,6 +1020,18 @@ impl ProtocolMechanism {
                 ll.local_grants = 0;
                 if ll.holder.is_none() && !ll.waiters.is_empty() {
                     grant_local_lock(engine, var, &mut out);
+                } else if ll.holder.is_none() {
+                    // A grant with no local waiter left to serve (the waiters were
+                    // redirected to the master while the request was in flight):
+                    // hand the ownership straight back instead of stranding the lock
+                    // on a unit that will never release it.
+                    engine.local_locks.remove(&var);
+                    engine.st.release(Time::ZERO, var);
+                    out.push(Outcome::Send {
+                        to: master,
+                        msg: EngineMsg::LockReleaseGlobal { from: unit, var },
+                        overflow: false,
+                    });
                 }
             }
             EngineMsg::BarrierArriveGlobal {
@@ -1116,11 +1198,11 @@ fn mirror_cond_state(engine: &mut Engine, var: Addr, lock: Option<Addr>, pending
         }
         return;
     }
-    let units = engine.units;
+    let (units, cores_per_unit) = (engine.units, engine.cores_per_unit);
     let image = engine
         .syncron_vars
         .entry(var)
-        .or_insert_with(|| SyncronVar::new(var, units));
+        .or_insert_with(|| SyncronVar::with_geometry(var, units, cores_per_unit));
     let lock = lock.unwrap_or_else(|| image.cond_lock());
     image.set_cond_info(lock, pending);
 }
@@ -1237,6 +1319,14 @@ impl SyncMechanism for ProtocolMechanism {
             } => {
                 if fallback {
                     (false, false)
+                } else if !direct && self.is_partial_barrier_forward(ctx, unit, &req) {
+                    // Partial across-unit barrier arriving at a non-master SE: the
+                    // request is forwarded to the Master SE untouched (one-level
+                    // communication), so the local SE neither buffers the variable
+                    // in its ST nor updates its indexing counters — allocating an
+                    // entry per arrival only to drop it again would churn the
+                    // occupancy/allocation statistics of Table 7.
+                    (false, false)
                 } else {
                     let counter_action = if req.is_acquire_type() { 1 } else { -1 };
                     // Redirected (direct) requests were already counted by the SE that
@@ -1340,7 +1430,10 @@ impl SyncMechanism for ProtocolMechanism {
             EngineMsg::CoreReq {
                 core, req, direct, ..
             } => self.process_core_request(unit, ctx, core, req, direct || fallback),
-            other => self.process_global(unit, other),
+            other => {
+                let master = self.master_of(ctx, var);
+                self.process_global(unit, master, other)
+            }
         };
         self.apply_outcomes(ctx, done, unit, outcomes);
     }

@@ -15,64 +15,16 @@
 use crate::request::PrimitiveKind;
 use syncron_sim::stats::TimeWeighted;
 use syncron_sim::time::Time;
-use syncron_sim::{Addr, CoreId, UnitId};
+use syncron_sim::{Addr, BitQueue, CoreId, UnitId};
 
 /// A hardware bit queue holding one bit per waiter (local NDP cores or SEs).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct Waitlist(u64);
-
-impl Waitlist {
-    /// An empty waiting list.
-    pub const EMPTY: Waitlist = Waitlist(0);
-
-    /// Sets the bit for `index`.
-    pub fn set(&mut self, index: usize) {
-        debug_assert!(index < 64);
-        self.0 |= 1u64 << index;
-    }
-
-    /// Clears the bit for `index`.
-    pub fn clear(&mut self, index: usize) {
-        self.0 &= !(1u64 << index);
-    }
-
-    /// Returns whether the bit for `index` is set.
-    pub fn contains(&self, index: usize) -> bool {
-        self.0 & (1u64 << index) != 0
-    }
-
-    /// Returns `true` if no bits are set.
-    pub fn is_empty(&self) -> bool {
-        self.0 == 0
-    }
-
-    /// Number of set bits.
-    pub fn count(&self) -> u32 {
-        self.0.count_ones()
-    }
-
-    /// Index of the lowest set bit, if any (the next waiter to serve).
-    pub fn first(&self) -> Option<usize> {
-        if self.0 == 0 {
-            None
-        } else {
-            Some(self.0.trailing_zeros() as usize)
-        }
-    }
-
-    /// Removes and returns the lowest set bit.
-    pub fn pop_first(&mut self) -> Option<usize> {
-        let first = self.first()?;
-        self.clear(first);
-        Some(first)
-    }
-
-    /// The raw bit pattern.
-    pub fn bits(&self) -> u64 {
-        self.0
-    }
-}
+///
+/// Backed by [`BitQueue`]: waitlists of up to 64 waiters (the paper's geometry) stay
+/// inline in one machine word; larger geometries spill to a boxed word slice instead
+/// of silently aliasing waiter indices modulo 64 the way the old fixed-width `u64`
+/// mask did. [`SynchronizationTable`] pre-sizes the waitlists of fresh entries for
+/// the configured geometry so the pop/wake hot path never allocates.
+pub type Waitlist = BitQueue;
 
 /// Per-primitive `TableInfo` field of an ST entry (Figure 7 of the paper).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -104,7 +56,7 @@ pub enum TableInfo {
 }
 
 /// One Synchronization Table entry.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StEntry {
     /// Address of the synchronization variable buffered by this entry.
@@ -149,18 +101,33 @@ pub struct SynchronizationTable {
     occupied: usize,
     allocations: u64,
     rejections: u64,
+    /// Bits to pre-size the global waitlist of fresh entries for (one per SE).
+    global_waiter_bits: usize,
+    /// Bits to pre-size the local waitlist of fresh entries for (one per NDP core).
+    local_waiter_bits: usize,
 }
 
 impl SynchronizationTable {
     /// Creates an empty ST with `capacity` entries (the paper uses 64; Figure 22
-    /// sweeps 8–64, Figure 23 up to 256).
+    /// sweeps 8–64, Figure 23 up to 256). Waitlists are pre-sized for the paper's
+    /// machine word; use [`SynchronizationTable::with_waiter_hint`] for larger
+    /// geometries.
     pub fn new(capacity: usize) -> Self {
+        Self::with_waiter_hint(capacity, 64, 64)
+    }
+
+    /// Creates an empty ST whose entries pre-size their waitlists for `global_bits`
+    /// SEs and `local_bits` cores per unit, so that tracking waiters on the hot
+    /// pop/wake path never allocates even beyond 64 waiters.
+    pub fn with_waiter_hint(capacity: usize, global_bits: usize, local_bits: usize) -> Self {
         SynchronizationTable {
             entries: vec![None; capacity.max(1)],
             occupancy: TimeWeighted::new(),
             occupied: 0,
             allocations: 0,
             rejections: 0,
+            global_waiter_bits: global_bits,
+            local_waiter_bits: local_bits,
         }
     }
 
@@ -214,8 +181,8 @@ impl SynchronizationTable {
                 };
                 self.entries[slot] = Some(StEntry {
                     addr,
-                    global_waitlist: Waitlist::EMPTY,
-                    local_waitlist: Waitlist::EMPTY,
+                    global_waitlist: Waitlist::with_capacity(self.global_waiter_bits),
+                    local_waitlist: Waitlist::with_capacity(self.local_waiter_bits),
                     info,
                     kind,
                 });
@@ -287,6 +254,39 @@ mod tests {
         assert_eq!(w.pop_first(), Some(7));
         assert_eq!(w.pop_first(), None);
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn waitlist_tracks_waiters_beyond_the_hardware_word() {
+        // Regression: the old `Waitlist(u64)` wrapped `1u64 << index` for indices at
+        // or beyond 64, silently aliasing waiter 64 onto waiter 0 (release builds) or
+        // panicking (debug builds). The grown geometry must track every index
+        // distinctly.
+        for count in [65usize, 128, 4096] {
+            let mut w = Waitlist::EMPTY;
+            for i in 0..count {
+                w.set(i);
+            }
+            assert_eq!(w.count() as usize, count, "{count} waiters");
+            // FIFO-by-index service order, each waiter exactly once.
+            for expect in 0..count {
+                assert_eq!(w.pop_first(), Some(expect), "{count} waiters");
+            }
+            assert!(w.is_empty());
+        }
+    }
+
+    #[test]
+    fn waiter_hints_pre_size_fresh_entries() {
+        let mut st = SynchronizationTable::with_waiter_hint(4, 16, 256);
+        let entry = st
+            .allocate(Time::ZERO, Addr(0x40), PrimitiveKind::Lock)
+            .unwrap();
+        assert!(entry.local_waitlist.capacity() >= 256);
+        // Setting the highest local waiter bit never grows the pre-sized storage.
+        let before = entry.local_waitlist.capacity();
+        entry.local_waitlist.set(255);
+        assert_eq!(entry.local_waitlist.capacity(), before);
     }
 
     #[test]

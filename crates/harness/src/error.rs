@@ -9,6 +9,9 @@ pub enum HarnessError {
     Spec(String),
     /// A scenario document failed to parse (JSON/TOML syntax or missing sections).
     Parse(String),
+    /// A machine configuration was rejected by geometry validation; the message names
+    /// the offending field (see `syncron_system::config::ConfigError`).
+    Config(String),
     /// Two scenarios in one run set share a label, which would break keyed lookup.
     DuplicateLabel(String),
     /// Reading or writing a scenario/result file failed.
@@ -37,6 +40,7 @@ impl fmt::Display for HarnessError {
         match self {
             HarnessError::Spec(m) => write!(f, "invalid specification: {m}"),
             HarnessError::Parse(m) => write!(f, "parse error: {m}"),
+            HarnessError::Config(m) => write!(f, "{m}"),
             HarnessError::DuplicateLabel(l) => {
                 write!(f, "duplicate scenario label '{l}' in one run set")
             }

@@ -77,18 +77,20 @@ impl Runner {
 
     /// Runs every scenario and returns the reports keyed by scenario label.
     ///
-    /// Fails fast — before simulating anything — if a label is duplicated or a
-    /// workload spec names an unknown workload. Results are deterministic: each
-    /// simulation is single-threaded and seeded by its scenario alone, so the returned
-    /// [`RunSet`] is identical for any thread count.
+    /// Fails fast — before simulating anything — if a label is duplicated, a
+    /// workload spec names an unknown workload, or a config requests an impossible
+    /// machine geometry. Results are deterministic: each simulation is
+    /// single-threaded and seeded by its scenario alone, so the returned [`RunSet`]
+    /// is identical for any thread count.
     pub fn run(&self, scenarios: &[Scenario]) -> Result<RunSet, HarnessError> {
-        // Validate labels and specs up front.
+        // Validate labels, specs and configs up front.
         let mut seen = std::collections::BTreeSet::new();
         for scenario in scenarios {
             if !seen.insert(scenario.label.as_str()) {
                 return Err(HarnessError::DuplicateLabel(scenario.label.clone()));
             }
             scenario.workload.build()?;
+            scenario.config.to_ndp_config()?;
         }
         if scenarios.is_empty() {
             return Ok(RunSet::empty());
@@ -127,10 +129,11 @@ impl Runner {
                         .workload
                         .build()
                         .expect("spec validated before launch");
-                    let report = syncron_system::run_workload(
-                        &scenario.config.to_ndp_config(),
-                        workload.as_ref(),
-                    );
+                    let config = scenario
+                        .config
+                        .to_ndp_config()
+                        .expect("config validated before launch");
+                    let report = syncron_system::run_workload(&config, workload.as_ref());
                     let completed = report.completed;
                     *slot_cells[index].lock().expect("slot lock") = Some(report);
                     let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
@@ -243,6 +246,23 @@ mod tests {
             Runner::new().run(&scenarios),
             Err(HarnessError::Spec(_))
         ));
+    }
+
+    #[test]
+    fn invalid_configs_fail_before_running() {
+        let scenarios = vec![Scenario::new(
+            "bad-geometry",
+            ConfigSpec::default().with_geometry(4, 100_000),
+            WorkloadSpec::Micro {
+                primitive: SyncPrimitive::Lock,
+                interval: 100,
+                iterations: 4,
+            },
+        )];
+        match Runner::new().run(&scenarios) {
+            Err(HarnessError::Config(m)) => assert!(m.contains("cores_per_unit"), "{m}"),
+            other => panic!("expected a config error, got {other:?}"),
+        }
     }
 
     #[test]

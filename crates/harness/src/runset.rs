@@ -91,17 +91,33 @@ impl RunSet {
     }
 
     /// Speedup of `label` over `baseline_label` (`> 1` means `label` is faster).
+    ///
+    /// Returns `None` when either label is missing **or either run is incomplete**
+    /// (it hit `max_events`): a truncated run's simulated time is a lower bound, not
+    /// a result, so comparing against it would silently overstate speedups.
     pub fn speedup_over(&self, label: &str, baseline_label: &str) -> Option<f64> {
-        let run = self.report(label)?;
-        let base = self.report(baseline_label)?;
+        let (run, base) = self.comparable(label, baseline_label)?;
         Some(run.speedup_over(base))
     }
 
     /// Slowdown of `label` over `baseline_label` (`> 1` means `label` is slower).
+    ///
+    /// Returns `None` when either label is missing or either run is incomplete, for
+    /// the same reason as [`RunSet::speedup_over`].
     pub fn slowdown_over(&self, label: &str, baseline_label: &str) -> Option<f64> {
+        let (run, base) = self.comparable(label, baseline_label)?;
+        Some(run.slowdown_over(base))
+    }
+
+    /// Looks up both reports and filters out pairs in which either run hit the event
+    /// safety limit (partial runs are not valid comparison points).
+    fn comparable(&self, label: &str, baseline_label: &str) -> Option<(&RunReport, &RunReport)> {
         let run = self.report(label)?;
         let base = self.report(baseline_label)?;
-        Some(run.slowdown_over(base))
+        if !run.completed || !base.completed {
+            return None;
+        }
+        Some((run, base))
     }
 
     /// Serializes the set as a JSON value: an array of
@@ -336,6 +352,42 @@ mod tests {
             4,
             "all four scenarios share the base geometry"
         );
+    }
+
+    #[test]
+    fn incomplete_runs_are_not_valid_comparison_points() {
+        // A scenario truncated by max_events reports a lower bound on its simulated
+        // time; speedups computed against it are meaningless and must come back None
+        // in both directions.
+        let make = |label: &str, max_events: u64| {
+            let mut config = ConfigSpec::default().with_geometry(2, 4);
+            config.max_events = max_events;
+            let scenario = Scenario::new(
+                label,
+                config,
+                WorkloadSpec::Micro {
+                    primitive: SyncPrimitive::Lock,
+                    interval: 100,
+                    iterations: 8,
+                },
+            );
+            let report = scenario.run().unwrap();
+            (scenario, report)
+        };
+        let ok = make("ok", 50_000_000);
+        let other = make("other", 50_000_000);
+        let truncated = make("truncated", 60);
+        assert!(ok.1.completed && other.1.completed);
+        assert!(!truncated.1.completed);
+        let set = RunSet::from_pairs([ok, other, truncated]).unwrap();
+        assert!(set.speedup_over("ok", "other").is_some());
+        assert_eq!(set.speedup_over("ok", "truncated"), None);
+        assert_eq!(set.speedup_over("truncated", "ok"), None);
+        assert_eq!(set.slowdown_over("truncated", "ok"), None);
+        // The partial run is still exported — flagged by its completed column.
+        let csv = set.to_csv_string();
+        let truncated_row = csv.lines().find(|l| l.starts_with("truncated")).unwrap();
+        assert!(truncated_row.contains(",false,"));
     }
 
     #[test]

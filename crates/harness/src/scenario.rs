@@ -126,8 +126,9 @@ impl ConfigSpec {
         self
     }
 
-    /// Builds the concrete [`NdpConfig`].
-    pub fn to_ndp_config(&self) -> NdpConfig {
+    /// Builds the concrete [`NdpConfig`], rejecting invalid machine geometries with
+    /// an error naming the offending field.
+    pub fn to_ndp_config(&self) -> Result<NdpConfig, HarnessError> {
         let mut params = MechanismParams::new(self.mechanism)
             .with_st_entries(self.st_entries)
             .with_overflow_mode(self.overflow_mode)
@@ -150,6 +151,7 @@ impl ConfigSpec {
             .seed(self.seed)
             .max_events(self.max_events)
             .build()
+            .map_err(|e| HarnessError::Config(e.to_string()))
     }
 
     /// Serializes the config into a table value (all fields, deterministic order).
@@ -232,6 +234,9 @@ impl ConfigSpec {
                 }
             }
         }
+        // Reject impossible machine geometries at decode time with an error naming
+        // the offending field, instead of letting them reach the simulator.
+        spec.to_ndp_config()?;
         Ok(spec)
     }
 
@@ -385,7 +390,7 @@ impl Scenario {
     pub fn run(&self) -> Result<syncron_system::RunReport, HarnessError> {
         let workload = self.workload.build()?;
         Ok(syncron_system::run_workload(
-            &self.config.to_ndp_config(),
+            &self.config.to_ndp_config()?,
             workload.as_ref(),
         ))
     }
@@ -445,7 +450,7 @@ mod tests {
     #[test]
     fn config_spec_defaults_match_paper() {
         let spec = ConfigSpec::default();
-        let cfg = spec.to_ndp_config();
+        let cfg = spec.to_ndp_config().unwrap();
         let paper = NdpConfig::paper_default();
         assert_eq!(cfg.units, paper.units);
         assert_eq!(cfg.cores_per_unit, paper.cores_per_unit);
@@ -476,13 +481,40 @@ mod tests {
         };
         let doc = spec.to_value();
         assert_eq!(ConfigSpec::from_value(&doc).unwrap(), spec);
-        let ndp = spec.to_ndp_config();
+        let ndp = spec.to_ndp_config().unwrap();
         assert!(!ndp.mechanism.signal_coalescing);
         assert_eq!(ndp.mechanism.signal_backoff_ns, 75);
         // And through JSON text.
         let text = doc.to_json();
         let back = ConfigSpec::from_value(&crate::json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn impossible_geometries_are_rejected_at_decode_time() {
+        // The decode path must reject geometries the hardware IDs cannot address,
+        // naming the offending field, instead of handing them to the simulator where
+        // the old fixed-width waitlists would silently alias waiters.
+        for (doc, field) in [
+            (r#"{"cores_per_unit": 257}"#, "cores_per_unit"),
+            (r#"{"units": 300}"#, "units"),
+            (r#"{"units": 0}"#, "units"),
+            (r#"{"cores_per_unit": 0}"#, "cores_per_unit"),
+            (r#"{"st_entries": 0}"#, "st_entries"),
+            (r#"{"max_events": 0}"#, "max_events"),
+        ] {
+            let value = crate::json::parse(doc).unwrap();
+            match ConfigSpec::from_value(&value) {
+                Err(HarnessError::Config(m)) => {
+                    assert!(m.contains(field), "error '{m}' must name '{field}'")
+                }
+                other => panic!("{doc} must be rejected with a config error, got {other:?}"),
+            }
+        }
+        // The largest ID-addressable geometry decodes fine.
+        let value = crate::json::parse(r#"{"units": 256, "cores_per_unit": 256}"#).unwrap();
+        let spec = ConfigSpec::from_value(&value).unwrap();
+        assert_eq!(spec.to_ndp_config().unwrap().total_cores(), 65536);
     }
 
     #[test]

@@ -16,6 +16,10 @@ use core::fmt;
 pub struct UnitId(pub u8);
 
 impl UnitId {
+    /// Maximum number of NDP units addressable by the 8-bit unit ID. Machine
+    /// geometries are validated against this bound when a configuration is built.
+    pub const MAX_COUNT: usize = u8::MAX as usize + 1;
+
     /// Returns the unit index as a `usize`, for indexing per-unit vectors.
     #[inline]
     pub fn index(self) -> usize {
@@ -35,6 +39,11 @@ impl fmt::Display for UnitId {
 pub struct CoreId(pub u8);
 
 impl CoreId {
+    /// Maximum number of cores per NDP unit addressable by the 8-bit local core ID.
+    /// Machine geometries are validated against this bound when a configuration is
+    /// built.
+    pub const MAX_COUNT: usize = u8::MAX as usize + 1;
+
     /// Returns the core index as a `usize`, for indexing per-core vectors.
     #[inline]
     pub fn index(self) -> usize {

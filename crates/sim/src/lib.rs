@@ -12,6 +12,8 @@
 //!   can be composed without fractional cycles.
 //! * [`ids`] — strongly-typed identifiers for NDP units, per-unit cores, and
 //!   system-global cores, plus physical addresses.
+//! * [`bitqueue`] — a growable, allocation-light waiter bit queue (inline `u64` fast
+//!   path, spilling past 64 bits) backing the Synchronization Table waiting lists.
 //! * [`event`] — a stable (FIFO-within-timestamp) binary-heap event queue.
 //! * [`rng`] — a small, fully deterministic `SplitMix64`/`xoshiro256**` random number
 //!   generator so simulations are reproducible regardless of platform.
@@ -39,6 +41,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod bitqueue;
 pub mod event;
 pub mod ids;
 pub mod queueing;
@@ -46,6 +49,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use bitqueue::BitQueue;
 pub use event::EventQueue;
 pub use ids::{Addr, CoreId, GlobalCoreId, UnitId};
 pub use rng::SimRng;

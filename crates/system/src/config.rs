@@ -8,6 +8,8 @@
 
 pub use syncron_mem::dram::MemTech;
 
+use core::fmt;
+
 use syncron_core::mechanism::{MechanismKind, MechanismParams};
 use syncron_core::protocol::OverflowMode;
 use syncron_mem::cache::CacheConfig;
@@ -16,6 +18,63 @@ use syncron_net::crossbar::CrossbarConfig;
 use syncron_net::link::LinkConfig;
 use syncron_sim::time::{Freq, Time};
 use syncron_sim::{CoreId, GlobalCoreId, UnitId};
+
+/// Largest number of NDP units a configuration may request, bounded by the 8-bit
+/// unit IDs ([`UnitId::MAX_COUNT`]).
+pub const MAX_UNITS: usize = UnitId::MAX_COUNT;
+
+/// Largest number of NDP cores per unit a configuration may request, bounded by the
+/// 8-bit local core IDs ([`CoreId::MAX_COUNT`]).
+pub const MAX_CORES_PER_UNIT: usize = CoreId::MAX_COUNT;
+
+/// A rejected machine configuration, naming the offending field.
+///
+/// Produced by [`NdpConfigBuilder::build`] and [`NdpConfig::validate`]. Before this
+/// existed, impossible geometries were silently clamped or — worse — accepted:
+/// `cores_per_unit(128)` built fine while the 64-bit waiting lists aliased waiters
+/// modulo 64 in release builds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// A count field that must be at least 1 was 0.
+    Zero {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// A geometry field exceeded what the hardware IDs can address.
+    TooLarge {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: usize,
+        /// The largest supported value.
+        max: usize,
+    },
+}
+
+impl ConfigError {
+    /// The name of the offending configuration field.
+    pub fn field(&self) -> &'static str {
+        match self {
+            ConfigError::Zero { field } | ConfigError::TooLarge { field, .. } => field,
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Zero { field } => {
+                write!(f, "invalid config: {field} must be at least 1")
+            }
+            ConfigError::TooLarge { field, value, max } => write!(
+                f,
+                "invalid config: {field} = {value} exceeds the supported maximum of {max}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// How shared read-write data is kept coherent.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -93,6 +152,40 @@ impl NdpConfig {
         }
     }
 
+    /// Validates the machine geometry and mechanism parameters, naming the offending
+    /// field on rejection.
+    ///
+    /// [`NdpConfigBuilder::build`] runs this automatically; call it directly when a
+    /// configuration is assembled field-by-field rather than through the builder.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let at_least_one = [
+            ("units", self.units),
+            ("cores_per_unit", self.cores_per_unit),
+            ("st_entries", self.mechanism.st_entries),
+            ("indexing_counters", self.mechanism.indexing_counters),
+        ];
+        for (field, value) in at_least_one {
+            if value == 0 {
+                return Err(ConfigError::Zero { field });
+            }
+        }
+        if self.max_events == 0 {
+            return Err(ConfigError::Zero {
+                field: "max_events",
+            });
+        }
+        let bounded = [
+            ("units", self.units, MAX_UNITS),
+            ("cores_per_unit", self.cores_per_unit, MAX_CORES_PER_UNIT),
+        ];
+        for (field, value, max) in bounded {
+            if value > max {
+                return Err(ConfigError::TooLarge { field, value, max });
+            }
+        }
+        Ok(())
+    }
+
     /// Total number of NDP cores, including any reserved server cores.
     pub fn total_cores(&self) -> usize {
         self.units * self.cores_per_unit
@@ -157,15 +250,17 @@ pub struct NdpConfigBuilder {
 }
 
 impl NdpConfigBuilder {
-    /// Sets the number of NDP units.
+    /// Sets the number of NDP units. Out-of-range values are reported by
+    /// [`NdpConfigBuilder::build`] rather than silently clamped.
     pub fn units(mut self, units: usize) -> Self {
-        self.config.units = units.max(1);
+        self.config.units = units;
         self
     }
 
-    /// Sets the number of NDP cores per unit.
+    /// Sets the number of NDP cores per unit. Out-of-range values are reported by
+    /// [`NdpConfigBuilder::build`] rather than silently clamped.
     pub fn cores_per_unit(mut self, cores: usize) -> Self {
-        self.config.cores_per_unit = cores.max(1);
+        self.config.cores_per_unit = cores;
         self
     }
 
@@ -250,9 +345,14 @@ impl NdpConfigBuilder {
         self
     }
 
-    /// Finalizes the configuration.
-    pub fn build(self) -> NdpConfig {
-        self.config
+    /// Finalizes the configuration, validating the machine geometry.
+    ///
+    /// Returns a [`ConfigError`] naming the offending field for degenerate layouts
+    /// (zero units/cores/ST entries/event budget) and for geometries beyond what the
+    /// hardware IDs can address ([`MAX_UNITS`] × [`MAX_CORES_PER_UNIT`]).
+    pub fn build(self) -> Result<NdpConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -285,7 +385,10 @@ mod tests {
         assert_eq!(clients.len(), 60);
         assert!(clients.iter().all(|c| c.core.index() < 15));
         // Without the reservation all cores are clients.
-        let cfg = NdpConfig::builder().reserve_server_core(false).build();
+        let cfg = NdpConfig::builder()
+            .reserve_server_core(false)
+            .build()
+            .unwrap();
         assert_eq!(cfg.total_clients(), 64);
     }
 
@@ -297,7 +400,8 @@ mod tests {
             .units(2)
             .cores_per_unit(1)
             .reserve_server_core(true)
-            .build();
+            .build()
+            .unwrap();
         assert!(!cfg.has_dedicated_server());
         assert_eq!(cfg.clients_per_unit(), 1);
         assert_eq!(cfg.total_clients(), 2);
@@ -308,7 +412,8 @@ mod tests {
             .units(2)
             .cores_per_unit(2)
             .reserve_server_core(true)
-            .build();
+            .build()
+            .unwrap();
         assert!(cfg.has_dedicated_server());
         assert_eq!(cfg.clients_per_unit(), 1);
         assert_eq!(cfg.total_clients(), 2);
@@ -328,7 +433,8 @@ mod tests {
             .signal_backoff_ns(75)
             .seed(7)
             .max_events(1000)
-            .build();
+            .build()
+            .unwrap();
         assert!(!cfg.mechanism.signal_coalescing);
         assert_eq!(cfg.mechanism.signal_backoff_ns, 75);
         assert_eq!(cfg.units, 2);
@@ -343,8 +449,64 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_geometries_are_typed_errors() {
+        // Zero-sized fields name themselves.
+        let err = NdpConfig::builder().units(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::Zero { field: "units" });
+        let err = NdpConfig::builder().cores_per_unit(0).build().unwrap_err();
+        assert_eq!(err.field(), "cores_per_unit");
+        let err = NdpConfig::builder().st_entries(0).build().unwrap_err();
+        assert_eq!(err.field(), "st_entries");
+        let err = NdpConfig::builder().max_events(0).build().unwrap_err();
+        assert_eq!(err.field(), "max_events");
+
+        // Geometries beyond the 8-bit hardware IDs are rejected, not aliased.
+        let err = NdpConfig::builder()
+            .cores_per_unit(MAX_CORES_PER_UNIT + 1)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::TooLarge {
+                field: "cores_per_unit",
+                value: MAX_CORES_PER_UNIT + 1,
+                max: MAX_CORES_PER_UNIT,
+            }
+        );
+        assert!(err.to_string().contains("cores_per_unit"));
+        let err = NdpConfig::builder()
+            .units(MAX_UNITS + 1)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "units");
+    }
+
+    #[test]
+    fn large_geometries_within_the_id_width_build() {
+        // The fixed-width waitlists used to cap the machine at 64 cores/units; the
+        // full ID-addressable range now builds.
+        for (units, cores) in [
+            (1, 128),
+            (16, 256),
+            (64, 64),
+            (MAX_UNITS, MAX_CORES_PER_UNIT),
+        ] {
+            let cfg = NdpConfig::builder()
+                .units(units)
+                .cores_per_unit(cores)
+                .build()
+                .unwrap_or_else(|e| panic!("{units}x{cores}: {e}"));
+            assert_eq!(cfg.total_cores(), units * cores);
+        }
+    }
+
+    #[test]
     fn client_core_order_is_unit_major() {
-        let cfg = NdpConfig::builder().units(2).cores_per_unit(3).build();
+        let cfg = NdpConfig::builder()
+            .units(2)
+            .cores_per_unit(3)
+            .build()
+            .unwrap();
         let clients = cfg.client_cores();
         assert_eq!(clients[0], GlobalCoreId::new(UnitId(0), CoreId(0)));
         assert_eq!(clients[2], GlobalCoreId::new(UnitId(1), CoreId(0)));

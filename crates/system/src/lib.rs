@@ -69,7 +69,8 @@
 //!     .units(2)
 //!     .cores_per_unit(4)
 //!     .mechanism(MechanismKind::SynCron)
-//!     .build();
+//!     .build()
+//!     .expect("a valid machine geometry");
 //! let report = run_workload(&config, &TinyLock);
 //! assert!(report.completed);
 //! assert!(report.sim_time > Time::ZERO);
@@ -86,7 +87,7 @@ pub mod report;
 pub mod workload;
 
 pub use address::{AddressSpace, DataClass};
-pub use config::{CoherenceMode, MemTech, NdpConfig};
+pub use config::{CoherenceMode, ConfigError, MemTech, NdpConfig};
 pub use machine::{run_workload, NdpMachine};
 pub use report::RunReport;
 pub use workload::{Action, CoreProgram, Workload};

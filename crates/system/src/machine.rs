@@ -166,9 +166,13 @@ impl NdpMachine {
     ///
     /// # Panics
     ///
-    /// Panics if the workload returns a different number of programs than there are
-    /// client cores.
+    /// Panics if `config` is invalid (see [`NdpConfig::validate`]; configurations
+    /// from [`NdpConfig::builder`] are always valid) or if the workload returns a
+    /// different number of programs than there are client cores.
     pub fn new(config: &NdpConfig, workload: &dyn Workload) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         let mut space = AddressSpace::new(config.units);
         let clients = config.client_cores();
         let programs = workload.build(&mut space, config, &clients);
@@ -202,7 +206,10 @@ impl NdpMachine {
             done_count: 0,
             last_finish: Time::ZERO,
             time: Time::ZERO,
-            queue: EventQueue::with_capacity(clients.len() * 4),
+            // Pre-size for the steady state so large geometries (thousands of cores)
+            // never reallocate the heap mid-run: every client can have a step or
+            // resume event in flight plus a few mechanism tokens each.
+            queue: EventQueue::with_capacity(clients.len() * 8 + 64),
             l1s: clients.iter().map(|_| L1Cache::new(config.l1)).collect(),
             server_l1s: (0..config.units).map(|_| L1Cache::new(config.l1)).collect(),
             drams: (0..config.units)
@@ -644,6 +651,7 @@ mod tests {
             .cores_per_unit(4)
             .mechanism(kind)
             .build()
+            .unwrap()
     }
 
     #[test]
@@ -865,7 +873,8 @@ mod tests {
             .coherence(CoherenceMode::MesiDirectory)
             .mechanism(MechanismKind::Ideal)
             .reserve_server_core(false)
-            .build();
+            .build()
+            .unwrap();
         let report = run_workload(&cfg, &SpinWorkload);
         assert!(report.completed);
         assert!(report.traffic.total_bytes() > 0);

@@ -566,6 +566,7 @@ mod tests {
             .cores_per_unit(4)
             .mechanism(kind)
             .build()
+            .expect("valid config")
     }
 
     #[test]
@@ -620,6 +621,7 @@ mod tests {
                 .cores_per_unit(16)
                 .mechanism(kind)
                 .build()
+                .expect("valid config")
         };
         let wl = GraphApp::new(GraphAlgo::Pr, tiny_input());
         let central = run_workload(&full(MechanismKind::Central), &wl);

@@ -509,6 +509,7 @@ mod tests {
             .cores_per_unit(4)
             .mechanism(kind)
             .build()
+            .expect("valid config")
     }
 
     #[test]
@@ -568,7 +569,8 @@ mod tests {
                 .cores_per_unit(4)
                 .mechanism(kind)
                 .max_events(300_000)
-                .build();
+                .build()
+                .expect("valid config");
             let report = run_workload(&cfg, &CondVarMicrobench::new(200, 8));
             assert!(
                 report.completed,
@@ -589,7 +591,8 @@ mod tests {
                 .cores_per_unit(16)
                 .mechanism(kind)
                 .max_events(2_000_000)
-                .build();
+                .build()
+                .expect("valid config");
             let report = run_workload(&cfg, &CondVarMicrobench::new(200, 2));
             assert!(report.completed, "{kind:?} (4x16, 60 clients)");
             assert!(
@@ -610,7 +613,8 @@ mod tests {
             .units(2)
             .cores_per_unit(4)
             .mechanism_params(params)
-            .build();
+            .build()
+            .expect("valid config");
         let report = run_workload(&cfg, &CondVarMicrobench::new(200, 4));
         assert!(report.completed);
         assert_eq!(report.sync.coalesced_signals, 0);

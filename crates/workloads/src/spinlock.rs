@@ -531,6 +531,7 @@ mod tests {
             .mechanism(MechanismKind::Ideal)
             .reserve_server_core(false)
             .build()
+            .expect("valid config")
     }
 
     #[test]
@@ -607,7 +608,8 @@ mod tests {
             .cores_per_unit(8)
             .mechanism(MechanismKind::Ideal)
             .reserve_server_core(false)
-            .build();
+            .build()
+            .expect("valid config");
         let ideal = run_workload(&ideal_cfg, &LockedStack::new(StackLock::SyncPrimitive, 20));
         assert!(mesi.completed && ideal.completed);
         assert!(

@@ -218,6 +218,7 @@ mod tests {
             .cores_per_unit(4)
             .mechanism(kind)
             .build()
+            .expect("valid config")
     }
 
     fn small() -> TimeSeries {

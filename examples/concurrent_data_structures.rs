@@ -17,7 +17,10 @@ fn main() {
     for name in ["stack", "hash-table", "bst-fg"] {
         println!("--- {name} ---");
         for kind in MechanismKind::COMPARED {
-            let config = NdpConfig::builder().mechanism(kind).build();
+            let config = NdpConfig::builder()
+                .mechanism(kind)
+                .build()
+                .expect("valid config");
             let workload = datastructures::by_name(name, 40).expect("known structure");
             let report = syncron::system::run_workload(&config, workload.as_ref());
             println!(
@@ -39,7 +42,10 @@ fn main() {
         let params = MechanismParams::new(MechanismKind::SynCron)
             .with_st_entries(16)
             .with_overflow_mode(mode);
-        let config = NdpConfig::builder().mechanism_params(params).build();
+        let config = NdpConfig::builder()
+            .mechanism_params(params)
+            .build()
+            .expect("valid config");
         let workload = datastructures::by_name("bst-fg", 40).expect("bst-fg");
         let report = syncron::system::run_workload(&config, workload.as_ref());
         println!(

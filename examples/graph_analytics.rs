@@ -35,7 +35,10 @@ fn main() {
         println!("--- {} ---", algo.name());
         let mut central = None;
         for kind in MechanismKind::COMPARED {
-            let config = NdpConfig::builder().mechanism(kind).build();
+            let config = NdpConfig::builder()
+                .mechanism(kind)
+                .build()
+                .expect("valid config");
             let report = syncron::system::run_workload(&config, &GraphApp::new(algo, input));
             let speedup = central
                 .as_ref()
@@ -62,7 +65,8 @@ fn main() {
     ] {
         let config = NdpConfig::builder()
             .mechanism(MechanismKind::SynCron)
-            .build();
+            .build()
+            .expect("valid config");
         let wl = GraphApp::new(GraphAlgo::Pr, input).with_partitioning(partitioning);
         let report = syncron::system::run_workload(&config, &wl);
         println!(

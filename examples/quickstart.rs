@@ -21,7 +21,8 @@ fn main() {
             .units(4)
             .cores_per_unit(16)
             .mechanism(kind)
-            .build();
+            .build()
+            .expect("valid config");
         let report = syncron::system::run_workload(&config, &workload);
         let speedup = central_time
             .map(|t: Time| t.as_ps() as f64 / report.sim_time.as_ps() as f64)

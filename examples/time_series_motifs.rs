@@ -25,7 +25,11 @@ fn main() {
             MechanismKind::SynCron,
             MechanismKind::Ideal,
         ] {
-            let config = NdpConfig::builder().mem_tech(tech).mechanism(kind).build();
+            let config = NdpConfig::builder()
+                .mem_tech(tech)
+                .mechanism(kind)
+                .build()
+                .expect("valid config");
             let report = syncron::system::run_workload(&config, &dataset);
             let vs_hier = hier_time
                 .map(|t: Time| t.as_ps() as f64 / report.sim_time.as_ps() as f64)

@@ -28,7 +28,8 @@
 //!     .units(2)
 //!     .cores_per_unit(4)
 //!     .mechanism(MechanismKind::SynCron)
-//!     .build();
+//!     .build()
+//!     .expect("a valid machine geometry");
 //!
 //! // Each core repeatedly acquires one global lock with an empty critical section.
 //! let workload = syncron::workloads::micro::LockMicrobench::new(200, 32);

@@ -16,6 +16,7 @@ fn paper_config(kind: MechanismKind) -> NdpConfig {
         .cores_per_unit(16)
         .mechanism(kind)
         .build()
+        .expect("valid config")
 }
 
 #[test]
@@ -79,7 +80,10 @@ fn claim_integrated_overflow_degrades_gracefully() {
         let params = MechanismParams::new(MechanismKind::SynCron)
             .with_st_entries(st)
             .with_overflow_mode(mode);
-        let config = NdpConfig::builder().mechanism_params(params).build();
+        let config = NdpConfig::builder()
+            .mechanism_params(params)
+            .build()
+            .expect("valid config");
         let wl = datastructures::by_name("bst-fg", ops).unwrap();
         syncron::system::run_workload(&config, wl.as_ref())
     };

@@ -14,6 +14,7 @@ fn config(kind: MechanismKind, units: usize, cores: usize) -> NdpConfig {
         .cores_per_unit(cores)
         .mechanism(kind)
         .build()
+        .expect("valid config")
 }
 
 fn tiny_graph() -> GraphInput {
