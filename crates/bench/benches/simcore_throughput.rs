@@ -1,0 +1,29 @@
+//! Simulator-throughput sweep: calendar-queue scheduler vs the `BinaryHeap`
+//! baseline across schemes × geometries (4×16 up to 16×256).
+//!
+//! Prints the comparison table and writes `BENCH_simcore.json` (override the
+//! path with `SYNCRON_BENCH_OUT`), then re-parses and schema-validates the file
+//! so a malformed export fails here rather than in a later trajectory job.
+
+use syncron_bench::experiments::simcore;
+
+fn main() {
+    let points = simcore::measure();
+    simcore::simcore_table(&points).print();
+
+    // Default to the repository root (bench targets run with the package as
+    // cwd), so the trajectory file lands next to EXPERIMENTS.md.
+    let path = std::env::var("SYNCRON_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simcore.json").into()
+    });
+    let doc = simcore::simcore_json(&points);
+    std::fs::write(&path, doc.to_json_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let parsed =
+        syncron_harness::json::parse(&text).unwrap_or_else(|e| panic!("{path} is not JSON: {e}"));
+    simcore::validate_simcore_json(&parsed)
+        .unwrap_or_else(|e| panic!("{path} fails schema validation: {e}"));
+    eprintln!("wrote {path} (schema {})", simcore::SIMCORE_SCHEMA);
+}

@@ -8,6 +8,7 @@
 //! | [`realapps`] | Figures 12–15, Table 7 |
 //! | [`sensitivity`] | Figures 17–22, 24 (fairness extension), scaling beyond Fig 13 |
 //! | [`hwcost`] | Table 8 |
+//! | [`simcore`] | Simulator-throughput trajectory (`BENCH_simcore.json`; not a paper figure) |
 
 pub mod datastructures;
 pub mod hwcost;
@@ -15,3 +16,4 @@ pub mod motivation;
 pub mod primitives;
 pub mod realapps;
 pub mod sensitivity;
+pub mod simcore;

@@ -1,0 +1,459 @@
+//! Simulator-throughput experiment: how fast the simulator itself runs.
+//!
+//! Unlike every other experiment in this crate, this one measures the *host*, not
+//! the simulated system: delivered events per wall-clock second of the run loop,
+//! swept over synchronization schemes × machine geometries (the paper's 4×16
+//! Table 5 machine up to the 16×256 scale-out of `scenarios/scale_4096.toml`),
+//! under both event-queue backends:
+//!
+//! * **heap baseline** — the original `BinaryHeap` scheduler with inline dispatch
+//!   disabled, i.e. the pre-calendar simulator;
+//! * **calendar** — the calendar-queue scheduler with the default inline-dispatch
+//!   budget.
+//!
+//! Both backends must produce bit-identical simulation reports
+//! ([`syncron_system::RunReport::same_simulation`] is asserted per point), so the
+//! comparison isolates scheduler cost. Runs execute serially (never through the
+//! parallel runner) and keep the best of [`REPEATS`] wall times, so numbers are
+//! not inflated by sibling runs competing for cores.
+//!
+//! The bench target `simcore_throughput` prints the table and writes the sweep as
+//! `BENCH_simcore.json` (schema [`SIMCORE_SCHEMA`], validated by
+//! [`validate_simcore_json`]) — one point of the simulator-performance trajectory
+//! per merged PR. `EXPERIMENTS.md` records the methodology and current numbers.
+
+use crate::{f2, scale, scaled, Table};
+use syncron_core::MechanismKind;
+use syncron_harness::json::Value;
+use syncron_harness::{ConfigSpec, Scenario, SchedulerKind, WorkloadSpec};
+use syncron_workloads::micro::SyncPrimitive;
+
+/// Schema identifier embedded in (and required from) `BENCH_simcore.json`.
+pub const SIMCORE_SCHEMA: &str = "syncron-bench-simcore/v1";
+
+/// Timed repetitions per point; the best (smallest) wall time is kept.
+pub const REPEATS: usize = 3;
+
+/// Geometries swept: the paper's default machine up to the 4096-core scale-out.
+pub const GEOMETRIES: [(usize, usize); 3] = [(4, 16), (8, 64), (16, 256)];
+
+/// One timed run of one scenario under one scheduler backend.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Whether the run finished before its event budget.
+    pub completed: bool,
+    /// Events the run loop delivered.
+    pub events: u64,
+    /// Best-of-[`REPEATS`] wall-clock seconds.
+    pub wall_seconds: f64,
+    /// `events / wall_seconds` for the best repetition.
+    pub events_per_sec: f64,
+}
+
+/// Heap-baseline and calendar measurements of one (geometry, mechanism) point.
+#[derive(Clone, Copy, Debug)]
+pub struct SimcorePoint {
+    /// NDP units of the simulated machine.
+    pub units: usize,
+    /// Cores per NDP unit of the simulated machine.
+    pub cores_per_unit: usize,
+    /// Synchronization scheme the simulated machine ran.
+    pub mechanism: MechanismKind,
+    /// The `BinaryHeap` scheduler with inline dispatch disabled.
+    pub heap: Measurement,
+    /// The calendar-queue scheduler with the default inline-dispatch budget.
+    pub calendar: Measurement,
+}
+
+impl SimcorePoint {
+    /// `WxC` geometry label (`16x256`).
+    pub fn geometry(&self) -> String {
+        format!("{}x{}", self.units, self.cores_per_unit)
+    }
+
+    /// Simulator speedup of the calendar scheduler over the heap baseline.
+    pub fn speedup(&self) -> f64 {
+        if self.heap.events_per_sec > 0.0 {
+            self.calendar.events_per_sec / self.heap.events_per_sec
+        } else {
+            0.0
+        }
+    }
+}
+
+fn scenario(
+    units: usize,
+    cores_per_unit: usize,
+    mechanism: MechanismKind,
+    scheduler: SchedulerKind,
+    iterations: u32,
+) -> Scenario {
+    let mut config = ConfigSpec::default()
+        .with_geometry(units, cores_per_unit)
+        .with_mechanism(mechanism)
+        .with_scheduler(scheduler);
+    if scheduler == SchedulerKind::Heap {
+        // The baseline is the pre-calendar simulator: no inline dispatch either.
+        config = config.with_inline_step_budget(0);
+    }
+    config.max_events = 40_000_000;
+    Scenario::new(
+        format!(
+            "simcore/{units}x{cores_per_unit}/mech={}/sched={}",
+            mechanism.name(),
+            scheduler.name()
+        ),
+        config,
+        // The workload of scenarios/scale_4096.toml: a global barrier with short
+        // compute phases — every core stays active, so the event queue holds one
+        // event per core and the scheduler dominates the run-loop cost.
+        WorkloadSpec::Micro {
+            primitive: SyncPrimitive::Barrier,
+            interval: 100,
+            iterations,
+        },
+    )
+}
+
+fn measure_one(scenario: &Scenario) -> (syncron_system::RunReport, Measurement) {
+    let mut best: Option<syncron_system::RunReport> = None;
+    for _ in 0..REPEATS {
+        let report = scenario.run().expect("simcore scenario runs");
+        let keep = match &best {
+            Some(b) => report.perf.wall_seconds < b.perf.wall_seconds,
+            None => true,
+        };
+        if keep {
+            best = Some(report);
+        }
+    }
+    let report = best.expect("at least one repetition");
+    let m = Measurement {
+        completed: report.completed,
+        events: report.perf.events_delivered,
+        wall_seconds: report.perf.wall_seconds,
+        events_per_sec: report.perf.events_per_sec(),
+    };
+    (report, m)
+}
+
+/// Measures the sweep over explicit geometries and iteration count (exposed so
+/// tests can run a tiny instance; use [`measure`] for the real experiment).
+///
+/// # Panics
+///
+/// Panics if the two schedulers disagree on any simulation-determined report
+/// field — the determinism contract this whole PR rests on.
+pub fn measure_geometries(geometries: &[(usize, usize)], iterations: u32) -> Vec<SimcorePoint> {
+    let mut points = Vec::new();
+    for &(units, cores_per_unit) in geometries {
+        for mechanism in MechanismKind::COMPARED {
+            let (heap_report, heap) = measure_one(&scenario(
+                units,
+                cores_per_unit,
+                mechanism,
+                SchedulerKind::Heap,
+                iterations,
+            ));
+            let (cal_report, calendar) = measure_one(&scenario(
+                units,
+                cores_per_unit,
+                mechanism,
+                SchedulerKind::Calendar,
+                iterations,
+            ));
+            if let Some(field) = heap_report.divergence_from(&cal_report) {
+                panic!(
+                    "{units}x{cores_per_unit}/{}: calendar scheduler diverged from the \
+                     heap reference in {field}",
+                    mechanism.name()
+                );
+            }
+            points.push(SimcorePoint {
+                units,
+                cores_per_unit,
+                mechanism,
+                heap,
+                calendar,
+            });
+        }
+    }
+    points
+}
+
+/// Runs the full simulator-throughput sweep (respects `SYNCRON_SCALE`).
+///
+/// Eight barrier rounds (at scale 1) keep the 16×256 runs in the tens of
+/// milliseconds, where events/sec is stable against scheduler jitter.
+pub fn measure() -> Vec<SimcorePoint> {
+    measure_geometries(&GEOMETRIES, scaled(8, 1))
+}
+
+/// Aggregate (events-weighted) throughput comparison for one geometry.
+#[derive(Clone, Copy, Debug)]
+pub struct GeometrySummary {
+    /// NDP units.
+    pub units: usize,
+    /// Cores per unit.
+    pub cores_per_unit: usize,
+    /// Total events over total wall seconds under the heap baseline.
+    pub heap_events_per_sec: f64,
+    /// Total events over total wall seconds under the calendar scheduler.
+    pub calendar_events_per_sec: f64,
+}
+
+impl GeometrySummary {
+    /// Aggregate simulator speedup of the calendar scheduler for this geometry.
+    pub fn speedup(&self) -> f64 {
+        if self.heap_events_per_sec > 0.0 {
+            self.calendar_events_per_sec / self.heap_events_per_sec
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Collapses per-mechanism points into one events-weighted aggregate row per
+/// geometry (total events over total wall seconds, per backend).
+pub fn summarize(points: &[SimcorePoint]) -> Vec<GeometrySummary> {
+    let mut geoms: Vec<(usize, usize)> = Vec::new();
+    for p in points {
+        if !geoms.contains(&(p.units, p.cores_per_unit)) {
+            geoms.push((p.units, p.cores_per_unit));
+        }
+    }
+    geoms
+        .into_iter()
+        .map(|(units, cores_per_unit)| {
+            let selected: Vec<&SimcorePoint> = points
+                .iter()
+                .filter(|p| p.units == units && p.cores_per_unit == cores_per_unit)
+                .collect();
+            let heap_events: u64 = selected.iter().map(|p| p.heap.events).sum();
+            let heap_wall: f64 = selected.iter().map(|p| p.heap.wall_seconds).sum();
+            let cal_events: u64 = selected.iter().map(|p| p.calendar.events).sum();
+            let cal_wall: f64 = selected.iter().map(|p| p.calendar.wall_seconds).sum();
+            GeometrySummary {
+                units,
+                cores_per_unit,
+                heap_events_per_sec: if heap_wall > 0.0 {
+                    heap_events as f64 / heap_wall
+                } else {
+                    0.0
+                },
+                calendar_events_per_sec: if cal_wall > 0.0 {
+                    cal_events as f64 / cal_wall
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep as the experiment's text table.
+pub fn simcore_table(points: &[SimcorePoint]) -> Table {
+    let mut table = Table::new(
+        "Simulator throughput: calendar-queue scheduler vs BinaryHeap baseline \
+         (delivered events per wall-clock second)",
+        &[
+            "geometry",
+            "mechanism",
+            "events",
+            "heap ev/s",
+            "calendar ev/s",
+            "speedup",
+        ],
+    );
+    for p in points {
+        table.push_row(vec![
+            p.geometry(),
+            p.mechanism.name().to_string(),
+            p.calendar.events.to_string(),
+            format!("{:.3e}", p.heap.events_per_sec),
+            format!("{:.3e}", p.calendar.events_per_sec),
+            f2(p.speedup()),
+        ]);
+    }
+    for g in summarize(points) {
+        table.push_row(vec![
+            format!("{}x{}", g.units, g.cores_per_unit),
+            "(aggregate)".to_string(),
+            String::new(),
+            format!("{:.3e}", g.heap_events_per_sec),
+            format!("{:.3e}", g.calendar_events_per_sec),
+            f2(g.speedup()),
+        ]);
+    }
+    table
+}
+
+/// Serializes the sweep as the `BENCH_simcore.json` document.
+pub fn simcore_json(points: &[SimcorePoint]) -> Value {
+    let measurement = |m: &Measurement| {
+        Value::table([
+            ("completed", Value::Bool(m.completed)),
+            ("events", Value::Int(m.events as i64)),
+            ("wall_seconds", Value::Float(m.wall_seconds)),
+            ("events_per_sec", Value::Float(m.events_per_sec)),
+        ])
+    };
+    Value::table([
+        ("schema", Value::str(SIMCORE_SCHEMA)),
+        ("scale", Value::Float(scale())),
+        (
+            "workload",
+            Value::str("barrier-micro interval=100 (scenarios/scale_4096.toml shape)"),
+        ),
+        ("repeats", Value::Int(REPEATS as i64)),
+        (
+            "rows",
+            Value::Array(
+                points
+                    .iter()
+                    .map(|p| {
+                        Value::table([
+                            ("geometry", Value::str(p.geometry())),
+                            ("units", Value::Int(p.units as i64)),
+                            ("cores_per_unit", Value::Int(p.cores_per_unit as i64)),
+                            ("mechanism", Value::str(p.mechanism.name())),
+                            ("heap", measurement(&p.heap)),
+                            ("calendar", measurement(&p.calendar)),
+                            ("speedup", Value::Float(p.speedup())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "geometries",
+            Value::Array(
+                summarize(points)
+                    .iter()
+                    .map(|g| {
+                        Value::table([
+                            (
+                                "geometry",
+                                Value::str(format!("{}x{}", g.units, g.cores_per_unit)),
+                            ),
+                            ("heap_events_per_sec", Value::Float(g.heap_events_per_sec)),
+                            (
+                                "calendar_events_per_sec",
+                                Value::Float(g.calendar_events_per_sec),
+                            ),
+                            ("speedup", Value::Float(g.speedup())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Validates a parsed `BENCH_simcore.json` document against the schema the CI
+/// trajectory job (and future PR comparisons) relies on.
+pub fn validate_simcore_json(doc: &Value) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing 'schema' string")?;
+    if schema != SIMCORE_SCHEMA {
+        return Err(format!(
+            "schema mismatch: got '{schema}', expected '{SIMCORE_SCHEMA}'"
+        ));
+    }
+    doc.get("scale")
+        .and_then(Value::as_f64)
+        .ok_or("missing numeric 'scale'")?;
+    let rows = doc
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or("missing 'rows' array")?;
+    if rows.is_empty() {
+        return Err("'rows' is empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        for key in ["geometry", "mechanism"] {
+            row.get(key)
+                .and_then(Value::as_str)
+                .ok_or(format!("row {i}: missing string '{key}'"))?;
+        }
+        row.get("speedup")
+            .and_then(Value::as_f64)
+            .ok_or(format!("row {i}: missing numeric 'speedup'"))?;
+        for side in ["heap", "calendar"] {
+            let m = row.get(side).ok_or(format!("row {i}: missing '{side}'"))?;
+            m.get("completed")
+                .and_then(Value::as_bool)
+                .ok_or(format!("row {i}.{side}: missing bool 'completed'"))?;
+            for key in ["events", "wall_seconds", "events_per_sec"] {
+                m.get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("row {i}.{side}: missing numeric '{key}'"))?;
+            }
+        }
+    }
+    let geometries = doc
+        .get("geometries")
+        .and_then(Value::as_array)
+        .ok_or("missing 'geometries' array")?;
+    if geometries.is_empty() {
+        return Err("'geometries' is empty".into());
+    }
+    for (i, g) in geometries.iter().enumerate() {
+        g.get("geometry")
+            .and_then(Value::as_str)
+            .ok_or(format!("geometry {i}: missing string 'geometry'"))?;
+        for key in ["heap_events_per_sec", "calendar_events_per_sec", "speedup"] {
+            g.get(key)
+                .and_then(Value::as_f64)
+                .ok_or(format!("geometry {i}: missing numeric '{key}'"))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_measures_and_schedulers_agree() {
+        let points = measure_geometries(&[(2, 4)], 2);
+        assert_eq!(points.len(), MechanismKind::COMPARED.len());
+        for p in &points {
+            // Identical simulations deliver identical event counts under both
+            // backends (measure_geometries also asserts full report equality).
+            assert_eq!(p.heap.events, p.calendar.events, "{}", p.mechanism.name());
+            assert!(p.heap.completed && p.calendar.completed);
+            assert!(p.heap.events > 0);
+        }
+        let summary = summarize(&points);
+        assert_eq!(summary.len(), 1);
+        assert_eq!(summary[0].units, 2);
+        let table = simcore_table(&points);
+        assert_eq!(table.rows.len(), points.len() + summary.len());
+    }
+
+    #[test]
+    fn json_document_round_trips_and_validates() {
+        let points = measure_geometries(&[(2, 4)], 1);
+        let doc = simcore_json(&points);
+        validate_simcore_json(&doc).expect("fresh document validates");
+        // Through text and back (what the CI smoke job exercises).
+        let text = doc.to_json_pretty();
+        let parsed = syncron_harness::json::parse(&text).expect("valid JSON text");
+        validate_simcore_json(&parsed).expect("parsed document validates");
+    }
+
+    #[test]
+    fn validation_names_missing_pieces() {
+        let doc = syncron_harness::json::parse(r#"{"schema": "nope"}"#).unwrap();
+        assert!(validate_simcore_json(&doc).unwrap_err().contains("schema"));
+        let doc = syncron_harness::json::parse(&format!(
+            r#"{{"schema": "{SIMCORE_SCHEMA}", "scale": 1.0, "rows": []}}"#
+        ))
+        .unwrap();
+        assert!(validate_simcore_json(&doc).unwrap_err().contains("rows"));
+    }
+}

@@ -166,6 +166,8 @@ fn list() {
         "reserve_server_core=true|false    reserve one core per unit as server",
         "seed=<n>                          deterministic workload seed",
         "max_events=<n>                    event safety limit",
+        "scheduler=calendar|heap           event-queue backend (bit-identical results)",
+        "inline_step_budget=<n>            run-loop inline dispatch budget (0 disables)",
     ] {
         println!("    {line}");
     }
@@ -295,7 +297,10 @@ fn incomplete_warnings(results: &RunSet) -> Vec<String> {
     lines
 }
 
-fn print_summary(results: &RunSet) {
+/// Builds the per-scenario summary block `run`/`sweep` print: simulated results
+/// plus the simulator's own throughput (delivered events per wall-clock second),
+/// with an aggregate trailer line.
+fn summary_lines(results: &RunSet) -> Vec<String> {
     let width = results
         .entries()
         .iter()
@@ -303,20 +308,36 @@ fn print_summary(results: &RunSet) {
         .max()
         .unwrap_or(8)
         .max(8);
-    println!(
-        "{:<width$}  {:>12}  {:>10}  {:>9}  {:>12}",
-        "label", "sim time us", "ops/ms", "complete", "sync msgs"
-    );
+    let mut lines = vec![format!(
+        "{:<width$}  {:>12}  {:>10}  {:>9}  {:>12}  {:>12}",
+        "label", "sim time us", "ops/ms", "complete", "sync msgs", "sim ev/s"
+    )];
     for entry in results.entries() {
         let r = &entry.report;
-        println!(
-            "{:<width$}  {:>12.2}  {:>10.2}  {:>9}  {:>12}",
+        lines.push(format!(
+            "{:<width$}  {:>12.2}  {:>10.2}  {:>9}  {:>12}  {:>12.3e}",
             entry.scenario.label,
             r.sim_time.as_us_f64(),
             r.ops_per_ms(),
             if r.completed { "yes" } else { "NO" },
             r.sync.local_messages + r.sync.global_messages,
-        );
+            r.perf.events_per_sec(),
+        ));
+    }
+    if !results.is_empty() {
+        lines.push(format!(
+            "simulator: {} events in {:.3}s of simulation work ({:.3e} events/sec aggregate)",
+            results.total_events_delivered(),
+            results.total_wall_seconds(),
+            results.aggregate_events_per_sec(),
+        ));
+    }
+    lines
+}
+
+fn print_summary(results: &RunSet) {
+    for line in summary_lines(results) {
+        println!("{line}");
     }
 }
 
@@ -368,5 +389,31 @@ mod tests {
     fn fully_completed_runs_warn_nothing() {
         let set = RunSet::from_pairs([run_scenario("ok", 50_000_000)]).unwrap();
         assert!(incomplete_warnings(&set).is_empty());
+    }
+
+    #[test]
+    fn summary_prints_events_per_sec_per_scenario() {
+        let set = RunSet::from_pairs([
+            run_scenario("alpha", 50_000_000),
+            run_scenario("beta", 50_000_000),
+        ])
+        .unwrap();
+        let lines = summary_lines(&set);
+        // Header + one row per scenario + the aggregate trailer.
+        assert_eq!(lines.len(), 1 + set.len() + 1);
+        assert!(lines[0].contains("sim ev/s"));
+        for (entry, line) in set.entries().iter().zip(&lines[1..]) {
+            assert!(line.contains(&entry.scenario.label));
+            // The exact scientific-formatted throughput cell of this entry.
+            let cell = format!("{:.3e}", entry.report.perf.events_per_sec());
+            assert!(
+                line.contains(&cell),
+                "throughput cell {cell} missing in {line:?}"
+            );
+        }
+        let trailer = lines.last().unwrap();
+        assert!(trailer.contains("events/sec aggregate"));
+        assert!(trailer.contains(&set.total_events_delivered().to_string()));
+        assert!(summary_lines(&RunSet::empty()).len() == 1);
     }
 }

@@ -14,7 +14,8 @@
 //! without backoff NACKs, since wasted signals cost nothing here. With coalescing
 //! off, Ideal drops no-waiter signals just like the real schemes do.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use syncron_sim::FxHashMap;
 
 use crate::mechanism::{SyncContext, SyncMechanism, SyncMechanismStats};
 use crate::request::SyncRequest;
@@ -50,10 +51,10 @@ struct CondState {
 /// Zero-overhead synchronization mechanism.
 #[derive(Debug)]
 pub struct IdealMechanism {
-    locks: HashMap<Addr, LockState>,
-    barriers: HashMap<Addr, BarrierState>,
-    semaphores: HashMap<Addr, SemState>,
-    condvars: HashMap<Addr, CondState>,
+    locks: FxHashMap<Addr, LockState>,
+    barriers: FxHashMap<Addr, BarrierState>,
+    semaphores: FxHashMap<Addr, SemState>,
+    condvars: FxHashMap<Addr, CondState>,
     signal_coalescing: bool,
     stats: SyncMechanismStats,
 }
@@ -68,10 +69,10 @@ impl IdealMechanism {
     /// Creates an idle mechanism with signal coalescing on (the protocol default).
     pub fn new() -> Self {
         IdealMechanism {
-            locks: HashMap::new(),
-            barriers: HashMap::new(),
-            semaphores: HashMap::new(),
-            condvars: HashMap::new(),
+            locks: FxHashMap::default(),
+            barriers: FxHashMap::default(),
+            semaphores: FxHashMap::default(),
+            condvars: FxHashMap::default(),
             signal_coalescing: true,
             stats: SyncMechanismStats::default(),
         }

@@ -45,7 +45,8 @@
 //! ([`SyncMechanism::blocks_core`]), so each signaler has at most one signal in
 //! flight and the serving engine's queue stays bounded.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use syncron_sim::FxHashMap;
 
 use crate::counters::{IndexingCounters, SignalCounters};
 use crate::mechanism::{
@@ -301,16 +302,16 @@ struct Engine {
     busy: Serializer,
     st: SynchronizationTable,
     counters: IndexingCounters,
-    local_locks: HashMap<Addr, LocalLock>,
-    local_barriers: HashMap<Addr, LocalBarrier>,
-    master_locks: HashMap<Addr, MasterLock>,
-    master_barriers: HashMap<Addr, MasterBarrier>,
-    master_sems: HashMap<Addr, MasterSem>,
-    master_conds: HashMap<Addr, MasterCond>,
-    misar_abort_sent: HashMap<Addr, bool>,
+    local_locks: FxHashMap<Addr, LocalLock>,
+    local_barriers: FxHashMap<Addr, LocalBarrier>,
+    master_locks: FxHashMap<Addr, MasterLock>,
+    master_barriers: FxHashMap<Addr, MasterBarrier>,
+    master_sems: FxHashMap<Addr, MasterSem>,
+    master_conds: FxHashMap<Addr, MasterCond>,
+    misar_abort_sent: FxHashMap<Addr, bool>,
     /// In-memory `syncronVar` images for variables this engine serves without an ST
     /// entry (server-core backends, and SynCron's overflow path).
-    syncron_vars: HashMap<Addr, SyncronVar>,
+    syncron_vars: FxHashMap<Addr, SyncronVar>,
     signals: SignalCounters,
     units: usize,
     cores_per_unit: usize,
@@ -324,14 +325,14 @@ impl Engine {
             // so tracking waiters never allocates on the pop/wake hot path.
             st: SynchronizationTable::with_waiter_hint(st_entries, units, cores_per_unit),
             counters: IndexingCounters::new(counters),
-            local_locks: HashMap::new(),
-            local_barriers: HashMap::new(),
-            master_locks: HashMap::new(),
-            master_barriers: HashMap::new(),
-            master_sems: HashMap::new(),
-            master_conds: HashMap::new(),
-            misar_abort_sent: HashMap::new(),
-            syncron_vars: HashMap::new(),
+            local_locks: FxHashMap::default(),
+            local_barriers: FxHashMap::default(),
+            master_locks: FxHashMap::default(),
+            master_barriers: FxHashMap::default(),
+            master_sems: FxHashMap::default(),
+            master_conds: FxHashMap::default(),
+            misar_abort_sent: FxHashMap::default(),
+            syncron_vars: FxHashMap::default(),
             signals: SignalCounters::new(),
             units,
             cores_per_unit,
@@ -436,8 +437,17 @@ struct PendingEvent {
 pub struct ProtocolMechanism {
     config: ProtocolConfig,
     engines: Vec<Engine>,
-    pending: HashMap<u64, PendingEvent>,
-    next_token: u64,
+    /// In-flight scheduled messages, indexed by their event token. A slab with a
+    /// free list (rather than a map): scheduling and delivery bracket every
+    /// message event, so this sits on the hottest protocol path, and slot reuse
+    /// keeps the vector as small as the in-flight high-water mark.
+    pending: Vec<Option<PendingEvent>>,
+    pending_free: Vec<u32>,
+    /// Reusable outcome buffer for message processing: outcomes never nest
+    /// (applying them routes/schedules but does not process further messages
+    /// synchronously), so one buffer serves every `deliver` without a per-message
+    /// allocation.
+    outcome_scratch: Vec<Outcome>,
     stats: SyncMechanismStats,
     /// Variables that have been handed to the MiSAR-style software fallback. Once a
     /// variable overflows anywhere, every SE redirects it to the fallback server so
@@ -446,7 +456,7 @@ pub struct ProtocolMechanism {
     misar_fallback: std::collections::HashSet<Addr>,
     /// Consecutive-NACK streak per signaling core; indexes the exponential backoff
     /// and is cleared whenever one of the core's signals is accepted.
-    signal_streaks: HashMap<GlobalCoreId, u32>,
+    signal_streaks: FxHashMap<GlobalCoreId, u32>,
 }
 
 impl ProtocolMechanism {
@@ -465,11 +475,12 @@ impl ProtocolMechanism {
         ProtocolMechanism {
             config,
             engines,
-            pending: HashMap::new(),
-            next_token: 0,
+            pending: Vec::new(),
+            pending_free: Vec::new(),
+            outcome_scratch: Vec::new(),
             stats: SyncMechanismStats::default(),
             misar_fallback: std::collections::HashSet::new(),
-            signal_streaks: HashMap::new(),
+            signal_streaks: FxHashMap::default(),
         }
     }
 
@@ -516,9 +527,17 @@ impl ProtocolMechanism {
     }
 
     fn schedule_msg(&mut self, ctx: &mut dyn SyncContext, at: Time, unit: UnitId, msg: EngineMsg) {
-        let token = self.next_token;
-        self.next_token += 1;
-        self.pending.insert(token, PendingEvent { unit, msg });
+        let event = PendingEvent { unit, msg };
+        let token = match self.pending_free.pop() {
+            Some(slot) => {
+                self.pending[slot as usize] = Some(event);
+                u64::from(slot)
+            }
+            None => {
+                self.pending.push(Some(event));
+                (self.pending.len() - 1) as u64
+            }
+        };
         ctx.schedule(at, token);
     }
 
@@ -680,7 +699,8 @@ impl ProtocolMechanism {
         core: GlobalCoreId,
         req: SyncRequest,
         direct: bool,
-    ) -> Vec<Outcome> {
+        out: &mut Vec<Outcome>,
+    ) {
         let cores_per_unit = self.config.cores_per_unit;
         let total_cores = (self.config.units * cores_per_unit) as u32;
         let master = self.master_of(ctx, req.var());
@@ -689,12 +709,11 @@ impl ProtocolMechanism {
         let pending_cap = self.config.pending_signal_cap;
         let config = self.config;
         let engine = &mut self.engines[unit.index()];
-        let mut out = Vec::new();
 
         match req {
             SyncRequest::LockAcquire { var } => {
                 if direct {
-                    master_lock_acquire(engine, var, Grantee::Core(core), &mut out);
+                    master_lock_acquire(engine, var, Grantee::Core(core), &mut *out);
                 } else {
                     let ll = engine.local_locks.entry(var).or_default();
                     ll.waiters.push_back(core);
@@ -704,7 +723,7 @@ impl ProtocolMechanism {
                     let ll = engine.local_locks.get_mut(&var).expect("just inserted");
                     if ll.has_ownership {
                         if ll.holder.is_none() {
-                            grant_local_lock(engine, var, &mut out);
+                            grant_local_lock(engine, var, &mut *out);
                         }
                     } else if !ll.pending_global {
                         ll.pending_global = true;
@@ -722,7 +741,7 @@ impl ProtocolMechanism {
                     .get(&var)
                     .is_some_and(|ll| ll.has_ownership && ll.holder == Some(core));
                 if direct {
-                    master_lock_release(engine, var, Grantee::Core(core), &mut out);
+                    master_lock_release(engine, var, Grantee::Core(core), &mut *out);
                 } else if !locally_held {
                     // The core's acquire was granted at the master level (ST overflow
                     // redirection), so its release belongs there too. Processing it
@@ -755,7 +774,7 @@ impl ProtocolMechanism {
                     let over_threshold =
                         fairness.is_some_and(|t| ll.local_grants >= t) && !ll.waiters.is_empty();
                     if !ll.waiters.is_empty() && !over_threshold {
-                        grant_local_lock(engine, var, &mut out);
+                        grant_local_lock(engine, var, &mut *out);
                     } else {
                         // No more local requests (or fairness hand-off): return the lock
                         // to the Master SE with one aggregated release message.
@@ -793,7 +812,7 @@ impl ProtocolMechanism {
                     mb.arrived += 1;
                     mb.direct_waiters.push(core);
                     if mb.arrived >= participants {
-                        finish_master_barrier(engine, var, &mut out);
+                        finish_master_barrier(engine, var, &mut *out);
                     }
                 } else if local_only {
                     let lb = engine.local_barriers.entry(var).or_default();
@@ -1000,18 +1019,22 @@ impl ProtocolMechanism {
                 }
             }
         }
-        out
     }
 
-    fn process_global(&mut self, unit: UnitId, master: UnitId, msg: EngineMsg) -> Vec<Outcome> {
+    fn process_global(
+        &mut self,
+        unit: UnitId,
+        master: UnitId,
+        msg: EngineMsg,
+        out: &mut Vec<Outcome>,
+    ) {
         let engine = &mut self.engines[unit.index()];
-        let mut out = Vec::new();
         match msg {
             EngineMsg::LockAcquireGlobal { from, var } => {
-                master_lock_acquire(engine, var, Grantee::Unit(from), &mut out);
+                master_lock_acquire(engine, var, Grantee::Unit(from), &mut *out);
             }
             EngineMsg::LockReleaseGlobal { from, var } => {
-                master_lock_release(engine, var, Grantee::Unit(from), &mut out);
+                master_lock_release(engine, var, Grantee::Unit(from), &mut *out);
             }
             EngineMsg::LockGrantGlobal { var } => {
                 let ll = engine.local_locks.entry(var).or_default();
@@ -1019,7 +1042,7 @@ impl ProtocolMechanism {
                 ll.pending_global = false;
                 ll.local_grants = 0;
                 if ll.holder.is_none() && !ll.waiters.is_empty() {
-                    grant_local_lock(engine, var, &mut out);
+                    grant_local_lock(engine, var, &mut *out);
                 } else if ll.holder.is_none() {
                     // A grant with no local waiter left to serve (the waiters were
                     // redirected to the master while the request was in flight):
@@ -1047,7 +1070,7 @@ impl ProtocolMechanism {
                     mb.arrived_units.push(from);
                 }
                 if mb.arrived >= participants {
-                    finish_master_barrier(engine, var, &mut out);
+                    finish_master_barrier(engine, var, &mut *out);
                 }
             }
             EngineMsg::BarrierDepartGlobal { var } => {
@@ -1060,7 +1083,6 @@ impl ProtocolMechanism {
             }
             EngineMsg::CoreReq { .. } => unreachable!("core requests use process_core_request"),
         }
-        out
     }
 
     fn apply_outcomes(
@@ -1068,9 +1090,9 @@ impl ProtocolMechanism {
         ctx: &mut dyn SyncContext,
         at: Time,
         unit: UnitId,
-        outcomes: Vec<Outcome>,
+        outcomes: &mut Vec<Outcome>,
     ) {
-        for outcome in outcomes {
+        for outcome in outcomes.drain(..) {
             match outcome {
                 Outcome::Complete { core } => self.complete_core(ctx, at, unit, core),
                 Outcome::Nack { core, delay } => {
@@ -1302,9 +1324,19 @@ impl SyncMechanism for ProtocolMechanism {
     }
 
     fn deliver(&mut self, ctx: &mut dyn SyncContext, token: u64) {
-        let Some(PendingEvent { unit, msg }) = self.pending.remove(&token) else {
-            return;
+        // Slab slots are reused, so a token that resolves to an empty slot is no
+        // longer a harmless stray — it means a message was double-delivered (and
+        // its slot possibly already re-issued to an unrelated message). Fail
+        // loudly instead of silently dropping or mis-routing it.
+        let Some(PendingEvent { unit, msg }) =
+            self.pending.get_mut(token as usize).and_then(Option::take)
+        else {
+            panic!(
+                "protocol message token {token} delivered with no pending event: \
+                 double delivery or a token scheduled outside schedule_msg"
+            );
         };
+        self.pending_free.push(token as u32);
         let now = ctx.now();
         let var = msg.var();
         let kind = msg.primitive();
@@ -1387,7 +1419,7 @@ impl SyncMechanism for ProtocolMechanism {
                             outcomes.push(Outcome::MisarAbortBroadcast);
                         }
                         outcomes.push(Outcome::MisarSwitchBack { core });
-                        self.apply_outcomes(ctx, now, unit, outcomes);
+                        self.apply_outcomes(ctx, now, unit, &mut outcomes);
                         // The abort notification reaches the core, which switches to
                         // the software fallback and re-issues the request from there.
                         let abort_delivery = ctx.local_hop(unit, Self::local_bytes());
@@ -1426,16 +1458,20 @@ impl SyncMechanism for ProtocolMechanism {
         let start = self.engines[unit.index()].busy.acquire(now, service);
         let done = start + service;
 
-        let outcomes = match msg {
+        let mut outcomes = std::mem::take(&mut self.outcome_scratch);
+        debug_assert!(outcomes.is_empty());
+        match msg {
             EngineMsg::CoreReq {
                 core, req, direct, ..
-            } => self.process_core_request(unit, ctx, core, req, direct || fallback),
+            } => self.process_core_request(unit, ctx, core, req, direct || fallback, &mut outcomes),
             other => {
                 let master = self.master_of(ctx, var);
-                self.process_global(unit, master, other)
+                self.process_global(unit, master, other, &mut outcomes)
             }
-        };
-        self.apply_outcomes(ctx, done, unit, outcomes);
+        }
+        self.apply_outcomes(ctx, done, unit, &mut outcomes);
+        outcomes.clear();
+        self.outcome_scratch = outcomes;
     }
 
     fn stats(&self, end: Time) -> SyncMechanismStats {

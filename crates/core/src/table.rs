@@ -15,6 +15,7 @@
 use crate::request::PrimitiveKind;
 use syncron_sim::stats::TimeWeighted;
 use syncron_sim::time::Time;
+use syncron_sim::FxHashMap;
 use syncron_sim::{Addr, BitQueue, CoreId, UnitId};
 
 /// A hardware bit queue holding one bit per waiter (local NDP cores or SEs).
@@ -105,6 +106,11 @@ pub struct SynchronizationTable {
     global_waiter_bits: usize,
     /// Bits to pre-size the local waitlist of fresh entries for (one per NDP core).
     local_waiter_bits: usize,
+    /// Address -> slot index of the occupied entries. The hardware performs this
+    /// match associatively in one cycle; scanning all entries per lookup made the
+    /// ST the hottest structure of the simulator, so the model keeps a side index
+    /// (behaviour, including which slot an allocation picks, is unchanged).
+    index: FxHashMap<Addr, u32>,
 }
 
 impl SynchronizationTable {
@@ -128,6 +134,7 @@ impl SynchronizationTable {
             rejections: 0,
             global_waiter_bits: global_bits,
             local_waiter_bits: local_bits,
+            index: FxHashMap::default(),
         }
     }
 
@@ -148,12 +155,14 @@ impl SynchronizationTable {
 
     /// Looks up the entry for `addr`, if present.
     pub fn lookup(&self, addr: Addr) -> Option<&StEntry> {
-        self.entries.iter().flatten().find(|e| e.addr == addr)
+        let slot = *self.index.get(&addr)?;
+        self.entries[slot as usize].as_ref()
     }
 
     /// Looks up the entry for `addr` mutably, if present.
     pub fn lookup_mut(&mut self, addr: Addr) -> Option<&mut StEntry> {
-        self.entries.iter_mut().flatten().find(|e| e.addr == addr)
+        let slot = *self.index.get(&addr)?;
+        self.entries[slot as usize].as_mut()
     }
 
     /// Allocates an entry for `addr`. Returns `None` (and counts a rejection) if the
@@ -161,9 +170,10 @@ impl SynchronizationTable {
     ///
     /// If an entry for `addr` already exists it is returned unchanged.
     pub fn allocate(&mut self, now: Time, addr: Addr, kind: PrimitiveKind) -> Option<&mut StEntry> {
-        if self.entries.iter().flatten().any(|e| e.addr == addr) {
+        if self.index.contains_key(&addr) {
             return self.lookup_mut(addr);
         }
+        // First-free-slot choice is part of the modelled behaviour; keep the scan.
         let free = self.entries.iter().position(|e| e.is_none());
         match free {
             Some(slot) => {
@@ -186,6 +196,7 @@ impl SynchronizationTable {
                     info,
                     kind,
                 });
+                self.index.insert(addr, slot as u32);
                 self.occupied += 1;
                 self.allocations += 1;
                 self.occupancy.update(now, self.occupied as f64);
@@ -200,13 +211,13 @@ impl SynchronizationTable {
 
     /// Releases the entry for `addr` (no-op if absent).
     pub fn release(&mut self, now: Time, addr: Addr) {
-        for slot in &mut self.entries {
-            if slot.as_ref().is_some_and(|e| e.addr == addr) {
-                *slot = None;
-                self.occupied -= 1;
-                self.occupancy.update(now, self.occupied as f64);
-                return;
-            }
+        if let Some(slot) = self.index.remove(&addr) {
+            debug_assert!(self.entries[slot as usize]
+                .as_ref()
+                .is_some_and(|e| e.addr == addr));
+            self.entries[slot as usize] = None;
+            self.occupied -= 1;
+            self.occupancy.update(now, self.occupied as f64);
         }
     }
 

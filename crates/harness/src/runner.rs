@@ -33,7 +33,7 @@ type ProgressFn = dyn Fn(&Progress) + Send + Sync;
 
 /// Parallel scenario runner.
 pub struct Runner {
-    threads: Option<usize>,
+    threads: usize,
     progress: Option<Box<ProgressFn>>,
 }
 
@@ -53,18 +53,34 @@ impl Default for Runner {
 }
 
 impl Runner {
-    /// Creates a runner that uses all available host parallelism.
+    /// Creates a runner that uses all available host parallelism: the thread
+    /// count is resolved immediately from [`std::thread::available_parallelism`]
+    /// (falling back to 1 when the host cannot report it), never lazily — what
+    /// [`Runner::thread_count`] answers is what [`Runner::run`] will use.
     pub fn new() -> Self {
         Runner {
-            threads: None,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             progress: None,
         }
     }
 
-    /// Caps the number of worker threads (values are clamped to at least 1).
+    /// Caps the number of worker threads.
+    ///
+    /// `threads(0)` is deliberately clamped to 1 rather than rejected: a runner
+    /// always has at least one worker, so a computed cap that reaches zero (for
+    /// example `cores - reserved`) degrades to serial execution instead of
+    /// silently running nothing.
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = Some(threads.max(1));
+        self.threads = threads.max(1);
         self
+    }
+
+    /// The number of worker threads [`Runner::run`] will spawn (before the cap to
+    /// the scenario count).
+    pub fn thread_count(&self) -> usize {
+        self.threads
     }
 
     /// Installs a progress callback, invoked after every finished scenario.
@@ -96,14 +112,7 @@ impl Runner {
             return Ok(RunSet::empty());
         }
 
-        let threads = self
-            .threads
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(4)
-            })
-            .min(scenarios.len());
+        let threads = self.threads.min(scenarios.len());
 
         let cursor = AtomicUsize::new(0);
         let finished = AtomicUsize::new(0);
@@ -220,6 +229,27 @@ mod tests {
         let mut labels = seen.lock().unwrap().clone();
         labels.sort();
         assert_eq!(labels, vec!["s0", "s1", "s2", "s3"]);
+    }
+
+    #[test]
+    fn default_thread_count_comes_from_host_parallelism() {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(Runner::new().thread_count(), host);
+        assert!(Runner::new().thread_count() >= 1);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one_and_still_runs() {
+        let runner = Runner::new().threads(0);
+        assert_eq!(runner.thread_count(), 1);
+        let scenarios = tiny_scenarios(3);
+        let set = runner.run(&scenarios).unwrap();
+        assert_eq!(set.len(), 3);
+        assert!(set.entries().iter().all(|e| e.report.completed));
+        // Explicit caps are preserved as-is.
+        assert_eq!(Runner::new().threads(7).thread_count(), 7);
     }
 
     #[test]

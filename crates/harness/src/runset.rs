@@ -120,6 +120,36 @@ impl RunSet {
         Some((run, base))
     }
 
+    /// Total events the simulator delivered across every entry.
+    pub fn total_events_delivered(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| e.report.perf.events_delivered)
+            .sum()
+    }
+
+    /// Total wall-clock seconds the simulator spent across every entry.
+    ///
+    /// Under a parallel [`crate::runner::Runner`] this is accumulated busy time,
+    /// not elapsed time — runs overlap.
+    pub fn total_wall_seconds(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| e.report.perf.wall_seconds)
+            .sum()
+    }
+
+    /// Aggregate simulator throughput: total delivered events over total wall
+    /// time, in events per second (`0.0` for an empty set or unresolvable clock).
+    pub fn aggregate_events_per_sec(&self) -> f64 {
+        let wall = self.total_wall_seconds();
+        if wall > 0.0 {
+            self.total_events_delivered() as f64 / wall
+        } else {
+            0.0
+        }
+    }
+
     /// Serializes the set as a JSON value: an array of
     /// `{label, config, workload, report}` tables.
     pub fn to_json_value(&self) -> Value {
@@ -171,7 +201,8 @@ const CSV_HEADER: &str = "label,workload,mechanism,units,cores_per_unit,mem_tech
 st_entries,completed,sim_time_ps,total_ops,ops_per_ms,instructions,loads,stores,sync_requests,\
 energy_cache_pj,energy_network_pj,energy_memory_pj,energy_total_pj,intra_unit_bytes,\
 inter_unit_bytes,sync_local_messages,sync_global_messages,sync_mem_accesses,\
-overflow_fraction,st_max_occupancy,st_avg_occupancy,dram_accesses,l1_hit_ratio";
+overflow_fraction,st_max_occupancy,st_avg_occupancy,dram_accesses,l1_hit_ratio,\
+wall_seconds,events_delivered,events_per_sec";
 
 fn csv_field(s: &str) -> String {
     if s.contains([',', '"', '\n']) {
@@ -213,6 +244,9 @@ fn csv_row(label: &str, config: &ConfigSpec, r: &RunReport) -> String {
         format!("{:.4}", r.sync.st_avg_occupancy),
         r.dram_accesses.to_string(),
         format!("{:.4}", r.l1_hit_ratio),
+        format!("{:.6}", r.perf.wall_seconds),
+        r.perf.events_delivered.to_string(),
+        format!("{:.0}", r.perf.events_per_sec()),
     ]
     .join(",")
 }
@@ -304,6 +338,17 @@ pub fn report_to_value(r: &RunReport) -> Value {
         ),
         ("dram_accesses", Value::Int(r.dram_accesses as i64)),
         ("l1_hit_ratio", Value::Float(r.l1_hit_ratio)),
+        (
+            "perf",
+            Value::table([
+                ("wall_seconds", Value::Float(r.perf.wall_seconds)),
+                (
+                    "events_delivered",
+                    Value::Int(r.perf.events_delivered as i64),
+                ),
+                ("events_per_sec", Value::Float(r.perf.events_per_sec())),
+            ]),
+        ),
     ])
 }
 
@@ -420,5 +465,33 @@ mod tests {
             lines[1].split(',').count(),
             "header and rows must have the same column count"
         );
+        // Simulator-throughput columns ride along in both export formats.
+        assert!(lines[0].ends_with("wall_seconds,events_delivered,events_per_sec"));
+        let doc = crate::json::parse(&set.to_json_string()).unwrap();
+        let perf = doc.as_array().unwrap()[0]
+            .get("report")
+            .unwrap()
+            .get("perf")
+            .unwrap();
+        assert!(perf.get("events_delivered").unwrap().as_i64().unwrap() > 0);
+        assert!(perf.get("wall_seconds").is_some());
+        assert!(perf.get("events_per_sec").is_some());
+    }
+
+    #[test]
+    fn aggregates_sum_perf_across_entries() {
+        let set = small_set();
+        let events: u64 = set
+            .entries()
+            .iter()
+            .map(|e| e.report.perf.events_delivered)
+            .sum();
+        assert!(events > 0);
+        assert_eq!(set.total_events_delivered(), events);
+        assert!(set.total_wall_seconds() >= 0.0);
+        if set.total_wall_seconds() > 0.0 {
+            assert!(set.aggregate_events_per_sec() > 0.0);
+        }
+        assert_eq!(RunSet::empty().aggregate_events_per_sec(), 0.0);
     }
 }

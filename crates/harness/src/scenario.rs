@@ -10,7 +10,7 @@ use syncron_core::mechanism::{MechanismKind, MechanismParams};
 use syncron_core::protocol::OverflowMode;
 use syncron_mem::mesi::MesiParams;
 use syncron_mem::MemTech;
-use syncron_sim::Time;
+use syncron_sim::{SchedulerKind, Time};
 use syncron_system::config::{CoherenceMode, NdpConfig};
 
 use crate::error::HarnessError;
@@ -82,6 +82,12 @@ pub struct ConfigSpec {
     pub seed: u64,
     /// Event safety limit.
     pub max_events: u64,
+    /// Event-queue backend (`calendar` or `heap`). Reports are bit-identical
+    /// under either; the heap is the differential-testing reference and the
+    /// throughput-benchmark baseline.
+    pub scheduler: SchedulerKind,
+    /// Inline-dispatch fairness budget of the run loop (`0` disables inlining).
+    pub inline_step_budget: u32,
 }
 
 impl Default for ConfigSpec {
@@ -103,6 +109,8 @@ impl Default for ConfigSpec {
             reserve_server_core: paper.reserve_server_core,
             seed: paper.seed,
             max_events: paper.max_events,
+            scheduler: paper.scheduler,
+            inline_step_budget: paper.inline_step_budget,
         }
     }
 }
@@ -123,6 +131,18 @@ impl ConfigSpec {
     pub fn with_geometry(mut self, units: usize, cores_per_unit: usize) -> Self {
         self.units = units;
         self.cores_per_unit = cores_per_unit;
+        self
+    }
+
+    /// Selects the event-queue backend (builder style).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the inline-dispatch fairness budget (builder style; `0` disables).
+    pub fn with_inline_step_budget(mut self, budget: u32) -> Self {
+        self.inline_step_budget = budget;
         self
     }
 
@@ -150,6 +170,8 @@ impl ConfigSpec {
             .reserve_server_core(self.reserve_server_core)
             .seed(self.seed)
             .max_events(self.max_events)
+            .scheduler(self.scheduler)
+            .inline_step_budget(self.inline_step_budget)
             .build()
             .map_err(|e| HarnessError::Config(e.to_string()))
     }
@@ -174,6 +196,11 @@ impl ConfigSpec {
             ("reserve_server_core", Value::Bool(self.reserve_server_core)),
             ("seed", Value::Int(self.seed as i64)),
             ("max_events", Value::Int(self.max_events as i64)),
+            ("scheduler", Value::str(self.scheduler.name())),
+            (
+                "inline_step_budget",
+                Value::Int(self.inline_step_budget as i64),
+            ),
         ];
         if let Some(t) = self.fairness_threshold {
             pairs.push(("fairness_threshold", Value::Int(t as i64)));
@@ -227,6 +254,12 @@ impl ConfigSpec {
                 }
                 "seed" => spec.seed = u64_field(v, key)?,
                 "max_events" => spec.max_events = u64_field(v, key)?,
+                "scheduler" => spec.scheduler = parse_scheduler(str_field(v, key)?)?,
+                "inline_step_budget" => {
+                    spec.inline_step_budget = u64_field(v, key)?
+                        .try_into()
+                        .map_err(|_| HarnessError::spec("inline_step_budget must fit in a u32"))?
+                }
                 other => {
                     return Err(HarnessError::spec(format!(
                         "unknown config field '{other}'"
@@ -296,6 +329,19 @@ fn parse_mem_tech(name: &str) -> Result<MemTech, HarnessError> {
         .ok_or_else(|| {
             HarnessError::spec(format!(
                 "unknown memory technology '{name}' (hbm, hmc, ddr4)"
+            ))
+        })
+}
+
+/// Parses a scheduler backend name (`calendar` or `heap`).
+pub fn parse_scheduler(name: &str) -> Result<SchedulerKind, HarnessError> {
+    SchedulerKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| {
+            HarnessError::spec(format!(
+                "unknown scheduler '{name}' (expected calendar or heap)"
             ))
         })
 }
@@ -515,6 +561,28 @@ mod tests {
         let value = crate::json::parse(r#"{"units": 256, "cores_per_unit": 256}"#).unwrap();
         let spec = ConfigSpec::from_value(&value).unwrap();
         assert_eq!(spec.to_ndp_config().unwrap().total_cores(), 65536);
+    }
+
+    #[test]
+    fn scheduler_field_round_trips_and_rejects_unknown_names() {
+        let spec = ConfigSpec {
+            scheduler: SchedulerKind::Heap,
+            inline_step_budget: 0,
+            ..ConfigSpec::default()
+        };
+        let doc = spec.to_value();
+        let back = ConfigSpec::from_value(&doc).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_ndp_config().unwrap().scheduler, SchedulerKind::Heap);
+        assert_eq!(back.to_ndp_config().unwrap().inline_step_budget, 0);
+        // TOML/JSON text names.
+        let value = crate::json::parse(r#"{"scheduler": "calendar"}"#).unwrap();
+        assert_eq!(
+            ConfigSpec::from_value(&value).unwrap().scheduler,
+            SchedulerKind::Calendar
+        );
+        let value = crate::json::parse(r#"{"scheduler": "fifo"}"#).unwrap();
+        assert!(ConfigSpec::from_value(&value).is_err());
     }
 
     #[test]

@@ -9,11 +9,10 @@
 //! link for its serialization time (bytes / bandwidth), experiences the fixed transfer
 //! latency, and pays the 20-cycle controller overhead on each side.
 
-use std::collections::HashMap;
-
 use syncron_sim::queueing::Serializer;
 use syncron_sim::stats::Counter;
 use syncron_sim::time::{Freq, Time};
+use syncron_sim::FxHashMap;
 use syncron_sim::UnitId;
 
 /// Configuration of the inter-unit links.
@@ -87,9 +86,17 @@ pub struct LinkStats {
 #[derive(Clone, Debug)]
 pub struct InterUnitLink {
     config: LinkConfig,
-    channels: HashMap<(UnitId, UnitId), Serializer>,
+    channels: FxHashMap<(UnitId, UnitId), Serializer>,
     stats: LinkStats,
     energy_pj: f64,
+    /// Memoized `(bytes, serialization time)` pairs: link traffic is almost
+    /// entirely header- or line-sized — and the remote data path alternates
+    /// between the two back to back, so two entries (not one) are needed for the
+    /// memo to fire. Skips the float division of [`LinkConfig::serialization`]
+    /// without changing a bit of the result.
+    serialization_memo: [(u64, Time); 2],
+    /// Which memo entry the next miss evicts.
+    memo_evict: usize,
 }
 
 impl InterUnitLink {
@@ -97,9 +104,11 @@ impl InterUnitLink {
     pub fn new(config: LinkConfig) -> Self {
         InterUnitLink {
             config,
-            channels: HashMap::new(),
+            channels: FxHashMap::default(),
             stats: LinkStats::default(),
             energy_pj: 0.0,
+            serialization_memo: [(u64::MAX, Time::ZERO); 2],
+            memo_evict: 0,
         }
     }
 
@@ -118,7 +127,16 @@ impl InterUnitLink {
         assert_ne!(from, to, "inter-unit link used for intra-unit transfer");
         let cfg = &self.config;
         let controller = cfg.clock.cycles_to_ps(cfg.controller_cycles);
-        let serialization = cfg.serialization(bytes);
+        let serialization = if self.serialization_memo[0].0 == bytes {
+            self.serialization_memo[0].1
+        } else if self.serialization_memo[1].0 == bytes {
+            self.serialization_memo[1].1
+        } else {
+            let computed = cfg.serialization(bytes);
+            self.serialization_memo[self.memo_evict] = (bytes, computed);
+            self.memo_evict ^= 1;
+            computed
+        };
 
         let channel = self.channels.entry((from, to)).or_default();
         let start = channel.acquire(now + controller, serialization);

@@ -14,7 +14,10 @@
 //!   system-global cores, plus physical addresses.
 //! * [`bitqueue`] — a growable, allocation-light waiter bit queue (inline `u64` fast
 //!   path, spilling past 64 bits) backing the Synchronization Table waiting lists.
-//! * [`event`] — a stable (FIFO-within-timestamp) binary-heap event queue.
+//! * [`event`] — a stable (FIFO-within-timestamp) event queue with two
+//!   interchangeable, order-identical backends: a hierarchical calendar queue
+//!   (time wheel, the default) and the reference binary heap it is differentially
+//!   tested against.
 //! * [`rng`] — a small, fully deterministic `SplitMix64`/`xoshiro256**` random number
 //!   generator so simulations are reproducible regardless of platform.
 //! * [`stats`] — counters, running statistics, histograms and time-weighted averages
@@ -43,6 +46,7 @@
 
 pub mod bitqueue;
 pub mod event;
+pub mod hash;
 pub mod ids;
 pub mod queueing;
 pub mod rng;
@@ -50,7 +54,8 @@ pub mod stats;
 pub mod time;
 
 pub use bitqueue::BitQueue;
-pub use event::EventQueue;
+pub use event::{CalendarParams, EventQueue, SchedulerKind};
+pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{Addr, CoreId, GlobalCoreId, UnitId};
 pub use rng::SimRng;
 pub use time::{Freq, Time};

@@ -53,6 +53,12 @@ pub struct RateTracker {
     last: Time,
     weight: f64,
     total_packets: u64,
+    /// Memoized last decay step: event-driven traffic arrives with heavily
+    /// repeating inter-arrival gaps, so caching the most recent `(dt, exp(-dt/w))`
+    /// pair skips the `exp` call — the single most expensive float operation on
+    /// the crossbar hot path — without changing a single bit of the result.
+    cached_dt_ps: u64,
+    cached_factor: f64,
 }
 
 impl RateTracker {
@@ -68,6 +74,8 @@ impl RateTracker {
             last: Time::ZERO,
             weight: 0.0,
             total_packets: 0,
+            cached_dt_ps: 0,
+            cached_factor: 1.0,
         }
     }
 
@@ -93,10 +101,15 @@ impl RateTracker {
         if now <= self.last {
             return;
         }
-        let dt = (now - self.last).as_ps() as f64;
-        let w = self.window.as_ps() as f64;
-        // Exponential decay with time constant = window.
-        self.weight *= (-dt / w).exp();
+        let dt_ps = (now - self.last).as_ps();
+        // Exponential decay with time constant = window; `exp` of an identical
+        // `dt` is identical, so the one-entry memo is bit-exact.
+        if dt_ps != self.cached_dt_ps {
+            let w = self.window.as_ps() as f64;
+            self.cached_dt_ps = dt_ps;
+            self.cached_factor = (-(dt_ps as f64) / w).exp();
+        }
+        self.weight *= self.cached_factor;
         self.last = now;
     }
 }

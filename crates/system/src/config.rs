@@ -17,7 +17,7 @@ use syncron_mem::mesi::MesiParams;
 use syncron_net::crossbar::CrossbarConfig;
 use syncron_net::link::LinkConfig;
 use syncron_sim::time::{Freq, Time};
-use syncron_sim::{CoreId, GlobalCoreId, UnitId};
+use syncron_sim::{CoreId, GlobalCoreId, SchedulerKind, UnitId};
 
 /// Largest number of NDP units a configuration may request, bounded by the 8-bit
 /// unit IDs ([`UnitId::MAX_COUNT`]).
@@ -122,6 +122,19 @@ pub struct NdpConfig {
     /// Safety limit on delivered events, after which the run is aborted and the report
     /// is marked incomplete.
     pub max_events: u64,
+    /// Event-queue backend the run loop schedules through. The calendar queue (the
+    /// default) and the heap pop in exactly the same order, so reports are
+    /// bit-identical under either; the heap is kept as the differential-testing
+    /// reference and the throughput-benchmark baseline.
+    pub scheduler: SchedulerKind,
+    /// Fairness budget of the run loop's inline dispatch: how many consecutive
+    /// steps of one core may execute without a queue round-trip when that core's
+    /// next step strictly precedes every queued event. `0` disables inlining
+    /// (every step round-trips through the queue, as the pre-calendar simulator
+    /// did). Inlining never changes simulated behaviour — the strict-precedence
+    /// condition makes the inlined event the unique next pop — so this knob only
+    /// trades queue traffic against loop latency.
+    pub inline_step_budget: u32,
 }
 
 impl NdpConfig {
@@ -142,6 +155,8 @@ impl NdpConfig {
             reserve_server_core: true,
             seed: 0x5EED_5EED,
             max_events: 400_000_000,
+            scheduler: SchedulerKind::Calendar,
+            inline_step_budget: 64,
         }
     }
 
@@ -345,6 +360,19 @@ impl NdpConfigBuilder {
         self
     }
 
+    /// Selects the event-queue backend (see [`NdpConfig::scheduler`]).
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.config.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the inline-dispatch fairness budget (see
+    /// [`NdpConfig::inline_step_budget`]; `0` disables inlining).
+    pub fn inline_step_budget(mut self, budget: u32) -> Self {
+        self.config.inline_step_budget = budget;
+        self
+    }
+
     /// Finalizes the configuration, validating the machine geometry.
     ///
     /// Returns a [`ConfigError`] naming the offending field for degenerate layouts
@@ -373,6 +401,20 @@ mod tests {
         assert_eq!(cfg.mechanism.st_entries, 64);
         // Extension default: condvar signal coalescing is on.
         assert!(cfg.mechanism.signal_coalescing);
+        // Scheduling defaults: calendar queue with inline dispatch enabled.
+        assert_eq!(cfg.scheduler, SchedulerKind::Calendar);
+        assert_eq!(cfg.inline_step_budget, 64);
+    }
+
+    #[test]
+    fn scheduler_knobs_build() {
+        let cfg = NdpConfig::builder()
+            .scheduler(SchedulerKind::Heap)
+            .inline_step_budget(0)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.scheduler, SchedulerKind::Heap);
+        assert_eq!(cfg.inline_step_budget, 0);
     }
 
     #[test]

@@ -89,5 +89,5 @@ pub mod workload;
 pub use address::{AddressSpace, DataClass};
 pub use config::{CoherenceMode, ConfigError, MemTech, NdpConfig};
 pub use machine::{run_workload, NdpMachine};
-pub use report::RunReport;
+pub use report::{RunReport, SimPerf};
 pub use workload::{Action, CoreProgram, Workload};

@@ -6,10 +6,28 @@
 //! [`Action`] at a time, charging each action's latency through the corresponding
 //! models. The machine is fully deterministic: same configuration and workload seed,
 //! same result.
+//!
+//! # The run loop
+//!
+//! The scheduling core is built for large geometries (thousands of cores):
+//!
+//! * events flow through the calendar-queue scheduler by default
+//!   ([`syncron_sim::event::SchedulerKind`]; the reference heap is selectable per
+//!   configuration and produces bit-identical reports);
+//! * `CoreResume` events resolve cores through a precomputed dense
+//!   `GlobalCoreId -> client index` table — no hashing on the hottest path, and a
+//!   resume for a core that is not a client of this machine is a hard error naming
+//!   the core instead of a silently dropped event;
+//! * when a core's next step strictly precedes every queued event, the loop
+//!   executes it inline instead of round-tripping it through the queue, bounded by
+//!   the [`crate::config::NdpConfig::inline_step_budget`] fairness budget. The
+//!   strict-precedence condition makes the inlined event the unique next pop, so
+//!   inter-core ordering at equal timestamps — and therefore every report — is
+//!   unchanged.
 
 use crate::address::AddressSpace;
 use crate::config::{CoherenceMode, NdpConfig};
-use crate::report::RunReport;
+use crate::report::{RunReport, SimPerf};
 use crate::workload::{Action, CoreProgram, Workload};
 
 use syncron_core::mechanism::{build_mechanism, SyncContext, SyncMechanism};
@@ -20,7 +38,7 @@ use syncron_mem::mesi::{CoherentAccess, MesiDirectory};
 use syncron_net::crossbar::Crossbar;
 use syncron_net::link::InterUnitLink;
 use syncron_net::traffic::TrafficStats;
-use syncron_sim::event::EventQueue;
+use syncron_sim::event::{CalendarParams, EventQueue, SchedulerKind};
 use syncron_sim::time::Time;
 use syncron_sim::{Addr, GlobalCoreId, UnitId};
 
@@ -39,18 +57,72 @@ enum Event {
     SyncToken(u64),
 }
 
+/// Precomputed dense `GlobalCoreId -> client index` table.
+///
+/// Replaces the `HashMap` lookup that used to sit on the `CoreResume` hot path:
+/// resolution is one bounds check plus one slot load. Slots covering server cores
+/// (and the whole table for out-of-geometry IDs) answer `None`.
+#[derive(Debug)]
+struct ClientIndex {
+    units: usize,
+    cores_per_unit: usize,
+    /// One slot per `(unit, core)` of the configured geometry; `NOT_A_CLIENT`
+    /// marks reserved server cores.
+    slots: Vec<u32>,
+}
+
+const NOT_A_CLIENT: u32 = u32::MAX;
+
+impl ClientIndex {
+    fn new(units: usize, cores_per_unit: usize, clients: &[GlobalCoreId]) -> Self {
+        let mut slots = vec![NOT_A_CLIENT; units * cores_per_unit];
+        for (index, core) in clients.iter().enumerate() {
+            slots[core.flat_index(cores_per_unit)] = index as u32;
+        }
+        ClientIndex {
+            units,
+            cores_per_unit,
+            slots,
+        }
+    }
+
+    /// The dense client index of `core`, or `None` when the core is outside the
+    /// machine geometry or is a reserved server core.
+    #[inline]
+    fn get(&self, core: GlobalCoreId) -> Option<usize> {
+        // Guard both coordinates: a local core ID at or past `cores_per_unit`
+        // would otherwise alias into the next unit's flat range.
+        if core.unit.index() >= self.units || core.core.index() >= self.cores_per_unit {
+            return None;
+        }
+        let slot = self.slots[core.flat_index(self.cores_per_unit)];
+        (slot != NOT_A_CLIENT).then_some(slot as usize)
+    }
+}
+
+/// The machine state the synchronization mechanism operates on: the event queue,
+/// the network and memory substrates, and the address-space map.
+///
+/// Grouping these in one struct lets [`NdpMachine::with_mechanism`] hand the
+/// mechanism a [`MechCtx`] by borrowing two fields instead of reconstructing a
+/// ten-field context on every event (the per-event construction cost used to be
+/// paid once per `SyncToken` and once per synchronization request).
+struct Substrates {
+    queue: EventQueue<Event>,
+    crossbars: Vec<Crossbar>,
+    links: InterUnitLink,
+    drams: Vec<DramModel>,
+    server_l1s: Vec<L1Cache>,
+    traffic: TrafficStats,
+    space: AddressSpace,
+    units: usize,
+    cores_per_unit: usize,
+}
+
 /// Shared mutable machine state handed to the synchronization mechanism.
 struct MechCtx<'a> {
     now: Time,
-    queue: &'a mut EventQueue<Event>,
-    crossbars: &'a mut [Crossbar],
-    links: &'a mut InterUnitLink,
-    drams: &'a mut [DramModel],
-    server_l1s: &'a mut [L1Cache],
-    traffic: &'a mut TrafficStats,
-    space: &'a AddressSpace,
-    units: usize,
-    cores_per_unit: usize,
+    sub: &'a mut Substrates,
 }
 
 impl std::fmt::Debug for MechCtx<'_> {
@@ -65,19 +137,19 @@ impl SyncContext for MechCtx<'_> {
     }
 
     fn schedule(&mut self, at: Time, token: u64) {
-        self.queue.push(at, Event::SyncToken(token));
+        self.sub.queue.push(at, Event::SyncToken(token));
     }
 
     fn local_hop(&mut self, unit: UnitId, bytes: u64) -> Time {
-        self.traffic.add_intra(bytes);
-        self.crossbars[unit.index()].transfer(self.now, bytes)
+        self.sub.traffic.add_intra(bytes);
+        self.sub.crossbars[unit.index()].transfer(self.now, bytes)
     }
 
     fn remote_hop(&mut self, from: UnitId, to: UnitId, bytes: u64) -> Time {
-        self.traffic.add_inter(bytes);
-        let mut lat = self.crossbars[from.index()].transfer(self.now, bytes);
-        lat += self.links.transfer(self.now + lat, from, to, bytes);
-        lat += self.crossbars[to.index()].transfer(self.now + lat, bytes);
+        self.sub.traffic.add_inter(bytes);
+        let mut lat = self.sub.crossbars[from.index()].transfer(self.now, bytes);
+        lat += self.sub.links.transfer(self.now + lat, from, to, bytes);
+        lat += self.sub.crossbars[to.index()].transfer(self.now + lat, bytes);
         lat
     }
 
@@ -85,60 +157,56 @@ impl SyncContext for MechCtx<'_> {
         let u = unit.index();
         let mut lat = Time::ZERO;
         if cached {
-            let outcome = self.server_l1s[u].access(addr, write);
-            lat += self.server_l1s[u].hit_latency();
+            let outcome = self.sub.server_l1s[u].access(addr, write);
+            lat += self.sub.server_l1s[u].hit_latency();
             if outcome.is_hit() {
                 return lat;
             }
         }
         // Miss (or uncached syncronVar access): go to the unit's local DRAM through the
         // crossbar.
-        lat += self.crossbars[u].transfer(self.now + lat, HDR_BYTES);
-        let done = self.drams[u].access(self.now + lat, addr, write);
+        lat += self.sub.crossbars[u].transfer(self.now + lat, HDR_BYTES);
+        let done = self.sub.drams[u].access(self.now + lat, addr, write);
         lat = done.saturating_sub(self.now);
-        lat += self.crossbars[u].transfer(self.now + lat, LINE_BYTES);
-        self.traffic.add_intra(HDR_BYTES + LINE_BYTES);
+        lat += self.sub.crossbars[u].transfer(self.now + lat, LINE_BYTES);
+        self.sub.traffic.add_intra(HDR_BYTES + LINE_BYTES);
         lat
     }
 
     fn home_unit(&self, addr: Addr) -> UnitId {
-        self.space.home_unit(addr)
+        self.sub.space.home_unit(addr)
     }
 
     fn complete(&mut self, core: GlobalCoreId, at: Time) {
         // The machine resolves the core's dense client index from its global identity.
-        self.queue.push(at.max(self.now), Event::CoreResume(core));
+        self.sub
+            .queue
+            .push(at.max(self.now), Event::CoreResume(core));
     }
 
     fn units(&self) -> usize {
-        self.units
+        self.sub.units
     }
 
     fn cores_per_unit(&self) -> usize {
-        self.cores_per_unit
+        self.sub.cores_per_unit
     }
 }
 
 /// The simulated NDP system.
 pub struct NdpMachine {
     config: NdpConfig,
-    space: AddressSpace,
     clients: Vec<GlobalCoreId>,
-    client_index: std::collections::HashMap<GlobalCoreId, usize>,
+    client_index: ClientIndex,
     programs: Vec<Box<dyn CoreProgram>>,
     core_done: Vec<bool>,
     done_count: usize,
     last_finish: Time,
     time: Time,
-    queue: EventQueue<Event>,
+    sub: Substrates,
     l1s: Vec<L1Cache>,
-    server_l1s: Vec<L1Cache>,
-    drams: Vec<DramModel>,
-    crossbars: Vec<Crossbar>,
-    links: InterUnitLink,
     mesi: Option<MesiDirectory>,
     mechanism: Option<Box<dyn SyncMechanism>>,
-    traffic: TrafficStats,
     mesi_network_pj: f64,
     workload_name: String,
     instructions: u64,
@@ -181,12 +249,7 @@ impl NdpMachine {
             clients.len(),
             "workload must provide one program per client core"
         );
-        let client_index = clients
-            .iter()
-            .copied()
-            .enumerate()
-            .map(|(i, c)| (c, i))
-            .collect();
+        let client_index = ClientIndex::new(config.units, config.cores_per_unit, &clients);
 
         let dram_spec = DramSpec::for_tech(config.mem_tech);
         let mesi = match config.coherence {
@@ -199,29 +262,43 @@ impl NdpMachine {
         };
         let mechanism = build_mechanism(&config.mechanism, config.units, config.cores_per_unit);
 
+        // Pre-size for the steady state so large geometries (thousands of cores)
+        // never reallocate mid-run: every client can have a step or resume event
+        // in flight plus a few mechanism tokens each. For the calendar queue the
+        // buckets are sized so one core cycle maps to one bucket and the reserve
+        // pre-allocates the far-future overflow heap.
+        let mut queue = match config.scheduler {
+            SchedulerKind::Calendar => {
+                EventQueue::calendar(CalendarParams::for_cycle(config.core_cycle()))
+            }
+            SchedulerKind::Heap => EventQueue::with_scheduler(SchedulerKind::Heap),
+        };
+        queue.reserve(clients.len() * 8 + 64);
+
         let mut machine = NdpMachine {
             config: *config,
-            space,
             core_done: vec![false; clients.len()],
             done_count: 0,
             last_finish: Time::ZERO,
             time: Time::ZERO,
-            // Pre-size for the steady state so large geometries (thousands of cores)
-            // never reallocate the heap mid-run: every client can have a step or
-            // resume event in flight plus a few mechanism tokens each.
-            queue: EventQueue::with_capacity(clients.len() * 8 + 64),
+            sub: Substrates {
+                queue,
+                crossbars: (0..config.units)
+                    .map(|_| Crossbar::new(config.crossbar))
+                    .collect(),
+                links: InterUnitLink::new(config.link),
+                drams: (0..config.units)
+                    .map(|_| DramModel::new(dram_spec))
+                    .collect(),
+                server_l1s: (0..config.units).map(|_| L1Cache::new(config.l1)).collect(),
+                traffic: TrafficStats::new(),
+                space,
+                units: config.units,
+                cores_per_unit: config.cores_per_unit,
+            },
             l1s: clients.iter().map(|_| L1Cache::new(config.l1)).collect(),
-            server_l1s: (0..config.units).map(|_| L1Cache::new(config.l1)).collect(),
-            drams: (0..config.units)
-                .map(|_| DramModel::new(dram_spec))
-                .collect(),
-            crossbars: (0..config.units)
-                .map(|_| Crossbar::new(config.crossbar))
-                .collect(),
-            links: InterUnitLink::new(config.link),
             mesi,
             mechanism: Some(mechanism),
-            traffic: TrafficStats::new(),
             mesi_network_pj: 0.0,
             workload_name: workload.name(),
             instructions: 0,
@@ -235,35 +312,74 @@ impl NdpMachine {
             programs,
         };
         for i in 0..machine.programs.len() {
-            machine.queue.push(Time::ZERO, Event::CoreStep(i));
+            machine.sub.queue.push(Time::ZERO, Event::CoreStep(i));
         }
         machine
+    }
+
+    /// Resolves a resumed core to its dense client index.
+    ///
+    /// # Panics
+    ///
+    /// Panics — naming the core — when the core is not a client of this machine
+    /// (outside the configured geometry, or a reserved server core). A resume for
+    /// such a core is always a mechanism bug; it used to be silently dropped,
+    /// which turned protocol bugs into unexplainable deadlocks.
+    fn resolve_client(&self, core: GlobalCoreId) -> usize {
+        self.client_index.get(core).unwrap_or_else(|| {
+            panic!(
+                "CoreResume for core {core}, which is not a client of this machine \
+                 ({} units x {} cores, {} clients): either the core is outside the \
+                 geometry or it is a reserved server core",
+                self.config.units,
+                self.config.cores_per_unit,
+                self.clients.len()
+            )
+        })
     }
 
     /// Runs the machine until every client core has finished (or the event safety
     /// limit is reached) and returns the report.
     pub fn run(&mut self) -> RunReport {
-        while let Some((at, event)) = self.queue.pop() {
-            self.time = self.time.max(at);
-            self.events_delivered += 1;
-            if self.events_delivered > self.config.max_events {
-                self.completed = false;
-                return self.build_report();
-            }
-            match event {
-                Event::CoreStep(idx) => self.step_core(idx),
-                Event::CoreResume(core) => {
-                    if let Some(&idx) = self.client_index.get(&core) {
-                        self.step_core(idx);
+        let wall_start = std::time::Instant::now();
+        'outer: while let Some((at, event)) = self.sub.queue.pop() {
+            let mut inline_budget = self.config.inline_step_budget;
+            let mut current = (at, event);
+            loop {
+                let (at, event) = current;
+                self.time = self.time.max(at);
+                self.events_delivered += 1;
+                if self.events_delivered > self.config.max_events {
+                    self.completed = false;
+                    return self.build_report(wall_start.elapsed());
+                }
+                let next_step = match event {
+                    Event::CoreStep(idx) => self.step_core(idx).map(|t| (t, idx)),
+                    Event::CoreResume(core) => {
+                        let idx = self.resolve_client(core);
+                        self.step_core(idx).map(|t| (t, idx))
                     }
+                    Event::SyncToken(token) => {
+                        self.with_mechanism(|mech, ctx| mech.deliver(ctx, token));
+                        None
+                    }
+                };
+                if self.done_count == self.programs.len() {
+                    self.completed = true;
+                    break 'outer;
                 }
-                Event::SyncToken(token) => {
-                    self.with_mechanism(|mech, ctx| mech.deliver(ctx, token))
+                let Some((t, idx)) = next_step else { break };
+                // Inline dispatch: when the core's next step strictly precedes
+                // every queued event it is the unique next pop, so executing it
+                // without the queue round-trip is behaviour-preserving. The
+                // fairness budget bounds how long one pop may monopolize the loop.
+                if inline_budget > 0 && self.sub.queue.peek_time().is_none_or(|p| t < p) {
+                    inline_budget -= 1;
+                    current = (t, Event::CoreStep(idx));
+                } else {
+                    self.sub.queue.push(t, Event::CoreStep(idx));
+                    break;
                 }
-            }
-            if self.done_count == self.programs.len() {
-                self.completed = true;
-                break;
             }
         }
         // If the queue drained without every core reporting Done, the workload
@@ -271,12 +387,15 @@ impl NdpMachine {
         if self.done_count == self.programs.len() {
             self.completed = true;
         }
-        self.build_report()
+        self.build_report(wall_start.elapsed())
     }
 
-    fn step_core(&mut self, idx: usize) {
+    /// Executes one step of client `idx`. Returns the absolute time at which the
+    /// same core wants its next `CoreStep`, or `None` when the core finished,
+    /// blocked on a synchronization request, or was already done.
+    fn step_core(&mut self, idx: usize) -> Option<Time> {
         if self.core_done[idx] {
-            return;
+            return None;
         }
         let core = self.clients[idx];
         let now = self.time;
@@ -285,23 +404,23 @@ impl NdpMachine {
             Action::Compute { instrs } => {
                 self.instructions += instrs;
                 let latency = self.config.core_cycle().saturating_mul(instrs.max(1));
-                self.queue.push(now + latency, Event::CoreStep(idx));
+                Some(now + latency)
             }
             Action::Load { addr } => {
                 self.loads += 1;
                 let latency = self.data_access(idx, core, addr, CoherentAccess::Read);
-                self.queue.push(now + latency, Event::CoreStep(idx));
+                Some(now + latency)
             }
             Action::Store { addr } => {
                 self.stores += 1;
                 let latency = self.data_access(idx, core, addr, CoherentAccess::Write);
-                self.queue.push(now + latency, Event::CoreStep(idx));
+                Some(now + latency)
             }
             Action::Rmw { addr } => {
                 self.loads += 1;
                 self.stores += 1;
                 let latency = self.data_access(idx, core, addr, CoherentAccess::Rmw);
-                self.queue.push(now + latency, Event::CoreStep(idx));
+                Some(now + latency)
             }
             Action::Sync(req) => {
                 self.sync_requests += 1;
@@ -316,15 +435,17 @@ impl NdpMachine {
                 self.with_mechanism(|mech, ctx| mech.request(ctx, core, req));
                 if !blocking {
                     // req_async commits as soon as the message is issued.
-                    let latency = self.config.core_cycle();
-                    self.queue.push(now + latency, Event::CoreStep(idx));
+                    Some(now + self.config.core_cycle())
+                } else {
+                    // Blocking requests resume when the mechanism completes them.
+                    None
                 }
-                // Blocking requests resume when the mechanism completes them.
             }
             Action::Done => {
                 self.core_done[idx] = true;
                 self.done_count += 1;
                 self.last_finish = self.last_finish.max(now);
+                None
             }
         }
     }
@@ -337,8 +458,8 @@ impl NdpMachine {
         addr: Addr,
         kind: CoherentAccess,
     ) -> Time {
-        let class = self.space.class_of(addr);
-        let home = self.space.home_unit(addr);
+        let class = self.sub.space.class_of(addr);
+        let home = self.sub.space.home_unit(addr);
         let now = self.time;
 
         // Coherent shared read-write data under the MESI mode goes through the
@@ -352,10 +473,10 @@ impl NdpMachine {
                 let intra_bytes = u64::from(out.intra_msgs) * 2 * HDR_BYTES;
                 let inter_bytes = u64::from(out.inter_msgs) * (HDR_BYTES + LINE_BYTES) / 2;
                 if intra_bytes > 0 {
-                    self.traffic.add_intra(intra_bytes);
+                    self.sub.traffic.add_intra(intra_bytes);
                 }
                 if inter_bytes > 0 {
-                    self.traffic.add_inter(inter_bytes);
+                    self.sub.traffic.add_inter(inter_bytes);
                 }
                 self.mesi_network_pj += intra_bytes as f64
                     * 8.0
@@ -363,7 +484,7 @@ impl NdpMachine {
                     * self.config.crossbar.hops as f64
                     + inter_bytes as f64 * 8.0 * self.config.link.pj_per_bit;
                 for _ in 0..out.mem_accesses {
-                    self.drams[home.index()].access(now, addr, kind != CoherentAccess::Read);
+                    self.sub.drams[home.index()].access(now, addr, kind != CoherentAccess::Read);
                 }
                 // The requester's L1 energy for the probe/fill.
                 self.l1s[idx].access(addr, kind != CoherentAccess::Read);
@@ -383,20 +504,26 @@ impl NdpMachine {
 
         // Miss or uncacheable: fetch/update the line in the home unit's DRAM.
         let local = core.unit == home;
-        lat += self.crossbars[core.unit.index()].transfer(now + lat, HDR_BYTES);
+        lat += self.sub.crossbars[core.unit.index()].transfer(now + lat, HDR_BYTES);
         if !local {
-            lat += self.links.transfer(now + lat, core.unit, home, HDR_BYTES);
-            lat += self.crossbars[home.index()].transfer(now + lat, HDR_BYTES);
+            lat += self
+                .sub
+                .links
+                .transfer(now + lat, core.unit, home, HDR_BYTES);
+            lat += self.sub.crossbars[home.index()].transfer(now + lat, HDR_BYTES);
         }
-        let dram_done = self.drams[home.index()].access(now + lat, addr, write);
+        let dram_done = self.sub.drams[home.index()].access(now + lat, addr, write);
         lat = dram_done.saturating_sub(now);
-        lat += self.crossbars[home.index()].transfer(now + lat, LINE_BYTES);
+        lat += self.sub.crossbars[home.index()].transfer(now + lat, LINE_BYTES);
         if !local {
-            lat += self.links.transfer(now + lat, home, core.unit, LINE_BYTES);
-            lat += self.crossbars[core.unit.index()].transfer(now + lat, LINE_BYTES);
-            self.traffic.add_inter(HDR_BYTES + LINE_BYTES);
+            lat += self
+                .sub
+                .links
+                .transfer(now + lat, home, core.unit, LINE_BYTES);
+            lat += self.sub.crossbars[core.unit.index()].transfer(now + lat, LINE_BYTES);
+            self.sub.traffic.add_inter(HDR_BYTES + LINE_BYTES);
         } else {
-            self.traffic.add_intra(HDR_BYTES + LINE_BYTES);
+            self.sub.traffic.add_intra(HDR_BYTES + LINE_BYTES);
         }
         // An atomic RMW under software-assisted coherence performs its update at the
         // memory side; charge one extra core cycle for the returned old value check.
@@ -413,15 +540,7 @@ impl NdpMachine {
         let mut mech = self.mechanism.take().expect("mechanism in use");
         let mut ctx = MechCtx {
             now: self.time,
-            queue: &mut self.queue,
-            crossbars: &mut self.crossbars,
-            links: &mut self.links,
-            drams: &mut self.drams,
-            server_l1s: &mut self.server_l1s,
-            traffic: &mut self.traffic,
-            space: &self.space,
-            units: self.config.units,
-            cores_per_unit: self.config.cores_per_unit,
+            sub: &mut self.sub,
         };
         let result = f(mech.as_mut(), &mut ctx);
         self.mechanism = Some(mech);
@@ -438,7 +557,7 @@ impl NdpMachine {
         self.time
     }
 
-    fn build_report(&mut self) -> RunReport {
+    fn build_report(&mut self, wall: std::time::Duration) -> RunReport {
         let end = if self.last_finish > Time::ZERO {
             self.last_finish
         } else {
@@ -447,20 +566,20 @@ impl NdpMachine {
         let mut energy = EnergyTally::new();
         let mut l1_hits = 0u64;
         let mut l1_accesses = 0u64;
-        for l1 in self.l1s.iter().chain(self.server_l1s.iter()) {
+        for l1 in self.l1s.iter().chain(self.sub.server_l1s.iter()) {
             energy.add_cache(l1.energy_pj());
             l1_hits += l1.stats().hits.get();
             l1_accesses += l1.stats().accesses();
         }
         let mut dram_accesses = 0u64;
-        for dram in &self.drams {
+        for dram in &self.sub.drams {
             energy.add_memory(dram.energy_pj());
             dram_accesses += dram.stats().total_accesses();
         }
-        for xbar in &self.crossbars {
+        for xbar in &self.sub.crossbars {
             energy.add_network(xbar.energy_pj());
         }
-        energy.add_network(self.links.energy_pj());
+        energy.add_network(self.sub.links.energy_pj());
         energy.add_network(self.mesi_network_pj);
 
         let total_ops: u64 = self.programs.iter().map(|p| p.ops_completed()).sum();
@@ -486,13 +605,17 @@ impl NdpMachine {
             stores: self.stores,
             sync_requests: self.sync_requests,
             energy,
-            traffic: self.traffic,
+            traffic: self.sub.traffic,
             sync,
             dram_accesses,
             l1_hit_ratio: if l1_accesses == 0 {
                 0.0
             } else {
                 l1_hits as f64 / l1_accesses as f64
+            },
+            perf: SimPerf {
+                wall_seconds: wall.as_secs_f64(),
+                events_delivered: self.events_delivered,
             },
         }
     }
@@ -510,7 +633,7 @@ mod tests {
     use crate::address::DataClass;
     use syncron_core::request::{BarrierScope, SyncRequest};
     use syncron_core::MechanismKind;
-    use syncron_sim::UnitId;
+    use syncron_sim::{CoreId, UnitId};
 
     /// Each core increments a per-core counter `iterations` times, protected by one
     /// global lock, mixing compute, memory and synchronization actions.
@@ -730,6 +853,95 @@ mod tests {
         let b = run_workload(&cfg, &CounterWorkload { iterations: 8 });
         assert_eq!(a.sim_time, b.sim_time);
         assert_eq!(a.traffic, b.traffic);
+    }
+
+    #[test]
+    fn schedulers_and_inline_dispatch_agree_bit_for_bit() {
+        // The determinism contract of the rework: the calendar queue (with and
+        // without inline dispatch) and the reference heap produce the same report,
+        // field for field, for every mechanism.
+        for kind in MechanismKind::ALL {
+            let base = small_config(kind);
+            let reference = {
+                let mut cfg = base;
+                cfg.scheduler = SchedulerKind::Heap;
+                cfg.inline_step_budget = 0;
+                run_workload(&cfg, &CounterWorkload { iterations: 8 })
+            };
+            for (scheduler, budget) in [
+                (SchedulerKind::Heap, 64),
+                (SchedulerKind::Calendar, 0),
+                (SchedulerKind::Calendar, 64),
+                (SchedulerKind::Calendar, 1),
+            ] {
+                let mut cfg = base;
+                cfg.scheduler = scheduler;
+                cfg.inline_step_budget = budget;
+                let report = run_workload(&cfg, &CounterWorkload { iterations: 8 });
+                if let Some(field) = reference.divergence_from(&report) {
+                    panic!("{kind:?} under {scheduler:?}/budget={budget} diverged: {field}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_carries_simulator_perf() {
+        let report = run_workload(
+            &small_config(MechanismKind::SynCron),
+            &CounterWorkload { iterations: 5 },
+        );
+        assert!(report.perf.events_delivered > 0);
+        // Wall time resolution is host-dependent, but the counter must at least
+        // cover one event per delivered action.
+        assert!(report.perf.events_delivered >= report.instructions.min(1));
+    }
+
+    #[test]
+    fn resume_for_unknown_core_is_a_hard_error() {
+        // A CoreResume for a core outside the geometry (or for a reserved server
+        // core) is a mechanism bug; it used to be silently ignored.
+        let machine = NdpMachine::new(
+            &small_config(MechanismKind::SynCron),
+            &CounterWorkload { iterations: 1 },
+        );
+        // In-geometry client cores resolve to their dense index.
+        assert_eq!(
+            machine.resolve_client(GlobalCoreId::new(UnitId(0), CoreId(0))),
+            0
+        );
+        assert_eq!(
+            machine.resolve_client(GlobalCoreId::new(UnitId(1), CoreId(0))),
+            machine.config.clients_per_unit()
+        );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            machine.resolve_client(GlobalCoreId::new(UnitId(7), CoreId(3)))
+        }));
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(
+            message.contains("U7.c3"),
+            "panic must name the core: {message}"
+        );
+        assert!(message.contains("not a client"));
+    }
+
+    #[test]
+    fn server_cores_and_aliasing_ids_are_not_clients() {
+        // cores_per_unit = 4 with a reserved server core: local core 3 serves.
+        let machine = NdpMachine::new(
+            &small_config(MechanismKind::SynCron),
+            &CounterWorkload { iterations: 1 },
+        );
+        let index = &machine.client_index;
+        assert_eq!(index.get(GlobalCoreId::new(UnitId(0), CoreId(3))), None);
+        // A local core ID at or past cores_per_unit must not alias into the next
+        // unit's flat range (U0.c4 would otherwise resolve to U1.c0's slot).
+        assert_eq!(index.get(GlobalCoreId::new(UnitId(0), CoreId(4))), None);
+        assert_eq!(index.get(GlobalCoreId::new(UnitId(2), CoreId(0))), None);
+        assert_eq!(
+            index.get(GlobalCoreId::new(UnitId(1), CoreId(0))),
+            Some(machine.config.clients_per_unit())
+        );
     }
 
     #[test]

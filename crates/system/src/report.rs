@@ -11,6 +11,35 @@ use syncron_mem::energy::EnergyTally;
 use syncron_net::traffic::TrafficStats;
 use syncron_sim::time::Time;
 
+/// Host-side simulator performance counters for one run.
+///
+/// Unlike every other [`RunReport`] field these depend on the host machine and
+/// load, not on the simulated system: two runs of the same scenario produce
+/// identical simulation results but different `SimPerf`. Determinism comparisons
+/// ([`RunReport::same_simulation`]) therefore ignore this struct; the throughput
+/// benchmarks (`BENCH_simcore.json`) are built from it.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimPerf {
+    /// Wall-clock duration of the run loop in seconds.
+    pub wall_seconds: f64,
+    /// Events the run loop delivered, including inline-dispatched core steps and
+    /// the deliveries of a truncated (`completed = false`) run.
+    pub events_delivered: u64,
+}
+
+impl SimPerf {
+    /// Simulator throughput in delivered events per wall-clock second (`0.0` when
+    /// the run was too fast for the clock to resolve).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.events_delivered as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The outcome of one workload run on one configuration.
 #[derive(Clone, Debug)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -43,6 +72,9 @@ pub struct RunReport {
     pub dram_accesses: u64,
     /// Hit ratio across the client cores' L1 caches.
     pub l1_hit_ratio: f64,
+    /// Host-side simulator performance (wall time, delivered events). Not part of
+    /// the simulated result; ignored by [`RunReport::same_simulation`].
+    pub perf: SimPerf,
 }
 
 impl RunReport {
@@ -98,6 +130,70 @@ impl RunReport {
         self.traffic.total_bytes() as f64 / base as f64
     }
 
+    /// Whether two reports describe the same simulation outcome, ignoring the
+    /// host-side [`SimPerf`] counters.
+    ///
+    /// This is the determinism contract the scheduler-differential tests enforce:
+    /// the calendar-queue and heap schedulers must produce bit-identical reports.
+    pub fn same_simulation(&self, other: &RunReport) -> bool {
+        self.divergence_from(other).is_none()
+    }
+
+    /// Names the first simulation-determined field in which `self` and `other`
+    /// differ (ignoring [`SimPerf`]), or `None` when the reports agree.
+    ///
+    /// Floating-point fields are compared bit-for-bit: a deterministic simulator
+    /// must reproduce them exactly, not approximately.
+    pub fn divergence_from(&self, other: &RunReport) -> Option<String> {
+        macro_rules! diff {
+            ($field:ident) => {
+                if self.$field != other.$field {
+                    return Some(format!(
+                        "{}: {:?} != {:?}",
+                        stringify!($field),
+                        self.$field,
+                        other.$field
+                    ));
+                }
+            };
+        }
+        diff!(workload);
+        diff!(mechanism);
+        diff!(sim_time);
+        diff!(completed);
+        diff!(total_ops);
+        diff!(instructions);
+        diff!(loads);
+        diff!(stores);
+        diff!(sync_requests);
+        diff!(traffic);
+        diff!(sync);
+        diff!(dram_accesses);
+        for (name, a, b) in [
+            (
+                "energy.cache_pj",
+                self.energy.cache_pj,
+                other.energy.cache_pj,
+            ),
+            (
+                "energy.network_pj",
+                self.energy.network_pj,
+                other.energy.network_pj,
+            ),
+            (
+                "energy.memory_pj",
+                self.energy.memory_pj,
+                other.energy.memory_pj,
+            ),
+            ("l1_hit_ratio", self.l1_hit_ratio, other.l1_hit_ratio),
+        ] {
+            if a.to_bits() != b.to_bits() {
+                return Some(format!("{name}: {a:?} != {b:?}"));
+            }
+        }
+        None
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
@@ -142,6 +238,7 @@ mod tests {
             sync: SyncMechanismStats::default(),
             dram_accesses: 0,
             l1_hit_ratio: 0.5,
+            perf: SimPerf::default(),
         }
     }
 
@@ -169,6 +266,36 @@ mod tests {
         b.traffic.inter_unit_bytes = 2000;
         assert!((b.energy_ratio_over(&a) - 2.0).abs() < 1e-9);
         assert!((b.data_movement_ratio_over(&a) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perf_throughput_and_zero_wall_time() {
+        let perf = SimPerf {
+            wall_seconds: 0.5,
+            events_delivered: 1_000_000,
+        };
+        assert!((perf.events_per_sec() - 2_000_000.0).abs() < 1e-6);
+        assert_eq!(SimPerf::default().events_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn same_simulation_ignores_perf_but_not_results() {
+        let a = report(1_000, 100);
+        let mut b = a.clone();
+        // Host-side counters differ between any two runs; they must not count.
+        b.perf = SimPerf {
+            wall_seconds: 3.5,
+            events_delivered: 42,
+        };
+        assert!(a.same_simulation(&b));
+        assert_eq!(a.divergence_from(&b), None);
+        // Any simulated field difference is named.
+        b.loads = 1;
+        assert!(!a.same_simulation(&b));
+        assert!(a.divergence_from(&b).unwrap().contains("loads"));
+        let mut c = a.clone();
+        c.energy.network_pj += 0.25;
+        assert!(a.divergence_from(&c).unwrap().contains("energy.network_pj"));
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Full-machine differential tests of the scheduler rework.
+//!
+//! The calendar-queue scheduler (with inline dispatch) and the reference
+//! `BinaryHeap` scheduler (without it) must produce **bit-identical** reports for
+//! every scenario in the bundled corpus: same simulated time, ops, traffic,
+//! energy, synchronization statistics — everything except the host-side
+//! [`SimPerf`] counters, which depend on the wall clock.
+//!
+//! The corpus is the real scenario files under `scenarios/` (the paper's
+//! Figure 10 sweeps plus the 4096-core scale-out), loaded through the same TOML
+//! path the CLI uses, so the test also covers the `scheduler` /
+//! `inline_step_budget` config plumbing end to end.
+
+use syncron::harness::toml;
+use syncron::prelude::*;
+use syncron::system::report::SimPerf;
+
+/// Loads the `[sweep]` scenarios of a bundled file.
+fn load_sweep(name: &str) -> Vec<Scenario> {
+    let path = format!("{}/scenarios/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let doc = toml::parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+    Sweep::scenarios_from_value(doc.get("sweep").expect("sweep table"))
+        .unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// Runs one scenario under both schedulers and asserts report equality.
+fn assert_schedulers_agree(scenario: &Scenario) -> RunReport {
+    let mut calendar = scenario.clone();
+    calendar.config = calendar
+        .config
+        .with_scheduler(SchedulerKind::Calendar)
+        .with_inline_step_budget(64);
+    let mut heap = scenario.clone();
+    heap.config = heap
+        .config
+        .with_scheduler(SchedulerKind::Heap)
+        .with_inline_step_budget(0);
+
+    let calendar_report = calendar.run().expect("calendar run");
+    let heap_report = heap.run().expect("heap run");
+    if let Some(field) = heap_report.divergence_from(&calendar_report) {
+        panic!(
+            "{}: calendar scheduler diverged from the heap reference in {field}",
+            scenario.label
+        );
+    }
+    // The event-count semantics are shared too: inline-dispatched steps count
+    // exactly like queue round-trips, so both runs deliver the same events.
+    assert_eq!(
+        heap_report.perf.events_delivered, calendar_report.perf.events_delivered,
+        "{}: delivered-event accounting diverged",
+        scenario.label
+    );
+    calendar_report
+}
+
+#[test]
+fn fig10_corpus_is_scheduler_invariant() {
+    // The four Figure 10 microbenchmark sweeps at paper scale: lock, barrier,
+    // semaphore and condition variable under all four schemes.
+    let mut total = 0;
+    for file in [
+        "fig10_lock.toml",
+        "fig10_barrier.toml",
+        "fig10_semaphore.toml",
+        "fig10_condvar.toml",
+    ] {
+        for scenario in load_sweep(file) {
+            let report = assert_schedulers_agree(&scenario);
+            assert!(report.completed, "{} did not complete", scenario.label);
+            total += 1;
+        }
+    }
+    assert!(total >= 40, "corpus unexpectedly small: {total} scenarios");
+}
+
+#[test]
+fn scale_64x64_is_scheduler_invariant() {
+    // 4096 cores across 64 units: the geometry the calendar queue and dense
+    // dispatch were built for. Keep the event budget bounded but identical on
+    // both sides; equality must hold for truncated runs too.
+    let scenarios = load_sweep("scale_64x64.toml");
+    assert_eq!(scenarios.len(), 4, "one scenario per scheme");
+    for scenario in scenarios {
+        assert_schedulers_agree(&scenario);
+    }
+}
+
+#[test]
+fn inline_budget_values_do_not_change_results() {
+    // The fairness budget bounds how long one pop may monopolize the loop; any
+    // value (including 1 and "effectively unbounded") must leave results
+    // untouched because inlining only fires on strict precedence.
+    let base = load_sweep("fig10_lock.toml")
+        .into_iter()
+        .next()
+        .expect("at least one scenario");
+    let reference = base.run().expect("reference run");
+    for budget in [0u32, 1, 7, u32::MAX] {
+        let mut variant = base.clone();
+        variant.config = variant.config.with_inline_step_budget(budget);
+        let report = variant.run().expect("variant run");
+        if let Some(field) = reference.divergence_from(&report) {
+            panic!("inline budget {budget} changed {field}");
+        }
+    }
+}
+
+#[test]
+fn perf_counters_populate_without_affecting_results() {
+    let scenario = load_sweep("fig10_barrier.toml")
+        .into_iter()
+        .next()
+        .expect("scenario");
+    let report = scenario.run().expect("run");
+    assert!(report.perf.events_delivered > 0);
+    assert!(report.perf.wall_seconds >= 0.0);
+    assert!(report.perf.events_per_sec() >= 0.0);
+    // Two runs of the same scenario: identical simulation, independent perf.
+    let again = scenario.run().expect("run");
+    assert!(report.same_simulation(&again));
+    assert_eq!(
+        report.perf.events_delivered,
+        again.perf.events_delivered,
+        "event counts are simulation-determined even though SimPerf is not \
+         compared: {:?} vs {:?}",
+        SimPerf::default(),
+        again.perf
+    );
+}
