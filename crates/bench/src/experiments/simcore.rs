@@ -200,6 +200,16 @@ pub struct GeometrySummary {
     pub heap_events_per_sec: f64,
     /// Total events over total wall seconds under the calendar scheduler.
     pub calendar_events_per_sec: f64,
+    /// Total wall seconds under the heap baseline.
+    ///
+    /// Recorded alongside events/sec because optimizations that *reduce the
+    /// event count* for the same simulated work (equal-timestamp message
+    /// batching) lower events/sec while making the simulator faster; wall
+    /// seconds for the fixed reference workload is the comparable-across-PRs
+    /// number.
+    pub heap_wall_seconds: f64,
+    /// Total wall seconds under the calendar scheduler.
+    pub calendar_wall_seconds: f64,
 }
 
 impl GeometrySummary {
@@ -246,6 +256,8 @@ pub fn summarize(points: &[SimcorePoint]) -> Vec<GeometrySummary> {
                 } else {
                     0.0
                 },
+                heap_wall_seconds: heap_wall,
+                calendar_wall_seconds: cal_wall,
             }
         })
         .collect()
@@ -341,6 +353,11 @@ pub fn simcore_json(points: &[SimcorePoint]) -> Value {
                                 "calendar_events_per_sec",
                                 Value::Float(g.calendar_events_per_sec),
                             ),
+                            ("heap_wall_seconds", Value::Float(g.heap_wall_seconds)),
+                            (
+                                "calendar_wall_seconds",
+                                Value::Float(g.calendar_wall_seconds),
+                            ),
                             ("speedup", Value::Float(g.speedup())),
                         ])
                     })
@@ -409,6 +426,14 @@ pub fn validate_simcore_json(doc: &Value) -> Result<(), String> {
                 .and_then(Value::as_f64)
                 .ok_or(format!("geometry {i}: missing numeric '{key}'"))?;
         }
+        // Additive v1 fields (PR 5): older documents legitimately lack them, so
+        // they are optional — but when present they must be numeric.
+        for key in ["heap_wall_seconds", "calendar_wall_seconds"] {
+            if let Some(v) = g.get(key) {
+                v.as_f64()
+                    .ok_or(format!("geometry {i}: '{key}' must be numeric"))?;
+            }
+        }
     }
     Ok(())
 }
@@ -444,6 +469,38 @@ mod tests {
         let text = doc.to_json_pretty();
         let parsed = syncron_harness::json::parse(&text).expect("valid JSON text");
         validate_simcore_json(&parsed).expect("parsed document validates");
+    }
+
+    #[test]
+    fn validation_accepts_v1_documents_without_wall_seconds() {
+        // The wall-seconds geometry fields are additive to schema v1: a document
+        // generated before they existed must still validate, while a present
+        // field of the wrong type is rejected.
+        let points = measure_geometries(&[(2, 4)], 1);
+        let doc = simcore_json(&points);
+        let text = doc.to_json_pretty();
+        let pre_pr5 = regex_strip_wall(&text);
+        let parsed = syncron_harness::json::parse(&pre_pr5).expect("valid JSON");
+        validate_simcore_json(&parsed).expect("historical v1 document validates");
+        let bad = text.replace(
+            "\"heap_wall_seconds\": ",
+            "\"heap_wall_seconds\": \"oops\", \"ignored\": ",
+        );
+        let parsed = syncron_harness::json::parse(&bad).expect("valid JSON");
+        assert!(validate_simcore_json(&parsed)
+            .unwrap_err()
+            .contains("heap_wall_seconds"));
+    }
+
+    /// Removes the geometry wall-seconds lines from a pretty-printed document,
+    /// emulating a pre-PR 5 artifact. (The pair sits between other keys, so the
+    /// surrounding commas stay balanced; the rows' plain `wall_seconds` fields
+    /// do not match the prefixed names and are untouched.)
+    fn regex_strip_wall(text: &str) -> String {
+        text.lines()
+            .filter(|l| !l.contains("_wall_seconds"))
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 
     #[test]

@@ -168,6 +168,7 @@ fn list() {
         "max_events=<n>                    event safety limit",
         "scheduler=calendar|heap           event-queue backend (bit-identical results)",
         "inline_step_budget=<n>            run-loop inline dispatch budget (0 disables)",
+        "message_batching=true|false       coalesce equal-timestamp engine messages (bit-identical results)",
     ] {
         println!("    {line}");
     }

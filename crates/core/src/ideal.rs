@@ -48,13 +48,26 @@ struct CondState {
     pending: u64,
 }
 
+/// All per-variable state the ideal mechanism keeps, in one arena slot.
+///
+/// Ideal never discards state (its maps only ever grew), so the arena needs no
+/// free list: a variable's slot is claimed on first touch and lives for the run.
+/// One `addr → slot` probe per request replaces one hash probe per primitive
+/// table per touch; all four sub-states sit inline behind one dense index.
+#[derive(Debug, Default)]
+struct IdealSlot {
+    lock: LockState,
+    barrier: BarrierState,
+    sem: SemState,
+    cond: CondState,
+}
+
 /// Zero-overhead synchronization mechanism.
 #[derive(Debug)]
 pub struct IdealMechanism {
-    locks: FxHashMap<Addr, LockState>,
-    barriers: FxHashMap<Addr, BarrierState>,
-    semaphores: FxHashMap<Addr, SemState>,
-    condvars: FxHashMap<Addr, CondState>,
+    /// `addr → slot` index; the only hashed lookup per request.
+    index: FxHashMap<Addr, u32>,
+    slots: Vec<IdealSlot>,
     signal_coalescing: bool,
     stats: SyncMechanismStats,
 }
@@ -66,13 +79,17 @@ impl Default for IdealMechanism {
 }
 
 impl IdealMechanism {
+    /// Slots pre-allocated at construction; workloads with more concurrently
+    /// live synchronization variables grow the arena on first touch only.
+    const PRESIZE: usize = 64;
+
     /// Creates an idle mechanism with signal coalescing on (the protocol default).
     pub fn new() -> Self {
+        let mut index = FxHashMap::default();
+        index.reserve(IdealMechanism::PRESIZE);
         IdealMechanism {
-            locks: FxHashMap::default(),
-            barriers: FxHashMap::default(),
-            semaphores: FxHashMap::default(),
-            condvars: FxHashMap::default(),
+            index,
+            slots: Vec::with_capacity(IdealMechanism::PRESIZE),
             signal_coalescing: true,
             stats: SyncMechanismStats::default(),
         }
@@ -85,32 +102,39 @@ impl IdealMechanism {
         self
     }
 
-    fn grant_lock(&mut self, ctx: &mut dyn SyncContext, var: Addr, core: GlobalCoreId) {
-        let lock = self.locks.entry(var).or_default();
+    /// The slot tracking `var`, claimed on first touch.
+    fn slot(&mut self, var: Addr) -> usize {
+        if let Some(&slot) = self.index.get(&var) {
+            return slot as usize;
+        }
+        let slot = self.slots.len();
+        self.slots.push(IdealSlot::default());
+        self.index.insert(var, slot as u32);
+        slot
+    }
+
+    fn grant_lock(&mut self, ctx: &mut dyn SyncContext, slot: usize, core: GlobalCoreId) {
+        let lock = &mut self.slots[slot].lock;
         debug_assert!(!lock.held);
         lock.held = true;
         self.stats.completions += 1;
         ctx.complete(core, ctx.now());
     }
 
-    fn acquire_lock(&mut self, ctx: &mut dyn SyncContext, var: Addr, core: GlobalCoreId) {
-        let held = {
-            let lock = self.locks.entry(var).or_default();
-            if lock.held {
-                lock.waiters.push_back(core);
-            }
-            lock.held
-        };
-        if !held {
-            self.grant_lock(ctx, var, core);
+    fn acquire_lock(&mut self, ctx: &mut dyn SyncContext, slot: usize, core: GlobalCoreId) {
+        let lock = &mut self.slots[slot].lock;
+        if lock.held {
+            lock.waiters.push_back(core);
+        } else {
+            self.grant_lock(ctx, slot, core);
         }
     }
 
-    fn release_lock(&mut self, ctx: &mut dyn SyncContext, var: Addr) {
-        let lock = self.locks.entry(var).or_default();
+    fn release_lock(&mut self, ctx: &mut dyn SyncContext, slot: usize) {
+        let lock = &mut self.slots[slot].lock;
         lock.held = false;
         if let Some(next) = lock.waiters.pop_front() {
-            self.grant_lock(ctx, var, next);
+            self.grant_lock(ctx, slot, next);
         }
     }
 }
@@ -126,25 +150,36 @@ impl SyncMechanism for IdealMechanism {
             self.stats.acquire_requests += 1;
         }
         match req {
-            SyncRequest::LockAcquire { var } => self.acquire_lock(ctx, var, core),
-            SyncRequest::LockRelease { var } => self.release_lock(ctx, var),
+            SyncRequest::LockAcquire { var } => {
+                let slot = self.slot(var);
+                self.acquire_lock(ctx, slot, core);
+            }
+            SyncRequest::LockRelease { var } => {
+                let slot = self.slot(var);
+                self.release_lock(ctx, slot);
+            }
             SyncRequest::BarrierWait {
                 var, participants, ..
             } => {
-                let bar = self.barriers.entry(var).or_default();
+                let slot = self.slot(var);
+                let bar = &mut self.slots[slot].barrier;
                 bar.arrived += 1;
                 bar.waiters.push(core);
                 if bar.arrived >= participants {
-                    let waiters = std::mem::take(&mut bar.waiters);
                     bar.arrived = 0;
-                    for w in waiters {
+                    // Completing while draining would alias `self`; the barrier
+                    // state is left empty either way, with its buffer retained.
+                    for i in 0..self.slots[slot].barrier.waiters.len() {
+                        let w = self.slots[slot].barrier.waiters[i];
                         self.stats.completions += 1;
                         ctx.complete(w, ctx.now());
                     }
+                    self.slots[slot].barrier.waiters.clear();
                 }
             }
             SyncRequest::SemWait { var, initial } => {
-                let sem = self.semaphores.entry(var).or_default();
+                let slot = self.slot(var);
+                let sem = &mut self.slots[slot].sem;
                 if !sem.initialized {
                     sem.initialized = true;
                     sem.count = i64::from(initial);
@@ -158,7 +193,8 @@ impl SyncMechanism for IdealMechanism {
                 }
             }
             SyncRequest::SemPost { var } => {
-                let sem = self.semaphores.entry(var).or_default();
+                let slot = self.slot(var);
+                let sem = &mut self.slots[slot].sem;
                 if let Some(next) = sem.waiters.pop_front() {
                     self.stats.completions += 1;
                     ctx.complete(next, ctx.now());
@@ -167,7 +203,8 @@ impl SyncMechanism for IdealMechanism {
                 }
             }
             SyncRequest::CondWait { var, lock } => {
-                let cond = self.condvars.entry(var).or_default();
+                let slot = self.slot(var);
+                let cond = &mut self.slots[slot].cond;
                 if self.signal_coalescing && cond.pending > 0 {
                     // Consume one banked signal: the wait returns immediately, the
                     // core keeps holding the associated lock.
@@ -177,16 +214,19 @@ impl SyncMechanism for IdealMechanism {
                     ctx.complete(core, ctx.now());
                 } else {
                     cond.waiters.push_back((core, lock));
-                    self.release_lock(ctx, lock);
+                    let lock_slot = self.slot(lock);
+                    self.release_lock(ctx, lock_slot);
                 }
             }
             SyncRequest::CondSignal { var } => {
-                let cond = self.condvars.entry(var).or_default();
+                let slot = self.slot(var);
+                let cond = &mut self.slots[slot].cond;
                 if let Some((w, lock)) = cond.waiters.pop_front() {
                     // The woken core re-acquires the associated lock; its cond_wait
                     // completes when the lock is granted.
                     self.stats.delivered_signals += 1;
-                    self.acquire_lock(ctx, lock, w);
+                    let lock_slot = self.slot(lock);
+                    self.acquire_lock(ctx, lock_slot, w);
                 } else if self.signal_coalescing {
                     cond.pending = cond.pending.saturating_add(1);
                     self.stats.coalesced_signals += 1;
@@ -195,9 +235,12 @@ impl SyncMechanism for IdealMechanism {
                 }
             }
             SyncRequest::CondBroadcast { var } => {
-                let waiters = std::mem::take(&mut self.condvars.entry(var).or_default().waiters);
-                for (w, lock) in waiters {
-                    self.acquire_lock(ctx, lock, w);
+                let slot = self.slot(var);
+                // Waking a waiter re-acquires its lock through `self`, so walk by
+                // index instead of holding a borrow of the waiter queue.
+                while let Some((w, lock)) = self.slots[slot].cond.waiters.pop_front() {
+                    let lock_slot = self.slot(lock);
+                    self.acquire_lock(ctx, lock_slot, w);
                 }
             }
         }

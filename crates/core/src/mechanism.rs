@@ -87,7 +87,26 @@ pub trait SyncContext {
 
     /// Schedules `token` to be delivered back to the mechanism (via
     /// [`SyncMechanism::deliver`]) at absolute time `at`.
+    ///
+    /// Contract: one call pushes exactly one event onto the system's event
+    /// queue, so [`SyncContext::schedule_stamp`] advances by exactly one per
+    /// call (the protocol's message batching relies on this to watermark "no
+    /// pushes in between" without re-reading the stamp).
     fn schedule(&mut self, at: Time, token: u64);
+
+    /// A monotone count of every event the whole system has scheduled so far
+    /// (the mechanism's tokens *and* the system's own events), or `None` when the
+    /// context does not track one.
+    ///
+    /// The protocol engine uses this as a watermark to coalesce messages it
+    /// schedules *back to back* for the same engine at the same timestamp into
+    /// one delivery: if the count has not moved since the previous message's
+    /// event was pushed, no other event can pop between them, so merging them
+    /// preserves the global `(time, push order)` delivery order bit for bit.
+    /// Contexts that return `None` (the default) disable the optimization.
+    fn schedule_stamp(&self) -> Option<u64> {
+        None
+    }
 
     /// Models one message hop inside `unit` (core ↔ SE / server). Returns its latency
     /// and accounts traffic/energy.
@@ -220,6 +239,12 @@ pub struct MechanismParams {
     /// per consecutive NACK up to 64x the base. `0` keeps the NACK replies but without
     /// any delay. Ignored when `signal_coalescing` is off.
     pub signal_backoff_ns: u64,
+    /// Whether the protocol engine coalesces equal-timestamp messages scheduled
+    /// back to back for the same engine into one queued event (default: enabled).
+    /// Purely a simulator optimization: delivery order — and therefore every
+    /// report — is bit-identical either way (see
+    /// [`SyncContext::schedule_stamp`]).
+    pub message_batching: bool,
 }
 
 impl MechanismParams {
@@ -233,6 +258,7 @@ impl MechanismParams {
             fairness_threshold: None,
             signal_coalescing: true,
             signal_backoff_ns: DEFAULT_SIGNAL_BACKOFF_NS,
+            message_batching: true,
         }
     }
 
@@ -265,6 +291,13 @@ impl MechanismParams {
         self.signal_backoff_ns = ns;
         self
     }
+
+    /// Enables or disables equal-timestamp message batching (a simulator
+    /// optimization; results are bit-identical either way).
+    pub fn with_message_batching(mut self, enabled: bool) -> Self {
+        self.message_batching = enabled;
+        self
+    }
 }
 
 /// Default base NACK backoff delay in nanoseconds (doubles per consecutive NACK up to
@@ -294,7 +327,8 @@ pub fn build_mechanism(
                 .with_overflow_mode(params.overflow_mode)
                 .with_fairness_threshold(params.fairness_threshold)
                 .with_signal_coalescing(params.signal_coalescing)
-                .with_signal_backoff_ns(params.signal_backoff_ns);
+                .with_signal_backoff_ns(params.signal_backoff_ns)
+                .with_message_batching(params.message_batching);
             Box::new(ProtocolMechanism::new(config))
         }
     }
@@ -343,6 +377,13 @@ mod tests {
             .with_signal_backoff_ns(50);
         assert!(!p.signal_coalescing);
         assert_eq!(p.signal_backoff_ns, 50);
+        // Message batching is a pure simulator optimization, on by default.
+        assert!(MechanismParams::default().message_batching);
+        assert!(
+            !MechanismParams::default()
+                .with_message_batching(false)
+                .message_batching
+        );
     }
 
     #[test]

@@ -46,7 +46,7 @@
 //! flight and the serving engine's queue stays bounded.
 
 use std::collections::VecDeque;
-use syncron_sim::FxHashMap;
+use syncron_sim::{FxHashMap, FxHashSet};
 
 use crate::counters::{IndexingCounters, SignalCounters};
 use crate::mechanism::{
@@ -149,6 +149,11 @@ pub struct ProtocolConfig {
     pub signal_backoff_max: Time,
     /// Maximum signals banked per condition variable (at least 1).
     pub pending_signal_cap: u16,
+    /// Coalesce equal-timestamp messages scheduled back to back for the same
+    /// engine into one queued event (see [`ProtocolMechanism::deliver`]). A pure
+    /// simulator optimization: delivery order, and therefore every report, is
+    /// bit-identical either way.
+    pub message_batching: bool,
 }
 
 impl ProtocolConfig {
@@ -186,6 +191,7 @@ impl ProtocolConfig {
             signal_backoff_base: Time::from_ns(DEFAULT_SIGNAL_BACKOFF_NS),
             signal_backoff_max: Time::from_ns(DEFAULT_SIGNAL_BACKOFF_NS * 64),
             pending_signal_cap: 1,
+            message_batching: true,
         }
     }
 
@@ -233,6 +239,12 @@ impl ProtocolConfig {
         self
     }
 
+    /// Enables or disables equal-timestamp message batching.
+    pub fn with_message_batching(mut self, enabled: bool) -> Self {
+        self.message_batching = enabled;
+        self
+    }
+
     /// The NACK backoff delay after `streak` consecutive NACKs to the same core.
     fn backoff_delay(&self, streak: u32) -> Time {
         if self.signal_backoff_base == Time::ZERO {
@@ -262,10 +274,27 @@ struct LocalLock {
     local_grants: u32,
 }
 
+impl LocalLock {
+    fn reset(&mut self) {
+        self.waiters.clear();
+        self.holder = None;
+        self.has_ownership = false;
+        self.pending_global = false;
+        self.local_grants = 0;
+    }
+}
+
 #[derive(Debug, Default)]
 struct MasterLock {
     owner: Option<Grantee>,
     waiting: VecDeque<Grantee>,
+}
+
+impl MasterLock {
+    fn reset(&mut self) {
+        self.owner = None;
+        self.waiting.clear();
+    }
 }
 
 #[derive(Debug, Default)]
@@ -274,12 +303,28 @@ struct LocalBarrier {
     announced: bool,
 }
 
+impl LocalBarrier {
+    fn reset(&mut self) {
+        self.waiters.clear();
+        self.announced = false;
+    }
+}
+
 #[derive(Debug, Default)]
 struct MasterBarrier {
     arrived: u32,
     participants: u32,
     arrived_units: Vec<UnitId>,
     direct_waiters: Vec<GlobalCoreId>,
+}
+
+impl MasterBarrier {
+    fn reset(&mut self) {
+        self.arrived = 0;
+        self.participants = 0;
+        self.arrived_units.clear();
+        self.direct_waiters.clear();
+    }
 }
 
 #[derive(Debug, Default)]
@@ -296,22 +341,212 @@ struct MasterCond {
     pending: u16,
 }
 
+/// Presence bits of [`VarSlot`] sub-states. A bit plays the role the old
+/// per-mechanism `FxHashMap` entry played: set = "the map would contain this
+/// variable". Absent sub-states are always in their reset condition, so claiming
+/// one is just setting the bit — no construction, and the waiter containers keep
+/// their allocated buffers across lifecycles.
+const P_LOCAL_LOCK: u8 = 1 << 0;
+const P_MASTER_LOCK: u8 = 1 << 1;
+const P_LOCAL_BARRIER: u8 = 1 << 2;
+const P_MASTER_BARRIER: u8 = 1 << 3;
+const P_MASTER_SEM: u8 = 1 << 4;
+const P_MASTER_COND: u8 = 1 << 5;
+
+/// All per-variable state one engine keeps, in one arena slot.
+///
+/// Replaces the eight per-mechanism `FxHashMap<Addr, _>` tables the engine used
+/// to keep: one message now resolves its variable's slot once and touches every
+/// sub-state by dense indexing, instead of paying one hash probe per table per
+/// touch.
+#[derive(Debug, Default)]
+struct VarSlot {
+    /// The variable this slot currently tracks (meaningful while indexed).
+    addr: Addr,
+    /// Which sub-states are live (see the `P_*` bits).
+    present: u8,
+    /// Whether the MiSAR abort broadcast for this variable was already charged
+    /// at this engine. Sticky: once set, the slot is pinned for the run.
+    misar_abort_sent: bool,
+    local_lock: LocalLock,
+    master_lock: MasterLock,
+    local_barrier: LocalBarrier,
+    master_barrier: MasterBarrier,
+    master_sem: MasterSem,
+    master_cond: MasterCond,
+    /// In-memory `syncronVar` image for a variable this engine serves without an
+    /// ST entry (server-core backends, and SynCron's overflow path). Boxed: the
+    /// image is touched only on the (memory-charged) overflow path, and inline it
+    /// would double the slot size. Sticky once created, like the old map entry.
+    syncron_var: Option<Box<SyncronVar>>,
+}
+
+macro_rules! slot_state {
+    ($get:ident, $get_mut:ident, $remove:ident, $field:ident, $ty:ty, $bit:ident) => {
+        fn $get(&self) -> Option<&$ty> {
+            (self.present & $bit != 0).then_some(&self.$field)
+        }
+
+        fn $get_mut(&mut self) -> &mut $ty {
+            // Absent states are kept reset, so claiming one is just the bit.
+            self.present |= $bit;
+            &mut self.$field
+        }
+
+        fn $remove(&mut self) {
+            if self.present & $bit != 0 {
+                self.present &= !$bit;
+                self.$field.reset();
+            }
+        }
+    };
+}
+
+impl VarSlot {
+    slot_state!(
+        local_lock,
+        local_lock_mut,
+        remove_local_lock,
+        local_lock,
+        LocalLock,
+        P_LOCAL_LOCK
+    );
+    slot_state!(
+        master_lock_ref,
+        master_lock_mut,
+        remove_master_lock,
+        master_lock,
+        MasterLock,
+        P_MASTER_LOCK
+    );
+    slot_state!(
+        local_barrier_ref,
+        local_barrier_mut,
+        remove_local_barrier,
+        local_barrier,
+        LocalBarrier,
+        P_LOCAL_BARRIER
+    );
+    slot_state!(
+        master_barrier_ref,
+        master_barrier_mut,
+        remove_master_barrier,
+        master_barrier,
+        MasterBarrier,
+        P_MASTER_BARRIER
+    );
+
+    fn master_sem_mut(&mut self) -> &mut MasterSem {
+        self.present |= P_MASTER_SEM;
+        &mut self.master_sem
+    }
+
+    fn master_cond_mut(&mut self) -> &mut MasterCond {
+        self.present |= P_MASTER_COND;
+        &mut self.master_cond
+    }
+
+    /// Whether the slot holds no state at all and can return to the free list.
+    fn is_unused(&self) -> bool {
+        self.present == 0 && !self.misar_abort_sent && self.syncron_var.is_none()
+    }
+}
+
+/// One engine's per-variable state arena: a single `addr → slot` index plus a
+/// dense slot vector with a free list.
+///
+/// Steady-state discipline: the index is probed **once per message**
+/// ([`VarArena::resolve`]); every later state touch of that message is a dense
+/// `slots[slot]` access. Slots whose variable ends a message with no state left
+/// are recycled — with their waiter-queue buffers intact — so the arena's
+/// high-water mark is the number of *concurrently* tracked variables, and a
+/// pre-size from the geometry keeps the hot path free of allocation and
+/// rehashing (see [`Engine::new`]).
+#[derive(Debug, Default)]
+struct VarArena {
+    index: FxHashMap<Addr, u32>,
+    slots: Vec<VarSlot>,
+    free: Vec<u32>,
+}
+
+impl VarArena {
+    fn with_capacity(capacity: usize) -> Self {
+        let mut index = FxHashMap::default();
+        index.reserve(capacity);
+        VarArena {
+            index,
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+        }
+    }
+
+    /// The slot currently tracking `var`, if any (no insertion).
+    fn lookup(&self, var: Addr) -> Option<u32> {
+        self.index.get(&var).copied()
+    }
+
+    /// The slot tracking `var`, claiming a recycled or fresh one if absent.
+    fn resolve(&mut self, var: Addr) -> u32 {
+        if let Some(&slot) = self.index.get(&var) {
+            return slot;
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(s.is_unused(), "free-listed slot still holds state");
+                s.addr = var;
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(VarSlot {
+                    addr: var,
+                    ..VarSlot::default()
+                });
+                slot
+            }
+        };
+        self.index.insert(var, slot);
+        slot
+    }
+
+    /// Returns `slot` to the free list if its variable holds no state anymore.
+    fn release_if_unused(&mut self, slot: u32) {
+        let s = &self.slots[slot as usize];
+        if s.is_unused() {
+            self.index.remove(&s.addr);
+            self.free.push(slot);
+        }
+    }
+
+    /// The in-memory `syncronVar` image of `var`, if one exists.
+    #[cfg(test)]
+    fn syncron_var(&self, var: Addr) -> Option<&SyncronVar> {
+        self.lookup(var)
+            .and_then(|slot| self.slots[slot as usize].syncron_var.as_deref())
+    }
+
+    /// Number of variables currently tracked.
+    #[cfg(test)]
+    fn live(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Allocated slot capacity (for the no-steady-state-growth tests).
+    #[cfg(test)]
+    fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+}
+
 /// Per-unit engine state (one SE or one server core).
 #[derive(Debug)]
 struct Engine {
     busy: Serializer,
     st: SynchronizationTable,
     counters: IndexingCounters,
-    local_locks: FxHashMap<Addr, LocalLock>,
-    local_barriers: FxHashMap<Addr, LocalBarrier>,
-    master_locks: FxHashMap<Addr, MasterLock>,
-    master_barriers: FxHashMap<Addr, MasterBarrier>,
-    master_sems: FxHashMap<Addr, MasterSem>,
-    master_conds: FxHashMap<Addr, MasterCond>,
-    misar_abort_sent: FxHashMap<Addr, bool>,
-    /// In-memory `syncronVar` images for variables this engine serves without an ST
-    /// entry (server-core backends, and SynCron's overflow path).
-    syncron_vars: FxHashMap<Addr, SyncronVar>,
+    /// Per-variable protocol state (see [`VarArena`]).
+    vars: VarArena,
     signals: SignalCounters,
     units: usize,
     cores_per_unit: usize,
@@ -325,14 +560,12 @@ impl Engine {
             // so tracking waiters never allocates on the pop/wake hot path.
             st: SynchronizationTable::with_waiter_hint(st_entries, units, cores_per_unit),
             counters: IndexingCounters::new(counters),
-            local_locks: FxHashMap::default(),
-            local_barriers: FxHashMap::default(),
-            master_locks: FxHashMap::default(),
-            master_barriers: FxHashMap::default(),
-            master_sems: FxHashMap::default(),
-            master_conds: FxHashMap::default(),
-            misar_abort_sent: FxHashMap::default(),
-            syncron_vars: FxHashMap::default(),
+            // Pre-size the variable arena from the geometry: an engine buffers at
+            // most `st_entries` variables directly, plus (conservatively) one
+            // overflowed/served-in-memory variable per local core, so the
+            // steady-state hot path neither grows the slot vector nor rehashes
+            // the index.
+            vars: VarArena::with_capacity(st_entries + cores_per_unit),
             signals: SignalCounters::new(),
             units,
             cores_per_unit,
@@ -426,10 +659,42 @@ enum Outcome {
     MisarSwitchBack { core: GlobalCoreId },
 }
 
-#[derive(Clone, Copy, Debug)]
-struct PendingEvent {
+/// One in-flight delivery: every message bound for `unit` that was merged into
+/// this queued event (usually exactly one).
+///
+/// The first — and overwhelmingly most common only — message lives inline in
+/// the slab slot; merged follow-ups spill to the `rest` vector. Keeping the
+/// singleton case pointer-free matters: the slab bracketed every message event
+/// before batching existed, and a heap indirection per message showed up as a
+/// measurable regression.
+#[derive(Debug)]
+struct PendingBatch {
     unit: UnitId,
-    msg: EngineMsg,
+    /// Guards against double delivery (slab slots are recycled).
+    live: bool,
+    first: EngineMsg,
+    rest: Vec<EngineMsg>,
+}
+
+impl PendingBatch {
+    fn idle() -> Self {
+        PendingBatch {
+            unit: UnitId(0),
+            live: false,
+            first: EngineMsg::LockGrantGlobal { var: Addr(0) },
+            rest: Vec::new(),
+        }
+    }
+}
+
+/// The batch `schedule_msg` may still append to: the most recently scheduled
+/// one, valid while the system-wide push count (`stamp`) has not moved.
+#[derive(Clone, Copy, Debug)]
+struct OpenBatch {
+    token: u32,
+    unit: UnitId,
+    at: Time,
+    stamp: u64,
 }
 
 /// The message-passing protocol mechanism (SynCron, SynCron-flat, Hier, Central).
@@ -437,12 +702,18 @@ struct PendingEvent {
 pub struct ProtocolMechanism {
     config: ProtocolConfig,
     engines: Vec<Engine>,
-    /// In-flight scheduled messages, indexed by their event token. A slab with a
-    /// free list (rather than a map): scheduling and delivery bracket every
-    /// message event, so this sits on the hottest protocol path, and slot reuse
-    /// keeps the vector as small as the in-flight high-water mark.
-    pending: Vec<Option<PendingEvent>>,
+    /// In-flight scheduled message batches, indexed by their event token. A slab
+    /// with a free list (rather than a map): scheduling and delivery bracket
+    /// every message event, so this sits on the hottest protocol path, and slot
+    /// reuse — message buffers included — keeps the vector as small as the
+    /// in-flight high-water mark.
+    pending: Vec<PendingBatch>,
     pending_free: Vec<u32>,
+    /// See [`OpenBatch`]; `None` when nothing can be appended to.
+    open_batch: Option<OpenBatch>,
+    /// Reusable buffer the delivered batch is swapped into, so processing can
+    /// borrow the mechanism mutably while walking the messages.
+    batch_scratch: Vec<EngineMsg>,
     /// Reusable outcome buffer for message processing: outcomes never nest
     /// (applying them routes/schedules but does not process further messages
     /// synchronously), so one buffer serves every `deliver` without a per-message
@@ -453,10 +724,11 @@ pub struct ProtocolMechanism {
     /// variable overflows anywhere, every SE redirects it to the fallback server so
     /// that acquire/release pairs stay consistent (the cores were "aborted" to the
     /// alternative solution, Section 6.7.3).
-    misar_fallback: std::collections::HashSet<Addr>,
-    /// Consecutive-NACK streak per signaling core; indexes the exponential backoff
-    /// and is cleared whenever one of the core's signals is accepted.
-    signal_streaks: FxHashMap<GlobalCoreId, u32>,
+    misar_fallback: FxHashSet<Addr>,
+    /// Consecutive-NACK streak per signaling core, dense over the geometry
+    /// (`flat core index → streak`); indexes the exponential backoff and is
+    /// cleared whenever one of the core's signals is accepted.
+    signal_streaks: Vec<u32>,
 }
 
 impl ProtocolMechanism {
@@ -477,10 +749,12 @@ impl ProtocolMechanism {
             engines,
             pending: Vec::new(),
             pending_free: Vec::new(),
+            open_batch: None,
+            batch_scratch: Vec::new(),
             outcome_scratch: Vec::new(),
             stats: SyncMechanismStats::default(),
-            misar_fallback: std::collections::HashSet::new(),
-            signal_streaks: FxHashMap::default(),
+            misar_fallback: FxHashSet::default(),
+            signal_streaks: vec![0; config.units * config.cores_per_unit],
         }
     }
 
@@ -527,18 +801,47 @@ impl ProtocolMechanism {
     }
 
     fn schedule_msg(&mut self, ctx: &mut dyn SyncContext, at: Time, unit: UnitId, msg: EngineMsg) {
-        let event = PendingEvent { unit, msg };
-        let token = match self.pending_free.pop() {
-            Some(slot) => {
-                self.pending[slot as usize] = Some(event);
-                u64::from(slot)
+        // Equal-timestamp batching: if this message targets the same engine at
+        // the same time as the most recently scheduled one, and *nothing else*
+        // was pushed onto the event queue in between (the schedule-stamp
+        // watermark), then the two deliveries would pop back to back anyway —
+        // appending to the open batch delivers them in one event without
+        // changing the global delivery order by a single bit. Contended
+        // broadcast/wake phases schedule O(1) events where they scheduled
+        // O(waiters).
+        let stamp = ctx.schedule_stamp();
+        if self.config.message_batching {
+            if let (Some(open), Some(stamp)) = (self.open_batch, stamp) {
+                if open.unit == unit && open.at == at && open.stamp == stamp {
+                    let batch = &mut self.pending[open.token as usize];
+                    debug_assert!(batch.live);
+                    batch.rest.push(msg);
+                    return;
+                }
             }
+        }
+        let token = match self.pending_free.pop() {
+            Some(slot) => slot,
             None => {
-                self.pending.push(Some(event));
-                (self.pending.len() - 1) as u64
+                self.pending.push(PendingBatch::idle());
+                (self.pending.len() - 1) as u32
             }
         };
-        ctx.schedule(at, token);
+        let batch = &mut self.pending[token as usize];
+        debug_assert!(!batch.live && batch.rest.is_empty());
+        batch.unit = unit;
+        batch.live = true;
+        batch.first = msg;
+        ctx.schedule(at, u64::from(token));
+        // `SyncContext::schedule` pushes exactly one event, so the post-push
+        // count is `stamp + 1`: that watermarks "no pushes since this batch's
+        // event" without a second context call.
+        self.open_batch = stamp.map(|stamp| OpenBatch {
+            token,
+            unit,
+            at,
+            stamp: stamp + 1,
+        });
     }
 
     /// Charges the message cost from `from` to engine `to` and schedules delivery.
@@ -692,9 +995,11 @@ impl ProtocolMechanism {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn process_core_request(
         &mut self,
         unit: UnitId,
+        slot: usize,
         ctx: &mut dyn SyncContext,
         core: GlobalCoreId,
         req: SyncRequest,
@@ -713,17 +1018,17 @@ impl ProtocolMechanism {
         match req {
             SyncRequest::LockAcquire { var } => {
                 if direct {
-                    master_lock_acquire(engine, var, Grantee::Core(core), &mut *out);
+                    master_lock_acquire(engine, slot, var, Grantee::Core(core), &mut *out);
                 } else {
-                    let ll = engine.local_locks.entry(var).or_default();
+                    let ll = engine.vars.slots[slot].local_lock_mut();
                     ll.waiters.push_back(core);
                     if let Some(e) = engine.st.lookup_mut(var) {
                         e.local_waitlist.set(core.core.index());
                     }
-                    let ll = engine.local_locks.get_mut(&var).expect("just inserted");
+                    let ll = engine.vars.slots[slot].local_lock_mut();
                     if ll.has_ownership {
                         if ll.holder.is_none() {
-                            grant_local_lock(engine, var, &mut *out);
+                            grant_local_lock(engine, slot, var, &mut *out);
                         }
                     } else if !ll.pending_global {
                         ll.pending_global = true;
@@ -736,12 +1041,11 @@ impl ProtocolMechanism {
                 }
             }
             SyncRequest::LockRelease { var } => {
-                let locally_held = engine
-                    .local_locks
-                    .get(&var)
+                let locally_held = engine.vars.slots[slot]
+                    .local_lock()
                     .is_some_and(|ll| ll.has_ownership && ll.holder == Some(core));
                 if direct {
-                    master_lock_release(engine, var, Grantee::Core(core), &mut *out);
+                    master_lock_release(engine, slot, var, Grantee::Core(core), &mut *out);
                 } else if !locally_held {
                     // The core's acquire was granted at the master level (ST overflow
                     // redirection), so its release belongs there too. Processing it
@@ -753,7 +1057,7 @@ impl ProtocolMechanism {
                     // Drop any ST entry this delivery allocated: the variable is not
                     // tracked by this SE (there is no local lock state to mirror),
                     // and leaving it would pin an ST slot forever.
-                    if unit != master && !engine.local_locks.contains_key(&var) {
+                    if unit != master && engine.vars.slots[slot].local_lock().is_none() {
                         engine.st.release(Time::ZERO, var);
                     }
                     out.push(Outcome::Send {
@@ -769,12 +1073,12 @@ impl ProtocolMechanism {
                         overflow: true,
                     });
                 } else {
-                    let ll = engine.local_locks.entry(var).or_default();
+                    let ll = engine.vars.slots[slot].local_lock_mut();
                     ll.holder = None;
                     let over_threshold =
                         fairness.is_some_and(|t| ll.local_grants >= t) && !ll.waiters.is_empty();
                     if !ll.waiters.is_empty() && !over_threshold {
-                        grant_local_lock(engine, var, &mut *out);
+                        grant_local_lock(engine, slot, var, &mut *out);
                     } else {
                         // No more local requests (or fairness hand-off): return the lock
                         // to the Master SE with one aggregated release message.
@@ -794,7 +1098,7 @@ impl ProtocolMechanism {
                                 overflow: false,
                             });
                         } else {
-                            engine.local_locks.remove(&var);
+                            engine.vars.slots[slot].remove_local_lock();
                             engine.st.release(Time::ZERO, var);
                         }
                     }
@@ -807,26 +1111,27 @@ impl ProtocolMechanism {
             } => {
                 let local_only = scope == BarrierScope::WithinUnit;
                 if direct {
-                    let mb = engine.master_barriers.entry(var).or_default();
+                    let mb = engine.vars.slots[slot].master_barrier_mut();
                     mb.participants = participants;
                     mb.arrived += 1;
                     mb.direct_waiters.push(core);
                     if mb.arrived >= participants {
-                        finish_master_barrier(engine, var, &mut *out);
+                        finish_master_barrier(engine, slot, var, &mut *out);
                     }
                 } else if local_only {
-                    let lb = engine.local_barriers.entry(var).or_default();
+                    let lb = engine.vars.slots[slot].local_barrier_mut();
                     lb.waiters.push(core);
                     if lb.waiters.len() as u32 >= participants {
-                        let lb = engine.local_barriers.remove(&var).expect("present");
                         engine.st.release(Time::ZERO, var);
-                        for w in lb.waiters {
+                        let sl = &mut engine.vars.slots[slot];
+                        for w in sl.local_barrier.waiters.drain(..) {
                             out.push(Outcome::Complete { core: w });
                         }
+                        sl.remove_local_barrier();
                     }
                 } else if participants == total_cores {
                     // Full-system barrier: hierarchical two-level communication.
-                    let lb = engine.local_barriers.entry(var).or_default();
+                    let lb = engine.vars.slots[slot].local_barrier_mut();
                     lb.waiters.push(core);
                     if lb.waiters.len() >= cores_per_unit {
                         lb.announced = true;
@@ -864,9 +1169,9 @@ impl ProtocolMechanism {
                     });
                 }
             }
-            SyncRequest::SemWait { var, initial } => {
+            SyncRequest::SemWait { initial, .. } => {
                 if unit == master || direct {
-                    let sem = engine.master_sems.entry(var).or_default();
+                    let sem = engine.vars.slots[slot].master_sem_mut();
                     if !sem.initialized {
                         sem.initialized = true;
                         sem.count = i64::from(initial);
@@ -890,9 +1195,9 @@ impl ProtocolMechanism {
                     });
                 }
             }
-            SyncRequest::SemPost { var } => {
+            SyncRequest::SemPost { .. } => {
                 if unit == master || direct {
-                    let sem = engine.master_sems.entry(var).or_default();
+                    let sem = engine.vars.slots[slot].master_sem_mut();
                     if let Some(next) = sem.waiters.pop_front() {
                         out.push(Outcome::Complete { core: next });
                     } else {
@@ -913,7 +1218,7 @@ impl ProtocolMechanism {
             }
             SyncRequest::CondWait { var, lock } => {
                 if unit == master || direct {
-                    let mc = engine.master_conds.entry(var).or_default();
+                    let mc = engine.vars.slots[slot].master_cond_mut();
                     if coalescing && mc.pending > 0 {
                         // A banked signal wakes this waiter immediately: the atomic
                         // release-and-wait followed by the instant wake-and-reacquire
@@ -921,12 +1226,12 @@ impl ProtocolMechanism {
                         mc.pending -= 1;
                         let pending = mc.pending;
                         engine.signals.record_consumed();
-                        mirror_cond_state(engine, var, Some(lock), pending);
+                        mirror_cond_state(engine, slot, var, Some(lock), pending);
                         out.push(Outcome::Complete { core });
                     } else {
                         mc.waiters.push_back((core, lock));
                         let pending = mc.pending;
-                        mirror_cond_state(engine, var, Some(lock), pending);
+                        mirror_cond_state(engine, slot, var, Some(lock), pending);
                         // cond_wait atomically releases the associated lock on behalf
                         // of the waiting core.
                         out.push(Outcome::Inject {
@@ -949,7 +1254,8 @@ impl ProtocolMechanism {
             }
             SyncRequest::CondSignal { var } => {
                 if unit == master || direct {
-                    let mc = engine.master_conds.entry(var).or_default();
+                    let streak_idx = core.flat_index(cores_per_unit);
+                    let mc = engine.vars.slots[slot].master_cond_mut();
                     if let Some((woken, lock)) = mc.waiters.pop_front() {
                         // The woken core re-acquires the lock; its cond_wait completes
                         // when the lock is granted to it.
@@ -959,7 +1265,7 @@ impl ProtocolMechanism {
                             req: SyncRequest::LockAcquire { var: lock },
                         });
                         if coalescing {
-                            self.signal_streaks.remove(&core);
+                            self.signal_streaks[streak_idx] = 0;
                             out.push(Outcome::Complete { core });
                         }
                     } else if coalescing {
@@ -969,16 +1275,16 @@ impl ProtocolMechanism {
                             mc.pending += 1;
                             let pending = mc.pending;
                             engine.signals.record_coalesced(pending);
-                            mirror_cond_state(engine, var, None, pending);
-                            self.signal_streaks.remove(&core);
+                            mirror_cond_state(engine, slot, var, None, pending);
+                            self.signal_streaks[streak_idx] = 0;
                             out.push(Outcome::Complete { core });
                         } else {
                             // Pending count at its cap: NACK the signaler with an
                             // exponentially growing backoff delay.
                             engine.signals.record_nacked();
-                            let streak = self.signal_streaks.entry(core).or_insert(0);
-                            let delay = config.backoff_delay(*streak);
-                            *streak = streak.saturating_add(1);
+                            let streak = self.signal_streaks[streak_idx];
+                            let delay = config.backoff_delay(streak);
+                            self.signal_streaks[streak_idx] = streak.saturating_add(1);
                             out.push(Outcome::Nack { core, delay });
                         }
                     }
@@ -995,11 +1301,10 @@ impl ProtocolMechanism {
                     });
                 }
             }
-            SyncRequest::CondBroadcast { var } => {
+            SyncRequest::CondBroadcast { .. } => {
                 if unit == master || direct {
-                    let waiters =
-                        std::mem::take(&mut engine.master_conds.entry(var).or_default().waiters);
-                    for (woken, lock) in waiters {
+                    let mc = engine.vars.slots[slot].master_cond_mut();
+                    for (woken, lock) in mc.waiters.drain(..) {
                         out.push(Outcome::Inject {
                             core: woken,
                             req: SyncRequest::LockAcquire { var: lock },
@@ -1024,6 +1329,7 @@ impl ProtocolMechanism {
     fn process_global(
         &mut self,
         unit: UnitId,
+        slot: usize,
         master: UnitId,
         msg: EngineMsg,
         out: &mut Vec<Outcome>,
@@ -1031,24 +1337,25 @@ impl ProtocolMechanism {
         let engine = &mut self.engines[unit.index()];
         match msg {
             EngineMsg::LockAcquireGlobal { from, var } => {
-                master_lock_acquire(engine, var, Grantee::Unit(from), &mut *out);
+                master_lock_acquire(engine, slot, var, Grantee::Unit(from), &mut *out);
             }
             EngineMsg::LockReleaseGlobal { from, var } => {
-                master_lock_release(engine, var, Grantee::Unit(from), &mut *out);
+                master_lock_release(engine, slot, var, Grantee::Unit(from), &mut *out);
             }
             EngineMsg::LockGrantGlobal { var } => {
-                let ll = engine.local_locks.entry(var).or_default();
+                let ll = engine.vars.slots[slot].local_lock_mut();
                 ll.has_ownership = true;
                 ll.pending_global = false;
                 ll.local_grants = 0;
-                if ll.holder.is_none() && !ll.waiters.is_empty() {
-                    grant_local_lock(engine, var, &mut *out);
-                } else if ll.holder.is_none() {
+                let (holder_none, has_waiters) = (ll.holder.is_none(), !ll.waiters.is_empty());
+                if holder_none && has_waiters {
+                    grant_local_lock(engine, slot, var, &mut *out);
+                } else if holder_none {
                     // A grant with no local waiter left to serve (the waiters were
                     // redirected to the master while the request was in flight):
                     // hand the ownership straight back instead of stranding the lock
                     // on a unit that will never release it.
-                    engine.local_locks.remove(&var);
+                    engine.vars.slots[slot].remove_local_lock();
                     engine.st.release(Time::ZERO, var);
                     out.push(Outcome::Send {
                         to: master,
@@ -1063,22 +1370,24 @@ impl ProtocolMechanism {
                 count,
                 participants,
             } => {
-                let mb = engine.master_barriers.entry(var).or_default();
+                let mb = engine.vars.slots[slot].master_barrier_mut();
                 mb.participants = participants;
                 mb.arrived += count;
                 if !mb.arrived_units.contains(&from) {
                     mb.arrived_units.push(from);
                 }
                 if mb.arrived >= participants {
-                    finish_master_barrier(engine, var, &mut *out);
+                    finish_master_barrier(engine, slot, var, &mut *out);
                 }
             }
             EngineMsg::BarrierDepartGlobal { var } => {
-                if let Some(lb) = engine.local_barriers.remove(&var) {
+                if engine.vars.slots[slot].local_barrier_ref().is_some() {
                     engine.st.release(Time::ZERO, var);
-                    for w in lb.waiters {
+                    let sl = &mut engine.vars.slots[slot];
+                    for w in sl.local_barrier.waiters.drain(..) {
                         out.push(Outcome::Complete { core: w });
                     }
+                    sl.remove_local_barrier();
                 }
             }
             EngineMsg::CoreReq { .. } => unreachable!("core requests use process_core_request"),
@@ -1133,20 +1442,28 @@ impl ProtocolMechanism {
     ) {
         let mut displaced: Vec<GlobalCoreId> = Vec::new();
         for engine in &mut self.engines {
-            if let Some(ll) = engine.local_locks.remove(&var) {
-                displaced.extend(ll.waiters);
+            let Some(slot) = engine.vars.lookup(var) else {
+                continue;
+            };
+            let sl = &mut engine.vars.slots[slot as usize];
+            if sl.local_lock().is_some() {
+                displaced.extend(sl.local_lock.waiters.drain(..));
+                sl.remove_local_lock();
                 engine.st.release(Time::ZERO, var);
             }
-            if let Some(ml) = engine.master_locks.remove(&var) {
-                for grantee in ml.waiting {
+            let sl = &mut engine.vars.slots[slot as usize];
+            if sl.master_lock_ref().is_some() {
+                for grantee in sl.master_lock.waiting.drain(..) {
                     if let Grantee::Core(c) = grantee {
                         displaced.push(c);
                     }
                     // Unit-level waiters are covered by draining that unit's local
                     // waiter queue above.
                 }
+                sl.remove_master_lock();
                 engine.st.release(Time::ZERO, var);
             }
+            engine.vars.release_if_unused(slot);
         }
         for core in displaced {
             self.send_engine_msg(
@@ -1206,7 +1523,13 @@ impl ProtocolMechanism {
 /// `syncronVar` image — which is where server-core backends and SynCron's overflow
 /// path hold their state, using the packed `VarInfo` layout of
 /// [`SyncronVar::set_cond_info`].
-fn mirror_cond_state(engine: &mut Engine, var: Addr, lock: Option<Addr>, pending: u16) {
+fn mirror_cond_state(
+    engine: &mut Engine,
+    slot: usize,
+    var: Addr,
+    lock: Option<Addr>,
+    pending: u16,
+) {
     if let Some(entry) = engine.st.lookup_mut(var) {
         if let TableInfo::CondLock {
             lock: entry_lock,
@@ -1221,16 +1544,19 @@ fn mirror_cond_state(engine: &mut Engine, var: Addr, lock: Option<Addr>, pending
         return;
     }
     let (units, cores_per_unit) = (engine.units, engine.cores_per_unit);
-    let image = engine
-        .syncron_vars
-        .entry(var)
-        .or_insert_with(|| SyncronVar::with_geometry(var, units, cores_per_unit));
+    let image = engine.vars.slots[slot]
+        .syncron_var
+        .get_or_insert_with(|| Box::new(SyncronVar::with_geometry(var, units, cores_per_unit)));
     let lock = lock.unwrap_or_else(|| image.cond_lock());
     image.set_cond_info(lock, pending);
 }
 
-fn grant_local_lock(engine: &mut Engine, var: Addr, out: &mut Vec<Outcome>) {
-    let ll = engine.local_locks.get_mut(&var).expect("local lock state");
+fn grant_local_lock(engine: &mut Engine, slot: usize, var: Addr, out: &mut Vec<Outcome>) {
+    debug_assert!(
+        engine.vars.slots[slot].local_lock().is_some(),
+        "local lock state"
+    );
+    let ll = engine.vars.slots[slot].local_lock_mut();
     if let Some(next) = ll.waiters.pop_front() {
         ll.holder = Some(next);
         ll.local_grants += 1;
@@ -1241,8 +1567,14 @@ fn grant_local_lock(engine: &mut Engine, var: Addr, out: &mut Vec<Outcome>) {
     }
 }
 
-fn master_lock_acquire(engine: &mut Engine, var: Addr, who: Grantee, out: &mut Vec<Outcome>) {
-    let ml = engine.master_locks.entry(var).or_default();
+fn master_lock_acquire(
+    engine: &mut Engine,
+    slot: usize,
+    var: Addr,
+    who: Grantee,
+    out: &mut Vec<Outcome>,
+) {
+    let ml = engine.vars.slots[slot].master_lock_mut();
     if ml.owner.is_none() {
         ml.owner = Some(who);
         match who {
@@ -1261,8 +1593,14 @@ fn master_lock_acquire(engine: &mut Engine, var: Addr, who: Grantee, out: &mut V
     }
 }
 
-fn master_lock_release(engine: &mut Engine, var: Addr, _who: Grantee, out: &mut Vec<Outcome>) {
-    let ml = engine.master_locks.entry(var).or_default();
+fn master_lock_release(
+    engine: &mut Engine,
+    slot: usize,
+    var: Addr,
+    _who: Grantee,
+    out: &mut Vec<Outcome>,
+) {
+    let ml = engine.vars.slots[slot].master_lock_mut();
     ml.owner = None;
     if let Some(next) = ml.waiting.pop_front() {
         ml.owner = Some(next);
@@ -1278,24 +1616,29 @@ fn master_lock_release(engine: &mut Engine, var: Addr, _who: Grantee, out: &mut 
             Grantee::Core(c) => out.push(Outcome::Complete { core: c }),
         }
     } else {
-        engine.master_locks.remove(&var);
+        engine.vars.slots[slot].remove_master_lock();
         engine.st.release(Time::ZERO, var);
     }
 }
 
-fn finish_master_barrier(engine: &mut Engine, var: Addr, out: &mut Vec<Outcome>) {
-    let mb = engine.master_barriers.remove(&var).expect("barrier state");
+fn finish_master_barrier(engine: &mut Engine, slot: usize, var: Addr, out: &mut Vec<Outcome>) {
+    debug_assert!(
+        engine.vars.slots[slot].master_barrier_ref().is_some(),
+        "barrier state"
+    );
     engine.st.release(Time::ZERO, var);
-    for u in mb.arrived_units {
+    let sl = &mut engine.vars.slots[slot];
+    for u in sl.master_barrier.arrived_units.drain(..) {
         out.push(Outcome::Send {
             to: u,
             msg: EngineMsg::BarrierDepartGlobal { var },
             overflow: false,
         });
     }
-    for c in mb.direct_waiters {
+    for c in sl.master_barrier.direct_waiters.drain(..) {
         out.push(Outcome::Complete { core: c });
     }
+    sl.remove_master_barrier();
 }
 
 impl SyncMechanism for ProtocolMechanism {
@@ -1324,22 +1667,82 @@ impl SyncMechanism for ProtocolMechanism {
     }
 
     fn deliver(&mut self, ctx: &mut dyn SyncContext, token: u64) {
-        // Slab slots are reused, so a token that resolves to an empty slot is no
+        // Slab slots are reused, so a token that resolves to a dead slot is no
         // longer a harmless stray — it means a message was double-delivered (and
         // its slot possibly already re-issued to an unrelated message). Fail
         // loudly instead of silently dropping or mis-routing it.
-        let Some(PendingEvent { unit, msg }) =
-            self.pending.get_mut(token as usize).and_then(Option::take)
-        else {
-            panic!(
+        let batch = match self.pending.get_mut(token as usize) {
+            Some(batch) if batch.live => batch,
+            _ => panic!(
                 "protocol message token {token} delivered with no pending event: \
                  double delivery or a token scheduled outside schedule_msg"
-            );
+            ),
         };
+        batch.live = false;
+        let unit = batch.unit;
+        let first = batch.first;
+        // Swap any merged follow-up messages into the reusable scratch buffer so
+        // the mechanism can be borrowed mutably while walking them; the slot
+        // gets the (empty) previous scratch vector back and returns to the free
+        // list.
+        debug_assert!(self.batch_scratch.is_empty());
+        std::mem::swap(&mut self.batch_scratch, &mut batch.rest);
         self.pending_free.push(token as u32);
+        // The open batch must be closed *before* processing: a message scheduled
+        // during processing could otherwise append to this already-delivered
+        // token and be lost.
+        if self
+            .open_batch
+            .is_some_and(|open| open.token == token as u32)
+        {
+            self.open_batch = None;
+        }
+        // Batched messages were scheduled back to back for the same timestamp,
+        // so walking them here is exactly the pop order the unbatched queue
+        // would have produced (`EngineMsg` is `Copy`; indexing sidesteps the
+        // borrow of `self`).
+        self.deliver_one(ctx, unit, first);
+        for i in 0..self.batch_scratch.len() {
+            let msg = self.batch_scratch[i];
+            self.deliver_one(ctx, unit, msg);
+        }
+        self.batch_scratch.clear();
+    }
+
+    fn stats(&self, end: Time) -> SyncMechanismStats {
+        let mut stats = self.stats;
+        for e in &self.engines {
+            stats.delivered_signals += e.signals.delivered();
+            stats.coalesced_signals += e.signals.coalesced();
+            stats.consumed_signals += e.signals.consumed();
+            stats.signal_nacks += e.signals.nacked();
+            stats.max_pending_signals = stats
+                .max_pending_signals
+                .max(u64::from(e.signals.max_pending()));
+        }
+        if self.config.backend == EngineBackend::SyncronSe && !self.engines.is_empty() {
+            let mut max = 0.0f64;
+            let mut avg_sum = 0.0f64;
+            for e in &self.engines {
+                max = max.max(e.st.max_occupancy());
+                avg_sum += e.st.avg_occupancy(end);
+            }
+            stats.st_max_occupancy = max;
+            stats.st_avg_occupancy = avg_sum / self.engines.len() as f64;
+        }
+        stats
+    }
+}
+
+impl ProtocolMechanism {
+    /// Processes one message at engine `unit` at the current time.
+    fn deliver_one(&mut self, ctx: &mut dyn SyncContext, unit: UnitId, msg: EngineMsg) {
         let now = ctx.now();
         let var = msg.var();
         let kind = msg.primitive();
+        // The one compact `addr -> VarSlot` resolution of this message; every
+        // subsequent state touch indexes the arena densely.
+        let slot = self.engines[unit.index()].vars.resolve(var) as usize;
 
         // Resolve ST / overflow state (SynCron backends only).
         let (mut use_memory, redirect) = match msg {
@@ -1408,11 +1811,8 @@ impl SyncMechanism for ProtocolMechanism {
                             _ => ctx.home_unit(var),
                         };
                         let first = {
-                            let engine = &mut self.engines[unit.index()];
-                            !std::mem::replace(
-                                engine.misar_abort_sent.entry(var).or_insert(false),
-                                true,
-                            )
+                            let sl = &mut self.engines[unit.index()].vars.slots[slot];
+                            !std::mem::replace(&mut sl.misar_abort_sent, true)
                         };
                         let mut outcomes = Vec::new();
                         if first {
@@ -1447,6 +1847,11 @@ impl SyncMechanism for ProtocolMechanism {
                         );
                     }
                 }
+                // Redirected requests leave no state here (the MiSAR abort flag,
+                // when set, pins the slot); recycle it otherwise.
+                self.engines[unit.index()]
+                    .vars
+                    .release_if_unused(slot as u32);
                 return;
             }
             // Global messages are never redirected; fall through and service via memory.
@@ -1463,39 +1868,28 @@ impl SyncMechanism for ProtocolMechanism {
         match msg {
             EngineMsg::CoreReq {
                 core, req, direct, ..
-            } => self.process_core_request(unit, ctx, core, req, direct || fallback, &mut outcomes),
+            } => self.process_core_request(
+                unit,
+                slot,
+                ctx,
+                core,
+                req,
+                direct || fallback,
+                &mut outcomes,
+            ),
             other => {
                 let master = self.master_of(ctx, var);
-                self.process_global(unit, master, other, &mut outcomes)
+                self.process_global(unit, slot, master, other, &mut outcomes)
             }
         }
         self.apply_outcomes(ctx, done, unit, &mut outcomes);
         outcomes.clear();
         self.outcome_scratch = outcomes;
-    }
-
-    fn stats(&self, end: Time) -> SyncMechanismStats {
-        let mut stats = self.stats;
-        for e in &self.engines {
-            stats.delivered_signals += e.signals.delivered();
-            stats.coalesced_signals += e.signals.coalesced();
-            stats.consumed_signals += e.signals.consumed();
-            stats.signal_nacks += e.signals.nacked();
-            stats.max_pending_signals = stats
-                .max_pending_signals
-                .max(u64::from(e.signals.max_pending()));
-        }
-        if self.config.backend == EngineBackend::SyncronSe && !self.engines.is_empty() {
-            let mut max = 0.0f64;
-            let mut avg_sum = 0.0f64;
-            for e in &self.engines {
-                max = max.max(e.st.max_occupancy());
-                avg_sum += e.st.avg_occupancy(end);
-            }
-            stats.st_max_occupancy = max;
-            stats.st_avg_occupancy = avg_sum / self.engines.len() as f64;
-        }
-        stats
+        // Recycle the slot if this message left the variable with no state at
+        // this engine (forward-only hops, completed barriers, released locks).
+        self.engines[unit.index()]
+            .vars
+            .release_if_unused(slot as u32);
     }
 }
 
@@ -1528,6 +1922,12 @@ mod tests {
         }
         fn schedule(&mut self, at: Time, token: u64) {
             self.queue.push(at, token);
+        }
+        fn schedule_stamp(&self) -> Option<u64> {
+            // The harness pushes nothing but mechanism tokens, so the queue's
+            // push count is the system-wide count: batching is active in these
+            // tests exactly as it is under the full machine.
+            Some(self.queue.scheduled_total())
         }
         fn local_hop(&mut self, _unit: UnitId, _bytes: u64) -> Time {
             self.local_hops += 1;
@@ -1955,8 +2355,8 @@ mod tests {
         drain(&mut mech, &mut ctx);
         // Central serves everything at unit 0.
         let image = mech.engines[0]
-            .syncron_vars
-            .get(&cond)
+            .vars
+            .syncron_var(cond)
             .expect("in-memory syncronVar image");
         assert_eq!(image.cond_pending_signals(), 1);
         mech.request(&mut ctx, core(0, 0), SyncRequest::LockAcquire { var: lock });
@@ -1967,7 +2367,7 @@ mod tests {
             SyncRequest::CondWait { var: cond, lock },
         );
         drain(&mut mech, &mut ctx);
-        let image = mech.engines[0].syncron_vars.get(&cond).unwrap();
+        let image = mech.engines[0].vars.syncron_var(cond).unwrap();
         assert_eq!(image.cond_pending_signals(), 0, "consumed exactly once");
         assert_eq!(image.cond_lock(), lock, "wait recorded the associated lock");
         // The SynCron backend buffers the variable in its ST instead: no image.
@@ -1976,7 +2376,7 @@ mod tests {
         se.request(&mut ctx, core(1, 0), SyncRequest::CondSignal { var: cond });
         drain(&mut se, &mut ctx);
         let master = 1; // cond is homed at unit 1 under the harness home_unit
-        assert!(se.engines[master].syncron_vars.is_empty());
+        assert!(se.engines[master].vars.syncron_var(cond).is_none());
         assert!(matches!(
             se.engines[master].st.lookup(cond).unwrap().info,
             TableInfo::CondLock {
@@ -2138,6 +2538,220 @@ mod tests {
         );
         assert!(stats.st_max_occupancy > 0.0);
         assert_eq!(stats.overflowed_requests, 0);
+    }
+
+    fn bare_ctx() -> HarnessCtx {
+        HarnessCtx {
+            now: Time::ZERO,
+            queue: EventQueue::new(),
+            completed: Vec::new(),
+            local_hops: 0,
+            remote_hops: 0,
+            mem_accesses: 0,
+        }
+    }
+
+    fn drain_ctx(mech: &mut ProtocolMechanism, ctx: &mut HarnessCtx) {
+        while let Some((at, token)) = ctx.queue.pop() {
+            ctx.now = ctx.now.max(at);
+            mech.deliver(ctx, token);
+        }
+    }
+
+    #[test]
+    fn arena_recycles_slots_without_leaking_state_between_addresses() {
+        let mut mech =
+            ProtocolMechanism::new(ProtocolConfig::for_kind(MechanismKind::SynCron, 4, 16));
+        let mut ctx = bare_ctx();
+        let a = lock_var();
+        let b = Addr(a.value() + 64);
+
+        // Holding A occupies slots at the requesting unit (local lock) and the
+        // master (master lock).
+        mech.request(&mut ctx, core(0, 0), SyncRequest::LockAcquire { var: a });
+        drain_ctx(&mut mech, &mut ctx);
+        let live: usize = mech.engines.iter().map(|e| e.vars.live()).sum();
+        assert!(live >= 2, "holding a lock must occupy arena slots: {live}");
+
+        // Releasing A must return every slot to the free list.
+        mech.request(&mut ctx, core(0, 0), SyncRequest::LockRelease { var: a });
+        drain_ctx(&mut mech, &mut ctx);
+        for (i, e) in mech.engines.iter().enumerate() {
+            assert_eq!(e.vars.live(), 0, "engine {i} leaked a slot");
+        }
+
+        // B now claims the recycled slots: the index answers B (not A) and the
+        // recycled state is clean — no waiters or ownership leaked from A.
+        mech.request(&mut ctx, core(0, 0), SyncRequest::LockAcquire { var: b });
+        drain_ctx(&mut mech, &mut ctx);
+        let e0 = &mech.engines[0];
+        assert!(e0.vars.lookup(a).is_none(), "stale index entry for A");
+        let slot = e0.vars.lookup(b).expect("B tracked at the local engine") as usize;
+        assert_eq!(e0.vars.slots[slot].addr, b);
+        let ll = e0.vars.slots[slot].local_lock().expect("local lock state");
+        assert_eq!(ll.holder, Some(core(0, 0)));
+        assert!(ll.waiters.is_empty(), "waiters leaked across the recycle");
+        assert!(ll.has_ownership);
+        mech.request(&mut ctx, core(0, 0), SyncRequest::LockRelease { var: b });
+        drain_ctx(&mut mech, &mut ctx);
+    }
+
+    #[test]
+    fn arena_tracks_colliding_addresses_in_distinct_slots() {
+        // Addresses that share arena slots over time (or collide in the hash
+        // index) must never share one *concurrently*: N simultaneously-held
+        // locks occupy N distinct slots with independent state.
+        let mut mech =
+            ProtocolMechanism::new(ProtocolConfig::for_kind(MechanismKind::SynCron, 4, 16));
+        let mut ctx = bare_ctx();
+        let vars: Vec<Addr> = (0..8).map(|i| Addr((1 << 22) + i * 64)).collect();
+        for (i, &var) in vars.iter().enumerate() {
+            mech.request(&mut ctx, core(0, i as u8), SyncRequest::LockAcquire { var });
+            drain_ctx(&mut mech, &mut ctx);
+        }
+        let e0 = &mech.engines[0];
+        let mut slots: Vec<u32> = vars
+            .iter()
+            .map(|&v| e0.vars.lookup(v).expect("held lock tracked"))
+            .collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), vars.len(), "two variables shared a slot");
+        for (i, &var) in vars.iter().enumerate() {
+            let slot = e0.vars.lookup(var).unwrap() as usize;
+            assert_eq!(e0.vars.slots[slot].addr, var);
+            assert_eq!(
+                e0.vars.slots[slot].local_lock().unwrap().holder,
+                Some(core(0, i as u8)),
+                "slot state crossed between variables"
+            );
+        }
+        for (i, &var) in vars.iter().enumerate() {
+            mech.request(&mut ctx, core(0, i as u8), SyncRequest::LockRelease { var });
+            drain_ctx(&mut mech, &mut ctx);
+        }
+    }
+
+    #[test]
+    fn arena_pre_sized_from_geometry_never_grows_in_steady_state() {
+        let mut mech =
+            ProtocolMechanism::new(ProtocolConfig::for_kind(MechanismKind::SynCron, 4, 16));
+        let mut ctx = bare_ctx();
+        let caps: Vec<usize> = mech.engines.iter().map(|e| e.vars.capacity()).collect();
+        assert!(
+            caps.iter().all(|&c| c >= 64 + 16),
+            "arena must be pre-sized from st_entries + cores_per_unit: {caps:?}"
+        );
+        // Steady state: 16 locks cycle concurrently for many rounds, churning
+        // the free list. Neither the slot vectors nor (by extension) the index
+        // may grow past the pre-size.
+        let vars: Vec<Addr> = (0..16).map(|i| Addr((1 << 22) + i * 64)).collect();
+        for _ in 0..25 {
+            for (i, &var) in vars.iter().enumerate() {
+                let c = core((i % 4) as u8, (i % 16) as u8);
+                mech.request(&mut ctx, c, SyncRequest::LockAcquire { var });
+                drain_ctx(&mut mech, &mut ctx);
+            }
+            for (i, &var) in vars.iter().enumerate() {
+                let c = core((i % 4) as u8, (i % 16) as u8);
+                mech.request(&mut ctx, c, SyncRequest::LockRelease { var });
+                drain_ctx(&mut mech, &mut ctx);
+            }
+        }
+        let after: Vec<usize> = mech.engines.iter().map(|e| e.vars.capacity()).collect();
+        assert_eq!(caps, after, "steady state reallocated an arena");
+    }
+
+    #[test]
+    fn batching_merges_broadcast_wakeups_without_changing_results() {
+        // Central + condvar broadcast: the master injects one lock re-acquire
+        // per waiter at the same timestamp, back to back — the canonical
+        // O(waiters) -> O(1) batching case. Completions must be identical with
+        // batching on and off; the event count must shrink.
+        let run = |batching: bool| {
+            let config = ProtocolConfig::for_kind(MechanismKind::Central, 4, 16)
+                .with_message_batching(batching);
+            let mut mech = ProtocolMechanism::new(config);
+            let mut ctx = bare_ctx();
+            let cond = Addr(1 << 22);
+            let lock = Addr((1 << 22) + 64);
+            for c in 0..6u8 {
+                mech.request(&mut ctx, core(0, c), SyncRequest::LockAcquire { var: lock });
+                drain_ctx(&mut mech, &mut ctx);
+                mech.request(
+                    &mut ctx,
+                    core(0, c),
+                    SyncRequest::CondWait { var: cond, lock },
+                );
+                drain_ctx(&mut mech, &mut ctx);
+            }
+            mech.request(
+                &mut ctx,
+                core(1, 0),
+                SyncRequest::CondBroadcast { var: cond },
+            );
+            drain_ctx(&mut mech, &mut ctx);
+            // Serve the lock convoy to completion.
+            for _ in 0..6 {
+                let holder = ctx.completed.last().unwrap().0;
+                mech.request(&mut ctx, holder, SyncRequest::LockRelease { var: lock });
+                drain_ctx(&mut mech, &mut ctx);
+            }
+            (ctx.completed.clone(), ctx.queue.scheduled_total())
+        };
+        let (with_batching, events_batched) = run(true);
+        let (without, events_unbatched) = run(false);
+        assert_eq!(
+            with_batching, without,
+            "batching changed completion order or timing"
+        );
+        assert!(
+            events_batched < events_unbatched,
+            "broadcast wake-ups must coalesce: {events_batched} vs {events_unbatched}"
+        );
+    }
+
+    #[test]
+    fn batching_preserves_all_protocol_semantics_across_mechanisms() {
+        // The whole harness suite runs with batching on (the default); this
+        // differential re-runs a contended mixed workload with batching off and
+        // pins completion-for-completion equality.
+        for kind in [
+            MechanismKind::Central,
+            MechanismKind::Hier,
+            MechanismKind::SynCron,
+            MechanismKind::SynCronFlat,
+        ] {
+            let run = |batching: bool| {
+                let config = ProtocolConfig::for_kind(kind, 4, 16).with_message_batching(batching);
+                let mut mech = ProtocolMechanism::new(config);
+                let mut ctx = bare_ctx();
+                let bar = Addr(2 << 22);
+                for u in 0..4u8 {
+                    for c in 0..16u8 {
+                        mech.request(
+                            &mut ctx,
+                            core(u, c),
+                            SyncRequest::BarrierWait {
+                                var: bar,
+                                participants: 64,
+                                scope: BarrierScope::AcrossUnits,
+                            },
+                        );
+                    }
+                }
+                drain_ctx(&mut mech, &mut ctx);
+                let lock = lock_var();
+                for c in 0..8u8 {
+                    mech.request(&mut ctx, core(2, c), SyncRequest::LockAcquire { var: lock });
+                    drain_ctx(&mut mech, &mut ctx);
+                    mech.request(&mut ctx, core(2, c), SyncRequest::LockRelease { var: lock });
+                    drain_ctx(&mut mech, &mut ctx);
+                }
+                ctx.completed
+            };
+            assert_eq!(run(true), run(false), "{kind:?}");
+        }
     }
 
     #[test]

@@ -72,6 +72,9 @@ pub struct ConfigSpec {
     pub signal_coalescing: bool,
     /// Base NACK backoff delay in nanoseconds for repeat condvar signalers.
     pub signal_backoff_ns: u64,
+    /// Equal-timestamp message batching in the protocol engine (simulator
+    /// optimization; reports are bit-identical either way). On by default.
+    pub message_batching: bool,
     /// Coherence mode for shared read-write data.
     pub coherence: CoherenceMode,
     /// MESI latency profile (only used with [`CoherenceMode::MesiDirectory`]).
@@ -104,6 +107,7 @@ impl Default for ConfigSpec {
             fairness_threshold: paper.mechanism.fairness_threshold,
             signal_coalescing: paper.mechanism.signal_coalescing,
             signal_backoff_ns: paper.mechanism.signal_backoff_ns,
+            message_batching: paper.mechanism.message_batching,
             coherence: paper.coherence,
             mesi: MesiProfile::NdpDefault,
             reserve_server_core: paper.reserve_server_core,
@@ -146,6 +150,12 @@ impl ConfigSpec {
         self
     }
 
+    /// Enables or disables equal-timestamp message batching (builder style).
+    pub fn with_message_batching(mut self, enabled: bool) -> Self {
+        self.message_batching = enabled;
+        self
+    }
+
     /// Builds the concrete [`NdpConfig`], rejecting invalid machine geometries with
     /// an error naming the offending field.
     pub fn to_ndp_config(&self) -> Result<NdpConfig, HarnessError> {
@@ -153,7 +163,8 @@ impl ConfigSpec {
             .with_st_entries(self.st_entries)
             .with_overflow_mode(self.overflow_mode)
             .with_signal_coalescing(self.signal_coalescing)
-            .with_signal_backoff_ns(self.signal_backoff_ns);
+            .with_signal_backoff_ns(self.signal_backoff_ns)
+            .with_message_batching(self.message_batching);
         params.fairness_threshold = self.fairness_threshold;
         let mesi = match self.mesi {
             MesiProfile::NdpDefault => MesiParams::ndp_default(),
@@ -191,6 +202,7 @@ impl ConfigSpec {
                 "signal_backoff_ns",
                 Value::Int(self.signal_backoff_ns as i64),
             ),
+            ("message_batching", Value::Bool(self.message_batching)),
             ("coherence", Value::str(coherence_name(self.coherence))),
             ("mesi_profile", Value::str(self.mesi.name())),
             ("reserve_server_core", Value::Bool(self.reserve_server_core)),
@@ -229,6 +241,11 @@ impl ConfigSpec {
                         .ok_or_else(|| HarnessError::spec("signal_coalescing must be a bool"))?
                 }
                 "signal_backoff_ns" => spec.signal_backoff_ns = u64_field(v, key)?,
+                "message_batching" => {
+                    spec.message_batching = v
+                        .as_bool()
+                        .ok_or_else(|| HarnessError::spec("message_batching must be a bool"))?
+                }
                 "fairness_threshold" => {
                     spec.fairness_threshold = match v {
                         Value::Str(s) if s == "off" => None,
@@ -561,6 +578,22 @@ mod tests {
         let value = crate::json::parse(r#"{"units": 256, "cores_per_unit": 256}"#).unwrap();
         let spec = ConfigSpec::from_value(&value).unwrap();
         assert_eq!(spec.to_ndp_config().unwrap().total_cores(), 65536);
+    }
+
+    #[test]
+    fn message_batching_field_round_trips() {
+        // On by default (a pure simulator optimization with bit-identical
+        // results), serialized explicitly, decodable from TOML/JSON.
+        assert!(ConfigSpec::default().message_batching);
+        let spec = ConfigSpec::default().with_message_batching(false);
+        let doc = spec.to_value();
+        let back = ConfigSpec::from_value(&doc).unwrap();
+        assert_eq!(back, spec);
+        assert!(!back.to_ndp_config().unwrap().mechanism.message_batching);
+        let value = crate::json::parse(r#"{"message_batching": false}"#).unwrap();
+        assert!(!ConfigSpec::from_value(&value).unwrap().message_batching);
+        let value = crate::json::parse(r#"{"message_batching": 3}"#).unwrap();
+        assert!(ConfigSpec::from_value(&value).is_err());
     }
 
     #[test]

@@ -15,12 +15,10 @@
 //! parameters in [`MesiParams`]; the caller converts the returned message counts into
 //! network traffic and energy.
 
-use std::collections::HashMap;
-
 use syncron_sim::queueing::Serializer;
 use syncron_sim::stats::Counter;
 use syncron_sim::time::Time;
-use syncron_sim::{Addr, GlobalCoreId, UnitId};
+use syncron_sim::{Addr, FxHashMap, GlobalCoreId, UnitId};
 
 /// The kind of coherent access a core performs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -158,7 +156,11 @@ pub struct MesiDirectory {
     params: MesiParams,
     cores_per_unit: usize,
     total_cores: usize,
-    lines: HashMap<u64, DirEntry>,
+    /// Per-line directory entries, keyed by line index. Uses the deterministic
+    /// fixed-seed [`FxHashMap`] like every other hot-path simulator map: the std
+    /// default (SipHash with a per-process random seed) costs tens of
+    /// nanoseconds per lookup and randomizes iteration order between processes.
+    lines: FxHashMap<u64, DirEntry>,
     stats: MesiStats,
 }
 
@@ -175,7 +177,7 @@ impl MesiDirectory {
             params,
             cores_per_unit,
             total_cores: total,
-            lines: HashMap::new(),
+            lines: FxHashMap::default(),
             stats: MesiStats::default(),
         }
     }

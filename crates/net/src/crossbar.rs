@@ -9,7 +9,7 @@
 //! 16 cores hammering the local Synchronization Engine) see growing queueing delay
 //! without simulating individual flits.
 
-use syncron_sim::queueing::{md1_wait, RateTracker};
+use syncron_sim::queueing::{md1_wait_with_mu, Memo2, RateTracker};
 use syncron_sim::stats::Counter;
 use syncron_sim::time::{Freq, Time};
 
@@ -78,6 +78,13 @@ pub struct Crossbar {
     rate: RateTracker,
     stats: CrossbarStats,
     energy_pj: f64,
+    /// Arbiter + hop latency, fixed by the configuration; computed once instead of
+    /// per packet.
+    pipeline: Time,
+    /// Memoized `bytes → (service time, service rate)`: a hit skips the flit
+    /// division and — via [`md1_wait_with_mu`] — the `1.0 / service` divide of
+    /// the M/D/1 model, without changing a bit of any result.
+    service_memo: Memo2<(Time, f64)>,
 }
 
 impl Crossbar {
@@ -90,6 +97,10 @@ impl Crossbar {
             rate: RateTracker::new(Time::from_us(2)),
             stats: CrossbarStats::default(),
             energy_pj: 0.0,
+            pipeline: config
+                .clock
+                .cycles_to_ps(config.arbiter_cycles + config.hops),
+            service_memo: Memo2::new(),
         }
     }
 
@@ -102,13 +113,26 @@ impl Crossbar {
     /// latency the packet experiences (pipeline + serialization + queueing).
     pub fn transfer(&mut self, now: Time, bytes: u64) -> Time {
         let cfg = &self.config;
-        let flits = bytes.div_ceil(cfg.flit_bytes).max(1);
-        let service = cfg.clock.cycles_to_ps(flits);
-        let pipeline = cfg.clock.cycles_to_ps(cfg.arbiter_cycles + cfg.hops);
+        let (service, mu) = self.service_memo.get_or_insert_with(bytes, || {
+            let flits = bytes.div_ceil(cfg.flit_bytes).max(1);
+            let service = cfg.clock.cycles_to_ps(flits);
+            // Exactly the reciprocal md1_wait would compute; memoizing it is what
+            // makes the per-packet M/D/1 evaluation two divides instead of three.
+            let mu = if service == Time::ZERO {
+                0.0
+            } else {
+                1.0 / (service.as_ps() as f64)
+            };
+            (service, mu)
+        });
+        let pipeline = self.pipeline;
 
-        self.rate.record(now);
-        let lambda = self.rate.rate_per_ps(now);
-        let queueing = md1_wait(lambda, service, cfg.max_utilization);
+        let lambda = self.rate.record_and_rate(now);
+        let queueing = if service == Time::ZERO {
+            Time::ZERO
+        } else {
+            md1_wait_with_mu(lambda, mu, cfg.max_utilization)
+        };
 
         self.stats.packets.inc();
         self.stats.bytes.add(bytes);
@@ -174,6 +198,29 @@ mod tests {
             "loaded latency {last} should exceed idle {idle}"
         );
         assert!(xbar.avg_queueing() > Time::ZERO);
+    }
+
+    #[test]
+    fn memoized_fast_path_matches_unmemoized_model() {
+        // Drive the crossbar and a hand-rolled (RateTracker + md1_wait) reference
+        // in lockstep over a bursty, repeating packet stream: the Md1Cache /
+        // record_and_rate fast path must reproduce every latency bit for bit.
+        use syncron_sim::queueing::{md1_wait, RateTracker};
+        let cfg = CrossbarConfig::default();
+        let mut xbar = Crossbar::new(cfg);
+        let mut rate = RateTracker::new(Time::from_us(2));
+        for round in 0..50u64 {
+            for (offset, bytes) in [(0u64, 16u64), (0, 16), (3, 64), (40, 16), (40, 64)] {
+                let now = Time::from_ns(round * 200 + offset);
+                let flits = bytes.div_ceil(cfg.flit_bytes).max(1);
+                let service = cfg.clock.cycles_to_ps(flits);
+                let pipeline = cfg.clock.cycles_to_ps(cfg.arbiter_cycles + cfg.hops);
+                rate.record(now);
+                let lambda = rate.rate_per_ps(now);
+                let expected = pipeline + service + md1_wait(lambda, service, cfg.max_utilization);
+                assert_eq!(xbar.transfer(now, bytes), expected, "round {round}");
+            }
+        }
     }
 
     #[test]

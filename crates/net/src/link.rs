@@ -9,10 +9,9 @@
 //! link for its serialization time (bytes / bandwidth), experiences the fixed transfer
 //! latency, and pays the 20-cycle controller overhead on each side.
 
-use syncron_sim::queueing::Serializer;
+use syncron_sim::queueing::{Memo2, Serializer};
 use syncron_sim::stats::Counter;
 use syncron_sim::time::{Freq, Time};
-use syncron_sim::FxHashMap;
 use syncron_sim::UnitId;
 
 /// Configuration of the inter-unit links.
@@ -79,36 +78,43 @@ pub struct LinkStats {
 /// use syncron_net::link::{InterUnitLink, LinkConfig};
 /// use syncron_sim::{Time, UnitId};
 ///
-/// let mut links = InterUnitLink::new(LinkConfig::default());
+/// let mut links = InterUnitLink::new(LinkConfig::default(), 4);
 /// let latency = links.transfer(Time::ZERO, UnitId(0), UnitId(1), 64);
 /// assert!(latency >= Time::from_ns(40));
 /// ```
 #[derive(Clone, Debug)]
 pub struct InterUnitLink {
     config: LinkConfig,
-    channels: FxHashMap<(UnitId, UnitId), Serializer>,
+    units: usize,
+    /// One serializer per *directed* unit pair, in a dense `units × units`
+    /// row-major table (`from * units + to`). The machine geometry is fixed at
+    /// construction, so the dense table replaces the per-pair hash map that used
+    /// to sit on every remote hop; the diagonal is never used (`transfer` rejects
+    /// intra-unit traffic).
+    channels: Vec<Serializer>,
     stats: LinkStats,
     energy_pj: f64,
-    /// Memoized `(bytes, serialization time)` pairs: link traffic is almost
-    /// entirely header- or line-sized — and the remote data path alternates
-    /// between the two back to back, so two entries (not one) are needed for the
-    /// memo to fire. Skips the float division of [`LinkConfig::serialization`]
-    /// without changing a bit of the result.
-    serialization_memo: [(u64, Time); 2],
-    /// Which memo entry the next miss evicts.
-    memo_evict: usize,
+    /// Memoized `bytes → serialization time`: skips the float division of
+    /// [`LinkConfig::serialization`] for the (two) hot packet sizes without
+    /// changing a bit of the result.
+    serialization_memo: Memo2<Time>,
 }
 
 impl InterUnitLink {
-    /// Creates an idle link fabric.
-    pub fn new(config: LinkConfig) -> Self {
+    /// Creates an idle link fabric connecting `units` NDP units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is zero.
+    pub fn new(config: LinkConfig, units: usize) -> Self {
+        assert!(units > 0, "link fabric needs at least one unit");
         InterUnitLink {
             config,
-            channels: FxHashMap::default(),
+            units,
+            channels: vec![Serializer::new(); units * units],
             stats: LinkStats::default(),
             energy_pj: 0.0,
-            serialization_memo: [(u64::MAX, Time::ZERO); 2],
-            memo_evict: 0,
+            serialization_memo: Memo2::new(),
         }
     }
 
@@ -122,23 +128,22 @@ impl InterUnitLink {
     ///
     /// # Panics
     ///
-    /// Panics if `from == to`; intra-unit traffic goes through the crossbar instead.
+    /// Panics if `from == to` (intra-unit traffic goes through the crossbar
+    /// instead), or if either unit is outside the fabric's geometry.
     pub fn transfer(&mut self, now: Time, from: UnitId, to: UnitId, bytes: u64) -> Time {
         assert_ne!(from, to, "inter-unit link used for intra-unit transfer");
+        assert!(
+            from.index() < self.units && to.index() < self.units,
+            "link transfer {from:?} -> {to:?} outside the {}-unit fabric",
+            self.units
+        );
         let cfg = &self.config;
         let controller = cfg.clock.cycles_to_ps(cfg.controller_cycles);
-        let serialization = if self.serialization_memo[0].0 == bytes {
-            self.serialization_memo[0].1
-        } else if self.serialization_memo[1].0 == bytes {
-            self.serialization_memo[1].1
-        } else {
-            let computed = cfg.serialization(bytes);
-            self.serialization_memo[self.memo_evict] = (bytes, computed);
-            self.memo_evict ^= 1;
-            computed
-        };
+        let serialization = self
+            .serialization_memo
+            .get_or_insert_with(bytes, || cfg.serialization(bytes));
 
-        let channel = self.channels.entry((from, to)).or_default();
+        let channel = &mut self.channels[from.index() * self.units + to.index()];
         let start = channel.acquire(now + controller, serialization);
         let wait = start.saturating_sub(now + controller);
 
@@ -168,7 +173,7 @@ mod tests {
     #[test]
     fn base_latency_includes_transfer_and_controller() {
         let cfg = LinkConfig::default();
-        let mut links = InterUnitLink::new(cfg);
+        let mut links = InterUnitLink::new(cfg, 4);
         let lat = links.transfer(Time::ZERO, UnitId(0), UnitId(1), 64);
         // 2 x 20 cycles @2.5GHz = 16 ns, + 40 ns + 5 ns serialization.
         let expected_min = Time::from_ns(40) + cfg.clock.cycles_to_ps(40);
@@ -186,7 +191,7 @@ mod tests {
 
     #[test]
     fn contention_serializes_same_direction() {
-        let mut links = InterUnitLink::new(LinkConfig::default());
+        let mut links = InterUnitLink::new(LinkConfig::default(), 4);
         let a = links.transfer(Time::ZERO, UnitId(0), UnitId(1), 4096);
         let b = links.transfer(Time::ZERO, UnitId(0), UnitId(1), 4096);
         assert!(b > a, "second message should wait for the link");
@@ -195,7 +200,7 @@ mod tests {
 
     #[test]
     fn opposite_directions_do_not_contend() {
-        let mut links = InterUnitLink::new(LinkConfig::default());
+        let mut links = InterUnitLink::new(LinkConfig::default(), 4);
         let a = links.transfer(Time::ZERO, UnitId(0), UnitId(1), 4096);
         let b = links.transfer(Time::ZERO, UnitId(1), UnitId(0), 4096);
         assert_eq!(a, b);
@@ -204,8 +209,8 @@ mod tests {
     #[test]
     fn latency_knob_scales_latency() {
         let slow_cfg = LinkConfig::default().with_transfer_latency(Time::from_ns(500));
-        let mut fast = InterUnitLink::new(LinkConfig::default());
-        let mut slow = InterUnitLink::new(slow_cfg);
+        let mut fast = InterUnitLink::new(LinkConfig::default(), 4);
+        let mut slow = InterUnitLink::new(slow_cfg, 4);
         let f = fast.transfer(Time::ZERO, UnitId(0), UnitId(1), 64);
         let s = slow.transfer(Time::ZERO, UnitId(0), UnitId(1), 64);
         assert!(s > f + Time::from_ns(400));
@@ -213,7 +218,7 @@ mod tests {
 
     #[test]
     fn energy_and_stats() {
-        let mut links = InterUnitLink::new(LinkConfig::default());
+        let mut links = InterUnitLink::new(LinkConfig::default(), 4);
         links.transfer(Time::ZERO, UnitId(0), UnitId(2), 64);
         links.transfer(Time::ZERO, UnitId(2), UnitId(0), 17);
         assert_eq!(links.stats().messages.get(), 2);
@@ -225,7 +230,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn same_unit_transfer_panics() {
-        let mut links = InterUnitLink::new(LinkConfig::default());
+        let mut links = InterUnitLink::new(LinkConfig::default(), 4);
         links.transfer(Time::ZERO, UnitId(1), UnitId(1), 64);
     }
 }
@@ -255,7 +260,7 @@ mod proptests {
                 })
                 .collect();
             let cfg = LinkConfig::default();
-            let mut links = InterUnitLink::new(cfg);
+            let mut links = InterUnitLink::new(cfg, 4);
             msgs.sort();
             for &(t, from, to, bytes) in &msgs {
                 if from == to {

@@ -78,10 +78,12 @@ impl CalendarParams {
 
     /// Sizes the wheel from a core clock cycle: one bucket spans (the power-of-two
     /// round-up of) one cycle, so consecutive core steps land in distinct buckets
-    /// and same-cycle events share one.
+    /// and same-cycle events share one. Absurd cycles are clamped so the
+    /// round-up cannot overflow (the wheel clamps again against its bucket
+    /// count when built).
     pub fn for_cycle(cycle: Time) -> Self {
         CalendarParams {
-            bucket_width_ps: cycle.as_ps().max(1).next_power_of_two(),
+            bucket_width_ps: cycle.as_ps().clamp(1, 1 << 53).next_power_of_two(),
             buckets: CalendarParams::DEFAULT.buckets,
         }
     }
@@ -213,11 +215,31 @@ impl<E> std::fmt::Debug for Calendar<E> {
 }
 
 impl<E> Calendar<E> {
+    /// Largest permitted bucket count: a million buckets is already absurd, and
+    /// the cap keeps `log2(buckets)` small enough to bound the lap shift.
+    const MAX_BUCKETS: usize = 1 << 20;
+
     fn new(params: CalendarParams) -> Self {
-        let width = params.bucket_width_ps.max(1).next_power_of_two();
-        let buckets = params.buckets.max(2).next_power_of_two();
+        // Clamp both dimensions so every shift below stays strictly under 64
+        // bits. Without the clamp, extreme-but-constructible parameters (e.g.
+        // `bucket_width_ps: u64::MAX`, whose `next_power_of_two` overflows to 0
+        // in release builds, or widths where `width_shift + log2(buckets)`
+        // reaches 64) made `bucket_of`/`lap_end_ps` use masked shift amounts
+        // and silently corrupted pop order. Clamped wheels stay correct — an
+        // oversized width just means more events share a bucket.
+        let buckets = params
+            .buckets
+            .clamp(2, Calendar::<E>::MAX_BUCKETS)
+            .next_power_of_two();
+        let bucket_bits = buckets.trailing_zeros();
+        let max_width_shift = 63 - bucket_bits;
+        let width = params
+            .bucket_width_ps
+            .clamp(1, 1u64 << max_width_shift)
+            .next_power_of_two();
         let width_shift = width.trailing_zeros();
-        let lap_shift = width_shift + buckets.trailing_zeros();
+        let lap_shift = width_shift + bucket_bits;
+        debug_assert!(lap_shift < 64);
         let mut wheel = Vec::new();
         wheel.resize_with(buckets, Vec::new);
         Calendar {
@@ -689,6 +711,51 @@ mod tests {
         assert_eq!(q.pop(), Some((Time::from_ps(20), 10)));
         assert_eq!(q.pop(), Some((Time::from_ps(700), 20)));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn extreme_wheel_geometries_are_clamped_and_stay_ordered() {
+        // Parameters that used to overflow the shift arithmetic (u64::MAX width
+        // wraps next_power_of_two to 0 in release; 1<<60 width with 1024
+        // buckets pushes the lap shift past 64): the wheel must clamp and keep
+        // exact pop order instead of silently corrupting it.
+        for params in [
+            CalendarParams {
+                bucket_width_ps: u64::MAX,
+                buckets: 2,
+            },
+            CalendarParams {
+                bucket_width_ps: 1 << 60,
+                buckets: 1024,
+            },
+            CalendarParams {
+                bucket_width_ps: 512,
+                buckets: usize::MAX,
+            },
+        ] {
+            let mut q = EventQueue::calendar(params);
+            let times = [
+                u64::MAX,
+                0,
+                1 << 40,
+                3,
+                (1 << 62) + 7,
+                1 << 40,
+                u64::MAX - 1,
+            ];
+            for (i, &t) in times.iter().enumerate() {
+                q.push(Time::from_ps(t), i);
+            }
+            let mut sorted: Vec<(u64, usize)> = times.iter().copied().zip(0..times.len()).collect();
+            sorted.sort();
+            for &(t, idx) in &sorted {
+                assert_eq!(q.pop(), Some((Time::from_ps(t), idx)), "params {params:?}");
+            }
+            assert_eq!(q.pop(), None);
+        }
+        // for_cycle clamps absurd cycles instead of overflowing the round-up.
+        let p = CalendarParams::for_cycle(Time::from_ps(u64::MAX));
+        assert!(p.bucket_width_ps.is_power_of_two());
     }
 
     #[test]

@@ -28,17 +28,81 @@ use crate::time::Time;
 /// assert_eq!(w.as_ps(), 500);
 /// ```
 pub fn md1_wait(lambda_per_ps: f64, service: Time, max_utilization: f64) -> Time {
-    if lambda_per_ps <= 0.0 || service == Time::ZERO {
+    if service == Time::ZERO {
         return Time::ZERO;
     }
-    let s = service.as_ps() as f64;
-    let mu = 1.0 / s;
+    let mu = 1.0 / (service.as_ps() as f64);
+    md1_wait_with_mu(lambda_per_ps, mu, max_utilization)
+}
+
+/// [`md1_wait`] with the service rate `mu = 1 / service_ps` supplied by the
+/// caller.
+///
+/// `1.0 / s` is one of the three serial-dependency float divides on the crossbar
+/// hot path, and it depends only on the packet's service time — one of a handful
+/// of values (header- and line-sized packets). Callers that memoize `mu` per
+/// service time (see the crossbar) skip that divide per packet; the remaining
+/// operations are performed in exactly the order [`md1_wait`] performs them, so
+/// the result is bit-identical.
+pub fn md1_wait_with_mu(lambda_per_ps: f64, mu: f64, max_utilization: f64) -> Time {
+    if lambda_per_ps <= 0.0 || mu <= 0.0 {
+        return Time::ZERO;
+    }
     let rho = (lambda_per_ps / mu).min(max_utilization.clamp(0.0, 0.999));
     if rho <= 0.0 {
         return Time::ZERO;
     }
     let wait = rho / (2.0 * mu * (1.0 - rho));
     Time::from_ps(wait.round() as u64)
+}
+
+/// A two-way direct-mapped memo for pure `u64 → V` computations.
+///
+/// Sized for key streams that alternate between (at most) two hot values — the
+/// network models' packet sizes are almost entirely header- or line-sized, and
+/// the remote data path interleaves the two back to back, so one entry would
+/// thrash while two make the memo fire. A hit returns exactly what the
+/// computation produced for that key, so memoizing a deterministic function is
+/// bit-exact by construction.
+#[derive(Clone, Copy, Debug)]
+pub struct Memo2<V> {
+    entries: [Option<(u64, V)>; 2],
+    evict: usize,
+}
+
+impl<V: Copy> Memo2<V> {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Memo2 {
+            entries: [None, None],
+            evict: 0,
+        }
+    }
+
+    /// Returns the memoized value for `key`, computing (and caching) it on a
+    /// miss; a miss evicts the older of the two entries.
+    pub fn get_or_insert_with(&mut self, key: u64, compute: impl FnOnce() -> V) -> V {
+        if let Some((k, v)) = self.entries[0] {
+            if k == key {
+                return v;
+            }
+        }
+        if let Some((k, v)) = self.entries[1] {
+            if k == key {
+                return v;
+            }
+        }
+        let value = compute();
+        self.entries[self.evict] = Some((key, value));
+        self.evict ^= 1;
+        value
+    }
+}
+
+impl<V: Copy> Default for Memo2<V> {
+    fn default() -> Self {
+        Memo2::new()
+    }
 }
 
 /// Tracks the recent arrival rate of packets at a network port so the M/D/1 model can
@@ -53,13 +117,21 @@ pub struct RateTracker {
     last: Time,
     weight: f64,
     total_packets: u64,
-    /// Memoized last decay step: event-driven traffic arrives with heavily
-    /// repeating inter-arrival gaps, so caching the most recent `(dt, exp(-dt/w))`
-    /// pair skips the `exp` call — the single most expensive float operation on
-    /// the crossbar hot path — without changing a single bit of the result.
-    cached_dt_ps: u64,
-    cached_factor: f64,
+    /// Memoized decay factors: a direct-mapped `dt → exp(-dt/w)` cache over the
+    /// exact picosecond gap. Event-driven traffic draws its inter-arrival gaps
+    /// from a discrete grid (core cycles, service times, hop latencies) that
+    /// repeats heavily across phases, but *not* always back to back — the
+    /// predecessor of this cache was a single entry, which burst traffic with
+    /// alternating gaps missed almost every time, paying the `exp` call (the
+    /// single most expensive float operation on the crossbar hot path) per
+    /// packet. Keying on the exact `dt` keeps every returned factor bit-exact.
+    factor_cache: Vec<(u64, f64)>,
 }
+
+/// Ways in the `dt → exp` factor cache (power of two; 4 KiB per tracker).
+const FACTOR_WAYS: usize = 256;
+/// Multiplicative hash constant (splitmix64 / golden-ratio derived).
+const WAY_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
 
 impl RateTracker {
     /// Creates a tracker with the given averaging window.
@@ -74,8 +146,9 @@ impl RateTracker {
             last: Time::ZERO,
             weight: 0.0,
             total_packets: 0,
-            cached_dt_ps: 0,
-            cached_factor: 1.0,
+            // `dt == 0` never reaches the cache (`decay_to` early-returns), so
+            // it doubles as the empty marker.
+            factor_cache: vec![(0, 1.0); FACTOR_WAYS],
         }
     }
 
@@ -92,6 +165,17 @@ impl RateTracker {
         self.weight / self.window.as_ps() as f64
     }
 
+    /// Records one packet at `now` and returns the updated arrival rate, with a
+    /// single decay step. Bit-identical to `record(now)` followed by
+    /// `rate_per_ps(now)` — the second decay there is always a no-op — but the hot
+    /// crossbar path pays the `now <= last` comparison once instead of twice.
+    pub fn record_and_rate(&mut self, now: Time) -> f64 {
+        self.decay_to(now);
+        self.weight += 1.0;
+        self.total_packets += 1;
+        self.weight / self.window.as_ps() as f64
+    }
+
     /// Total packets ever recorded.
     pub fn total_packets(&self) -> u64 {
         self.total_packets
@@ -103,13 +187,18 @@ impl RateTracker {
         }
         let dt_ps = (now - self.last).as_ps();
         // Exponential decay with time constant = window; `exp` of an identical
-        // `dt` is identical, so the one-entry memo is bit-exact.
-        if dt_ps != self.cached_dt_ps {
+        // `dt` is identical, so the keyed memo is bit-exact.
+        let way = (dt_ps.wrapping_mul(WAY_MIX) >> 56) as usize & (FACTOR_WAYS - 1);
+        let entry = &mut self.factor_cache[way];
+        let factor = if entry.0 == dt_ps {
+            entry.1
+        } else {
             let w = self.window.as_ps() as f64;
-            self.cached_dt_ps = dt_ps;
-            self.cached_factor = (-(dt_ps as f64) / w).exp();
-        }
-        self.weight *= self.cached_factor;
+            let factor = (-(dt_ps as f64) / w).exp();
+            *entry = (dt_ps, factor);
+            factor
+        };
+        self.weight *= factor;
         self.last = now;
     }
 }
@@ -179,6 +268,80 @@ mod tests {
         let at_limit = md1_wait(0.00095, s, 0.95);
         let beyond = md1_wait(0.5, s, 0.95);
         assert_eq!(at_limit, beyond);
+    }
+
+    #[test]
+    fn md1_with_mu_is_bit_exact_against_the_plain_function() {
+        // Supplying the memoized reciprocal must agree with md1_wait everywhere,
+        // bit for bit — including boundary cases and near-duplicate lambdas
+        // differing in the last mantissa bit.
+        for service in [Time::from_ps(400), Time::from_ns(1), Time::from_ps(1600)] {
+            let mu = 1.0 / (service.as_ps() as f64);
+            let lambdas = [
+                0.0,
+                1e-9,
+                0.0001,
+                0.0005,
+                f64::from_bits(0.0005f64.to_bits() + 1),
+                0.00095,
+                0.5,
+            ];
+            for &l in &lambdas {
+                for util in [0.5, 0.95] {
+                    assert_eq!(
+                        md1_wait_with_mu(l, mu, util),
+                        md1_wait(l, service, util),
+                        "lambda={l} util={util} service={service}"
+                    );
+                }
+            }
+        }
+        assert_eq!(md1_wait(0.1, Time::ZERO, 0.95), Time::ZERO);
+        assert_eq!(md1_wait_with_mu(0.1, 0.0, 0.95), Time::ZERO);
+    }
+
+    #[test]
+    fn memo2_caches_two_hot_keys_and_evicts_round_robin() {
+        let mut memo: Memo2<u64> = Memo2::new();
+        let mut computes = 0;
+        let get = |memo: &mut Memo2<u64>, k: u64, computes: &mut u32| {
+            memo.get_or_insert_with(k, || {
+                *computes += 1;
+                k * 10
+            })
+        };
+        // Alternating two keys computes each exactly once.
+        for _ in 0..5 {
+            assert_eq!(get(&mut memo, 16, &mut computes), 160);
+            assert_eq!(get(&mut memo, 64, &mut computes), 640);
+        }
+        assert_eq!(computes, 2);
+        // A third key evicts one entry; the sentinel-free design also serves
+        // u64::MAX as an ordinary key.
+        assert_eq!(
+            get(&mut memo, u64::MAX, &mut computes),
+            u64::MAX.wrapping_mul(10)
+        );
+        assert_eq!(computes, 3);
+        assert_eq!(
+            get(&mut memo, u64::MAX, &mut computes),
+            u64::MAX.wrapping_mul(10)
+        );
+        assert_eq!(computes, 3);
+    }
+
+    #[test]
+    fn record_and_rate_matches_record_then_rate() {
+        let mut a = RateTracker::new(Time::from_ns(100));
+        let mut b = RateTracker::new(Time::from_ns(100));
+        for i in 0..300u64 {
+            let now = Time::from_ps(i * 137);
+            b.record(now);
+            let rb = b.rate_per_ps(now);
+            let ra = a.record_and_rate(now);
+            assert_eq!(ra.to_bits(), rb.to_bits(), "step {i}");
+        }
+        assert_eq!(a.total_packets(), b.total_packets());
     }
 
     #[test]

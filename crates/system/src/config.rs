@@ -323,6 +323,15 @@ impl NdpConfigBuilder {
         self
     }
 
+    /// Enables or disables the protocol engine's equal-timestamp message
+    /// batching (on by default). A pure simulator optimization: reports are
+    /// bit-identical either way; `false` restores one queued event per message
+    /// for differential testing and benchmarking.
+    pub fn message_batching(mut self, enabled: bool) -> Self {
+        self.config.mechanism.message_batching = enabled;
+        self
+    }
+
     /// Sets the inter-unit per-cache-line transfer latency (Figures 16, 17, 21 sweeps).
     pub fn link_latency(mut self, latency: Time) -> Self {
         self.config.link.transfer_latency = latency;
@@ -415,6 +424,16 @@ mod tests {
             .unwrap();
         assert_eq!(cfg.scheduler, SchedulerKind::Heap);
         assert_eq!(cfg.inline_step_budget, 0);
+    }
+
+    #[test]
+    fn message_batching_knob_builds_and_defaults_on() {
+        assert!(NdpConfig::paper_default().mechanism.message_batching);
+        let cfg = NdpConfig::builder()
+            .message_batching(false)
+            .build()
+            .unwrap();
+        assert!(!cfg.mechanism.message_batching);
     }
 
     #[test]

@@ -140,6 +140,14 @@ impl SyncContext for MechCtx<'_> {
         self.sub.queue.push(at, Event::SyncToken(token));
     }
 
+    fn schedule_stamp(&self) -> Option<u64> {
+        // The machine's queue counts every push (core steps, resumes, sync
+        // tokens), so the protocol's equal-timestamp batching can prove "no
+        // event was scheduled in between" — the condition under which merging
+        // two deliveries preserves pop order exactly.
+        Some(self.sub.queue.scheduled_total())
+    }
+
     fn local_hop(&mut self, unit: UnitId, bytes: u64) -> Time {
         self.sub.traffic.add_intra(bytes);
         self.sub.crossbars[unit.index()].transfer(self.now, bytes)
@@ -286,7 +294,7 @@ impl NdpMachine {
                 crossbars: (0..config.units)
                     .map(|_| Crossbar::new(config.crossbar))
                     .collect(),
-                links: InterUnitLink::new(config.link),
+                links: InterUnitLink::new(config.link, config.units),
                 drams: (0..config.units)
                     .map(|_| DramModel::new(dram_spec))
                     .collect(),

@@ -55,6 +55,57 @@ fn assert_schedulers_agree(scenario: &Scenario) -> RunReport {
     calendar_report
 }
 
+/// Runs one scenario with message batching on and off and asserts report
+/// equality. Batching merges equal-timestamp messages scheduled back to back
+/// for one engine into a single queued event, so the *delivered-event count*
+/// legitimately shrinks — but the simulation itself (time, ops, traffic,
+/// energy, synchronization statistics) must not move by a bit.
+fn assert_batching_is_invisible(scenario: &Scenario) -> RunReport {
+    let mut batched = scenario.clone();
+    batched.config = batched.config.with_message_batching(true);
+    let mut unbatched = scenario.clone();
+    unbatched.config = unbatched.config.with_message_batching(false);
+
+    let batched_report = batched.run().expect("batched run");
+    let unbatched_report = unbatched.run().expect("unbatched run");
+    if let Some(field) = unbatched_report.divergence_from(&batched_report) {
+        panic!(
+            "{}: message batching diverged from the per-message reference in {field}",
+            scenario.label
+        );
+    }
+    assert!(
+        batched_report.perf.events_delivered <= unbatched_report.perf.events_delivered,
+        "{}: batching must never deliver more events",
+        scenario.label
+    );
+    batched_report
+}
+
+#[test]
+fn fig10_corpus_is_batching_invariant() {
+    // The four Figure 10 microbenchmark sweeps at paper scale, with message
+    // batching on vs off: reports must be bit-identical (the condvar sweep in
+    // particular exercises the broadcast/wake bursts batching collapses).
+    let mut total = 0;
+    let mut saved = 0u64;
+    for file in [
+        "fig10_lock.toml",
+        "fig10_barrier.toml",
+        "fig10_semaphore.toml",
+        "fig10_condvar.toml",
+    ] {
+        for scenario in load_sweep(file) {
+            let report = assert_batching_is_invisible(&scenario);
+            assert!(report.completed, "{} did not complete", scenario.label);
+            total += 1;
+            saved += report.perf.events_delivered;
+        }
+    }
+    assert!(total >= 40, "corpus unexpectedly small: {total} scenarios");
+    assert!(saved > 0, "no events delivered across the corpus");
+}
+
 #[test]
 fn fig10_corpus_is_scheduler_invariant() {
     // The four Figure 10 microbenchmark sweeps at paper scale: lock, barrier,
