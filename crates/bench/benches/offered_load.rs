@@ -1,0 +1,11 @@
+//! Offered-load sweep: the open-loop sharded-KV service under climbing Poisson
+//! arrival rates, all compared schemes. Prints the latency table and the
+//! per-mechanism saturation knees (see EXPERIMENTS.md, "Offered load vs.
+//! saturation").
+
+use syncron_bench::experiments::service;
+
+fn main() {
+    let points = service::measure();
+    service::offered_load_table(&points).print();
+}

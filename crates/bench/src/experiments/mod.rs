@@ -9,6 +9,7 @@
 //! | [`sensitivity`] | Figures 17–22, 24 (fairness extension), scaling beyond Fig 13 |
 //! | [`hwcost`] | Table 8 |
 //! | [`simcore`] | Simulator-throughput trajectory (`BENCH_simcore.json`; not a paper figure) |
+//! | [`service`] | Offered load vs. saturation (open-loop extension; not a paper figure) |
 
 pub mod datastructures;
 pub mod hwcost;
@@ -16,4 +17,5 @@ pub mod motivation;
 pub mod primitives;
 pub mod realapps;
 pub mod sensitivity;
+pub mod service;
 pub mod simcore;

@@ -1,0 +1,231 @@
+//! Offered-load experiment: open-loop service traffic pushed past saturation.
+//!
+//! The closed-loop experiments elsewhere in this crate measure *throughput*:
+//! every core issues its next operation as soon as the previous one retires, so
+//! latency is hidden by the feedback loop. This experiment removes the loop —
+//! requests arrive on a Poisson clock that does not wait for the cores (the
+//! `service` workload family of `syncron-workloads`), so queueing delay lands
+//! in the measured per-request latency. Sweeping the arrival rate produces the
+//! classic open-loop curve: p99 latency tracks the service time below the knee
+//! and grows without bound past it. The knee is the mechanism's saturation
+//! throughput, and its position orders the schemes exactly like the paper's
+//! closed-loop speedups (Ideal > SynCron > Hier > Central).
+//!
+//! The bench target `offered_load` prints the table; the same sweep is
+//! available declaratively as `scenarios/offered_load_sweep.toml`.
+//! `EXPERIMENTS.md` ("Offered load vs. saturation") records the measured knees.
+
+use crate::{f2, run_scenarios, scaled, ConfigSpec, Sweep, Table, WorkloadSpec};
+use syncron_core::MechanismKind;
+use syncron_workloads::service::{ArrivalProcess, ServiceShape};
+
+/// Offered loads swept, in requests per microsecond per core. The grid spans
+/// the region where every scheme is unsaturated (0.05) to where even Ideal
+/// queues (4.0).
+pub const RATES: [f64; 7] = [0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 4.0];
+
+/// A knee is declared at the first rate whose p99 exceeds this multiple of the
+/// lowest-rate p99. Below saturation p99 creeps (contention grows with load,
+/// staying within a small factor of the unloaded tail); past it, p99 is
+/// queueing-dominated and jumps by an order of magnitude per grid step, so the
+/// factor only needs to sit above the creep and below the jump.
+pub const KNEE_FACTOR: f64 = 5.0;
+
+/// One (mechanism, rate) point of the offered-load curve.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadPoint {
+    /// Synchronization scheme.
+    pub mechanism: MechanismKind,
+    /// Offered load in requests per microsecond per core.
+    pub rate_per_us: f64,
+    /// Achieved throughput (operations per simulated millisecond).
+    pub ops_per_ms: f64,
+    /// Median request latency in nanoseconds (admission to completion).
+    pub p50_ns: f64,
+    /// 99th-percentile request latency in nanoseconds.
+    pub p99_ns: f64,
+    /// 99.9th-percentile request latency in nanoseconds.
+    pub p999_ns: f64,
+    /// Whether the run finished before its event budget.
+    pub completed: bool,
+}
+
+/// Runs the offered-load sweep at explicit rates and request count (exposed so
+/// tests can run a tiny instance; use [`measure`] for the real experiment).
+///
+/// # Panics
+///
+/// Panics if any run comes back without a latency summary — the service
+/// workloads must always measure their requests.
+pub fn measure_rates(
+    units: usize,
+    cores_per_unit: usize,
+    rates: &[f64],
+    requests: u32,
+) -> Vec<LoadPoint> {
+    let scenarios = Sweep::new("offered-load")
+        .base(ConfigSpec::default().with_geometry(units, cores_per_unit))
+        .workloads(rates.iter().map(|&rate_per_us| WorkloadSpec::Service {
+            shape: ServiceShape::Kv,
+            arrival: ArrivalProcess::Poisson { rate_per_us },
+            keys: 1_000_000,
+            zipf_s: 0.99,
+            requests,
+        }))
+        .compared_mechanisms()
+        .scenarios()
+        .unwrap_or_else(|e| panic!("offered-load sweep failed to expand: {e}"));
+    let results = run_scenarios(&scenarios);
+    let mut points = Vec::new();
+    // Iterate mechanism-major so each mechanism's curve is contiguous and
+    // ordered by rate regardless of the sweep's expansion order.
+    for mechanism in MechanismKind::COMPARED {
+        for &rate_per_us in rates {
+            let entry = results
+                .find(|s| {
+                    s.config.mechanism == mechanism
+                        && matches!(
+                            s.workload,
+                            WorkloadSpec::Service {
+                                arrival: ArrivalProcess::Poisson { rate_per_us: r },
+                                ..
+                            } if r == rate_per_us
+                        )
+                })
+                .unwrap_or_else(|| panic!("no run for {} at rate {rate_per_us}", mechanism.name()));
+            let r = &entry.report;
+            let latency = r.latency.unwrap_or_else(|| {
+                panic!(
+                    "{}: open-loop run has no latency summary",
+                    entry.scenario.label
+                )
+            });
+            points.push(LoadPoint {
+                mechanism,
+                rate_per_us,
+                ops_per_ms: r.ops_per_ms(),
+                p50_ns: latency.p50_ns,
+                p99_ns: latency.p99_ns,
+                p999_ns: latency.p999_ns,
+                completed: r.completed,
+            });
+        }
+    }
+    points
+}
+
+/// Runs the full offered-load sweep: the paper-default-adjacent 4×8 machine
+/// over [`RATES`] under all compared schemes (respects `SYNCRON_SCALE` through
+/// the per-core request count).
+pub fn measure() -> Vec<LoadPoint> {
+    measure_rates(4, 8, &RATES, scaled(48, 8))
+}
+
+/// The saturation knee of one mechanism: the first swept rate whose p99
+/// exceeds [`KNEE_FACTOR`] × the lowest-rate p99, or `None` if the curve never
+/// leaves the flat region (the mechanism kept up with every offered load).
+pub fn knee(points: &[LoadPoint], mechanism: MechanismKind) -> Option<f64> {
+    let mut curve: Vec<&LoadPoint> = points.iter().filter(|p| p.mechanism == mechanism).collect();
+    curve.sort_by(|a, b| a.rate_per_us.total_cmp(&b.rate_per_us));
+    let baseline = curve.first()?.p99_ns;
+    curve
+        .iter()
+        .find(|p| p.p99_ns > baseline * KNEE_FACTOR)
+        .map(|p| p.rate_per_us)
+}
+
+/// Renders the sweep as the experiment's text table, one row per point plus a
+/// per-mechanism knee summary.
+pub fn offered_load_table(points: &[LoadPoint]) -> Table {
+    let mut table = Table::new(
+        "Offered load vs. saturation: sharded-KV service, open-loop Poisson arrivals \
+         (per-request latency, microseconds)",
+        &[
+            "mechanism",
+            "rate/us/core",
+            "ops/ms",
+            "p50 us",
+            "p99 us",
+            "p999 us",
+            "complete",
+        ],
+    );
+    for p in points {
+        table.push_row(vec![
+            p.mechanism.name().to_string(),
+            format!("{}", p.rate_per_us),
+            f2(p.ops_per_ms),
+            f2(p.p50_ns / 1000.0),
+            f2(p.p99_ns / 1000.0),
+            f2(p.p999_ns / 1000.0),
+            if p.completed { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    for mechanism in MechanismKind::COMPARED {
+        if points.iter().all(|p| p.mechanism != mechanism) {
+            continue;
+        }
+        table.push_row(vec![
+            mechanism.name().to_string(),
+            "(knee)".to_string(),
+            String::new(),
+            String::new(),
+            match knee(points, mechanism) {
+                Some(rate) => format!("p99 > {KNEE_FACTOR}x at rate {rate}"),
+                None => "unsaturated".to_string(),
+            },
+            String::new(),
+            String::new(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_produces_monotone_p99_curves() {
+        // A small machine with a rate grid wide enough to straddle saturation:
+        // the low end is far below one request per service time, the high end
+        // far above it.
+        let rates = [0.02, 5.0];
+        let points = measure_rates(2, 4, &rates, 8);
+        assert_eq!(points.len(), rates.len() * MechanismKind::COMPARED.len());
+        for mechanism in MechanismKind::COMPARED {
+            let curve: Vec<&LoadPoint> =
+                points.iter().filter(|p| p.mechanism == mechanism).collect();
+            assert_eq!(curve.len(), rates.len());
+            assert!(curve.iter().all(|p| p.completed), "{}", mechanism.name());
+            // Overload must cost tail latency: the saturated point dominates.
+            assert!(
+                curve[1].p99_ns > curve[0].p99_ns,
+                "{}: p99 did not grow with offered load ({} vs {})",
+                mechanism.name(),
+                curve[0].p99_ns,
+                curve[1].p99_ns
+            );
+        }
+    }
+
+    #[test]
+    fn knee_finds_the_first_saturated_rate() {
+        let mk = |rate_per_us: f64, p99_ns: f64| LoadPoint {
+            mechanism: MechanismKind::SynCron,
+            rate_per_us,
+            ops_per_ms: 0.0,
+            p50_ns: 0.0,
+            p99_ns,
+            p999_ns: 0.0,
+            completed: true,
+        };
+        let points = vec![mk(0.1, 500.0), mk(0.5, 900.0), mk(1.0, 40_000.0)];
+        assert_eq!(knee(&points, MechanismKind::SynCron), Some(1.0));
+        assert_eq!(knee(&points, MechanismKind::Central), None);
+        let flat = vec![mk(0.1, 500.0), mk(0.5, 600.0)];
+        assert_eq!(knee(&flat, MechanismKind::SynCron), None);
+        let table = offered_load_table(&points);
+        assert!(table.render().contains("(knee)"));
+    }
+}

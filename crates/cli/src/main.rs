@@ -300,7 +300,9 @@ fn incomplete_warnings(results: &RunSet) -> Vec<String> {
 
 /// Builds the per-scenario summary block `run`/`sweep` print: simulated results
 /// plus the simulator's own throughput (delivered events per wall-clock second),
-/// with an aggregate trailer line.
+/// with an aggregate trailer line. When any entry is an open-loop service run,
+/// per-request tail-latency columns (p50/p99/p999, microseconds) are added;
+/// closed-loop rows show "-" there since they have no admission timeline.
 fn summary_lines(results: &RunSet) -> Vec<String> {
     let width = results
         .entries()
@@ -309,14 +311,33 @@ fn summary_lines(results: &RunSet) -> Vec<String> {
         .max()
         .unwrap_or(8)
         .max(8);
+    let show_latency = results.entries().iter().any(|e| e.report.latency.is_some());
+    let latency_header = if show_latency {
+        format!("  {:>9}  {:>9}  {:>9}", "p50 us", "p99 us", "p999 us")
+    } else {
+        String::new()
+    };
     let mut lines = vec![format!(
-        "{:<width$}  {:>12}  {:>10}  {:>9}  {:>12}  {:>12}",
+        "{:<width$}  {:>12}  {:>10}  {:>9}  {:>12}{latency_header}  {:>12}",
         "label", "sim time us", "ops/ms", "complete", "sync msgs", "sim ev/s"
     )];
     for entry in results.entries() {
         let r = &entry.report;
+        let latency_cells = if show_latency {
+            match r.latency {
+                Some(l) => format!(
+                    "  {:>9.2}  {:>9.2}  {:>9.2}",
+                    l.p50_ns / 1000.0,
+                    l.p99_ns / 1000.0,
+                    l.p999_ns / 1000.0
+                ),
+                None => format!("  {:>9}  {:>9}  {:>9}", "-", "-", "-"),
+            }
+        } else {
+            String::new()
+        };
         lines.push(format!(
-            "{:<width$}  {:>12.2}  {:>10.2}  {:>9}  {:>12}  {:>12.3e}",
+            "{:<width$}  {:>12.2}  {:>10.2}  {:>9}  {:>12}{latency_cells}  {:>12.3e}",
             entry.scenario.label,
             r.sim_time.as_us_f64(),
             r.ops_per_ms(),
@@ -416,5 +437,40 @@ mod tests {
         assert!(trailer.contains("events/sec aggregate"));
         assert!(trailer.contains(&set.total_events_delivered().to_string()));
         assert!(summary_lines(&RunSet::empty()).len() == 1);
+        // Closed-loop-only sets stay free of latency columns.
+        assert!(!lines[0].contains("p99 us"));
+    }
+
+    #[test]
+    fn summary_shows_tail_latency_only_when_an_open_loop_run_is_present() {
+        use syncron_workloads::service::{ArrivalProcess, ServiceShape};
+        let mut config = ConfigSpec::default().with_geometry(2, 4);
+        config.max_events = 50_000_000;
+        let service = Scenario::new(
+            "svc",
+            config.clone(),
+            WorkloadSpec::Service {
+                shape: ServiceShape::Kv,
+                arrival: ArrivalProcess::Poisson { rate_per_us: 0.05 },
+                keys: 10_000,
+                zipf_s: 0.99,
+                requests: 8,
+            },
+        );
+        let service_report = service.run().expect("service scenario runs");
+        let closed = run_scenario("closed", 50_000_000);
+        let set = RunSet::from_pairs([(service, service_report), closed]).unwrap();
+        let lines = summary_lines(&set);
+        assert!(lines[0].contains("p50 us"));
+        assert!(lines[0].contains("p99 us"));
+        assert!(lines[0].contains("p999 us"));
+        let svc_line = lines.iter().find(|l| l.starts_with("svc")).unwrap();
+        let latency = set.get("svc").unwrap().report.latency.unwrap();
+        assert!(svc_line.contains(&format!("{:.2}", latency.p99_ns / 1000.0)));
+        let closed_line = lines.iter().find(|l| l.starts_with("closed")).unwrap();
+        assert!(
+            closed_line.contains("  -  ") || closed_line.contains(" - "),
+            "closed-loop rows show dashes: {closed_line:?}"
+        );
     }
 }

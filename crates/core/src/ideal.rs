@@ -195,6 +195,9 @@ impl SyncMechanism for IdealMechanism {
             SyncRequest::SemPost { var } => {
                 let slot = self.slot(var);
                 let sem = &mut self.slots[slot].sem;
+                // First touch initializes (mirrors `crate::protocol`): a later
+                // wait's `initial` must not clobber posts banked before it.
+                sem.initialized = true;
                 if let Some(next) = sem.waiters.pop_front() {
                     self.stats.completions += 1;
                     ctx.complete(next, ctx.now());

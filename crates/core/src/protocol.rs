@@ -1198,6 +1198,11 @@ impl ProtocolMechanism {
             SyncRequest::SemPost { .. } => {
                 if unit == master || direct {
                     let sem = engine.vars.slots[slot].master_sem_mut();
+                    // Whichever operation touches the semaphore first initializes
+                    // it: a post must mark it initialized so a later wait's
+                    // `initial` cannot clobber banked posts (post-before-wait is
+                    // how the open-loop deque workload stays deadlock-free).
+                    sem.initialized = true;
                     if let Some(next) = sem.waiters.pop_front() {
                         out.push(Outcome::Complete { core: next });
                     } else {
@@ -2176,6 +2181,27 @@ mod tests {
             h.request(core(0, 0), SyncRequest::SemPost { var });
             h.request(core(0, 1), SyncRequest::SemPost { var });
             assert_eq!(h.completed().len(), 4, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn posts_before_the_first_wait_are_banked_not_clobbered() {
+        // Post-before-wait is the deadlock-freedom invariant of the open-loop
+        // deque workload: the first post initializes the semaphore, so the first
+        // wait's `initial` must not reset the banked count.
+        for kind in [
+            MechanismKind::Central,
+            MechanismKind::Hier,
+            MechanismKind::SynCron,
+        ] {
+            let mut h = Harness::new(kind);
+            let var = Addr(1 << 22);
+            h.request(core(0, 0), SyncRequest::SemPost { var });
+            h.request(core(0, 1), SyncRequest::SemPost { var });
+            h.request(core(0, 0), SyncRequest::SemWait { var, initial: 0 });
+            h.request(core(0, 1), SyncRequest::SemWait { var, initial: 0 });
+            // Both waits consume the banked posts and complete immediately.
+            assert_eq!(h.completed().len(), 2, "{kind:?}");
         }
     }
 

@@ -202,6 +202,7 @@ st_entries,completed,sim_time_ps,total_ops,ops_per_ms,instructions,loads,stores,
 energy_cache_pj,energy_network_pj,energy_memory_pj,energy_total_pj,intra_unit_bytes,\
 inter_unit_bytes,sync_local_messages,sync_global_messages,sync_mem_accesses,\
 overflow_fraction,st_max_occupancy,st_avg_occupancy,dram_accesses,l1_hit_ratio,\
+latency_ops,latency_mean_ns,latency_p50_ns,latency_p99_ns,latency_p999_ns,latency_max_ns,\
 wall_seconds,events_delivered,events_per_sec";
 
 fn csv_field(s: &str) -> String {
@@ -244,6 +245,18 @@ fn csv_row(label: &str, config: &ConfigSpec, r: &RunReport) -> String {
         format!("{:.4}", r.sync.st_avg_occupancy),
         r.dram_accesses.to_string(),
         format!("{:.4}", r.l1_hit_ratio),
+        // Tail-latency columns are only populated for open-loop runs; closed-loop
+        // rows keep them empty so the column set stays fixed.
+        r.latency.map_or(String::new(), |l| l.ops.to_string()),
+        r.latency
+            .map_or(String::new(), |l| format!("{:.1}", l.mean_ns)),
+        r.latency
+            .map_or(String::new(), |l| format!("{:.1}", l.p50_ns)),
+        r.latency
+            .map_or(String::new(), |l| format!("{:.1}", l.p99_ns)),
+        r.latency
+            .map_or(String::new(), |l| format!("{:.1}", l.p999_ns)),
+        r.latency.map_or(String::new(), |l| l.max_ns.to_string()),
         format!("{:.6}", r.perf.wall_seconds),
         r.perf.events_delivered.to_string(),
         format!("{:.0}", r.perf.events_per_sec()),
@@ -254,7 +267,7 @@ fn csv_row(label: &str, config: &ConfigSpec, r: &RunReport) -> String {
 /// Serializes a [`RunReport`] into a table value (the JSON mirror of the report
 /// struct, with derived throughput added for convenience).
 pub fn report_to_value(r: &RunReport) -> Value {
-    Value::table([
+    let mut table = Value::table([
         ("workload", Value::str(r.workload.clone())),
         ("mechanism", Value::str(r.mechanism.clone())),
         ("sim_time_ps", Value::Int(r.sim_time.as_ps() as i64)),
@@ -349,7 +362,23 @@ pub fn report_to_value(r: &RunReport) -> Value {
                 ("events_per_sec", Value::Float(r.perf.events_per_sec())),
             ]),
         ),
-    ])
+    ]);
+    // Open-loop runs carry a latency summary; closed-loop reports omit the key
+    // entirely rather than emitting a table of nulls.
+    if let (Some(l), Value::Table(map)) = (r.latency, &mut table) {
+        map.insert(
+            "latency".to_string(),
+            Value::table([
+                ("ops", Value::Int(l.ops as i64)),
+                ("mean_ns", Value::Float(l.mean_ns)),
+                ("p50_ns", Value::Float(l.p50_ns)),
+                ("p99_ns", Value::Float(l.p99_ns)),
+                ("p999_ns", Value::Float(l.p999_ns)),
+                ("max_ns", Value::Int(l.max_ns as i64)),
+            ]),
+        );
+    }
+    table
 }
 
 #[cfg(test)]
@@ -476,6 +505,71 @@ mod tests {
         assert!(perf.get("events_delivered").unwrap().as_i64().unwrap() > 0);
         assert!(perf.get("wall_seconds").is_some());
         assert!(perf.get("events_per_sec").is_some());
+    }
+
+    #[test]
+    fn latency_columns_populated_for_open_loop_and_empty_for_closed_loop() {
+        use syncron_workloads::service::{ArrivalProcess, ServiceShape};
+        let scenarios = Sweep::new("lat")
+            .base(ConfigSpec::default().with_geometry(2, 4))
+            .workload(WorkloadSpec::Service {
+                shape: ServiceShape::Kv,
+                arrival: ArrivalProcess::Poisson { rate_per_us: 0.05 },
+                keys: 10_000,
+                zipf_s: 0.99,
+                requests: 8,
+            })
+            .workload(WorkloadSpec::Micro {
+                primitive: SyncPrimitive::Lock,
+                interval: 100,
+                iterations: 4,
+            })
+            .mechanisms([MechanismKind::SynCron])
+            .scenarios()
+            .unwrap();
+        let set = Runner::new().run(&scenarios).unwrap();
+        let open = set.find(|s| s.workload.kind() == "service").unwrap();
+        let closed = set.find(|s| s.workload.kind() == "micro").unwrap();
+        assert!(open.report.latency.is_some());
+        assert!(closed.report.latency.is_none());
+
+        let csv = set.to_csv_string();
+        let header: Vec<&str> = csv.lines().next().unwrap().split(',').collect();
+        let ops_col = header.iter().position(|c| *c == "latency_ops").unwrap();
+        let p999_col = header.iter().position(|c| *c == "latency_p999_ns").unwrap();
+        for line in csv.lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            assert_eq!(cells.len(), header.len());
+            if line.contains("svc-kv") {
+                assert!(cells[ops_col].parse::<u64>().unwrap() > 0);
+                assert!(cells[p999_col].parse::<f64>().unwrap() > 0.0);
+            } else {
+                assert!(cells[ops_col].is_empty() && cells[p999_col].is_empty());
+            }
+        }
+
+        // JSON mirrors the same presence/absence.
+        let doc = crate::json::parse(&set.to_json_string()).unwrap();
+        for row in doc.as_array().unwrap() {
+            let report = row.get("report").unwrap();
+            let is_service = row
+                .get("workload")
+                .unwrap()
+                .get("kind")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                == "service";
+            assert_eq!(report.get("latency").is_some(), is_service);
+            if let Some(lat) = report.get("latency") {
+                assert!(lat.get("ops").unwrap().as_i64().unwrap() > 0);
+                let p50 = lat.get("p50_ns").unwrap().as_f64().unwrap();
+                let p99 = lat.get("p99_ns").unwrap().as_f64().unwrap();
+                let p999 = lat.get("p999_ns").unwrap().as_f64().unwrap();
+                assert!(p50 <= p99 && p99 <= p999);
+                assert!(lat.get("max_ns").unwrap().as_i64().unwrap() > 0);
+            }
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@ use syncron_system::workload::Workload;
 use syncron_workloads::datastructures;
 use syncron_workloads::graph::{GraphAlgo, GraphApp, GraphInput, Partitioning};
 use syncron_workloads::micro::{microbench, SyncPrimitive};
+use syncron_workloads::service::{service_workload, ArrivalProcess, ServiceParams, ServiceShape};
 use syncron_workloads::spinlock::{LockedStack, Placement, SpinKind, SpinLockBench, StackLock};
 use syncron_workloads::timeseries::TimeSeries;
 
@@ -19,7 +20,10 @@ use crate::error::HarnessError;
 use crate::json::Value;
 
 /// A declarative, serializable description of one workload.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `PartialEq` only (not `Eq`): the open-loop [`Service`](WorkloadSpec::Service)
+/// variant carries floating-point rate/skew parameters.
+#[derive(Clone, Debug, PartialEq)]
 pub enum WorkloadSpec {
     /// Single-variable synchronization-primitive microbenchmark (Figure 10).
     Micro {
@@ -71,6 +75,20 @@ pub enum WorkloadSpec {
         /// Diagonals processed per client core.
         diagonals_per_core: u32,
     },
+    /// Open-loop service workload with deterministic arrivals, Zipf-skewed keys
+    /// and per-request tail-latency telemetry (beyond the paper's evaluation).
+    Service {
+        /// Service shape (sharded KV / work-stealing deque / epoch reclamation).
+        shape: ServiceShape,
+        /// Per-core arrival process.
+        arrival: ArrivalProcess,
+        /// Key-space size.
+        keys: u64,
+        /// Zipf skew exponent (0 = uniform).
+        zipf_s: f64,
+        /// Open-loop requests per client core.
+        requests: u32,
+    },
 }
 
 impl WorkloadSpec {
@@ -83,6 +101,7 @@ impl WorkloadSpec {
             WorkloadSpec::DataStructure { .. } => "data-structure",
             WorkloadSpec::Graph { .. } => "graph",
             WorkloadSpec::TimeSeries { .. } => "time-series",
+            WorkloadSpec::Service { .. } => "service",
         }
     }
 
@@ -119,6 +138,18 @@ impl WorkloadSpec {
                 Partitioning::Greedy => format!("{}.{}.greedy", algo.name(), input),
             },
             WorkloadSpec::TimeSeries { input, .. } => format!("ts.{input}"),
+            WorkloadSpec::Service {
+                shape,
+                arrival,
+                zipf_s,
+                ..
+            } => format!(
+                "svc-{}.{}.r{}.z{}",
+                shape.name(),
+                arrival.kind_name(),
+                arrival.rate_per_us(),
+                zipf_s
+            ),
         }
     }
 
@@ -170,6 +201,35 @@ impl WorkloadSpec {
                 let ts = TimeSeries::by_name(input)
                     .ok_or_else(|| HarnessError::spec(format!("unknown time series '{input}'")))?;
                 Ok(Box::new(ts.with_diagonals_per_core(*diagonals_per_core)))
+            }
+            WorkloadSpec::Service {
+                shape,
+                arrival,
+                keys,
+                zipf_s,
+                requests,
+            } => {
+                validate_arrival(arrival)?;
+                if *keys == 0 {
+                    return Err(HarnessError::spec("service 'keys' must be ≥ 1"));
+                }
+                if !(zipf_s.is_finite() && *zipf_s >= 0.0) {
+                    return Err(HarnessError::spec(format!(
+                        "service 'zipf_s' must be a finite value ≥ 0, got {zipf_s}"
+                    )));
+                }
+                if *requests == 0 {
+                    return Err(HarnessError::spec("service 'requests' must be ≥ 1"));
+                }
+                Ok(service_workload(
+                    *shape,
+                    ServiceParams {
+                        arrival: *arrival,
+                        keys: *keys,
+                        zipf_s: *zipf_s,
+                        requests: *requests,
+                    },
+                ))
             }
         }
     }
@@ -227,6 +287,39 @@ impl WorkloadSpec {
                 ("input", Value::str(input.clone())),
                 ("diagonals_per_core", Value::Int(*diagonals_per_core as i64)),
             ]),
+            WorkloadSpec::Service {
+                shape,
+                arrival,
+                keys,
+                zipf_s,
+                requests,
+            } => {
+                let mut pairs = vec![
+                    ("kind", Value::str("service")),
+                    ("shape", Value::str(shape.name())),
+                    ("arrival", Value::str(arrival.kind_name())),
+                    ("rate_per_us", Value::Float(arrival.rate_per_us())),
+                    ("keys", Value::Int(*keys as i64)),
+                    ("zipf_s", Value::Float(*zipf_s)),
+                    ("requests", Value::Int(*requests as i64)),
+                ];
+                match arrival {
+                    ArrivalProcess::Poisson { .. } => {}
+                    ArrivalProcess::Mmpp { on_us, off_us, .. } => {
+                        pairs.push(("on_us", Value::Float(*on_us)));
+                        pairs.push(("off_us", Value::Float(*off_us)));
+                    }
+                    ArrivalProcess::Diurnal {
+                        amplitude,
+                        period_us,
+                        ..
+                    } => {
+                        pairs.push(("amplitude", Value::Float(*amplitude)));
+                        pairs.push(("period_us", Value::Float(*period_us)));
+                    }
+                }
+                Value::table(pairs)
+            }
         }
     }
 
@@ -280,9 +373,50 @@ impl WorkloadSpec {
                 input: req_str(value, "input")?.to_string(),
                 diagonals_per_core: opt_u32(value, "diagonals_per_core")?.unwrap_or(6),
             }),
+            "service" => {
+                let shape = req_str(value, "shape")?;
+                let shape = ServiceShape::by_name(shape).ok_or_else(|| {
+                    HarnessError::spec(format!(
+                        "unknown service shape '{shape}' (expected kv, steal or epoch)"
+                    ))
+                })?;
+                let rate_per_us = req_f64(value, "rate_per_us")?;
+                let arrival = match value
+                    .get("arrival")
+                    .and_then(Value::as_str)
+                    .unwrap_or("poisson")
+                {
+                    "poisson" => ArrivalProcess::Poisson { rate_per_us },
+                    "mmpp" => ArrivalProcess::Mmpp {
+                        rate_per_us,
+                        on_us: opt_f64(value, "on_us")?.unwrap_or(20.0),
+                        off_us: opt_f64(value, "off_us")?.unwrap_or(80.0),
+                    },
+                    "diurnal" => ArrivalProcess::Diurnal {
+                        rate_per_us,
+                        amplitude: opt_f64(value, "amplitude")?.unwrap_or(0.8),
+                        period_us: opt_f64(value, "period_us")?.unwrap_or(1000.0),
+                    },
+                    other => {
+                        return Err(HarnessError::spec(format!(
+                            "unknown arrival process '{other}' (expected poisson, mmpp or diurnal)"
+                        )))
+                    }
+                };
+                Ok(WorkloadSpec::Service {
+                    shape,
+                    arrival,
+                    keys: value
+                        .get("keys")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(1_000_000),
+                    zipf_s: opt_f64(value, "zipf_s")?.unwrap_or(0.99),
+                    requests: opt_u32(value, "requests")?.unwrap_or(32),
+                })
+            }
             other => Err(HarnessError::spec(format!(
                 "unknown workload kind '{other}' (expected micro, spinlock, locked-stack, \
-                 data-structure, graph or time-series)"
+                 data-structure, graph, time-series or service)"
             ))),
         }
     }
@@ -326,8 +460,51 @@ impl WorkloadSpec {
                 .join("|")
         ));
         lines.push("time-series     input=air|pow diagonals_per_core=<n>".to_string());
+        lines.push(
+            "service         shape=kv|steal|epoch arrival=poisson|mmpp|diurnal \
+             rate_per_us=<f> keys=<n> zipf_s=<f> requests=<n> [on_us/off_us | \
+             amplitude/period_us]"
+                .to_string(),
+        );
         lines
     }
+}
+
+/// Validates the numeric parameters of an arrival process.
+fn validate_arrival(arrival: &ArrivalProcess) -> Result<(), HarnessError> {
+    let rate = arrival.rate_per_us();
+    if !(rate.is_finite() && rate > 0.0) {
+        return Err(HarnessError::spec(format!(
+            "service 'rate_per_us' must be a finite value > 0, got {rate}"
+        )));
+    }
+    match arrival {
+        ArrivalProcess::Poisson { .. } => {}
+        ArrivalProcess::Mmpp { on_us, off_us, .. } => {
+            if !(on_us.is_finite() && *on_us > 0.0 && off_us.is_finite() && *off_us > 0.0) {
+                return Err(HarnessError::spec(format!(
+                    "mmpp 'on_us'/'off_us' must be finite values > 0, got {on_us}/{off_us}"
+                )));
+            }
+        }
+        ArrivalProcess::Diurnal {
+            amplitude,
+            period_us,
+            ..
+        } => {
+            if !(amplitude.is_finite() && (0.0..1.0).contains(amplitude)) {
+                return Err(HarnessError::spec(format!(
+                    "diurnal 'amplitude' must be in [0, 1), got {amplitude}"
+                )));
+            }
+            if !(period_us.is_finite() && *period_us > 0.0) {
+                return Err(HarnessError::spec(format!(
+                    "diurnal 'period_us' must be a finite value > 0, got {period_us}"
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn req_str<'v>(value: &'v Value, key: &str) -> Result<&'v str, HarnessError> {
@@ -342,6 +519,23 @@ fn req_u64(value: &Value, key: &str) -> Result<u64, HarnessError> {
         .get(key)
         .and_then(Value::as_u64)
         .ok_or_else(|| HarnessError::spec(format!("workload table needs an integer '{key}'")))
+}
+
+fn req_f64(value: &Value, key: &str) -> Result<f64, HarnessError> {
+    value
+        .get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| HarnessError::spec(format!("workload table needs a number '{key}'")))
+}
+
+fn opt_f64(value: &Value, key: &str) -> Result<Option<f64>, HarnessError> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| HarnessError::spec(format!("'{key}' must be a number"))),
+    }
 }
 
 fn opt_u32(value: &Value, key: &str) -> Result<Option<u32>, HarnessError> {
@@ -468,6 +662,36 @@ mod tests {
             input: "pow".into(),
             diagonals_per_core: 2,
         });
+        for (shape, arrival) in [
+            (
+                ServiceShape::Kv,
+                ArrivalProcess::Poisson { rate_per_us: 0.05 },
+            ),
+            (
+                ServiceShape::Steal,
+                ArrivalProcess::Mmpp {
+                    rate_per_us: 0.05,
+                    on_us: 20.0,
+                    off_us: 80.0,
+                },
+            ),
+            (
+                ServiceShape::Epoch,
+                ArrivalProcess::Diurnal {
+                    rate_per_us: 0.05,
+                    amplitude: 0.8,
+                    period_us: 1000.0,
+                },
+            ),
+        ] {
+            specs.push(WorkloadSpec::Service {
+                shape,
+                arrival,
+                keys: 100_000,
+                zipf_s: 0.99,
+                requests: 8,
+            });
+        }
         specs
     }
 
@@ -512,5 +736,76 @@ mod tests {
         .is_err());
         let bad = Value::table([("kind", Value::str("warp-drive"))]);
         assert!(WorkloadSpec::from_value(&bad).is_err());
+    }
+
+    #[test]
+    fn service_spec_defaults_and_validation() {
+        // Minimal table: shape + rate, everything else defaulted.
+        let minimal = Value::table([
+            ("kind", Value::str("service")),
+            ("shape", Value::str("kv")),
+            ("rate_per_us", Value::Float(0.1)),
+        ]);
+        let spec = WorkloadSpec::from_value(&minimal).expect("defaults fill in");
+        match &spec {
+            WorkloadSpec::Service {
+                shape,
+                arrival,
+                keys,
+                zipf_s,
+                requests,
+            } => {
+                assert_eq!(*shape, ServiceShape::Kv);
+                assert_eq!(*arrival, ArrivalProcess::Poisson { rate_per_us: 0.1 });
+                assert_eq!(*keys, 1_000_000);
+                assert_eq!(*zipf_s, 0.99);
+                assert_eq!(*requests, 32);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert!(spec.build().is_ok());
+
+        // An integer rate is accepted (TOML writers may omit the decimal point).
+        let int_rate = Value::table([
+            ("kind", Value::str("service")),
+            ("shape", Value::str("steal")),
+            ("rate_per_us", Value::Int(2)),
+        ]);
+        assert!(WorkloadSpec::from_value(&int_rate).is_ok());
+
+        // Build-time validation: `list --dry-run` style errors.
+        let zero_rate = WorkloadSpec::Service {
+            shape: ServiceShape::Kv,
+            arrival: ArrivalProcess::Poisson { rate_per_us: 0.0 },
+            keys: 10,
+            zipf_s: 0.99,
+            requests: 4,
+        };
+        assert!(zero_rate.build().is_err());
+        let bad_amplitude = WorkloadSpec::Service {
+            shape: ServiceShape::Epoch,
+            arrival: ArrivalProcess::Diurnal {
+                rate_per_us: 0.1,
+                amplitude: 1.5,
+                period_us: 100.0,
+            },
+            keys: 10,
+            zipf_s: 0.99,
+            requests: 4,
+        };
+        assert!(bad_amplitude.build().is_err());
+        let bad_shape = Value::table([
+            ("kind", Value::str("service")),
+            ("shape", Value::str("warp")),
+            ("rate_per_us", Value::Float(0.1)),
+        ]);
+        assert!(WorkloadSpec::from_value(&bad_shape).is_err());
+        let bad_arrival = Value::table([
+            ("kind", Value::str("service")),
+            ("shape", Value::str("kv")),
+            ("arrival", Value::str("constant")),
+            ("rate_per_us", Value::Float(0.1)),
+        ]);
+        assert!(WorkloadSpec::from_value(&bad_arrival).is_err());
     }
 }

@@ -307,7 +307,7 @@ mod tests {
         let get = |memo: &mut Memo2<u64>, k: u64, computes: &mut u32| {
             memo.get_or_insert_with(k, || {
                 *computes += 1;
-                k * 10
+                k.wrapping_mul(10)
             })
         };
         // Alternating two keys computes each exactly once.

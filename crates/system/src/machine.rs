@@ -591,6 +591,16 @@ impl NdpMachine {
         energy.add_network(self.mesi_network_pj);
 
         let total_ops: u64 = self.programs.iter().map(|p| p.ops_completed()).sum();
+        // Open-loop workloads expose per-core latency histograms; merge them into
+        // one machine-wide tail-latency summary. Closed-loop programs expose none
+        // and the report keeps `latency: None`.
+        let mut latency_hist = syncron_sim::stats::LogHistogram::new();
+        for program in &self.programs {
+            if let Some(hist) = program.latency_histogram() {
+                latency_hist.merge(hist);
+            }
+        }
+        let latency = crate::report::LatencyReport::from_histogram(&latency_hist);
         let sync = self
             .mechanism
             .as_ref()
@@ -621,6 +631,7 @@ impl NdpMachine {
             } else {
                 l1_hits as f64 / l1_accesses as f64
             },
+            latency,
             perf: SimPerf {
                 wall_seconds: wall.as_secs_f64(),
                 events_delivered: self.events_delivered,

@@ -9,6 +9,7 @@
 use syncron_core::mechanism::SyncMechanismStats;
 use syncron_mem::energy::EnergyTally;
 use syncron_net::traffic::TrafficStats;
+use syncron_sim::stats::LogHistogram;
 use syncron_sim::time::Time;
 
 /// Host-side simulator performance counters for one run.
@@ -37,6 +38,50 @@ impl SimPerf {
         } else {
             0.0
         }
+    }
+}
+
+/// Tail-latency summary of an open-loop run: per-request admission→completion
+/// times (including queueing delay while the serving core was backlogged),
+/// aggregated across all client cores.
+///
+/// Present only when the workload measures per-request latency (the open-loop
+/// service workloads); closed-loop workloads leave
+/// [`RunReport::latency`] as `None`. The quantiles come from the interpolated
+/// [`LogHistogram`], so they are simulation-determined and compared bit-for-bit
+/// by [`RunReport::divergence_from`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LatencyReport {
+    /// Requests measured.
+    pub ops: u64,
+    /// Mean latency in nanoseconds.
+    pub mean_ns: f64,
+    /// Median latency in nanoseconds.
+    pub p50_ns: f64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: f64,
+    /// 99.9th-percentile latency in nanoseconds.
+    pub p999_ns: f64,
+    /// Worst recorded latency in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl LatencyReport {
+    /// Summarizes a latency histogram (nanosecond samples). Returns `None` for an
+    /// empty histogram.
+    pub fn from_histogram(hist: &LogHistogram) -> Option<LatencyReport> {
+        if hist.total() == 0 {
+            return None;
+        }
+        Some(LatencyReport {
+            ops: hist.total(),
+            mean_ns: hist.mean(),
+            p50_ns: hist.quantile(0.50).expect("non-empty"),
+            p99_ns: hist.quantile(0.99).expect("non-empty"),
+            p999_ns: hist.quantile(0.999).expect("non-empty"),
+            max_ns: hist.max(),
+        })
     }
 }
 
@@ -72,6 +117,9 @@ pub struct RunReport {
     pub dram_accesses: u64,
     /// Hit ratio across the client cores' L1 caches.
     pub l1_hit_ratio: f64,
+    /// Per-request tail latency of open-loop runs; `None` for closed-loop
+    /// workloads.
+    pub latency: Option<LatencyReport>,
     /// Host-side simulator performance (wall time, delivered events). Not part of
     /// the simulated result; ignored by [`RunReport::same_simulation`].
     pub perf: SimPerf,
@@ -169,6 +217,25 @@ impl RunReport {
         diff!(traffic);
         diff!(sync);
         diff!(dram_accesses);
+        match (&self.latency, &other.latency) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                if a.ops != b.ops || a.max_ns != b.max_ns {
+                    return Some(format!("latency: {a:?} != {b:?}"));
+                }
+                for (name, x, y) in [
+                    ("latency.mean_ns", a.mean_ns, b.mean_ns),
+                    ("latency.p50_ns", a.p50_ns, b.p50_ns),
+                    ("latency.p99_ns", a.p99_ns, b.p99_ns),
+                    ("latency.p999_ns", a.p999_ns, b.p999_ns),
+                ] {
+                    if x.to_bits() != y.to_bits() {
+                        return Some(format!("{name}: {x:?} != {y:?}"));
+                    }
+                }
+            }
+            (a, b) => return Some(format!("latency: {a:?} != {b:?}")),
+        }
         for (name, a, b) in [
             (
                 "energy.cache_pj",
@@ -238,6 +305,7 @@ mod tests {
             sync: SyncMechanismStats::default(),
             dram_accesses: 0,
             l1_hit_ratio: 0.5,
+            latency: None,
             perf: SimPerf::default(),
         }
     }
@@ -296,6 +364,47 @@ mod tests {
         let mut c = a.clone();
         c.energy.network_pj += 0.25;
         assert!(a.divergence_from(&c).unwrap().contains("energy.network_pj"));
+    }
+
+    #[test]
+    fn latency_report_summarizes_histogram() {
+        let mut hist = LogHistogram::new();
+        assert!(LatencyReport::from_histogram(&hist).is_none());
+        for v in 1..=1000u64 {
+            hist.record(v);
+        }
+        let lat = LatencyReport::from_histogram(&hist).unwrap();
+        assert_eq!(lat.ops, 1000);
+        assert_eq!(lat.max_ns, 1000);
+        assert!(lat.p50_ns <= lat.p99_ns && lat.p99_ns <= lat.p999_ns);
+        assert!((lat.mean_ns - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn divergence_covers_latency() {
+        let mut a = report(1_000, 100);
+        let b = a.clone();
+        assert!(a.same_simulation(&b));
+        let lat = LatencyReport {
+            ops: 10,
+            mean_ns: 5.0,
+            p50_ns: 4.0,
+            p99_ns: 9.0,
+            p999_ns: 9.9,
+            max_ns: 10,
+        };
+        a.latency = Some(lat);
+        // Open-loop vs closed-loop is a divergence.
+        assert!(a.divergence_from(&b).unwrap().contains("latency"));
+        let mut c = a.clone();
+        c.latency = Some(LatencyReport {
+            p99_ns: 9.000000001,
+            ..lat
+        });
+        // Bit-for-bit comparison of the quantiles.
+        assert!(a.divergence_from(&c).unwrap().contains("latency.p99_ns"));
+        c.latency = Some(lat);
+        assert!(a.same_simulation(&c));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use crate::address::AddressSpace;
 use crate::config::NdpConfig;
 use syncron_core::request::SyncRequest;
+use syncron_sim::stats::LogHistogram;
 use syncron_sim::time::Time;
 use syncron_sim::{Addr, GlobalCoreId};
 
@@ -57,6 +58,14 @@ pub trait CoreProgram {
     /// vertices, …) this core has completed, used for throughput reports.
     fn ops_completed(&self) -> u64 {
         0
+    }
+
+    /// Per-request latency histogram (nanoseconds) for open-loop programs that
+    /// measure admission→completion time per request. Closed-loop programs (the
+    /// default) return `None`; the machine merges the histograms of all cores into
+    /// [`RunReport::latency`](crate::report::RunReport::latency).
+    fn latency_histogram(&self) -> Option<&LogHistogram> {
+        None
     }
 }
 

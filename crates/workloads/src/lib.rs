@@ -22,6 +22,11 @@
 //!   (Figures 12–15, 17, 19, 20).
 //! * [`timeseries`] — SCRIMP-style matrix-profile time-series analysis with
 //!   fine-grained locks on the output profile (Figures 12–15, 18, 21).
+//! * [`service`] — open-loop service workloads beyond the paper's evaluation:
+//!   deterministic Poisson / bursty / diurnal arrival processes, Zipf-skewed key
+//!   sampling over millions of sync variables, and three service shapes (sharded
+//!   KV, work-stealing deque, epoch reclamation) with per-request tail-latency
+//!   telemetry.
 //!
 //! Real datasets used by the paper (wikipedia / soc-LiveJournal / sx-stackoverflow /
 //! com-Orkut graphs and the air-quality / power Matrix Profile traces) are not
@@ -38,9 +43,14 @@ pub mod datastructures;
 pub mod graph;
 pub mod micro;
 pub mod script;
+pub mod service;
 pub mod spinlock;
 pub mod timeseries;
 
 pub use micro::{
     BarrierMicrobench, CondVarMicrobench, LockMicrobench, SemaphoreMicrobench, SyncPrimitive,
+};
+pub use service::{
+    service_workload, ArrivalProcess, EpochService, KvService, ServiceParams, ServiceShape,
+    StealService,
 };

@@ -127,6 +127,35 @@ fn fig10_corpus_is_scheduler_invariant() {
 }
 
 #[test]
+fn service_openloop_corpus_is_scheduler_and_batching_invariant() {
+    // The open-loop service corpus: all three service shapes under all three
+    // arrival processes. Unlike the closed-loop sweeps, these scenarios carry a
+    // latency summary in the report; `divergence_from` compares it bit-for-bit,
+    // so this also proves the admission clock, the Zipf sampler and the
+    // latency histogram are scheduler- and batching-independent.
+    let scenarios = load_sweep("service_kv_openloop.toml");
+    assert!(
+        scenarios.len() >= 18,
+        "corpus unexpectedly small: {} scenarios",
+        scenarios.len()
+    );
+    for scenario in scenarios {
+        let report = assert_schedulers_agree(&scenario);
+        assert!(report.completed, "{} did not complete", scenario.label);
+        let latency = report.latency.unwrap_or_else(|| {
+            panic!("{}: open-loop run lost its latency summary", scenario.label)
+        });
+        assert!(latency.ops > 0, "{}: no requests measured", scenario.label);
+        assert!(
+            latency.p50_ns <= latency.p99_ns && latency.p99_ns <= latency.p999_ns,
+            "{}: quantiles out of order",
+            scenario.label
+        );
+        assert_batching_is_invisible(&scenario);
+    }
+}
+
+#[test]
 fn scale_64x64_is_scheduler_invariant() {
     // 4096 cores across 64 units: the geometry the calendar queue and dense
     // dispatch were built for. Keep the event budget bounded but identical on
