@@ -1,22 +1,26 @@
 //! Simulator-throughput sweep: calendar-queue scheduler vs the `BinaryHeap`
-//! baseline across schemes × geometries (4×16 up to 16×256).
+//! baseline across schemes × geometries (4×16 up to 16×256), plus the
+//! shard-scaling sweep of the conservative-PDES execution mode (1/2/4/8
+//! workers, identical simulations, wall-clock speedup).
 //!
-//! Prints the comparison table and writes `BENCH_simcore.json` (override the
-//! path with `SYNCRON_BENCH_OUT`), then re-parses and schema-validates the file
-//! so a malformed export fails here rather than in a later trajectory job.
+//! Prints both tables and writes `BENCH_simcore.json` (override the path with
+//! `SYNCRON_BENCH_OUT`), then re-parses and schema-validates the file so a
+//! malformed export fails here rather than in a later trajectory job.
 
 use syncron_bench::experiments::simcore;
 
 fn main() {
     let points = simcore::measure();
     simcore::simcore_table(&points).print();
+    let shards = simcore::measure_shards();
+    simcore::shard_table(&shards).print();
 
     // Default to the repository root (bench targets run with the package as
     // cwd), so the trajectory file lands next to EXPERIMENTS.md.
     let path = std::env::var("SYNCRON_BENCH_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simcore.json").into()
     });
-    let doc = simcore::simcore_json(&points);
+    let doc = simcore::simcore_json(&points, &shards);
     std::fs::write(&path, doc.to_json_pretty() + "\n")
         .unwrap_or_else(|e| panic!("writing {path}: {e}"));
 

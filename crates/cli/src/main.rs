@@ -169,6 +169,7 @@ fn list() {
         "scheduler=calendar|heap           event-queue backend (bit-identical results)",
         "inline_step_budget=<n>            run-loop inline dispatch budget (0 disables)",
         "message_batching=true|false       coalesce equal-timestamp engine messages (bit-identical results)",
+        "sim_threads=<n>                   sharded-execution workers (1 = sequential; bit-identical results)",
     ] {
         println!("    {line}");
     }

@@ -276,14 +276,24 @@ mod tests {
         fn now(&self) -> Time {
             self.now
         }
-        fn schedule(&mut self, at: Time, token: u64) {
+        fn schedule(&mut self, at: Time, _unit: UnitId, token: u64) {
             self.scheduled.push((at, token));
         }
         fn local_hop(&mut self, _unit: UnitId, _bytes: u64) -> Time {
             Time::from_ns(2)
         }
-        fn remote_hop(&mut self, _from: UnitId, _to: UnitId, _bytes: u64) -> Time {
-            Time::from_ns(40)
+        fn send_remote(
+            &mut self,
+            _at: Time,
+            _from: UnitId,
+            _to: UnitId,
+            _bytes: u64,
+            payload: crate::mechanism::RemotePayload,
+        ) {
+            panic!("the ideal mechanism never sends remote payloads: {payload:?}");
+        }
+        fn recv_hop(&mut self, _unit: UnitId, _bytes: u64) -> Time {
+            Time::ZERO
         }
         fn sync_mem_access(
             &mut self,

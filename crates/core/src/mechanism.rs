@@ -13,6 +13,7 @@
 //! (the flat variant ablated in Section 6.7.1) and `Ideal` (zero-overhead
 //! synchronization).
 
+pub use crate::protocol::RemotePayload;
 use crate::protocol::{OverflowMode, ProtocolConfig, ProtocolMechanism};
 use crate::request::SyncRequest;
 use syncron_sim::time::Time;
@@ -86,13 +87,16 @@ pub trait SyncContext {
     fn now(&self) -> Time;
 
     /// Schedules `token` to be delivered back to the mechanism (via
-    /// [`SyncMechanism::deliver`]) at absolute time `at`.
+    /// [`SyncMechanism::deliver`]) at absolute time `at`. `unit` names the unit
+    /// whose engine the token concerns: a sharded system uses it to keep the
+    /// event on the shard owning that unit (scheduling a token for a unit the
+    /// current shard does not own is a hard error there).
     ///
     /// Contract: one call pushes exactly one event onto the system's event
     /// queue, so [`SyncContext::schedule_stamp`] advances by exactly one per
     /// call (the protocol's message batching relies on this to watermark "no
     /// pushes in between" without re-reading the stamp).
-    fn schedule(&mut self, at: Time, token: u64);
+    fn schedule(&mut self, at: Time, unit: UnitId, token: u64);
 
     /// A monotone count of every event the whole system has scheduled so far
     /// (the mechanism's tokens *and* the system's own events), or `None` when the
@@ -102,7 +106,11 @@ pub trait SyncContext {
     /// schedules *back to back* for the same engine at the same timestamp into
     /// one delivery: if the count has not moved since the previous message's
     /// event was pushed, no other event can pop between them, so merging them
-    /// preserves the global `(time, push order)` delivery order bit for bit.
+    /// preserves the global `(time, tiebreak key)` delivery order bit for bit.
+    /// The value need not be a plain counter — the sharded machine returns its
+    /// next per-unit event key, which additionally encodes *which* unit's
+    /// counter it is — it only has to change on every push and advance by
+    /// exactly one per [`SyncContext::schedule`] call.
     /// Contexts that return `None` (the default) disable the optimization.
     fn schedule_stamp(&self) -> Option<u64> {
         None
@@ -112,9 +120,25 @@ pub trait SyncContext {
     /// and accounts traffic/energy.
     fn local_hop(&mut self, unit: UnitId, bytes: u64) -> Time;
 
-    /// Models one message between the engines/servers of two different units.
-    /// Returns its latency and accounts traffic/energy.
-    fn remote_hop(&mut self, from: UnitId, to: UnitId, bytes: u64) -> Time;
+    /// Sends `payload` from the engine of `from` (departing at `at`) to the
+    /// engine of `to` in another unit: charges the sender-side legs (source
+    /// crossbar, inter-unit link) and traffic, and arranges for
+    /// [`SyncMechanism::deliver_remote`] to run on the destination unit's shard
+    /// at the arrival time. The arrival is always at least the link's transfer
+    /// latency after `at` — the lookahead bound sharded execution relies on.
+    fn send_remote(
+        &mut self,
+        at: Time,
+        from: UnitId,
+        to: UnitId,
+        bytes: u64,
+        payload: RemotePayload,
+    );
+
+    /// Models the receive-side crossbar hop of a remote message arriving at
+    /// `unit` (charged by [`SyncMechanism::deliver_remote`] at the arrival
+    /// time). Returns its latency; traffic was accounted at the send side.
+    fn recv_hop(&mut self, unit: UnitId, bytes: u64) -> Time;
 
     /// Models a memory access performed on behalf of synchronization by the
     /// engine/server of `unit` to the synchronization variable at `addr` (which is
@@ -187,7 +211,10 @@ impl SyncMechanismStats {
 }
 
 /// A synchronization mechanism driven by the simulated NDP system.
-pub trait SyncMechanism {
+///
+/// `Send` because the sharded execution mode moves the mechanism's state across
+/// worker threads (each shard owns a full mechanism instance for its units).
+pub trait SyncMechanism: Send {
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
 
@@ -212,8 +239,34 @@ pub trait SyncMechanism {
     /// Delivers a token previously scheduled through [`SyncContext::schedule`].
     fn deliver(&mut self, ctx: &mut dyn SyncContext, token: u64);
 
+    /// Delivers a cross-unit payload previously sent through
+    /// [`SyncContext::send_remote`], running at the arrival time on the shard
+    /// owning the destination unit. The mechanism charges the receive-side
+    /// crossbar hop here (via [`SyncContext::recv_hop`]).
+    ///
+    /// The default panics: mechanisms that never call `send_remote` (e.g. the
+    /// zero-latency ideal mechanism) can never receive one.
+    fn deliver_remote(&mut self, _ctx: &mut dyn SyncContext, payload: RemotePayload) {
+        panic!(
+            "mechanism {:?} received a remote payload it cannot route: {payload:?}",
+            self.name()
+        );
+    }
+
     /// Statistics accumulated up to `end` (the end of the simulation).
     fn stats(&self, end: Time) -> SyncMechanismStats;
+
+    /// Time-weighted `(average, maximum)` ST occupancy of the engine of `unit`
+    /// up to `end`, as fractions of capacity, or `None` when the mechanism has
+    /// no per-unit occupancy (server-based schemes, ideal).
+    ///
+    /// The sharded report merge recomputes the global average/maximum from
+    /// these per-unit values in global unit order, so the f64 reduction
+    /// associates exactly as in a sequential run.
+    fn st_unit_occupancy(&self, end: Time, unit: usize) -> Option<(f64, f64)> {
+        let _ = (end, unit);
+        None
+    }
 }
 
 /// Tunable parameters for [`build_mechanism`].

@@ -548,6 +548,14 @@ struct Engine {
     /// Per-variable protocol state (see [`VarArena`]).
     vars: VarArena,
     signals: SignalCounters,
+    /// Consecutive-NACK streak per signaling core, dense over the geometry
+    /// (`flat core index → streak`); indexes the exponential backoff and is
+    /// cleared whenever one of the core's signals is accepted. Kept per
+    /// *serving* engine (not globally) so that the streak a core builds on one
+    /// engine's condvars never depends on traffic it sends to other engines —
+    /// the property that lets each shard of a partitioned run own its engines'
+    /// streak state outright.
+    signal_streaks: Vec<u32>,
     units: usize,
     cores_per_unit: usize,
 }
@@ -567,10 +575,32 @@ impl Engine {
             // the index.
             vars: VarArena::with_capacity(st_entries + cores_per_unit),
             signals: SignalCounters::new(),
+            signal_streaks: vec![0; units * cores_per_unit],
             units,
             cores_per_unit,
         }
     }
+}
+
+/// An opaque synchronization payload traveling between NDP units.
+///
+/// Produced by the protocol mechanism and handed to
+/// [`SyncContext::send_remote`];
+/// the system carries it (unopened) to the shard owning the destination unit
+/// and hands it back through
+/// [`SyncMechanism::deliver_remote`]
+/// at the arrival time. The contents stay private to the protocol crate.
+#[derive(Clone, Copy, Debug)]
+pub struct RemotePayload(PayloadKind);
+
+#[derive(Clone, Copy, Debug)]
+enum PayloadKind {
+    /// An engine-to-engine message (or re-routed core request) bound for the
+    /// engine of `to`.
+    Msg { to: UnitId, msg: EngineMsg },
+    /// The response completing `core`'s blocking request, about to traverse the
+    /// destination unit's local crossbar to reach the core.
+    Complete { core: GlobalCoreId },
 }
 
 /// A message processed by an engine.
@@ -725,10 +755,6 @@ pub struct ProtocolMechanism {
     /// that acquire/release pairs stay consistent (the cores were "aborted" to the
     /// alternative solution, Section 6.7.3).
     misar_fallback: FxHashSet<Addr>,
-    /// Consecutive-NACK streak per signaling core, dense over the geometry
-    /// (`flat core index → streak`); indexes the exponential backoff and is
-    /// cleared whenever one of the core's signals is accepted.
-    signal_streaks: Vec<u32>,
 }
 
 impl ProtocolMechanism {
@@ -754,7 +780,6 @@ impl ProtocolMechanism {
             outcome_scratch: Vec::new(),
             stats: SyncMechanismStats::default(),
             misar_fallback: FxHashSet::default(),
-            signal_streaks: vec![0; config.units * config.cores_per_unit],
         }
     }
 
@@ -832,7 +857,7 @@ impl ProtocolMechanism {
         batch.unit = unit;
         batch.live = true;
         batch.first = msg;
-        ctx.schedule(at, u64::from(token));
+        ctx.schedule(at, unit, u64::from(token));
         // `SyncContext::schedule` pushes exactly one event, so the post-push
         // count is `stamp + 1`: that watermarks "no pushes since this batch's
         // event" without a second context call.
@@ -845,6 +870,11 @@ impl ProtocolMechanism {
     }
 
     /// Charges the message cost from `from` to engine `to` and schedules delivery.
+    ///
+    /// Cross-unit messages leave through [`SyncContext::send_remote`] and finish
+    /// their journey in [`SyncMechanism::deliver_remote`] on the destination
+    /// unit's shard; the message statistics are counted here, at the send side,
+    /// so a shard's counters describe the traffic *its* engines originate.
     fn send_engine_msg(
         &mut self,
         ctx: &mut dyn SyncContext,
@@ -854,20 +884,32 @@ impl ProtocolMechanism {
         msg: EngineMsg,
         overflow: bool,
     ) {
-        let mut delivery = at;
         if from != to {
-            delivery += ctx.remote_hop(from, to, Self::global_bytes());
             if overflow {
                 self.stats.overflow_messages += 1;
             } else {
                 self.stats.global_messages += 1;
             }
+            ctx.send_remote(
+                at,
+                from,
+                to,
+                Self::global_bytes(),
+                RemotePayload(PayloadKind::Msg { to, msg }),
+            );
+            return;
         }
-        self.schedule_msg(ctx, delivery, to, msg);
+        self.schedule_msg(ctx, at, to, msg);
     }
 
     /// Sends the response that completes a blocking request, from engine `from` back to
     /// `core`, starting at time `at`.
+    ///
+    /// When the response crosses units it travels as a [`RemotePayload`]; the
+    /// final crossbar hop — and the completion itself — happen in
+    /// [`SyncMechanism::deliver_remote`] on the core's shard at the arrival
+    /// time (`local_messages`/`completions` are therefore counted where the
+    /// core lives, `global_messages` where the response was sent).
     fn complete_core(
         &mut self,
         ctx: &mut dyn SyncContext,
@@ -875,12 +917,18 @@ impl ProtocolMechanism {
         from: UnitId,
         core: GlobalCoreId,
     ) {
-        let mut t = at;
         if from != core.unit {
-            t += ctx.remote_hop(from, core.unit, Self::global_bytes());
             self.stats.global_messages += 1;
+            ctx.send_remote(
+                at,
+                from,
+                core.unit,
+                Self::global_bytes(),
+                RemotePayload(PayloadKind::Complete { core }),
+            );
+            return;
         }
-        t += ctx.local_hop(core.unit, Self::local_bytes());
+        let t = at + ctx.local_hop(core.unit, Self::local_bytes());
         self.stats.local_messages += 1;
         self.stats.completions += 1;
         ctx.complete(core, t);
@@ -1270,7 +1318,7 @@ impl ProtocolMechanism {
                             req: SyncRequest::LockAcquire { var: lock },
                         });
                         if coalescing {
-                            self.signal_streaks[streak_idx] = 0;
+                            engine.signal_streaks[streak_idx] = 0;
                             out.push(Outcome::Complete { core });
                         }
                     } else if coalescing {
@@ -1281,15 +1329,15 @@ impl ProtocolMechanism {
                             let pending = mc.pending;
                             engine.signals.record_coalesced(pending);
                             mirror_cond_state(engine, slot, var, None, pending);
-                            self.signal_streaks[streak_idx] = 0;
+                            engine.signal_streaks[streak_idx] = 0;
                             out.push(Outcome::Complete { core });
                         } else {
                             // Pending count at its cap: NACK the signaler with an
                             // exponentially growing backoff delay.
                             engine.signals.record_nacked();
-                            let streak = self.signal_streaks[streak_idx];
+                            let streak = engine.signal_streaks[streak_idx];
                             let delay = config.backoff_delay(streak);
-                            self.signal_streaks[streak_idx] = streak.saturating_add(1);
+                            engine.signal_streaks[streak_idx] = streak.saturating_add(1);
                             out.push(Outcome::Nack { core, delay });
                         }
                     }
@@ -1503,22 +1551,24 @@ impl ProtocolMechanism {
             Topology::Hierarchical => (core.unit, false),
             Topology::Flat => (self.master_of(ctx, req.var()), true),
         };
-        let mut delivery = at;
+        let msg = EngineMsg::CoreReq {
+            core,
+            req,
+            direct,
+            fallback: false,
+        };
         if origin != dest {
-            delivery += ctx.remote_hop(origin, dest, Self::global_bytes());
             self.stats.global_messages += 1;
+            ctx.send_remote(
+                at,
+                origin,
+                dest,
+                Self::global_bytes(),
+                RemotePayload(PayloadKind::Msg { to: dest, msg }),
+            );
+            return;
         }
-        self.schedule_msg(
-            ctx,
-            delivery,
-            dest,
-            EngineMsg::CoreReq {
-                core,
-                req,
-                direct,
-                fallback: false,
-            },
-        );
+        self.schedule_msg(ctx, at, dest, msg);
     }
 }
 
@@ -1712,6 +1762,35 @@ impl SyncMechanism for ProtocolMechanism {
             self.deliver_one(ctx, unit, msg);
         }
         self.batch_scratch.clear();
+    }
+
+    fn deliver_remote(&mut self, ctx: &mut dyn SyncContext, payload: RemotePayload) {
+        // Running at the arrival time on the destination unit's shard: the
+        // send-side legs (source crossbar, inter-unit link) and the message
+        // statistics were charged by `send_remote`'s caller; only the
+        // receive-side crossbar hop remains.
+        match payload.0 {
+            PayloadKind::Msg { to, msg } => {
+                let at = ctx.now() + ctx.recv_hop(to, Self::global_bytes());
+                self.schedule_msg(ctx, at, to, msg);
+            }
+            PayloadKind::Complete { core } => {
+                let t = ctx.now()
+                    + ctx.recv_hop(core.unit, Self::global_bytes())
+                    + ctx.local_hop(core.unit, Self::local_bytes());
+                self.stats.local_messages += 1;
+                self.stats.completions += 1;
+                ctx.complete(core, t);
+            }
+        }
+    }
+
+    fn st_unit_occupancy(&self, end: Time, unit: usize) -> Option<(f64, f64)> {
+        if self.config.backend != EngineBackend::SyncronSe {
+            return None;
+        }
+        let e = self.engines.get(unit)?;
+        Some((e.st.avg_occupancy(end), e.st.max_occupancy()))
     }
 
     fn stats(&self, end: Time) -> SyncMechanismStats {
@@ -1915,6 +1994,10 @@ mod tests {
     struct HarnessCtx {
         now: Time,
         queue: EventQueue<u64>,
+        /// Remote payloads in flight, delivered interleaved with the token
+        /// queue in arrival-time order (the machine's sharded mailboxes,
+        /// collapsed to one queue).
+        inbox: EventQueue<RemotePayload>,
         completed: Vec<(GlobalCoreId, Time)>,
         local_hops: u64,
         remote_hops: u64,
@@ -1925,7 +2008,7 @@ mod tests {
         fn now(&self) -> Time {
             self.now
         }
-        fn schedule(&mut self, at: Time, token: u64) {
+        fn schedule(&mut self, at: Time, _unit: UnitId, token: u64) {
             self.queue.push(at, token);
         }
         fn schedule_stamp(&self) -> Option<u64> {
@@ -1938,9 +2021,15 @@ mod tests {
             self.local_hops += 1;
             Time::from_ns(2)
         }
-        fn remote_hop(&mut self, _f: UnitId, _t: UnitId, _bytes: u64) -> Time {
+        fn send_remote(&mut self, at: Time, _f: UnitId, _t: UnitId, _bytes: u64, p: RemotePayload) {
+            // One flat 40 ns for the whole remote journey, charged at the send
+            // side; `recv_hop` is free so end-to-end latencies match the old
+            // single-call hop model these tests were written against.
             self.remote_hops += 1;
-            Time::from_ns(40)
+            self.inbox.push(at + Time::from_ns(40), p);
+        }
+        fn recv_hop(&mut self, _unit: UnitId, _bytes: u64) -> Time {
+            Time::ZERO
         }
         fn sync_mem_access(&mut self, _u: UnitId, _a: Addr, _w: bool, _c: bool) -> Time {
             self.mem_accesses += 1;
@@ -1960,6 +2049,30 @@ mod tests {
         }
     }
 
+    impl HarnessCtx {
+        /// Delivers the earliest pending item (scheduled token or in-flight
+        /// remote payload); returns `false` when both queues are empty.
+        fn drive(&mut self, mech: &mut dyn SyncMechanism) -> bool {
+            let token_at = self.queue.peek_time();
+            let remote_at = self.inbox.peek_time();
+            match (token_at, remote_at) {
+                (None, None) => false,
+                (Some(t), r) if r.is_none_or(|r| t <= r) => {
+                    let (at, token) = self.queue.pop().unwrap();
+                    self.now = self.now.max(at);
+                    mech.deliver(self, token);
+                    true
+                }
+                _ => {
+                    let (at, payload) = self.inbox.pop().unwrap();
+                    self.now = self.now.max(at);
+                    mech.deliver_remote(self, payload);
+                    true
+                }
+            }
+        }
+    }
+
     impl Harness {
         fn new(kind: MechanismKind) -> Self {
             Harness::with_params(MechanismParams::new(kind))
@@ -1968,14 +2081,7 @@ mod tests {
         fn with_params(params: MechanismParams) -> Self {
             Harness {
                 mech: build_mechanism(&params, 4, 16),
-                ctx: HarnessCtx {
-                    now: Time::ZERO,
-                    queue: EventQueue::new(),
-                    completed: Vec::new(),
-                    local_hops: 0,
-                    remote_hops: 0,
-                    mem_accesses: 0,
-                },
+                ctx: bare_ctx(),
             }
         }
 
@@ -1985,10 +2091,7 @@ mod tests {
         }
 
         fn drain(&mut self) {
-            while let Some((at, token)) = self.ctx.queue.pop() {
-                self.ctx.now = self.ctx.now.max(at);
-                self.mech.deliver(&mut self.ctx, token);
-            }
+            while self.ctx.drive(self.mech.as_mut()) {}
         }
 
         fn completed(&self) -> &[(GlobalCoreId, Time)] {
@@ -2361,22 +2464,10 @@ mod tests {
         // the packed VarInfo layout.
         let mut mech =
             ProtocolMechanism::new(ProtocolConfig::for_kind(MechanismKind::Central, 4, 16));
-        let mut ctx = HarnessCtx {
-            now: Time::ZERO,
-            queue: EventQueue::new(),
-            completed: Vec::new(),
-            local_hops: 0,
-            remote_hops: 0,
-            mem_accesses: 0,
-        };
+        let mut ctx = bare_ctx();
         let cond = Addr(1 << 22);
         let lock = Addr((1 << 22) + 64);
-        let drain = |mech: &mut ProtocolMechanism, ctx: &mut HarnessCtx| {
-            while let Some((at, token)) = ctx.queue.pop() {
-                ctx.now = ctx.now.max(at);
-                mech.deliver(ctx, token);
-            }
-        };
+        let drain = drain_ctx;
         mech.request(&mut ctx, core(1, 0), SyncRequest::CondSignal { var: cond });
         drain(&mut mech, &mut ctx);
         // Central serves everything at unit 0.
@@ -2570,6 +2661,7 @@ mod tests {
         HarnessCtx {
             now: Time::ZERO,
             queue: EventQueue::new(),
+            inbox: EventQueue::new(),
             completed: Vec::new(),
             local_hops: 0,
             remote_hops: 0,
@@ -2578,10 +2670,7 @@ mod tests {
     }
 
     fn drain_ctx(mech: &mut ProtocolMechanism, ctx: &mut HarnessCtx) {
-        while let Some((at, token)) = ctx.queue.pop() {
-            ctx.now = ctx.now.max(at);
-            mech.deliver(ctx, token);
-        }
+        while ctx.drive(mech) {}
     }
 
     #[test]

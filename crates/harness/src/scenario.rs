@@ -91,6 +91,11 @@ pub struct ConfigSpec {
     pub scheduler: SchedulerKind,
     /// Inline-dispatch fairness budget of the run loop (`0` disables inlining).
     pub inline_step_budget: u32,
+    /// Worker threads of the sharded (conservative-PDES) execution mode
+    /// (`1` = sequential). Reports are bit-identical under any value; the
+    /// machine falls back to sequential execution for configurations and
+    /// workloads that cannot honor the lookahead contract.
+    pub sim_threads: usize,
 }
 
 impl Default for ConfigSpec {
@@ -115,6 +120,7 @@ impl Default for ConfigSpec {
             max_events: paper.max_events,
             scheduler: paper.scheduler,
             inline_step_budget: paper.inline_step_budget,
+            sim_threads: paper.sim_threads,
         }
     }
 }
@@ -156,6 +162,13 @@ impl ConfigSpec {
         self
     }
 
+    /// Sets the sharded-execution worker-thread count (builder style; `1` =
+    /// sequential, results bit-identical under any value).
+    pub fn with_sim_threads(mut self, threads: usize) -> Self {
+        self.sim_threads = threads;
+        self
+    }
+
     /// Builds the concrete [`NdpConfig`], rejecting invalid machine geometries with
     /// an error naming the offending field.
     pub fn to_ndp_config(&self) -> Result<NdpConfig, HarnessError> {
@@ -183,6 +196,7 @@ impl ConfigSpec {
             .max_events(self.max_events)
             .scheduler(self.scheduler)
             .inline_step_budget(self.inline_step_budget)
+            .sim_threads(self.sim_threads)
             .build()
             .map_err(|e| HarnessError::Config(e.to_string()))
     }
@@ -213,6 +227,7 @@ impl ConfigSpec {
                 "inline_step_budget",
                 Value::Int(self.inline_step_budget as i64),
             ),
+            ("sim_threads", Value::Int(self.sim_threads as i64)),
         ];
         if let Some(t) = self.fairness_threshold {
             pairs.push(("fairness_threshold", Value::Int(t as i64)));
@@ -277,6 +292,7 @@ impl ConfigSpec {
                         .try_into()
                         .map_err(|_| HarnessError::spec("inline_step_budget must fit in a u32"))?
                 }
+                "sim_threads" => spec.sim_threads = usize_field(v, key)?,
                 other => {
                     return Err(HarnessError::spec(format!(
                         "unknown config field '{other}'"

@@ -51,6 +51,11 @@ impl LinkConfig {
         self
     }
 
+    /// Link energy of moving `bytes` in total, in picojoules.
+    pub fn energy_pj_of_bytes(&self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 * self.pj_per_bit
+    }
+
     /// Serialization time of `bytes` at the configured bandwidth.
     pub fn serialization(&self, bytes: u64) -> Time {
         let ps = bytes as f64 / self.bandwidth_bytes_per_s * 1e12;
@@ -93,7 +98,6 @@ pub struct InterUnitLink {
     /// intra-unit traffic).
     channels: Vec<Serializer>,
     stats: LinkStats,
-    energy_pj: f64,
     /// Memoized `bytes → serialization time`: skips the float division of
     /// [`LinkConfig::serialization`] for the (two) hot packet sizes without
     /// changing a bit of the result.
@@ -113,7 +117,6 @@ impl InterUnitLink {
             units,
             channels: vec![Serializer::new(); units * units],
             stats: LinkStats::default(),
-            energy_pj: 0.0,
             serialization_memo: Memo2::new(),
         }
     }
@@ -150,7 +153,6 @@ impl InterUnitLink {
         self.stats.messages.inc();
         self.stats.bytes.add(bytes);
         self.stats.contention_ps.add(wait.as_ps());
-        self.energy_pj += bytes as f64 * 8.0 * cfg.pj_per_bit;
 
         (start + serialization + cfg.transfer_latency + controller) - now
     }
@@ -161,8 +163,14 @@ impl InterUnitLink {
     }
 
     /// Total link energy in picojoules.
+    ///
+    /// Computed from the integer byte counter rather than accumulated per
+    /// transfer: a single multiply gives a value independent of transfer order,
+    /// so per-shard link instances of a partitioned run merge exactly (sum the
+    /// byte counters, multiply once) into the same energy the sequential run
+    /// reports.
     pub fn energy_pj(&self) -> f64 {
-        self.energy_pj
+        self.config.energy_pj_of_bytes(self.stats.bytes.get())
     }
 }
 

@@ -510,6 +510,28 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Schedules `event` at `at` with a caller-chosen tiebreak key instead of the
+    /// queue's internal push sequence.
+    ///
+    /// Events pop in ascending `(time, key)` order, so a caller that derives keys
+    /// from its own stable numbering (e.g. per-shard counters in a partitioned
+    /// simulation) gets an equal-timestamp order that is independent of *which
+    /// queue* an event was pushed into. Keys must be unique per timestamp; a
+    /// queue should be driven either entirely through [`EventQueue::push`] or
+    /// entirely through `push_keyed` — mixing the two may collide keys.
+    pub fn push_keyed(&mut self, at: Time, key: u64, event: E) {
+        self.seq += 1; // keep scheduled_total() meaningful as a push count
+        let entry = Entry {
+            at,
+            seq: key,
+            event,
+        };
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.push(Reverse(entry)),
+            Backend::Calendar(cal) => cal.push(entry),
+        }
+    }
+
     /// Removes and returns the earliest pending event, or `None` if the queue is empty.
     ///
     /// Events with equal timestamps come back in push order (FIFO).

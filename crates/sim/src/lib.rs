@@ -24,6 +24,9 @@
 //!   used for the evaluation reports (energy, traffic, occupancy).
 //! * [`queueing`] — the M/D/1 queueing-delay model used by the paper for the
 //!   intra-unit crossbar (Table 5 of the paper).
+//! * [`shard`] — conservative-PDES building blocks (shard map, stable event
+//!   keys, cross-shard mailboxes, the two-phase window barrier) used by the
+//!   system crate's sharded execution mode.
 //!
 //! # Example
 //!
@@ -50,6 +53,7 @@ pub mod hash;
 pub mod ids;
 pub mod queueing;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 

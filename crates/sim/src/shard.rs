@@ -1,0 +1,494 @@
+//! Conservative-PDES building blocks: shard partitioning, per-shard event keys,
+//! cross-shard mailboxes and the window barrier.
+//!
+//! A partitioned simulation splits its state into `shards` that each own a
+//! contiguous range of units and advance in **bounded time windows**: every
+//! round, the shards agree on the global minimum pending timestamp `T_min` and
+//! each processes only events strictly before `T_min + lookahead`, where the
+//! lookahead is the guaranteed minimum latency of any cross-shard interaction.
+//! Any message generated during the window is timestamped at or after its send
+//! time plus the lookahead, hence at or after the window end — so no shard can
+//! ever receive a message for a point in time it has already passed. Cross-shard
+//! messages travel through [`mailboxes`] and are drained between the two phases
+//! of the [`WindowGate`] round, so a freshly received message always takes part
+//! in the next window computation.
+//!
+//! Equal-timestamp determinism across shard counts comes from [`event_key`]:
+//! every event carries a `(origin unit, per-unit counter)` key used as the
+//! queue tiebreak, so the pop order within a timestamp is a property of the
+//! simulation, not of which host thread pushed first.
+
+use crate::time::Time;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Condvar, Mutex};
+
+/// Number of low bits of an event key reserved for the per-unit counter.
+pub const KEY_COUNTER_BITS: u32 = 48;
+
+/// Builds the stable equal-timestamp tiebreak key for an event originated by
+/// `unit` as its `counter`-th push.
+///
+/// Keys order first by originating unit, then by that unit's push counter, so
+/// the interleaving of events from different units at one timestamp is fixed by
+/// the simulation itself and identical under any sharding. The 48-bit counter
+/// space (~2.8 · 10^14 pushes per unit) is far beyond any event budget.
+///
+/// # Panics
+///
+/// Panics if the counter overflows its 48-bit field (a runaway simulation; the
+/// event budget aborts runs orders of magnitude earlier).
+#[inline]
+pub fn event_key(unit: usize, counter: u64) -> u64 {
+    assert!(
+        counter < (1u64 << KEY_COUNTER_BITS),
+        "event key counter overflow for unit {unit}"
+    );
+    ((unit as u64) << KEY_COUNTER_BITS) | counter
+}
+
+/// A contiguous partition of `units` simulation units into `shards` shards.
+///
+/// Units are assigned in order, balanced to within one unit per shard. The map
+/// answers `unit -> shard` in O(1) and the owned range of each shard.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    units: usize,
+    /// `starts[s]..starts[s + 1]` is the unit range owned by shard `s`.
+    starts: Vec<usize>,
+    /// Dense `unit -> shard` table.
+    owner: Vec<u32>,
+}
+
+impl ShardMap {
+    /// Partitions `units` units into `min(shards, units)` contiguous shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` or `shards` is zero.
+    pub fn new(units: usize, shards: usize) -> Self {
+        assert!(units > 0, "cannot partition zero units");
+        assert!(shards > 0, "cannot partition into zero shards");
+        let shards = shards.min(units);
+        let base = units / shards;
+        let extra = units % shards;
+        let mut starts = Vec::with_capacity(shards + 1);
+        let mut owner = vec![0u32; units];
+        let mut unit = 0usize;
+        for s in 0..shards {
+            starts.push(unit);
+            let len = base + usize::from(s < extra);
+            for slot in &mut owner[unit..unit + len] {
+                *slot = s as u32;
+            }
+            unit += len;
+        }
+        starts.push(units);
+        ShardMap {
+            units,
+            starts,
+            owner,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Number of units partitioned.
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
+    /// The shard owning `unit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics — naming the unit — when `unit` is outside the partitioned
+    /// geometry. An out-of-range unit in a routed message is always a bug in the
+    /// sender; dropping it silently would strand the simulation.
+    #[inline]
+    pub fn shard_of(&self, unit: usize) -> usize {
+        match self.owner.get(unit) {
+            Some(&s) => s as usize,
+            None => panic!(
+                "message routed to unit U{unit}, which is outside the sharded \
+                 geometry of {} units: no shard owns it",
+                self.units
+            ),
+        }
+    }
+
+    /// The contiguous unit range owned by `shard`.
+    pub fn range(&self, shard: usize) -> std::ops::Range<usize> {
+        self.starts[shard]..self.starts[shard + 1]
+    }
+}
+
+/// One cross-shard message: `(arrival time, event key, payload)`.
+pub type Mail<E> = (Time, u64, E);
+
+/// Builds the all-to-all mailbox fabric for `shards` shards.
+///
+/// Returns, for every shard, its receiving endpoint and one sender per peer
+/// shard (`senders[s][d]` sends from shard `s` to shard `d`; the self-slot is
+/// present for uniform indexing but a shard normally pushes straight into its
+/// own queue instead).
+#[allow(clippy::type_complexity)]
+pub fn mailboxes<E>(shards: usize) -> (Vec<Vec<Sender<Mail<E>>>>, Vec<Receiver<Mail<E>>>) {
+    let mut txs: Vec<Vec<Sender<Mail<E>>>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut rxs = Vec::with_capacity(shards);
+    for _dest in 0..shards {
+        let (tx, rx) = channel();
+        for row in txs.iter_mut() {
+            row.push(tx.clone());
+        }
+        rxs.push(rx);
+    }
+    (txs, rxs)
+}
+
+/// What one shard reports at the end of a window round.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundReport {
+    /// Earliest pending local event (after draining the mailbox), if any.
+    pub local_min: Option<Time>,
+    /// Events this shard delivered since its previous report.
+    pub events_delta: u64,
+    /// Core programs that finished since the previous report.
+    pub done_delta: u64,
+}
+
+/// The gate's verdict for the next window.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RoundDecision {
+    /// Process every event strictly before `window_end`, then come back.
+    Continue {
+        /// Exclusive upper bound of the next window (`T_min + lookahead`).
+        window_end: Time,
+    },
+    /// Every queue and mailbox is empty: the simulation is over.
+    Finished,
+    /// The global event budget is exhausted; all shards stop at this boundary.
+    Aborted,
+}
+
+struct GateState {
+    arrived: usize,
+    generation: u64,
+    round_min: Option<Time>,
+    events_total: u64,
+    done_total: u64,
+    decision: RoundDecision,
+}
+
+/// The two-phase window barrier of a sharded run.
+///
+/// Every round, each shard:
+///
+/// 1. calls [`WindowGate::arrive`] after processing its window — once it
+///    returns, every cross-shard send of the finished window is visible in the
+///    destination mailboxes (the barrier's lock ordering is the happens-before
+///    edge);
+/// 2. drains its mailbox into its local queue;
+/// 3. calls [`WindowGate::resolve`] with its new local minimum — the last
+///    arriver reduces the reports into the next [`RoundDecision`], which every
+///    shard observes identically.
+///
+/// A shard whose queue has drained keeps participating with `local_min: None`
+/// until the gate answers [`RoundDecision::Finished`], so window advancement
+/// never deadlocks on an idle shard.
+///
+/// Windows are short — often a few microseconds of host work — so waiters
+/// first spin on a lock-free generation counter before falling back to the
+/// condvar; a blocking wakeup per phase would otherwise dominate the run.
+pub struct WindowGate {
+    parties: usize,
+    lookahead: Time,
+    max_events: u64,
+    /// Lock-free mirror of [`GateState::generation`], bumped by the last
+    /// arriver of each phase (while holding the lock, so the two never
+    /// disagree for a blocked waiter). Spun on by the fast wait path.
+    generation: AtomicU64,
+    /// Spin iterations before a waiter blocks: [`GATE_SPIN_ITERS`] when the
+    /// host can run every party on its own CPU, `0` otherwise — on an
+    /// oversubscribed host a spinner burns exactly the timeslice the working
+    /// shard needs, inverting the optimization.
+    spin_iters: u32,
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+/// Spin iterations before a gate waiter falls back to blocking on the condvar.
+/// Sized to cover a typical window's worth of host work (a few microseconds);
+/// an imbalanced or descheduled peer parks the waiter instead of burning CPU.
+const GATE_SPIN_ITERS: u32 = 20_000;
+
+impl std::fmt::Debug for WindowGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowGate")
+            .field("parties", &self.parties)
+            .field("lookahead", &self.lookahead)
+            .finish()
+    }
+}
+
+impl WindowGate {
+    /// Creates a gate for `parties` shards with the given lookahead and global
+    /// event budget.
+    pub fn new(parties: usize, lookahead: Time, max_events: u64) -> Self {
+        assert!(parties > 0, "a window gate needs at least one shard");
+        WindowGate {
+            parties,
+            lookahead,
+            max_events,
+            generation: AtomicU64::new(0),
+            spin_iters: if std::thread::available_parallelism().map_or(1, |n| n.get()) >= parties {
+                GATE_SPIN_ITERS
+            } else {
+                0
+            },
+            state: Mutex::new(GateState {
+                arrived: 0,
+                generation: 0,
+                round_min: None,
+                events_total: 0,
+                done_total: 0,
+                decision: RoundDecision::Finished,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The lookahead the gate derives window bounds from.
+    pub fn lookahead(&self) -> Time {
+        self.lookahead
+    }
+
+    fn phase(&self, on_last: impl FnOnce(&mut GateState)) {
+        let gen = {
+            let mut g = self.state.lock().expect("window gate poisoned");
+            g.arrived += 1;
+            if g.arrived == self.parties {
+                g.arrived = 0;
+                on_last(&mut g);
+                g.generation += 1;
+                // Publish while still holding the lock so a blocked waiter
+                // never observes the atomic ahead of the guarded state.
+                self.generation.store(g.generation, Ordering::Release);
+                drop(g);
+                self.cv.notify_all();
+                return;
+            }
+            g.generation
+        };
+        // Fast path: the peers are mid-window; their arrival is typically
+        // microseconds away. The Acquire load pairs with the last arriver's
+        // Release store, so everything it reduced is visible on return.
+        for _ in 0..self.spin_iters {
+            if self.generation.load(Ordering::Acquire) != gen {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut g = self.state.lock().expect("window gate poisoned");
+        while g.generation == gen {
+            g = self.cv.wait(g).expect("window gate poisoned");
+        }
+    }
+
+    /// Phase 1: marks this shard's window as fully processed (all sends done).
+    pub fn arrive(&self) {
+        self.phase(|_| {});
+    }
+
+    /// Phase 2: submits this shard's round report and returns the decision for
+    /// the next window (identical for every shard of the round).
+    pub fn resolve(&self, report: RoundReport) -> RoundDecision {
+        let lookahead = self.lookahead;
+        let max_events = self.max_events;
+        {
+            let mut g = self.state.lock().expect("window gate poisoned");
+            g.round_min = match (g.round_min, report.local_min) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            g.events_total += report.events_delta;
+            g.done_total += report.done_delta;
+        }
+        self.phase(|g| {
+            g.decision = if g.events_total > max_events {
+                RoundDecision::Aborted
+            } else {
+                match g.round_min.take() {
+                    None => RoundDecision::Finished,
+                    Some(min) => RoundDecision::Continue {
+                        window_end: Time::from_ps(min.as_ps().saturating_add(lookahead.as_ps())),
+                    },
+                }
+            };
+            g.round_min = None;
+        });
+        self.state.lock().expect("window gate poisoned").decision
+    }
+
+    /// Total core programs reported done across all shards and rounds so far.
+    pub fn done_total(&self) -> u64 {
+        self.state.lock().expect("window gate poisoned").done_total
+    }
+
+    /// Total events reported delivered across all shards and rounds so far.
+    pub fn events_total(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("window gate poisoned")
+            .events_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_map_balances_contiguously() {
+        let map = ShardMap::new(10, 4);
+        assert_eq!(map.shards(), 4);
+        assert_eq!(map.range(0), 0..3);
+        assert_eq!(map.range(1), 3..6);
+        assert_eq!(map.range(2), 6..8);
+        assert_eq!(map.range(3), 8..10);
+        for u in 0..10 {
+            let s = map.shard_of(u);
+            assert!(map.range(s).contains(&u), "unit {u} not in its shard range");
+        }
+    }
+
+    #[test]
+    fn shard_map_clamps_to_unit_count() {
+        let map = ShardMap::new(3, 8);
+        assert_eq!(map.shards(), 3);
+        for u in 0..3 {
+            assert_eq!(map.range(map.shard_of(u)).len(), 1);
+        }
+    }
+
+    #[test]
+    fn unknown_unit_is_a_hard_error_naming_the_unit() {
+        let map = ShardMap::new(4, 2);
+        let err = std::panic::catch_unwind(|| map.shard_of(7)).unwrap_err();
+        let msg = *err.downcast::<String>().unwrap();
+        assert!(msg.contains("U7"), "panic must name the unit: {msg}");
+        assert!(
+            msg.contains("4 units"),
+            "panic must name the geometry: {msg}"
+        );
+    }
+
+    #[test]
+    fn event_keys_order_by_unit_then_counter() {
+        assert!(event_key(0, 5) < event_key(1, 0));
+        assert!(event_key(3, 7) < event_key(3, 8));
+        assert_eq!(event_key(0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter overflow")]
+    fn event_key_counter_overflow_panics() {
+        event_key(1, 1u64 << KEY_COUNTER_BITS);
+    }
+
+    #[test]
+    fn mailboxes_deliver_across_threads() {
+        let (txs, rxs) = mailboxes::<u32>(2);
+        let mut rxs = rxs.into_iter();
+        let rx0 = rxs.next().unwrap();
+        let _rx1 = rxs.next().unwrap();
+        let tx = txs[1][0].clone();
+        std::thread::spawn(move || {
+            tx.send((Time::from_ns(3), 42, 7)).unwrap();
+        })
+        .join()
+        .unwrap();
+        assert_eq!(rx0.try_recv().unwrap(), (Time::from_ns(3), 42, 7));
+    }
+
+    #[test]
+    fn gate_single_party_reduces_immediately() {
+        let gate = WindowGate::new(1, Time::from_ns(40), 1_000);
+        gate.arrive();
+        let d = gate.resolve(RoundReport {
+            local_min: Some(Time::from_ns(10)),
+            events_delta: 5,
+            done_delta: 0,
+        });
+        assert_eq!(
+            d,
+            RoundDecision::Continue {
+                window_end: Time::from_ns(50)
+            }
+        );
+        gate.arrive();
+        assert_eq!(
+            gate.resolve(RoundReport::default()),
+            RoundDecision::Finished
+        );
+        assert_eq!(gate.events_total(), 5);
+    }
+
+    #[test]
+    fn gate_aborts_when_budget_exhausted() {
+        let gate = WindowGate::new(1, Time::from_ns(1), 10);
+        gate.arrive();
+        let d = gate.resolve(RoundReport {
+            local_min: Some(Time::ZERO),
+            events_delta: 11,
+            done_delta: 0,
+        });
+        assert_eq!(d, RoundDecision::Aborted);
+    }
+
+    #[test]
+    fn gate_reduces_min_across_threads() {
+        // Four shards, several rounds: every shard must observe the same
+        // decision, derived from the global minimum.
+        let shards = 4;
+        let gate = std::sync::Arc::new(WindowGate::new(shards, Time::from_ns(40), u64::MAX));
+        let mut handles = Vec::new();
+        for s in 0..shards {
+            let gate = std::sync::Arc::clone(&gate);
+            handles.push(std::thread::spawn(move || {
+                let mut decisions = Vec::new();
+                for round in 0..3u64 {
+                    gate.arrive();
+                    // Shard s pretends its earliest event is at (round*100 + s) ns;
+                    // the global min each round is shard 0's.
+                    let min = (round == 0 || s != 3).then(|| Time::from_ns(round * 100 + s as u64));
+                    decisions.push(gate.resolve(RoundReport {
+                        local_min: min,
+                        events_delta: 1,
+                        done_delta: 0,
+                    }));
+                }
+                gate.arrive();
+                decisions.push(gate.resolve(RoundReport::default()));
+                decisions
+            }));
+        }
+        let all: Vec<Vec<RoundDecision>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for other in &all[1..] {
+            assert_eq!(&all[0], other, "shards observed different decisions");
+        }
+        for (round, d) in all[0][..3].iter().enumerate() {
+            assert_eq!(
+                *d,
+                RoundDecision::Continue {
+                    window_end: Time::from_ns(round as u64 * 100 + 40)
+                }
+            );
+        }
+        assert_eq!(all[0][3], RoundDecision::Finished);
+        assert_eq!(gate.events_total(), 12);
+    }
+}

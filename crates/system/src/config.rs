@@ -135,6 +135,14 @@ pub struct NdpConfig {
     /// condition makes the inlined event the unique next pop — so this knob only
     /// trades queue traffic against loop latency.
     pub inline_step_budget: u32,
+    /// Number of worker threads the sharded (conservative-PDES) execution mode
+    /// may use. `1` (the default) runs the classic sequential loop. Values
+    /// above 1 partition the units into up to `sim_threads` shards that advance
+    /// in lookahead-bounded windows; reports are bit-identical to `1` whenever
+    /// the configuration is shardable (the machine documents its fallbacks and
+    /// falls back to sequential execution otherwise). The effective shard count
+    /// is `min(sim_threads, units)`.
+    pub sim_threads: usize,
 }
 
 impl NdpConfig {
@@ -157,6 +165,7 @@ impl NdpConfig {
             max_events: 400_000_000,
             scheduler: SchedulerKind::Calendar,
             inline_step_budget: 64,
+            sim_threads: 1,
         }
     }
 
@@ -187,6 +196,11 @@ impl NdpConfig {
         if self.max_events == 0 {
             return Err(ConfigError::Zero {
                 field: "max_events",
+            });
+        }
+        if self.sim_threads == 0 {
+            return Err(ConfigError::Zero {
+                field: "sim_threads",
             });
         }
         let bounded = [
@@ -382,6 +396,13 @@ impl NdpConfigBuilder {
         self
     }
 
+    /// Sets the sharded execution mode's worker-thread budget (see
+    /// [`NdpConfig::sim_threads`]; `1` = sequential).
+    pub fn sim_threads(mut self, threads: usize) -> Self {
+        self.config.sim_threads = threads;
+        self
+    }
+
     /// Finalizes the configuration, validating the machine geometry.
     ///
     /// Returns a [`ConfigError`] naming the offending field for degenerate layouts
@@ -424,6 +445,20 @@ mod tests {
             .unwrap();
         assert_eq!(cfg.scheduler, SchedulerKind::Heap);
         assert_eq!(cfg.inline_step_budget, 0);
+    }
+
+    #[test]
+    fn sim_threads_knob_builds_and_rejects_zero() {
+        assert_eq!(NdpConfig::paper_default().sim_threads, 1);
+        let cfg = NdpConfig::builder().sim_threads(4).build().unwrap();
+        assert_eq!(cfg.sim_threads, 4);
+        let err = NdpConfig::builder().sim_threads(0).build().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::Zero {
+                field: "sim_threads"
+            }
+        );
     }
 
     #[test]

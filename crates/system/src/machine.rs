@@ -5,32 +5,56 @@
 //! and one synchronization mechanism — and steps the client cores' programs one
 //! [`Action`] at a time, charging each action's latency through the corresponding
 //! models. The machine is fully deterministic: same configuration and workload seed,
-//! same result.
+//! same result — independent of [`crate::config::NdpConfig::sim_threads`].
 //!
 //! # The run loop
 //!
-//! The scheduling core is built for large geometries (thousands of cores):
+//! The machine partitions its units into shards (one for a sequential run, up
+//! to `sim_threads` for a sharded one; see the private `shard_plan`). Every
+//! shard owns
+//! the substrates of a contiguous unit range — event queue, crossbars, DRAMs,
+//! server caches, a full synchronization-mechanism instance — and the programs
+//! and L1s of the client cores in that range. Shards advance in lock-step
+//! **windows** of a conservative parallel discrete-event simulation:
 //!
-//! * events flow through the calendar-queue scheduler by default
-//!   ([`syncron_sim::event::SchedulerKind`]; the reference heap is selectable per
-//!   configuration and produces bit-identical reports);
-//! * `CoreResume` events resolve cores through a precomputed dense
-//!   `GlobalCoreId -> client index` table — no hashing on the hottest path, and a
-//!   resume for a core that is not a client of this machine is a hard error naming
-//!   the core instead of a silently dropped event;
-//! * when a core's next step strictly precedes every queued event, the loop
-//!   executes it inline instead of round-tripping it through the queue, bounded by
-//!   the [`crate::config::NdpConfig::inline_step_budget`] fairness budget. The
-//!   strict-precedence condition makes the inlined event the unique next pop, so
-//!   inter-core ordering at equal timestamps — and therefore every report — is
-//!   unchanged.
+//! * each round, the [`WindowGate`] reduces every shard's earliest pending
+//!   timestamp into the global minimum `T_min` and opens the window
+//!   `[T_min, T_min + lookahead)`, where the lookahead is the minimum latency
+//!   of the inter-unit link (every cross-shard interaction crosses that link);
+//! * shards process only events strictly inside the window. Anything they send
+//!   across shard boundaries arrives at least one lookahead later — at or past
+//!   the window end — so no shard ever receives an event for a time it has
+//!   already passed. Cross-shard sends travel through [`mailboxes`] and are
+//!   drained between the two gate phases of the next round;
+//! * equal-timestamp ordering is pinned by [`event_key`]: every event carries a
+//!   `(origin unit, per-unit counter)` tiebreak key, so pop order within one
+//!   timestamp is a property of the simulation, not of host thread timing. A
+//!   single-shard run uses the same keys, the same windows and the same code
+//!   path — the sequential mode is the `shards == 1` special case, and a
+//!   sharded run reproduces its reports bit for bit
+//!   ([`crate::report::RunReport::divergence_from`]).
+//!
+//! Within a window the scheduling core keeps its fast paths: the calendar-queue
+//! scheduler by default ([`syncron_sim::event::SchedulerKind`]), a precomputed
+//! dense `GlobalCoreId -> client index` table on the resume path, and inline
+//! dispatch of a core's next step when it strictly precedes every queued event
+//! (bounded by [`crate::config::NdpConfig::inline_step_budget`]; the inlined
+//! step still consumes its event key, so the key stream is identical whether a
+//! step is inlined or queued).
 
 use crate::address::AddressSpace;
 use crate::config::{CoherenceMode, NdpConfig};
 use crate::report::{RunReport, SimPerf};
 use crate::workload::{Action, CoreProgram, Workload};
 
-use syncron_core::mechanism::{build_mechanism, SyncContext, SyncMechanism};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
+
+use syncron_core::mechanism::{
+    build_mechanism, MechanismKind, RemotePayload, SyncContext, SyncMechanism, SyncMechanismStats,
+};
+use syncron_core::protocol::OverflowMode;
 use syncron_mem::cache::L1Cache;
 use syncron_mem::dram::{DramModel, DramSpec};
 use syncron_mem::energy::EnergyTally;
@@ -39,6 +63,9 @@ use syncron_net::crossbar::Crossbar;
 use syncron_net::link::InterUnitLink;
 use syncron_net::traffic::TrafficStats;
 use syncron_sim::event::{CalendarParams, EventQueue, SchedulerKind};
+use syncron_sim::shard::{
+    event_key, mailboxes, Mail, RoundDecision, RoundReport, ShardMap, WindowGate,
+};
 use syncron_sim::time::Time;
 use syncron_sim::{Addr, GlobalCoreId, UnitId};
 
@@ -49,12 +76,25 @@ const LINE_BYTES: u64 = 64;
 
 #[derive(Clone, Copy, Debug)]
 enum Event {
-    /// A client core (by dense client index) is ready for its next action.
+    /// A client core (by dense global client index) is ready for its next action.
     CoreStep(usize),
     /// A blocking synchronization request completed; the core resumes.
     CoreResume(GlobalCoreId),
-    /// A token scheduled by the synchronization mechanism is due.
-    SyncToken(u64),
+    /// A token scheduled by the synchronization mechanism for the engine of
+    /// `unit` is due.
+    SyncToken { unit: UnitId, token: u64 },
+    /// A cross-unit mechanism message arrives at the engine of `to`.
+    RemoteSync { to: UnitId, payload: RemotePayload },
+    /// A remote data request from client `idx` reaches the home unit of `addr`.
+    DataReq {
+        idx: usize,
+        home: UnitId,
+        addr: Addr,
+        write: bool,
+        rmw: bool,
+    },
+    /// The data line returns to client `idx`'s unit; the core's access completes.
+    DataReply { idx: usize, rmw: bool },
 }
 
 /// Precomputed dense `GlobalCoreId -> client index` table.
@@ -62,7 +102,7 @@ enum Event {
 /// Replaces the `HashMap` lookup that used to sit on the `CoreResume` hot path:
 /// resolution is one bounds check plus one slot load. Slots covering server cores
 /// (and the whole table for out-of-geometry IDs) answer `None`.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct ClientIndex {
     units: usize,
     cores_per_unit: usize,
@@ -100,314 +140,363 @@ impl ClientIndex {
     }
 }
 
-/// The machine state the synchronization mechanism operates on: the event queue,
-/// the network and memory substrates, and the address-space map.
+/// Resolves a resumed core to its dense client index.
 ///
-/// Grouping these in one struct lets [`NdpMachine::with_mechanism`] hand the
-/// mechanism a [`MechCtx`] by borrowing two fields instead of reconstructing a
-/// ten-field context on every event (the per-event construction cost used to be
-/// paid once per `SyncToken` and once per synchronization request).
+/// # Panics
+///
+/// Panics — naming the core — when the core is not a client of this machine
+/// (outside the configured geometry, or a reserved server core). A resume for
+/// such a core is always a mechanism bug; it used to be silently dropped,
+/// which turned protocol bugs into unexplainable deadlocks.
+fn resolve_client_in(index: &ClientIndex, core: GlobalCoreId, clients_total: usize) -> usize {
+    index.get(core).unwrap_or_else(|| {
+        panic!(
+            "CoreResume for core {core}, which is not a client of this machine \
+             ({} units x {} cores, {} clients): either the core is outside the \
+             geometry or it is a reserved server core",
+            index.units, index.cores_per_unit, clients_total
+        )
+    })
+}
+
+/// One shard's share of the machine substrates, plus the clock and event queue.
+///
+/// The struct implements [`SyncContext`] directly: the synchronization mechanism
+/// operates on the shard's own crossbars, DRAMs and queue, and every latency or
+/// traffic charge lands on the shard that owns the acting unit. Per-unit vectors
+/// are indexed by `unit - unit_lo`; the accessors assert ownership so a message
+/// routed to a foreign unit is a hard error naming the unit, never silent
+/// corruption of another unit's state.
 struct Substrates {
     queue: EventQueue<Event>,
+    /// Crossbars of the owned units, indexed by `unit - unit_lo`.
     crossbars: Vec<Crossbar>,
+    /// The link model covers the full geometry; a directed channel `(from, to)`
+    /// is only ever used by the shard owning `from` (requests by the sender's
+    /// shard, replies by the home's shard), so per-shard instances never race
+    /// and their byte counters sum exactly.
     links: InterUnitLink,
+    /// DRAM devices of the owned units, indexed by `unit - unit_lo`.
     drams: Vec<DramModel>,
+    /// Server-core caches of the owned units, indexed by `unit - unit_lo`.
     server_l1s: Vec<L1Cache>,
     traffic: TrafficStats,
     space: AddressSpace,
+    map: ShardMap,
+    /// One mailbox sender per peer shard; installed by [`NdpMachine::run`].
+    senders: Vec<Sender<Mail<Event>>>,
+    /// Per-owned-unit event-key counters, indexed by `unit - unit_lo`.
+    key_counters: Vec<u64>,
+    unit_lo: usize,
+    unit_hi: usize,
+    /// Unit of the event currently being dispatched; every key pushed while it
+    /// runs is drawn from this unit's counter.
+    cur_unit: usize,
+    now: Time,
     units: usize,
     cores_per_unit: usize,
 }
 
-/// Shared mutable machine state handed to the synchronization mechanism.
-struct MechCtx<'a> {
-    now: Time,
-    sub: &'a mut Substrates,
-}
+impl Substrates {
+    #[inline]
+    fn owns(&self, unit: usize) -> bool {
+        (self.unit_lo..self.unit_hi).contains(&unit)
+    }
 
-impl std::fmt::Debug for MechCtx<'_> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "MechCtx(now={})", self.now)
+    #[inline]
+    fn local(&self, unit: UnitId, what: &str) -> usize {
+        let u = unit.index();
+        assert!(
+            self.owns(u),
+            "{what} touched unit U{u}, which this shard (units U{}..U{}) does not own",
+            self.unit_lo,
+            self.unit_hi
+        );
+        u - self.unit_lo
+    }
+
+    #[inline]
+    fn xbar_at(&mut self, unit: UnitId) -> &mut Crossbar {
+        let i = self.local(unit, "a crossbar transfer");
+        &mut self.crossbars[i]
+    }
+
+    #[inline]
+    fn dram_at(&mut self, unit: UnitId) -> &mut DramModel {
+        let i = self.local(unit, "a DRAM access");
+        &mut self.drams[i]
+    }
+
+    /// Draws the next event key from the current execution unit's counter.
+    ///
+    /// Called exactly once per scheduled event *and* once per inlined step, so
+    /// the per-unit key streams evolve identically whatever the shard count and
+    /// whatever the inline-dispatch decisions.
+    #[inline]
+    fn next_key(&mut self) -> u64 {
+        let slot = &mut self.key_counters[self.cur_unit - self.unit_lo];
+        let key = event_key(self.cur_unit, *slot);
+        *slot += 1;
+        key
+    }
+
+    /// Schedules `event` at `at` on the shard owning `unit`: locally when this
+    /// shard owns it, through the mailbox fabric otherwise. The key is drawn
+    /// from the *originating* (current) unit either way, so the tiebreak order
+    /// is a property of the simulation. Routing to a unit outside the geometry
+    /// is a hard error naming the unit (see [`ShardMap::shard_of`]).
+    fn route(&mut self, at: Time, unit: usize, event: Event) {
+        let key = self.next_key();
+        if self.owns(unit) {
+            self.queue.push_keyed(at, key, event);
+        } else {
+            let dest = self.map.shard_of(unit);
+            self.senders[dest]
+                .send((at, key, event))
+                .expect("cross-shard mailbox closed while the simulation is running");
+        }
     }
 }
 
-impl SyncContext for MechCtx<'_> {
+impl SyncContext for Substrates {
     fn now(&self) -> Time {
         self.now
     }
 
-    fn schedule(&mut self, at: Time, token: u64) {
-        self.sub.queue.push(at, Event::SyncToken(token));
+    fn schedule(&mut self, at: Time, unit: UnitId, token: u64) {
+        let u = unit.index();
+        assert!(
+            self.owns(u),
+            "mechanism scheduled a token for unit U{u}, which this shard \
+             (units U{}..U{}) does not own: engine tokens must stay on the engine's shard",
+            self.unit_lo,
+            self.unit_hi
+        );
+        let key = self.next_key();
+        self.queue
+            .push_keyed(at, key, Event::SyncToken { unit, token });
     }
 
     fn schedule_stamp(&self) -> Option<u64> {
-        // The machine's queue counts every push (core steps, resumes, sync
-        // tokens), so the protocol's equal-timestamp batching can prove "no
-        // event was scheduled in between" — the condition under which merging
-        // two deliveries preserves pop order exactly.
-        Some(self.sub.queue.scheduled_total())
+        // The next key the current unit would draw. It changes on every push
+        // from this unit and advances by exactly one per `schedule` call, so
+        // the protocol's equal-timestamp batching can prove "no event was
+        // scheduled in between" — and because the key encodes the origin unit,
+        // the watermark can never be confused with another unit's pushes.
+        let counter = self.key_counters[self.cur_unit - self.unit_lo];
+        Some(event_key(self.cur_unit, counter))
     }
 
     fn local_hop(&mut self, unit: UnitId, bytes: u64) -> Time {
-        self.sub.traffic.add_intra(bytes);
-        self.sub.crossbars[unit.index()].transfer(self.now, bytes)
+        self.traffic.add_intra(bytes);
+        let now = self.now;
+        self.xbar_at(unit).transfer(now, bytes)
     }
 
-    fn remote_hop(&mut self, from: UnitId, to: UnitId, bytes: u64) -> Time {
-        self.sub.traffic.add_inter(bytes);
-        let mut lat = self.sub.crossbars[from.index()].transfer(self.now, bytes);
-        lat += self.sub.links.transfer(self.now + lat, from, to, bytes);
-        lat += self.sub.crossbars[to.index()].transfer(self.now + lat, bytes);
-        lat
+    fn send_remote(
+        &mut self,
+        at: Time,
+        from: UnitId,
+        to: UnitId,
+        bytes: u64,
+        payload: RemotePayload,
+    ) {
+        self.traffic.add_inter(bytes);
+        let mut lat = self.xbar_at(from).transfer(at, bytes);
+        lat += self.links.transfer(at + lat, from, to, bytes);
+        // The arrival is at least the link's minimum latency after `at` — the
+        // lookahead bound the window barrier relies on.
+        self.route(at + lat, to.index(), Event::RemoteSync { to, payload });
+    }
+
+    fn recv_hop(&mut self, unit: UnitId, bytes: u64) -> Time {
+        // Traffic was accounted at the send side; this is only the
+        // destination-crossbar leg of the remote message.
+        let now = self.now;
+        self.xbar_at(unit).transfer(now, bytes)
     }
 
     fn sync_mem_access(&mut self, unit: UnitId, addr: Addr, write: bool, cached: bool) -> Time {
-        let u = unit.index();
+        let u = self.local(unit, "a synchronization memory access");
         let mut lat = Time::ZERO;
         if cached {
-            let outcome = self.sub.server_l1s[u].access(addr, write);
-            lat += self.sub.server_l1s[u].hit_latency();
+            let outcome = self.server_l1s[u].access(addr, write);
+            lat += self.server_l1s[u].hit_latency();
             if outcome.is_hit() {
                 return lat;
             }
         }
         // Miss (or uncached syncronVar access): go to the unit's local DRAM through the
         // crossbar.
-        lat += self.sub.crossbars[u].transfer(self.now + lat, HDR_BYTES);
-        let done = self.sub.drams[u].access(self.now + lat, addr, write);
+        lat += self.crossbars[u].transfer(self.now + lat, HDR_BYTES);
+        let done = self.drams[u].access(self.now + lat, addr, write);
         lat = done.saturating_sub(self.now);
-        lat += self.sub.crossbars[u].transfer(self.now + lat, LINE_BYTES);
-        self.sub.traffic.add_intra(HDR_BYTES + LINE_BYTES);
+        lat += self.crossbars[u].transfer(self.now + lat, LINE_BYTES);
+        self.traffic.add_intra(HDR_BYTES + LINE_BYTES);
         lat
     }
 
     fn home_unit(&self, addr: Addr) -> UnitId {
-        self.sub.space.home_unit(addr)
+        self.space.home_unit(addr)
     }
 
     fn complete(&mut self, core: GlobalCoreId, at: Time) {
-        // The machine resolves the core's dense client index from its global identity.
-        self.sub
-            .queue
-            .push(at.max(self.now), Event::CoreResume(core));
+        let u = core.unit.index();
+        assert!(
+            self.owns(u),
+            "mechanism completed a request for core {core} of unit U{u}, which this \
+             shard (units U{}..U{}) does not own: completions must be delivered \
+             through send_remote to the core's shard",
+            self.unit_lo,
+            self.unit_hi
+        );
+        let at = at.max(self.now);
+        let key = self.next_key();
+        self.queue.push_keyed(at, key, Event::CoreResume(core));
     }
 
     fn units(&self) -> usize {
-        self.sub.units
+        self.units
     }
 
     fn cores_per_unit(&self) -> usize {
-        self.sub.cores_per_unit
+        self.cores_per_unit
     }
 }
 
-/// The simulated NDP system.
-pub struct NdpMachine {
-    config: NdpConfig,
-    clients: Vec<GlobalCoreId>,
-    client_index: ClientIndex,
-    programs: Vec<Box<dyn CoreProgram>>,
-    core_done: Vec<bool>,
-    done_count: usize,
-    last_finish: Time,
-    time: Time,
+/// One worker's worth of the machine: a contiguous unit range, its substrates,
+/// the programs and L1s of its client cores, and a full mechanism instance.
+struct Shard {
     sub: Substrates,
-    l1s: Vec<L1Cache>,
-    mesi: Option<MesiDirectory>,
     mechanism: Option<Box<dyn SyncMechanism>>,
+    /// Programs of this shard's clients, indexed by `global index - client_lo`.
+    programs: Vec<Box<dyn CoreProgram>>,
+    l1s: Vec<L1Cache>,
+    core_done: Vec<bool>,
+    /// Global core IDs of this shard's clients (same local indexing).
+    client_ids: Vec<GlobalCoreId>,
+    /// Global client index of this shard's first client.
+    client_lo: usize,
+    clients_total: usize,
+    client_index: ClientIndex,
+    /// MESI directory; present only in the single-shard configuration (the
+    /// directory is centralized, so [`shard_plan`] forces `shards == 1`).
+    mesi: Option<MesiDirectory>,
     mesi_network_pj: f64,
-    workload_name: String,
+    config: NdpConfig,
+    done_count: usize,
+    /// Programs finished since the last gate report.
+    done_round: u64,
+    /// Events delivered since the last gate report.
+    events_round: u64,
+    events_delivered: u64,
+    /// Set when one window exceeded the runaway backstop; forces an abort at
+    /// the next gate round.
+    runaway: bool,
+    last_finish: Time,
     instructions: u64,
     loads: u64,
     stores: u64,
     sync_requests: u64,
-    events_delivered: u64,
-    completed: bool,
 }
 
-impl std::fmt::Debug for NdpMachine {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "NdpMachine(workload={}, clients={}, time={})",
-            self.workload_name,
-            self.clients.len(),
-            self.time
-        )
-    }
-}
-
-impl NdpMachine {
-    /// Builds a machine for `config` running `workload`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `config` is invalid (see [`NdpConfig::validate`]; configurations
-    /// from [`NdpConfig::builder`] are always valid) or if the workload returns a
-    /// different number of programs than there are client cores.
-    pub fn new(config: &NdpConfig, workload: &dyn Workload) -> Self {
-        if let Err(e) = config.validate() {
-            panic!("{e}");
-        }
-        let mut space = AddressSpace::new(config.units);
-        let clients = config.client_cores();
-        let programs = workload.build(&mut space, config, &clients);
-        assert_eq!(
-            programs.len(),
-            clients.len(),
-            "workload must provide one program per client core"
-        );
-        let client_index = ClientIndex::new(config.units, config.cores_per_unit, &clients);
-
-        let dram_spec = DramSpec::for_tech(config.mem_tech);
-        let mesi = match config.coherence {
-            CoherenceMode::SoftwareAssisted => None,
-            CoherenceMode::MesiDirectory => Some(MesiDirectory::new(
-                config.units,
-                config.cores_per_unit,
-                config.mesi,
-            )),
-        };
-        let mechanism = build_mechanism(&config.mechanism, config.units, config.cores_per_unit);
-
-        // Pre-size for the steady state so large geometries (thousands of cores)
-        // never reallocate mid-run: every client can have a step or resume event
-        // in flight plus a few mechanism tokens each. For the calendar queue the
-        // buckets are sized so one core cycle maps to one bucket and the reserve
-        // pre-allocates the far-future overflow heap.
-        let mut queue = match config.scheduler {
-            SchedulerKind::Calendar => {
-                EventQueue::calendar(CalendarParams::for_cycle(config.core_cycle()))
+impl Shard {
+    /// The unit whose state `event` operates on (and whose key counter feeds
+    /// everything it schedules).
+    fn unit_of(&self, event: &Event) -> usize {
+        match *event {
+            Event::CoreStep(idx) | Event::DataReply { idx, .. } => {
+                self.client_ids[idx - self.client_lo].unit.index()
             }
-            SchedulerKind::Heap => EventQueue::with_scheduler(SchedulerKind::Heap),
-        };
-        queue.reserve(clients.len() * 8 + 64);
-
-        let mut machine = NdpMachine {
-            config: *config,
-            core_done: vec![false; clients.len()],
-            done_count: 0,
-            last_finish: Time::ZERO,
-            time: Time::ZERO,
-            sub: Substrates {
-                queue,
-                crossbars: (0..config.units)
-                    .map(|_| Crossbar::new(config.crossbar))
-                    .collect(),
-                links: InterUnitLink::new(config.link, config.units),
-                drams: (0..config.units)
-                    .map(|_| DramModel::new(dram_spec))
-                    .collect(),
-                server_l1s: (0..config.units).map(|_| L1Cache::new(config.l1)).collect(),
-                traffic: TrafficStats::new(),
-                space,
-                units: config.units,
-                cores_per_unit: config.cores_per_unit,
-            },
-            l1s: clients.iter().map(|_| L1Cache::new(config.l1)).collect(),
-            mesi,
-            mechanism: Some(mechanism),
-            mesi_network_pj: 0.0,
-            workload_name: workload.name(),
-            instructions: 0,
-            loads: 0,
-            stores: 0,
-            sync_requests: 0,
-            events_delivered: 0,
-            completed: false,
-            clients,
-            client_index,
-            programs,
-        };
-        for i in 0..machine.programs.len() {
-            machine.sub.queue.push(Time::ZERO, Event::CoreStep(i));
+            Event::CoreResume(core) => core.unit.index(),
+            Event::SyncToken { unit, .. } => unit.index(),
+            Event::RemoteSync { to, .. } => to.index(),
+            Event::DataReq { home, .. } => home.index(),
         }
-        machine
     }
 
-    /// Resolves a resumed core to its dense client index.
-    ///
-    /// # Panics
-    ///
-    /// Panics — naming the core — when the core is not a client of this machine
-    /// (outside the configured geometry, or a reserved server core). A resume for
-    /// such a core is always a mechanism bug; it used to be silently dropped,
-    /// which turned protocol bugs into unexplainable deadlocks.
-    fn resolve_client(&self, core: GlobalCoreId) -> usize {
-        self.client_index.get(core).unwrap_or_else(|| {
-            panic!(
-                "CoreResume for core {core}, which is not a client of this machine \
-                 ({} units x {} cores, {} clients): either the core is outside the \
-                 geometry or it is a reserved server core",
-                self.config.units,
-                self.config.cores_per_unit,
-                self.clients.len()
-            )
-        })
-    }
-
-    /// Runs the machine until every client core has finished (or the event safety
-    /// limit is reached) and returns the report.
-    pub fn run(&mut self) -> RunReport {
-        let wall_start = std::time::Instant::now();
-        'outer: while let Some((at, event)) = self.sub.queue.pop() {
-            let mut inline_budget = self.config.inline_step_budget;
-            let mut current = (at, event);
-            loop {
-                let (at, event) = current;
-                self.time = self.time.max(at);
-                self.events_delivered += 1;
-                if self.events_delivered > self.config.max_events {
-                    self.completed = false;
-                    return self.build_report(wall_start.elapsed());
+    /// Delivers one popped event, then chases the core's next steps inline
+    /// while they strictly precede every queued event (and stay inside the
+    /// window). An inlined step consumes its event key exactly as a queued one
+    /// would, so the key streams — and therefore all reports — are independent
+    /// of the inline decisions.
+    fn dispatch(&mut self, at: Time, event: Event, window_end: Time) {
+        let mut inline_budget = self.config.inline_step_budget;
+        let mut current = (at, event);
+        loop {
+            let (at, event) = current;
+            self.sub.now = self.sub.now.max(at);
+            self.events_delivered += 1;
+            self.events_round += 1;
+            self.sub.cur_unit = self.unit_of(&event);
+            let next_step: Option<(Time, usize)> = match event {
+                Event::CoreStep(idx) => self.step_core(idx - self.client_lo).map(|t| (t, idx)),
+                Event::CoreResume(core) => {
+                    let idx = resolve_client_in(&self.client_index, core, self.clients_total);
+                    let local = idx - self.client_lo;
+                    assert!(
+                        !self.core_done[local],
+                        "CoreResume for core {core}, which already finished: the \
+                         mechanism completed the same request twice"
+                    );
+                    self.step_core(local).map(|t| (t, idx))
                 }
-                let next_step = match event {
-                    Event::CoreStep(idx) => self.step_core(idx).map(|t| (t, idx)),
-                    Event::CoreResume(core) => {
-                        let idx = self.resolve_client(core);
-                        self.step_core(idx).map(|t| (t, idx))
-                    }
-                    Event::SyncToken(token) => {
-                        self.with_mechanism(|mech, ctx| mech.deliver(ctx, token));
-                        None
-                    }
-                };
-                if self.done_count == self.programs.len() {
-                    self.completed = true;
-                    break 'outer;
+                Event::SyncToken { token, .. } => {
+                    self.with_mechanism(|mech, ctx| mech.deliver(ctx, token));
+                    None
                 }
-                let Some((t, idx)) = next_step else { break };
-                // Inline dispatch: when the core's next step strictly precedes
-                // every queued event it is the unique next pop, so executing it
-                // without the queue round-trip is behaviour-preserving. The
-                // fairness budget bounds how long one pop may monopolize the loop.
-                if inline_budget > 0 && self.sub.queue.peek_time().is_none_or(|p| t < p) {
-                    inline_budget -= 1;
-                    current = (t, Event::CoreStep(idx));
-                } else {
-                    self.sub.queue.push(t, Event::CoreStep(idx));
-                    break;
+                Event::RemoteSync { payload, .. } => {
+                    self.with_mechanism(|mech, ctx| mech.deliver_remote(ctx, payload));
+                    None
                 }
+                Event::DataReq {
+                    idx,
+                    home,
+                    addr,
+                    write,
+                    rmw,
+                } => {
+                    self.serve_data_req(idx, home, addr, write, rmw);
+                    None
+                }
+                Event::DataReply { idx, rmw } => self
+                    .serve_data_reply(idx - self.client_lo, rmw)
+                    .map(|t| (t, idx)),
+            };
+            let Some((t, idx)) = next_step else { return };
+            // Inline dispatch: when the core's next step strictly precedes
+            // every queued event (and falls inside the current window) it is
+            // the unique next pop, so executing it without the queue
+            // round-trip is behaviour-preserving. The fairness budget bounds
+            // how long one pop may monopolize the loop.
+            if inline_budget > 0
+                && t < window_end
+                && self.sub.queue.peek_time().is_none_or(|p| t < p)
+            {
+                inline_budget -= 1;
+                // Consume the key the queued event would have carried, keeping
+                // the per-unit key streams identical either way.
+                let _ = self.sub.next_key();
+                current = (t, Event::CoreStep(idx));
+            } else {
+                let unit = self.client_ids[idx - self.client_lo].unit.index();
+                self.sub.route(t, unit, Event::CoreStep(idx));
+                return;
             }
         }
-        // If the queue drained without every core reporting Done, the workload
-        // deadlocked (e.g. a lock never released); report it as incomplete.
-        if self.done_count == self.programs.len() {
-            self.completed = true;
-        }
-        self.build_report(wall_start.elapsed())
     }
 
-    /// Executes one step of client `idx`. Returns the absolute time at which the
-    /// same core wants its next `CoreStep`, or `None` when the core finished,
-    /// blocked on a synchronization request, or was already done.
-    fn step_core(&mut self, idx: usize) -> Option<Time> {
-        if self.core_done[idx] {
+    /// Executes one step of the shard-local client `local`. Returns the absolute
+    /// time at which the same core wants its next `CoreStep`, or `None` when the
+    /// core finished, blocked on a synchronization request, is waiting for a
+    /// remote data reply, or was already done.
+    fn step_core(&mut self, local: usize) -> Option<Time> {
+        if self.core_done[local] {
             return None;
         }
-        let core = self.clients[idx];
-        let now = self.time;
-        let action = self.programs[idx].step(core, now);
+        let core = self.client_ids[local];
+        let now = self.sub.now;
+        let action = self.programs[local].step(core, now);
         match action {
             Action::Compute { instrs } => {
                 self.instructions += instrs;
@@ -416,19 +505,16 @@ impl NdpMachine {
             }
             Action::Load { addr } => {
                 self.loads += 1;
-                let latency = self.data_access(idx, core, addr, CoherentAccess::Read);
-                Some(now + latency)
+                self.data_access(local, core, addr, CoherentAccess::Read)
             }
             Action::Store { addr } => {
                 self.stores += 1;
-                let latency = self.data_access(idx, core, addr, CoherentAccess::Write);
-                Some(now + latency)
+                self.data_access(local, core, addr, CoherentAccess::Write)
             }
             Action::Rmw { addr } => {
                 self.loads += 1;
                 self.stores += 1;
-                let latency = self.data_access(idx, core, addr, CoherentAccess::Rmw);
-                Some(now + latency)
+                self.data_access(local, core, addr, CoherentAccess::Rmw)
             }
             Action::Sync(req) => {
                 self.sync_requests += 1;
@@ -450,109 +536,516 @@ impl NdpMachine {
                 }
             }
             Action::Done => {
-                self.core_done[idx] = true;
+                self.core_done[local] = true;
                 self.done_count += 1;
+                self.done_round += 1;
                 self.last_finish = self.last_finish.max(now);
                 None
             }
         }
     }
 
-    /// Latency of a data access by client `idx` to `addr`.
+    /// A data access by client `local` to `addr`. Returns the absolute completion
+    /// time, or `None` for a remote access whose request is now in flight to the
+    /// home unit (the eventual [`Event::DataReply`] resumes the core).
     fn data_access(
         &mut self,
-        idx: usize,
+        local: usize,
         core: GlobalCoreId,
         addr: Addr,
         kind: CoherentAccess,
-    ) -> Time {
+    ) -> Option<Time> {
         let class = self.sub.space.class_of(addr);
         let home = self.sub.space.home_unit(addr);
-        let now = self.time;
+        let now = self.sub.now;
 
         // Coherent shared read-write data under the MESI mode goes through the
-        // directory protocol (Figure 2 / Table 1 baselines only).
-        if let Some(mesi) = self.mesi.as_mut() {
-            if !class.cacheable() {
-                let out = mesi.access(now, core, addr, kind, home);
-                // Account the protocol's traffic and energy analytically: control
-                // messages are header-sized, every message moves through the crossbars
-                // (and the links when crossing units).
-                let intra_bytes = u64::from(out.intra_msgs) * 2 * HDR_BYTES;
-                let inter_bytes = u64::from(out.inter_msgs) * (HDR_BYTES + LINE_BYTES) / 2;
-                if intra_bytes > 0 {
-                    self.sub.traffic.add_intra(intra_bytes);
-                }
-                if inter_bytes > 0 {
-                    self.sub.traffic.add_inter(inter_bytes);
-                }
-                self.mesi_network_pj += intra_bytes as f64
-                    * 8.0
-                    * self.config.crossbar.pj_per_bit_hop
-                    * self.config.crossbar.hops as f64
-                    + inter_bytes as f64 * 8.0 * self.config.link.pj_per_bit;
-                for _ in 0..out.mem_accesses {
-                    self.sub.drams[home.index()].access(now, addr, kind != CoherentAccess::Read);
-                }
-                // The requester's L1 energy for the probe/fill.
-                self.l1s[idx].access(addr, kind != CoherentAccess::Read);
-                return out.latency;
+        // directory protocol (Figure 2 / Table 1 baselines only; always single-shard).
+        if let Some(mesi) = self.mesi.as_mut().filter(|_| !class.cacheable()) {
+            let out = mesi.access(now, core, addr, kind, home);
+            // Account the protocol's traffic and energy analytically: control
+            // messages are header-sized, every message moves through the crossbars
+            // (and the links when crossing units).
+            let intra_bytes = u64::from(out.intra_msgs) * 2 * HDR_BYTES;
+            let inter_bytes = u64::from(out.inter_msgs) * (HDR_BYTES + LINE_BYTES) / 2;
+            if intra_bytes > 0 {
+                self.sub.traffic.add_intra(intra_bytes);
             }
+            if inter_bytes > 0 {
+                self.sub.traffic.add_inter(inter_bytes);
+            }
+            self.mesi_network_pj += intra_bytes as f64
+                * 8.0
+                * self.config.crossbar.pj_per_bit_hop
+                * self.config.crossbar.hops as f64
+                + inter_bytes as f64 * 8.0 * self.config.link.pj_per_bit;
+            for _ in 0..out.mem_accesses {
+                self.sub
+                    .dram_at(home)
+                    .access(now, addr, kind != CoherentAccess::Read);
+            }
+            // The requester's L1 energy for the probe/fill.
+            self.l1s[local].access(addr, kind != CoherentAccess::Read);
+            return Some(now + out.latency);
         }
 
         let write = kind != CoherentAccess::Read;
         let mut lat = Time::ZERO;
         if class.cacheable() {
-            let outcome = self.l1s[idx].access(addr, write);
-            lat += self.l1s[idx].hit_latency();
+            let outcome = self.l1s[local].access(addr, write);
+            lat += self.l1s[local].hit_latency();
             if outcome.is_hit() {
-                return lat;
+                return Some(now + lat);
             }
         }
 
-        // Miss or uncacheable: fetch/update the line in the home unit's DRAM.
-        let local = core.unit == home;
-        lat += self.sub.crossbars[core.unit.index()].transfer(now + lat, HDR_BYTES);
-        if !local {
+        if core.unit == home {
+            // Miss or uncacheable, homed locally: fetch/update the line in this
+            // unit's DRAM.
+            lat += self.sub.xbar_at(core.unit).transfer(now + lat, HDR_BYTES);
+            let dram_done = self.sub.dram_at(home).access(now + lat, addr, write);
+            lat = dram_done.saturating_sub(now);
+            lat += self.sub.xbar_at(home).transfer(now + lat, LINE_BYTES);
+            self.sub.traffic.add_intra(HDR_BYTES + LINE_BYTES);
+            // An atomic RMW under software-assisted coherence performs its update at
+            // the memory side; charge one extra core cycle for the returned old
+            // value check.
+            if kind == CoherentAccess::Rmw {
+                lat += self.config.core_cycle();
+            }
+            Some(now + lat)
+        } else {
+            // Remote home: the request header crosses the local crossbar and the
+            // inter-unit link, and the rest of the access runs as events on the
+            // home unit's shard (so the home-side crossbar and DRAM contention is
+            // charged by the shard that owns them).
+            lat += self.sub.xbar_at(core.unit).transfer(now + lat, HDR_BYTES);
+            self.sub.traffic.add_inter(HDR_BYTES);
             lat += self
                 .sub
                 .links
                 .transfer(now + lat, core.unit, home, HDR_BYTES);
-            lat += self.sub.crossbars[home.index()].transfer(now + lat, HDR_BYTES);
+            self.sub.route(
+                now + lat,
+                home.index(),
+                Event::DataReq {
+                    idx: self.client_lo + local,
+                    home,
+                    addr,
+                    write,
+                    rmw: kind == CoherentAccess::Rmw,
+                },
+            );
+            None
         }
-        let dram_done = self.sub.drams[home.index()].access(now + lat, addr, write);
-        lat = dram_done.saturating_sub(now);
-        lat += self.sub.crossbars[home.index()].transfer(now + lat, LINE_BYTES);
-        if !local {
-            lat += self
-                .sub
-                .links
-                .transfer(now + lat, home, core.unit, LINE_BYTES);
-            lat += self.sub.crossbars[core.unit.index()].transfer(now + lat, LINE_BYTES);
-            self.sub.traffic.add_inter(HDR_BYTES + LINE_BYTES);
-        } else {
-            self.sub.traffic.add_intra(HDR_BYTES + LINE_BYTES);
-        }
-        // An atomic RMW under software-assisted coherence performs its update at the
-        // memory side; charge one extra core cycle for the returned old value check.
-        if kind == CoherentAccess::Rmw {
+    }
+
+    /// Home-unit half of a remote data access: crossbar, DRAM, crossbar, then the
+    /// line travels back over the link to the requester's unit.
+    fn serve_data_req(&mut self, idx: usize, home: UnitId, addr: Addr, write: bool, rmw: bool) {
+        let t = self.sub.now;
+        let mut lat = self.sub.xbar_at(home).transfer(t, HDR_BYTES);
+        let dram_done = self.sub.dram_at(home).access(t + lat, addr, write);
+        lat = dram_done.saturating_sub(t);
+        lat += self.sub.xbar_at(home).transfer(t + lat, LINE_BYTES);
+        self.sub.traffic.add_inter(LINE_BYTES);
+        let cu = UnitId((idx / self.config.clients_per_unit()) as u8);
+        lat += self.sub.links.transfer(t + lat, home, cu, LINE_BYTES);
+        self.sub
+            .route(t + lat, cu.index(), Event::DataReply { idx, rmw });
+    }
+
+    /// Requester-unit tail of a remote data access: the returning line crosses the
+    /// local crossbar (plus the RMW check cycle) and the core resumes.
+    fn serve_data_reply(&mut self, local: usize, rmw: bool) -> Option<Time> {
+        let core = self.client_ids[local];
+        let t = self.sub.now;
+        let mut lat = self.sub.xbar_at(core.unit).transfer(t, LINE_BYTES);
+        if rmw {
             lat += self.config.core_cycle();
         }
-        lat
+        Some(t + lat)
     }
 
     fn with_mechanism<R>(
         &mut self,
-        f: impl FnOnce(&mut dyn SyncMechanism, &mut MechCtx<'_>) -> R,
+        f: impl FnOnce(&mut dyn SyncMechanism, &mut dyn SyncContext) -> R,
     ) -> R {
         let mut mech = self.mechanism.take().expect("mechanism in use");
-        let mut ctx = MechCtx {
-            now: self.time,
-            sub: &mut self.sub,
-        };
-        let result = f(mech.as_mut(), &mut ctx);
+        let result = f(mech.as_mut(), &mut self.sub);
         self.mechanism = Some(mech);
         result
+    }
+
+    /// Processes every queued event strictly before `window_end`.
+    fn run_window(&mut self, window_end: Time) {
+        // One window of a healthy simulation can never outgrow the whole-run
+        // budget by much; a window that does is a livelock (events rescheduling
+        // each other without advancing time). Break out and force an abort at
+        // the gate instead of spinning forever inside the window.
+        let backstop = self.config.max_events.saturating_mul(2).max(1_000_000);
+        while let Some(t) = self.sub.queue.peek_time() {
+            if t >= window_end {
+                break;
+            }
+            let (at, event) = self.sub.queue.pop().expect("peeked event disappeared");
+            self.dispatch(at, event, window_end);
+            if self.events_round > backstop {
+                self.runaway = true;
+                break;
+            }
+        }
+    }
+
+    /// The shard's run loop: window rounds against the shared gate until the
+    /// simulation finishes or aborts. Returns `Ok(aborted)` — or, when this
+    /// shard panicked while processing a window, `Err(payload)` after keeping
+    /// the gate protocol alive long enough for every peer to stop (a worker
+    /// that just unwound would leave the others blocked on the barrier
+    /// forever).
+    fn run_rounds(
+        &mut self,
+        gate: &WindowGate,
+        rx: &Receiver<Mail<Event>>,
+    ) -> Result<bool, Box<dyn Any + Send>> {
+        // Exclusive upper bound of the previous window: no incoming message may
+        // be timestamped before it (the lookahead invariant).
+        let mut floor = Time::ZERO;
+        let mut poison: Option<Box<dyn Any + Send>> = None;
+        let mut violation: Option<String> = None;
+        loop {
+            // Phase 1: all sends of the previous window are visible after this.
+            gate.arrive();
+            while let Ok((at, key, event)) = rx.try_recv() {
+                if at < floor && violation.is_none() {
+                    // Record now, panic inside the catch region below: an unwind
+                    // between the two gate phases would deadlock the peers.
+                    violation = Some(format!(
+                        "lookahead invariant violated: shard of units U{}..U{} received \
+                         a cross-shard message timestamped {at}, before its window \
+                         floor {floor}",
+                        self.sub.unit_lo, self.sub.unit_hi
+                    ));
+                }
+                self.sub.queue.push_keyed(at, key, event);
+            }
+            let mut report = RoundReport {
+                local_min: if poison.is_some() {
+                    None
+                } else {
+                    self.sub.queue.peek_time()
+                },
+                events_delta: std::mem::take(&mut self.events_round),
+                done_delta: std::mem::take(&mut self.done_round),
+            };
+            if poison.is_some() || self.runaway {
+                // Overflow the global budget so the gate's next decision is an
+                // abort every shard observes.
+                report.events_delta = report
+                    .events_delta
+                    .saturating_add(self.config.max_events)
+                    .saturating_add(1);
+            }
+            // Phase 2: reduce all reports into one decision.
+            match gate.resolve(report) {
+                RoundDecision::Finished => {
+                    return match poison.take() {
+                        Some(p) => Err(p),
+                        None => Ok(false),
+                    }
+                }
+                RoundDecision::Aborted => {
+                    return match poison.take() {
+                        Some(p) => Err(p),
+                        None => Ok(true),
+                    }
+                }
+                RoundDecision::Continue { window_end } => {
+                    if poison.is_none() {
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            if let Some(v) = violation.take() {
+                                panic!("{v}");
+                            }
+                            self.run_window(window_end);
+                        }));
+                        if let Err(p) = outcome {
+                            poison = Some(p);
+                        }
+                    }
+                    floor = window_end;
+                }
+            }
+        }
+    }
+}
+
+/// Decides how many shards a run uses and the window lookahead.
+///
+/// The lookahead is the minimum latency of the inter-unit link (controller
+/// in/out plus wire latency, with zero serialization/contention): every
+/// cross-shard interaction — mechanism messages and remote data requests —
+/// crosses that link, so nothing sent during a window can arrive before the
+/// window's end.
+///
+/// Falls back to one shard (returning the reason) when the configuration or
+/// workload cannot honor the lookahead contract:
+/// the centralized MESI directory, the zero-latency Ideal mechanism,
+/// non-integrated overflow modes (their fallback servers bypass `send_remote`),
+/// workloads sharing program state outside simulated synchronization
+/// ([`Workload::shard_safe`]), and zero-latency links.
+fn shard_plan(config: &NdpConfig, shard_safe: bool) -> (usize, Time, Option<&'static str>) {
+    let controller = config
+        .link
+        .clock
+        .cycles_to_ps(config.link.controller_cycles);
+    let lookahead = Time::from_ps(
+        config
+            .link
+            .transfer_latency
+            .as_ps()
+            .saturating_add(controller.as_ps().saturating_mul(2)),
+    );
+    let requested = config.sim_threads.min(config.units).max(1);
+    if requested <= 1 {
+        return (1, lookahead, None);
+    }
+    let reason = if config.coherence == CoherenceMode::MesiDirectory {
+        Some("the MESI directory is centralized state shards cannot partition")
+    } else if config.mechanism.kind == MechanismKind::Ideal {
+        Some("the Ideal mechanism completes cross-unit requests with zero latency, below any lookahead")
+    } else if config.mechanism.overflow_mode != OverflowMode::Integrated {
+        Some("non-integrated overflow modes serialize through a central fallback path")
+    } else if !shard_safe {
+        Some("the workload shares program state outside simulated synchronization")
+    } else if lookahead == Time::ZERO {
+        Some("the inter-unit link has zero minimum latency, leaving no lookahead window")
+    } else {
+        None
+    };
+    match reason {
+        Some(r) => (1, lookahead, Some(r)),
+        None => (requested, lookahead, None),
+    }
+}
+
+/// The simulated NDP system.
+pub struct NdpMachine {
+    config: NdpConfig,
+    clients: Vec<GlobalCoreId>,
+    /// Pristine copy of the per-shard resolution tables (test hook).
+    #[cfg_attr(not(test), allow(dead_code))]
+    client_index: ClientIndex,
+    map: ShardMap,
+    lookahead: Time,
+    fallback: Option<&'static str>,
+    shards: Vec<Shard>,
+    workload_name: String,
+    completed: bool,
+}
+
+impl std::fmt::Debug for NdpMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "NdpMachine(workload={}, clients={}, shards={}, time={})",
+            self.workload_name,
+            self.clients.len(),
+            self.shards.len(),
+            self.now()
+        )
+    }
+}
+
+impl NdpMachine {
+    /// Builds a machine for `config` running `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`NdpConfig::validate`]; configurations
+    /// from [`NdpConfig::builder`] are always valid) or if the workload returns a
+    /// different number of programs than there are client cores.
+    pub fn new(config: &NdpConfig, workload: &dyn Workload) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
+        let mut space = AddressSpace::new(config.units);
+        let clients = config.client_cores();
+        let mut programs = workload.build(&mut space, config, &clients);
+        assert_eq!(
+            programs.len(),
+            clients.len(),
+            "workload must provide one program per client core"
+        );
+        let client_index = ClientIndex::new(config.units, config.cores_per_unit, &clients);
+        let (shard_count, lookahead, fallback) = shard_plan(config, workload.shard_safe());
+        let map = ShardMap::new(config.units, shard_count);
+
+        let dram_spec = DramSpec::for_tech(config.mem_tech);
+        let per_unit = config.clients_per_unit();
+        let mut programs = programs.drain(..);
+        let mut shards = Vec::with_capacity(map.shards());
+        for s in 0..map.shards() {
+            let range = map.range(s);
+            let owned = range.len();
+            let client_lo = range.start * per_unit;
+            let chunk: Vec<Box<dyn CoreProgram>> =
+                programs.by_ref().take(owned * per_unit).collect();
+            let client_ids = clients[client_lo..client_lo + chunk.len()].to_vec();
+            let mesi = match config.coherence {
+                CoherenceMode::SoftwareAssisted => None,
+                // shard_plan forces a single shard for the MESI mode.
+                CoherenceMode::MesiDirectory => Some(MesiDirectory::new(
+                    config.units,
+                    config.cores_per_unit,
+                    config.mesi,
+                )),
+            };
+            // Pre-size for the steady state so large geometries (thousands of
+            // cores) never reallocate mid-run: every client can have a step or
+            // resume event in flight plus a few mechanism tokens each. For the
+            // calendar queue the buckets are sized so one core cycle maps to one
+            // bucket and the reserve pre-allocates the far-future overflow heap.
+            let mut queue = match config.scheduler {
+                SchedulerKind::Calendar => {
+                    EventQueue::calendar(CalendarParams::for_cycle(config.core_cycle()))
+                }
+                SchedulerKind::Heap => EventQueue::with_scheduler(SchedulerKind::Heap),
+            };
+            queue.reserve(chunk.len() * 8 + 64);
+            shards.push(Shard {
+                sub: Substrates {
+                    queue,
+                    crossbars: (0..owned).map(|_| Crossbar::new(config.crossbar)).collect(),
+                    links: InterUnitLink::new(config.link, config.units),
+                    drams: (0..owned).map(|_| DramModel::new(dram_spec)).collect(),
+                    server_l1s: (0..owned).map(|_| L1Cache::new(config.l1)).collect(),
+                    traffic: TrafficStats::new(),
+                    space: space.clone(),
+                    map: map.clone(),
+                    senders: Vec::new(),
+                    key_counters: vec![0; owned],
+                    unit_lo: range.start,
+                    unit_hi: range.end,
+                    cur_unit: range.start,
+                    now: Time::ZERO,
+                    units: config.units,
+                    cores_per_unit: config.cores_per_unit,
+                },
+                mechanism: Some(build_mechanism(
+                    &config.mechanism,
+                    config.units,
+                    config.cores_per_unit,
+                )),
+                l1s: client_ids.iter().map(|_| L1Cache::new(config.l1)).collect(),
+                core_done: vec![false; chunk.len()],
+                programs: chunk,
+                client_ids,
+                client_lo,
+                clients_total: clients.len(),
+                client_index: client_index.clone(),
+                mesi,
+                mesi_network_pj: 0.0,
+                config: *config,
+                done_count: 0,
+                done_round: 0,
+                events_round: 0,
+                events_delivered: 0,
+                runaway: false,
+                last_finish: Time::ZERO,
+                instructions: 0,
+                loads: 0,
+                stores: 0,
+                sync_requests: 0,
+            });
+        }
+        // Seed the initial steps in global client order so every core's first
+        // event carries its unit's first keys, identically under any sharding.
+        for (i, core) in clients.iter().enumerate() {
+            let shard = &mut shards[map.shard_of(core.unit.index())];
+            shard.sub.cur_unit = core.unit.index();
+            let key = shard.sub.next_key();
+            shard
+                .sub
+                .queue
+                .push_keyed(Time::ZERO, key, Event::CoreStep(i));
+        }
+        NdpMachine {
+            config: *config,
+            clients,
+            client_index,
+            map,
+            lookahead,
+            fallback,
+            shards,
+            workload_name: workload.name(),
+            completed: false,
+        }
+    }
+
+    /// Resolves a resumed core to its dense client index (test hook; the run
+    /// loop resolves through the owning shard's copy of the same table).
+    #[cfg(test)]
+    fn resolve_client(&self, core: GlobalCoreId) -> usize {
+        resolve_client_in(&self.client_index, core, self.clients.len())
+    }
+
+    /// Runs the machine until every client core has finished (or the event safety
+    /// limit is reached) and returns the report.
+    pub fn run(&mut self) -> RunReport {
+        let wall_start = std::time::Instant::now();
+        let parties = self.shards.len();
+        // A single shard needs no cross-shard safety margin, so a zero lookahead
+        // (zero-latency link) only has to be widened enough for windows to make
+        // progress; multi-shard runs keep the exact lookahead so the window
+        // sequence is identical to a single-shard run of the same configuration.
+        let stride = if parties == 1 {
+            self.lookahead.max(Time::from_ps(1))
+        } else {
+            self.lookahead
+        };
+        let gate = WindowGate::new(parties, stride, self.config.max_events);
+        let (txs, mut rxs) = mailboxes::<Event>(parties);
+        for (shard, row) in self.shards.iter_mut().zip(txs) {
+            shard.sub.senders = row;
+        }
+        let mut aborted = false;
+        if parties == 1 {
+            let rx = rxs.pop().expect("one mailbox per shard");
+            match self.shards[0].run_rounds(&gate, &rx) {
+                Ok(a) => aborted = a,
+                Err(p) => resume_unwind(p),
+            }
+        } else {
+            let gate = &gate;
+            let outcomes: Vec<Result<bool, Box<dyn Any + Send>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(rxs.drain(..))
+                    .map(|(shard, rx)| scope.spawn(move || shard.run_rounds(gate, &rx)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .expect("shard worker panicked outside its catch region")
+                    })
+                    .collect()
+            });
+            for outcome in outcomes {
+                match outcome {
+                    Ok(a) => aborted |= a,
+                    Err(p) => resume_unwind(p),
+                }
+            }
+        }
+        // Disconnect the mailbox fabric; a fresh one is built per run.
+        for shard in &mut self.shards {
+            shard.sub.senders = Vec::new();
+        }
+        let done: usize = self.shards.iter().map(|s| s.done_count).sum();
+        self.completed = !aborted && done == self.clients.len();
+        self.build_report(wall_start.elapsed())
     }
 
     /// The configuration this machine runs.
@@ -560,53 +1053,145 @@ impl NdpMachine {
         &self.config
     }
 
-    /// Current simulation time.
+    /// Current simulation time (the furthest shard's clock).
     pub fn now(&self) -> Time {
-        self.time
+        self.shards
+            .iter()
+            .map(|s| s.sub.now)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Number of shards this machine executes with (`1` = sequential).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Why a `sim_threads > 1` request fell back to sequential execution, if it
+    /// did. `None` when sharding is active or was never requested.
+    pub fn sequential_fallback(&self) -> Option<&'static str> {
+        self.fallback
+    }
+
+    /// The conservative-PDES lookahead derived from the inter-unit link.
+    pub fn lookahead(&self) -> Time {
+        self.lookahead
     }
 
     fn build_report(&mut self, wall: std::time::Duration) -> RunReport {
-        let end = if self.last_finish > Time::ZERO {
-            self.last_finish
+        let last_finish = self
+            .shards
+            .iter()
+            .map(|s| s.last_finish)
+            .max()
+            .unwrap_or(Time::ZERO);
+        let end = if last_finish > Time::ZERO {
+            last_finish
         } else {
-            self.time
+            self.now()
         };
+        // All floating-point merges below run in a fixed global order (client
+        // L1s, then server L1s, then per-unit devices, shard by shard — which
+        // is exactly global unit order, since shards own contiguous ranges), so
+        // the sums associate identically whatever the shard count.
         let mut energy = EnergyTally::new();
         let mut l1_hits = 0u64;
         let mut l1_accesses = 0u64;
-        for l1 in self.l1s.iter().chain(self.sub.server_l1s.iter()) {
+        for l1 in self
+            .shards
+            .iter()
+            .flat_map(|s| s.l1s.iter())
+            .chain(self.shards.iter().flat_map(|s| s.sub.server_l1s.iter()))
+        {
             energy.add_cache(l1.energy_pj());
             l1_hits += l1.stats().hits.get();
             l1_accesses += l1.stats().accesses();
         }
         let mut dram_accesses = 0u64;
-        for dram in &self.sub.drams {
+        for dram in self.shards.iter().flat_map(|s| s.sub.drams.iter()) {
             energy.add_memory(dram.energy_pj());
             dram_accesses += dram.stats().total_accesses();
         }
-        for xbar in &self.sub.crossbars {
+        for xbar in self.shards.iter().flat_map(|s| s.sub.crossbars.iter()) {
             energy.add_network(xbar.energy_pj());
         }
-        energy.add_network(self.sub.links.energy_pj());
-        energy.add_network(self.mesi_network_pj);
+        // Link energy is a pure function of the byte count, so summing the
+        // per-shard counters first and converting once is exact.
+        let link_bytes: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.sub.links.stats().bytes.get())
+            .sum();
+        energy.add_network(self.config.link.energy_pj_of_bytes(link_bytes));
+        energy.add_network(self.shards.iter().map(|s| s.mesi_network_pj).sum());
 
-        let total_ops: u64 = self.programs.iter().map(|p| p.ops_completed()).sum();
+        let total_ops: u64 = self
+            .shards
+            .iter()
+            .flat_map(|s| s.programs.iter())
+            .map(|p| p.ops_completed())
+            .sum();
         // Open-loop workloads expose per-core latency histograms; merge them into
         // one machine-wide tail-latency summary. Closed-loop programs expose none
         // and the report keeps `latency: None`.
         let mut latency_hist = syncron_sim::stats::LogHistogram::new();
-        for program in &self.programs {
+        for program in self.shards.iter().flat_map(|s| s.programs.iter()) {
             if let Some(hist) = program.latency_histogram() {
                 latency_hist.merge(hist);
             }
         }
         let latency = crate::report::LatencyReport::from_histogram(&latency_hist);
-        let sync = self
-            .mechanism
-            .as_ref()
-            .map(|m| m.stats(end))
-            .unwrap_or_default();
-        let mechanism_name = self
+
+        let mut traffic = TrafficStats::new();
+        let mut sync = SyncMechanismStats::default();
+        for shard in &self.shards {
+            traffic.merge(&shard.sub.traffic);
+            if let Some(m) = shard.mechanism.as_ref() {
+                let s = m.stats(end);
+                sync.requests += s.requests;
+                sync.completions += s.completions;
+                sync.local_messages += s.local_messages;
+                sync.global_messages += s.global_messages;
+                sync.overflow_messages += s.overflow_messages;
+                sync.mem_accesses += s.mem_accesses;
+                sync.overflowed_requests += s.overflowed_requests;
+                sync.acquire_requests += s.acquire_requests;
+                sync.delivered_signals += s.delivered_signals;
+                sync.coalesced_signals += s.coalesced_signals;
+                sync.consumed_signals += s.consumed_signals;
+                sync.signal_nacks += s.signal_nacks;
+                sync.max_pending_signals = sync.max_pending_signals.max(s.max_pending_signals);
+            }
+        }
+        // ST occupancy is recomputed from per-unit values in global unit order
+        // (each asked of the shard owning the unit), so the f64 reduction
+        // associates exactly as in a single-shard run. Mechanisms without
+        // per-unit tables (server-based schemes, ideal) answer `None` for every
+        // unit; their whole-run stats carry the (uniform) values instead.
+        let mut any_unit = false;
+        let mut occ_sum = 0.0f64;
+        let mut occ_max = 0.0f64;
+        for unit in 0..self.config.units {
+            let shard = &self.shards[self.map.shard_of(unit)];
+            if let Some((avg, max)) = shard
+                .mechanism
+                .as_ref()
+                .and_then(|m| m.st_unit_occupancy(end, unit))
+            {
+                any_unit = true;
+                occ_sum += avg;
+                occ_max = occ_max.max(max);
+            }
+        }
+        if any_unit {
+            sync.st_avg_occupancy = occ_sum / self.config.units as f64;
+            sync.st_max_occupancy = occ_max;
+        } else if let Some(m) = self.shards[0].mechanism.as_ref() {
+            let s = m.stats(end);
+            sync.st_avg_occupancy = s.st_avg_occupancy;
+            sync.st_max_occupancy = s.st_max_occupancy;
+        }
+        let mechanism_name = self.shards[0]
             .mechanism
             .as_ref()
             .map(|m| m.name().to_string())
@@ -618,12 +1203,12 @@ impl NdpMachine {
             sim_time: end,
             completed: self.completed,
             total_ops,
-            instructions: self.instructions,
-            loads: self.loads,
-            stores: self.stores,
-            sync_requests: self.sync_requests,
+            instructions: self.shards.iter().map(|s| s.instructions).sum(),
+            loads: self.shards.iter().map(|s| s.loads).sum(),
+            stores: self.shards.iter().map(|s| s.stores).sum(),
+            sync_requests: self.shards.iter().map(|s| s.sync_requests).sum(),
             energy,
-            traffic: self.sub.traffic,
+            traffic,
             sync,
             dram_accesses,
             l1_hit_ratio: if l1_accesses == 0 {
@@ -634,7 +1219,8 @@ impl NdpMachine {
             latency,
             perf: SimPerf {
                 wall_seconds: wall.as_secs_f64(),
-                events_delivered: self.events_delivered,
+                events_delivered: self.shards.iter().map(|s| s.events_delivered).sum(),
+                shards: self.shards.len(),
             },
         }
     }
@@ -723,6 +1309,11 @@ mod tests {
                 })
                 .collect()
         }
+
+        fn shard_safe(&self) -> bool {
+            // Programs share nothing outside the simulated lock.
+            true
+        }
     }
 
     /// All cores synchronize on a global barrier a few times.
@@ -784,6 +1375,10 @@ mod tests {
                     }) as Box<dyn CoreProgram>
                 })
                 .collect()
+        }
+
+        fn shard_safe(&self) -> bool {
+            true
         }
     }
 
@@ -902,6 +1497,208 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn sharded_runs_match_sequential_bit_for_bit() {
+        // The tentpole contract: a sharded run reproduces the sequential report
+        // bit for bit (everything except wall-clock perf), for every mechanism
+        // that shards, every shard count, and both workload shapes.
+        for kind in [
+            MechanismKind::Central,
+            MechanismKind::Hier,
+            MechanismKind::SynCron,
+            MechanismKind::SynCronFlat,
+        ] {
+            let base = NdpConfig::builder()
+                .units(4)
+                .cores_per_unit(4)
+                .mechanism(kind)
+                .build()
+                .unwrap();
+            let counter = CounterWorkload { iterations: 6 };
+            let barrier = BarrierWorkload { rounds: 3 };
+            let ref_counter = run_workload(&base, &counter);
+            let ref_barrier = run_workload(&base, &barrier);
+            for threads in [2usize, 3, 4, 8] {
+                let mut cfg = base;
+                cfg.sim_threads = threads;
+                let mut machine = NdpMachine::new(&cfg, &counter);
+                assert_eq!(machine.shard_count(), threads.min(4), "{kind:?}");
+                assert_eq!(machine.sequential_fallback(), None, "{kind:?}");
+                let report = machine.run();
+                if let Some(field) = ref_counter.divergence_from(&report) {
+                    panic!("{kind:?} counter with {threads} shards diverged: {field}");
+                }
+                let report = run_workload(&cfg, &barrier);
+                if let Some(field) = ref_barrier.divergence_from(&report) {
+                    panic!("{kind:?} barrier with {threads} shards diverged: {field}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_deterministic_across_runs() {
+        let mut cfg = NdpConfig::builder()
+            .units(4)
+            .cores_per_unit(4)
+            .build()
+            .unwrap();
+        cfg.sim_threads = 4;
+        let a = run_workload(&cfg, &CounterWorkload { iterations: 8 });
+        let b = run_workload(&cfg, &CounterWorkload { iterations: 8 });
+        if let Some(field) = a.divergence_from(&b) {
+            panic!("two identical sharded runs diverged: {field}");
+        }
+    }
+
+    #[test]
+    fn shard_fallbacks_are_sequential() {
+        let counter = CounterWorkload { iterations: 2 };
+
+        // The Ideal mechanism has no lookahead.
+        let cfg = NdpConfig::builder()
+            .units(4)
+            .cores_per_unit(4)
+            .mechanism(MechanismKind::Ideal)
+            .sim_threads(4)
+            .build()
+            .unwrap();
+        let m = NdpMachine::new(&cfg, &counter);
+        assert_eq!(m.shard_count(), 1);
+        assert!(m.sequential_fallback().unwrap().contains("Ideal"));
+
+        // Workloads keep the shard-unsafe default unless they opt in.
+        struct UnsafeCounter(CounterWorkload);
+        impl Workload for UnsafeCounter {
+            fn name(&self) -> String {
+                self.0.name()
+            }
+            fn build(
+                &self,
+                space: &mut AddressSpace,
+                config: &NdpConfig,
+                clients: &[GlobalCoreId],
+            ) -> Vec<Box<dyn CoreProgram>> {
+                self.0.build(space, config, clients)
+            }
+            // shard_safe stays at the false default.
+        }
+        let cfg = NdpConfig::builder()
+            .units(4)
+            .cores_per_unit(4)
+            .sim_threads(4)
+            .build()
+            .unwrap();
+        let m = NdpMachine::new(&cfg, &UnsafeCounter(CounterWorkload { iterations: 2 }));
+        assert_eq!(m.shard_count(), 1);
+        assert!(m
+            .sequential_fallback()
+            .unwrap()
+            .contains("outside simulated synchronization"));
+
+        // The MESI directory is centralized.
+        let cfg = NdpConfig::builder()
+            .units(4)
+            .cores_per_unit(4)
+            .coherence(CoherenceMode::MesiDirectory)
+            .mechanism(MechanismKind::Ideal)
+            .reserve_server_core(false)
+            .sim_threads(4)
+            .build()
+            .unwrap();
+        let m = NdpMachine::new(&cfg, &counter);
+        assert_eq!(m.shard_count(), 1);
+        assert!(m.sequential_fallback().unwrap().contains("MESI"));
+
+        // A zero-latency link leaves no lookahead.
+        let mut cfg = NdpConfig::builder()
+            .units(4)
+            .cores_per_unit(4)
+            .sim_threads(4)
+            .build()
+            .unwrap();
+        cfg.link.transfer_latency = Time::ZERO;
+        cfg.link.controller_cycles = 0;
+        let m = NdpMachine::new(&cfg, &counter);
+        assert_eq!(m.shard_count(), 1);
+        assert_eq!(m.lookahead(), Time::ZERO);
+        assert!(m.sequential_fallback().unwrap().contains("lookahead"));
+        // The zero-lookahead sequential run still completes (windows are
+        // widened to the minimum stride).
+        let report = run_workload(&cfg, &counter);
+        assert!(report.completed);
+
+        // One unit cannot shard; that is not a "fallback", just the geometry.
+        let cfg = NdpConfig::builder()
+            .units(1)
+            .cores_per_unit(4)
+            .sim_threads(8)
+            .build()
+            .unwrap();
+        let m = NdpMachine::new(&cfg, &counter);
+        assert_eq!(m.shard_count(), 1);
+        assert_eq!(m.sequential_fallback(), None);
+    }
+
+    #[test]
+    fn tokens_for_foreign_units_are_hard_errors() {
+        let cfg = NdpConfig::builder()
+            .units(2)
+            .cores_per_unit(4)
+            .sim_threads(2)
+            .build()
+            .unwrap();
+        let mut machine = NdpMachine::new(&cfg, &CounterWorkload { iterations: 1 });
+        assert_eq!(machine.shard_count(), 2);
+        let shard = &mut machine.shards[0];
+        // A token for a unit owned by the peer shard names the unit and range.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            shard.sub.schedule(Time::from_ns(1), UnitId(1), 0);
+        }))
+        .unwrap_err();
+        let msg = *err.downcast::<String>().unwrap();
+        assert!(msg.contains("U1"), "panic must name the unit: {msg}");
+        assert!(
+            msg.contains("U0..U1"),
+            "panic must name the owned range: {msg}"
+        );
+        // A unit outside the geometry is equally fatal.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            shard.sub.schedule(Time::from_ns(1), UnitId(7), 0);
+        }))
+        .unwrap_err();
+        let msg = *err.downcast::<String>().unwrap();
+        assert!(msg.contains("U7"), "panic must name the unit: {msg}");
+        // And a message routed to a unit no shard owns panics in the shard map.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            machine.map.shard_of(9);
+        }))
+        .unwrap_err();
+        let msg = *err.downcast::<String>().unwrap();
+        assert!(msg.contains("U9"), "panic must name the unit: {msg}");
+    }
+
+    #[test]
+    fn duplicate_completion_is_a_hard_error() {
+        let mut machine = NdpMachine::new(
+            &small_config(MechanismKind::SynCron),
+            &CounterWorkload { iterations: 1 },
+        );
+        let shard = &mut machine.shards[0];
+        shard.core_done[0] = true;
+        shard.done_count = 1;
+        let core = shard.client_ids[0];
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            shard.dispatch(Time::ZERO, Event::CoreResume(core), Time::from_ns(1_000));
+        }))
+        .unwrap_err();
+        let msg = *err.downcast::<String>().unwrap();
+        assert!(
+            msg.contains("already finished") && msg.contains("twice"),
+            "panic must explain the double completion: {msg}"
+        );
     }
 
     #[test]

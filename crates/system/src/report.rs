@@ -27,6 +27,10 @@ pub struct SimPerf {
     /// Events the run loop delivered, including inline-dispatched core steps and
     /// the deliveries of a truncated (`completed = false`) run.
     pub events_delivered: u64,
+    /// Shards the run actually executed with (`1` = sequential, which includes
+    /// every sequential fallback of a `sim_threads > 1` request). Host-side
+    /// like the rest of [`SimPerf`]: the simulated result never depends on it.
+    pub shards: usize,
 }
 
 impl SimPerf {
@@ -341,6 +345,7 @@ mod tests {
         let perf = SimPerf {
             wall_seconds: 0.5,
             events_delivered: 1_000_000,
+            shards: 1,
         };
         assert!((perf.events_per_sec() - 2_000_000.0).abs() < 1e-6);
         assert_eq!(SimPerf::default().events_per_sec(), 0.0);
@@ -354,6 +359,7 @@ mod tests {
         b.perf = SimPerf {
             wall_seconds: 3.5,
             events_delivered: 42,
+            shards: 8,
         };
         assert!(a.same_simulation(&b));
         assert_eq!(a.divergence_from(&b), None);

@@ -4,9 +4,9 @@
 //! queue, each end of it) with a single lock, so all cores contend for one or two
 //! synchronization variables — the *high-contention* group of Figure 11.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use crate::datastructures::{DsConfig, NodePool};
 use crate::script::{build, OpGenerator, ScriptProgram};
@@ -40,7 +40,7 @@ struct StackGen {
     lock: Addr,
     top_addr: Addr,
     pool: NodePool,
-    shared: Rc<RefCell<StackShared>>,
+    shared: Arc<Mutex<StackShared>>,
     remaining: u32,
 }
 
@@ -50,7 +50,7 @@ impl OpGenerator for StackGen {
             return false;
         }
         self.remaining -= 1;
-        let mut shared = self.shared.borrow_mut();
+        let mut shared = self.shared.lock().expect("workload state poisoned");
         shared.top += 1;
         let node = self.pool.node(shared.top);
         build::compute(script, self.cfg.think_instrs);
@@ -81,7 +81,7 @@ impl Workload for Stack {
             self.config.initial_size + clients.len() * self.config.ops_per_core as usize,
             false,
         );
-        let shared = Rc::new(RefCell::new(StackShared {
+        let shared = Arc::new(Mutex::new(StackShared {
             top: self.config.initial_size as u64,
         }));
         clients
@@ -92,7 +92,7 @@ impl Workload for Stack {
                     lock,
                     top_addr,
                     pool: pool.clone(),
-                    shared: Rc::clone(&shared),
+                    shared: Arc::clone(&shared),
                     remaining: self.config.ops_per_core,
                 })) as Box<dyn CoreProgram>
             })
@@ -125,7 +125,7 @@ struct QueueGen {
     head_lock: Addr,
     head_addr: Addr,
     pool: NodePool,
-    shared: Rc<RefCell<QueueShared>>,
+    shared: Arc<Mutex<QueueShared>>,
     remaining: u32,
 }
 
@@ -135,7 +135,7 @@ impl OpGenerator for QueueGen {
             return false;
         }
         self.remaining -= 1;
-        let mut shared = self.shared.borrow_mut();
+        let mut shared = self.shared.lock().expect("workload state poisoned");
         let node = self.pool.node(shared.head);
         shared.head += 1;
         let next = self.pool.node(shared.head);
@@ -172,7 +172,7 @@ impl Workload for Queue {
             self.config.initial_size + clients.len() * self.config.ops_per_core as usize + 1,
             false,
         );
-        let shared = Rc::new(RefCell::new(QueueShared { head: 0 }));
+        let shared = Arc::new(Mutex::new(QueueShared { head: 0 }));
         clients
             .iter()
             .map(|_| {
@@ -181,7 +181,7 @@ impl Workload for Queue {
                     head_lock,
                     head_addr,
                     pool: pool.clone(),
-                    shared: Rc::clone(&shared),
+                    shared: Arc::clone(&shared),
                     remaining: self.config.ops_per_core,
                 })) as Box<dyn CoreProgram>
             })
@@ -281,7 +281,7 @@ struct PqGen {
     lock: Addr,
     size_addr: Addr,
     pool: NodePool,
-    shared: Rc<RefCell<PqShared>>,
+    shared: Arc<Mutex<PqShared>>,
     remaining: u32,
 }
 
@@ -291,7 +291,7 @@ impl OpGenerator for PqGen {
             return false;
         }
         self.remaining -= 1;
-        let mut shared = self.shared.borrow_mut();
+        let mut shared = self.shared.lock().expect("workload state poisoned");
         let size = shared.size.max(2);
         shared.size = shared.size.saturating_sub(1).max(2);
         build::compute(script, self.cfg.think_instrs);
@@ -329,7 +329,7 @@ impl Workload for PriorityQueue {
         let lock = space.allocate_shared_rw(64, UnitId(0));
         let size_addr = space.allocate_shared_rw(64, UnitId(0));
         let pool = NodePool::allocate(space, self.config.initial_size.max(4), false);
-        let shared = Rc::new(RefCell::new(PqShared {
+        let shared = Arc::new(Mutex::new(PqShared {
             size: self.config.initial_size as u64,
         }));
         clients
@@ -340,7 +340,7 @@ impl Workload for PriorityQueue {
                     lock,
                     size_addr,
                     pool: pool.clone(),
-                    shared: Rc::clone(&shared),
+                    shared: Arc::clone(&shared),
                     remaining: self.config.ops_per_core,
                 })) as Box<dyn CoreProgram>
             })

@@ -7,9 +7,9 @@
 //! contention), and iterations are separated by **global barriers** — exactly the
 //! pattern the paper's real-application evaluation (Figures 12–15) exercises.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use crate::graph::{partition_greedy, partition_striped, Graph, GraphInput};
 use syncron_core::request::{BarrierScope, SyncRequest};
@@ -272,8 +272,8 @@ impl VertexLayout {
 }
 
 struct GraphProgram {
-    state: Rc<RefCell<AlgoState>>,
-    layout: Rc<VertexLayout>,
+    state: Arc<Mutex<AlgoState>>,
+    layout: Arc<VertexLayout>,
     my_vertices: Vec<u32>,
     barrier: Addr,
     participants: u32,
@@ -288,7 +288,7 @@ struct GraphProgram {
 impl GraphProgram {
     /// Emits the actions of iteration `self.iteration` for this core's vertices.
     fn generate_iteration(&mut self) {
-        let mut state = self.state.borrow_mut();
+        let mut state = self.state.lock().expect("workload state poisoned");
         state.prepare(self.iteration);
         if state.finished && state.frontier.is_empty() {
             // Nothing left to push; the cores still meet at the final barrier.
@@ -430,10 +430,17 @@ impl CoreProgram for GraphProgram {
                 self.at_barrier = false;
                 self.iteration += 1;
                 let finished = {
-                    let state = self.state.borrow();
+                    let state = self.state.lock().expect("workload state poisoned");
                     state.finished && state.prepared_iteration < self.iteration
                 };
-                if finished || self.iteration > self.state.borrow().max_iterations {
+                if finished
+                    || self.iteration
+                        > self
+                            .state
+                            .lock()
+                            .expect("workload state poisoned")
+                            .max_iterations
+                {
                     self.done = true;
                     return Action::Done;
                 }
@@ -490,14 +497,14 @@ impl Workload for GraphApp {
         );
         let barrier = space.allocate_shared_rw(64, UnitId(0));
 
-        let layout = Rc::new(VertexLayout {
+        let layout = Arc::new(VertexLayout {
             assignment: assignment.clone(),
             local_index,
             out_parts,
             lock_parts,
             adj_parts,
         });
-        let state = Rc::new(RefCell::new(AlgoState::new(graph, self.algo, config.seed)));
+        let state = Arc::new(Mutex::new(AlgoState::new(graph, self.algo, config.seed)));
 
         // Distribute each unit's vertices round-robin over that unit's client cores.
         let clients_of_unit = |unit: usize| -> Vec<usize> {
@@ -515,7 +522,12 @@ impl Workload for GraphApp {
                 continue;
             }
             let mut next = 0usize;
-            for v in 0..state.borrow().graph.vertices as u32 {
+            for v in 0..state
+                .lock()
+                .expect("workload state poisoned")
+                .graph
+                .vertices as u32
+            {
                 if assignment[v as usize] as usize == unit {
                     my_vertices[owners[next % owners.len()]].push(v);
                     next += 1;
@@ -528,8 +540,8 @@ impl Workload for GraphApp {
             .enumerate()
             .map(|(i, _)| {
                 Box::new(GraphProgram {
-                    state: Rc::clone(&state),
-                    layout: Rc::clone(&layout),
+                    state: Arc::clone(&state),
+                    layout: Arc::clone(&layout),
                     my_vertices: std::mem::take(&mut my_vertices[i]),
                     barrier,
                     participants: clients.len() as u32,

@@ -7,8 +7,8 @@
 //! instructions between two synchronization points; these workloads expose that as the
 //! `interval` parameter.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use syncron_core::request::{BarrierScope, SyncRequest};
 use syncron_sim::time::Time;
@@ -114,6 +114,12 @@ impl CoreProgram for LockProgram {
 }
 
 impl Workload for LockMicrobench {
+    fn shard_safe(&self) -> bool {
+        // Programs keep all state private; cores interact only through
+        // simulated synchronization.
+        true
+    }
+
     fn name(&self) -> String {
         format!("lock-micro.i{}", self.interval)
     }
@@ -202,6 +208,12 @@ impl CoreProgram for BarrierProgram {
 }
 
 impl Workload for BarrierMicrobench {
+    fn shard_safe(&self) -> bool {
+        // Programs keep all state private; cores interact only through
+        // simulated synchronization.
+        true
+    }
+
     fn name(&self) -> String {
         format!("barrier-micro.i{}", self.interval)
     }
@@ -293,6 +305,12 @@ impl CoreProgram for SemProgram {
 }
 
 impl Workload for SemaphoreMicrobench {
+    fn shard_safe(&self) -> bool {
+        // Programs keep all state private; cores interact only through
+        // simulated synchronization.
+        true
+    }
+
     fn name(&self) -> String {
         format!("semaphore-micro.i{}", self.interval)
     }
@@ -354,7 +372,7 @@ struct CondWaiterProgram {
     interval: u64,
     remaining: u32,
     phase: u8,
-    pending_waits: Rc<Cell<u64>>,
+    pending_waits: Arc<AtomicU64>,
     ops: u64,
 }
 
@@ -385,8 +403,10 @@ impl CoreProgram for CondWaiterProgram {
                 self.phase = 0;
                 self.remaining -= 1;
                 self.ops += 1;
-                self.pending_waits
-                    .set(self.pending_waits.get().saturating_sub(1));
+                self.pending_waits.store(
+                    self.pending_waits.load(Ordering::Relaxed).saturating_sub(1),
+                    Ordering::Relaxed,
+                );
                 Action::Sync(SyncRequest::LockRelease { var: self.lock })
             }
         }
@@ -413,13 +433,13 @@ struct CondSignalerProgram {
     cond: Addr,
     interval: u64,
     compute_next: bool,
-    pending_waits: Rc<Cell<u64>>,
+    pending_waits: Arc<AtomicU64>,
     ops: u64,
 }
 
 impl CoreProgram for CondSignalerProgram {
     fn step(&mut self, _core: GlobalCoreId, _now: Time) -> Action {
-        if self.pending_waits.get() == 0 {
+        if self.pending_waits.load(Ordering::Relaxed) == 0 {
             return Action::Done;
         }
         if self.compute_next {
@@ -440,6 +460,10 @@ impl CoreProgram for CondSignalerProgram {
 }
 
 impl Workload for CondVarMicrobench {
+    // shard_safe stays at the false default: signalers poll `pending_waits`
+    // outside any simulated critical section, so their retirement point depends
+    // on the real-time stepping order of the waiter programs.
+
     fn name(&self) -> String {
         format!("condvar-micro.i{}", self.interval)
     }
@@ -453,7 +477,7 @@ impl Workload for CondVarMicrobench {
         let cond = space.allocate_shared_rw(64, UnitId(0));
         let lock = space.allocate_shared_rw(64, UnitId(0));
         let waiters = (clients.len() / 2).max(1) as u64;
-        let pending = Rc::new(Cell::new(waiters * u64::from(self.iterations)));
+        let pending = Arc::new(AtomicU64::new(waiters * u64::from(self.iterations)));
         clients
             .iter()
             .enumerate()
@@ -465,7 +489,7 @@ impl Workload for CondVarMicrobench {
                         interval: self.interval,
                         remaining: self.iterations,
                         phase: 0,
-                        pending_waits: Rc::clone(&pending),
+                        pending_waits: Arc::clone(&pending),
                         ops: 0,
                     }) as Box<dyn CoreProgram>
                 } else {
@@ -473,7 +497,7 @@ impl Workload for CondVarMicrobench {
                         cond,
                         interval: self.interval,
                         compute_next: true,
-                        pending_waits: Rc::clone(&pending),
+                        pending_waits: Arc::clone(&pending),
                         ops: 0,
                     }) as Box<dyn CoreProgram>
                 }

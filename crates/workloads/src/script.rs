@@ -14,7 +14,7 @@ use syncron_sim::GlobalCoreId;
 use syncron_system::workload::{Action, CoreProgram};
 
 /// Produces the per-operation action sequences of one core.
-pub trait OpGenerator {
+pub trait OpGenerator: Send {
     /// Appends the actions of the core's next operation to `script`. Returns `false`
     /// when the core has no more operations (the program then finishes).
     fn next_op(&mut self, core: GlobalCoreId, script: &mut VecDeque<Action>) -> bool;

@@ -14,8 +14,8 @@
 //! actions on shared read-write data and therefore only make sense under
 //! [`CoherenceMode::MesiDirectory`](syncron_system::config::CoherenceMode).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use syncron_core::request::SyncRequest;
 use syncron_sim::time::Time;
@@ -99,12 +99,12 @@ enum SpinProgramKind {
     Idle,
     Ttas {
         lock: Addr,
-        state: Rc<RefCell<SpinState>>,
+        state: Arc<Mutex<SpinState>>,
     },
     Htl {
         global_lock: Addr,
         local_lock: Addr,
-        state: Rc<RefCell<HtlShared>>,
+        state: Arc<Mutex<HtlShared>>,
         my_global_ticket: u64,
         my_local_ticket: u64,
     },
@@ -160,7 +160,7 @@ impl CoreProgram for SpinProgram {
                 SpinPhase::TryGlobal => {
                     // Test-and-set: the functional outcome is decided when the RMW is
                     // issued; its latency is charged by the MESI model.
-                    let mut s = state.borrow_mut();
+                    let mut s = state.lock().expect("workload state poisoned");
                     if s.held {
                         self.got_it = false;
                     } else {
@@ -176,7 +176,7 @@ impl CoreProgram for SpinProgram {
                 }
                 SpinPhase::SpinGlobal => {
                     // Test: spin with loads until the lock looks free, then retry.
-                    if state.borrow().held {
+                    if state.lock().expect("workload state poisoned").held {
                         Action::Load { addr: *lock }
                     } else {
                         self.phase = SpinPhase::TryGlobal;
@@ -184,7 +184,7 @@ impl CoreProgram for SpinProgram {
                     }
                 }
                 SpinPhase::Release => {
-                    state.borrow_mut().held = false;
+                    state.lock().expect("workload state poisoned").held = false;
                     self.phase = SpinPhase::Think;
                     self.remaining -= 1;
                     self.ops += 1;
@@ -208,35 +208,40 @@ impl CoreProgram for SpinProgram {
                         }
                     }
                     SpinPhase::TryLocal => {
-                        let mut s = state.borrow_mut();
+                        let mut s = state.lock().expect("workload state poisoned");
                         *my_local_ticket = s.per_unit[unit].next_ticket;
                         s.per_unit[unit].next_ticket += 1;
                         self.phase = SpinPhase::SpinLocal;
                         Action::Rmw { addr: *local_lock }
                     }
                     SpinPhase::SpinLocal => {
-                        let serving = state.borrow().per_unit[unit].now_serving;
+                        let serving = state.lock().expect("workload state poisoned").per_unit[unit]
+                            .now_serving;
                         if serving == *my_local_ticket {
                             self.phase = SpinPhase::TryGlobal;
                         }
                         Action::Load { addr: *local_lock }
                     }
                     SpinPhase::TryGlobal => {
-                        let mut s = state.borrow_mut();
+                        let mut s = state.lock().expect("workload state poisoned");
                         *my_global_ticket = s.global.next_ticket;
                         s.global.next_ticket += 1;
                         self.phase = SpinPhase::SpinGlobal;
                         Action::Rmw { addr: *global_lock }
                     }
                     SpinPhase::SpinGlobal => {
-                        let serving = state.borrow().global.now_serving;
+                        let serving = state
+                            .lock()
+                            .expect("workload state poisoned")
+                            .global
+                            .now_serving;
                         if serving == *my_global_ticket {
                             self.phase = SpinPhase::Release;
                         }
                         Action::Load { addr: *global_lock }
                     }
                     SpinPhase::Release => {
-                        let mut s = state.borrow_mut();
+                        let mut s = state.lock().expect("workload state poisoned");
                         s.global.now_serving += 1;
                         s.per_unit[unit].now_serving += 1;
                         self.phase = SpinPhase::Think;
@@ -277,8 +282,8 @@ impl Workload for SpinLockBench {
         let local_locks: Vec<Addr> = (0..config.units)
             .map(|u| space.allocate_shared_rw(64, UnitId(u as u8)))
             .collect();
-        let ttas_state = Rc::new(RefCell::new(SpinState::default()));
-        let htl_state = Rc::new(RefCell::new(HtlShared {
+        let ttas_state = Arc::new(Mutex::new(SpinState::default()));
+        let htl_state = Arc::new(Mutex::new(HtlShared {
             global: SpinState::default(),
             per_unit: (0..config.units).map(|_| SpinState::default()).collect(),
         }));
@@ -302,12 +307,12 @@ impl Workload for SpinLockBench {
                 let kind = match self.kind {
                     SpinKind::Ttas => SpinProgramKind::Ttas {
                         lock: global_lock,
-                        state: Rc::clone(&ttas_state),
+                        state: Arc::clone(&ttas_state),
                     },
                     SpinKind::HierarchicalTicket => SpinProgramKind::Htl {
                         global_lock,
                         local_lock: local_locks[c.unit.index()],
-                        state: Rc::clone(&htl_state),
+                        state: Arc::clone(&htl_state),
                         my_global_ticket: 0,
                         my_local_ticket: 0,
                     },
@@ -374,7 +379,7 @@ struct LockedStackProgram {
     lock_addr: Addr,
     top_addr: Addr,
     nodes_base: Addr,
-    shared: Rc<RefCell<StackShared>>,
+    shared: Arc<Mutex<StackShared>>,
     interval: u64,
     remaining: u32,
     phase: u8,
@@ -404,7 +409,7 @@ impl CoreProgram for LockedStackProgram {
                     })
                 }
                 StackLock::MesiSpin => {
-                    let mut s = self.shared.borrow_mut();
+                    let mut s = self.shared.lock().expect("workload state poisoned");
                     if s.lock_state.held {
                         self.got_it = false;
                     } else {
@@ -419,7 +424,13 @@ impl CoreProgram for LockedStackProgram {
             },
             // Spin until the lock looks free (MESI lock only).
             2 => {
-                if self.shared.borrow().lock_state.held {
+                if self
+                    .shared
+                    .lock()
+                    .expect("workload state poisoned")
+                    .lock_state
+                    .held
+                {
                     Action::Load {
                         addr: self.lock_addr,
                     }
@@ -438,7 +449,7 @@ impl CoreProgram for LockedStackProgram {
                 }
             }
             4 => {
-                let mut s = self.shared.borrow_mut();
+                let mut s = self.shared.lock().expect("workload state poisoned");
                 s.top += 1;
                 let node = self.nodes_base.offset((s.top % 4096) * 64);
                 self.phase = 5;
@@ -460,7 +471,11 @@ impl CoreProgram for LockedStackProgram {
                         var: self.lock_addr,
                     }),
                     StackLock::MesiSpin => {
-                        self.shared.borrow_mut().lock_state.held = false;
+                        self.shared
+                            .lock()
+                            .expect("workload state poisoned")
+                            .lock_state
+                            .held = false;
                         Action::Store {
                             addr: self.lock_addr,
                         }
@@ -492,7 +507,7 @@ impl Workload for LockedStack {
         let lock_addr = space.allocate_shared_rw(64, UnitId(0));
         let top_addr = space.allocate_shared_rw(64, UnitId(0));
         let nodes_base = space.allocate_shared_rw(64 * 4096, UnitId(0));
-        let shared = Rc::new(RefCell::new(StackShared {
+        let shared = Arc::new(Mutex::new(StackShared {
             top: 0,
             lock_state: SpinState::default(),
         }));
@@ -504,7 +519,7 @@ impl Workload for LockedStack {
                     lock_addr,
                     top_addr,
                     nodes_base,
-                    shared: Rc::clone(&shared),
+                    shared: Arc::clone(&shared),
                     interval: self.interval,
                     remaining: self.pushes,
                     phase: 0,

@@ -102,7 +102,7 @@ impl TsLayout {
 }
 
 struct TsGen {
-    layout: std::rc::Rc<TsLayout>,
+    layout: std::sync::Arc<TsLayout>,
     cfg: TimeSeries,
     barrier: Addr,
     participants: u32,
@@ -181,7 +181,7 @@ impl Workload for TimeSeries {
         let profile_parts = space.allocate_partitioned(per_unit * 64, DataClass::SharedReadWrite);
         let lock_parts = space.allocate_partitioned(per_unit * 64, DataClass::SharedReadWrite);
         let barrier = space.allocate_shared_rw(64, syncron_sim::UnitId(0));
-        let layout = std::rc::Rc::new(TsLayout {
+        let layout = std::sync::Arc::new(TsLayout {
             series_parts,
             profile_parts,
             lock_parts,
@@ -193,7 +193,7 @@ impl Workload for TimeSeries {
             .enumerate()
             .map(|(i, c)| {
                 Box::new(ScriptProgram::new(TsGen {
-                    layout: std::rc::Rc::clone(&layout),
+                    layout: std::sync::Arc::clone(&layout),
                     cfg: *self,
                     barrier,
                     participants: clients.len() as u32,

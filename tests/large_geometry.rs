@@ -8,7 +8,9 @@
 //! 4096 waiters, a full 16×256 (4096-core) machine completing under all four
 //! schemes, and scenario specs round-tripping at extreme field values.
 
-use syncron::core::mechanism::{build_mechanism, MechanismParams, SyncContext, SyncMechanism};
+use syncron::core::mechanism::{
+    build_mechanism, MechanismParams, RemotePayload, SyncContext, SyncMechanism,
+};
 use syncron::core::request::{BarrierScope, SyncRequest};
 use syncron::prelude::*;
 use syncron::sim::EventQueue;
@@ -26,6 +28,10 @@ struct MechHarness {
 struct Ctx {
     now: Time,
     queue: EventQueue<u64>,
+    /// Remote payloads in flight, delivered interleaved with the token queue
+    /// in arrival-time order (the machine's sharded mailboxes, collapsed to
+    /// one queue).
+    inbox: EventQueue<RemotePayload>,
     completed: Vec<GlobalCoreId>,
     units: usize,
     cores_per_unit: usize,
@@ -35,14 +41,20 @@ impl SyncContext for Ctx {
     fn now(&self) -> Time {
         self.now
     }
-    fn schedule(&mut self, at: Time, token: u64) {
+    fn schedule(&mut self, at: Time, _unit: UnitId, token: u64) {
         self.queue.push(at, token);
     }
     fn local_hop(&mut self, _unit: UnitId, _bytes: u64) -> Time {
         Time::from_ns(2)
     }
-    fn remote_hop(&mut self, _f: UnitId, _t: UnitId, _bytes: u64) -> Time {
-        Time::from_ns(40)
+    fn send_remote(&mut self, at: Time, _f: UnitId, _t: UnitId, _bytes: u64, p: RemotePayload) {
+        // One flat 40 ns for the whole remote journey, charged at the send
+        // side; `recv_hop` is free so end-to-end latencies match the old
+        // single-call hop model these tests were written against.
+        self.inbox.push(at + Time::from_ns(40), p);
+    }
+    fn recv_hop(&mut self, _unit: UnitId, _bytes: u64) -> Time {
+        Time::ZERO
     }
     fn sync_mem_access(&mut self, _u: UnitId, _a: Addr, _w: bool, _c: bool) -> Time {
         Time::from_ns(20)
@@ -68,6 +80,7 @@ impl MechHarness {
             ctx: Ctx {
                 now: Time::ZERO,
                 queue: EventQueue::new(),
+                inbox: EventQueue::new(),
                 completed: Vec::new(),
                 units,
                 cores_per_unit,
@@ -77,9 +90,24 @@ impl MechHarness {
 
     fn request(&mut self, core: GlobalCoreId, req: SyncRequest) {
         self.mech.request(&mut self.ctx, core, req);
-        while let Some((at, token)) = self.ctx.queue.pop() {
-            self.ctx.now = self.ctx.now.max(at);
-            self.mech.deliver(&mut self.ctx, token);
+        loop {
+            // Deliver the earliest pending item, interleaving scheduled tokens
+            // with in-flight remote payloads in arrival-time order.
+            let token_at = self.ctx.queue.peek_time();
+            let remote_at = self.ctx.inbox.peek_time();
+            match (token_at, remote_at) {
+                (None, None) => break,
+                (Some(t), r) if r.is_none_or(|r| t <= r) => {
+                    let (at, token) = self.ctx.queue.pop().unwrap();
+                    self.ctx.now = self.ctx.now.max(at);
+                    self.mech.deliver(&mut self.ctx, token);
+                }
+                _ => {
+                    let (at, payload) = self.ctx.inbox.pop().unwrap();
+                    self.ctx.now = self.ctx.now.max(at);
+                    self.mech.deliver_remote(&mut self.ctx, payload);
+                }
+            }
         }
     }
 }

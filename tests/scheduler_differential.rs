@@ -167,6 +167,121 @@ fn scale_64x64_is_scheduler_invariant() {
     }
 }
 
+/// Runs one scenario under the sharded (conservative-PDES) executor at several
+/// worker counts, with message batching on and off, and asserts every report is
+/// bit-identical to the sequential reference.
+///
+/// `shard_safe` says whether the scenario's workload opts into sharding; the
+/// condvar microbenchmark does not (its signalers poll shared state outside
+/// simulated critical sections), so every `sim_threads > 1` request must fall
+/// back to sequential execution — as must the Ideal mechanism, which completes
+/// synchronization without cross-unit messages and therefore without lookahead.
+/// Fallbacks are pinned via `SimPerf::shards` (host-side, not part of the
+/// compared report), and redundant worker counts are skipped for them: a
+/// fallback at 4 workers is byte-for-byte the same computation at 2 or 8.
+fn assert_sharding_is_invisible(scenario: &Scenario, shard_safe: bool) -> RunReport {
+    let mut sequential = scenario.clone();
+    sequential.config = sequential.config.with_sim_threads(1);
+    let reference = sequential.run().expect("sequential run");
+    assert_eq!(
+        reference.perf.shards, 1,
+        "{}: sequential run must use one shard",
+        scenario.label
+    );
+
+    let shards_expected = |workers: usize| -> usize {
+        if shard_safe && scenario.config.mechanism != MechanismKind::Ideal {
+            workers.min(scenario.config.units)
+        } else {
+            1
+        }
+    };
+    let falls_back = shards_expected(usize::MAX) == 1;
+    let worker_counts: &[usize] = if falls_back { &[4] } else { &[2, 4, 8] };
+    let batching_modes: &[bool] = if falls_back { &[true] } else { &[true, false] };
+
+    for &workers in worker_counts {
+        for &batching in batching_modes {
+            let mut sharded = scenario.clone();
+            sharded.config = sharded
+                .config
+                .with_sim_threads(workers)
+                .with_message_batching(batching);
+            let report = sharded.run().expect("sharded run");
+            assert_eq!(
+                report.perf.shards,
+                shards_expected(workers),
+                "{}: unexpected shard count at {workers} workers",
+                scenario.label
+            );
+            if let Some(field) = reference.divergence_from(&report) {
+                panic!(
+                    "{}: sharded run ({workers} workers, batching {batching}) diverged \
+                     from the sequential reference in {field}",
+                    scenario.label
+                );
+            }
+        }
+    }
+    reference
+}
+
+#[test]
+fn fig10_corpus_is_sharding_invariant() {
+    // The four Figure 10 sweeps at paper scale under the sharded executor:
+    // bit-identical to sequential at every worker count, with batching on and
+    // off. The condvar sweep pins the shard-unsafe fallback instead.
+    let mut total = 0;
+    for (file, shard_safe) in [
+        ("fig10_lock.toml", true),
+        ("fig10_barrier.toml", true),
+        ("fig10_semaphore.toml", true),
+        ("fig10_condvar.toml", false),
+    ] {
+        for scenario in load_sweep(file) {
+            let report = assert_sharding_is_invisible(&scenario, shard_safe);
+            assert!(report.completed, "{} did not complete", scenario.label);
+            total += 1;
+        }
+    }
+    assert!(total >= 40, "corpus unexpectedly small: {total} scenarios");
+}
+
+#[test]
+fn service_openloop_corpus_is_sharding_invariant() {
+    // The open-loop service corpus under the sharded executor. The latency
+    // summary is part of the compared report, so this also proves the
+    // admission clock, the Zipf sampler and the per-request histograms are
+    // untouched by shard count and window placement.
+    let scenarios = load_sweep("service_kv_openloop.toml");
+    assert!(
+        scenarios.len() >= 18,
+        "corpus unexpectedly small: {} scenarios",
+        scenarios.len()
+    );
+    for scenario in scenarios {
+        let report = assert_sharding_is_invisible(&scenario, true);
+        assert!(report.completed, "{} did not complete", scenario.label);
+        assert!(
+            report.latency.is_some(),
+            "{}: open-loop run lost its latency summary",
+            scenario.label
+        );
+    }
+}
+
+#[test]
+fn scale_64x64_is_sharding_invariant() {
+    // 4096 cores across 64 units with a bounded event budget: the budget gate
+    // fires at a window boundary, so even *truncated* runs must be
+    // bit-identical to sequential at every worker count.
+    let scenarios = load_sweep("scale_64x64.toml");
+    assert_eq!(scenarios.len(), 4, "one scenario per scheme");
+    for scenario in scenarios {
+        assert_sharding_is_invisible(&scenario, true);
+    }
+}
+
 #[test]
 fn inline_budget_values_do_not_change_results() {
     // The fairness budget bounds how long one pop may monopolize the loop; any

@@ -1,0 +1,311 @@
+//! Property, stress and determinism tests of the sharded conservative-PDES
+//! executor.
+//!
+//! The executor proves its own safety invariant at runtime: every cross-shard
+//! message is checked against the receiving shard's window floor during the
+//! mailbox drain, and a message timestamped below the floor is a hard panic
+//! naming the shard and times. These tests drive *randomized* workloads —
+//! scripted mixes of computation, local/remote data accesses and paired
+//! lock/semaphore sections generated from a seed — through the sharded
+//! executor at several worker counts, so completing without a panic exercises
+//! the lookahead invariant on irregular traffic, and the report comparison
+//! pins bit-exactness against the sequential reference on the same build.
+//!
+//! Also covered: shards whose event queues drain early must keep the window
+//! barrier moving (no deadlock), and JSON exports must be byte-identical
+//! run-over-run and across shard counts.
+
+use syncron::core::request::SyncRequest;
+use syncron::harness::report_to_value;
+use syncron::prelude::*;
+use syncron::system::address::{AddressSpace, DataClass};
+use syncron::system::report::SimPerf;
+use syncron::workloads::micro::SyncPrimitive;
+
+/// SplitMix64: a tiny, high-quality seeded generator for the action scripts.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A core that replays a pre-generated action script and then goes idle.
+///
+/// The script is generated at build time from the workload seed, so the
+/// program carries no state shared with any other core — stepping order
+/// cannot be observed, which is exactly what `shard_safe` promises.
+struct ScriptedCore {
+    actions: Vec<Action>,
+    pc: usize,
+}
+
+impl CoreProgram for ScriptedCore {
+    fn step(&mut self, _core: GlobalCoreId, _now: Time) -> Action {
+        let action = self.actions.get(self.pc).copied().unwrap_or(Action::Done);
+        self.pc += 1;
+        action
+    }
+
+    fn ops_completed(&self) -> u64 {
+        self.pc.min(self.actions.len()) as u64
+    }
+}
+
+/// Randomized mix of computation, data accesses homed on every unit, and
+/// properly paired lock / semaphore sections.
+///
+/// Blocking requests are always emitted in safe pairs (acquire → body →
+/// release), so every script terminates under every mechanism; the remote
+/// accesses and randomly-homed synchronization variables generate the
+/// irregular cross-shard traffic the lookahead invariant has to survive.
+struct RandomMix {
+    seed: u64,
+    ops_per_core: usize,
+    /// Cores of this unit get an empty script, draining that shard's queue
+    /// immediately while the rest of the machine keeps sending it work.
+    idle_unit: Option<UnitId>,
+}
+
+impl RandomMix {
+    fn new(seed: u64) -> Self {
+        RandomMix {
+            seed,
+            ops_per_core: 16,
+            idle_unit: None,
+        }
+    }
+}
+
+impl Workload for RandomMix {
+    fn name(&self) -> String {
+        format!("random-mix.s{}", self.seed)
+    }
+
+    fn shard_safe(&self) -> bool {
+        true
+    }
+
+    fn build(
+        &self,
+        space: &mut AddressSpace,
+        config: &NdpConfig,
+        clients: &[GlobalCoreId],
+    ) -> Vec<Box<dyn CoreProgram>> {
+        let data = space.allocate_partitioned(4096, DataClass::SharedReadWrite);
+        let locks: Vec<Addr> = (0..config.units)
+            .map(|u| space.allocate_shared_rw(64, UnitId(u as u8)))
+            .collect();
+        let sems: Vec<Addr> = (0..config.units)
+            .map(|u| space.allocate_shared_rw(64, UnitId(u as u8)))
+            .collect();
+        let pick_addr = |rng: &mut SplitMix64| {
+            let region = data[rng.below(data.len() as u64) as usize];
+            Addr(region.0 + 64 * rng.below(32))
+        };
+
+        clients
+            .iter()
+            .enumerate()
+            .map(|(i, core)| {
+                let mut actions = Vec::new();
+                if Some(core.unit) != self.idle_unit {
+                    let mut rng = SplitMix64(self.seed ^ (i as u64).wrapping_mul(0x0D1B_54A3));
+                    for _ in 0..self.ops_per_core {
+                        match rng.below(6) {
+                            0 => actions.push(Action::Compute {
+                                instrs: 1 + rng.below(200),
+                            }),
+                            1 => actions.push(Action::Load {
+                                addr: pick_addr(&mut rng),
+                            }),
+                            2 => actions.push(Action::Store {
+                                addr: pick_addr(&mut rng),
+                            }),
+                            3 => actions.push(Action::Rmw {
+                                addr: pick_addr(&mut rng),
+                            }),
+                            4 => {
+                                let var = locks[rng.below(locks.len() as u64) as usize];
+                                actions.push(Action::Sync(SyncRequest::LockAcquire { var }));
+                                actions.push(Action::Store {
+                                    addr: pick_addr(&mut rng),
+                                });
+                                actions.push(Action::Sync(SyncRequest::LockRelease { var }));
+                            }
+                            _ => {
+                                let var = sems[rng.below(sems.len() as u64) as usize];
+                                actions
+                                    .push(Action::Sync(SyncRequest::SemWait { var, initial: 2 }));
+                                actions.push(Action::Compute {
+                                    instrs: 1 + rng.below(50),
+                                });
+                                actions.push(Action::Sync(SyncRequest::SemPost { var }));
+                            }
+                        }
+                    }
+                }
+                Box::new(ScriptedCore { actions, pc: 0 }) as Box<dyn CoreProgram>
+            })
+            .collect()
+    }
+}
+
+/// Runs `workload` sequentially and at every worker count in `threads`,
+/// asserting completion, the expected shard count, and bit-identical reports.
+/// Any lookahead-floor violation or routing error panics inside the executor,
+/// failing the test with the offending shard named.
+fn assert_sharded_matches_sequential(
+    units: usize,
+    cores_per_unit: usize,
+    kind: MechanismKind,
+    workload: &RandomMix,
+    threads: &[usize],
+) {
+    let base = NdpConfig::builder()
+        .units(units)
+        .cores_per_unit(cores_per_unit)
+        .mechanism(kind)
+        .build()
+        .unwrap();
+    let reference = run_workload(&base, workload);
+    assert!(
+        reference.completed,
+        "{:?} {units}x{cores_per_unit} seed {} did not complete sequentially",
+        kind, workload.seed
+    );
+    assert_eq!(reference.perf.shards, 1);
+
+    for &workers in threads {
+        let cfg = NdpConfig::builder()
+            .units(units)
+            .cores_per_unit(cores_per_unit)
+            .mechanism(kind)
+            .sim_threads(workers)
+            .build()
+            .unwrap();
+        let report = run_workload(&cfg, workload);
+        assert_eq!(
+            report.perf.shards,
+            workers.min(units),
+            "{kind:?} {units}x{cores_per_unit}: sharding unexpectedly fell back"
+        );
+        if let Some(field) = reference.divergence_from(&report) {
+            panic!(
+                "{kind:?} {units}x{cores_per_unit} seed {} with {workers} workers \
+                 diverged from sequential in {field}",
+                workload.seed
+            );
+        }
+    }
+}
+
+#[test]
+fn randomized_mixes_uphold_the_lookahead_invariant() {
+    // Irregular cross-shard traffic from seeded random scripts: remote loads,
+    // stores and RMWs homed on every unit, plus lock and semaphore sections
+    // whose variables live on random units. The executor hard-panics on any
+    // message below a window floor, so every completing run is a property
+    // check; the report comparison additionally pins bit-exactness.
+    for (units, cores_per_unit) in [(2, 2), (4, 3), (8, 2)] {
+        for seed in [1, 0xC0FFEE] {
+            let workload = RandomMix::new(seed);
+            for kind in [
+                MechanismKind::Central,
+                MechanismKind::Hier,
+                MechanismKind::SynCron,
+                MechanismKind::SynCronFlat,
+            ] {
+                assert_sharded_matches_sequential(
+                    units,
+                    cores_per_unit,
+                    kind,
+                    &workload,
+                    &[2, 3, 4, 8],
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn drained_shards_keep_the_window_barrier_moving() {
+    // Unit 0's cores finish instantly, so its shard's queue drains in the
+    // first window while every other shard keeps routing data requests and
+    // lock traffic *to* unit 0 (partitioned data and unit-0-homed variables).
+    // The drained shard must keep arriving at the window barrier and serving
+    // its mailbox — a shard that stops participating deadlocks the gate, and
+    // this test hangs instead of passing.
+    let workload = RandomMix {
+        seed: 42,
+        ops_per_core: 24,
+        idle_unit: Some(UnitId(0)),
+    };
+    assert_sharded_matches_sequential(4, 4, MechanismKind::SynCron, &workload, &[2, 4]);
+}
+
+#[test]
+fn sharded_exports_are_byte_identical() {
+    // Determinism stress at the export layer: the same (scenario, seed,
+    // shard-count) triple run three times in one process must serialize to
+    // byte-identical JSON, and every shard count must serialize to the same
+    // bytes as the sequential run. Host-side perf counters (wall clock,
+    // executed shard count) are zeroed before export — they are the one
+    // documented nondeterministic surface.
+    let scenario = Scenario::new(
+        "det-barrier",
+        ConfigSpec::default()
+            .with_geometry(4, 8)
+            .with_sim_threads(4),
+        WorkloadSpec::Micro {
+            primitive: SyncPrimitive::Barrier,
+            interval: 100,
+            iterations: 8,
+        },
+    );
+
+    let normalized = |threads: usize| -> String {
+        let mut variant = scenario.clone();
+        variant.config = variant.config.with_sim_threads(threads);
+        let mut report = variant.run().expect("run");
+        assert!(report.completed);
+        assert_eq!(report.perf.shards, threads.min(4));
+        report.perf = SimPerf::default();
+        report_to_value(&report).to_json_pretty()
+    };
+
+    let first = {
+        let mut report = scenario.run().expect("run");
+        report.perf = SimPerf::default();
+        let set = RunSet::from_pairs([(scenario.clone(), report)]).expect("set");
+        set.to_json_string()
+    };
+    for _ in 0..2 {
+        let mut report = scenario.run().expect("run");
+        report.perf = SimPerf::default();
+        let set = RunSet::from_pairs([(scenario.clone(), report)]).expect("set");
+        assert_eq!(
+            first,
+            set.to_json_string(),
+            "same scenario, same shard count: JSON export moved between runs"
+        );
+    }
+
+    let sequential = normalized(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            sequential,
+            normalized(threads),
+            "JSON export moved between shard counts 1 and {threads}"
+        );
+    }
+}
