@@ -153,7 +153,7 @@ fn list() {
     for line in [
         "units=<1..=256>                   NDP units (default 4)",
         "cores_per_unit=<1..=256>          cores per unit (default 16)",
-        "mechanism=Central|Hier|SynCron|SynCron-flat|Ideal",
+        "mechanism=Central|Hier|SynCron|SynCron-flat|MCS|Adaptive|Ideal",
         "mem_tech=hbm|hmc|ddr4             memory technology",
         "link_latency_ns=<n>               inter-unit transfer latency (default 40)",
         "st_entries=<n>                    Synchronization Table size (default 64)",
@@ -161,6 +161,7 @@ fn list() {
         "signal_coalescing=true|false      coalesce condvar signals at the engine (default true)",
         "signal_backoff_ns=<n>             base NACK backoff for repeat signalers (default 200)",
         "fairness_threshold=<n>|\"off\"      local-grant fairness threshold",
+        "adaptive_threshold=<n>            contention depth for Adaptive's flat->hierarchical escalation (default 4)",
         "coherence=software-assisted|mesi  shared-RW data handling",
         "mesi_profile=ndp|cpu-two-socket   MESI latencies (with coherence=mesi)",
         "reserve_server_core=true|false    reserve one core per unit as server",

@@ -14,60 +14,25 @@
 //! without backoff NACKs, since wasted signals cost nothing here. With coalescing
 //! off, Ideal drops no-waiter signals just like the real schemes do.
 
-use std::collections::VecDeque;
-use syncron_sim::FxHashMap;
-
+use crate::components::{ComponentTables, Grantee};
 use crate::mechanism::{SyncContext, SyncMechanism, SyncMechanismStats};
 use crate::request::SyncRequest;
 use syncron_sim::time::Time;
 use syncron_sim::{Addr, GlobalCoreId};
 
-#[derive(Debug, Default)]
-struct LockState {
-    held: bool,
-    waiters: VecDeque<GlobalCoreId>,
-}
-
-#[derive(Debug, Default)]
-struct BarrierState {
-    arrived: u32,
-    waiters: Vec<GlobalCoreId>,
-}
-
-#[derive(Debug, Default)]
-struct SemState {
-    initialized: bool,
-    count: i64,
-    waiters: VecDeque<GlobalCoreId>,
-}
-
-#[derive(Debug, Default)]
-struct CondState {
-    waiters: VecDeque<(GlobalCoreId, Addr)>,
-    /// Banked signals, uncapped: the zero-overhead bound never wastes a signal.
-    pending: u64,
-}
-
-/// All per-variable state the ideal mechanism keeps, in one arena slot.
-///
-/// Ideal never discards state (its maps only ever grew), so the arena needs no
-/// free list: a variable's slot is claimed on first touch and lives for the run.
-/// One `addr → slot` probe per request replaces one hash probe per primitive
-/// table per touch; all four sub-states sit inline behind one dense index.
-#[derive(Debug, Default)]
-struct IdealSlot {
-    lock: LockState,
-    barrier: BarrierState,
-    sem: SemState,
-    cond: CondState,
-}
-
 /// Zero-overhead synchronization mechanism.
+///
+/// Ideal keeps its per-variable state in the same shared
+/// `ComponentTables` (crate-private, `components` module) the protocol
+/// engines use — the master-side lock,
+/// barrier, semaphore and condvar components, with every grantee an
+/// individual core (there is no unit-level aggregation to speak of at zero
+/// cost). Ideal never discards state (its maps only ever grew), so slots are
+/// claimed on first touch and live for the run: one `addr → slot` probe per
+/// request, dense column accesses after that.
 #[derive(Debug)]
 pub struct IdealMechanism {
-    /// `addr → slot` index; the only hashed lookup per request.
-    index: FxHashMap<Addr, u32>,
-    slots: Vec<IdealSlot>,
+    vars: ComponentTables,
     signal_coalescing: bool,
     stats: SyncMechanismStats,
 }
@@ -85,11 +50,8 @@ impl IdealMechanism {
 
     /// Creates an idle mechanism with signal coalescing on (the protocol default).
     pub fn new() -> Self {
-        let mut index = FxHashMap::default();
-        index.reserve(IdealMechanism::PRESIZE);
         IdealMechanism {
-            index,
-            slots: Vec::with_capacity(IdealMechanism::PRESIZE),
+            vars: ComponentTables::with_capacity(IdealMechanism::PRESIZE),
             signal_coalescing: true,
             stats: SyncMechanismStats::default(),
         }
@@ -102,38 +64,33 @@ impl IdealMechanism {
         self
     }
 
-    /// The slot tracking `var`, claimed on first touch.
+    /// The slot tracking `var`, claimed on first touch (never recycled: Ideal
+    /// holds every variable it ever saw, so nothing is released).
     fn slot(&mut self, var: Addr) -> usize {
-        if let Some(&slot) = self.index.get(&var) {
-            return slot as usize;
-        }
-        let slot = self.slots.len();
-        self.slots.push(IdealSlot::default());
-        self.index.insert(var, slot as u32);
-        slot
+        self.vars.resolve(var) as usize
     }
 
     fn grant_lock(&mut self, ctx: &mut dyn SyncContext, slot: usize, core: GlobalCoreId) {
-        let lock = &mut self.slots[slot].lock;
-        debug_assert!(!lock.held);
-        lock.held = true;
+        let lock = self.vars.master_lock_mut(slot);
+        debug_assert!(lock.owner.is_none());
+        lock.owner = Some(Grantee::Core(core));
         self.stats.completions += 1;
         ctx.complete(core, ctx.now());
     }
 
     fn acquire_lock(&mut self, ctx: &mut dyn SyncContext, slot: usize, core: GlobalCoreId) {
-        let lock = &mut self.slots[slot].lock;
-        if lock.held {
-            lock.waiters.push_back(core);
+        let lock = self.vars.master_lock_mut(slot);
+        if lock.owner.is_some() {
+            lock.waiting.push_back(Grantee::Core(core));
         } else {
             self.grant_lock(ctx, slot, core);
         }
     }
 
     fn release_lock(&mut self, ctx: &mut dyn SyncContext, slot: usize) {
-        let lock = &mut self.slots[slot].lock;
-        lock.held = false;
-        if let Some(next) = lock.waiters.pop_front() {
+        let lock = self.vars.master_lock_mut(slot);
+        lock.owner = None;
+        if let Some(Grantee::Core(next)) = lock.waiting.pop_front() {
             self.grant_lock(ctx, slot, next);
         }
     }
@@ -162,24 +119,23 @@ impl SyncMechanism for IdealMechanism {
                 var, participants, ..
             } => {
                 let slot = self.slot(var);
-                let bar = &mut self.slots[slot].barrier;
+                let bar = self.vars.master_barrier_mut(slot);
                 bar.arrived += 1;
-                bar.waiters.push(core);
+                bar.direct_waiters.push(core);
                 if bar.arrived >= participants {
                     bar.arrived = 0;
-                    // Completing while draining would alias `self`; the barrier
-                    // state is left empty either way, with its buffer retained.
-                    for i in 0..self.slots[slot].barrier.waiters.len() {
-                        let w = self.slots[slot].barrier.waiters[i];
+                    // The barrier state is left empty with its buffer retained.
+                    for i in 0..bar.direct_waiters.len() {
+                        let w = bar.direct_waiters[i];
                         self.stats.completions += 1;
                         ctx.complete(w, ctx.now());
                     }
-                    self.slots[slot].barrier.waiters.clear();
+                    bar.direct_waiters.clear();
                 }
             }
             SyncRequest::SemWait { var, initial } => {
                 let slot = self.slot(var);
-                let sem = &mut self.slots[slot].sem;
+                let sem = self.vars.master_sem_mut(slot);
                 if !sem.initialized {
                     sem.initialized = true;
                     sem.count = i64::from(initial);
@@ -194,7 +150,7 @@ impl SyncMechanism for IdealMechanism {
             }
             SyncRequest::SemPost { var } => {
                 let slot = self.slot(var);
-                let sem = &mut self.slots[slot].sem;
+                let sem = self.vars.master_sem_mut(slot);
                 // First touch initializes (mirrors `crate::protocol`): a later
                 // wait's `initial` must not clobber posts banked before it.
                 sem.initialized = true;
@@ -207,7 +163,7 @@ impl SyncMechanism for IdealMechanism {
             }
             SyncRequest::CondWait { var, lock } => {
                 let slot = self.slot(var);
-                let cond = &mut self.slots[slot].cond;
+                let cond = self.vars.master_cond_mut(slot);
                 if self.signal_coalescing && cond.pending > 0 {
                     // Consume one banked signal: the wait returns immediately, the
                     // core keeps holding the associated lock.
@@ -223,7 +179,7 @@ impl SyncMechanism for IdealMechanism {
             }
             SyncRequest::CondSignal { var } => {
                 let slot = self.slot(var);
-                let cond = &mut self.slots[slot].cond;
+                let cond = self.vars.master_cond_mut(slot);
                 if let Some((w, lock)) = cond.waiters.pop_front() {
                     // The woken core re-acquires the associated lock; its cond_wait
                     // completes when the lock is granted.
@@ -231,17 +187,19 @@ impl SyncMechanism for IdealMechanism {
                     let lock_slot = self.slot(lock);
                     self.acquire_lock(ctx, lock_slot, w);
                 } else if self.signal_coalescing {
+                    // Uncapped pending count: the u64 component never saturates
+                    // in practice and the bound never wastes a signal.
                     cond.pending = cond.pending.saturating_add(1);
+                    let pending = cond.pending;
                     self.stats.coalesced_signals += 1;
-                    self.stats.max_pending_signals =
-                        self.stats.max_pending_signals.max(cond.pending);
+                    self.stats.max_pending_signals = self.stats.max_pending_signals.max(pending);
                 }
             }
             SyncRequest::CondBroadcast { var } => {
                 let slot = self.slot(var);
-                // Waking a waiter re-acquires its lock through `self`, so walk by
-                // index instead of holding a borrow of the waiter queue.
-                while let Some((w, lock)) = self.slots[slot].cond.waiters.pop_front() {
+                // Waking a waiter re-acquires its lock through `self`, so pop
+                // one at a time instead of holding a borrow of the waiter queue.
+                while let Some((w, lock)) = self.vars.master_cond_mut(slot).waiters.pop_front() {
                     let lock_slot = self.slot(lock);
                     self.acquire_lock(ctx, lock_slot, w);
                 }

@@ -29,16 +29,25 @@
 //!   well as the *Central* and *Hier* server-core baselines of Section 5, plus the
 //!   condvar signal-coalescing / backoff extension (see the module docs);
 //! * [`hw_cost`] — the area/power model behind Table 8.
+//!
+//! Internally the engine-backed mechanisms share one *ownership-of-state* layer
+//! (per-primitive component tables over arena slots, `components`) and differ
+//! only in a small *policy* object (`policy`): where requests are served, how
+//! locks arbitrate, and whether the placement adapts at runtime. The MCS queue
+//! lock and the adaptive Central↔Hier scheme are policy modules over the same
+//! tables; see `ARCHITECTURE.md` for the split.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod components;
 pub mod counters;
 pub mod hw_cost;
 pub mod ideal;
 pub mod mechanism;
 pub mod message;
+mod policy;
 pub mod protocol;
 pub mod request;
 pub mod syncvar;

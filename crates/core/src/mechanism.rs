@@ -38,15 +38,29 @@ pub enum MechanismKind {
     /// SynCron's flat variant: cores send every request directly to the Master SE
     /// (Section 6.7.1 ablation).
     SynCronFlat,
+    /// MCS-style hardware queue lock on the SE substrate: a tail pointer at the
+    /// Master SE and per-waiter next pointers at the waiters' local SEs, so a
+    /// release hands the lock to its successor in O(1) without a master
+    /// round-trip or broadcast wake. Non-lock primitives behave as in SynCron.
+    /// (Beyond the paper; enabled by the component/policy split.)
+    Mcs,
+    /// Adaptive Central↔Hier: every variable starts on the flat two-hop path at
+    /// its home unit and stickily escalates to hierarchical aggregation once
+    /// the master observes a global lock queue at the configured contention
+    /// threshold. (Beyond the paper; enabled by the component/policy split.)
+    Adaptive,
 }
 
 impl MechanismKind {
-    /// All mechanisms, in the order the paper's figures present them.
-    pub const ALL: [MechanismKind; 5] = [
+    /// All mechanisms, in the order the paper's figures present them (the two
+    /// post-paper schemes slot in before the Ideal upper bound).
+    pub const ALL: [MechanismKind; 7] = [
         MechanismKind::Central,
         MechanismKind::Hier,
         MechanismKind::SynCron,
         MechanismKind::SynCronFlat,
+        MechanismKind::Mcs,
+        MechanismKind::Adaptive,
         MechanismKind::Ideal,
     ];
 
@@ -67,6 +81,8 @@ impl MechanismKind {
             MechanismKind::Hier => "Hier",
             MechanismKind::SynCron => "SynCron",
             MechanismKind::SynCronFlat => "SynCron-flat",
+            MechanismKind::Mcs => "MCS",
+            MechanismKind::Adaptive => "Adaptive",
         }
     }
 }
@@ -298,6 +314,11 @@ pub struct MechanismParams {
     /// report — is bit-identical either way (see
     /// [`SyncContext::schedule_stamp`]).
     pub message_batching: bool,
+    /// Contention threshold of the [`MechanismKind::Adaptive`] policy: a
+    /// variable escalates from the flat to the hierarchical protocol once its
+    /// master observes this many grantees queued globally on its lock. Ignored
+    /// by the other kinds.
+    pub adaptive_threshold: u32,
 }
 
 impl MechanismParams {
@@ -312,6 +333,7 @@ impl MechanismParams {
             signal_coalescing: true,
             signal_backoff_ns: DEFAULT_SIGNAL_BACKOFF_NS,
             message_batching: true,
+            adaptive_threshold: DEFAULT_ADAPTIVE_THRESHOLD,
         }
     }
 
@@ -351,11 +373,20 @@ impl MechanismParams {
         self.message_batching = enabled;
         self
     }
+
+    /// Sets the contention threshold of the adaptive Central↔Hier policy.
+    pub fn with_adaptive_threshold(mut self, threshold: u32) -> Self {
+        self.adaptive_threshold = threshold;
+        self
+    }
 }
 
 /// Default base NACK backoff delay in nanoseconds (doubles per consecutive NACK up to
 /// 64x this base).
 pub const DEFAULT_SIGNAL_BACKOFF_NS: u64 = 200;
+
+/// Default contention threshold of the adaptive Central↔Hier policy.
+pub const DEFAULT_ADAPTIVE_THRESHOLD: u32 = 4;
 
 impl Default for MechanismParams {
     fn default() -> Self {
@@ -381,7 +412,8 @@ pub fn build_mechanism(
                 .with_fairness_threshold(params.fairness_threshold)
                 .with_signal_coalescing(params.signal_coalescing)
                 .with_signal_backoff_ns(params.signal_backoff_ns)
-                .with_message_batching(params.message_batching);
+                .with_message_batching(params.message_batching)
+                .with_adaptive_threshold(params.adaptive_threshold);
             Box::new(ProtocolMechanism::new(config))
         }
     }

@@ -45,14 +45,16 @@
 //! ([`SyncMechanism::blocks_core`]), so each signaler has at most one signal in
 //! flight and the serving engine's queue stays bounded.
 
-use std::collections::VecDeque;
-use syncron_sim::{FxHashMap, FxHashSet};
+use syncron_sim::FxHashSet;
 
+use crate::components::{ComponentTables, Grantee, McsRelease};
 use crate::counters::{IndexingCounters, SignalCounters};
 use crate::mechanism::{
-    MechanismKind, SyncContext, SyncMechanism, SyncMechanismStats, DEFAULT_SIGNAL_BACKOFF_NS,
+    MechanismKind, SyncContext, SyncMechanism, SyncMechanismStats, DEFAULT_ADAPTIVE_THRESHOLD,
+    DEFAULT_SIGNAL_BACKOFF_NS,
 };
 use crate::message::{MessageScope, SyncMessage};
+use crate::policy::{policy_for, LockVariant, SyncPolicy};
 use crate::request::{BarrierScope, PrimitiveKind, SyncRequest};
 use crate::syncvar::SyncronVar;
 use crate::table::{SynchronizationTable, TableInfo};
@@ -154,6 +156,11 @@ pub struct ProtocolConfig {
     /// simulator optimization: delivery order, and therefore every report, is
     /// bit-identical either way.
     pub message_batching: bool,
+    /// Contention threshold of the [`MechanismKind::Adaptive`] policy: a
+    /// variable escalates from the flat to the hierarchical protocol once its
+    /// master observes this many grantees queued globally on its lock. Ignored
+    /// by the other kinds.
+    pub adaptive_threshold: u32,
 }
 
 impl ProtocolConfig {
@@ -169,6 +176,11 @@ impl ProtocolConfig {
             MechanismKind::Hier => (Topology::Hierarchical, EngineBackend::ServerCore, None),
             MechanismKind::SynCron => (Topology::Hierarchical, EngineBackend::SyncronSe, None),
             MechanismKind::SynCronFlat => (Topology::Flat, EngineBackend::SyncronSe, None),
+            // MCS is hierarchical SynCron with the queue-lock policy for locks.
+            MechanismKind::Mcs => (Topology::Hierarchical, EngineBackend::SyncronSe, None),
+            // Adaptive starts every variable flat at its home unit; the policy
+            // escalates hot variables to the hierarchical protocol at runtime.
+            MechanismKind::Adaptive => (Topology::Flat, EngineBackend::ServerCore, None),
             MechanismKind::Ideal => panic!("Ideal is not a protocol mechanism"),
         };
         ProtocolConfig {
@@ -192,6 +204,7 @@ impl ProtocolConfig {
             signal_backoff_max: Time::from_ns(DEFAULT_SIGNAL_BACKOFF_NS * 64),
             pending_signal_cap: 1,
             message_batching: true,
+            adaptive_threshold: DEFAULT_ADAPTIVE_THRESHOLD,
         }
     }
 
@@ -245,6 +258,12 @@ impl ProtocolConfig {
         self
     }
 
+    /// Sets the contention threshold of the adaptive Central↔Hier policy.
+    pub fn with_adaptive_threshold(mut self, threshold: u32) -> Self {
+        self.adaptive_threshold = threshold.max(1);
+        self
+    }
+
     /// The NACK backoff delay after `streak` consecutive NACKs to the same core.
     fn backoff_delay(&self, streak: u32) -> Time {
         if self.signal_backoff_base == Time::ZERO {
@@ -256,288 +275,12 @@ impl ProtocolConfig {
     }
 }
 
-/// Who currently holds (or waits for) a lock at the master level: either a whole NDP
-/// unit (hierarchical aggregation) or an individual core (flat topology, ST-overflow
-/// redirection, MiSAR fallback).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Grantee {
-    Unit(UnitId),
-    Core(GlobalCoreId),
-}
-
-#[derive(Debug, Default)]
-struct LocalLock {
-    waiters: VecDeque<GlobalCoreId>,
-    holder: Option<GlobalCoreId>,
-    has_ownership: bool,
-    pending_global: bool,
-    local_grants: u32,
-}
-
-impl LocalLock {
-    fn reset(&mut self) {
-        self.waiters.clear();
-        self.holder = None;
-        self.has_ownership = false;
-        self.pending_global = false;
-        self.local_grants = 0;
-    }
-}
-
-#[derive(Debug, Default)]
-struct MasterLock {
-    owner: Option<Grantee>,
-    waiting: VecDeque<Grantee>,
-}
-
-impl MasterLock {
-    fn reset(&mut self) {
-        self.owner = None;
-        self.waiting.clear();
-    }
-}
-
-#[derive(Debug, Default)]
-struct LocalBarrier {
-    waiters: Vec<GlobalCoreId>,
-    announced: bool,
-}
-
-impl LocalBarrier {
-    fn reset(&mut self) {
-        self.waiters.clear();
-        self.announced = false;
-    }
-}
-
-#[derive(Debug, Default)]
-struct MasterBarrier {
-    arrived: u32,
-    participants: u32,
-    arrived_units: Vec<UnitId>,
-    direct_waiters: Vec<GlobalCoreId>,
-}
-
-impl MasterBarrier {
-    fn reset(&mut self) {
-        self.arrived = 0;
-        self.participants = 0;
-        self.arrived_units.clear();
-        self.direct_waiters.clear();
-    }
-}
-
-#[derive(Debug, Default)]
-struct MasterSem {
-    initialized: bool,
-    count: i64,
-    waiters: VecDeque<GlobalCoreId>,
-}
-
-#[derive(Debug, Default)]
-struct MasterCond {
-    waiters: VecDeque<(GlobalCoreId, Addr)>,
-    /// Signals banked while no waiter was queued (signal-coalescing extension).
-    pending: u16,
-}
-
-/// Presence bits of [`VarSlot`] sub-states. A bit plays the role the old
-/// per-mechanism `FxHashMap` entry played: set = "the map would contain this
-/// variable". Absent sub-states are always in their reset condition, so claiming
-/// one is just setting the bit — no construction, and the waiter containers keep
-/// their allocated buffers across lifecycles.
-const P_LOCAL_LOCK: u8 = 1 << 0;
-const P_MASTER_LOCK: u8 = 1 << 1;
-const P_LOCAL_BARRIER: u8 = 1 << 2;
-const P_MASTER_BARRIER: u8 = 1 << 3;
-const P_MASTER_SEM: u8 = 1 << 4;
-const P_MASTER_COND: u8 = 1 << 5;
-
-/// All per-variable state one engine keeps, in one arena slot.
-///
-/// Replaces the eight per-mechanism `FxHashMap<Addr, _>` tables the engine used
-/// to keep: one message now resolves its variable's slot once and touches every
-/// sub-state by dense indexing, instead of paying one hash probe per table per
-/// touch.
-#[derive(Debug, Default)]
-struct VarSlot {
-    /// The variable this slot currently tracks (meaningful while indexed).
-    addr: Addr,
-    /// Which sub-states are live (see the `P_*` bits).
-    present: u8,
-    /// Whether the MiSAR abort broadcast for this variable was already charged
-    /// at this engine. Sticky: once set, the slot is pinned for the run.
-    misar_abort_sent: bool,
-    local_lock: LocalLock,
-    master_lock: MasterLock,
-    local_barrier: LocalBarrier,
-    master_barrier: MasterBarrier,
-    master_sem: MasterSem,
-    master_cond: MasterCond,
-    /// In-memory `syncronVar` image for a variable this engine serves without an
-    /// ST entry (server-core backends, and SynCron's overflow path). Boxed: the
-    /// image is touched only on the (memory-charged) overflow path, and inline it
-    /// would double the slot size. Sticky once created, like the old map entry.
-    syncron_var: Option<Box<SyncronVar>>,
-}
-
-macro_rules! slot_state {
-    ($get:ident, $get_mut:ident, $remove:ident, $field:ident, $ty:ty, $bit:ident) => {
-        fn $get(&self) -> Option<&$ty> {
-            (self.present & $bit != 0).then_some(&self.$field)
-        }
-
-        fn $get_mut(&mut self) -> &mut $ty {
-            // Absent states are kept reset, so claiming one is just the bit.
-            self.present |= $bit;
-            &mut self.$field
-        }
-
-        fn $remove(&mut self) {
-            if self.present & $bit != 0 {
-                self.present &= !$bit;
-                self.$field.reset();
-            }
-        }
-    };
-}
-
-impl VarSlot {
-    slot_state!(
-        local_lock,
-        local_lock_mut,
-        remove_local_lock,
-        local_lock,
-        LocalLock,
-        P_LOCAL_LOCK
-    );
-    slot_state!(
-        master_lock_ref,
-        master_lock_mut,
-        remove_master_lock,
-        master_lock,
-        MasterLock,
-        P_MASTER_LOCK
-    );
-    slot_state!(
-        local_barrier_ref,
-        local_barrier_mut,
-        remove_local_barrier,
-        local_barrier,
-        LocalBarrier,
-        P_LOCAL_BARRIER
-    );
-    slot_state!(
-        master_barrier_ref,
-        master_barrier_mut,
-        remove_master_barrier,
-        master_barrier,
-        MasterBarrier,
-        P_MASTER_BARRIER
-    );
-
-    fn master_sem_mut(&mut self) -> &mut MasterSem {
-        self.present |= P_MASTER_SEM;
-        &mut self.master_sem
-    }
-
-    fn master_cond_mut(&mut self) -> &mut MasterCond {
-        self.present |= P_MASTER_COND;
-        &mut self.master_cond
-    }
-
-    /// Whether the slot holds no state at all and can return to the free list.
-    fn is_unused(&self) -> bool {
-        self.present == 0 && !self.misar_abort_sent && self.syncron_var.is_none()
-    }
-}
-
-/// One engine's per-variable state arena: a single `addr → slot` index plus a
-/// dense slot vector with a free list.
-///
-/// Steady-state discipline: the index is probed **once per message**
-/// ([`VarArena::resolve`]); every later state touch of that message is a dense
-/// `slots[slot]` access. Slots whose variable ends a message with no state left
-/// are recycled — with their waiter-queue buffers intact — so the arena's
-/// high-water mark is the number of *concurrently* tracked variables, and a
-/// pre-size from the geometry keeps the hot path free of allocation and
-/// rehashing (see [`Engine::new`]).
-#[derive(Debug, Default)]
-struct VarArena {
-    index: FxHashMap<Addr, u32>,
-    slots: Vec<VarSlot>,
-    free: Vec<u32>,
-}
-
-impl VarArena {
-    fn with_capacity(capacity: usize) -> Self {
-        let mut index = FxHashMap::default();
-        index.reserve(capacity);
-        VarArena {
-            index,
-            slots: Vec::with_capacity(capacity),
-            free: Vec::new(),
-        }
-    }
-
-    /// The slot currently tracking `var`, if any (no insertion).
-    fn lookup(&self, var: Addr) -> Option<u32> {
-        self.index.get(&var).copied()
-    }
-
-    /// The slot tracking `var`, claiming a recycled or fresh one if absent.
-    fn resolve(&mut self, var: Addr) -> u32 {
-        if let Some(&slot) = self.index.get(&var) {
-            return slot;
-        }
-        let slot = match self.free.pop() {
-            Some(slot) => {
-                let s = &mut self.slots[slot as usize];
-                debug_assert!(s.is_unused(), "free-listed slot still holds state");
-                s.addr = var;
-                slot
-            }
-            None => {
-                let slot = self.slots.len() as u32;
-                self.slots.push(VarSlot {
-                    addr: var,
-                    ..VarSlot::default()
-                });
-                slot
-            }
-        };
-        self.index.insert(var, slot);
-        slot
-    }
-
-    /// Returns `slot` to the free list if its variable holds no state anymore.
-    fn release_if_unused(&mut self, slot: u32) {
-        let s = &self.slots[slot as usize];
-        if s.is_unused() {
-            self.index.remove(&s.addr);
-            self.free.push(slot);
-        }
-    }
-
-    /// The in-memory `syncronVar` image of `var`, if one exists.
-    #[cfg(test)]
-    fn syncron_var(&self, var: Addr) -> Option<&SyncronVar> {
-        self.lookup(var)
-            .and_then(|slot| self.slots[slot as usize].syncron_var.as_deref())
-    }
-
-    /// Number of variables currently tracked.
-    #[cfg(test)]
-    fn live(&self) -> usize {
-        self.index.len()
-    }
-
-    /// Allocated slot capacity (for the no-steady-state-growth tests).
-    #[cfg(test)]
-    fn capacity(&self) -> usize {
-        self.slots.capacity()
-    }
-}
+// The per-variable sub-states (LocalLock, MasterLock, LocalBarrier,
+// MasterBarrier, MasterSem, MasterCond, the MCS queue components) and the slot
+// arena that owns them live in `crate::components`: one ownership-of-state
+// layer shared by every engine-backed mechanism, with presence-bit claiming and
+// free-list recycling (see `ComponentTables`). This module keeps only the
+// message mechanics; the per-kind decisions live in `crate::policy`.
 
 /// Per-unit engine state (one SE or one server core).
 #[derive(Debug)]
@@ -545,8 +288,8 @@ struct Engine {
     busy: Serializer,
     st: SynchronizationTable,
     counters: IndexingCounters,
-    /// Per-variable protocol state (see [`VarArena`]).
-    vars: VarArena,
+    /// Per-variable protocol state (see [`ComponentTables`]).
+    vars: ComponentTables,
     signals: SignalCounters,
     /// Consecutive-NACK streak per signaling core, dense over the geometry
     /// (`flat core index → streak`); indexes the exponential backoff and is
@@ -573,7 +316,7 @@ impl Engine {
             // overflowed/served-in-memory variable per local core, so the
             // steady-state hot path neither grows the slot vector nor rehashes
             // the index.
-            vars: VarArena::with_capacity(st_entries + cores_per_unit),
+            vars: ComponentTables::with_capacity(st_entries + cores_per_unit),
             signals: SignalCounters::new(),
             signal_streaks: vec![0; units * cores_per_unit],
             units,
@@ -636,6 +379,36 @@ enum EngineMsg {
     BarrierDepartGlobal {
         var: Addr,
     },
+    /// MCS: a waiter's engine asks the master to swap the new node instance
+    /// `(core, seq)` into the queue's tail pointer.
+    McsEnqueue {
+        core: GlobalCoreId,
+        seq: u32,
+        var: Addr,
+    },
+    /// MCS: the master tells the predecessor instance `(pred, pred_seq)` that
+    /// `succ` is now linked behind it.
+    McsLink {
+        pred: GlobalCoreId,
+        pred_seq: u32,
+        succ: GlobalCoreId,
+        var: Addr,
+    },
+    /// MCS: a releasing holder with no linked successor asks the master to swap
+    /// the tail back to free — valid only if instance `(core, seq)` is still the
+    /// tail (otherwise a link to the holder is already in flight).
+    McsReleaseTail {
+        core: GlobalCoreId,
+        seq: u32,
+        var: Addr,
+    },
+    /// MCS: the master confirmed the tail swap for instance `(core, seq)`; the
+    /// waiter's engine reaps the node.
+    McsNodeFree {
+        core: GlobalCoreId,
+        seq: u32,
+        var: Addr,
+    },
 }
 
 impl EngineMsg {
@@ -646,7 +419,11 @@ impl EngineMsg {
             | EngineMsg::LockReleaseGlobal { var, .. }
             | EngineMsg::LockGrantGlobal { var }
             | EngineMsg::BarrierArriveGlobal { var, .. }
-            | EngineMsg::BarrierDepartGlobal { var } => var,
+            | EngineMsg::BarrierDepartGlobal { var }
+            | EngineMsg::McsEnqueue { var, .. }
+            | EngineMsg::McsLink { var, .. }
+            | EngineMsg::McsReleaseTail { var, .. }
+            | EngineMsg::McsNodeFree { var, .. } => var,
         }
     }
 
@@ -655,7 +432,11 @@ impl EngineMsg {
             EngineMsg::CoreReq { req, .. } => req.primitive(),
             EngineMsg::LockAcquireGlobal { .. }
             | EngineMsg::LockReleaseGlobal { .. }
-            | EngineMsg::LockGrantGlobal { .. } => PrimitiveKind::Lock,
+            | EngineMsg::LockGrantGlobal { .. }
+            | EngineMsg::McsEnqueue { .. }
+            | EngineMsg::McsLink { .. }
+            | EngineMsg::McsReleaseTail { .. }
+            | EngineMsg::McsNodeFree { .. } => PrimitiveKind::Lock,
             EngineMsg::BarrierArriveGlobal { .. } | EngineMsg::BarrierDepartGlobal { .. } => {
                 PrimitiveKind::Barrier
             }
@@ -727,10 +508,15 @@ struct OpenBatch {
     stamp: u64,
 }
 
-/// The message-passing protocol mechanism (SynCron, SynCron-flat, Hier, Central).
+/// The message-passing protocol mechanism (SynCron, SynCron-flat, Hier, Central,
+/// MCS, Adaptive).
 #[derive(Debug)]
 pub struct ProtocolMechanism {
     config: ProtocolConfig,
+    /// The mechanism's decision layer (fixed at construction): where requests
+    /// are served, how locks arbitrate, whether placement adapts at runtime.
+    /// The engines below own all state; the policy owns none of it.
+    policy: Box<dyn SyncPolicy>,
     engines: Vec<Engine>,
     /// In-flight scheduled message batches, indexed by their event token. A slab
     /// with a free list (rather than a map): scheduling and delivery bracket
@@ -771,6 +557,7 @@ impl ProtocolMechanism {
             })
             .collect();
         ProtocolMechanism {
+            policy: policy_for(&config),
             config,
             engines,
             pending: Vec::new(),
@@ -789,9 +576,7 @@ impl ProtocolMechanism {
     }
 
     fn master_of(&self, ctx: &dyn SyncContext, var: Addr) -> UnitId {
-        self.config
-            .fixed_server
-            .unwrap_or_else(|| ctx.home_unit(var))
+        self.policy.master_of(ctx, var)
     }
 
     /// Whether `req`, delivered non-direct at `unit`, is a partial across-unit
@@ -812,7 +597,7 @@ impl ProtocolMechanism {
             return false;
         };
         scope == BarrierScope::AcrossUnits
-            && self.config.topology == Topology::Hierarchical
+            && self.policy.topology(var) == Topology::Hierarchical
             && participants != (self.config.units * self.config.cores_per_unit) as u32
             && self.master_of(ctx, var) != unit
     }
@@ -1060,20 +845,65 @@ impl ProtocolMechanism {
         let fairness = self.config.fairness_threshold;
         let coalescing = self.config.signal_coalescing;
         let pending_cap = self.config.pending_signal_cap;
+        let mcs = self.policy.lock_variant() == LockVariant::McsQueue;
         let config = self.config;
         let engine = &mut self.engines[unit.index()];
 
         match req {
+            SyncRequest::LockAcquire { var } if mcs => {
+                // MCS queue lock: claim a queue node at the requester's own
+                // engine, then swap the instance into the master's tail pointer.
+                // The node stays here — the handoff chain never queues waiters
+                // at the master, so there is no broadcast wake and no ownership
+                // bouncing.
+                let nodes = engine.vars.mcs_nodes_mut(slot);
+                nodes.ensure(cores_per_unit);
+                let seq = nodes.enqueue(core.core.index());
+                if unit == master {
+                    mcs_master_enqueue(engine, slot, var, core, seq, &mut *out);
+                } else {
+                    out.push(Outcome::Send {
+                        to: master,
+                        msg: EngineMsg::McsEnqueue { core, seq, var },
+                        overflow: false,
+                    });
+                }
+            }
+            SyncRequest::LockRelease { var } if mcs => {
+                let nodes = engine.vars.mcs_nodes_mut(slot);
+                match nodes.release(core.core.index()) {
+                    McsRelease::Handoff(succ) => {
+                        // O(1) handoff: the successor was already linked, so the
+                        // grant goes straight to it without a master round-trip.
+                        mcs_cleanup_nodes(engine, slot, var);
+                        out.push(Outcome::Complete { core: succ });
+                    }
+                    McsRelease::TailRace(seq) => {
+                        // No successor linked yet: ask the master to swap the
+                        // tail back to free. If someone enqueued meanwhile, the
+                        // master ignores this and the in-flight link hands off.
+                        if unit == master {
+                            mcs_master_release_tail(engine, slot, var, core, seq, &mut *out);
+                        } else {
+                            out.push(Outcome::Send {
+                                to: master,
+                                msg: EngineMsg::McsReleaseTail { core, seq, var },
+                                overflow: false,
+                            });
+                        }
+                    }
+                }
+            }
             SyncRequest::LockAcquire { var } => {
                 if direct {
                     master_lock_acquire(engine, slot, var, Grantee::Core(core), &mut *out);
                 } else {
-                    let ll = engine.vars.slots[slot].local_lock_mut();
+                    let ll = engine.vars.local_lock_mut(slot);
                     ll.waiters.push_back(core);
                     if let Some(e) = engine.st.lookup_mut(var) {
                         e.local_waitlist.set(core.core.index());
                     }
-                    let ll = engine.vars.slots[slot].local_lock_mut();
+                    let ll = engine.vars.local_lock_mut(slot);
                     if ll.has_ownership {
                         if ll.holder.is_none() {
                             grant_local_lock(engine, slot, var, &mut *out);
@@ -1089,8 +919,9 @@ impl ProtocolMechanism {
                 }
             }
             SyncRequest::LockRelease { var } => {
-                let locally_held = engine.vars.slots[slot]
-                    .local_lock()
+                let locally_held = engine
+                    .vars
+                    .local_lock(slot)
                     .is_some_and(|ll| ll.has_ownership && ll.holder == Some(core));
                 if direct {
                     master_lock_release(engine, slot, var, Grantee::Core(core), &mut *out);
@@ -1105,7 +936,7 @@ impl ProtocolMechanism {
                     // Drop any ST entry this delivery allocated: the variable is not
                     // tracked by this SE (there is no local lock state to mirror),
                     // and leaving it would pin an ST slot forever.
-                    if unit != master && engine.vars.slots[slot].local_lock().is_none() {
+                    if unit != master && engine.vars.local_lock(slot).is_none() {
                         engine.st.release(Time::ZERO, var);
                     }
                     out.push(Outcome::Send {
@@ -1121,7 +952,7 @@ impl ProtocolMechanism {
                         overflow: true,
                     });
                 } else {
-                    let ll = engine.vars.slots[slot].local_lock_mut();
+                    let ll = engine.vars.local_lock_mut(slot);
                     ll.holder = None;
                     let over_threshold =
                         fairness.is_some_and(|t| ll.local_grants >= t) && !ll.waiters.is_empty();
@@ -1146,7 +977,7 @@ impl ProtocolMechanism {
                                 overflow: false,
                             });
                         } else {
-                            engine.vars.slots[slot].remove_local_lock();
+                            engine.vars.remove_local_lock(slot);
                             engine.st.release(Time::ZERO, var);
                         }
                     }
@@ -1159,7 +990,7 @@ impl ProtocolMechanism {
             } => {
                 let local_only = scope == BarrierScope::WithinUnit;
                 if direct {
-                    let mb = engine.vars.slots[slot].master_barrier_mut();
+                    let mb = engine.vars.master_barrier_mut(slot);
                     mb.participants = participants;
                     mb.arrived += 1;
                     mb.direct_waiters.push(core);
@@ -1167,19 +998,19 @@ impl ProtocolMechanism {
                         finish_master_barrier(engine, slot, var, &mut *out);
                     }
                 } else if local_only {
-                    let lb = engine.vars.slots[slot].local_barrier_mut();
+                    let lb = engine.vars.local_barrier_mut(slot);
                     lb.waiters.push(core);
                     if lb.waiters.len() as u32 >= participants {
                         engine.st.release(Time::ZERO, var);
-                        let sl = &mut engine.vars.slots[slot];
-                        for w in sl.local_barrier.waiters.drain(..) {
+                        let lb = engine.vars.local_barrier_mut(slot);
+                        for w in lb.waiters.drain(..) {
                             out.push(Outcome::Complete { core: w });
                         }
-                        sl.remove_local_barrier();
+                        engine.vars.remove_local_barrier(slot);
                     }
                 } else if participants == total_cores {
                     // Full-system barrier: hierarchical two-level communication.
-                    let lb = engine.vars.slots[slot].local_barrier_mut();
+                    let lb = engine.vars.local_barrier_mut(slot);
                     lb.waiters.push(core);
                     if lb.waiters.len() >= cores_per_unit {
                         lb.announced = true;
@@ -1219,7 +1050,7 @@ impl ProtocolMechanism {
             }
             SyncRequest::SemWait { initial, .. } => {
                 if unit == master || direct {
-                    let sem = engine.vars.slots[slot].master_sem_mut();
+                    let sem = engine.vars.master_sem_mut(slot);
                     if !sem.initialized {
                         sem.initialized = true;
                         sem.count = i64::from(initial);
@@ -1245,7 +1076,7 @@ impl ProtocolMechanism {
             }
             SyncRequest::SemPost { .. } => {
                 if unit == master || direct {
-                    let sem = engine.vars.slots[slot].master_sem_mut();
+                    let sem = engine.vars.master_sem_mut(slot);
                     // Whichever operation touches the semaphore first initializes
                     // it: a post must mark it initialized so a later wait's
                     // `initial` cannot clobber banked posts (post-before-wait is
@@ -1271,7 +1102,7 @@ impl ProtocolMechanism {
             }
             SyncRequest::CondWait { var, lock } => {
                 if unit == master || direct {
-                    let mc = engine.vars.slots[slot].master_cond_mut();
+                    let mc = engine.vars.master_cond_mut(slot);
                     if coalescing && mc.pending > 0 {
                         // A banked signal wakes this waiter immediately: the atomic
                         // release-and-wait followed by the instant wake-and-reacquire
@@ -1308,7 +1139,7 @@ impl ProtocolMechanism {
             SyncRequest::CondSignal { var } => {
                 if unit == master || direct {
                     let streak_idx = core.flat_index(cores_per_unit);
-                    let mc = engine.vars.slots[slot].master_cond_mut();
+                    let mc = engine.vars.master_cond_mut(slot);
                     if let Some((woken, lock)) = mc.waiters.pop_front() {
                         // The woken core re-acquires the lock; its cond_wait completes
                         // when the lock is granted to it.
@@ -1322,12 +1153,13 @@ impl ProtocolMechanism {
                             out.push(Outcome::Complete { core });
                         }
                     } else if coalescing {
-                        if mc.pending < pending_cap {
+                        if mc.pending < u64::from(pending_cap) {
                             // Bank the signal for the next cond_wait and ACK the
                             // signaler.
                             mc.pending += 1;
                             let pending = mc.pending;
-                            engine.signals.record_coalesced(pending);
+                            // The cap is a u16, so the banked count always fits.
+                            engine.signals.record_coalesced(pending as u16);
                             mirror_cond_state(engine, slot, var, None, pending);
                             engine.signal_streaks[streak_idx] = 0;
                             out.push(Outcome::Complete { core });
@@ -1356,7 +1188,7 @@ impl ProtocolMechanism {
             }
             SyncRequest::CondBroadcast { .. } => {
                 if unit == master || direct {
-                    let mc = engine.vars.slots[slot].master_cond_mut();
+                    let mc = engine.vars.master_cond_mut(slot);
                     for (woken, lock) in mc.waiters.drain(..) {
                         out.push(Outcome::Inject {
                             core: woken,
@@ -1396,7 +1228,7 @@ impl ProtocolMechanism {
                 master_lock_release(engine, slot, var, Grantee::Unit(from), &mut *out);
             }
             EngineMsg::LockGrantGlobal { var } => {
-                let ll = engine.vars.slots[slot].local_lock_mut();
+                let ll = engine.vars.local_lock_mut(slot);
                 ll.has_ownership = true;
                 ll.pending_global = false;
                 ll.local_grants = 0;
@@ -1408,7 +1240,7 @@ impl ProtocolMechanism {
                     // redirected to the master while the request was in flight):
                     // hand the ownership straight back instead of stranding the lock
                     // on a unit that will never release it.
-                    engine.vars.slots[slot].remove_local_lock();
+                    engine.vars.remove_local_lock(slot);
                     engine.st.release(Time::ZERO, var);
                     out.push(Outcome::Send {
                         to: master,
@@ -1423,7 +1255,7 @@ impl ProtocolMechanism {
                 count,
                 participants,
             } => {
-                let mb = engine.vars.slots[slot].master_barrier_mut();
+                let mb = engine.vars.master_barrier_mut(slot);
                 mb.participants = participants;
                 mb.arrived += count;
                 if !mb.arrived_units.contains(&from) {
@@ -1434,13 +1266,44 @@ impl ProtocolMechanism {
                 }
             }
             EngineMsg::BarrierDepartGlobal { var } => {
-                if engine.vars.slots[slot].local_barrier_ref().is_some() {
+                if engine.vars.local_barrier_ref(slot).is_some() {
                     engine.st.release(Time::ZERO, var);
-                    let sl = &mut engine.vars.slots[slot];
-                    for w in sl.local_barrier.waiters.drain(..) {
+                    let lb = engine.vars.local_barrier_mut(slot);
+                    for w in lb.waiters.drain(..) {
                         out.push(Outcome::Complete { core: w });
                     }
-                    sl.remove_local_barrier();
+                    engine.vars.remove_local_barrier(slot);
+                }
+            }
+            EngineMsg::McsEnqueue { core, seq, var } => {
+                mcs_master_enqueue(engine, slot, var, core, seq, &mut *out);
+            }
+            EngineMsg::McsLink {
+                pred,
+                pred_seq,
+                succ,
+                var,
+            } => {
+                debug_assert_eq!(pred.unit, unit, "MCS link delivered off the pred's engine");
+                let nodes = engine.vars.mcs_nodes_mut(slot);
+                if let Some(granted) = nodes.link(pred.core.index(), pred_seq, succ) {
+                    // The predecessor had already released: the link completes the
+                    // handoff to the successor directly.
+                    out.push(Outcome::Complete { core: granted });
+                    mcs_cleanup_nodes(engine, slot, var);
+                }
+            }
+            EngineMsg::McsReleaseTail { core, seq, var } => {
+                mcs_master_release_tail(engine, slot, var, core, seq, &mut *out);
+            }
+            EngineMsg::McsNodeFree { core, seq, var } => {
+                debug_assert_eq!(
+                    core.unit, unit,
+                    "MCS node-free delivered off the waiter's engine"
+                );
+                let nodes = engine.vars.mcs_nodes_mut(slot);
+                if nodes.reap(core.core.index(), seq) {
+                    mcs_cleanup_nodes(engine, slot, var);
                 }
             }
             EngineMsg::CoreReq { .. } => unreachable!("core requests use process_core_request"),
@@ -1498,25 +1361,26 @@ impl ProtocolMechanism {
             let Some(slot) = engine.vars.lookup(var) else {
                 continue;
             };
-            let sl = &mut engine.vars.slots[slot as usize];
-            if sl.local_lock().is_some() {
-                displaced.extend(sl.local_lock.waiters.drain(..));
-                sl.remove_local_lock();
+            let slot = slot as usize;
+            if engine.vars.local_lock(slot).is_some() {
+                let ll = engine.vars.local_lock_mut(slot);
+                displaced.extend(ll.waiters.drain(..));
+                engine.vars.remove_local_lock(slot);
                 engine.st.release(Time::ZERO, var);
             }
-            let sl = &mut engine.vars.slots[slot as usize];
-            if sl.master_lock_ref().is_some() {
-                for grantee in sl.master_lock.waiting.drain(..) {
+            if engine.vars.master_lock_ref(slot).is_some() {
+                let ml = engine.vars.master_lock_mut(slot);
+                for grantee in ml.waiting.drain(..) {
                     if let Grantee::Core(c) = grantee {
                         displaced.push(c);
                     }
                     // Unit-level waiters are covered by draining that unit's local
                     // waiter queue above.
                 }
-                sl.remove_master_lock();
+                engine.vars.remove_master_lock(slot);
                 engine.st.release(Time::ZERO, var);
             }
-            engine.vars.release_if_unused(slot);
+            engine.vars.release_if_unused(slot as u32);
         }
         for core in displaced {
             self.send_engine_msg(
@@ -1547,7 +1411,7 @@ impl ProtocolMechanism {
         core: GlobalCoreId,
         req: SyncRequest,
     ) {
-        let (dest, direct) = match self.config.topology {
+        let (dest, direct) = match self.policy.topology(req.var()) {
             Topology::Hierarchical => (core.unit, false),
             Topology::Flat => (self.master_of(ctx, req.var()), true),
         };
@@ -1583,8 +1447,11 @@ fn mirror_cond_state(
     slot: usize,
     var: Addr,
     lock: Option<Addr>,
-    pending: u16,
+    pending: u64,
 ) {
+    // The component keeps a u64 (shared with the uncapped Ideal mechanism); the
+    // protocol bounds it by its u16 pending-signal cap, so the mirror is lossless.
+    let pending = pending as u16;
     if let Some(entry) = engine.st.lookup_mut(var) {
         if let TableInfo::CondLock {
             lock: entry_lock,
@@ -1599,19 +1466,17 @@ fn mirror_cond_state(
         return;
     }
     let (units, cores_per_unit) = (engine.units, engine.cores_per_unit);
-    let image = engine.vars.slots[slot]
-        .syncron_var
+    let image = engine
+        .vars
+        .syncron_var_entry(slot)
         .get_or_insert_with(|| Box::new(SyncronVar::with_geometry(var, units, cores_per_unit)));
     let lock = lock.unwrap_or_else(|| image.cond_lock());
     image.set_cond_info(lock, pending);
 }
 
 fn grant_local_lock(engine: &mut Engine, slot: usize, var: Addr, out: &mut Vec<Outcome>) {
-    debug_assert!(
-        engine.vars.slots[slot].local_lock().is_some(),
-        "local lock state"
-    );
-    let ll = engine.vars.slots[slot].local_lock_mut();
+    debug_assert!(engine.vars.local_lock(slot).is_some(), "local lock state");
+    let ll = engine.vars.local_lock_mut(slot);
     if let Some(next) = ll.waiters.pop_front() {
         ll.holder = Some(next);
         ll.local_grants += 1;
@@ -1629,7 +1494,7 @@ fn master_lock_acquire(
     who: Grantee,
     out: &mut Vec<Outcome>,
 ) {
-    let ml = engine.vars.slots[slot].master_lock_mut();
+    let ml = engine.vars.master_lock_mut(slot);
     if ml.owner.is_none() {
         ml.owner = Some(who);
         match who {
@@ -1655,7 +1520,7 @@ fn master_lock_release(
     _who: Grantee,
     out: &mut Vec<Outcome>,
 ) {
-    let ml = engine.vars.slots[slot].master_lock_mut();
+    let ml = engine.vars.master_lock_mut(slot);
     ml.owner = None;
     if let Some(next) = ml.waiting.pop_front() {
         ml.owner = Some(next);
@@ -1671,29 +1536,96 @@ fn master_lock_release(
             Grantee::Core(c) => out.push(Outcome::Complete { core: c }),
         }
     } else {
-        engine.vars.slots[slot].remove_master_lock();
+        engine.vars.remove_master_lock(slot);
         engine.st.release(Time::ZERO, var);
     }
 }
 
 fn finish_master_barrier(engine: &mut Engine, slot: usize, var: Addr, out: &mut Vec<Outcome>) {
     debug_assert!(
-        engine.vars.slots[slot].master_barrier_ref().is_some(),
+        engine.vars.master_barrier_ref(slot).is_some(),
         "barrier state"
     );
     engine.st.release(Time::ZERO, var);
-    let sl = &mut engine.vars.slots[slot];
-    for u in sl.master_barrier.arrived_units.drain(..) {
+    let mb = engine.vars.master_barrier_mut(slot);
+    for u in mb.arrived_units.drain(..) {
         out.push(Outcome::Send {
             to: u,
             msg: EngineMsg::BarrierDepartGlobal { var },
             overflow: false,
         });
     }
-    for c in sl.master_barrier.direct_waiters.drain(..) {
+    for c in mb.direct_waiters.drain(..) {
         out.push(Outcome::Complete { core: c });
     }
-    sl.remove_master_barrier();
+    engine.vars.remove_master_barrier(slot);
+}
+
+/// MCS master: swaps node instance `(core, seq)` into the tail pointer. A free
+/// lock grants immediately; otherwise the previous tail's engine is told to
+/// link the new waiter behind it.
+fn mcs_master_enqueue(
+    engine: &mut Engine,
+    slot: usize,
+    var: Addr,
+    core: GlobalCoreId,
+    seq: u32,
+    out: &mut Vec<Outcome>,
+) {
+    let tail = engine.vars.mcs_tail_mut(slot);
+    match tail.tail.replace((core, seq)) {
+        None => out.push(Outcome::Complete { core }),
+        Some((prev, prev_seq)) => out.push(Outcome::Send {
+            to: prev.unit,
+            msg: EngineMsg::McsLink {
+                pred: prev,
+                pred_seq: prev_seq,
+                succ: core,
+                var,
+            },
+            overflow: false,
+        }),
+    }
+}
+
+/// MCS master: a holder with no linked successor asks to swap the tail back to
+/// free. Valid only while instance `(core, seq)` is still the tail — otherwise a
+/// successor enqueued meanwhile and the in-flight link performs the handoff, so
+/// the stale request is ignored.
+fn mcs_master_release_tail(
+    engine: &mut Engine,
+    slot: usize,
+    var: Addr,
+    core: GlobalCoreId,
+    seq: u32,
+    out: &mut Vec<Outcome>,
+) {
+    let is_tail = engine
+        .vars
+        .mcs_tail_ref(slot)
+        .is_some_and(|t| t.tail == Some((core, seq)));
+    if is_tail {
+        engine.vars.remove_mcs_tail(slot);
+        engine.st.release(Time::ZERO, var);
+        out.push(Outcome::Send {
+            to: core.unit,
+            msg: EngineMsg::McsNodeFree { core, seq, var },
+            overflow: false,
+        });
+    }
+}
+
+/// Frees the waiter-side MCS node component (and its ST entry) once the last
+/// node instance for `var` at this engine is gone.
+fn mcs_cleanup_nodes(engine: &mut Engine, slot: usize, var: Addr) {
+    if engine
+        .vars
+        .mcs_nodes_ref(slot)
+        .is_some_and(|n| n.active == 0)
+    {
+        engine.vars.remove_mcs_nodes(slot);
+        engine.st.release(Time::ZERO, var);
+    }
 }
 
 impl SyncMechanism for ProtocolMechanism {
@@ -1824,8 +1756,8 @@ impl ProtocolMechanism {
         let now = ctx.now();
         let var = msg.var();
         let kind = msg.primitive();
-        // The one compact `addr -> VarSlot` resolution of this message; every
-        // subsequent state touch indexes the arena densely.
+        // The one compact `addr -> slot` resolution of this message; every
+        // subsequent component-table touch indexes the columns densely.
         let slot = self.engines[unit.index()].vars.resolve(var) as usize;
 
         // Resolve ST / overflow state (SynCron backends only).
@@ -1851,12 +1783,17 @@ impl ProtocolMechanism {
                     // Redirected (direct) requests were already counted by the SE that
                     // first overflowed.
                     let count_stat = req.is_acquire_type()
-                        && !(direct && self.config.topology == Topology::Hierarchical);
+                        && !(direct && self.policy.topology(var) == Topology::Hierarchical);
                     let (mem, redir) =
                         self.st_resolve(ctx, now, unit, var, kind, counter_action, count_stat);
                     // Direct requests reaching the master during overflow are serviced
-                    // via memory rather than redirected again.
-                    if redir && direct {
+                    // via memory rather than redirected again. MCS lock requests are
+                    // never redirected either: the queue nodes are bound to the
+                    // requester's engine, so an overflowed variable spills its node
+                    // state to memory in place instead of moving the queue.
+                    let queue_bound = kind == PrimitiveKind::Lock
+                        && self.policy.lock_variant() == LockVariant::McsQueue;
+                    if redir && (direct || queue_bound) {
                         (true, false)
                     } else {
                         (mem, redir)
@@ -1894,10 +1831,7 @@ impl ProtocolMechanism {
                             OverflowMode::MiSarCentral => UnitId(0),
                             _ => ctx.home_unit(var),
                         };
-                        let first = {
-                            let sl = &mut self.engines[unit.index()].vars.slots[slot];
-                            !std::mem::replace(&mut sl.misar_abort_sent, true)
-                        };
+                        let first = self.engines[unit.index()].vars.claim_misar_abort(slot);
                         let mut outcomes = Vec::new();
                         if first {
                             outcomes.push(Outcome::MisarAbortBroadcast);
@@ -1969,6 +1903,15 @@ impl ProtocolMechanism {
         self.apply_outcomes(ctx, done, unit, &mut outcomes);
         outcomes.clear();
         self.outcome_scratch = outcomes;
+        // Adaptive policies watch master-side lock contention: the global
+        // waiting-queue depth after this message is the signal. Only lock
+        // traffic feeds the probe (the depth is 0 off the master, where the
+        // component is absent), so barrier rounds never see their topology
+        // change mid-round.
+        if kind == PrimitiveKind::Lock && self.policy.observes_contention() {
+            let depth = self.engines[unit.index()].vars.master_lock_depth(slot);
+            self.policy.observe_contention(var, depth);
+        }
         // Recycle the slot if this message left the variable with no state at
         // this engine (forward-only hops, completed barriers, released locks).
         self.engines[unit.index()]
@@ -2702,8 +2645,8 @@ mod tests {
         let e0 = &mech.engines[0];
         assert!(e0.vars.lookup(a).is_none(), "stale index entry for A");
         let slot = e0.vars.lookup(b).expect("B tracked at the local engine") as usize;
-        assert_eq!(e0.vars.slots[slot].addr, b);
-        let ll = e0.vars.slots[slot].local_lock().expect("local lock state");
+        assert_eq!(e0.vars.addr(slot), b);
+        let ll = e0.vars.local_lock(slot).expect("local lock state");
         assert_eq!(ll.holder, Some(core(0, 0)));
         assert!(ll.waiters.is_empty(), "waiters leaked across the recycle");
         assert!(ll.has_ownership);
@@ -2734,9 +2677,9 @@ mod tests {
         assert_eq!(slots.len(), vars.len(), "two variables shared a slot");
         for (i, &var) in vars.iter().enumerate() {
             let slot = e0.vars.lookup(var).unwrap() as usize;
-            assert_eq!(e0.vars.slots[slot].addr, var);
+            assert_eq!(e0.vars.addr(slot), var);
             assert_eq!(
-                e0.vars.slots[slot].local_lock().unwrap().holder,
+                e0.vars.local_lock(slot).unwrap().holder,
                 Some(core(0, i as u8)),
                 "slot state crossed between variables"
             );

@@ -6,7 +6,7 @@
 //! config with one [`WorkloadSpec`] under a unique label — the key under which the
 //! runner files its report.
 
-use syncron_core::mechanism::{MechanismKind, MechanismParams};
+use syncron_core::mechanism::{MechanismKind, MechanismParams, DEFAULT_ADAPTIVE_THRESHOLD};
 use syncron_core::protocol::OverflowMode;
 use syncron_mem::mesi::MesiParams;
 use syncron_mem::MemTech;
@@ -68,6 +68,9 @@ pub struct ConfigSpec {
     pub overflow_mode: OverflowMode,
     /// Local-grant fairness threshold (`None` = off).
     pub fairness_threshold: Option<u32>,
+    /// Contention depth at which the Adaptive mechanism escalates a variable
+    /// from flat to hierarchical serving (ignored by the other kinds).
+    pub adaptive_threshold: u32,
     /// Condvar signal coalescing / backoff (extension; on by default).
     pub signal_coalescing: bool,
     /// Base NACK backoff delay in nanoseconds for repeat condvar signalers.
@@ -110,6 +113,7 @@ impl Default for ConfigSpec {
             st_entries: paper.mechanism.st_entries,
             overflow_mode: paper.mechanism.overflow_mode,
             fairness_threshold: paper.mechanism.fairness_threshold,
+            adaptive_threshold: paper.mechanism.adaptive_threshold,
             signal_coalescing: paper.mechanism.signal_coalescing,
             signal_backoff_ns: paper.mechanism.signal_backoff_ns,
             message_batching: paper.mechanism.message_batching,
@@ -177,7 +181,8 @@ impl ConfigSpec {
             .with_overflow_mode(self.overflow_mode)
             .with_signal_coalescing(self.signal_coalescing)
             .with_signal_backoff_ns(self.signal_backoff_ns)
-            .with_message_batching(self.message_batching);
+            .with_message_batching(self.message_batching)
+            .with_adaptive_threshold(self.adaptive_threshold);
         params.fairness_threshold = self.fairness_threshold;
         let mesi = match self.mesi {
             MesiProfile::NdpDefault => MesiParams::ndp_default(),
@@ -232,6 +237,14 @@ impl ConfigSpec {
         if let Some(t) = self.fairness_threshold {
             pairs.push(("fairness_threshold", Value::Int(t as i64)));
         }
+        // Emitted only when non-default so exports of the paper's four-scheme
+        // sweeps stay byte-identical across the knob's introduction.
+        if self.adaptive_threshold != DEFAULT_ADAPTIVE_THRESHOLD {
+            pairs.push((
+                "adaptive_threshold",
+                Value::Int(self.adaptive_threshold as i64),
+            ));
+        }
         Value::table(pairs)
     }
 
@@ -276,6 +289,11 @@ impl ConfigSpec {
                                 })?,
                         ),
                     }
+                }
+                "adaptive_threshold" => {
+                    spec.adaptive_threshold = u64_field(v, key)?
+                        .try_into()
+                        .map_err(|_| HarnessError::spec("adaptive_threshold must fit in a u32"))?
                 }
                 "coherence" => spec.coherence = parse_coherence(str_field(v, key)?)?,
                 "mesi_profile" => spec.mesi = MesiProfile::parse(str_field(v, key)?)?,
@@ -347,8 +365,8 @@ pub fn parse_mechanism(name: &str) -> Result<MechanismKind, HarnessError> {
         })
         .ok_or_else(|| {
             HarnessError::spec(format!(
-                "unknown mechanism '{name}' (expected Central, Hier, SynCron, SynCron-flat \
-                 or Ideal)"
+                "unknown mechanism '{name}' (expected Central, Hier, SynCron, SynCron-flat, \
+                 MCS, Adaptive or Ideal)"
             ))
         })
 }
@@ -550,6 +568,7 @@ mod tests {
             st_entries: 16,
             overflow_mode: OverflowMode::MiSarDistributed,
             fairness_threshold: Some(8),
+            adaptive_threshold: 9,
             signal_coalescing: false,
             signal_backoff_ns: 75,
             coherence: CoherenceMode::MesiDirectory,

@@ -78,7 +78,8 @@ pub enum WorkloadSpec {
     /// Open-loop service workload with deterministic arrivals, Zipf-skewed keys
     /// and per-request tail-latency telemetry (beyond the paper's evaluation).
     Service {
-        /// Service shape (sharded KV / work-stealing deque / epoch reclamation).
+        /// Service shape (sharded KV / per-key-lock KV / work-stealing deque /
+        /// epoch reclamation).
         shape: ServiceShape,
         /// Per-core arrival process.
         arrival: ArrivalProcess,
@@ -377,7 +378,7 @@ impl WorkloadSpec {
                 let shape = req_str(value, "shape")?;
                 let shape = ServiceShape::by_name(shape).ok_or_else(|| {
                     HarnessError::spec(format!(
-                        "unknown service shape '{shape}' (expected kv, steal or epoch)"
+                        "unknown service shape '{shape}' (expected kv, kv-fine, steal or epoch)"
                     ))
                 })?;
                 let rate_per_us = req_f64(value, "rate_per_us")?;
@@ -461,7 +462,7 @@ impl WorkloadSpec {
         ));
         lines.push("time-series     input=air|pow diagonals_per_core=<n>".to_string());
         lines.push(
-            "service         shape=kv|steal|epoch arrival=poisson|mmpp|diurnal \
+            "service         shape=kv|kv-fine|steal|epoch arrival=poisson|mmpp|diurnal \
              rate_per_us=<f> keys=<n> zipf_s=<f> requests=<n> [on_us/off_us | \
              amplitude/period_us]"
                 .to_string(),

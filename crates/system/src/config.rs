@@ -323,6 +323,13 @@ impl NdpConfigBuilder {
         self
     }
 
+    /// Sets the contention depth at which the Adaptive mechanism escalates a
+    /// variable from flat to hierarchical serving (ignored by the other kinds).
+    pub fn adaptive_threshold(mut self, threshold: u32) -> Self {
+        self.config.mechanism.adaptive_threshold = threshold;
+        self
+    }
+
     /// Enables or disables condvar signal coalescing / backoff (on by default; see
     /// `syncron_core::protocol` for the extension's semantics).
     pub fn signal_coalescing(mut self, enabled: bool) -> Self {

@@ -790,6 +790,8 @@ impl Shard {
 /// Falls back to one shard (returning the reason) when the configuration or
 /// workload cannot honor the lookahead contract:
 /// the centralized MESI directory, the zero-latency Ideal mechanism,
+/// the Adaptive policy (its escalation set is fed by contention observed
+/// across all units, which a sharded run would partition),
 /// non-integrated overflow modes (their fallback servers bypass `send_remote`),
 /// workloads sharing program state outside simulated synchronization
 /// ([`Workload::shard_safe`]), and zero-latency links.
@@ -813,6 +815,10 @@ fn shard_plan(config: &NdpConfig, shard_safe: bool) -> (usize, Time, Option<&'st
         Some("the MESI directory is centralized state shards cannot partition")
     } else if config.mechanism.kind == MechanismKind::Ideal {
         Some("the Ideal mechanism completes cross-unit requests with zero latency, below any lookahead")
+    } else if config.mechanism.kind == MechanismKind::Adaptive {
+        Some(
+            "the adaptive policy escalates per-variable topology from globally observed contention",
+        )
     } else if config.mechanism.overflow_mode != OverflowMode::Integrated {
         Some("non-integrated overflow modes serialize through a central fallback path")
     } else if !shard_safe {

@@ -12,6 +12,8 @@
 //! * [`zipf`] — an O(1) Zipf-skewed key sampler over key spaces of up to millions
 //!   of sync variables.
 //! * [`kv`] — a sharded key-value store with per-bucket locks.
+//! * [`fine`] — the same store with one lock per key, whose sync-variable
+//!   population exceeds the Synchronization Table under Zipf-skewed popularity.
 //! * [`deque`] — a work-stealing deque layer with per-queue locks and semaphore
 //!   parking.
 //! * [`epoch`] — reader-writer epoch reclamation on barriers and condition
@@ -31,12 +33,14 @@
 pub mod arrival;
 pub mod deque;
 pub mod epoch;
+pub mod fine;
 pub mod kv;
 pub mod zipf;
 
 pub use arrival::{ArrivalGen, ArrivalProcess};
 pub use deque::StealService;
 pub use epoch::EpochService;
+pub use fine::FineKvService;
 pub use kv::KvService;
 pub use zipf::ZipfSampler;
 
@@ -44,11 +48,15 @@ use syncron_sim::stats::LogHistogram;
 use syncron_sim::time::Time;
 use syncron_system::workload::{Action, Workload};
 
-/// The three service shapes built on the open-loop driver.
+/// The four service shapes built on the open-loop driver.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ServiceShape {
     /// Sharded KV store with per-bucket locks ([`KvService`]).
     Kv,
+    /// Fine-grained KV store with one lock per key — its sync-variable
+    /// population scales with the key space and overflows the ST under
+    /// Zipf-skewed traffic ([`FineKvService`]).
+    KvFine,
     /// Work-stealing deque with per-queue locks + semaphore parking
     /// ([`StealService`]).
     Steal,
@@ -58,12 +66,18 @@ pub enum ServiceShape {
 
 impl ServiceShape {
     /// All shapes.
-    pub const ALL: [ServiceShape; 3] = [ServiceShape::Kv, ServiceShape::Steal, ServiceShape::Epoch];
+    pub const ALL: [ServiceShape; 4] = [
+        ServiceShape::Kv,
+        ServiceShape::KvFine,
+        ServiceShape::Steal,
+        ServiceShape::Epoch,
+    ];
 
     /// Short name used in labels and scenario files.
     pub fn name(self) -> &'static str {
         match self {
             ServiceShape::Kv => "kv",
+            ServiceShape::KvFine => "kv-fine",
             ServiceShape::Steal => "steal",
             ServiceShape::Epoch => "epoch",
         }
@@ -95,6 +109,7 @@ pub fn service_workload(
 ) -> Box<dyn Workload + Send + Sync> {
     match shape {
         ServiceShape::Kv => Box::new(KvService::new(params)),
+        ServiceShape::KvFine => Box::new(FineKvService::new(params)),
         ServiceShape::Steal => Box::new(StealService::new(params)),
         ServiceShape::Epoch => Box::new(EpochService::new(params)),
     }
