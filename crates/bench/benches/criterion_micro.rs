@@ -18,6 +18,7 @@ use syncron_mem::dram::{DramModel, DramSpec};
 use syncron_mem::mesi::{CoherentAccess, MesiDirectory, MesiParams};
 use syncron_net::crossbar::{Crossbar, CrossbarConfig};
 use syncron_sim::event::{EventQueue, SchedulerKind};
+use syncron_sim::queueing::{md1_wait, Md1Model, Md1Table};
 use syncron_sim::rng::SimRng;
 use syncron_sim::{Addr, GlobalCoreId, Time, UnitId};
 
@@ -121,11 +122,44 @@ fn bench_dram() {
 }
 
 fn bench_crossbar() {
-    let mut xbar = Crossbar::new(CrossbarConfig::default());
+    for model in Md1Model::ALL {
+        let mut xbar = Crossbar::new(CrossbarConfig {
+            md1_model: model,
+            ..CrossbarConfig::default()
+        });
+        let mut i = 0u64;
+        let name = match model {
+            Md1Model::Exact => "crossbar_transfer_exact",
+            Md1Model::Quantized => "crossbar_transfer_quantized",
+        };
+        bench(name, 1_000_000, || {
+            i = i.wrapping_add(1);
+            black_box(xbar.transfer(Time::from_ns(i), 64));
+        });
+    }
+}
+
+fn bench_md1() {
+    // The isolated queueing-model kernel, outside the crossbar's rate tracker:
+    // closed form (ln/exp via powf in the utilization clamp and two divides)
+    // vs the quantized table (bit extraction + one fused interpolation). The
+    // lambda ramp sweeps the whole utilization range so the table walk touches
+    // every bucket, not one hot cache line.
+    let service = Time::from_ps(1_600);
+    let cap = 0.95;
+    let saturation = 1.0 / 1_600.0f64;
     let mut i = 0u64;
-    bench("crossbar_transfer", 1_000_000, || {
+    bench("md1_wait_exact", 1_000_000, || {
         i = i.wrapping_add(1);
-        black_box(xbar.transfer(Time::from_ns(i), 64));
+        let lambda = saturation * ((i % 1024) as f64) / 1024.0;
+        black_box(md1_wait(black_box(lambda), service, cap));
+    });
+    let table = Md1Table::new(service, cap);
+    let mut j = 0u64;
+    bench("md1_wait_quantized", 1_000_000, || {
+        j = j.wrapping_add(1);
+        let lambda = saturation * ((j % 1024) as f64) / 1024.0;
+        black_box(table.wait(black_box(lambda)));
     });
 }
 
@@ -155,5 +189,6 @@ fn main() {
     bench_l1_cache();
     bench_dram();
     bench_crossbar();
+    bench_md1();
     bench_mesi();
 }

@@ -1,7 +1,9 @@
 //! Simulator-throughput sweep: calendar-queue scheduler vs the `BinaryHeap`
 //! baseline across schemes × geometries (4×16 up to 16×256), plus the
 //! shard-scaling sweep of the conservative-PDES execution mode (1/2/4/8
-//! workers, identical simulations, wall-clock speedup).
+//! workers, identical simulations, wall-clock speedup) and the fast-path
+//! attribution sweep (quantized M/D/1, burst resume, column batching — each
+//! lever alone and all together vs the everything-off baseline).
 //!
 //! Prints both tables and writes `BENCH_simcore.json` (override the path with
 //! `SYNCRON_BENCH_OUT`), then re-parses and schema-validates the file so a
@@ -14,13 +16,15 @@ fn main() {
     simcore::simcore_table(&points).print();
     let shards = simcore::measure_shards();
     simcore::shard_table(&shards).print();
+    let fastpath = simcore::measure_fastpath();
+    simcore::fastpath_table(&fastpath).print();
 
     // Default to the repository root (bench targets run with the package as
     // cwd), so the trajectory file lands next to EXPERIMENTS.md.
     let path = std::env::var("SYNCRON_BENCH_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simcore.json").into()
     });
-    let doc = simcore::simcore_json(&points, &shards);
+    let doc = simcore::simcore_json(&points, &shards, &fastpath);
     std::fs::write(&path, doc.to_json_pretty() + "\n")
         .unwrap_or_else(|e| panic!("writing {path}: {e}"));
 

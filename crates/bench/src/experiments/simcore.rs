@@ -25,7 +25,7 @@
 use crate::{f2, scale, scaled, Table};
 use syncron_core::MechanismKind;
 use syncron_harness::json::Value;
-use syncron_harness::{ConfigSpec, Scenario, SchedulerKind, WorkloadSpec};
+use syncron_harness::{ConfigSpec, Md1Model, Scenario, SchedulerKind, WorkloadSpec};
 use syncron_workloads::micro::SyncPrimitive;
 
 /// Schema identifier embedded in (and required from) `BENCH_simcore.json`.
@@ -309,6 +309,172 @@ pub fn measure_shards() -> Vec<ShardPoint> {
     measure_shard_geometries(&GEOMETRIES, scaled(8, 1), &SHARD_WORKERS)
 }
 
+/// Fast-path lever variants measured by the per-lever attribution sweep:
+/// everything off (the pre-PR baseline), each lever alone, and the default
+/// all-on configuration. The lever set is the contract CI greps for in
+/// `BENCH_simcore.json` — dropping a variant here drops its rows there.
+pub const FASTPATH_VARIANTS: [(&str, Md1Model, bool, bool); 5] = [
+    ("baseline", Md1Model::Exact, false, false),
+    ("quantized-md1", Md1Model::Quantized, false, false),
+    ("burst-resume", Md1Model::Exact, true, false),
+    ("column-batching", Md1Model::Exact, false, true),
+    ("all-on", Md1Model::Quantized, true, true),
+];
+
+/// Mechanisms the fast-path sweep prices each lever under: SynCron wake-ups
+/// serialize through the Synchronization Engine (each completion rides its own
+/// crossbar hop at its own timestamp), so burst resume is near-neutral there
+/// and the sweep would hide the lever's payoff; Ideal completes whole barrier
+/// episodes at one timestamp — the broadcast shape the burst path collapses.
+pub const FASTPATH_KINDS: [MechanismKind; 2] = [MechanismKind::SynCron, MechanismKind::Ideal];
+
+/// One point of the fast-path attribution sweep: the calendar scheduler at one
+/// geometry and mechanism with one combination of the three hot-path levers.
+#[derive(Clone, Copy, Debug)]
+pub struct FastpathPoint {
+    /// NDP units of the simulated machine.
+    pub units: usize,
+    /// Cores per NDP unit of the simulated machine.
+    pub cores_per_unit: usize,
+    /// Synchronization scheme the simulated machine ran.
+    pub mechanism: MechanismKind,
+    /// Variant label from [`FASTPATH_VARIANTS`].
+    pub variant: &'static str,
+    /// Crossbar M/D/1 evaluation model of this variant.
+    pub md1_model: Md1Model,
+    /// Whether same-time wake-ups coalesce into per-unit burst events.
+    pub burst_resume: bool,
+    /// Whether batch members share slot lookups per variable run.
+    pub column_batching: bool,
+    /// Best-of-[`REPEATS`] measurement.
+    pub run: Measurement,
+}
+
+impl FastpathPoint {
+    /// `WxC` geometry label (`16x256`).
+    pub fn geometry(&self) -> String {
+        format!("{}x{}", self.units, self.cores_per_unit)
+    }
+}
+
+/// Wall-clock speedup of `p` over the everything-off baseline of the same
+/// geometry and mechanism (`0.0` if the baseline is missing or degenerate).
+/// Wall seconds — not events/sec — because burst resume *shrinks the event
+/// count* for the identical simulation, which makes events/sec lie in both
+/// directions.
+pub fn fastpath_speedup(points: &[FastpathPoint], p: &FastpathPoint) -> f64 {
+    points
+        .iter()
+        .find(|q| {
+            q.units == p.units
+                && q.cores_per_unit == p.cores_per_unit
+                && q.mechanism == p.mechanism
+                && q.variant == "baseline"
+        })
+        .map(|base| {
+            if p.run.wall_seconds > 0.0 {
+                base.run.wall_seconds / p.run.wall_seconds
+            } else {
+                0.0
+            }
+        })
+        .unwrap_or(0.0)
+}
+
+/// Measures the fast-path attribution sweep over explicit geometries (exposed
+/// so tests and the CI smoke job can run a tiny instance; use
+/// [`measure_fastpath`] for the real experiment).
+///
+/// Every variant runs the *same* simulation: the everything-off report is the
+/// reference and any simulated-field divergence panics (only the quantized
+/// M/D/1 table could legitimately move results, and on this corpus its ≤1 ps
+/// error rounds away — a divergence here means the re-baseline contract broke).
+pub fn measure_fastpath_geometries(
+    geometries: &[(usize, usize)],
+    iterations: u32,
+) -> Vec<FastpathPoint> {
+    let mut points = Vec::new();
+    for &(units, cores_per_unit) in geometries {
+        for mechanism in FASTPATH_KINDS {
+            let mut reference: Option<syncron_system::RunReport> = None;
+            for (variant, md1_model, burst_resume, column_batching) in FASTPATH_VARIANTS {
+                let mut s = scenario(
+                    units,
+                    cores_per_unit,
+                    mechanism,
+                    SchedulerKind::Calendar,
+                    iterations,
+                );
+                s.label = format!("{}/fastpath={variant}", s.label);
+                s.config = s
+                    .config
+                    .with_md1_model(md1_model)
+                    .with_burst_resume(burst_resume)
+                    .with_column_batching(column_batching);
+                let (report, run) = measure_one(&s);
+                match &reference {
+                    None => reference = Some(report.clone()),
+                    Some(base) => {
+                        if let Some(field) = base.divergence_from(&report) {
+                            panic!(
+                                "{units}x{cores_per_unit}/{}: fast-path variant '{variant}' \
+                                 diverged from the everything-off baseline in {field}",
+                                mechanism.name()
+                            );
+                        }
+                    }
+                }
+                points.push(FastpathPoint {
+                    units,
+                    cores_per_unit,
+                    mechanism,
+                    variant,
+                    md1_model,
+                    burst_resume,
+                    column_batching,
+                    run,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Runs the full fast-path attribution sweep (respects `SYNCRON_SCALE`).
+pub fn measure_fastpath() -> Vec<FastpathPoint> {
+    measure_fastpath_geometries(&GEOMETRIES, scaled(8, 1))
+}
+
+/// Renders the fast-path attribution sweep as its text table.
+pub fn fastpath_table(points: &[FastpathPoint]) -> Table {
+    let mut table = Table::new(
+        "Fast-path attribution: quantized M/D/1, burst resume and column \
+         batching vs the everything-off baseline (identical simulations, \
+         wall-clock speedup)",
+        &[
+            "geometry",
+            "mechanism",
+            "variant",
+            "events",
+            "wall s",
+            "ev/s",
+            "speedup",
+        ],
+    );
+    for p in points {
+        table.push_row(vec![
+            p.geometry(),
+            p.mechanism.name().to_string(),
+            p.variant.to_string(),
+            p.run.events.to_string(),
+            format!("{:.6}", p.run.wall_seconds),
+            format!("{:.3e}", p.run.events_per_sec),
+            f2(fastpath_speedup(points, p)),
+        ]);
+    }
+    table
+}
+
 /// Renders the shard-scaling sweep as its text table.
 pub fn shard_table(points: &[ShardPoint]) -> Table {
     let mut table = Table::new(
@@ -444,9 +610,13 @@ pub fn simcore_table(points: &[SimcorePoint]) -> Table {
 }
 
 /// Serializes the sweeps as the `BENCH_simcore.json` document. `shards` is the
-/// shard-scaling sweep; pass an empty slice to emit a document without the
-/// (additive) `shard_scaling` array.
-pub fn simcore_json(points: &[SimcorePoint], shards: &[ShardPoint]) -> Value {
+/// shard-scaling sweep and `fastpath` the fast-path attribution sweep; pass an
+/// empty slice to emit a document without the corresponding (additive) array.
+pub fn simcore_json(
+    points: &[SimcorePoint],
+    shards: &[ShardPoint],
+    fastpath: &[FastpathPoint],
+) -> Value {
     let measurement = |m: &Measurement| {
         Value::table([
             ("completed", Value::Bool(m.completed)),
@@ -533,6 +703,33 @@ pub fn simcore_json(points: &[SimcorePoint], shards: &[ShardPoint]) -> Value {
     if !shards.is_empty() {
         if let Value::Table(map) = &mut doc {
             map.insert("shard_scaling".to_string(), shard_rows);
+        }
+    }
+    if !fastpath.is_empty() {
+        let fastpath_rows = Value::Array(
+            fastpath
+                .iter()
+                .map(|p| {
+                    Value::table([
+                        ("geometry", Value::str(p.geometry())),
+                        ("units", Value::Int(p.units as i64)),
+                        ("cores_per_unit", Value::Int(p.cores_per_unit as i64)),
+                        ("mechanism", Value::str(p.mechanism.name())),
+                        ("variant", Value::str(p.variant)),
+                        ("md1_model", Value::str(p.md1_model.name())),
+                        ("burst_resume", Value::Bool(p.burst_resume)),
+                        ("column_batching", Value::Bool(p.column_batching)),
+                        ("completed", Value::Bool(p.run.completed)),
+                        ("events", Value::Int(p.run.events as i64)),
+                        ("wall_seconds", Value::Float(p.run.wall_seconds)),
+                        ("events_per_sec", Value::Float(p.run.events_per_sec)),
+                        ("speedup", Value::Float(fastpath_speedup(fastpath, p))),
+                    ])
+                })
+                .collect(),
+        );
+        if let Value::Table(map) = &mut doc {
+            map.insert("fastpath".to_string(), fastpath_rows);
         }
     }
     doc
@@ -653,6 +850,72 @@ pub fn validate_simcore_json(doc: &Value) -> Result<(), String> {
             }
         }
     }
+    // The fast-path attribution sweep is additive to v1 as well (PR 9):
+    // optional, but a present array must carry the lever fields per row, the
+    // everything-off baseline every speedup is defined against, and every
+    // variant of [`FASTPATH_VARIANTS`] — a silently dropped variant (say,
+    // `md1_model` rows vanishing) would otherwise shrink the trajectory
+    // without failing anything.
+    if let Some(fastpath) = doc.get("fastpath") {
+        let rows = fastpath.as_array().ok_or("'fastpath' must be an array")?;
+        if rows.is_empty() {
+            return Err("'fastpath' is empty".into());
+        }
+        let mut baselines = Vec::new();
+        let mut variants: Vec<String> = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            let geometry = row
+                .get("geometry")
+                .and_then(Value::as_str)
+                .ok_or(format!("fastpath {i}: missing string 'geometry'"))?;
+            let mechanism = row
+                .get("mechanism")
+                .and_then(Value::as_str)
+                .ok_or(format!("fastpath {i}: missing string 'mechanism'"))?;
+            let variant = row
+                .get("variant")
+                .and_then(Value::as_str)
+                .ok_or(format!("fastpath {i}: missing string 'variant'"))?;
+            let model = row
+                .get("md1_model")
+                .and_then(Value::as_str)
+                .ok_or(format!("fastpath {i}: missing string 'md1_model'"))?;
+            if Md1Model::parse(model).is_none() {
+                return Err(format!("fastpath {i}: unknown md1_model '{model}'"));
+            }
+            for key in ["burst_resume", "column_batching", "completed"] {
+                row.get(key)
+                    .and_then(Value::as_bool)
+                    .ok_or(format!("fastpath {i}: missing bool '{key}'"))?;
+            }
+            for key in ["events", "wall_seconds", "events_per_sec", "speedup"] {
+                row.get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("fastpath {i}: missing numeric '{key}'"))?;
+            }
+            if variant == "baseline" {
+                baselines.push(format!("{geometry}/{mechanism}"));
+            }
+            if !variants.iter().any(|v| v == variant) {
+                variants.push(variant.to_string());
+            }
+        }
+        for (i, row) in rows.iter().enumerate() {
+            let geometry = row.get("geometry").and_then(Value::as_str).unwrap_or("");
+            let mechanism = row.get("mechanism").and_then(Value::as_str).unwrap_or("");
+            let key = format!("{geometry}/{mechanism}");
+            if !baselines.iter().any(|b| b == &key) {
+                return Err(format!(
+                    "fastpath {i}: point '{key}' has no everything-off baseline"
+                ));
+            }
+        }
+        for (variant, ..) in FASTPATH_VARIANTS {
+            if !variants.iter().any(|v| v == variant) {
+                return Err(format!("fastpath: variant '{variant}' is missing"));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -682,16 +945,85 @@ mod tests {
     fn json_document_round_trips_and_validates() {
         let points = measure_geometries(&[(2, 4)], 1);
         let shards = measure_shard_geometries(&[(2, 4)], 1, &[1, 2]);
-        let doc = simcore_json(&points, &shards);
+        let fastpath = measure_fastpath_geometries(&[(2, 4)], 1);
+        let doc = simcore_json(&points, &shards, &fastpath);
         validate_simcore_json(&doc).expect("fresh document validates");
         // Through text and back (what the CI smoke job exercises).
         let text = doc.to_json_pretty();
         let parsed = syncron_harness::json::parse(&text).expect("valid JSON text");
         validate_simcore_json(&parsed).expect("parsed document validates");
-        // A document without the additive shard_scaling array still validates.
-        let doc = simcore_json(&points, &[]);
+        // A document without the additive arrays still validates.
+        let doc = simcore_json(&points, &[], &[]);
         assert!(doc.get("shard_scaling").is_none());
-        validate_simcore_json(&doc).expect("shard-less document validates");
+        assert!(doc.get("fastpath").is_none());
+        validate_simcore_json(&doc).expect("array-less document validates");
+    }
+
+    #[test]
+    fn tiny_fastpath_sweep_prices_identical_simulations() {
+        let points = measure_fastpath_geometries(&[(2, 4)], 2);
+        assert_eq!(points.len(), FASTPATH_VARIANTS.len() * FASTPATH_KINDS.len());
+        for p in &points {
+            assert!(p.run.completed);
+            let base = points
+                .iter()
+                .find(|q| q.mechanism == p.mechanism && q.variant == "baseline")
+                .expect("baseline per mechanism");
+            // Burst resume legitimately shrinks the delivered-event count;
+            // the other levers must not touch it.
+            if p.burst_resume {
+                assert!(p.run.events <= base.run.events, "{}", p.variant);
+            } else {
+                assert_eq!(p.run.events, base.run.events, "{}", p.variant);
+            }
+            if p.variant == "baseline" {
+                assert!((fastpath_speedup(&points, p) - 1.0).abs() < 1e-12);
+            }
+        }
+        // Ideal's barrier broadcast is the burst path's target shape: the
+        // collapse must be visible in the event count, not just nonnegative.
+        let ideal_base = points
+            .iter()
+            .find(|p| p.mechanism == MechanismKind::Ideal && p.variant == "baseline")
+            .unwrap();
+        let ideal_burst = points
+            .iter()
+            .find(|p| p.mechanism == MechanismKind::Ideal && p.variant == "burst-resume")
+            .unwrap();
+        assert!(
+            ideal_burst.run.events < ideal_base.run.events,
+            "Ideal broadcast wake-ups must coalesce into burst events"
+        );
+        let table = fastpath_table(&points);
+        assert_eq!(table.rows.len(), points.len());
+    }
+
+    #[test]
+    fn fastpath_validation_requires_baseline_and_every_variant() {
+        let points = measure_geometries(&[(2, 4)], 1);
+        let fastpath = measure_fastpath_geometries(&[(2, 4)], 1);
+        // Dropping the baseline row breaks every speedup's denominator.
+        let partial: Vec<FastpathPoint> = fastpath
+            .iter()
+            .copied()
+            .filter(|p| p.variant != "baseline")
+            .collect();
+        let doc = simcore_json(&points, &[], &partial);
+        let err = validate_simcore_json(&doc).unwrap_err();
+        assert!(
+            err.contains("everything-off baseline"),
+            "unexpected error: {err}"
+        );
+        // Dropping any lever variant (md1_model rows vanishing, say) silently
+        // shrinks the trajectory; the validator names the hole.
+        let partial: Vec<FastpathPoint> = fastpath
+            .iter()
+            .copied()
+            .filter(|p| p.variant != "quantized-md1")
+            .collect();
+        let doc = simcore_json(&points, &[], &partial);
+        let err = validate_simcore_json(&doc).unwrap_err();
+        assert!(err.contains("quantized-md1"), "unexpected error: {err}");
     }
 
     #[test]
@@ -718,7 +1050,7 @@ mod tests {
     fn shard_scaling_validation_requires_a_baseline() {
         let points = measure_geometries(&[(2, 4)], 1);
         let shards = measure_shard_geometries(&[(2, 4)], 1, &[2, 4]);
-        let doc = simcore_json(&points, &shards);
+        let doc = simcore_json(&points, &shards, &[]);
         let err = validate_simcore_json(&doc).unwrap_err();
         assert!(
             err.contains("workers=1 baseline"),
@@ -732,7 +1064,7 @@ mod tests {
         // generated before they existed must still validate, while a present
         // field of the wrong type is rejected.
         let points = measure_geometries(&[(2, 4)], 1);
-        let doc = simcore_json(&points, &[]);
+        let doc = simcore_json(&points, &[], &[]);
         let text = doc.to_json_pretty();
         let pre_pr5 = regex_strip_wall(&text);
         let parsed = syncron_harness::json::parse(&pre_pr5).expect("valid JSON");

@@ -156,6 +156,14 @@ pub struct ProtocolConfig {
     /// simulator optimization: delivery order, and therefore every report, is
     /// bit-identical either way.
     pub message_batching: bool,
+    /// Process the members of one delivered equal-timestamp batch column-wise
+    /// against the component tables: consecutive messages for the same
+    /// variable share one slot resolve/release round-trip (see
+    /// [`ProtocolMechanism::deliver`]). A pure simulator optimization layered
+    /// on `message_batching`: the skipped release-then-resolve pair is a state
+    /// no-op under the LIFO slot free list, so every report is bit-identical
+    /// either way.
+    pub column_batching: bool,
     /// Contention threshold of the [`MechanismKind::Adaptive`] policy: a
     /// variable escalates from the flat to the hierarchical protocol once its
     /// master observes this many grantees queued globally on its lock. Ignored
@@ -204,6 +212,7 @@ impl ProtocolConfig {
             signal_backoff_max: Time::from_ns(DEFAULT_SIGNAL_BACKOFF_NS * 64),
             pending_signal_cap: 1,
             message_batching: true,
+            column_batching: true,
             adaptive_threshold: DEFAULT_ADAPTIVE_THRESHOLD,
         }
     }
@@ -255,6 +264,12 @@ impl ProtocolConfig {
     /// Enables or disables equal-timestamp message batching.
     pub fn with_message_batching(mut self, enabled: bool) -> Self {
         self.message_batching = enabled;
+        self
+    }
+
+    /// Enables or disables column-wise processing of delivered batches.
+    pub fn with_column_batching(mut self, enabled: bool) -> Self {
+        self.column_batching = enabled;
         self
     }
 
@@ -1688,10 +1703,49 @@ impl SyncMechanism for ProtocolMechanism {
         // so walking them here is exactly the pop order the unbatched queue
         // would have produced (`EngineMsg` is `Copy`; indexing sidesteps the
         // borrow of `self`).
-        self.deliver_one(ctx, unit, first);
-        for i in 0..self.batch_scratch.len() {
-            let msg = self.batch_scratch[i];
-            self.deliver_one(ctx, unit, msg);
+        if self.config.column_batching {
+            // Column-wise walk: a run of consecutive members addressing the
+            // same variable keeps that variable's slot resolved across the run
+            // instead of paying a `release_if_unused` + `resolve` round-trip
+            // per member. The skipped pair is a state no-op — releasing an
+            // unused slot and immediately re-resolving the same variable pops
+            // the identical slot back off the LIFO free list — so every report
+            // stays bit-identical to the member-at-a-time walk. On a variable
+            // change the finished run is released *before* the new variable is
+            // resolved, which is the exact interleaving the unbatched walk
+            // produces and what keeps LIFO slot reuse identical. Redirect
+            // paths consume the slot themselves (`deliver_one_slot` returns
+            // false) and drop the memo.
+            let mut run: Option<(Addr, u32)> = None;
+            for i in 0..=self.batch_scratch.len() {
+                let msg = if i == 0 {
+                    first
+                } else {
+                    self.batch_scratch[i - 1]
+                };
+                let var = msg.var();
+                let slot = match run {
+                    Some((open_var, slot)) if open_var == var => slot,
+                    other => {
+                        if let Some((_, finished)) = other {
+                            self.engines[unit.index()].vars.release_if_unused(finished);
+                        }
+                        self.engines[unit.index()].vars.resolve(var)
+                    }
+                };
+                run = self
+                    .deliver_one_slot(ctx, unit, msg, slot as usize)
+                    .then_some((var, slot));
+            }
+            if let Some((_, finished)) = run {
+                self.engines[unit.index()].vars.release_if_unused(finished);
+            }
+        } else {
+            self.deliver_one(ctx, unit, first);
+            for i in 0..self.batch_scratch.len() {
+                let msg = self.batch_scratch[i];
+                self.deliver_one(ctx, unit, msg);
+            }
         }
         self.batch_scratch.clear();
     }
@@ -1753,12 +1807,33 @@ impl SyncMechanism for ProtocolMechanism {
 impl ProtocolMechanism {
     /// Processes one message at engine `unit` at the current time.
     fn deliver_one(&mut self, ctx: &mut dyn SyncContext, unit: UnitId, msg: EngineMsg) {
+        // The one compact `addr -> slot` resolution of this message; every
+        // subsequent component-table touch indexes the columns densely.
+        let slot = self.engines[unit.index()].vars.resolve(msg.var());
+        if self.deliver_one_slot(ctx, unit, msg, slot as usize) {
+            // Recycle the slot if this message left the variable with no state
+            // at this engine (forward-only hops, completed barriers, released
+            // locks).
+            self.engines[unit.index()].vars.release_if_unused(slot);
+        }
+    }
+
+    /// Processes one message whose variable is already resolved to `slot`.
+    ///
+    /// Returns `true` when the caller still owes the trailing
+    /// `release_if_unused(slot)` (the normal path) and `false` when the
+    /// message consumed the slot itself (redirect paths) — a column-batch run
+    /// keyed on this slot must end there.
+    fn deliver_one_slot(
+        &mut self,
+        ctx: &mut dyn SyncContext,
+        unit: UnitId,
+        msg: EngineMsg,
+        slot: usize,
+    ) -> bool {
         let now = ctx.now();
         let var = msg.var();
         let kind = msg.primitive();
-        // The one compact `addr -> slot` resolution of this message; every
-        // subsequent component-table touch indexes the columns densely.
-        let slot = self.engines[unit.index()].vars.resolve(var) as usize;
 
         // Resolve ST / overflow state (SynCron backends only).
         let (mut use_memory, redirect) = match msg {
@@ -1866,11 +1941,13 @@ impl ProtocolMechanism {
                     }
                 }
                 // Redirected requests leave no state here (the MiSAR abort flag,
-                // when set, pins the slot); recycle it otherwise.
+                // when set, pins the slot); recycle it otherwise. The MiSAR
+                // drain above may also have released slots across engines, so
+                // the slot handed in is dead either way.
                 self.engines[unit.index()]
                     .vars
                     .release_if_unused(slot as u32);
-                return;
+                return false;
             }
             // Global messages are never redirected; fall through and service via memory.
             use_memory = true;
@@ -1912,11 +1989,7 @@ impl ProtocolMechanism {
             let depth = self.engines[unit.index()].vars.master_lock_depth(slot);
             self.policy.observe_contention(var, depth);
         }
-        // Recycle the slot if this message left the variable with no state at
-        // this engine (forward-only hops, completed barriers, released locks).
-        self.engines[unit.index()]
-            .vars
-            .release_if_unused(slot as u32);
+        true
     }
 }
 

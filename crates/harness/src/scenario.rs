@@ -10,6 +10,7 @@ use syncron_core::mechanism::{MechanismKind, MechanismParams, DEFAULT_ADAPTIVE_T
 use syncron_core::protocol::OverflowMode;
 use syncron_mem::mesi::MesiParams;
 use syncron_mem::MemTech;
+use syncron_sim::queueing::Md1Model;
 use syncron_sim::{SchedulerKind, Time};
 use syncron_system::config::{CoherenceMode, NdpConfig};
 
@@ -78,6 +79,18 @@ pub struct ConfigSpec {
     /// Equal-timestamp message batching in the protocol engine (simulator
     /// optimization; reports are bit-identical either way). On by default.
     pub message_batching: bool,
+    /// Column-wise processing of delivered message batches (simulator
+    /// optimization layered on `message_batching`; reports are bit-identical
+    /// either way). On by default.
+    pub column_batching: bool,
+    /// Burst-resume events for broadcast completions (simulator optimization;
+    /// reports are bit-identical either way). On by default.
+    pub burst_resume: bool,
+    /// M/D/1 evaluation model of the crossbars (`exact` or `quantized`).
+    /// Unlike the other performance knobs this changes simulated latencies —
+    /// within the table's documented error bound — so the two settings are
+    /// different baselines. Quantized by default.
+    pub md1_model: Md1Model,
     /// Coherence mode for shared read-write data.
     pub coherence: CoherenceMode,
     /// MESI latency profile (only used with [`CoherenceMode::MesiDirectory`]).
@@ -117,6 +130,9 @@ impl Default for ConfigSpec {
             signal_coalescing: paper.mechanism.signal_coalescing,
             signal_backoff_ns: paper.mechanism.signal_backoff_ns,
             message_batching: paper.mechanism.message_batching,
+            column_batching: paper.mechanism.column_batching,
+            burst_resume: paper.burst_resume,
+            md1_model: paper.crossbar.md1_model,
             coherence: paper.coherence,
             mesi: MesiProfile::NdpDefault,
             reserve_server_core: paper.reserve_server_core,
@@ -166,6 +182,24 @@ impl ConfigSpec {
         self
     }
 
+    /// Enables or disables column-wise batch processing (builder style).
+    pub fn with_column_batching(mut self, enabled: bool) -> Self {
+        self.column_batching = enabled;
+        self
+    }
+
+    /// Enables or disables burst-resume events (builder style).
+    pub fn with_burst_resume(mut self, enabled: bool) -> Self {
+        self.burst_resume = enabled;
+        self
+    }
+
+    /// Selects the crossbars' M/D/1 evaluation model (builder style).
+    pub fn with_md1_model(mut self, model: Md1Model) -> Self {
+        self.md1_model = model;
+        self
+    }
+
     /// Sets the sharded-execution worker-thread count (builder style; `1` =
     /// sequential, results bit-identical under any value).
     pub fn with_sim_threads(mut self, threads: usize) -> Self {
@@ -182,6 +216,7 @@ impl ConfigSpec {
             .with_signal_coalescing(self.signal_coalescing)
             .with_signal_backoff_ns(self.signal_backoff_ns)
             .with_message_batching(self.message_batching)
+            .with_column_batching(self.column_batching)
             .with_adaptive_threshold(self.adaptive_threshold);
         params.fairness_threshold = self.fairness_threshold;
         let mesi = match self.mesi {
@@ -201,6 +236,8 @@ impl ConfigSpec {
             .max_events(self.max_events)
             .scheduler(self.scheduler)
             .inline_step_budget(self.inline_step_budget)
+            .burst_resume(self.burst_resume)
+            .md1_model(self.md1_model)
             .sim_threads(self.sim_threads)
             .build()
             .map_err(|e| HarnessError::Config(e.to_string()))
@@ -245,6 +282,15 @@ impl ConfigSpec {
                 Value::Int(self.adaptive_threshold as i64),
             ));
         }
+        if !self.column_batching {
+            pairs.push(("column_batching", Value::Bool(false)));
+        }
+        if !self.burst_resume {
+            pairs.push(("burst_resume", Value::Bool(false)));
+        }
+        if self.md1_model != Md1Model::default() {
+            pairs.push(("md1_model", Value::str(self.md1_model.name())));
+        }
         Value::table(pairs)
     }
 
@@ -273,6 +319,21 @@ impl ConfigSpec {
                     spec.message_batching = v
                         .as_bool()
                         .ok_or_else(|| HarnessError::spec("message_batching must be a bool"))?
+                }
+                "column_batching" => {
+                    spec.column_batching = v
+                        .as_bool()
+                        .ok_or_else(|| HarnessError::spec("column_batching must be a bool"))?
+                }
+                "burst_resume" => {
+                    spec.burst_resume = v
+                        .as_bool()
+                        .ok_or_else(|| HarnessError::spec("burst_resume must be a bool"))?
+                }
+                "md1_model" => {
+                    spec.md1_model = Md1Model::parse(str_field(v, key)?).ok_or_else(|| {
+                        HarnessError::spec("unknown md1_model (expected 'exact' or 'quantized')")
+                    })?
                 }
                 "fairness_threshold" => {
                     spec.fairness_threshold = match v {
@@ -628,6 +689,46 @@ mod tests {
         let value = crate::json::parse(r#"{"message_batching": false}"#).unwrap();
         assert!(!ConfigSpec::from_value(&value).unwrap().message_batching);
         let value = crate::json::parse(r#"{"message_batching": 3}"#).unwrap();
+        assert!(ConfigSpec::from_value(&value).is_err());
+    }
+
+    #[test]
+    fn fastpath_fields_round_trip_and_stay_silent_at_defaults() {
+        // column_batching / burst_resume / md1_model are emitted only when
+        // non-default, so exports of the paper's four-scheme sweeps stay
+        // byte-identical across the knobs' introduction.
+        let default_doc = ConfigSpec::default().to_value();
+        let table = default_doc.as_table().unwrap();
+        for silent in ["column_batching", "burst_resume", "md1_model"] {
+            assert!(
+                !table.iter().any(|(k, _)| k == silent),
+                "{silent} must not be emitted at its default"
+            );
+        }
+
+        let spec = ConfigSpec::default()
+            .with_column_batching(false)
+            .with_burst_resume(false)
+            .with_md1_model(Md1Model::Exact);
+        let back = ConfigSpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(back, spec);
+        let cfg = back.to_ndp_config().unwrap();
+        assert!(!cfg.mechanism.column_batching);
+        assert!(!cfg.burst_resume);
+        assert_eq!(cfg.crossbar.md1_model, Md1Model::Exact);
+
+        // TOML/JSON text forms, including rejection of unknown model names and
+        // mistyped booleans.
+        let value =
+            crate::json::parse(r#"{"md1_model": "quantized", "burst_resume": true}"#).unwrap();
+        let parsed = ConfigSpec::from_value(&value).unwrap();
+        assert_eq!(parsed.md1_model, Md1Model::Quantized);
+        assert!(parsed.burst_resume);
+        let value = crate::json::parse(r#"{"md1_model": "fixedpoint"}"#).unwrap();
+        assert!(ConfigSpec::from_value(&value).is_err());
+        let value = crate::json::parse(r#"{"column_batching": 3}"#).unwrap();
+        assert!(ConfigSpec::from_value(&value).is_err());
+        let value = crate::json::parse(r#"{"burst_resume": "yes"}"#).unwrap();
         assert!(ConfigSpec::from_value(&value).is_err());
     }
 

@@ -9,7 +9,7 @@
 //! 16 cores hammering the local Synchronization Engine) see growing queueing delay
 //! without simulating individual flits.
 
-use syncron_sim::queueing::{md1_wait_with_mu, Memo2, RateTracker};
+use syncron_sim::queueing::{md1_wait_with_mu, Md1Model, Md1Table, RateTracker};
 use syncron_sim::stats::Counter;
 use syncron_sim::time::{Freq, Time};
 
@@ -31,6 +31,11 @@ pub struct CrossbarConfig {
     pub pj_per_bit_hop: f64,
     /// Maximum utilization the M/D/1 model is evaluated at (stability clamp).
     pub max_utilization: f64,
+    /// How the M/D/1 waiting time is evaluated per packet: `Exact` runs the
+    /// closed form (two serial f64 divides), `Quantized` (default) interpolates
+    /// a per-service-time [`Md1Table`] — within [`Md1Table::ERROR_BOUND_PS`] of
+    /// exact, but a different baseline bit-wise.
+    pub md1_model: Md1Model,
 }
 
 impl Default for CrossbarConfig {
@@ -42,8 +47,23 @@ impl Default for CrossbarConfig {
             flit_bytes: 16,
             pj_per_bit_hop: 0.4,
             max_utilization: 0.95,
+            md1_model: Md1Model::default(),
         }
     }
+}
+
+/// Per-packet-size derived quantities: the deterministic service time, its
+/// reciprocal (for the exact model) and, under [`Md1Model::Quantized`], the
+/// precomputed waiting-time table. A scenario crosses a handful of distinct
+/// packet sizes (16 B tokens, line-sized data), so a linear scan over this
+/// small vector beats any hashing and — unlike the two-way memo it replaces —
+/// never evicts, so each table is built exactly once.
+#[derive(Clone, Debug)]
+struct ServiceClass {
+    bytes: u64,
+    service: Time,
+    mu: f64,
+    table: Option<Md1Table>,
 }
 
 /// Traffic and energy counters of a [`Crossbar`].
@@ -81,10 +101,9 @@ pub struct Crossbar {
     /// Arbiter + hop latency, fixed by the configuration; computed once instead of
     /// per packet.
     pipeline: Time,
-    /// Memoized `bytes → (service time, service rate)`: a hit skips the flit
-    /// division and — via [`md1_wait_with_mu`] — the `1.0 / service` divide of
-    /// the M/D/1 model, without changing a bit of any result.
-    service_memo: Memo2<(Time, f64)>,
+    /// `bytes → ServiceClass` cache: a hit skips the flit division and — under
+    /// the quantized model — every per-packet divide of the M/D/1 evaluation.
+    classes: Vec<ServiceClass>,
 }
 
 impl Crossbar {
@@ -100,7 +119,7 @@ impl Crossbar {
             pipeline: config
                 .clock
                 .cycles_to_ps(config.arbiter_cycles + config.hops),
-            service_memo: Memo2::new(),
+            classes: Vec::new(),
         }
     }
 
@@ -112,32 +131,52 @@ impl Crossbar {
     /// Transfers a packet of `bytes` across the crossbar at time `now` and returns the
     /// latency the packet experiences (pipeline + serialization + queueing).
     pub fn transfer(&mut self, now: Time, bytes: u64) -> Time {
-        let cfg = &self.config;
-        let (service, mu) = self.service_memo.get_or_insert_with(bytes, || {
-            let flits = bytes.div_ceil(cfg.flit_bytes).max(1);
-            let service = cfg.clock.cycles_to_ps(flits);
-            // Exactly the reciprocal md1_wait would compute; memoizing it is what
-            // makes the per-packet M/D/1 evaluation two divides instead of three.
-            let mu = if service == Time::ZERO {
-                0.0
-            } else {
-                1.0 / (service.as_ps() as f64)
-            };
-            (service, mu)
-        });
+        let idx = match self.classes.iter().position(|c| c.bytes == bytes) {
+            Some(idx) => idx,
+            None => {
+                let cfg = self.config;
+                let flits = bytes.div_ceil(cfg.flit_bytes).max(1);
+                let service = cfg.clock.cycles_to_ps(flits);
+                // Exactly the reciprocal md1_wait would compute; caching it is
+                // what makes the exact per-packet M/D/1 evaluation two divides
+                // instead of three. The quantized model goes further and
+                // precomputes the whole waiting-time curve.
+                let mu = if service == Time::ZERO {
+                    0.0
+                } else {
+                    1.0 / (service.as_ps() as f64)
+                };
+                let table = match cfg.md1_model {
+                    Md1Model::Exact => None,
+                    Md1Model::Quantized => Some(Md1Table::new(service, cfg.max_utilization)),
+                };
+                self.classes.push(ServiceClass {
+                    bytes,
+                    service,
+                    mu,
+                    table,
+                });
+                self.classes.len() - 1
+            }
+        };
         let pipeline = self.pipeline;
 
         let lambda = self.rate.record_and_rate(now);
+        let class = &self.classes[idx];
+        let service = class.service;
         let queueing = if service == Time::ZERO {
             Time::ZERO
         } else {
-            md1_wait_with_mu(lambda, mu, cfg.max_utilization)
+            match &class.table {
+                Some(table) => table.wait(lambda),
+                None => md1_wait_with_mu(lambda, class.mu, self.config.max_utilization),
+            }
         };
 
         self.stats.packets.inc();
         self.stats.bytes.add(bytes);
         self.stats.queueing_ps.add(queueing.as_ps());
-        self.energy_pj += bytes as f64 * 8.0 * cfg.pj_per_bit_hop * cfg.hops as f64;
+        self.energy_pj += bytes as f64 * 8.0 * self.config.pj_per_bit_hop * self.config.hops as f64;
 
         pipeline + service + queueing
     }
@@ -201,26 +240,72 @@ mod tests {
     }
 
     #[test]
-    fn memoized_fast_path_matches_unmemoized_model() {
-        // Drive the crossbar and a hand-rolled (RateTracker + md1_wait) reference
-        // in lockstep over a bursty, repeating packet stream: the Md1Cache /
-        // record_and_rate fast path must reproduce every latency bit for bit.
+    fn cached_fast_path_matches_uncached_model() {
+        // Drive the crossbar and a hand-rolled (RateTracker + md1_wait /
+        // Md1Table) reference in lockstep over a bursty, repeating packet
+        // stream: for each model the ServiceClass / record_and_rate fast path
+        // must reproduce every latency bit for bit.
         use syncron_sim::queueing::{md1_wait, RateTracker};
-        let cfg = CrossbarConfig::default();
-        let mut xbar = Crossbar::new(cfg);
-        let mut rate = RateTracker::new(Time::from_us(2));
-        for round in 0..50u64 {
-            for (offset, bytes) in [(0u64, 16u64), (0, 16), (3, 64), (40, 16), (40, 64)] {
-                let now = Time::from_ns(round * 200 + offset);
-                let flits = bytes.div_ceil(cfg.flit_bytes).max(1);
-                let service = cfg.clock.cycles_to_ps(flits);
-                let pipeline = cfg.clock.cycles_to_ps(cfg.arbiter_cycles + cfg.hops);
-                rate.record(now);
-                let lambda = rate.rate_per_ps(now);
-                let expected = pipeline + service + md1_wait(lambda, service, cfg.max_utilization);
-                assert_eq!(xbar.transfer(now, bytes), expected, "round {round}");
+        for model in Md1Model::ALL {
+            let cfg = CrossbarConfig {
+                md1_model: model,
+                ..CrossbarConfig::default()
+            };
+            let mut xbar = Crossbar::new(cfg);
+            let mut rate = RateTracker::new(Time::from_us(2));
+            for round in 0..50u64 {
+                for (offset, bytes) in [(0u64, 16u64), (0, 16), (3, 64), (40, 16), (40, 64)] {
+                    let now = Time::from_ns(round * 200 + offset);
+                    let flits = bytes.div_ceil(cfg.flit_bytes).max(1);
+                    let service = cfg.clock.cycles_to_ps(flits);
+                    let pipeline = cfg.clock.cycles_to_ps(cfg.arbiter_cycles + cfg.hops);
+                    rate.record(now);
+                    let lambda = rate.rate_per_ps(now);
+                    let wait = match model {
+                        Md1Model::Exact => md1_wait(lambda, service, cfg.max_utilization),
+                        Md1Model::Quantized => {
+                            Md1Table::new(service, cfg.max_utilization).wait(lambda)
+                        }
+                    };
+                    let expected = pipeline + service + wait;
+                    assert_eq!(
+                        xbar.transfer(now, bytes),
+                        expected,
+                        "{model:?} round {round}"
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn quantized_crossbar_tracks_exact_within_the_documented_bound() {
+        // End-to-end version of the queueing-layer error-bound property: two
+        // crossbars fed the identical packet stream, one per model, never
+        // disagree by more than Md1Table::ERROR_BOUND_PS per packet.
+        let exact_cfg = CrossbarConfig {
+            md1_model: Md1Model::Exact,
+            ..CrossbarConfig::default()
+        };
+        let quant_cfg = CrossbarConfig {
+            md1_model: Md1Model::Quantized,
+            ..CrossbarConfig::default()
+        };
+        let mut exact = Crossbar::new(exact_cfg);
+        let mut quant = Crossbar::new(quant_cfg);
+        for i in 0..4000u64 {
+            // Ramp from idle to saturation: inter-arrival shrinks as i grows.
+            let now = Time::from_ps(i * (4000 - i / 2));
+            let bytes = if i % 3 == 0 { 64 } else { 16 };
+            let a = exact.transfer(now, bytes);
+            let b = quant.transfer(now, bytes);
+            let diff = a.as_ps().abs_diff(b.as_ps());
+            assert!(
+                diff <= Md1Table::ERROR_BOUND_PS,
+                "packet {i}: exact {a} vs quantized {b}"
+            );
+        }
+        assert_eq!(exact.stats().packets.get(), quant.stats().packets.get());
     }
 
     #[test]

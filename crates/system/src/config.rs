@@ -16,6 +16,7 @@ use syncron_mem::cache::CacheConfig;
 use syncron_mem::mesi::MesiParams;
 use syncron_net::crossbar::CrossbarConfig;
 use syncron_net::link::LinkConfig;
+use syncron_sim::queueing::Md1Model;
 use syncron_sim::time::{Freq, Time};
 use syncron_sim::{CoreId, GlobalCoreId, SchedulerKind, UnitId};
 
@@ -135,6 +136,13 @@ pub struct NdpConfig {
     /// condition makes the inlined event the unique next pop — so this knob only
     /// trades queue traffic against loop latency.
     pub inline_step_budget: u32,
+    /// Whether broadcast completions coalesce into one `CoreResumeBurst` event
+    /// per (unit, time) instead of one `CoreResume` per waiter. A pure
+    /// simulator optimization: the burst resumes its members in exactly the
+    /// order the individual events would have popped, so reports are
+    /// bit-identical either way; `false` restores the O(waiters) event path
+    /// for differential testing and benchmarking.
+    pub burst_resume: bool,
     /// Number of worker threads the sharded (conservative-PDES) execution mode
     /// may use. `1` (the default) runs the classic sequential loop. Values
     /// above 1 partition the units into up to `sim_threads` shards that advance
@@ -165,6 +173,7 @@ impl NdpConfig {
             max_events: 400_000_000,
             scheduler: SchedulerKind::Calendar,
             inline_step_budget: 64,
+            burst_resume: true,
             sim_threads: 1,
         }
     }
@@ -353,6 +362,32 @@ impl NdpConfigBuilder {
         self
     }
 
+    /// Enables or disables column-wise processing of delivered message batches
+    /// (on by default). A pure simulator optimization layered on
+    /// [`NdpConfigBuilder::message_batching`]: reports are bit-identical
+    /// either way.
+    pub fn column_batching(mut self, enabled: bool) -> Self {
+        self.config.mechanism.column_batching = enabled;
+        self
+    }
+
+    /// Enables or disables burst-resume events for broadcast completions (on
+    /// by default; see [`NdpConfig::burst_resume`]). A pure simulator
+    /// optimization: reports are bit-identical either way.
+    pub fn burst_resume(mut self, enabled: bool) -> Self {
+        self.config.burst_resume = enabled;
+        self
+    }
+
+    /// Selects how the crossbars evaluate the M/D/1 queueing model (see
+    /// [`Md1Model`]). Unlike the other performance knobs this one changes
+    /// simulated latencies — by at most the table's documented error bound —
+    /// so `Exact` vs `Quantized` runs are different baselines.
+    pub fn md1_model(mut self, model: Md1Model) -> Self {
+        self.config.crossbar.md1_model = model;
+        self
+    }
+
     /// Sets the inter-unit per-cache-line transfer latency (Figures 16, 17, 21 sweeps).
     pub fn link_latency(mut self, latency: Time) -> Self {
         self.config.link.transfer_latency = latency;
@@ -476,6 +511,26 @@ mod tests {
             .build()
             .unwrap();
         assert!(!cfg.mechanism.message_batching);
+    }
+
+    #[test]
+    fn fastpath_knobs_build_and_default_on() {
+        // The three PR-9 fast-path knobs: column batching and burst resume are
+        // bit-invisible and default on; the quantized M/D/1 model is the
+        // default baseline.
+        let cfg = NdpConfig::paper_default();
+        assert!(cfg.mechanism.column_batching);
+        assert!(cfg.burst_resume);
+        assert_eq!(cfg.crossbar.md1_model, Md1Model::Quantized);
+        let cfg = NdpConfig::builder()
+            .column_batching(false)
+            .burst_resume(false)
+            .md1_model(Md1Model::Exact)
+            .build()
+            .unwrap();
+        assert!(!cfg.mechanism.column_batching);
+        assert!(!cfg.burst_resume);
+        assert_eq!(cfg.crossbar.md1_model, Md1Model::Exact);
     }
 
     #[test]

@@ -48,7 +48,9 @@ pub use syncron_workloads as workloads;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use syncron_core::MechanismKind;
-    pub use syncron_harness::{ConfigSpec, RunSet, Runner, Scenario, Sweep, WorkloadSpec};
+    pub use syncron_harness::{
+        ConfigSpec, Md1Model, RunSet, Runner, Scenario, Sweep, WorkloadSpec,
+    };
     pub use syncron_sim::{Addr, CoreId, Freq, GlobalCoreId, SchedulerKind, Time, UnitId};
     pub use syncron_system::config::{MemTech, NdpConfig};
     pub use syncron_system::report::RunReport;

@@ -16,7 +16,7 @@
 
 use syncron::harness::toml;
 use syncron::prelude::*;
-use syncron::workloads::micro::LockMicrobench;
+use syncron::workloads::micro::{BarrierMicrobench, LockMicrobench};
 
 /// Loads the `[sweep]` scenarios of a bundled file.
 fn load_sweep(name: &str) -> Vec<Scenario> {
@@ -174,4 +174,43 @@ fn adaptive_threshold_changes_the_protocol_deterministically() {
         "escalating the hot lock must change the protocol's timing"
     );
     assert!(hot.same_simulation(&run(1)), "escalation is deterministic");
+}
+
+#[test]
+fn ideal_barrier_release_resumes_120_waiters_exactly_once_through_bursts() {
+    // 8 units x 16 cores, every client waiting on one global barrier under the
+    // Ideal mechanism: each release wakes all 120 clients at the same
+    // timestamp, which is exactly the storm the burst-resume path collapses
+    // into one queued event per unit. The Ideal policy completes cores through
+    // the same `ctx.complete` path as the message-based schemes, so its wake
+    // fan-out must ride the burst path too — a lost member deadlocks the next
+    // episode (completed = false), a duplicate trips the machine's
+    // resumed-a-finished-core assertion. Burst on vs off must agree bit for
+    // bit, with the burst run queueing strictly fewer events.
+    let run = |burst: bool| {
+        let config = NdpConfig::builder()
+            .units(8)
+            .cores_per_unit(16)
+            .mechanism(MechanismKind::Ideal)
+            .burst_resume(burst)
+            .build()
+            .expect("valid config");
+        run_workload(&config, &BarrierMicrobench::new(10, 4))
+    };
+    let burst = run(true);
+    let plain = run(false);
+    assert!(burst.completed, "burst resume lost a barrier waiter");
+    let clients = 8 * 15; // one core per unit serves the engine
+    assert_eq!(
+        burst.total_ops,
+        clients * 4,
+        "every waiter must pass every episode exactly once"
+    );
+    if let Some(field) = plain.divergence_from(&burst) {
+        panic!("burst resume diverged from per-core resumes in {field}");
+    }
+    assert!(
+        burst.perf.events_delivered < plain.perf.events_delivered,
+        "120 same-time wake-ups must collapse into per-unit burst events"
+    );
 }
