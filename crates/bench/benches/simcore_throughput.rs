@@ -3,7 +3,9 @@
 //! shard-scaling sweep of the conservative-PDES execution mode (1/2/4/8
 //! workers, identical simulations, wall-clock speedup) and the fast-path
 //! attribution sweep (quantized M/D/1, burst resume, column batching — each
-//! lever alone and all together vs the everything-off baseline).
+//! lever alone and all together vs the everything-off baseline) and the
+//! resilience sweep (drop rate × mechanism, recovery overhead and goodput
+//! degradation under injected message loss).
 //!
 //! Prints both tables and writes `BENCH_simcore.json` (override the path with
 //! `SYNCRON_BENCH_OUT`), then re-parses and schema-validates the file so a
@@ -18,13 +20,15 @@ fn main() {
     simcore::shard_table(&shards).print();
     let fastpath = simcore::measure_fastpath();
     simcore::fastpath_table(&fastpath).print();
+    let resilience = simcore::measure_resilience();
+    simcore::resilience_table(&resilience).print();
 
     // Default to the repository root (bench targets run with the package as
     // cwd), so the trajectory file lands next to EXPERIMENTS.md.
     let path = std::env::var("SYNCRON_BENCH_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simcore.json").into()
     });
-    let doc = simcore::simcore_json(&points, &shards, &fastpath);
+    let doc = simcore::simcore_json(&points, &shards, &fastpath, &resilience);
     std::fs::write(&path, doc.to_json_pretty() + "\n")
         .unwrap_or_else(|e| panic!("writing {path}: {e}"));
 

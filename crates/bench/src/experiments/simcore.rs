@@ -26,6 +26,7 @@ use crate::{f2, scale, scaled, Table};
 use syncron_core::MechanismKind;
 use syncron_harness::json::Value;
 use syncron_harness::{ConfigSpec, Md1Model, Scenario, SchedulerKind, WorkloadSpec};
+use syncron_system::FaultConfig;
 use syncron_workloads::micro::SyncPrimitive;
 
 /// Schema identifier embedded in (and required from) `BENCH_simcore.json`.
@@ -445,6 +446,194 @@ pub fn measure_fastpath() -> Vec<FastpathPoint> {
     measure_fastpath_geometries(&GEOMETRIES, scaled(8, 1))
 }
 
+/// Drop rates swept by the resilience experiment. `0.0` is the clean baseline
+/// (fault substrate *enabled* with zero probability — the knob-alive twin of
+/// faults-off) every overhead and goodput ratio is defined against.
+pub const RESILIENCE_DROP_RATES: [f64; 3] = [0.0, 0.02, 0.10];
+
+/// Mechanisms the resilience sweep prices: the paper's three message-passing
+/// schemes, whose inter-unit sync traffic is exactly what the fault substrate
+/// drops (Ideal sends nothing and would measure noise).
+pub const RESILIENCE_KINDS: [MechanismKind; 3] = [
+    MechanismKind::Central,
+    MechanismKind::Hier,
+    MechanismKind::SynCron,
+];
+
+/// Geometries the resilience sweep runs: the paper's default machine and the
+/// mid-size scale-out (the 16×256 machine adds wall time without changing the
+/// recovery story).
+pub const RESILIENCE_GEOMETRIES: [(usize, usize); 2] = [(4, 16), (8, 64)];
+
+/// One point of the resilience sweep: one mechanism at one geometry under one
+/// injected drop rate, with the recovery counters and the simulated-goodput
+/// numbers the overhead ratios are derived from.
+#[derive(Clone, Copy, Debug)]
+pub struct ResiliencePoint {
+    /// NDP units of the simulated machine.
+    pub units: usize,
+    /// Cores per NDP unit of the simulated machine.
+    pub cores_per_unit: usize,
+    /// Synchronization scheme the simulated machine ran.
+    pub mechanism: MechanismKind,
+    /// Injected per-message drop probability.
+    pub drop_rate: f64,
+    /// Messages the fault plan dropped.
+    pub dropped: u64,
+    /// Retransmissions the timeout/backoff path sent.
+    pub retransmitted: u64,
+    /// Simulated completion time in microseconds.
+    pub sim_time_us: f64,
+    /// Simulated goodput: completed operations per simulated millisecond.
+    pub goodput_ops_per_ms: f64,
+    /// Best-of-[`REPEATS`] host-side measurement.
+    pub run: Measurement,
+}
+
+impl ResiliencePoint {
+    /// `WxC` geometry label (`8x64`).
+    pub fn geometry(&self) -> String {
+        format!("{}x{}", self.units, self.cores_per_unit)
+    }
+}
+
+/// The drop-rate-zero baseline of `p`'s (geometry, mechanism) group, if present.
+fn resilience_baseline<'p>(
+    points: &'p [ResiliencePoint],
+    p: &ResiliencePoint,
+) -> Option<&'p ResiliencePoint> {
+    points.iter().find(|q| {
+        q.units == p.units
+            && q.cores_per_unit == p.cores_per_unit
+            && q.mechanism == p.mechanism
+            && q.drop_rate == 0.0
+    })
+}
+
+/// Recovery overhead of `p`: simulated completion time over the drop-rate-zero
+/// baseline of the same geometry and mechanism (`1.0` = free recovery, `0.0`
+/// if the baseline is missing or degenerate).
+pub fn resilience_overhead(points: &[ResiliencePoint], p: &ResiliencePoint) -> f64 {
+    resilience_baseline(points, p)
+        .map(|base| {
+            if base.sim_time_us > 0.0 {
+                p.sim_time_us / base.sim_time_us
+            } else {
+                0.0
+            }
+        })
+        .unwrap_or(0.0)
+}
+
+/// Goodput retention of `p`: simulated ops/ms over the drop-rate-zero baseline
+/// of the same geometry and mechanism (`1.0` = no degradation, `0.0` if the
+/// baseline is missing or degenerate).
+pub fn resilience_goodput_ratio(points: &[ResiliencePoint], p: &ResiliencePoint) -> f64 {
+    resilience_baseline(points, p)
+        .map(|base| {
+            if base.goodput_ops_per_ms > 0.0 {
+                p.goodput_ops_per_ms / base.goodput_ops_per_ms
+            } else {
+                0.0
+            }
+        })
+        .unwrap_or(0.0)
+}
+
+/// Measures the resilience sweep over explicit geometries and drop rates
+/// (exposed so tests and the CI smoke job can run a tiny instance; use
+/// [`measure_resilience`] for the real experiment).
+///
+/// # Panics
+///
+/// Panics if any faulted run fails to recover to completion — a drop the
+/// timeout/retransmission path loses is a correctness bug, not a data point.
+pub fn measure_resilience_geometries(
+    geometries: &[(usize, usize)],
+    iterations: u32,
+    drop_rates: &[f64],
+) -> Vec<ResiliencePoint> {
+    let mut points = Vec::new();
+    for &(units, cores_per_unit) in geometries {
+        for mechanism in RESILIENCE_KINDS {
+            for &drop_rate in drop_rates {
+                let mut s = scenario(
+                    units,
+                    cores_per_unit,
+                    mechanism,
+                    SchedulerKind::Calendar,
+                    iterations,
+                );
+                s.label = format!("{}/drop={drop_rate}", s.label);
+                s.config = s.config.with_fault(FaultConfig {
+                    enabled: true,
+                    drop_prob: drop_rate,
+                    ..FaultConfig::default()
+                });
+                let (report, run) = measure_one(&s);
+                assert!(
+                    report.completed,
+                    "{units}x{cores_per_unit}/{}: drop rate {drop_rate} did not \
+                     recover to completion",
+                    mechanism.name()
+                );
+                let faults = report.faults.unwrap_or_default();
+                points.push(ResiliencePoint {
+                    units,
+                    cores_per_unit,
+                    mechanism,
+                    drop_rate,
+                    dropped: faults.dropped,
+                    retransmitted: faults.retransmitted,
+                    sim_time_us: report.sim_time.as_us_f64(),
+                    goodput_ops_per_ms: report.ops_per_ms(),
+                    run,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Runs the full resilience sweep (respects `SYNCRON_SCALE`): drop rate ×
+/// mechanism over [`RESILIENCE_GEOMETRIES`].
+pub fn measure_resilience() -> Vec<ResiliencePoint> {
+    measure_resilience_geometries(&RESILIENCE_GEOMETRIES, scaled(8, 1), &RESILIENCE_DROP_RATES)
+}
+
+/// Renders the resilience sweep as its text table.
+pub fn resilience_table(points: &[ResiliencePoint]) -> Table {
+    let mut table = Table::new(
+        "Resilience under message loss: recovery overhead (simulated time vs \
+         drop 0) and goodput retention per mechanism and drop rate",
+        &[
+            "geometry",
+            "mechanism",
+            "drop",
+            "dropped",
+            "retx",
+            "sim us",
+            "ops/ms",
+            "overhead",
+            "goodput",
+        ],
+    );
+    for p in points {
+        table.push_row(vec![
+            p.geometry(),
+            p.mechanism.name().to_string(),
+            format!("{:.2}", p.drop_rate),
+            p.dropped.to_string(),
+            p.retransmitted.to_string(),
+            format!("{:.2}", p.sim_time_us),
+            format!("{:.2}", p.goodput_ops_per_ms),
+            f2(resilience_overhead(points, p)),
+            f2(resilience_goodput_ratio(points, p)),
+        ]);
+    }
+    table
+}
+
 /// Renders the fast-path attribution sweep as its text table.
 pub fn fastpath_table(points: &[FastpathPoint]) -> Table {
     let mut table = Table::new(
@@ -610,12 +799,14 @@ pub fn simcore_table(points: &[SimcorePoint]) -> Table {
 }
 
 /// Serializes the sweeps as the `BENCH_simcore.json` document. `shards` is the
-/// shard-scaling sweep and `fastpath` the fast-path attribution sweep; pass an
-/// empty slice to emit a document without the corresponding (additive) array.
+/// shard-scaling sweep, `fastpath` the fast-path attribution sweep and
+/// `resilience` the drop-rate × mechanism recovery sweep; pass an empty slice
+/// to emit a document without the corresponding (additive) array.
 pub fn simcore_json(
     points: &[SimcorePoint],
     shards: &[ShardPoint],
     fastpath: &[FastpathPoint],
+    resilience: &[ResiliencePoint],
 ) -> Value {
     let measurement = |m: &Measurement| {
         Value::table([
@@ -730,6 +921,39 @@ pub fn simcore_json(
         );
         if let Value::Table(map) = &mut doc {
             map.insert("fastpath".to_string(), fastpath_rows);
+        }
+    }
+    if !resilience.is_empty() {
+        let resilience_rows = Value::Array(
+            resilience
+                .iter()
+                .map(|p| {
+                    Value::table([
+                        ("geometry", Value::str(p.geometry())),
+                        ("units", Value::Int(p.units as i64)),
+                        ("cores_per_unit", Value::Int(p.cores_per_unit as i64)),
+                        ("mechanism", Value::str(p.mechanism.name())),
+                        ("drop_rate", Value::Float(p.drop_rate)),
+                        ("dropped", Value::Int(p.dropped as i64)),
+                        ("retransmitted", Value::Int(p.retransmitted as i64)),
+                        ("sim_time_us", Value::Float(p.sim_time_us)),
+                        ("goodput_ops_per_ms", Value::Float(p.goodput_ops_per_ms)),
+                        ("completed", Value::Bool(p.run.completed)),
+                        ("wall_seconds", Value::Float(p.run.wall_seconds)),
+                        (
+                            "recovery_overhead",
+                            Value::Float(resilience_overhead(resilience, p)),
+                        ),
+                        (
+                            "goodput_ratio",
+                            Value::Float(resilience_goodput_ratio(resilience, p)),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        if let Value::Table(map) = &mut doc {
+            map.insert("resilience".to_string(), resilience_rows);
         }
     }
     doc
@@ -916,6 +1140,57 @@ pub fn validate_simcore_json(doc: &Value) -> Result<(), String> {
             }
         }
     }
+    // The resilience sweep is additive to v1 as well (PR 10): optional, but a
+    // present array must carry the recovery fields per row and the drop-rate-0
+    // baseline every overhead and goodput ratio is defined against.
+    if let Some(resilience) = doc.get("resilience") {
+        let rows = resilience
+            .as_array()
+            .ok_or("'resilience' must be an array")?;
+        if rows.is_empty() {
+            return Err("'resilience' is empty".into());
+        }
+        let mut baselines = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            let geometry = row
+                .get("geometry")
+                .and_then(Value::as_str)
+                .ok_or(format!("resilience {i}: missing string 'geometry'"))?;
+            let mechanism = row
+                .get("mechanism")
+                .and_then(Value::as_str)
+                .ok_or(format!("resilience {i}: missing string 'mechanism'"))?;
+            row.get("completed")
+                .and_then(Value::as_bool)
+                .ok_or(format!("resilience {i}: missing bool 'completed'"))?;
+            for key in [
+                "drop_rate",
+                "dropped",
+                "retransmitted",
+                "sim_time_us",
+                "goodput_ops_per_ms",
+                "recovery_overhead",
+                "goodput_ratio",
+            ] {
+                row.get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("resilience {i}: missing numeric '{key}'"))?;
+            }
+            if row.get("drop_rate").and_then(Value::as_f64) == Some(0.0) {
+                baselines.push(format!("{geometry}/{mechanism}"));
+            }
+        }
+        for (i, row) in rows.iter().enumerate() {
+            let geometry = row.get("geometry").and_then(Value::as_str).unwrap_or("");
+            let mechanism = row.get("mechanism").and_then(Value::as_str).unwrap_or("");
+            let key = format!("{geometry}/{mechanism}");
+            if !baselines.iter().any(|b| b == &key) {
+                return Err(format!(
+                    "resilience {i}: point '{key}' has no drop_rate=0 baseline"
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -946,16 +1221,18 @@ mod tests {
         let points = measure_geometries(&[(2, 4)], 1);
         let shards = measure_shard_geometries(&[(2, 4)], 1, &[1, 2]);
         let fastpath = measure_fastpath_geometries(&[(2, 4)], 1);
-        let doc = simcore_json(&points, &shards, &fastpath);
+        let resilience = measure_resilience_geometries(&[(2, 4)], 2, &[0.0, 0.1]);
+        let doc = simcore_json(&points, &shards, &fastpath, &resilience);
         validate_simcore_json(&doc).expect("fresh document validates");
         // Through text and back (what the CI smoke job exercises).
         let text = doc.to_json_pretty();
         let parsed = syncron_harness::json::parse(&text).expect("valid JSON text");
         validate_simcore_json(&parsed).expect("parsed document validates");
         // A document without the additive arrays still validates.
-        let doc = simcore_json(&points, &[], &[]);
+        let doc = simcore_json(&points, &[], &[], &[]);
         assert!(doc.get("shard_scaling").is_none());
         assert!(doc.get("fastpath").is_none());
+        assert!(doc.get("resilience").is_none());
         validate_simcore_json(&doc).expect("array-less document validates");
     }
 
@@ -1008,7 +1285,7 @@ mod tests {
             .copied()
             .filter(|p| p.variant != "baseline")
             .collect();
-        let doc = simcore_json(&points, &[], &partial);
+        let doc = simcore_json(&points, &[], &partial, &[]);
         let err = validate_simcore_json(&doc).unwrap_err();
         assert!(
             err.contains("everything-off baseline"),
@@ -1021,7 +1298,7 @@ mod tests {
             .copied()
             .filter(|p| p.variant != "quantized-md1")
             .collect();
-        let doc = simcore_json(&points, &[], &partial);
+        let doc = simcore_json(&points, &[], &partial, &[]);
         let err = validate_simcore_json(&doc).unwrap_err();
         assert!(err.contains("quantized-md1"), "unexpected error: {err}");
     }
@@ -1050,10 +1327,71 @@ mod tests {
     fn shard_scaling_validation_requires_a_baseline() {
         let points = measure_geometries(&[(2, 4)], 1);
         let shards = measure_shard_geometries(&[(2, 4)], 1, &[2, 4]);
-        let doc = simcore_json(&points, &shards, &[]);
+        let doc = simcore_json(&points, &shards, &[], &[]);
         let err = validate_simcore_json(&doc).unwrap_err();
         assert!(
             err.contains("workers=1 baseline"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn tiny_resilience_sweep_recovers_and_prices_the_loss() {
+        // A tiny barrier run sends few inter-unit messages; 0.3 is the lowest
+        // rate at which this geometry reliably sees probabilistic drops.
+        let points = measure_resilience_geometries(&[(2, 4)], 2, &[0.0, 0.3]);
+        assert_eq!(points.len(), RESILIENCE_KINDS.len() * 2);
+        for p in &points {
+            // measure_resilience_geometries already panics on an unrecovered
+            // run; re-assert here so the invariant is visible in the test.
+            assert!(
+                p.run.completed,
+                "{} drop={}",
+                p.mechanism.name(),
+                p.drop_rate
+            );
+            // Every drop is healed by exactly one retransmission.
+            assert_eq!(
+                p.dropped,
+                p.retransmitted,
+                "{} drop={}: unbalanced recovery",
+                p.mechanism.name(),
+                p.drop_rate
+            );
+            if p.drop_rate == 0.0 {
+                assert_eq!(p.dropped, 0);
+                // A point is its own baseline: both ratios are exactly 1.
+                assert!((resilience_overhead(&points, p) - 1.0).abs() < 1e-12);
+                assert!((resilience_goodput_ratio(&points, p) - 1.0).abs() < 1e-12);
+            } else {
+                // Recovery can only add simulated time / shed goodput.
+                assert!(resilience_overhead(&points, p) >= 1.0);
+                let goodput = resilience_goodput_ratio(&points, p);
+                assert!(goodput > 0.0 && goodput <= 1.0 + 1e-12);
+            }
+        }
+        // Aliveness: at a 10% drop rate the sweep as a whole must see drops.
+        assert!(points.iter().any(|p| p.dropped > 0));
+        let table = resilience_table(&points);
+        assert_eq!(table.rows.len(), points.len());
+    }
+
+    #[test]
+    fn resilience_validation_requires_a_drop_free_baseline() {
+        let points = measure_geometries(&[(2, 4)], 1);
+        let resilience = measure_resilience_geometries(&[(2, 4)], 1, &[0.0, 0.1]);
+        let doc = simcore_json(&points, &[], &[], &resilience);
+        validate_simcore_json(&doc).expect("full sweep validates");
+        // Dropping the drop-rate-0 rows breaks every ratio's denominator.
+        let partial: Vec<ResiliencePoint> = resilience
+            .iter()
+            .copied()
+            .filter(|p| p.drop_rate != 0.0)
+            .collect();
+        let doc = simcore_json(&points, &[], &[], &partial);
+        let err = validate_simcore_json(&doc).unwrap_err();
+        assert!(
+            err.contains("drop_rate=0 baseline"),
             "unexpected error: {err}"
         );
     }
@@ -1064,7 +1402,7 @@ mod tests {
         // generated before they existed must still validate, while a present
         // field of the wrong type is rejected.
         let points = measure_geometries(&[(2, 4)], 1);
-        let doc = simcore_json(&points, &[], &[]);
+        let doc = simcore_json(&points, &[], &[], &[]);
         let text = doc.to_json_pretty();
         let pre_pr5 = regex_strip_wall(&text);
         let parsed = syncron_harness::json::parse(&pre_pr5).expect("valid JSON");

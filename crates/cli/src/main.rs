@@ -24,12 +24,13 @@ USAGE:
     syncron-cli sweep <file.toml|file.json> [OPTIONS]
 
 OPTIONS:
-    --json <path>      write the full result set as JSON
-    --csv <path>       write the full result set as CSV
-    --threads <n>      cap the number of worker threads
-    --dry-run          expand and list scenario labels without simulating
-    -q, --quiet        no per-scenario progress on stderr
-    -h, --help         show this help
+    --json <path>        write the full result set as JSON
+    --csv <path>         write the full result set as CSV
+    --threads <n>        cap the number of worker threads
+    --dry-run            expand and list scenario labels without simulating
+    --allow-incomplete   exit 0 even when some runs end incomplete or panicked
+    -q, --quiet          no per-scenario progress on stderr
+    -h, --help           show this help
 
 FILE FORMATS (TOML shown; the JSON equivalent mirrors the structure):
     # run: explicit scenarios
@@ -71,6 +72,7 @@ struct Options {
     threads: Option<usize>,
     quiet: bool,
     dry_run: bool,
+    allow_incomplete: bool,
 }
 
 /// Parses subcommand options; `Ok(None)` means help was requested.
@@ -81,6 +83,7 @@ fn parse_options(args: &[String]) -> Result<Option<Options>, String> {
     let mut threads = None;
     let mut quiet = false;
     let mut dry_run = false;
+    let mut allow_incomplete = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -98,6 +101,7 @@ fn parse_options(args: &[String]) -> Result<Option<Options>, String> {
             }
             "-q" | "--quiet" => quiet = true,
             "--dry-run" => dry_run = true,
+            "--allow-incomplete" => allow_incomplete = true,
             "-h" | "--help" => return Ok(None),
             other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
             other => return Err(format!("unexpected argument '{other}'\n\n{USAGE}")),
@@ -110,6 +114,7 @@ fn parse_options(args: &[String]) -> Result<Option<Options>, String> {
         threads,
         quiet,
         dry_run,
+        allow_incomplete,
     }))
 }
 
@@ -174,6 +179,17 @@ fn list() {
         "md1_model=quantized|exact         crossbar M/D/1 evaluation (quantized table vs closed form)",
         "burst_resume=true|false           coalesce same-time core wake-ups per unit (bit-identical results)",
         "column_batching=true|false        share slot lookups across same-variable batch members (bit-identical results)",
+        "fault_injection=true|false        seeded fault injection on mechanism messages (default false)",
+        "fault_drop=<p>                    per-message drop probability in [0, 1]",
+        "fault_dup=<p>                     per-message duplication probability in [0, 1]",
+        "fault_jitter_ns=<n>               max extra delivery delay per faulted message",
+        "fault_stall_ns=<n>                per-SE stall-window length (with fault_stall_period_ns)",
+        "fault_stall_period_ns=<n>         per-SE stall-window period (0 disables stalls)",
+        "fault_drop_nth=<n>                deterministically drop every n-th original message",
+        "fault_retry_ns=<n>                retransmission timeout base (default 2000)",
+        "fault_backoff_cap=<n>             exponential-backoff doubling cap (default 6)",
+        "watchdog=true|false               liveness watchdog aborting stalled runs (default true)",
+        "watchdog_events=<n>               no-progress event threshold (0 = auto from max_events)",
     ] {
         println!("    {line}");
     }
@@ -271,13 +287,38 @@ fn execute(options: &Options, mode: Mode) -> Result<(), String> {
         results.write_csv(path).map_err(|e| e.to_string())?;
         eprintln!("wrote {path}");
     }
-    Ok(())
+    // Exports are written first so a failing gate still leaves the partial
+    // numbers on disk for inspection.
+    completion_gate(&results, options.allow_incomplete)
 }
 
-/// Builds a loud per-scenario warning block for runs that hit the event safety limit
-/// (`completed = false`): their numbers are partial and must not be read as results.
-/// Returns an empty vector when every run completed.
+/// Non-zero-exit gate: any incomplete or panicked run fails the invocation
+/// unless `--allow-incomplete` was given.
+fn completion_gate(results: &RunSet, allow_incomplete: bool) -> Result<(), String> {
+    let incomplete = results
+        .entries()
+        .iter()
+        .filter(|e| !e.report.completed)
+        .count();
+    if incomplete == 0 || allow_incomplete {
+        return Ok(());
+    }
+    Err(format!(
+        "{incomplete} of {} scenario{} did not complete; pass --allow-incomplete to \
+         exit 0 with partial results",
+        results.len(),
+        if results.len() == 1 { "" } else { "s" },
+    ))
+}
+
+/// Builds a loud per-scenario warning block for runs that did not finish
+/// (`completed = false`): their numbers are partial and must not be read as
+/// results. Each line carries the typed diagnosis — event budget, watchdog
+/// stall (with the first blocked core and its sync-variable address), or a
+/// panic. Returns an empty vector when every run completed.
 fn incomplete_warnings(results: &RunSet) -> Vec<String> {
+    use syncron_system::IncompleteReason;
+
     let incomplete: Vec<_> = results
         .entries()
         .iter()
@@ -287,18 +328,45 @@ fn incomplete_warnings(results: &RunSet) -> Vec<String> {
         return Vec::new();
     }
     let mut lines = vec![format!(
-        "warning: {} of {} scenario{} hit the event safety limit before finishing \
-         (completed = false); the exported numbers for {} are partial:",
+        "warning: {} of {} scenario{} did not finish (completed = false); the exported \
+         numbers for {} are partial:",
         incomplete.len(),
         results.len(),
         if results.len() == 1 { "" } else { "s" },
         if incomplete.len() == 1 { "it" } else { "them" },
     )];
     for entry in &incomplete {
-        lines.push(format!(
-            "  - {} (max_events = {}; raise it in the scenario's [config] to finish the run)",
-            entry.scenario.label, entry.scenario.config.max_events
-        ));
+        let label = &entry.scenario.label;
+        let detail = match &entry.report.incomplete {
+            None | Some(IncompleteReason::EventBudget) => format!(
+                "max_events = {}; raise it in the scenario's [config] to finish the run",
+                entry.scenario.config.max_events
+            ),
+            Some(IncompleteReason::Stalled(stall)) => {
+                let first = stall
+                    .blocked
+                    .first()
+                    .map(|b| {
+                        format!(
+                            "; first blocked: unit {} core {} on 0x{:x}",
+                            b.unit, b.core, b.addr
+                        )
+                    })
+                    .unwrap_or_default();
+                format!(
+                    "{}: {} of {} unfinished cores blocked{first}",
+                    entry
+                        .report
+                        .incomplete
+                        .as_ref()
+                        .map_or("stalled", |i| i.label()),
+                    stall.blocked_total,
+                    stall.unfinished,
+                )
+            }
+            Some(IncompleteReason::Panicked(msg)) => format!("panicked: {msg}"),
+        };
+        lines.push(format!("  - {label} ({detail})"));
     }
     lines
 }
@@ -409,6 +477,111 @@ mod tests {
         assert!(
             !warnings.iter().any(|l| l.contains("- ok ")),
             "completed runs are not flagged"
+        );
+    }
+
+    /// Writes a one-scenario run file with the given event budget and returns
+    /// its path (unique per call so parallel tests don't collide).
+    fn write_run_file(stem: &str, max_events: u64) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("syncron_cli_{stem}_{max_events}.toml"));
+        let text = format!(
+            "[[scenario]]\nlabel = \"t\"\n[scenario.config]\nunits = 2\ncores_per_unit = 4\n\
+             max_events = {max_events}\n[scenario.workload]\nkind = \"micro\"\n\
+             primitive = \"lock\"\ninterval = 100\niterations = 8\n"
+        );
+        std::fs::write(&path, text).expect("temp scenario file");
+        path
+    }
+
+    #[test]
+    fn incomplete_runs_fail_the_invocation_unless_allowed() {
+        let path = write_run_file("gate", 50);
+        let file = path.to_str().unwrap().to_string();
+        let err = run_cli(&["run".into(), file.clone(), "-q".into()])
+            .expect_err("an incomplete run must exit non-zero");
+        assert!(err.contains("--allow-incomplete"), "{err}");
+        assert!(err.contains("1 of 1 scenario"), "{err}");
+        run_cli(&["run".into(), file, "-q".into(), "--allow-incomplete".into()])
+            .expect("--allow-incomplete restores the old exit behavior");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn completed_runs_exit_zero_without_the_flag() {
+        let path = write_run_file("clean", 50_000_000);
+        let file = path.to_str().unwrap().to_string();
+        run_cli(&["run".into(), file, "-q".into()]).expect("clean runs exit 0");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sweep_exit_gate_matches_run() {
+        let path = std::env::temp_dir().join("syncron_cli_sweep_gate.toml");
+        let text = "[sweep]\nlabel = \"g\"\n[sweep.config]\nunits = 2\ncores_per_unit = 4\n\
+                    max_events = 50\nmechanism = [\"Central\", \"SynCron\"]\n[[sweep.workload]]\n\
+                    kind = \"micro\"\nprimitive = \"lock\"\ninterval = 100\niterations = 8\n";
+        std::fs::write(&path, text).expect("temp sweep file");
+        let file = path.to_str().unwrap().to_string();
+        let err = run_cli(&["sweep".into(), file.clone(), "-q".into()])
+            .expect_err("incomplete sweep runs must exit non-zero");
+        assert!(err.contains("2 of 2 scenarios"), "{err}");
+        run_cli(&[
+            "sweep".into(),
+            file,
+            "-q".into(),
+            "--allow-incomplete".into(),
+        ])
+        .expect("--allow-incomplete applies to sweeps too");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stall_and_panic_diagnoses_appear_in_warnings() {
+        use syncron_system::{BlockedCore, IncompleteReason, StallKind, StallReport};
+        let (scenario, _) = run_scenario("ok", 50_000_000);
+        let stalled = Scenario::new(
+            "stalled",
+            scenario.config.clone(),
+            scenario.workload.clone(),
+        );
+        let stalled_report = syncron_system::RunReport::failed(
+            "wl",
+            "SynCron",
+            IncompleteReason::Stalled(StallReport {
+                kind: StallKind::EmptyFrontier,
+                blocked: vec![BlockedCore {
+                    unit: 3,
+                    core: 7,
+                    addr: 0x1c0,
+                }],
+                blocked_total: 5,
+                unfinished: 6,
+            }),
+        );
+        let panicked = Scenario::new(
+            "panicked",
+            scenario.config.clone(),
+            scenario.workload.clone(),
+        );
+        let panicked_report = syncron_system::RunReport::failed(
+            "wl",
+            "SynCron",
+            IncompleteReason::Panicked("index out of bounds".into()),
+        );
+        let set =
+            RunSet::from_pairs([(stalled, stalled_report), (panicked, panicked_report)]).unwrap();
+        let warnings = incomplete_warnings(&set);
+        let stall_line = warnings.iter().find(|l| l.contains("- stalled")).unwrap();
+        assert!(stall_line.contains("stalled-deadlock"), "{stall_line}");
+        assert!(stall_line.contains("5 of 6"), "{stall_line}");
+        assert!(
+            stall_line.contains("unit 3 core 7 on 0x1c0"),
+            "{stall_line}"
+        );
+        let panic_line = warnings.iter().find(|l| l.contains("- panicked")).unwrap();
+        assert!(
+            panic_line.contains("panicked: index out of bounds"),
+            "{panic_line}"
         );
     }
 

@@ -10,11 +10,28 @@
 //! * results come back as a [`RunSet`] keyed by scenario label, independent of thread
 //!   count and execution order.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::error::HarnessError;
 use crate::runset::RunSet;
 use crate::scenario::Scenario;
+use syncron_system::IncompleteReason;
+
+/// Renders a panic payload as text for [`IncompleteReason::Panicked`].
+///
+/// `panic!("...")` payloads are `String` or `&'static str`; anything else
+/// (a custom `panic_any` value) degrades to a fixed marker rather than
+/// losing the failure.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
 
 /// Progress report handed to the [`Runner`] callback after each finished scenario.
 #[derive(Clone, Debug)]
@@ -99,6 +116,23 @@ impl Runner {
     /// single-threaded and seeded by its scenario alone, so the returned [`RunSet`]
     /// is identical for any thread count.
     pub fn run(&self, scenarios: &[Scenario]) -> Result<RunSet, HarnessError> {
+        self.run_with(scenarios, |config, workload| {
+            syncron_system::run_workload(config, workload)
+        })
+    }
+
+    /// [`Runner::run`] with the simulation entry point injected, so tests can
+    /// exercise the panic-isolation path with a deterministically panicking
+    /// "simulator" (no validated scenario panics on its own).
+    fn run_with(
+        &self,
+        scenarios: &[Scenario],
+        simulate: impl Fn(
+                &syncron_system::NdpConfig,
+                &dyn syncron_system::workload::Workload,
+            ) -> syncron_system::RunReport
+            + Sync,
+    ) -> Result<RunSet, HarnessError> {
         // Validate labels, specs and configs up front.
         let mut seen = std::collections::BTreeSet::new();
         for scenario in scenarios {
@@ -142,7 +176,20 @@ impl Runner {
                         .config
                         .to_ndp_config()
                         .expect("config validated before launch");
-                    let report = syncron_system::run_workload(&config, workload.as_ref());
+                    // Panic isolation: a scenario that panics inside the
+                    // simulator must not take the whole sweep down. The
+                    // failure is recorded as a zeroed report carrying
+                    // `IncompleteReason::Panicked`, and the remaining
+                    // scenarios keep running on this worker.
+                    let report =
+                        catch_unwind(AssertUnwindSafe(|| simulate(&config, workload.as_ref())))
+                            .unwrap_or_else(|payload| {
+                                syncron_system::RunReport::failed(
+                                    workload.name(),
+                                    config.mechanism.kind.name(),
+                                    IncompleteReason::Panicked(panic_message(payload)),
+                                )
+                            });
                     let completed = report.completed;
                     *slot_cells[index].lock().expect("slot lock") = Some(report);
                     let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
@@ -293,6 +340,59 @@ mod tests {
             Err(HarnessError::Config(m)) => assert!(m.contains("cores_per_unit"), "{m}"),
             other => panic!("expected a config error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn a_panicking_scenario_is_recorded_and_the_sweep_continues() {
+        let scenarios = tiny_scenarios(4);
+        // The panic victim is identified by its built workload name, which is
+        // what the injected simulator sees.
+        let victim = scenarios[1].workload.build().unwrap().name();
+        let victim2 = victim.clone();
+        let completions = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let completions2 = Arc::clone(&completions);
+        let runner = Runner::new().threads(2).on_progress(move |p| {
+            completions2
+                .lock()
+                .unwrap()
+                .push((p.label.clone(), p.completed));
+        });
+        let set = runner
+            .run_with(&scenarios, move |config, workload| {
+                if workload.name() == victim2 {
+                    panic!("injected simulator fault in {}", victim2);
+                }
+                syncron_system::run_workload(config, workload)
+            })
+            .unwrap();
+
+        // All four scenarios are present; only the victim is marked failed.
+        assert_eq!(set.len(), 4);
+        let failed = &set.get("s1").unwrap().report;
+        assert!(!failed.completed);
+        match &failed.incomplete {
+            Some(IncompleteReason::Panicked(msg)) => {
+                assert!(msg.contains("injected simulator fault"), "{msg}");
+            }
+            other => panic!("expected a panicked reason, got {other:?}"),
+        }
+        assert_eq!(failed.workload, victim);
+        assert_eq!(failed.total_ops, 0);
+        for label in ["s0", "s2", "s3"] {
+            assert!(set.get(label).unwrap().report.completed, "{label}");
+        }
+        // The progress callback saw the failure too (and every scenario fired).
+        let seen = completions.lock().unwrap().clone();
+        assert_eq!(seen.len(), 4);
+        assert!(seen.iter().any(|(l, c)| l == "s1" && !c));
+        assert!(seen.iter().filter(|(_, c)| *c).count() == 3);
+    }
+
+    #[test]
+    fn panic_payloads_render_as_text() {
+        assert_eq!(panic_message(Box::new("static str")), "static str");
+        assert_eq!(panic_message(Box::new(String::from("owned"))), "owned");
+        assert_eq!(panic_message(Box::new(42_u64)), "non-string panic payload");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
-use syncron_system::RunReport;
+use syncron_system::{IncompleteReason, RunReport};
 
 use crate::error::HarnessError;
 use crate::json::Value;
@@ -203,7 +203,7 @@ energy_cache_pj,energy_network_pj,energy_memory_pj,energy_total_pj,intra_unit_by
 inter_unit_bytes,sync_local_messages,sync_global_messages,sync_mem_accesses,\
 overflow_fraction,st_max_occupancy,st_avg_occupancy,dram_accesses,l1_hit_ratio,\
 latency_ops,latency_mean_ns,latency_p50_ns,latency_p99_ns,latency_p999_ns,latency_max_ns,\
-wall_seconds,events_delivered,events_per_sec";
+wall_seconds,events_delivered,events_per_sec,incomplete_reason";
 
 fn csv_field(s: &str) -> String {
     if s.contains([',', '"', '\n']) {
@@ -260,6 +260,11 @@ fn csv_row(label: &str, config: &ConfigSpec, r: &RunReport) -> String {
         format!("{:.6}", r.perf.wall_seconds),
         r.perf.events_delivered.to_string(),
         format!("{:.0}", r.perf.events_per_sec()),
+        // Empty for clean runs; a stable diagnosis label otherwise
+        // ("event-budget", "stalled-deadlock", "stalled-no-progress", "panicked").
+        r.incomplete
+            .as_ref()
+            .map_or(String::new(), |i| i.label().to_string()),
     ]
     .join(",")
 }
@@ -379,6 +384,56 @@ pub fn report_to_value(r: &RunReport) -> Value {
             ]),
         );
     }
+    // Incomplete runs carry a diagnosis; clean reports omit the keys entirely.
+    if let (Some(reason), Value::Table(map)) = (&r.incomplete, &mut table) {
+        map.insert("incomplete_reason".to_string(), Value::str(reason.label()));
+        match reason {
+            IncompleteReason::Panicked(msg) => {
+                map.insert("panic_message".to_string(), Value::str(msg.clone()));
+            }
+            IncompleteReason::Stalled(stall) => {
+                map.insert(
+                    "stall".to_string(),
+                    Value::table([
+                        ("blocked_total", Value::Int(stall.blocked_total as i64)),
+                        ("unfinished", Value::Int(stall.unfinished as i64)),
+                        (
+                            "blocked",
+                            Value::Array(
+                                stall
+                                    .blocked
+                                    .iter()
+                                    .map(|b| {
+                                        Value::table([
+                                            ("unit", Value::Int(b.unit as i64)),
+                                            ("core", Value::Int(b.core as i64)),
+                                            ("addr", Value::Int(b.addr as i64)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                );
+            }
+            IncompleteReason::EventBudget => {}
+        }
+    }
+    // Fault-injection counters ride along only when the fault substrate was on,
+    // so faults-off exports stay byte-identical to older documents.
+    if let (Some(f), Value::Table(map)) = (&r.faults, &mut table) {
+        map.insert(
+            "faults".to_string(),
+            Value::table([
+                ("dropped", Value::Int(f.dropped as i64)),
+                ("retransmitted", Value::Int(f.retransmitted as i64)),
+                ("duplicated", Value::Int(f.duplicated as i64)),
+                ("dup_discarded", Value::Int(f.dup_discarded as i64)),
+                ("delayed", Value::Int(f.delayed as i64)),
+                ("stalled", Value::Int(f.stalled as i64)),
+            ]),
+        );
+    }
     table
 }
 
@@ -495,8 +550,12 @@ mod tests {
             lines[1].split(',').count(),
             "header and rows must have the same column count"
         );
-        // Simulator-throughput columns ride along in both export formats.
-        assert!(lines[0].ends_with("wall_seconds,events_delivered,events_per_sec"));
+        // Simulator-throughput and diagnosis columns ride along in both formats.
+        assert!(
+            lines[0].ends_with("wall_seconds,events_delivered,events_per_sec,incomplete_reason")
+        );
+        // Clean runs leave the diagnosis column empty.
+        assert!(lines[1].ends_with(','), "{}", lines[1]);
         let doc = crate::json::parse(&set.to_json_string()).unwrap();
         let perf = doc.as_array().unwrap()[0]
             .get("report")
@@ -570,6 +629,177 @@ mod tests {
                 assert!(p50 <= p99 && p99 <= p999);
                 assert!(lat.get("max_ns").unwrap().as_i64().unwrap() > 0);
             }
+        }
+    }
+
+    #[test]
+    fn incomplete_reason_round_trips_through_csv_and_json() {
+        use syncron_system::{BlockedCore, StallKind, StallReport};
+
+        // A real event-budget truncation...
+        let mut config = ConfigSpec::default().with_geometry(2, 4);
+        config.max_events = 60;
+        let budget = Scenario::new(
+            "budget",
+            config,
+            WorkloadSpec::Micro {
+                primitive: SyncPrimitive::Lock,
+                interval: 100,
+                iterations: 8,
+            },
+        );
+        let budget_report = budget.run().unwrap();
+        assert!(!budget_report.completed);
+
+        // ...plus synthesized panic and stall diagnoses (the runner and the
+        // watchdog produce these shapes; here we only test the export).
+        let panicked = Scenario::new(
+            "panicked",
+            ConfigSpec::default().with_geometry(2, 4),
+            WorkloadSpec::Micro {
+                primitive: SyncPrimitive::Lock,
+                interval: 50,
+                iterations: 8,
+            },
+        );
+        let panicked_report = syncron_system::RunReport::failed(
+            "lock-micro",
+            "SynCron",
+            syncron_system::IncompleteReason::Panicked("boom".into()),
+        );
+        let stalled = Scenario::new(
+            "stalled",
+            ConfigSpec::default().with_geometry(2, 4),
+            WorkloadSpec::Micro {
+                primitive: SyncPrimitive::Lock,
+                interval: 75,
+                iterations: 8,
+            },
+        );
+        let stalled_report = syncron_system::RunReport::failed(
+            "lock-micro",
+            "SynCron",
+            syncron_system::IncompleteReason::Stalled(StallReport {
+                kind: StallKind::EmptyFrontier,
+                blocked: vec![BlockedCore {
+                    unit: 0,
+                    core: 1,
+                    addr: 64,
+                }],
+                blocked_total: 1,
+                unfinished: 2,
+            }),
+        );
+        let set = RunSet::from_pairs([
+            (budget, budget_report),
+            (panicked, panicked_report),
+            (stalled, stalled_report),
+        ])
+        .unwrap();
+
+        // CSV: the last column carries the stable diagnosis label.
+        let csv = set.to_csv_string();
+        let row = |label: &str| csv.lines().find(|l| l.starts_with(label)).unwrap();
+        assert!(row("budget").ends_with(",event-budget"));
+        assert!(row("panicked").ends_with(",panicked"));
+        assert!(row("stalled").ends_with(",stalled-deadlock"));
+
+        // JSON: reason + structured detail survive a parse round trip.
+        let doc = crate::json::parse(&set.to_json_string()).unwrap();
+        let report_of = |label: &str| {
+            doc.as_array()
+                .unwrap()
+                .iter()
+                .find(|row| row.get("label").unwrap().as_str() == Some(label))
+                .unwrap()
+                .get("report")
+                .unwrap()
+                .clone()
+        };
+        let budget = report_of("budget");
+        assert_eq!(
+            budget.get("incomplete_reason").unwrap().as_str(),
+            Some("event-budget")
+        );
+        assert!(budget.get("panic_message").is_none());
+        assert!(budget.get("stall").is_none());
+        let panicked = report_of("panicked");
+        assert_eq!(
+            panicked.get("incomplete_reason").unwrap().as_str(),
+            Some("panicked")
+        );
+        assert_eq!(
+            panicked.get("panic_message").unwrap().as_str(),
+            Some("boom")
+        );
+        let stalled = report_of("stalled");
+        assert_eq!(
+            stalled.get("incomplete_reason").unwrap().as_str(),
+            Some("stalled-deadlock")
+        );
+        let stall = stalled.get("stall").unwrap();
+        assert_eq!(stall.get("blocked_total").unwrap().as_i64(), Some(1));
+        assert_eq!(stall.get("unfinished").unwrap().as_i64(), Some(2));
+        let blocked = stall.get("blocked").unwrap().as_array().unwrap();
+        assert_eq!(blocked.len(), 1);
+        assert_eq!(blocked[0].get("unit").unwrap().as_i64(), Some(0));
+        assert_eq!(blocked[0].get("core").unwrap().as_i64(), Some(1));
+        assert_eq!(blocked[0].get("addr").unwrap().as_i64(), Some(64));
+
+        // Clean runs: no diagnosis key anywhere, and an empty CSV cell.
+        let clean = small_set();
+        let doc = crate::json::parse(&clean.to_json_string()).unwrap();
+        for row in doc.as_array().unwrap() {
+            assert!(row
+                .get("report")
+                .unwrap()
+                .get("incomplete_reason")
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn fault_counters_are_exported_only_when_injection_is_on() {
+        let fault = syncron_system::FaultConfig {
+            enabled: true,
+            drop_nth: 1,
+            ..syncron_system::FaultConfig::default()
+        };
+        let faulted = Scenario::new(
+            "faulted",
+            ConfigSpec::default()
+                .with_geometry(2, 4)
+                .with_mechanism(MechanismKind::Central)
+                .with_fault(fault),
+            WorkloadSpec::Micro {
+                primitive: SyncPrimitive::Lock,
+                interval: 100,
+                iterations: 4,
+            },
+        );
+        let report = faulted.run().unwrap();
+        assert!(report.completed);
+        let faults = report.faults.expect("fault stats when injection is on");
+        assert!(faults.dropped >= 1);
+
+        let set = RunSet::from_pairs([(faulted, report)]).unwrap();
+        let doc = crate::json::parse(&set.to_json_string()).unwrap();
+        let exported = doc.as_array().unwrap()[0]
+            .get("report")
+            .unwrap()
+            .get("faults")
+            .unwrap();
+        assert!(exported.get("dropped").unwrap().as_i64().unwrap() >= 1);
+        assert_eq!(
+            exported.get("retransmitted").unwrap().as_i64(),
+            exported.get("dropped").unwrap().as_i64(),
+        );
+
+        // Faults-off exports don't even carry the key.
+        let clean = small_set();
+        let doc = crate::json::parse(&clean.to_json_string()).unwrap();
+        for row in doc.as_array().unwrap() {
+            assert!(row.get("report").unwrap().get("faults").is_none());
         }
     }
 

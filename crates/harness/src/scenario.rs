@@ -12,7 +12,7 @@ use syncron_mem::mesi::MesiParams;
 use syncron_mem::MemTech;
 use syncron_sim::queueing::Md1Model;
 use syncron_sim::{SchedulerKind, Time};
-use syncron_system::config::{CoherenceMode, NdpConfig};
+use syncron_system::config::{CoherenceMode, FaultConfig, NdpConfig};
 
 use crate::error::HarnessError;
 use crate::json::Value;
@@ -112,6 +112,18 @@ pub struct ConfigSpec {
     /// machine falls back to sequential execution for configurations and
     /// workloads that cannot honor the lookahead contract.
     pub sim_threads: usize,
+    /// Deterministic fault injection on inter-unit synchronization messages
+    /// (`fault_injection`, `fault_drop`, `fault_dup`, `fault_jitter_ns`,
+    /// `fault_stall_ns`, `fault_stall_period_ns`, `fault_drop_nth`,
+    /// `fault_retry_ns`, `fault_backoff_cap`). Off by default; enabled with
+    /// all probabilities zero is bit-identical to off.
+    pub fault: FaultConfig,
+    /// Liveness watchdog (`watchdog`; on by default). A run delivering events
+    /// without core progress past the threshold aborts with a stall report.
+    pub watchdog: bool,
+    /// Explicit watchdog threshold in events without progress
+    /// (`watchdog_events`; `0` = automatic: `max(10_000, max_events / 100)`).
+    pub watchdog_events: u64,
 }
 
 impl Default for ConfigSpec {
@@ -141,6 +153,9 @@ impl Default for ConfigSpec {
             scheduler: paper.scheduler,
             inline_step_budget: paper.inline_step_budget,
             sim_threads: paper.sim_threads,
+            fault: paper.fault,
+            watchdog: paper.watchdog,
+            watchdog_events: paper.watchdog_events,
         }
     }
 }
@@ -207,6 +222,18 @@ impl ConfigSpec {
         self
     }
 
+    /// Sets the fault-injection plan (builder style; disabled by default).
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Arms or disarms the liveness watchdog (builder style; on by default).
+    pub fn with_watchdog(mut self, enabled: bool) -> Self {
+        self.watchdog = enabled;
+        self
+    }
+
     /// Builds the concrete [`NdpConfig`], rejecting invalid machine geometries with
     /// an error naming the offending field.
     pub fn to_ndp_config(&self) -> Result<NdpConfig, HarnessError> {
@@ -239,6 +266,9 @@ impl ConfigSpec {
             .burst_resume(self.burst_resume)
             .md1_model(self.md1_model)
             .sim_threads(self.sim_threads)
+            .fault(self.fault)
+            .watchdog(self.watchdog)
+            .watchdog_events(self.watchdog_events)
             .build()
             .map_err(|e| HarnessError::Config(e.to_string()))
     }
@@ -290,6 +320,51 @@ impl ConfigSpec {
         }
         if self.md1_model != Md1Model::default() {
             pairs.push(("md1_model", Value::str(self.md1_model.name())));
+        }
+        // Fault and watchdog knobs are likewise emitted only when non-default,
+        // keeping exports of pre-existing sweeps byte-identical.
+        let fault_default = FaultConfig::default();
+        if self.fault.enabled {
+            pairs.push(("fault_injection", Value::Bool(true)));
+        }
+        if self.fault.drop_prob != fault_default.drop_prob {
+            pairs.push(("fault_drop", Value::Float(self.fault.drop_prob)));
+        }
+        if self.fault.dup_prob != fault_default.dup_prob {
+            pairs.push(("fault_dup", Value::Float(self.fault.dup_prob)));
+        }
+        if self.fault.jitter_ns != fault_default.jitter_ns {
+            pairs.push(("fault_jitter_ns", Value::Int(self.fault.jitter_ns as i64)));
+        }
+        if self.fault.stall_ns != fault_default.stall_ns {
+            pairs.push(("fault_stall_ns", Value::Int(self.fault.stall_ns as i64)));
+        }
+        if self.fault.stall_period_ns != fault_default.stall_period_ns {
+            pairs.push((
+                "fault_stall_period_ns",
+                Value::Int(self.fault.stall_period_ns as i64),
+            ));
+        }
+        if self.fault.drop_nth != fault_default.drop_nth {
+            pairs.push(("fault_drop_nth", Value::Int(self.fault.drop_nth as i64)));
+        }
+        if self.fault.retry_timeout_ns != fault_default.retry_timeout_ns {
+            pairs.push((
+                "fault_retry_ns",
+                Value::Int(self.fault.retry_timeout_ns as i64),
+            ));
+        }
+        if self.fault.backoff_cap != fault_default.backoff_cap {
+            pairs.push((
+                "fault_backoff_cap",
+                Value::Int(self.fault.backoff_cap as i64),
+            ));
+        }
+        if !self.watchdog {
+            pairs.push(("watchdog", Value::Bool(false)));
+        }
+        if self.watchdog_events != 0 {
+            pairs.push(("watchdog_events", Value::Int(self.watchdog_events as i64)));
         }
         Value::table(pairs)
     }
@@ -372,6 +447,29 @@ impl ConfigSpec {
                         .map_err(|_| HarnessError::spec("inline_step_budget must fit in a u32"))?
                 }
                 "sim_threads" => spec.sim_threads = usize_field(v, key)?,
+                "fault_injection" => {
+                    spec.fault.enabled = v
+                        .as_bool()
+                        .ok_or_else(|| HarnessError::spec("fault_injection must be a bool"))?
+                }
+                "fault_drop" => spec.fault.drop_prob = f64_field(v, key)?,
+                "fault_dup" => spec.fault.dup_prob = f64_field(v, key)?,
+                "fault_jitter_ns" => spec.fault.jitter_ns = u64_field(v, key)?,
+                "fault_stall_ns" => spec.fault.stall_ns = u64_field(v, key)?,
+                "fault_stall_period_ns" => spec.fault.stall_period_ns = u64_field(v, key)?,
+                "fault_drop_nth" => spec.fault.drop_nth = u64_field(v, key)?,
+                "fault_retry_ns" => spec.fault.retry_timeout_ns = u64_field(v, key)?,
+                "fault_backoff_cap" => {
+                    spec.fault.backoff_cap = u64_field(v, key)?
+                        .try_into()
+                        .map_err(|_| HarnessError::spec("fault_backoff_cap must fit in a u32"))?
+                }
+                "watchdog" => {
+                    spec.watchdog = v
+                        .as_bool()
+                        .ok_or_else(|| HarnessError::spec("watchdog must be a bool"))?
+                }
+                "watchdog_events" => spec.watchdog_events = u64_field(v, key)?,
                 other => {
                     return Err(HarnessError::spec(format!(
                         "unknown config field '{other}'"
@@ -403,6 +501,11 @@ fn u64_field(v: &Value, key: &str) -> Result<u64, HarnessError> {
 
 fn usize_field(v: &Value, key: &str) -> Result<usize, HarnessError> {
     Ok(u64_field(v, key)? as usize)
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, HarnessError> {
+    v.as_f64()
+        .ok_or_else(|| HarnessError::spec(format!("'{key}' must be a number")))
 }
 
 /// Parses a mechanism name, accepting the report names (`SynCron-flat`) and common
@@ -729,6 +832,77 @@ mod tests {
         let value = crate::json::parse(r#"{"column_batching": 3}"#).unwrap();
         assert!(ConfigSpec::from_value(&value).is_err());
         let value = crate::json::parse(r#"{"burst_resume": "yes"}"#).unwrap();
+        assert!(ConfigSpec::from_value(&value).is_err());
+    }
+
+    #[test]
+    fn fault_and_watchdog_fields_round_trip_and_stay_silent_at_defaults() {
+        // None of the fault/watchdog keys appear at their defaults, so
+        // exports of pre-existing sweeps stay byte-identical.
+        let default_doc = ConfigSpec::default().to_value();
+        let table = default_doc.as_table().unwrap();
+        for silent in [
+            "fault_injection",
+            "fault_drop",
+            "fault_dup",
+            "fault_jitter_ns",
+            "fault_stall_ns",
+            "fault_stall_period_ns",
+            "fault_drop_nth",
+            "fault_retry_ns",
+            "fault_backoff_cap",
+            "watchdog",
+            "watchdog_events",
+        ] {
+            assert!(
+                !table.iter().any(|(k, _)| k == silent),
+                "{silent} must not be emitted at its default"
+            );
+        }
+
+        let spec = ConfigSpec::default()
+            .with_fault(FaultConfig {
+                enabled: true,
+                drop_prob: 0.05,
+                dup_prob: 0.01,
+                jitter_ns: 30,
+                stall_ns: 100,
+                stall_period_ns: 10_000,
+                drop_nth: 3,
+                retry_timeout_ns: 1_500,
+                backoff_cap: 4,
+            })
+            .with_watchdog(false);
+        let back = ConfigSpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(back, spec);
+        let cfg = back.to_ndp_config().unwrap();
+        assert!(cfg.fault.enabled);
+        assert_eq!(cfg.fault.drop_prob, 0.05);
+        assert_eq!(cfg.fault.retry_timeout_ns, 1_500);
+        assert_eq!(cfg.watchdog_limit(), 0, "disarmed watchdog");
+
+        // Explicit watchdog threshold round-trips through JSON text too.
+        let spec = ConfigSpec {
+            watchdog_events: 4_321,
+            ..ConfigSpec::default()
+        };
+        let text = spec.to_value().to_json();
+        let back = ConfigSpec::from_value(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_ndp_config().unwrap().watchdog_limit(), 4_321);
+
+        // Integer-typed probabilities parse; out-of-domain values are rejected
+        // at decode time with the config's typed error.
+        let value = crate::json::parse(r#"{"fault_drop": 1}"#).unwrap();
+        assert_eq!(ConfigSpec::from_value(&value).unwrap().fault.drop_prob, 1.0);
+        let value = crate::json::parse(r#"{"fault_drop": 1.5}"#).unwrap();
+        match ConfigSpec::from_value(&value) {
+            Err(HarnessError::Config(m)) => assert!(m.contains("fault_drop"), "{m}"),
+            other => panic!("out-of-range probability must be rejected, got {other:?}"),
+        }
+        let value = crate::json::parse(r#"{"fault_injection": "yes"}"#).unwrap();
+        assert!(ConfigSpec::from_value(&value).is_err());
+        let value = crate::json::parse(r#"{"watchdog": 1}"#).unwrap();
         assert!(ConfigSpec::from_value(&value).is_err());
     }
 

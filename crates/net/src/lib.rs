@@ -21,9 +21,11 @@
 #![forbid(unsafe_code)]
 
 pub mod crossbar;
+pub mod fault;
 pub mod link;
 pub mod traffic;
 
 pub use crossbar::{Crossbar, CrossbarConfig};
+pub use fault::{DedupSet, FaultConfig, FaultEngine, FaultStats, SendVerdict};
 pub use link::{InterUnitLink, LinkConfig};
 pub use traffic::TrafficStats;

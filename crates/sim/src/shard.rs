@@ -158,6 +158,21 @@ pub struct RoundReport {
     pub events_delta: u64,
     /// Core programs that finished since the previous report.
     pub done_delta: u64,
+    /// Forward-progress units (program actions consumed by cores) since the
+    /// previous report — the liveness watchdog's signal. Events that circulate
+    /// without any core advancing (e.g. a retransmission storm) leave this at
+    /// zero, which is exactly the no-progress condition the watchdog detects.
+    pub progress_delta: u64,
+}
+
+/// Why the gate stopped a run before completion.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AbortCause {
+    /// The global event budget is exhausted.
+    Budget,
+    /// The liveness watchdog fired: more than the configured number of events
+    /// were delivered without any core making forward progress.
+    Stall,
 }
 
 /// The gate's verdict for the next window.
@@ -170,8 +185,11 @@ pub enum RoundDecision {
     },
     /// Every queue and mailbox is empty: the simulation is over.
     Finished,
-    /// The global event budget is exhausted; all shards stop at this boundary.
-    Aborted,
+    /// The run stops at this boundary; all shards observe the same cause.
+    Aborted {
+        /// Why the run was stopped.
+        cause: AbortCause,
+    },
 }
 
 struct GateState {
@@ -180,6 +198,10 @@ struct GateState {
     round_min: Option<Time>,
     events_total: u64,
     done_total: u64,
+    /// Progress units reported in the current round (reset every round).
+    round_progress: u64,
+    /// `events_total` as of the last round that reported any progress.
+    events_at_progress: u64,
     decision: RoundDecision,
 }
 
@@ -207,6 +229,9 @@ pub struct WindowGate {
     parties: usize,
     lookahead: Time,
     max_events: u64,
+    /// Liveness watchdog: abort once this many events are delivered without
+    /// any shard reporting progress (`0` disables the watchdog).
+    watchdog_limit: u64,
     /// Lock-free mirror of [`GateState::generation`], bumped by the last
     /// arriver of each phase (while holding the lock, so the two never
     /// disagree for a blocked waiter). Spun on by the fast wait path.
@@ -235,14 +260,16 @@ impl std::fmt::Debug for WindowGate {
 }
 
 impl WindowGate {
-    /// Creates a gate for `parties` shards with the given lookahead and global
-    /// event budget.
-    pub fn new(parties: usize, lookahead: Time, max_events: u64) -> Self {
+    /// Creates a gate for `parties` shards with the given lookahead, global
+    /// event budget and liveness-watchdog limit (`0` disables the watchdog:
+    /// runs then only stop on completion or budget exhaustion).
+    pub fn new(parties: usize, lookahead: Time, max_events: u64, watchdog_limit: u64) -> Self {
         assert!(parties > 0, "a window gate needs at least one shard");
         WindowGate {
             parties,
             lookahead,
             max_events,
+            watchdog_limit,
             generation: AtomicU64::new(0),
             spin_iters: if std::thread::available_parallelism().map_or(1, |n| n.get()) >= parties {
                 GATE_SPIN_ITERS
@@ -255,6 +282,8 @@ impl WindowGate {
                 round_min: None,
                 events_total: 0,
                 done_total: 0,
+                round_progress: 0,
+                events_at_progress: 0,
                 decision: RoundDecision::Finished,
             }),
             cv: Condvar::new(),
@@ -308,6 +337,7 @@ impl WindowGate {
     pub fn resolve(&self, report: RoundReport) -> RoundDecision {
         let lookahead = self.lookahead;
         let max_events = self.max_events;
+        let watchdog_limit = self.watchdog_limit;
         {
             let mut g = self.state.lock().expect("window gate poisoned");
             g.round_min = match (g.round_min, report.local_min) {
@@ -316,10 +346,25 @@ impl WindowGate {
             };
             g.events_total += report.events_delta;
             g.done_total += report.done_delta;
+            // A finished core is forward progress too: a run in its final
+            // drain delivers events while no remaining core steps.
+            g.round_progress += report.progress_delta + report.done_delta;
         }
         self.phase(|g| {
+            if g.round_progress > 0 {
+                g.events_at_progress = g.events_total;
+                g.round_progress = 0;
+            }
             g.decision = if g.events_total > max_events {
-                RoundDecision::Aborted
+                RoundDecision::Aborted {
+                    cause: AbortCause::Budget,
+                }
+            } else if watchdog_limit > 0
+                && g.events_total.saturating_sub(g.events_at_progress) > watchdog_limit
+            {
+                RoundDecision::Aborted {
+                    cause: AbortCause::Stall,
+                }
             } else {
                 match g.round_min.take() {
                     None => RoundDecision::Finished,
@@ -416,12 +461,13 @@ mod tests {
 
     #[test]
     fn gate_single_party_reduces_immediately() {
-        let gate = WindowGate::new(1, Time::from_ns(40), 1_000);
+        let gate = WindowGate::new(1, Time::from_ns(40), 1_000, 0);
         gate.arrive();
         let d = gate.resolve(RoundReport {
             local_min: Some(Time::from_ns(10)),
             events_delta: 5,
             done_delta: 0,
+            progress_delta: 5,
         });
         assert_eq!(
             d,
@@ -439,14 +485,86 @@ mod tests {
 
     #[test]
     fn gate_aborts_when_budget_exhausted() {
-        let gate = WindowGate::new(1, Time::from_ns(1), 10);
+        let gate = WindowGate::new(1, Time::from_ns(1), 10, 0);
         gate.arrive();
         let d = gate.resolve(RoundReport {
             local_min: Some(Time::ZERO),
             events_delta: 11,
             done_delta: 0,
+            progress_delta: 11,
         });
-        assert_eq!(d, RoundDecision::Aborted);
+        assert_eq!(
+            d,
+            RoundDecision::Aborted {
+                cause: AbortCause::Budget
+            }
+        );
+    }
+
+    #[test]
+    fn gate_watchdog_aborts_on_no_progress_and_resets_on_progress() {
+        // Limit 20: rounds that deliver events with zero progress accumulate
+        // toward the watchdog; a single progress report resets the window.
+        let gate = WindowGate::new(1, Time::from_ns(1), u64::MAX, 20);
+        let stalled_round = RoundReport {
+            local_min: Some(Time::ZERO),
+            events_delta: 9,
+            done_delta: 0,
+            progress_delta: 0,
+        };
+        gate.arrive();
+        assert!(matches!(
+            gate.resolve(stalled_round),
+            RoundDecision::Continue { .. }
+        ));
+        gate.arrive();
+        assert!(matches!(
+            gate.resolve(stalled_round),
+            RoundDecision::Continue { .. }
+        ));
+        // 27 events without progress — but this round reports progress, so the
+        // watchdog window restarts instead of firing.
+        gate.arrive();
+        assert!(matches!(
+            gate.resolve(RoundReport {
+                progress_delta: 1,
+                ..stalled_round
+            }),
+            RoundDecision::Continue { .. }
+        ));
+        // Now stall for real: 18 events (no fire) then 9 more (fire).
+        gate.arrive();
+        assert!(matches!(
+            gate.resolve(RoundReport {
+                events_delta: 18,
+                ..stalled_round
+            }),
+            RoundDecision::Continue { .. }
+        ));
+        gate.arrive();
+        assert_eq!(
+            gate.resolve(stalled_round),
+            RoundDecision::Aborted {
+                cause: AbortCause::Stall
+            }
+        );
+    }
+
+    #[test]
+    fn gate_watchdog_counts_done_cores_as_progress() {
+        let gate = WindowGate::new(1, Time::from_ns(1), u64::MAX, 10);
+        gate.arrive();
+        // 25 events, no core stepped, but cores finished: the final drain of a
+        // completing run must never trip the watchdog.
+        assert!(matches!(
+            gate.resolve(RoundReport {
+                local_min: Some(Time::ZERO),
+                events_delta: 25,
+                done_delta: 2,
+                progress_delta: 0,
+            }),
+            RoundDecision::Continue { .. }
+        ));
     }
 
     #[test]
@@ -454,7 +572,7 @@ mod tests {
         // Four shards, several rounds: every shard must observe the same
         // decision, derived from the global minimum.
         let shards = 4;
-        let gate = std::sync::Arc::new(WindowGate::new(shards, Time::from_ns(40), u64::MAX));
+        let gate = std::sync::Arc::new(WindowGate::new(shards, Time::from_ns(40), u64::MAX, 0));
         let mut handles = Vec::new();
         for s in 0..shards {
             let gate = std::sync::Arc::clone(&gate);
@@ -469,6 +587,7 @@ mod tests {
                         local_min: min,
                         events_delta: 1,
                         done_delta: 0,
+                        progress_delta: 1,
                     }));
                 }
                 gate.arrive();

@@ -7,6 +7,7 @@
 //! used by the motivational MESI experiments.
 
 pub use syncron_mem::dram::MemTech;
+pub use syncron_net::fault::FaultConfig;
 
 use core::fmt;
 
@@ -50,13 +51,23 @@ pub enum ConfigError {
         /// The largest supported value.
         max: usize,
     },
+    /// A field whose value is outside its valid domain (e.g. a probability
+    /// not in `[0, 1]`).
+    OutOfRange {
+        /// Name of the offending field.
+        field: &'static str,
+        /// What the valid domain is.
+        detail: &'static str,
+    },
 }
 
 impl ConfigError {
     /// The name of the offending configuration field.
     pub fn field(&self) -> &'static str {
         match self {
-            ConfigError::Zero { field } | ConfigError::TooLarge { field, .. } => field,
+            ConfigError::Zero { field }
+            | ConfigError::TooLarge { field, .. }
+            | ConfigError::OutOfRange { field, .. } => field,
         }
     }
 }
@@ -71,6 +82,9 @@ impl fmt::Display for ConfigError {
                 f,
                 "invalid config: {field} = {value} exceeds the supported maximum of {max}"
             ),
+            ConfigError::OutOfRange { field, detail } => {
+                write!(f, "invalid config: {field} {detail}")
+            }
         }
     }
 }
@@ -151,6 +165,20 @@ pub struct NdpConfig {
     /// falls back to sequential execution otherwise). The effective shard count
     /// is `min(sim_threads, units)`.
     pub sim_threads: usize,
+    /// Deterministic fault injection on inter-unit synchronization messages
+    /// (drops, duplicates, jitter, SE stall windows). Off by default; when
+    /// enabled with all probabilities zero the run is bit-identical to a
+    /// faults-off run (knob aliveness).
+    pub fault: FaultConfig,
+    /// Whether the liveness watchdog is armed. When on, a run that delivers
+    /// events without any core making forward progress for longer than
+    /// [`NdpConfig::watchdog_limit`] aborts with a structured stall report
+    /// instead of burning the remaining event budget.
+    pub watchdog: bool,
+    /// Watchdog threshold in delivered events without progress. `0` (the
+    /// default) derives the threshold automatically:
+    /// `max(10_000, max_events / 100)`.
+    pub watchdog_events: u64,
 }
 
 impl NdpConfig {
@@ -175,6 +203,9 @@ impl NdpConfig {
             inline_step_budget: 64,
             burst_resume: true,
             sim_threads: 1,
+            fault: FaultConfig::default(),
+            watchdog: true,
+            watchdog_events: 0,
         }
     }
 
@@ -221,7 +252,46 @@ impl NdpConfig {
                 return Err(ConfigError::TooLarge { field, value, max });
             }
         }
+        let probabilities = [
+            ("fault_drop", self.fault.drop_prob),
+            ("fault_dup", self.fault.dup_prob),
+        ];
+        for (field, value) in probabilities {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(ConfigError::OutOfRange {
+                    field,
+                    detail: "must be a probability in [0, 1]",
+                });
+            }
+        }
+        if self.fault.enabled && self.fault.retry_timeout_ns == 0 {
+            return Err(ConfigError::Zero {
+                field: "fault_retry_ns",
+            });
+        }
+        if self.fault.stall_period_ns > 0 && self.fault.stall_ns >= self.fault.stall_period_ns {
+            return Err(ConfigError::OutOfRange {
+                field: "fault_stall_ns",
+                detail: "must be shorter than fault_stall_period_ns",
+            });
+        }
         Ok(())
+    }
+
+    /// Effective watchdog threshold: delivered events without forward progress
+    /// before the run aborts with a stall report. `0` means the watchdog is
+    /// disarmed ([`NdpConfig::watchdog`] is off); an explicit
+    /// [`NdpConfig::watchdog_events`] wins; otherwise the threshold is derived
+    /// as `max(10_000, max_events / 100)` so a stalled run burns at most ~1% of
+    /// its event budget.
+    pub fn watchdog_limit(&self) -> u64 {
+        if !self.watchdog {
+            0
+        } else if self.watchdog_events != 0 {
+            self.watchdog_events
+        } else {
+            10_000.max(self.max_events / 100)
+        }
     }
 
     /// Total number of NDP cores, including any reserved server cores.
@@ -445,6 +515,27 @@ impl NdpConfigBuilder {
         self
     }
 
+    /// Sets the deterministic fault-injection plan (see [`NdpConfig::fault`];
+    /// disabled by default).
+    pub fn fault(mut self, fault: FaultConfig) -> Self {
+        self.config.fault = fault;
+        self
+    }
+
+    /// Arms or disarms the liveness watchdog (see [`NdpConfig::watchdog`]; on
+    /// by default).
+    pub fn watchdog(mut self, enabled: bool) -> Self {
+        self.config.watchdog = enabled;
+        self
+    }
+
+    /// Sets an explicit watchdog threshold in delivered events without
+    /// progress (see [`NdpConfig::watchdog_events`]; `0` = automatic).
+    pub fn watchdog_events(mut self, events: u64) -> Self {
+        self.config.watchdog_events = events;
+        self
+    }
+
     /// Finalizes the configuration, validating the machine geometry.
     ///
     /// Returns a [`ConfigError`] naming the offending field for degenerate layouts
@@ -531,6 +622,73 @@ mod tests {
         assert!(!cfg.mechanism.column_batching);
         assert!(!cfg.burst_resume);
         assert_eq!(cfg.crossbar.md1_model, Md1Model::Exact);
+    }
+
+    #[test]
+    fn fault_and_watchdog_knobs_build_and_validate() {
+        // Defaults: faults off, watchdog armed with an automatic threshold.
+        let cfg = NdpConfig::paper_default();
+        assert!(!cfg.fault.enabled);
+        assert!(cfg.watchdog);
+        assert_eq!(cfg.watchdog_events, 0);
+        assert_eq!(cfg.watchdog_limit(), cfg.max_events / 100);
+
+        let fault = FaultConfig {
+            enabled: true,
+            drop_prob: 0.25,
+            ..FaultConfig::default()
+        };
+        let cfg = NdpConfig::builder()
+            .fault(fault)
+            .watchdog_events(5_000)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.fault.drop_prob, 0.25);
+        assert_eq!(cfg.watchdog_limit(), 5_000);
+
+        // Disarmed watchdog reports a zero limit; the automatic threshold has
+        // a 10k floor for tiny event budgets.
+        let cfg = NdpConfig::builder().watchdog(false).build().unwrap();
+        assert_eq!(cfg.watchdog_limit(), 0);
+        let cfg = NdpConfig::builder().max_events(50_000).build().unwrap();
+        assert_eq!(cfg.watchdog_limit(), 10_000);
+
+        // Out-of-domain fault knobs are typed errors.
+        let err = NdpConfig::builder()
+            .fault(FaultConfig {
+                drop_prob: 1.5,
+                ..FaultConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "fault_drop");
+        assert!(err.to_string().contains("probability"));
+        let err = NdpConfig::builder()
+            .fault(FaultConfig {
+                dup_prob: f64::NAN,
+                ..FaultConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "fault_dup");
+        let err = NdpConfig::builder()
+            .fault(FaultConfig {
+                enabled: true,
+                retry_timeout_ns: 0,
+                ..FaultConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "fault_retry_ns");
+        let err = NdpConfig::builder()
+            .fault(FaultConfig {
+                stall_ns: 100,
+                stall_period_ns: 100,
+                ..FaultConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "fault_stall_ns");
     }
 
     #[test]

@@ -87,7 +87,9 @@ pub mod report;
 pub mod workload;
 
 pub use address::{AddressSpace, DataClass};
-pub use config::{CoherenceMode, ConfigError, MemTech, NdpConfig};
+pub use config::{CoherenceMode, ConfigError, FaultConfig, MemTech, NdpConfig};
 pub use machine::{run_workload, NdpMachine};
-pub use report::{RunReport, SimPerf};
+pub use report::{
+    BlockedCore, FaultStats, IncompleteReason, RunReport, SimPerf, StallKind, StallReport,
+};
 pub use workload::{Action, CoreProgram, Workload};

@@ -44,7 +44,7 @@
 
 use crate::address::AddressSpace;
 use crate::config::{CoherenceMode, NdpConfig};
-use crate::report::{RunReport, SimPerf};
+use crate::report::{BlockedCore, IncompleteReason, RunReport, SimPerf, StallKind, StallReport};
 use crate::workload::{Action, CoreProgram, Workload};
 
 use std::any::Any;
@@ -60,11 +60,12 @@ use syncron_mem::dram::{DramModel, DramSpec};
 use syncron_mem::energy::EnergyTally;
 use syncron_mem::mesi::{CoherentAccess, MesiDirectory};
 use syncron_net::crossbar::Crossbar;
+use syncron_net::fault::{DedupSet, FaultEngine, FaultStats};
 use syncron_net::link::InterUnitLink;
 use syncron_net::traffic::TrafficStats;
 use syncron_sim::event::{CalendarParams, EventQueue, SchedulerKind};
 use syncron_sim::shard::{
-    event_key, mailboxes, Mail, RoundDecision, RoundReport, ShardMap, WindowGate,
+    event_key, mailboxes, AbortCause, Mail, RoundDecision, RoundReport, ShardMap, WindowGate,
 };
 use syncron_sim::time::Time;
 use syncron_sim::{Addr, BitQueue, CoreId, GlobalCoreId, UnitId};
@@ -91,6 +92,26 @@ enum Event {
     SyncToken { unit: UnitId, token: u64 },
     /// A cross-unit mechanism message arrives at the engine of `to`.
     RemoteSync { to: UnitId, payload: RemotePayload },
+    /// A fault-injected copy of a cross-unit mechanism message. `tag` is
+    /// unique per transmission; the receiver's [`DedupSet`] pairs duplicate
+    /// copies so exactly one of them is delivered. Only the fault path emits
+    /// this variant — faults-off runs never see it.
+    RemoteSyncTagged {
+        to: UnitId,
+        payload: RemotePayload,
+        tag: u64,
+    },
+    /// The retransmission timer of a dropped mechanism message fired on the
+    /// sending unit `from`; the message is re-sent with the next attempt
+    /// number (bounded exponential backoff, see
+    /// [`syncron_net::fault::FaultConfig::retry_delay`]).
+    FaultRetry {
+        from: UnitId,
+        to: UnitId,
+        bytes: u64,
+        payload: RemotePayload,
+        attempt: u32,
+    },
     /// A remote data request from client `idx` reaches the home unit of `addr`.
     DataReq {
         idx: usize,
@@ -239,6 +260,12 @@ struct Substrates {
     burst_free: Vec<u32>,
     /// The most recently opened burst still eligible for appends.
     open_burst: Option<OpenBurst>,
+    /// Fault oracle for this shard's outbound mechanism messages; `Some` iff
+    /// fault injection is enabled. Verdicts are pure functions of
+    /// `(seed, link, sequence)`, so they are shard-count-invariant.
+    fault: Option<FaultEngine>,
+    /// Receiver-side pairing of duplicated (tagged) message copies.
+    dedup: DedupSet,
 }
 
 impl Substrates {
@@ -300,6 +327,88 @@ impl Substrates {
                 .expect("cross-shard mailbox closed while the simulation is running");
         }
     }
+
+    /// The fault-injecting send path for cross-unit mechanism messages
+    /// (`attempt` is 0 for the original transmission, `k` for the k-th
+    /// retransmission).
+    ///
+    /// Every transmission — kept or dropped — loads the network exactly like
+    /// the fast path: the bytes are accounted and charged through the sender's
+    /// crossbar and the link, so contention under faults is real. A dropped
+    /// transmission schedules only a local [`Event::FaultRetry`] on the
+    /// sending unit (bounded exponential backoff); a kept one arrives after
+    /// any injected jitter plus the destination SE's stall-window deferral.
+    /// Duplicates arrive as two [`Event::RemoteSyncTagged`] copies sharing a
+    /// tag; the receiver delivers exactly one. With all fault probabilities
+    /// zero every verdict is clean and this path schedules exactly the events
+    /// the fast path would, with the same keys — the knob-aliveness contract.
+    fn send_remote_faulted(
+        &mut self,
+        at: Time,
+        from: UnitId,
+        to: UnitId,
+        bytes: u64,
+        payload: RemotePayload,
+        attempt: u32,
+    ) {
+        let engine = self
+            .fault
+            .as_mut()
+            .expect("fault send path without a fault engine");
+        let verdict = engine.verdict(from.index(), to.index(), attempt);
+        if attempt > 0 {
+            engine.stats.retransmitted += 1;
+        }
+        let retry_delay = engine.config().retry_delay(attempt);
+        self.traffic.add_inter(bytes);
+        let mut lat = self.xbar_at(from).transfer(at, bytes);
+        lat += self.links.transfer(at + lat, from, to, bytes);
+        if verdict.dropped {
+            self.fault.as_mut().expect("fault engine").stats.dropped += 1;
+            self.route(
+                at + retry_delay,
+                from.index(),
+                Event::FaultRetry {
+                    from,
+                    to,
+                    bytes,
+                    payload,
+                    attempt: attempt + 1,
+                },
+            );
+            return;
+        }
+        let mut arrival = at + lat;
+        if verdict.jitter > Time::ZERO {
+            self.fault.as_mut().expect("fault engine").stats.delayed += 1;
+            arrival += verdict.jitter;
+        }
+        let defer = self
+            .fault
+            .as_ref()
+            .expect("fault engine")
+            .stall_defer(to.index(), arrival);
+        if defer > Time::ZERO {
+            self.fault.as_mut().expect("fault engine").stats.stalled += 1;
+            arrival += defer;
+        }
+        if verdict.duplicated {
+            self.fault.as_mut().expect("fault engine").stats.duplicated += 1;
+            let tag = verdict.tag;
+            self.route(
+                arrival,
+                to.index(),
+                Event::RemoteSyncTagged { to, payload, tag },
+            );
+            self.route(
+                arrival + verdict.dup_offset,
+                to.index(),
+                Event::RemoteSyncTagged { to, payload, tag },
+            );
+        } else {
+            self.route(arrival, to.index(), Event::RemoteSync { to, payload });
+        }
+    }
 }
 
 impl SyncContext for Substrates {
@@ -345,6 +454,10 @@ impl SyncContext for Substrates {
         bytes: u64,
         payload: RemotePayload,
     ) {
+        if self.fault.is_some() {
+            self.send_remote_faulted(at, from, to, bytes, payload, 0);
+            return;
+        }
         self.traffic.add_inter(bytes);
         let mut lat = self.xbar_at(from).transfer(at, bytes);
         lat += self.links.transfer(at + lat, from, to, bytes);
@@ -475,6 +588,10 @@ struct Shard {
     programs: Vec<Box<dyn CoreProgram>>,
     l1s: Vec<L1Cache>,
     core_done: Vec<bool>,
+    /// For each local client, the sync-variable address its pending blocking
+    /// request targets — `Some` while the core is parked in the mechanism,
+    /// cleared the moment it resumes. Feeds the watchdog's [`StallReport`].
+    blocked_on: Vec<Option<Addr>>,
     /// Global core IDs of this shard's clients (same local indexing).
     client_ids: Vec<GlobalCoreId>,
     /// Global client index of this shard's first client.
@@ -491,6 +608,11 @@ struct Shard {
     done_round: u64,
     /// Events delivered since the last gate report.
     events_round: u64,
+    /// Forward-progress units since the last gate report: program actions
+    /// consumed by client cores. Mechanism chatter (tokens, remote messages,
+    /// retransmissions) does not count, so a retransmission storm that wakes
+    /// no core is visible to the watchdog as zero progress.
+    progress_round: u64,
     events_delivered: u64,
     /// Set when one window exceeded the runaway backstop; forces an abort at
     /// the next gate round.
@@ -513,7 +635,8 @@ impl Shard {
             Event::CoreResume(core) => core.unit.index(),
             Event::CoreResumeBurst { token } => self.sub.bursts[token as usize].unit.index(),
             Event::SyncToken { unit, .. } => unit.index(),
-            Event::RemoteSync { to, .. } => to.index(),
+            Event::RemoteSync { to, .. } | Event::RemoteSyncTagged { to, .. } => to.index(),
+            Event::FaultRetry { from, .. } => from.index(),
             Event::DataReq { home, .. } => home.index(),
         }
     }
@@ -594,6 +717,31 @@ impl Shard {
                     self.with_mechanism(|mech, ctx| mech.deliver_remote(ctx, payload));
                     None
                 }
+                Event::RemoteSyncTagged { payload, tag, .. } => {
+                    // A tagged copy delivers once: the first copy of a pair is
+                    // handed to the mechanism, its twin is discarded here —
+                    // duplicates are idempotent without the protocol knowing.
+                    if self.sub.dedup.discard(tag) {
+                        if let Some(engine) = self.sub.fault.as_mut() {
+                            engine.stats.dup_discarded += 1;
+                        }
+                    } else {
+                        self.with_mechanism(|mech, ctx| mech.deliver_remote(ctx, payload));
+                    }
+                    None
+                }
+                Event::FaultRetry {
+                    from,
+                    to,
+                    bytes,
+                    payload,
+                    attempt,
+                } => {
+                    let now = self.sub.now;
+                    self.sub
+                        .send_remote_faulted(now, from, to, bytes, payload, attempt);
+                    None
+                }
                 Event::DataReq {
                     idx,
                     home,
@@ -639,6 +787,10 @@ impl Shard {
         if self.core_done[local] {
             return None;
         }
+        // The watchdog's definition of forward progress: a client core
+        // consumed one program action.
+        self.progress_round += 1;
+        self.blocked_on[local] = None;
         let core = self.client_ids[local];
         let now = self.sub.now;
         let action = self.programs[local].step(core, now);
@@ -671,12 +823,14 @@ impl Shard {
                     .as_ref()
                     .map(|m| m.blocks_core(&req))
                     .unwrap_or_else(|| req.is_blocking());
+                let var = req.var();
                 self.with_mechanism(|mech, ctx| mech.request(ctx, core, req));
                 if !blocking {
                     // req_async commits as soon as the message is issued.
                     Some(now + self.config.core_cycle())
                 } else {
                     // Blocking requests resume when the mechanism completes them.
+                    self.blocked_on[local] = Some(var);
                     None
                 }
             }
@@ -852,7 +1006,7 @@ impl Shard {
         &mut self,
         gate: &WindowGate,
         rx: &Receiver<Mail<Event>>,
-    ) -> Result<bool, Box<dyn Any + Send>> {
+    ) -> Result<Option<AbortCause>, Box<dyn Any + Send>> {
         // Exclusive upper bound of the previous window: no incoming message may
         // be timestamped before it (the lookahead invariant).
         let mut floor = Time::ZERO;
@@ -882,6 +1036,7 @@ impl Shard {
                 },
                 events_delta: std::mem::take(&mut self.events_round),
                 done_delta: std::mem::take(&mut self.done_round),
+                progress_delta: std::mem::take(&mut self.progress_round),
             };
             if poison.is_some() || self.runaway {
                 // Overflow the global budget so the gate's next decision is an
@@ -896,13 +1051,13 @@ impl Shard {
                 RoundDecision::Finished => {
                     return match poison.take() {
                         Some(p) => Err(p),
-                        None => Ok(false),
+                        None => Ok(None),
                     }
                 }
-                RoundDecision::Aborted => {
+                RoundDecision::Aborted { cause } => {
                     return match poison.take() {
                         Some(p) => Err(p),
-                        None => Ok(true),
+                        None => Ok(Some(cause)),
                     }
                 }
                 RoundDecision::Continue { window_end } => {
@@ -992,6 +1147,8 @@ pub struct NdpMachine {
     shards: Vec<Shard>,
     workload_name: String,
     completed: bool,
+    /// Why the last run ended incomplete; `None` after a completed run.
+    incomplete: Option<IncompleteReason>,
 }
 
 impl std::fmt::Debug for NdpMachine {
@@ -1085,6 +1242,11 @@ impl NdpMachine {
                     bursts: Vec::new(),
                     burst_free: Vec::new(),
                     open_burst: None,
+                    fault: config
+                        .fault
+                        .enabled
+                        .then(|| FaultEngine::new(config.fault, config.seed, config.units)),
+                    dedup: DedupSet::new(),
                 },
                 mechanism: Some(build_mechanism(
                     &config.mechanism,
@@ -1093,6 +1255,7 @@ impl NdpMachine {
                 )),
                 l1s: client_ids.iter().map(|_| L1Cache::new(config.l1)).collect(),
                 core_done: vec![false; chunk.len()],
+                blocked_on: vec![None; chunk.len()],
                 programs: chunk,
                 client_ids,
                 client_lo,
@@ -1104,6 +1267,7 @@ impl NdpMachine {
                 done_count: 0,
                 done_round: 0,
                 events_round: 0,
+                progress_round: 0,
                 events_delivered: 0,
                 runaway: false,
                 last_finish: Time::ZERO,
@@ -1134,6 +1298,7 @@ impl NdpMachine {
             shards,
             workload_name: workload.name(),
             completed: false,
+            incomplete: None,
         }
     }
 
@@ -1158,38 +1323,44 @@ impl NdpMachine {
         } else {
             self.lookahead
         };
-        let gate = WindowGate::new(parties, stride, self.config.max_events);
+        let gate = WindowGate::new(
+            parties,
+            stride,
+            self.config.max_events,
+            self.config.watchdog_limit(),
+        );
         let (txs, mut rxs) = mailboxes::<Event>(parties);
         for (shard, row) in self.shards.iter_mut().zip(txs) {
             shard.sub.senders = row;
         }
-        let mut aborted = false;
+        let mut abort: Option<AbortCause> = None;
         if parties == 1 {
             let rx = rxs.pop().expect("one mailbox per shard");
             match self.shards[0].run_rounds(&gate, &rx) {
-                Ok(a) => aborted = a,
+                Ok(a) => abort = a,
                 Err(p) => resume_unwind(p),
             }
         } else {
             let gate = &gate;
-            let outcomes: Vec<Result<bool, Box<dyn Any + Send>>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
-                    .iter_mut()
-                    .zip(rxs.drain(..))
-                    .map(|(shard, rx)| scope.spawn(move || shard.run_rounds(gate, &rx)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        h.join()
-                            .expect("shard worker panicked outside its catch region")
-                    })
-                    .collect()
-            });
+            let outcomes: Vec<Result<Option<AbortCause>, Box<dyn Any + Send>>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .shards
+                        .iter_mut()
+                        .zip(rxs.drain(..))
+                        .map(|(shard, rx)| scope.spawn(move || shard.run_rounds(gate, &rx)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join()
+                                .expect("shard worker panicked outside its catch region")
+                        })
+                        .collect()
+                });
             for outcome in outcomes {
                 match outcome {
-                    Ok(a) => aborted |= a,
+                    Ok(a) => abort = abort.or(a),
                     Err(p) => resume_unwind(p),
                 }
             }
@@ -1199,8 +1370,56 @@ impl NdpMachine {
             shard.sub.senders = Vec::new();
         }
         let done: usize = self.shards.iter().map(|s| s.done_count).sum();
-        self.completed = !aborted && done == self.clients.len();
+        self.completed = abort.is_none() && done == self.clients.len();
+        self.incomplete = if self.completed {
+            None
+        } else {
+            Some(match abort {
+                Some(AbortCause::Budget) => IncompleteReason::EventBudget,
+                // The gate saw events circulating without any core consuming a
+                // program action: a livelock.
+                Some(AbortCause::Stall) => {
+                    IncompleteReason::Stalled(self.stall_report(StallKind::NoProgress))
+                }
+                // Every queue drained (the run "finished") with unfinished
+                // cores still parked: a deadlock.
+                None => IncompleteReason::Stalled(self.stall_report(StallKind::EmptyFrontier)),
+            })
+        };
         self.build_report(wall_start.elapsed())
+    }
+
+    /// Diagnoses a stalled run: walks the shards in global order collecting
+    /// the unfinished cores and the sync-variable addresses their pending
+    /// blocking requests name.
+    fn stall_report(&self, kind: StallKind) -> StallReport {
+        let mut blocked = Vec::new();
+        let mut blocked_total = 0usize;
+        let mut unfinished = 0usize;
+        for shard in &self.shards {
+            for (local, core) in shard.client_ids.iter().enumerate() {
+                if shard.core_done[local] {
+                    continue;
+                }
+                unfinished += 1;
+                if let Some(addr) = shard.blocked_on[local] {
+                    blocked_total += 1;
+                    if blocked.len() < StallReport::BLOCKED_CAP {
+                        blocked.push(BlockedCore {
+                            unit: core.unit.index(),
+                            core: core.core.index(),
+                            addr: addr.0,
+                        });
+                    }
+                }
+            }
+        }
+        StallReport {
+            kind,
+            blocked,
+            blocked_total,
+            unfinished,
+        }
     }
 
     /// The configuration this machine runs.
@@ -1352,6 +1571,20 @@ impl NdpMachine {
             .map(|m| m.name().to_string())
             .unwrap_or_default();
 
+        // `Some` iff fault injection is enabled — an enabled run with zero
+        // faults reports all-zero counters, which report divergence treats as
+        // equal to `None` (the knob-aliveness contract). Shards merge in
+        // global order; the counters are u64 sums, so the total is exact.
+        let faults = self.config.fault.enabled.then(|| {
+            let mut stats = FaultStats::default();
+            for shard in &self.shards {
+                if let Some(engine) = shard.sub.fault.as_ref() {
+                    stats.merge(&engine.stats);
+                }
+            }
+            stats
+        });
+
         RunReport {
             workload: self.workload_name.clone(),
             mechanism: mechanism_name,
@@ -1372,6 +1605,8 @@ impl NdpMachine {
                 l1_hits as f64 / l1_accesses as f64
             },
             latency,
+            incomplete: self.incomplete.clone(),
+            faults,
             perf: SimPerf {
                 wall_seconds: wall.as_secs_f64(),
                 events_delivered: self.shards.iter().map(|s| s.events_delivered).sum(),
@@ -1997,8 +2232,103 @@ mod tests {
                     .collect()
             }
         }
-        let report = run_workload(&small_config(MechanismKind::SynCron), &Deadlock);
+        let config = small_config(MechanismKind::SynCron);
+        let report = run_workload(&config, &Deadlock);
         assert!(!report.completed);
+        // The stall is diagnosed within ~1% of the event budget, with a
+        // structured report naming the blocked cores and the lock address.
+        assert!(
+            report.perf.events_delivered <= config.max_events / 100,
+            "stall diagnosis burned {} of {} events",
+            report.perf.events_delivered,
+            config.max_events
+        );
+        let Some(IncompleteReason::Stalled(stall)) = report.incomplete.as_ref() else {
+            panic!("expected a stall diagnosis, got {:?}", report.incomplete);
+        };
+        assert_eq!(stall.unfinished, config.total_clients());
+        assert!(stall.blocked_total > 0, "no core was seen blocked");
+        assert!(!stall.blocked.is_empty());
+        // Every blocked core waits on the one self-deadlocked lock, which the
+        // workload allocated on unit 0's shared heap.
+        let lock = stall.blocked[0].addr;
+        assert!(stall.blocked.iter().all(|b| b.addr == lock));
+        assert!(
+            stall.blocked.iter().any(|b| b.unit == 0 && b.core == 0),
+            "core U0.c0 must be listed"
+        );
+    }
+
+    #[test]
+    fn total_message_loss_is_diagnosed_as_a_livelock() {
+        // drop_prob = 1.0 loses every mechanism message: the senders
+        // retransmit forever, events keep circulating, and no core ever
+        // resumes. The watchdog must call this a no-progress stall — and do it
+        // within ~1% of the event budget instead of burning all of it.
+        let mut cfg = small_config(MechanismKind::SynCron);
+        cfg.fault.enabled = true;
+        cfg.fault.drop_prob = 1.0;
+        let report = run_workload(&cfg, &CounterWorkload { iterations: 3 });
+        assert!(!report.completed);
+        assert!(
+            report.perf.events_delivered <= cfg.max_events / 50,
+            "livelock diagnosis burned {} events",
+            report.perf.events_delivered
+        );
+        let Some(IncompleteReason::Stalled(stall)) = report.incomplete.as_ref() else {
+            panic!("expected a stall diagnosis, got {:?}", report.incomplete);
+        };
+        assert_eq!(stall.kind, StallKind::NoProgress);
+        let faults = report.faults.expect("fault stats present when enabled");
+        assert!(faults.dropped > 0);
+        assert!(faults.retransmitted > 0);
+    }
+
+    #[test]
+    fn zero_probability_faults_are_bit_invisible() {
+        // The knob-aliveness contract at machine level: enabling fault
+        // injection with every probability zero must reproduce the faults-off
+        // run bit for bit, sequentially and sharded.
+        for threads in [1usize, 4] {
+            let mut base = NdpConfig::builder()
+                .units(4)
+                .cores_per_unit(4)
+                .sim_threads(threads)
+                .build()
+                .unwrap();
+            let reference = run_workload(&base, &CounterWorkload { iterations: 6 });
+            assert!(reference.faults.is_none());
+            base.fault.enabled = true;
+            let report = run_workload(&base, &CounterWorkload { iterations: 6 });
+            assert_eq!(report.faults, Some(FaultStats::default()));
+            if let Some(field) = reference.divergence_from(&report) {
+                panic!("zero-probability faults diverged ({threads} threads): {field}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_drop_recovers_through_retransmission() {
+        // Deterministically drop the first original message on every link; the
+        // timeout/retry path must still drive the run to completion, with the
+        // same simulated result under sequential and sharded execution.
+        let mut cfg = NdpConfig::builder()
+            .units(4)
+            .cores_per_unit(4)
+            .build()
+            .unwrap();
+        cfg.fault.enabled = true;
+        cfg.fault.drop_nth = 1;
+        let reference = run_workload(&cfg, &CounterWorkload { iterations: 4 });
+        assert!(reference.completed, "run did not recover from drops");
+        let faults = reference.faults.expect("fault stats present");
+        assert!(faults.dropped > 0, "no message was dropped");
+        assert_eq!(faults.retransmitted, faults.dropped);
+        cfg.sim_threads = 4;
+        let sharded = run_workload(&cfg, &CounterWorkload { iterations: 4 });
+        if let Some(field) = reference.divergence_from(&sharded) {
+            panic!("faulted run diverged under sharding: {field}");
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use syncron_core::mechanism::SyncMechanismStats;
 use syncron_mem::energy::EnergyTally;
+pub use syncron_net::fault::FaultStats;
 use syncron_net::traffic::TrafficStats;
 use syncron_sim::stats::LogHistogram;
 use syncron_sim::time::Time;
@@ -89,6 +90,82 @@ impl LatencyReport {
     }
 }
 
+/// How the liveness watchdog detected that a run was stuck.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum StallKind {
+    /// Every event queue drained while unfinished cores were still parked on
+    /// synchronization variables: a classic deadlock.
+    EmptyFrontier,
+    /// Events kept circulating but no core consumed a program action for
+    /// longer than the watchdog threshold: a livelock (e.g. a retransmission
+    /// storm under total message loss).
+    NoProgress,
+}
+
+/// One core the watchdog found blocked, and what it was waiting on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BlockedCore {
+    /// NDP unit of the blocked core.
+    pub unit: usize,
+    /// Core index within the unit.
+    pub core: usize,
+    /// Address of the synchronization variable the core's pending request
+    /// named (the lock/barrier/semaphore/condvar it is waiting on).
+    pub addr: u64,
+}
+
+/// Structured diagnosis of a stalled run, produced by the liveness watchdog.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StallReport {
+    /// How the stall was detected.
+    pub kind: StallKind,
+    /// The blocked cores and the sync-variable addresses they wait on, in
+    /// global core order (truncated to the first
+    /// [`StallReport::BLOCKED_CAP`]; `blocked_total` has the full count).
+    pub blocked: Vec<BlockedCore>,
+    /// Total number of cores blocked on a synchronization request.
+    pub blocked_total: usize,
+    /// Total number of cores that had not finished their program.
+    pub unfinished: usize,
+}
+
+impl StallReport {
+    /// Maximum blocked cores listed individually in a report.
+    pub const BLOCKED_CAP: usize = 16;
+}
+
+/// Why a run ended without completing (`RunReport::completed == false`).
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum IncompleteReason {
+    /// The global event safety limit (`max_events`) was exhausted.
+    EventBudget,
+    /// The liveness watchdog aborted the run; the report names the blocked
+    /// cores and the addresses they wait on.
+    Stalled(StallReport),
+    /// The simulation panicked; the payload is the panic message. Synthesized
+    /// by the harness runner's per-scenario isolation — the machine itself
+    /// never returns this.
+    Panicked(String),
+}
+
+impl IncompleteReason {
+    /// Compact machine-readable label (the CSV `incomplete_reason` cell).
+    pub fn label(&self) -> &'static str {
+        match self {
+            IncompleteReason::EventBudget => "event-budget",
+            IncompleteReason::Stalled(s) => match s.kind {
+                StallKind::EmptyFrontier => "stalled-deadlock",
+                StallKind::NoProgress => "stalled-no-progress",
+            },
+            IncompleteReason::Panicked(_) => "panicked",
+        }
+    }
+}
+
 /// The outcome of one workload run on one configuration.
 #[derive(Clone, Debug)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -124,12 +201,50 @@ pub struct RunReport {
     /// Per-request tail latency of open-loop runs; `None` for closed-loop
     /// workloads.
     pub latency: Option<LatencyReport>,
+    /// Typed reason the run ended incomplete; `None` exactly when
+    /// [`RunReport::completed`] is `true`.
+    pub incomplete: Option<IncompleteReason>,
+    /// Fault-injection and recovery counters; `None` when fault injection is
+    /// disabled, `Some` (possibly all-zero) when enabled. Compared by
+    /// [`RunReport::divergence_from`] treating `None` as all-zero, so an
+    /// enabled-but-all-zero run is equivalent to a faults-off run.
+    pub faults: Option<FaultStats>,
     /// Host-side simulator performance (wall time, delivered events). Not part of
     /// the simulated result; ignored by [`RunReport::same_simulation`].
     pub perf: SimPerf,
 }
 
 impl RunReport {
+    /// Builds a zeroed report for a run that produced no results at all —
+    /// used by the harness runner to record a panicked scenario in its result
+    /// set instead of aborting the whole sweep.
+    pub fn failed(
+        workload: impl Into<String>,
+        mechanism: impl Into<String>,
+        reason: IncompleteReason,
+    ) -> RunReport {
+        RunReport {
+            workload: workload.into(),
+            mechanism: mechanism.into(),
+            sim_time: Time::ZERO,
+            completed: false,
+            total_ops: 0,
+            instructions: 0,
+            loads: 0,
+            stores: 0,
+            sync_requests: 0,
+            energy: EnergyTally::default(),
+            traffic: TrafficStats::default(),
+            sync: SyncMechanismStats::default(),
+            dram_accesses: 0,
+            l1_hit_ratio: 0.0,
+            latency: None,
+            incomplete: Some(reason),
+            faults: None,
+            perf: SimPerf::default(),
+        }
+    }
+
     /// Throughput in operations per millisecond (the unit of Figure 11).
     pub fn ops_per_ms(&self) -> f64 {
         let ms = self.sim_time.as_ms_f64();
@@ -221,6 +336,17 @@ impl RunReport {
         diff!(traffic);
         diff!(sync);
         diff!(dram_accesses);
+        diff!(incomplete);
+        // Fault counters: `None` (injection disabled) compares equal to
+        // `Some` all-zero (enabled but nothing fired) — the knob-aliveness
+        // contract; any injected fault or recovery must agree exactly.
+        let (fault_a, fault_b) = (
+            self.faults.unwrap_or_default(),
+            other.faults.unwrap_or_default(),
+        );
+        if fault_a != fault_b {
+            return Some(format!("faults: {fault_a:?} != {fault_b:?}"));
+        }
         match (&self.latency, &other.latency) {
             (None, None) => {}
             (Some(a), Some(b)) => {
@@ -310,6 +436,8 @@ mod tests {
             dram_accesses: 0,
             l1_hit_ratio: 0.5,
             latency: None,
+            incomplete: None,
+            faults: None,
             perf: SimPerf::default(),
         }
     }
@@ -418,5 +546,68 @@ mod tests {
         let s = report(1_000_000, 500).summary();
         assert!(s.contains("SynCron"));
         assert!(s.contains("ops/ms"));
+    }
+
+    #[test]
+    fn divergence_covers_incomplete_reason_and_fault_counters() {
+        let a = report(1_000, 100);
+        let mut b = a.clone();
+        b.completed = false;
+        b.incomplete = Some(IncompleteReason::EventBudget);
+        // completed differs first; with completed equal, the typed reason
+        // itself is compared.
+        let mut c = a.clone();
+        c.incomplete = Some(IncompleteReason::Stalled(StallReport {
+            kind: StallKind::EmptyFrontier,
+            blocked: vec![BlockedCore {
+                unit: 0,
+                core: 3,
+                addr: 0x40,
+            }],
+            blocked_total: 1,
+            unfinished: 1,
+        }));
+        assert!(a.divergence_from(&c).unwrap().contains("incomplete"));
+
+        // Faults: None == Some(all-zero) (knob aliveness), any counter differs.
+        let mut d = a.clone();
+        d.faults = Some(FaultStats::default());
+        assert!(a.same_simulation(&d));
+        d.faults = Some(FaultStats {
+            dropped: 2,
+            retransmitted: 2,
+            ..FaultStats::default()
+        });
+        assert!(a.divergence_from(&d).unwrap().contains("faults"));
+    }
+
+    #[test]
+    fn incomplete_reason_labels_are_compact() {
+        assert_eq!(IncompleteReason::EventBudget.label(), "event-budget");
+        assert_eq!(
+            IncompleteReason::Panicked("boom".into()).label(),
+            "panicked"
+        );
+        let stall = |kind| {
+            IncompleteReason::Stalled(StallReport {
+                kind,
+                blocked: Vec::new(),
+                blocked_total: 0,
+                unfinished: 2,
+            })
+        };
+        assert_eq!(stall(StallKind::EmptyFrontier).label(), "stalled-deadlock");
+        assert_eq!(stall(StallKind::NoProgress).label(), "stalled-no-progress");
+    }
+
+    #[test]
+    fn failed_reports_are_incomplete_and_zeroed() {
+        let r = RunReport::failed("wl", "SynCron", IncompleteReason::Panicked("boom".into()));
+        assert!(!r.completed);
+        assert_eq!(r.total_ops, 0);
+        assert_eq!(
+            r.incomplete,
+            Some(IncompleteReason::Panicked("boom".into()))
+        );
     }
 }

@@ -52,8 +52,8 @@ pub mod prelude {
         ConfigSpec, Md1Model, RunSet, Runner, Scenario, Sweep, WorkloadSpec,
     };
     pub use syncron_sim::{Addr, CoreId, Freq, GlobalCoreId, SchedulerKind, Time, UnitId};
-    pub use syncron_system::config::{MemTech, NdpConfig};
-    pub use syncron_system::report::RunReport;
+    pub use syncron_system::config::{FaultConfig, MemTech, NdpConfig};
+    pub use syncron_system::report::{IncompleteReason, RunReport};
     pub use syncron_system::run_workload;
     pub use syncron_system::workload::{Action, CoreProgram, Workload};
 }

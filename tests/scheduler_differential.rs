@@ -419,6 +419,130 @@ fn md1_exact_model_is_sharding_invariant_and_matches_quantized_on_corpus() {
     );
 }
 
+/// Runs one scenario with the fault substrate fully off and again with it
+/// *enabled but all probabilities zero*, asserting the reports are
+/// bit-identical. This is the knob-aliveness half of the fault matrix: the
+/// enabled run takes the fault code path (every mechanism message rolls a
+/// verdict, carries a dedup tag budget, and could retransmit) yet must
+/// schedule exactly the events of the fast path.
+fn assert_zero_probability_faults_are_invisible(scenario: &Scenario) -> RunReport {
+    let reference = scenario.run().expect("faults-off run");
+    let mut zero = scenario.clone();
+    zero.config = zero.config.with_fault(FaultConfig {
+        enabled: true,
+        ..FaultConfig::default()
+    });
+    let report = zero.run().expect("zero-probability run");
+    if let Some(field) = reference.divergence_from(&report) {
+        panic!(
+            "{}: enabling fault injection with zero probabilities moved {field}",
+            scenario.label
+        );
+    }
+    assert_eq!(
+        reference.perf.events_delivered, report.perf.events_delivered,
+        "{}: zero-probability injection changed event accounting",
+        scenario.label
+    );
+    let stats = report.faults.expect("enabled run reports fault stats");
+    assert_eq!(
+        stats.dropped
+            + stats.retransmitted
+            + stats.duplicated
+            + stats.dup_discarded
+            + stats.delayed
+            + stats.stalled,
+        0,
+        "{}: zero-probability injection produced faults",
+        scenario.label
+    );
+    reference
+}
+
+#[test]
+fn fig10_corpus_is_invariant_under_zero_probability_faults() {
+    // The four Figure 10 sweeps with the fault substrate off vs enabled-with-
+    // zero-probabilities: bit-identical reports across the whole corpus.
+    let mut total = 0;
+    for file in [
+        "fig10_lock.toml",
+        "fig10_barrier.toml",
+        "fig10_semaphore.toml",
+        "fig10_condvar.toml",
+    ] {
+        for scenario in load_sweep(file) {
+            let report = assert_zero_probability_faults_are_invisible(&scenario);
+            assert!(report.completed, "{} did not complete", scenario.label);
+            total += 1;
+        }
+    }
+    assert!(total >= 40, "corpus unexpectedly small: {total} scenarios");
+}
+
+#[test]
+fn faulted_runs_are_seed_deterministic_and_shard_invariant() {
+    // The other half of the fault matrix: with drops, duplicates and jitter
+    // actually firing, runs must still (a) complete via timeout/retransmission,
+    // (b) be bit-identical across repeated invocations (the fault plan is a
+    // pure function of the scenario seed), and (c) be bit-identical between
+    // the sequential and sharded executors (per-link fault state lives with
+    // the shard that owns the sending unit).
+    let fault = FaultConfig {
+        enabled: true,
+        drop_prob: 0.05,
+        dup_prob: 0.05,
+        jitter_ns: 30,
+        ..FaultConfig::default()
+    };
+    let mut injected_somewhere = false;
+    for scenario in load_sweep("fig10_lock.toml") {
+        let mut faulted = scenario.clone();
+        faulted.config = faulted.config.with_fault(fault);
+
+        let first = faulted.run().expect("faulted run");
+        assert!(
+            first.completed,
+            "{}: faulted run did not recover to completion",
+            scenario.label
+        );
+        let again = faulted.run().expect("repeat faulted run");
+        if let Some(field) = first.divergence_from(&again) {
+            panic!(
+                "{}: repeated faulted run diverged in {field} — the fault plan \
+                 is not a pure function of the seed",
+                scenario.label
+            );
+        }
+
+        let mut sharded = faulted.clone();
+        sharded.config = sharded.config.with_sim_threads(4);
+        let sharded_report = sharded.run().expect("sharded faulted run");
+        if let Some(field) = first.divergence_from(&sharded_report) {
+            panic!(
+                "{}: sharded faulted run diverged from sequential in {field}",
+                scenario.label
+            );
+        }
+
+        let stats = first.faults.expect("enabled run reports fault stats");
+        assert_eq!(
+            stats.dropped, stats.retransmitted,
+            "{}: every dropped message must be retransmitted exactly once",
+            scenario.label
+        );
+        assert_eq!(
+            stats.duplicated, stats.dup_discarded,
+            "{}: every duplicate must be discarded by receiver dedup",
+            scenario.label
+        );
+        injected_somewhere |= stats.dropped + stats.duplicated + stats.delayed > 0;
+    }
+    assert!(
+        injected_somewhere,
+        "no faults fired across the whole lock sweep — the substrate is dead"
+    );
+}
+
 #[test]
 fn inline_budget_values_do_not_change_results() {
     // The fairness budget bounds how long one pop may monopolize the loop; any
